@@ -1,0 +1,91 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out beyond
+// the paper's pseudocode: the subset-enumeration refinement of dirty-cell
+// lower bounds and the mini-sweep safety net. Both knobs preserve
+// exactness; these benches quantify what they buy (or cost).
+package asrs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"asrs"
+	"asrs/internal/dataset"
+)
+
+func ablationWorkload(b *testing.B) (*asrs.Dataset, asrs.Query, float64, float64) {
+	b.Helper()
+	ds := tweetDS(20000)
+	qa, qb := sizeK(ds, 10)
+	q, err := dataset.F1(ds, qa, qb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, q, qa, qb
+}
+
+func BenchmarkAblationRefinement(b *testing.B) {
+	ds, q, qa, qb := ablationWorkload(b)
+	for _, disabled := range []bool{false, true} {
+		name := "refinement=on"
+		if disabled {
+			name = "refinement=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, _, err := asrs.Search(ds, qa, qb, q, asrs.Options{DisableRefinement: disabled})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationSafetyNet(b *testing.B) {
+	ds, q, qa, qb := ablationWorkload(b)
+	for _, disabled := range []bool{false, true} {
+		name := "safetynet=on"
+		if disabled {
+			name = "safetynet=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, _, err := asrs.Search(ds, qa, qb, q, asrs.Options{DisableSafetyNet: disabled})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGranularity complements Fig 9 with the extreme grid
+// choices the paper does not plot.
+func BenchmarkAblationGranularity(b *testing.B) {
+	ds, q, qa, qb := ablationWorkload(b)
+	for _, g := range []int{10, 30, 100} {
+		b.Run(fmt.Sprintf("grid=%d", g), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, _, _, err := asrs.Search(ds, qa, qb, q, asrs.Options{NCol: g, NRow: g})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIndexBuildParallel quantifies the parallel binning pass.
+func BenchmarkIndexBuildParallel(b *testing.B) {
+	ds := tweetDS(200000)
+	q, _, _ := tweetQuery(b, ds, 10)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := asrs.NewIndexParallel(ds, q.F, 128, 128, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

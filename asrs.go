@@ -1,0 +1,300 @@
+// Package asrs is a Go implementation of attribute-aware similar region
+// search, reproducing "Finding Attribute-aware Similar Regions for Data
+// Analysis" (Feng, Cong, Jensen, Guo; PVLDB 12(11), 2019).
+//
+// Given a set of spatial objects with attributes, a composite aggregator
+// describing the aspects of interest, and an a×b query region (or a
+// hand-crafted target representation), the library finds the a×b region
+// whose aggregate representation is closest to the query's under a
+// weighted L1 (or L2) distance.
+//
+// The package exposes:
+//
+//   - the attribute model (Schema, Object, Dataset) and composite
+//     aggregators (fD, fA, fS over selections),
+//   - Search: the exact DS-Search algorithm (the paper's contribution),
+//   - SearchApprox via Options.Delta: the (1+δ)-approximate variant,
+//   - NewIndex / SearchWithIndex: the grid-index-accelerated GI-DS,
+//   - SearchBaseline: the O(n²) sweep-line baseline,
+//   - MaxRS / MaxRSBaseline: the MaxRS adaptation and the OE sweep.
+//
+// Quick start:
+//
+//	schema := asrs.MustSchema(
+//		asrs.Attribute{Name: "category", Kind: asrs.Categorical, Domain: []string{"cafe", "gym"}},
+//	)
+//	ds := &asrs.Dataset{Schema: schema, Objects: objects}
+//	f, _ := asrs.NewComposite(schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "category"})
+//	q, _ := asrs.QueryFromRegion(ds, f, nil, queryRegion)
+//	region, res, _, _ := asrs.Search(ds, 0.01, 0.01, q, asrs.Options{})
+package asrs
+
+import (
+	"io"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/dssearch"
+	"asrs/internal/geom"
+	"asrs/internal/gridindex"
+	"asrs/internal/maxrs"
+	"asrs/internal/persist"
+	"asrs/internal/sweep"
+)
+
+// Geometry.
+type (
+	// Point is a planar location.
+	Point = geom.Point
+	// Rect is an axis-parallel rectangle.
+	Rect = geom.Rect
+	// Accuracy holds the GPS horizontal/vertical accuracies (Definition 7)
+	// used by DS-Search's drop condition.
+	Accuracy = geom.Accuracy
+)
+
+// Attribute model.
+type (
+	// Schema is an ordered set of attributes.
+	Schema = attr.Schema
+	// Attribute describes one attribute (categorical or numeric).
+	Attribute = attr.Attribute
+	// Value is one attribute value of an object.
+	Value = attr.Value
+	// Object is a spatial object: location plus attribute values.
+	Object = attr.Object
+	// Dataset couples a schema with its objects.
+	Dataset = attr.Dataset
+	// Selector is the selection function γ that filters objects before
+	// aggregation.
+	Selector = attr.Selector
+)
+
+// AttrKind distinguishes categorical from numeric attributes.
+type AttrKind = attr.Kind
+
+// Attribute kinds.
+const (
+	Categorical = attr.Categorical
+	Numeric     = attr.Numeric
+)
+
+// Aggregation.
+type (
+	// Composite is a compiled composite aggregator F.
+	Composite = agg.Composite
+	// AggSpec is one (f, A, γ) component of a composite aggregator.
+	AggSpec = agg.Spec
+	// Norm selects L1 or L2 distance.
+	Norm = agg.Norm
+)
+
+// Aggregator kinds (Definition 1).
+const (
+	// Distribution is fD: per-value counts of a categorical attribute.
+	Distribution = agg.Distribution
+	// Average is fA: mean of a numeric attribute (0 on empty selections).
+	Average = agg.Average
+	// Sum is fS: sum of a numeric attribute.
+	Sum = agg.Sum
+	// Count is fC: the number of selected objects (extension; Attr may be
+	// empty).
+	Count = agg.Count
+)
+
+// Distance norms.
+const (
+	L1 = agg.L1
+	L2 = agg.L2
+)
+
+// Query and search.
+type (
+	// Query is a fully specified similarity query: composite aggregator,
+	// target representation F(r_q), per-dimension weights, and norm.
+	Query = asp.Query
+	// Result is an answer: the best point (region bottom-left under the
+	// default reduction), its distance, and its representation.
+	Result = asp.Result
+	// Options configures DS-Search (grid granularity, approximation δ,
+	// accuracy override, reduction anchor).
+	Options = dssearch.Options
+	// SearchStats reports the work DS-Search performed.
+	SearchStats = dssearch.Stats
+	// Index is a grid index over a dataset for one composite aggregator.
+	Index = gridindex.Index
+	// IndexStats reports the work of one GI-DS run.
+	IndexStats = gridindex.Stats
+	// DynamicIndex is an append-only grid index over a live object
+	// stream; Snapshot() materializes a queryable Index.
+	DynamicIndex = gridindex.Dynamic
+)
+
+// MaxRS types.
+type (
+	// MaxRSPoint is a weighted point for the MaxRS problem.
+	MaxRSPoint = maxrs.Point
+	// MaxRSResult is a MaxRS answer.
+	MaxRSResult = maxrs.Result
+)
+
+// NewSchema builds a schema; see attr.NewSchema.
+func NewSchema(attrs ...Attribute) (*Schema, error) { return attr.NewSchema(attrs...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(attrs ...Attribute) *Schema { return attr.MustSchema(attrs...) }
+
+// NewComposite compiles a composite aggregator against a schema,
+// validating that fD components reference categorical attributes and
+// fA/fS components numeric ones.
+func NewComposite(schema *Schema, specs ...AggSpec) (*Composite, error) {
+	return agg.New(schema, specs...)
+}
+
+// SelectAll is the γ_all selection function.
+func SelectAll(o *Object) bool { return attr.SelectAll(o) }
+
+// SelectCategory returns a selector keeping objects whose categorical
+// attribute (by schema position) equals the given domain index.
+func SelectCategory(attrIdx, valueIdx int) Selector { return attr.SelectCategory(attrIdx, valueIdx) }
+
+// SelectNumRange returns a selector keeping objects whose numeric
+// attribute lies in [lo, hi].
+func SelectNumRange(attrIdx int, lo, hi float64) Selector {
+	return attr.SelectNumRange(attrIdx, lo, hi)
+}
+
+// Represent computes the aggregate representation F(r) of the objects
+// strictly inside region r.
+func Represent(ds *Dataset, f *Composite, r Rect) []float64 {
+	return f.Representation(ds, agg.OpenRect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY})
+}
+
+// QueryFromRegion builds a query-by-example: the target representation is
+// computed from the example region rq (which also fixes the query size
+// a×b = rq.Width()×rq.Height()). A nil weight vector means unit weights.
+func QueryFromRegion(ds *Dataset, f *Composite, w []float64, rq Rect) (Query, error) {
+	q := Query{F: f, Target: Represent(ds, f, rq), W: w}
+	return q, q.Validate()
+}
+
+// QueryFromTarget builds a query from a hand-crafted target representation
+// (the "virtual region" usage of §3.3).
+func QueryFromTarget(f *Composite, target, w []float64) (Query, error) {
+	q := Query{F: f, Target: target, W: w}
+	return q, q.Validate()
+}
+
+// Search solves the ASRS problem exactly with DS-Search: it returns the
+// a×b region minimizing the distance to the query target, the answer
+// details, and search statistics. Options.Delta > 0 switches to the
+// (1+δ)-approximate algorithm.
+func Search(ds *Dataset, a, b float64, q Query, opt Options) (Rect, Result, SearchStats, error) {
+	return dssearch.SolveASRS(ds, a, b, q, opt)
+}
+
+// SearchExcluding is Search restricted to answer regions that do not
+// overlap the exclude rectangle (beyond a shared boundary). Use it for
+// query-by-example with a real query region, which would otherwise be its
+// own zero-distance answer.
+func SearchExcluding(ds *Dataset, a, b float64, q Query, exclude Rect, opt Options) (Rect, Result, SearchStats, error) {
+	return dssearch.SolveASRSExcluding(ds, a, b, q, exclude, opt)
+}
+
+// SearchTopK returns up to k non-overlapping similar regions in
+// increasing distance order (greedy: best, then best avoiding the first,
+// and so on). The exclude rectangles — typically the example region —
+// are avoided by every answer. An extension beyond the paper.
+func SearchTopK(ds *Dataset, a, b float64, q Query, k int, exclude []Rect, opt Options) ([]Rect, []Result, error) {
+	return dssearch.SolveASRSTopK(ds, a, b, q, k, exclude, opt)
+}
+
+// SearchBaseline solves the ASRS problem with the O(n²) sweep-line
+// baseline ("Base" in the paper's experiments). Intended for validation
+// and benchmarking.
+func SearchBaseline(ds *Dataset, a, b float64, q Query) (Rect, Result, error) {
+	rects, err := asp.Reduce(ds, a, b, asp.AnchorTR)
+	if err != nil {
+		return Rect{}, Result{}, err
+	}
+	s, err := sweep.New(rects, q)
+	if err != nil {
+		return Rect{}, Result{}, err
+	}
+	res := s.Solve()
+	return asp.AnchorTR.RegionFor(res.Point, a, b), res, nil
+}
+
+// NewIndex builds a grid index with granularity sx×sy over the dataset for
+// the composite aggregator f (§5). The index is reusable across queries
+// that share f.
+func NewIndex(ds *Dataset, f *Composite, sx, sy int) (*Index, error) {
+	return gridindex.New(ds, f, sx, sy)
+}
+
+// NewIndexParallel is NewIndex with a parallel binning pass (workers <= 0
+// selects GOMAXPROCS-many). Summaries are identical up to floating-point
+// summation order.
+func NewIndexParallel(ds *Dataset, f *Composite, sx, sy, workers int) (*Index, error) {
+	return gridindex.NewParallel(ds, f, sx, sy, workers)
+}
+
+// NewDynamicIndex creates an empty append-only index over a declared
+// extent for streaming workloads: Insert objects as they arrive
+// (O(log² grid) each), query live region aggregates with RegionChannels,
+// and Snapshot() an immutable Index for SearchWithIndex bursts.
+func NewDynamicIndex(f *Composite, bounds Rect, sx, sy int) (*DynamicIndex, error) {
+	return gridindex.NewDynamic(f, bounds, sx, sy)
+}
+
+// SearchWithIndex solves the ASRS problem with GI-DS (Algorithm 2): index
+// cells are lower-bounded and searched best-first by DS-Search.
+// Options.Delta > 0 selects app-GIDS.
+func SearchWithIndex(idx *Index, ds *Dataset, a, b float64, q Query, opt Options) (Rect, Result, IndexStats, error) {
+	rects, err := asp.Reduce(ds, a, b, asp.AnchorTR)
+	if err != nil {
+		return Rect{}, Result{}, IndexStats{}, err
+	}
+	res, stats, err := gridindex.Solve(idx, rects, q, a, b, opt)
+	if err != nil {
+		return Rect{}, Result{}, stats, err
+	}
+	return asp.AnchorTR.RegionFor(res.Point, a, b), res, stats, nil
+}
+
+// MaxRS solves the maximizing-range-sum problem with the DS-Search
+// adaptation of §7.5: place an a×b region to maximize the enclosed weight.
+func MaxRS(points []MaxRSPoint, a, b float64, opt Options) (MaxRSResult, SearchStats, error) {
+	return maxrs.DS(points, a, b, opt)
+}
+
+// MaxRSBaseline solves MaxRS with the Optimal Enclosure sweep
+// (O(n log n)), the state-of-the-art baseline the paper compares against.
+func MaxRSBaseline(points []MaxRSPoint, a, b float64) (MaxRSResult, error) {
+	return maxrs.OE(points, a, b)
+}
+
+// WriteDatasetCSV serializes a dataset in the library's self-describing
+// CSV dialect (schema directives in comments, then standard CSV rows).
+func WriteDatasetCSV(w io.Writer, ds *Dataset) error { return persist.WriteCSV(w, ds) }
+
+// ReadDatasetCSV parses a dataset written by WriteDatasetCSV or
+// hand-authored in the same dialect.
+func ReadDatasetCSV(r io.Reader) (*Dataset, error) { return persist.ReadCSV(r) }
+
+// WriteIndex serializes a grid index to a compact binary format; load it
+// back with ReadIndex. Returns the byte count written.
+func WriteIndex(w io.Writer, idx *Index) (int64, error) { return idx.WriteTo(w) }
+
+// ReadIndex loads an index written by WriteIndex, re-binding it to the
+// composite aggregator it was built with. The composite's structure is
+// verified via fingerprint; its selection functions cannot be verified,
+// so treat the composite definition as part of the index's identity.
+func ReadIndex(r io.Reader, f *Composite) (*Index, error) { return gridindex.Read(r, f) }
+
+// UnitWeights returns a weight vector of n ones.
+func UnitWeights(n int) []float64 { return agg.UnitWeights(n) }
+
+// Distance returns the weighted distance between two representations.
+func Distance(norm Norm, u, v, w []float64) float64 { return agg.Distance(norm, u, v, w) }

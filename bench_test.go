@@ -1,0 +1,297 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§7) as testing.B benches. Each BenchmarkFigN/BenchmarkTableN
+// family mirrors one artifact; the full parameter sweeps with printed
+// rows live in cmd/asrsbench (internal/harness). Cardinalities are
+// laptop-scale — the shapes (who wins, by what factor) are what carry
+// over, not absolute times; see EXPERIMENTS.md.
+package asrs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"asrs"
+	"asrs/internal/dataset"
+)
+
+// Dataset caches: generation is deterministic, so sharing across benches
+// only removes setup noise.
+var (
+	tweetCache = map[int]*asrs.Dataset{}
+	poiCache   = map[int]*asrs.Dataset{}
+)
+
+func tweetDS(n int) *asrs.Dataset {
+	if d, ok := tweetCache[n]; ok {
+		return d
+	}
+	d := dataset.Tweet(n, 42)
+	tweetCache[n] = d
+	return d
+}
+
+func poiDS(n int) *asrs.Dataset {
+	if d, ok := poiCache[n]; ok {
+		return d
+	}
+	d := dataset.POISyn(n, 42)
+	poiCache[n] = d
+	return d
+}
+
+func sizeK(ds *asrs.Dataset, k int) (float64, float64) {
+	b := ds.Bounds()
+	return float64(k) * b.Width() / 1000, float64(k) * b.Height() / 1000
+}
+
+func tweetQuery(b *testing.B, ds *asrs.Dataset, k int) (asrs.Query, float64, float64) {
+	b.Helper()
+	qa, qb := sizeK(ds, k)
+	q, err := dataset.F1(ds, qa, qb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q, qa, qb
+}
+
+func poiQuery(b *testing.B, ds *asrs.Dataset, k int) (asrs.Query, float64, float64) {
+	b.Helper()
+	qa, qb := sizeK(ds, k)
+	q, err := dataset.F2(ds, qa, qb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return q, qa, qb
+}
+
+// ---- Figure 8: runtime vs query rectangle size, DS-Search vs Base ----
+
+func BenchmarkFig8DSSearch(b *testing.B) {
+	for _, k := range []int{1, 4, 7, 10} {
+		b.Run(fmt.Sprintf("Tweet/size=%dq", k), func(b *testing.B) {
+			ds := tweetDS(20000)
+			q, qa, qb := tweetQuery(b, ds, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := asrs.Search(ds, qa, qb, q, asrs.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("POISyn/size=%dq", k), func(b *testing.B) {
+			ds := poiDS(20000)
+			q, qa, qb := poiQuery(b, ds, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := asrs.Search(ds, qa, qb, q, asrs.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig8Base(b *testing.B) {
+	// The baseline is O(n²); it gets a smaller corpus so the suite stays
+	// runnable. Compare per-object rates, not absolute times.
+	for _, k := range []int{1, 4, 7, 10} {
+		b.Run(fmt.Sprintf("Tweet/size=%dq", k), func(b *testing.B) {
+			ds := tweetDS(2000)
+			q, qa, qb := tweetQuery(b, ds, k)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := asrs.SearchBaseline(ds, qa, qb, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 9: DS-Search runtime vs grid granularity ----
+
+func BenchmarkFig9Granularity(b *testing.B) {
+	ds := tweetDS(50000)
+	q, qa, qb := tweetQuery(b, ds, 10)
+	for _, g := range []int{10, 20, 30, 40, 50} {
+		b.Run(fmt.Sprintf("ncol=nrow=%d", g), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := asrs.Search(ds, qa, qb, q, asrs.Options{NCol: g, NRow: g}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 10: scalability in dataset cardinality ----
+
+func BenchmarkFig10DSSearch(b *testing.B) {
+	for _, n := range []int{10000, 40000, 70000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds := tweetDS(n)
+			q, qa, qb := tweetQuery(b, ds, 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := asrs.Search(ds, qa, qb, q, asrs.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig10Base(b *testing.B) {
+	for _, n := range []int{1000, 2000, 4000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds := tweetDS(n)
+			q, qa, qb := tweetQuery(b, ds, 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := asrs.SearchBaseline(ds, qa, qb, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 11 / Table 1: GI-DS vs DS-Search across index granularity ----
+
+func BenchmarkFig11GIDS(b *testing.B) {
+	ds := tweetDS(100000)
+	q, qa, qb := tweetQuery(b, ds, 10)
+	b.Run("DS-Search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := asrs.Search(ds, qa, qb, q, asrs.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, g := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("GIDS/grid=%d", g), func(b *testing.B) {
+			idx, err := asrs.NewIndex(ds, q.F, g, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := asrs.SearchWithIndex(idx, ds, qa, qb, q, asrs.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1IndexBuild(b *testing.B) {
+	ds := tweetDS(100000)
+	q, _, _ := tweetQuery(b, ds, 10)
+	for _, g := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("grid=%d", g), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := asrs.NewIndex(ds, q.F, g, g); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 12 / Table 2: the approximate solution ----
+
+func BenchmarkFig12AppGIDS(b *testing.B) {
+	ds := tweetDS(100000)
+	q, qa, qb := tweetQuery(b, ds, 10)
+	idx, err := asrs.NewIndex(ds, q.F, 128, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, delta := range []float64{0.1, 0.2, 0.3, 0.4} {
+		b.Run(fmt.Sprintf("delta=%.1f", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := asrs.SearchWithIndex(idx, ds, qa, qb, q, asrs.Options{Delta: delta}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figure 13: MaxRS, OE vs DS-Search ----
+
+func maxrsPts(n int) []asrs.MaxRSPoint {
+	ds := tweetDS(n)
+	pts := make([]asrs.MaxRSPoint, len(ds.Objects))
+	for i := range ds.Objects {
+		pts[i] = asrs.MaxRSPoint{Loc: ds.Objects[i].Loc, Weight: 1}
+	}
+	return pts
+}
+
+func BenchmarkFig13aMaxRSSize(b *testing.B) {
+	pts := maxrsPts(100000)
+	bounds := dataset.USBounds()
+	for _, k := range []int{1, 10, 30} {
+		qa := float64(k) * bounds.Width() / 1000
+		qb := float64(k) * bounds.Height() / 1000
+		b.Run(fmt.Sprintf("OE/size=%dq", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := asrs.MaxRSBaseline(pts, qa, qb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("DS/size=%dq", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := asrs.MaxRS(pts, qa, qb, asrs.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig13bMaxRSScale(b *testing.B) {
+	bounds := dataset.USBounds()
+	qa, qb := 10*bounds.Width()/1000, 10*bounds.Height()/1000
+	for _, n := range []int{100000, 300000} {
+		pts := maxrsPts(n)
+		b.Run(fmt.Sprintf("OE/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := asrs.MaxRSBaseline(pts, qa, qb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("DS/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := asrs.MaxRS(pts, qa, qb, asrs.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- Figures 14–15: the case study ----
+
+func BenchmarkCaseStudy(b *testing.B) {
+	ds := dataset.SingaporePOI(42)
+	f, err := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "category"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	orchard := dataset.SingaporeDistricts()[0]
+	q, err := asrs.QueryFromRegion(ds, f, nil, orchard.Rect)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, err := asrs.SearchExcluding(ds, orchard.Rect.Width(), orchard.Rect.Height(), q, orchard.Rect, asrs.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

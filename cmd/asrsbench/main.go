@@ -1,0 +1,54 @@
+// Command asrsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	asrsbench -list
+//	asrsbench -exp fig8 [-scale 2] [-seed 7]
+//	asrsbench -exp all
+//
+// Each experiment prints the rows/series of the corresponding paper
+// artifact. Cardinalities default to laptop-scale; -scale multiplies them
+// toward the paper's sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"asrs/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (fig8, fig9, fig10, fig11, table1, fig12, table2, fig13a, fig13b, casestudy) or 'all'")
+		scale = flag.Float64("scale", 1, "cardinality multiplier relative to defaults")
+		seed  = flag.Int64("seed", 42, "dataset seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range harness.Experiments() {
+			fmt.Printf("  %-10s %s\n", e.Name, e.Paper)
+		}
+		if *exp == "" && !*list {
+			fmt.Fprintln(os.Stderr, "\nspecify one with -exp <id> (or -exp all)")
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := harness.Config{Out: os.Stdout, Scale: *scale, Seed: *seed}
+	var err error
+	if *exp == "all" {
+		err = harness.RunAll(cfg)
+	} else {
+		err = harness.Run(*exp, cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asrsbench:", err)
+		os.Exit(1)
+	}
+}

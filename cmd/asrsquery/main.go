@@ -1,0 +1,133 @@
+// Command asrsquery runs a single attribute-aware similar region search
+// over a generated corpus and prints the answer. It demonstrates the
+// library end to end without needing external data.
+//
+// Usage:
+//
+//	asrsquery -dataset tweet -n 100000 -k 10            # weekend-hotspot query (F1)
+//	asrsquery -dataset poisyn -n 100000 -k 7 -delta 0.2 # popular-and-good query (F2), approximate
+//	asrsquery -dataset singapore                        # query-by-example: Orchard → ?
+//	asrsquery -dataset tweet -algo base -n 3000         # sweep-line baseline
+//	asrsquery -dataset tweet -algo gids -grid 128       # grid-index accelerated
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"asrs"
+	"asrs/internal/dataset"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "tweet", "tweet | poisyn | singapore")
+		n      = flag.Int("n", 100000, "number of generated objects (tweet/poisyn)")
+		k      = flag.Int("k", 10, "query size multiplier: region is k·(W/1000) × k·(H/1000)")
+		algo   = flag.String("algo", "ds", "ds | gids | base")
+		grid   = flag.Int("grid", 128, "grid index granularity (gids only)")
+		delta  = flag.Float64("delta", 0, "approximation parameter δ (0 = exact)")
+		seed   = flag.Int64("seed", 42, "dataset seed")
+	)
+	flag.Parse()
+
+	if err := run(*dsName, *n, *k, *algo, *grid, *delta, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "asrsquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dsName string, n, k int, algo string, grid int, delta float64, seed int64) error {
+	var (
+		ds  *asrs.Dataset
+		q   asrs.Query
+		a   float64
+		b   float64
+		err error
+	)
+	switch dsName {
+	case "tweet":
+		ds = dataset.Tweet(n, seed)
+		a, b = scaledSize(ds, k)
+		q, err = dataset.F1(ds, a, b)
+	case "poisyn":
+		ds = dataset.POISyn(n, seed)
+		a, b = scaledSize(ds, k)
+		q, err = dataset.F2(ds, a, b)
+	case "singapore":
+		return runSingapore(seed)
+	default:
+		return fmt.Errorf("unknown dataset %q", dsName)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset=%s n=%d query=%.4gx%.4g algo=%s δ=%g\n", dsName, len(ds.Objects), a, b, algo, delta)
+
+	start := time.Now()
+	var (
+		region asrs.Rect
+		res    asrs.Result
+	)
+	switch algo {
+	case "ds":
+		region, res, _, err = asrs.Search(ds, a, b, q, asrs.Options{Delta: delta})
+	case "gids":
+		var idx *asrs.Index
+		idx, err = asrs.NewIndex(ds, q.F, grid, grid)
+		if err != nil {
+			return err
+		}
+		var stats asrs.IndexStats
+		region, res, stats, err = asrs.SearchWithIndex(idx, ds, a, b, q, asrs.Options{Delta: delta})
+		if err == nil {
+			fmt.Printf("index: %dx%d, %d/%d cells searched\n", grid, grid, stats.CellsSearched, stats.Cells)
+		}
+	case "base":
+		region, res, err = asrs.SearchBaseline(ds, a, b, q)
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("answer region:  %v\n", region)
+	fmt.Printf("distance:       %.4f\n", res.Dist)
+	fmt.Printf("representation: %.4g\n", res.Rep)
+	fmt.Printf("elapsed:        %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runSingapore(seed int64) error {
+	ds := dataset.SingaporePOI(seed)
+	f, err := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "category"})
+	if err != nil {
+		return err
+	}
+	orchard := dataset.SingaporeDistricts()[0]
+	q, err := asrs.QueryFromRegion(ds, f, nil, orchard.Rect)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	region, res, _, err := asrs.SearchExcluding(ds, orchard.Rect.Width(), orchard.Rect.Height(), q, orchard.Rect, asrs.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query region (Orchard): %v\n", orchard.Rect)
+	fmt.Printf("most similar region:    %v (distance %.2f)\n", region, res.Dist)
+	fmt.Printf("elapsed:                %v\n", time.Since(start).Round(time.Millisecond))
+	for _, d := range dataset.SingaporeDistricts()[1:] {
+		if region.Intersects(d.Rect) {
+			fmt.Printf("→ that's %q\n", d.Name)
+		}
+	}
+	return nil
+}
+
+func scaledSize(ds *asrs.Dataset, k int) (float64, float64) {
+	bounds := ds.Bounds()
+	return float64(k) * bounds.Width() / 1000, float64(k) * bounds.Height() / 1000
+}

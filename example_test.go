@@ -1,0 +1,81 @@
+package asrs_test
+
+import (
+	"fmt"
+
+	"asrs"
+)
+
+// demoDataset builds a small deterministic city for the godoc examples:
+// a cafe cluster near (10, 10) and scattered gyms.
+func demoDataset() (*asrs.Dataset, *asrs.Composite) {
+	schema := asrs.MustSchema(
+		asrs.Attribute{Name: "category", Kind: asrs.Categorical, Domain: []string{"cafe", "gym"}},
+		asrs.Attribute{Name: "rating", Kind: asrs.Numeric},
+	)
+	obj := func(x, y float64, cat int, rating float64) asrs.Object {
+		return asrs.Object{Loc: asrs.Point{X: x, Y: y},
+			Values: []asrs.Value{{Cat: cat}, {Num: rating}}}
+	}
+	ds := &asrs.Dataset{Schema: schema, Objects: []asrs.Object{
+		obj(10, 10, 0, 4.5), obj(10.8, 10.2, 0, 4.0), obj(10.4, 11.0, 0, 5.0),
+		obj(30, 30, 1, 3.0), obj(34, 31, 1, 2.5),
+		obj(50, 12, 0, 3.5),
+	}}
+	f, _ := asrs.NewComposite(schema,
+		asrs.AggSpec{Kind: asrs.Distribution, Attr: "category"},
+		asrs.AggSpec{Kind: asrs.Average, Attr: "rating"},
+	)
+	return ds, f
+}
+
+// ExampleSearch finds the region most similar to a hand-crafted target:
+// three cafes, no gyms, high ratings.
+func ExampleSearch() {
+	ds, f := demoDataset()
+	q, _ := asrs.QueryFromTarget(f, []float64{3, 0, 4.5}, nil)
+	_, res, _, _ := asrs.Search(ds, 2, 2, q, asrs.Options{})
+	fmt.Printf("cafes=%.0f gyms=%.0f avg=%.1f dist=%.1f\n",
+		res.Rep[0], res.Rep[1], res.Rep[2], res.Dist)
+	// Output: cafes=3 gyms=0 avg=4.5 dist=0.0
+}
+
+// ExampleQueryFromRegion shows query-by-example: describe the aspects,
+// point at a region you like, and search elsewhere.
+func ExampleQueryFromRegion() {
+	ds, f := demoDataset()
+	example := asrs.Rect{MinX: 9.5, MinY: 9.5, MaxX: 11.5, MaxY: 11.5}
+	q, _ := asrs.QueryFromRegion(ds, f, nil, example)
+	fmt.Printf("target: cafes=%.0f gyms=%.0f avg=%.1f\n", q.Target[0], q.Target[1], q.Target[2])
+	// Output: target: cafes=3 gyms=0 avg=4.5
+}
+
+// ExampleRepresent computes the aggregate representation of a region
+// directly.
+func ExampleRepresent() {
+	ds, f := demoDataset()
+	rep := asrs.Represent(ds, f, asrs.Rect{MinX: 25, MinY: 25, MaxX: 40, MaxY: 40})
+	fmt.Printf("cafes=%.0f gyms=%.0f avg=%.2f\n", rep[0], rep[1], rep[2])
+	// Output: cafes=0 gyms=2 avg=2.75
+}
+
+// ExampleMaxRSBaseline sites a 3×3 region enclosing the most points.
+func ExampleMaxRSBaseline() {
+	ds, _ := demoDataset()
+	pts := make([]asrs.MaxRSPoint, len(ds.Objects))
+	for i, o := range ds.Objects {
+		pts[i] = asrs.MaxRSPoint{Loc: o.Loc, Weight: 1}
+	}
+	res, _ := asrs.MaxRSBaseline(pts, 3, 3)
+	fmt.Printf("max enclosed: %.0f\n", res.Weight)
+	// Output: max enclosed: 3
+}
+
+// ExampleDistance compares two representations under the weighted L1
+// norm (the paper's Example 4 numbers).
+func ExampleDistance() {
+	rq := []float64{2, 1, 1, 1, 1.75}
+	r1 := []float64{3, 1, 1, 1, 1.6}
+	fmt.Printf("%.2f\n", asrs.Distance(asrs.L1, rq, r1, nil))
+	// Output: 1.15
+}

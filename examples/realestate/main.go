@@ -1,0 +1,124 @@
+// Real estate: the paper's Example 1. An apartment hunter wants a
+// neighborhood with a restaurant, a supermarket and a bus stop (but not
+// too many of each — a noisy area is undesirable), an average sales price
+// within budget, and everything within walking distance.
+//
+// The example builds a city with several neighborhood archetypes, encodes
+// the wish list as a composite aggregator target, and lets DS-Search find
+// the neighborhood. It then re-runs the query with a different budget to
+// show how the weight vector steers the answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"asrs"
+)
+
+const (
+	catApartment = iota
+	catSupermarket
+	catRestaurant
+	catBusStop
+)
+
+var categories = []string{"Apartment", "Supermarket", "Restaurant", "Bus stop"}
+
+// neighborhood seeds one archetype around a center.
+type neighborhood struct {
+	name         string
+	cx, cy       float64
+	apartments   int
+	amenities    int     // of each amenity kind
+	price        float64 // mean apartment price (hundreds of k$)
+	priceSpread  float64
+	amenityNoise int // extra amenities (the "noisy area" failure mode)
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	schema := asrs.MustSchema(
+		asrs.Attribute{Name: "category", Kind: asrs.Categorical, Domain: categories},
+		asrs.Attribute{Name: "price", Kind: asrs.Numeric},
+	)
+
+	hoods := []neighborhood{
+		{name: "quiet & affordable", cx: 15, cy: 15, apartments: 8, amenities: 1, price: 3.0, priceSpread: 0.3},
+		{name: "quiet & pricey", cx: 70, cy: 20, apartments: 8, amenities: 1, price: 9.0, priceSpread: 0.5},
+		{name: "noisy downtown", cx: 25, cy: 75, apartments: 10, amenities: 6, price: 4.0, priceSpread: 1.0, amenityNoise: 12},
+		{name: "no amenities", cx: 80, cy: 80, apartments: 9, amenities: 0, price: 2.5, priceSpread: 0.4},
+	}
+
+	var objects []asrs.Object
+	place := func(cx, cy float64, cat int, price float64) {
+		objects = append(objects, asrs.Object{
+			Loc: asrs.Point{
+				X: cx + rng.NormFloat64()*1.5,
+				Y: cy + rng.NormFloat64()*1.5,
+			},
+			Values: []asrs.Value{{Cat: cat}, {Num: price}},
+		})
+	}
+	for _, h := range hoods {
+		for i := 0; i < h.apartments; i++ {
+			place(h.cx, h.cy, catApartment, h.price+rng.NormFloat64()*h.priceSpread)
+		}
+		for _, amenity := range []int{catSupermarket, catRestaurant, catBusStop} {
+			for i := 0; i < h.amenities; i++ {
+				place(h.cx, h.cy, amenity, 0)
+			}
+			for i := 0; i < h.amenityNoise/3; i++ {
+				place(h.cx, h.cy, amenity, 0)
+			}
+		}
+	}
+	// Background scatter.
+	for i := 0; i < 150; i++ {
+		place(rng.Float64()*100, rng.Float64()*100, rng.Intn(4), 3+rng.Float64()*5)
+	}
+	ds := &asrs.Dataset{Schema: schema, Objects: objects}
+	if err := ds.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Aspects: category mix (fD) and the average apartment price (fA over
+	// a selection of apartments only — the γ_apt of Example 2).
+	f, err := asrs.NewComposite(schema,
+		asrs.AggSpec{Kind: asrs.Distribution, Attr: "category"},
+		asrs.AggSpec{Kind: asrs.Average, Attr: "price", Select: asrs.SelectCategory(0, catApartment)},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	search := func(label string, budget float64) {
+		// Wish list: ~8 apartments, exactly one of each amenity, average
+		// price near the budget. Big weights on the amenity counts mean
+		// "must have, but few"; the price dimension is scaled so that
+		// being 1 (hundred k$) off matches one missing amenity.
+		target := []float64{8, 1, 1, 1, budget}
+		weights := []float64{0.2, 1, 1, 1, 1}
+		q, err := asrs.QueryFromTarget(f, target, weights)
+		if err != nil {
+			log.Fatal(err)
+		}
+		region, res, _, err := asrs.Search(ds, 8, 8, q, asrs.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (budget %.1f):\n", label, budget)
+		fmt.Printf("  region %v\n", region)
+		fmt.Printf("  apartments=%.0f supermarkets=%.0f restaurants=%.0f bus stops=%.0f avg price=%.2f (distance %.2f)\n",
+			res.Rep[0], res.Rep[1], res.Rep[2], res.Rep[3], res.Rep[4], res.Dist)
+		for _, h := range hoods {
+			if region.ContainsClosed(asrs.Point{X: h.cx, Y: h.cy}) {
+				fmt.Printf("  → that's the %q neighborhood\n", h.name)
+			}
+		}
+	}
+
+	search("modest budget", 3.0)
+	search("generous budget", 9.0)
+}

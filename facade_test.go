@@ -1,0 +1,149 @@
+package asrs_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"asrs"
+	"asrs/internal/dataset"
+)
+
+func TestFacadeTopK(t *testing.T) {
+	ds := dataset.Random(60, 60, 90)
+	f, err := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "cat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := asrs.QueryFromTarget(f, []float64{3, 2, 1}, nil)
+	regions, results, err := asrs.SearchTopK(ds, 8, 8, q, 3, nil, asrs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != 3 {
+		t.Fatalf("regions = %d", len(regions))
+	}
+	for i := 1; i < len(results); i++ {
+		if results[i].Dist < results[i-1].Dist-1e-9 {
+			t.Fatal("top-k not ordered")
+		}
+	}
+	for i := 0; i < len(regions); i++ {
+		for j := i + 1; j < len(regions); j++ {
+			if regions[i].IntersectsOpen(regions[j]) {
+				t.Fatal("top-k regions overlap")
+			}
+		}
+	}
+}
+
+func TestFacadePersistence(t *testing.T) {
+	ds := dataset.Random(200, 60, 91)
+	var buf bytes.Buffer
+	if err := asrs.WriteDatasetCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := asrs.ReadDatasetCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Objects) != 200 {
+		t.Fatalf("loaded %d objects", len(loaded.Objects))
+	}
+
+	f, _ := asrs.NewComposite(ds.Schema,
+		asrs.AggSpec{Kind: asrs.Distribution, Attr: "cat"},
+		asrs.AggSpec{Kind: asrs.Sum, Attr: "val"},
+	)
+	idx, err := asrs.NewIndex(ds, f, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ibuf bytes.Buffer
+	if _, err := asrs.WriteIndex(&ibuf, idx); err != nil {
+		t.Fatal(err)
+	}
+	idx2, err := asrs.ReadIndex(&ibuf, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	q, _ := asrs.QueryFromTarget(f, []float64{2, 2, 2, 10}, nil)
+	_, r1, _, err := asrs.SearchWithIndex(idx, ds, 7, 7, q, asrs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, r2, _, err := asrs.SearchWithIndex(idx2, ds, 7, 7, q, asrs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Dist-r2.Dist) > 1e-12 {
+		t.Fatalf("reloaded index answers differently: %g vs %g", r1.Dist, r2.Dist)
+	}
+}
+
+func TestFacadeCountAggregator(t *testing.T) {
+	ds := dataset.Random(40, 40, 92)
+	f, err := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MER: the region enclosing the most objects, expressed as ASRS with
+	// fC and a huge target.
+	q, _ := asrs.QueryFromTarget(f, []float64{1e9}, nil)
+	_, res, _, err := asrs.Search(ds, 10, 10, q, asrs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]asrs.MaxRSPoint, len(ds.Objects))
+	for i := range ds.Objects {
+		pts[i] = asrs.MaxRSPoint{Loc: ds.Objects[i].Loc, Weight: 1}
+	}
+	oe, err := asrs.MaxRSBaseline(pts, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rep[0] != oe.Weight {
+		t.Fatalf("fC MER %g != OE %g", res.Rep[0], oe.Weight)
+	}
+}
+
+func TestFacadeParallelIndex(t *testing.T) {
+	ds := dataset.Random(10000, 100, 93)
+	f, _ := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "cat"})
+	idx, err := asrs.NewIndexParallel(ds, f, 32, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := asrs.QueryFromTarget(f, []float64{5, 5, 5}, nil)
+	_, parRes, _, err := asrs.SearchWithIndex(idx, ds, 8, 8, q, asrs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seqRes, _, err := asrs.Search(ds, 8, 8, q, asrs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(parRes.Dist-seqRes.Dist) > 1e-9 {
+		t.Fatalf("parallel-index GI-DS %g != DS %g", parRes.Dist, seqRes.Dist)
+	}
+}
+
+func TestFacadeAccuracyOverride(t *testing.T) {
+	ds := dataset.Random(30, 40, 94)
+	f, _ := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "cat"})
+	q, _ := asrs.QueryFromTarget(f, []float64{1, 1, 1}, nil)
+	// A coarse accuracy forces early drops; the safety net keeps the
+	// answer exact.
+	_, coarse, _, err := asrs.Search(ds, 6, 6, q, asrs.Options{Accuracy: asrs.Accuracy{DX: 1, DY: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, exact, _, err := asrs.Search(ds, 6, 6, q, asrs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coarse.Dist-exact.Dist) > 1e-9 {
+		t.Fatalf("coarse accuracy changed the answer: %g vs %g", coarse.Dist, exact.Dist)
+	}
+}

@@ -1,0 +1,177 @@
+package agg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Norm selects the distance metric between aggregate representations. The
+// paper presents L1 and notes the proposals extend to other metrics (§3.3);
+// we implement both L1 and L2.
+type Norm uint8
+
+const (
+	// L1 is the weighted Manhattan distance (the paper's default).
+	L1 Norm = iota
+	// L2 is the weighted Euclidean distance.
+	L2
+)
+
+// String implements fmt.Stringer.
+func (n Norm) String() string {
+	switch n {
+	case L1:
+		return "L1"
+	case L2:
+		return "L2"
+	default:
+		return fmt.Sprintf("Norm(%d)", uint8(n))
+	}
+}
+
+// Distance returns the weighted distance between representations u and v
+// under the given norm: Σ|u[i]−v[i]|·w[i] for L1, sqrt(Σ((u[i]−v[i])·w[i])²)
+// for L2. A nil w means unit weights. Panics when lengths disagree.
+func Distance(norm Norm, u, v, w []float64) float64 {
+	if len(u) != len(v) {
+		panic(fmt.Sprintf("agg: distance between vectors of different dims %d vs %d", len(u), len(v)))
+	}
+	if w != nil && len(w) != len(u) {
+		panic(fmt.Sprintf("agg: weight vector has dims %d, representations have %d", len(w), len(u)))
+	}
+	var acc float64
+	switch norm {
+	case L2:
+		for i := range u {
+			d := u[i] - v[i]
+			if w != nil {
+				d *= w[i]
+			}
+			acc += d * d
+		}
+		return math.Sqrt(acc)
+	default: // L1
+		for i := range u {
+			d := math.Abs(u[i] - v[i])
+			if w != nil {
+				d *= w[i]
+			}
+			acc += d
+		}
+		return acc
+	}
+}
+
+// LowerBound implements Equation 1: the smallest possible weighted distance
+// from the query representation q to any representation v with
+// lo[i] ≤ v[i] ≤ hi[i]. Under L2 the same per-dimension gap construction is
+// applied inside the Euclidean sum; both are valid lower bounds because the
+// per-dimension deviation is minimized independently.
+func LowerBound(norm Norm, q, lo, hi, w []float64) float64 {
+	var acc float64
+	switch norm {
+	case L2:
+		for i := range q {
+			g := gap(q[i], lo[i], hi[i])
+			if w != nil {
+				g *= w[i]
+			}
+			acc += g * g
+		}
+		return math.Sqrt(acc)
+	default:
+		for i := range q {
+			g := gap(q[i], lo[i], hi[i])
+			if w != nil {
+				g *= w[i]
+			}
+			acc += g
+		}
+		return acc
+	}
+}
+
+// gap returns the distance from q to the interval [lo, hi] (0 when inside).
+func gap(q, lo, hi float64) float64 {
+	switch {
+	case q > hi:
+		return q - hi
+	case q < lo:
+		return lo - q
+	default:
+		return 0
+	}
+}
+
+// intGap returns the distance from q to the nearest integer in [lo, hi].
+// lo and hi are themselves integers (fD counts), so the interval always
+// contains one when lo ≤ hi.
+func intGap(q, lo, hi float64) float64 {
+	switch {
+	case q > hi:
+		return q - hi
+	case q < lo:
+		return lo - q
+	default:
+		f := math.Floor(q)
+		c := math.Ceil(q)
+		best := math.Inf(1)
+		if f >= lo {
+			best = q - f
+		}
+		if c <= hi && c-q < best {
+			best = c - q
+		}
+		return best
+	}
+}
+
+// LowerBoundInt is LowerBound with integer-awareness: dimensions flagged in
+// isInt only admit integer representation values, so the per-dimension gap
+// snaps to the nearest integer in [lo, hi]. A nil isInt degrades to
+// LowerBound.
+func LowerBoundInt(norm Norm, q, lo, hi, w []float64, isInt []bool) float64 {
+	if isInt == nil {
+		return LowerBound(norm, q, lo, hi, w)
+	}
+	var acc float64
+	switch norm {
+	case L2:
+		for i := range q {
+			var g float64
+			if isInt[i] {
+				g = intGap(q[i], lo[i], hi[i])
+			} else {
+				g = gap(q[i], lo[i], hi[i])
+			}
+			if w != nil {
+				g *= w[i]
+			}
+			acc += g * g
+		}
+		return math.Sqrt(acc)
+	default:
+		for i := range q {
+			var g float64
+			if isInt[i] {
+				g = intGap(q[i], lo[i], hi[i])
+			} else {
+				g = gap(q[i], lo[i], hi[i])
+			}
+			if w != nil {
+				g *= w[i]
+			}
+			acc += g
+		}
+		return acc
+	}
+}
+
+// UnitWeights returns a weight vector of n ones.
+func UnitWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}

@@ -1,0 +1,48 @@
+package agg_test
+
+import (
+	"testing"
+
+	"asrs/internal/agg"
+	"asrs/internal/attr"
+)
+
+func TestFingerprint(t *testing.T) {
+	s := attr.MustSchema(
+		attr.Attribute{Name: "c", Kind: attr.Categorical, Domain: []string{"x", "y"}},
+		attr.Attribute{Name: "v", Kind: attr.Numeric},
+	)
+	f1 := agg.MustNew(s,
+		agg.Spec{Kind: agg.Distribution, Attr: "c"},
+		agg.Spec{Kind: agg.Average, Attr: "v"},
+	)
+	f2 := agg.MustNew(s,
+		agg.Spec{Kind: agg.Distribution, Attr: "c"},
+		agg.Spec{Kind: agg.Average, Attr: "v"},
+	)
+	if f1.Fingerprint() != f2.Fingerprint() {
+		t.Fatalf("structurally identical composites have different fingerprints: %q vs %q",
+			f1.Fingerprint(), f2.Fingerprint())
+	}
+	// Order matters.
+	f3 := agg.MustNew(s,
+		agg.Spec{Kind: agg.Average, Attr: "v"},
+		agg.Spec{Kind: agg.Distribution, Attr: "c"},
+	)
+	if f1.Fingerprint() == f3.Fingerprint() {
+		t.Fatal("reordered composite shares fingerprint")
+	}
+	// Kind matters.
+	f4 := agg.MustNew(s,
+		agg.Spec{Kind: agg.Distribution, Attr: "c"},
+		agg.Spec{Kind: agg.Sum, Attr: "v"},
+	)
+	if f1.Fingerprint() == f4.Fingerprint() {
+		t.Fatal("different kinds share fingerprint")
+	}
+	// Count with empty attribute is representable.
+	f5 := agg.MustNew(s, agg.Spec{Kind: agg.Count})
+	if f5.Fingerprint() != "fC::1" {
+		t.Fatalf("fC fingerprint = %q", f5.Fingerprint())
+	}
+}

@@ -1,0 +1,138 @@
+package asp_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/dataset"
+	"asrs/internal/geom"
+)
+
+// TestLemma1 checks the reduction property for every anchor: rectangle
+// r_i covers p iff the spatial object o_i is strictly inside the candidate
+// region anchored at p.
+func TestLemma1(t *testing.T) {
+	anchors := []asp.Anchor{asp.AnchorTR, asp.AnchorTL, asp.AnchorBR, asp.AnchorBL, asp.AnchorCenter}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		a := rng.Float64()*10 + 0.1
+		b := rng.Float64()*10 + 0.1
+		for _, an := range anchors {
+			rect := an.RectFor(o, a, b)
+			region := an.RegionFor(p, a, b)
+			if rect.ContainsOpen(p) != region.ContainsOpen(o) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	ds := dataset.Random(5, 100, 1)
+	if _, err := asp.Reduce(ds, 0, 1, asp.AnchorTR); err == nil {
+		t.Error("zero width: expected error")
+	}
+	if _, err := asp.Reduce(ds, 1, -1, asp.AnchorTR); err == nil {
+		t.Error("negative height: expected error")
+	}
+	rects, err := asp.Reduce(ds, 2, 3, asp.AnchorTR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rects) != 5 {
+		t.Fatalf("got %d rects", len(rects))
+	}
+	for i, r := range rects {
+		if r.Rect.Width() != 2 || r.Rect.Height() != 3 {
+			t.Fatalf("rect %d has size %gx%g", i, r.Rect.Width(), r.Rect.Height())
+		}
+		if r.Rect.TR() != ds.Objects[i].Loc {
+			t.Fatalf("rect %d not anchored at object", i)
+		}
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	ds := dataset.Random(3, 10, 2)
+	f := agg.MustNew(ds.Schema, agg.Spec{Kind: agg.Distribution, Attr: "cat"})
+	good := asp.Query{F: f, Target: []float64{0, 0, 0}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+	bad := []asp.Query{
+		{F: nil, Target: []float64{0}},
+		{F: f, Target: []float64{0}},
+		{F: f, Target: []float64{0, 0, 0}, W: []float64{1}},
+	}
+	for i, q := range bad {
+		if err := q.Validate(); err == nil {
+			t.Errorf("bad query %d accepted", i)
+		}
+	}
+}
+
+func TestSpaceAndEmptyCandidate(t *testing.T) {
+	ds := dataset.Random(20, 50, 3)
+	rects, _ := asp.Reduce(ds, 5, 5, asp.AnchorTR)
+	space := asp.Space(rects)
+	for _, r := range rects {
+		if !space.ContainsRect(r.Rect) {
+			t.Fatalf("space %v does not contain %v", space, r.Rect)
+		}
+	}
+	p := asp.EmptyCandidate(space)
+	for _, r := range rects {
+		if r.Covers(p) {
+			t.Fatalf("empty candidate %v covered by %v", p, r.Rect)
+		}
+	}
+}
+
+// TestPointRepresentationMatchesRegion: F(p) in the reduced ASP equals
+// F(region(p)) in the original ASRS (the heart of Theorem 1).
+func TestPointRepresentationMatchesRegion(t *testing.T) {
+	ds := dataset.Random(60, 100, 4)
+	f := agg.MustNew(ds.Schema,
+		agg.Spec{Kind: agg.Distribution, Attr: "cat"},
+		agg.Spec{Kind: agg.Average, Attr: "val"},
+		agg.Spec{Kind: agg.Sum, Attr: "val"},
+	)
+	a, b := 12.0, 9.0
+	rects, err := asp.Reduce(ds, a, b, asp.AnchorTR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		p := geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+		fromASP := asp.PointRepresentation(rects, f, p)
+		region := asp.AnchorTR.RegionFor(p, a, b)
+		fromASRS := f.Representation(ds, agg.OpenRect{MinX: region.MinX, MinY: region.MinY, MaxX: region.MaxX, MaxY: region.MaxY})
+		for d := range fromASP {
+			if diff := fromASP[d] - fromASRS[d]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("trial %d dim %d: ASP %v vs ASRS %v", trial, d, fromASP, fromASRS)
+			}
+		}
+	}
+}
+
+func TestBruteForceEmpty(t *testing.T) {
+	ds := dataset.Random(0, 10, 6)
+	f := agg.MustNew(dataset.Random(1, 10, 6).Schema, agg.Spec{Kind: agg.Distribution, Attr: "cat"})
+	rects, _ := asp.Reduce(&attr.Dataset{Schema: ds.Schema, Objects: nil}, 1, 1, asp.AnchorTR)
+	q := asp.Query{F: f, Target: []float64{1, 1, 1}}
+	res := asp.BruteForce(rects, q)
+	if res.Dist != 3 {
+		t.Fatalf("empty instance distance = %g, want 3 (all-zero rep)", res.Dist)
+	}
+}

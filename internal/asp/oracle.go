@@ -1,0 +1,86 @@
+package asp
+
+import (
+	"math"
+	"sort"
+
+	"asrs/internal/geom"
+)
+
+// BruteForce solves the ASP instance exactly by enumerating one interior
+// sample point per disjoint region of the rectangle arrangement (plus the
+// empty-cover candidate) and evaluating each with PointRepresentation. It
+// is O(n³) and exists as the correctness oracle for the real algorithms:
+// every candidate the sweep line or DS-Search can return corresponds to a
+// disjoint region sampled here.
+func BruteForce(rects []RectObject, q Query) Result {
+	space := Space(rects)
+	p := EmptyCandidate(space)
+	rep := PointRepresentation(rects, q.F, p)
+	best := Result{Point: p, Dist: q.Distance(rep), Rep: rep}
+	if len(rects) == 0 {
+		return best
+	}
+
+	xs := edgeMidpoints(rects, func(r geom.Rect) (float64, float64) { return r.MinX, r.MaxX })
+	ys := edgeMidpoints(rects, func(r geom.Rect) (float64, float64) { return r.MinY, r.MaxY })
+	for _, y := range ys {
+		for _, x := range xs {
+			pt := geom.Point{X: x, Y: y}
+			rep := PointRepresentation(rects, q.F, pt)
+			if d := q.Distance(rep); d < best.Dist {
+				best = Result{Point: pt, Dist: d, Rep: rep}
+			}
+		}
+	}
+	return best
+}
+
+// edgeMidpoints returns one coordinate strictly inside every gap between
+// consecutive distinct edge coordinates.
+func edgeMidpoints(rects []RectObject, edges func(geom.Rect) (float64, float64)) []float64 {
+	vs := make([]float64, 0, 2*len(rects))
+	for _, r := range rects {
+		a, b := edges(r.Rect)
+		vs = append(vs, a, b)
+	}
+	sort.Float64s(vs)
+	out := make([]float64, 0, len(vs))
+	for i := 0; i+1 < len(vs); i++ {
+		if vs[i+1] > vs[i] {
+			out = append(out, vs[i]+(vs[i+1]-vs[i])/2)
+		}
+	}
+	if len(out) == 0 { // all edges coincide; sample the single interior line
+		out = append(out, vs[0])
+	}
+	return out
+}
+
+// MaxCoverPoint returns the point covered by the maximum total weight of
+// rectangles (weights taken from the callback), solving MaxRS by brute
+// force. Used as the oracle for the OE and DS-MaxRS implementations.
+func MaxCoverPoint(rects []RectObject, weight func(i int) float64) (geom.Point, float64) {
+	if len(rects) == 0 {
+		return geom.Point{}, 0
+	}
+	xs := edgeMidpoints(rects, func(r geom.Rect) (float64, float64) { return r.MinX, r.MaxX })
+	ys := edgeMidpoints(rects, func(r geom.Rect) (float64, float64) { return r.MinY, r.MaxY })
+	var bestP geom.Point
+	bestW := math.Inf(-1)
+	for _, y := range ys {
+		for _, x := range xs {
+			p := geom.Point{X: x, Y: y}
+			var w float64
+			for i, r := range rects {
+				if r.Covers(p) {
+					w += weight(i)
+				}
+			}
+			if w > bestW {
+				bestW, bestP = w, p
+			}
+		}
+	}
+	return bestP, bestW
+}

@@ -1,0 +1,145 @@
+package asp_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/dataset"
+	"asrs/internal/geom"
+)
+
+// TestBruteForceHandInstance: a fully hand-checkable instance. Two
+// "a"-objects close together, one "b" far away; query wants exactly
+// (2, 0).
+func TestBruteForceHandInstance(t *testing.T) {
+	schema := attr.MustSchema(attr.Attribute{Name: "color", Kind: attr.Categorical, Domain: []string{"a", "b"}})
+	obj := func(x, y float64, c int) attr.Object {
+		return attr.Object{Loc: geom.Point{X: x, Y: y}, Values: []attr.Value{attr.CatValue(c)}}
+	}
+	ds := &attr.Dataset{Schema: schema, Objects: []attr.Object{
+		obj(1, 1, 0), obj(1.5, 1.2, 0), obj(9, 9, 1),
+	}}
+	f := agg.MustNew(schema, agg.Spec{Kind: agg.Distribution, Attr: "color"})
+	rects, err := asp.Reduce(ds, 2, 2, asp.AnchorTR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := asp.Query{F: f, Target: []float64{2, 0}}
+	res := asp.BruteForce(rects, q)
+	if res.Dist != 0 {
+		t.Fatalf("dist = %g, want 0", res.Dist)
+	}
+	// Verify the witness point.
+	rep := asp.PointRepresentation(rects, f, res.Point)
+	if rep[0] != 2 || rep[1] != 0 {
+		t.Fatalf("witness rep = %v", rep)
+	}
+}
+
+// TestBruteForceDistanceAchievable: the oracle's reported point always
+// achieves the reported distance.
+func TestBruteForceDistanceAchievable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 40; trial++ {
+		ds := dataset.Random(1+rng.Intn(15), 30, rng.Int63())
+		f := agg.MustNew(ds.Schema,
+			agg.Spec{Kind: agg.Distribution, Attr: "cat"},
+			agg.Spec{Kind: agg.Sum, Attr: "val"},
+		)
+		rects, _ := asp.Reduce(ds, 4+rng.Float64()*6, 4+rng.Float64()*6, asp.AnchorTR)
+		target := make([]float64, f.Dims())
+		for i := range target {
+			target[i] = rng.NormFloat64() * 3
+		}
+		q := asp.Query{F: f, Target: target}
+		res := asp.BruteForce(rects, q)
+		rep := asp.PointRepresentation(rects, f, res.Point)
+		if d := q.Distance(rep); math.Abs(d-res.Dist) > 1e-9 {
+			t.Fatalf("trial %d: oracle reported %g but witness evaluates to %g", trial, res.Dist, d)
+		}
+		// And no random probe beats the oracle.
+		for probe := 0; probe < 100; probe++ {
+			p := geom.Point{X: rng.Float64()*45 - 8, Y: rng.Float64()*45 - 8}
+			prep := asp.PointRepresentation(rects, f, p)
+			if d := q.Distance(prep); d < res.Dist-1e-9 {
+				t.Fatalf("trial %d: probe %v beats oracle: %g < %g", trial, p, d, res.Dist)
+			}
+		}
+	}
+}
+
+// TestMaxCoverPointHandInstance and probes.
+func TestMaxCoverPoint(t *testing.T) {
+	ds := dataset.Random(25, 30, 3)
+	rects, _ := asp.Reduce(ds, 6, 6, asp.AnchorTR)
+	p, w := asp.MaxCoverPoint(rects, func(i int) float64 { return 1 })
+	// The reported point must be covered by exactly w rects.
+	var got float64
+	for _, r := range rects {
+		if r.Covers(p) {
+			got++
+		}
+	}
+	if got != w {
+		t.Fatalf("witness covered by %g, reported %g", got, w)
+	}
+	// Probes cannot beat it.
+	rng := rand.New(rand.NewSource(4))
+	for probe := 0; probe < 300; probe++ {
+		pt := geom.Point{X: rng.Float64()*40 - 5, Y: rng.Float64()*40 - 5}
+		var c float64
+		for _, r := range rects {
+			if r.Covers(pt) {
+				c++
+			}
+		}
+		if c > w {
+			t.Fatalf("probe %v covers %g > %g", pt, c, w)
+		}
+	}
+	// Empty input.
+	if _, w := asp.MaxCoverPoint(nil, func(int) float64 { return 1 }); w != 0 {
+		t.Fatalf("empty MaxCoverPoint weight %g", w)
+	}
+}
+
+// TestAnchorsGeometry: for every anchor, RectFor places the object at the
+// right spot and RegionFor inverts it.
+func TestAnchorsGeometry(t *testing.T) {
+	o := geom.Point{X: 10, Y: 20}
+	const a, b = 4.0, 6.0
+	cases := []struct {
+		an     asp.Anchor
+		corner func(geom.Rect) geom.Point
+	}{
+		{asp.AnchorTR, func(r geom.Rect) geom.Point { return r.TR() }},
+		{asp.AnchorTL, func(r geom.Rect) geom.Point { return geom.Point{X: r.MinX, Y: r.MaxY} }},
+		{asp.AnchorBR, func(r geom.Rect) geom.Point { return geom.Point{X: r.MaxX, Y: r.MinY} }},
+		{asp.AnchorBL, func(r geom.Rect) geom.Point { return r.BL() }},
+		{asp.AnchorCenter, func(r geom.Rect) geom.Point { return r.Center() }},
+	}
+	for _, c := range cases {
+		rect := c.an.RectFor(o, a, b)
+		if rect.Width() != a || rect.Height() != b {
+			t.Fatalf("anchor %d: size %gx%g", c.an, rect.Width(), rect.Height())
+		}
+		if got := c.corner(rect); got != o {
+			t.Fatalf("anchor %d: object at %v, want %v", c.an, got, o)
+		}
+		region := c.an.RegionFor(o, a, b)
+		if region.Width() != a || region.Height() != b {
+			t.Fatalf("anchor %d: region size %gx%g", c.an, region.Width(), region.Height())
+		}
+	}
+}
+
+func TestEmptyCandidateInvalidSpace(t *testing.T) {
+	p := asp.EmptyCandidate(geom.EmptyRect())
+	if p != (geom.Point{}) {
+		t.Fatalf("invalid space candidate = %v, want origin", p)
+	}
+}

@@ -1,0 +1,182 @@
+package dataset_test
+
+import (
+	"testing"
+
+	"asrs/internal/attr"
+	"asrs/internal/dataset"
+)
+
+func TestTweetDeterministicAndValid(t *testing.T) {
+	a := dataset.Tweet(500, 42)
+	b := dataset.Tweet(500, 42)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Objects) != 500 {
+		t.Fatalf("n = %d", len(a.Objects))
+	}
+	for i := range a.Objects {
+		if a.Objects[i].Loc != b.Objects[i].Loc || a.Objects[i].Values[0] != b.Objects[i].Values[0] {
+			t.Fatalf("object %d differs between runs with the same seed", i)
+		}
+	}
+	c := dataset.Tweet(500, 43)
+	same := true
+	for i := range a.Objects {
+		if a.Objects[i].Loc != c.Objects[i].Loc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestTweetWithinBounds(t *testing.T) {
+	ds := dataset.Tweet(1000, 7)
+	bounds := dataset.USBounds()
+	for i := range ds.Objects {
+		if !bounds.ContainsClosed(ds.Objects[i].Loc) {
+			t.Fatalf("object %d at %v outside US bounds", i, ds.Objects[i].Loc)
+		}
+		day := ds.Objects[i].Values[0].Cat
+		if day < 0 || day > 6 {
+			t.Fatalf("object %d has day %d", i, day)
+		}
+	}
+}
+
+func TestTweetHasWeekendSkewVariation(t *testing.T) {
+	ds := dataset.Tweet(5000, 11)
+	weekend := 0
+	for i := range ds.Objects {
+		if d := ds.Objects[i].Values[0].Cat; d >= 5 {
+			weekend++
+		}
+	}
+	frac := float64(weekend) / 5000
+	// Clustered skew should push the weekend fraction away from exactly
+	// 2/7 but keep it sane.
+	if frac < 0.15 || frac > 0.85 {
+		t.Fatalf("weekend fraction %g implausible", frac)
+	}
+}
+
+func TestPOISynRanges(t *testing.T) {
+	ds := dataset.POISyn(2000, 5)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ri := ds.Schema.Index("rating")
+	vi := ds.Schema.Index("visits")
+	for i := range ds.Objects {
+		r := ds.Objects[i].Values[ri].Num
+		v := ds.Objects[i].Values[vi].Num
+		if r < 0 || r > 10 {
+			t.Fatalf("rating %g out of [0,10]", r)
+		}
+		if v < 1 || v > 500 {
+			t.Fatalf("visits %g out of [1,500]", v)
+		}
+	}
+}
+
+func TestSingaporePOI(t *testing.T) {
+	ds := dataset.SingaporePOI(1)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Objects) != dataset.SingaporePOICount {
+		t.Fatalf("n = %d, want %d", len(ds.Objects), dataset.SingaporePOICount)
+	}
+	bounds := dataset.SingaporeBounds()
+	for i := range ds.Objects {
+		if !bounds.ContainsClosed(ds.Objects[i].Loc) {
+			t.Fatalf("POI %d outside Singapore bounds", i)
+		}
+	}
+	// Each named district must contain a sensible number of POIs.
+	for _, d := range dataset.SingaporeDistricts() {
+		count := 0
+		for i := range ds.Objects {
+			if d.Rect.ContainsClosed(ds.Objects[i].Loc) {
+				count++
+			}
+		}
+		if count < 300 {
+			t.Fatalf("district %s has only %d POIs", d.Name, count)
+		}
+	}
+}
+
+func TestRandomDataset(t *testing.T) {
+	ds := dataset.Random(100, 50, 3)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Objects) != 100 {
+		t.Fatal("n wrong")
+	}
+}
+
+func TestF1Query(t *testing.T) {
+	ds := dataset.Tweet(2000, 9)
+	a, b := dataset.QueryUnit(dataset.USBounds())
+	q, err := dataset.F1(ds, 10*a, 10*b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Target) != 7 {
+		t.Fatalf("F1 target dims %d", len(q.Target))
+	}
+	for d := 0; d < 5; d++ {
+		if q.Target[d] != 0 {
+			t.Fatalf("weekday target %d not zero", d)
+		}
+	}
+	if q.Target[5] <= 0 || q.Target[6] <= 0 {
+		t.Fatalf("weekend targets not positive: %v", q.Target)
+	}
+	if q.W[0] != 0.2 || q.W[5] != 0.5 {
+		t.Fatalf("weights wrong: %v", q.W)
+	}
+}
+
+func TestF2Query(t *testing.T) {
+	ds := dataset.POISyn(2000, 10)
+	a, b := dataset.QueryUnit(dataset.USBounds())
+	q, err := dataset.F2(ds, 10*a, 10*b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Target) != 2 {
+		t.Fatalf("F2 dims %d", len(q.Target))
+	}
+	if q.Target[0] <= 0 || q.Target[1] != 10 {
+		t.Fatalf("F2 target %v", q.Target)
+	}
+	if q.W[0] != 1/q.Target[0] || q.W[1] != 0.1 {
+		t.Fatalf("F2 weights %v", q.W)
+	}
+}
+
+func TestMaxWindowStat(t *testing.T) {
+	ds := dataset.Random(200, 100, 12)
+	got := dataset.MaxWindowStat(ds, 10, 10, func(o *attr.Object) float64 { return 1 })
+	if got <= 0 || got > 200 {
+		t.Fatalf("MaxWindowStat = %g", got)
+	}
+	empty := &attr.Dataset{Schema: ds.Schema}
+	if v := dataset.MaxWindowStat(empty, 10, 10, func(o *attr.Object) float64 { return 1 }); v != 0 {
+		t.Fatalf("empty MaxWindowStat = %g", v)
+	}
+}
+
+func TestQueryUnit(t *testing.T) {
+	a, b := dataset.QueryUnit(dataset.USBounds())
+	if a <= 0 || b <= 0 {
+		t.Fatal("unit size not positive")
+	}
+}

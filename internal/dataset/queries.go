@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/dssearch"
+	"asrs/internal/maxrs"
+)
+
+// This file constructs the two composite-aggregator workloads of the
+// experimental study (paper §7.1).
+//
+// Composite Aggregator 1 (Tweet): F1 = ((fD, day, γ_all)) with target
+// (0,0,0,0,0,T6,T7) where T6/T7 are the largest Saturday/Sunday counts any
+// query-sized region can hold, and weights (1/5,…,1/5,1/2,1/2) — a region
+// scores well when weekend tweets are many and weekday tweets few.
+//
+// Composite Aggregator 2 (POISyn): F2 = ((fS, visits, γ_all),
+// (fA, rating, γ_all)) with target (v_max, 10) and weights (1/v_max,
+// 1/10) — a region scores well when heavily visited and highly rated.
+
+// maxRegionStat computes the exact "maximum total of stat(o) any a×b
+// region can have" — the T6/T7 and v_max constants of §7.1 — as a MaxRS
+// instance (this is precisely the quantity MaxRS optimizes). Objects with
+// stat 0 are dropped first.
+func maxRegionStat(ds *attr.Dataset, a, b float64, stat func(o *attr.Object) float64) (float64, error) {
+	pts := make([]maxrs.Point, 0, len(ds.Objects))
+	for i := range ds.Objects {
+		if w := stat(&ds.Objects[i]); w > 0 {
+			pts = append(pts, maxrs.Point{Loc: ds.Objects[i].Loc, Weight: w})
+		}
+	}
+	if len(pts) == 0 {
+		return 0, nil
+	}
+	res, _, err := maxrs.DS(pts, a, b, dssearch.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Weight, nil
+}
+
+// F1 builds Composite Aggregator 1 for a Tweet dataset, with the target
+// tuned to the query extent (a, b). T6/T7 — "the maximum number of tweets
+// on Saturday (Sunday) that a region can have" — are computed exactly via
+// MaxRS, as the paper defines them.
+func F1(ds *attr.Dataset, a, b float64) (asp.Query, error) {
+	f, err := agg.New(ds.Schema, agg.Spec{Kind: agg.Distribution, Attr: "day"})
+	if err != nil {
+		return asp.Query{}, err
+	}
+	dayIdx := ds.Schema.Index("day")
+	t6, err := maxRegionStat(ds, a, b, func(o *attr.Object) float64 {
+		if o.Values[dayIdx].Cat == 5 {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		return asp.Query{}, err
+	}
+	t7, err := maxRegionStat(ds, a, b, func(o *attr.Object) float64 {
+		if o.Values[dayIdx].Cat == 6 {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		return asp.Query{}, err
+	}
+	q := asp.Query{
+		F:      f,
+		Target: []float64{0, 0, 0, 0, 0, t6, t7},
+		W:      []float64{1.0 / 5, 1.0 / 5, 1.0 / 5, 1.0 / 5, 1.0 / 5, 1.0 / 2, 1.0 / 2},
+	}
+	return q, q.Validate()
+}
+
+// F2 builds Composite Aggregator 2 for a POISyn dataset with target
+// (v_max, 10) and weights (1/v_max, 1/10).
+func F2(ds *attr.Dataset, a, b float64) (asp.Query, error) {
+	f, err := agg.New(ds.Schema,
+		agg.Spec{Kind: agg.Sum, Attr: "visits"},
+		agg.Spec{Kind: agg.Average, Attr: "rating"},
+	)
+	if err != nil {
+		return asp.Query{}, err
+	}
+	visitsIdx := ds.Schema.Index("visits")
+	vmax, err := maxRegionStat(ds, a, b, func(o *attr.Object) float64 { return o.Values[visitsIdx].Num })
+	if err != nil {
+		return asp.Query{}, err
+	}
+	if vmax <= 0 {
+		vmax = 1
+	}
+	q := asp.Query{
+		F:      f,
+		Target: []float64{vmax, 10},
+		W:      []float64{1 / vmax, 1.0 / 10},
+	}
+	return q, q.Validate()
+}
+
+// MaxWindowStat estimates the maximum total of stat(o) over any a×b
+// window by binning objects into a grid of roughly window-sized cells and
+// sliding a 2×2 block; the true maximum over a window is at most the
+// returned 2×2 block sum for some alignment, making this a cheap,
+// deterministic upper-flavored estimate suitable for target tuning.
+func MaxWindowStat(ds *attr.Dataset, a, b float64, stat func(o *attr.Object) float64) float64 {
+	bounds := ds.Bounds()
+	if bounds.IsEmpty() || len(ds.Objects) == 0 {
+		return 0
+	}
+	nx := int(bounds.Width()/a) + 1
+	ny := int(bounds.Height()/b) + 1
+	const maxCells = 1 << 20
+	if nx*ny > maxCells {
+		scale := float64(nx*ny) / maxCells
+		nx = int(float64(nx) / scale)
+		ny = int(float64(ny) / scale)
+		if nx < 1 {
+			nx = 1
+		}
+		if ny < 1 {
+			ny = 1
+		}
+	}
+	cw := bounds.Width() / float64(nx)
+	ch := bounds.Height() / float64(ny)
+	grid := make([]float64, nx*ny)
+	for i := range ds.Objects {
+		o := &ds.Objects[i]
+		cx := int((o.Loc.X - bounds.MinX) / cw)
+		cy := int((o.Loc.Y - bounds.MinY) / ch)
+		if cx >= nx {
+			cx = nx - 1
+		}
+		if cy >= ny {
+			cy = ny - 1
+		}
+		grid[cy*nx+cx] += stat(o)
+	}
+	var best float64
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			var s float64
+			for dy := 0; dy < 2 && y+dy < ny; dy++ {
+				for dx := 0; dx < 2 && x+dx < nx; dx++ {
+					s += grid[(y+dy)*nx+x+dx]
+				}
+			}
+			if s > best {
+				best = s
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"asrs/internal/attr"
+	"asrs/internal/geom"
+)
+
+// The Singapore case study (paper §7.6) runs DS-Search over 4,556
+// Foursquare POIs with F = ((fD, Category, γ_all)). The Foursquare corpus
+// is not redistributable, so SingaporePOI synthesizes a corpus with the
+// published structure: "Orchard" and "Marina Bay" are shopping/nightlife
+// epicenters with near-identical category mixes, while "Bugis" matches
+// them on Food and Transport but diverges on Nightlife Spot and
+// Arts & Entertainment — exactly the contrast Fig 14(b) visualizes.
+
+// SingaporePOICount matches the paper's corpus size.
+const SingaporePOICount = 4556
+
+// POICategories is dom(Category) for the case study, following the
+// Foursquare top-level taxonomy the paper's Fig 14(b) uses.
+var POICategories = []string{
+	"Food",
+	"Shop & Service",
+	"Nightlife Spot",
+	"Arts & Entertainment",
+	"Travel & Transport",
+	"Outdoors & Recreation",
+	"Professional",
+	"Residence",
+	"College & Education",
+}
+
+// District is a named rectangular region of the case-study city.
+type District struct {
+	Name string
+	Rect geom.Rect
+	// mix is the category sampling distribution inside the district.
+	mix []float64
+	// count is the number of POIs generated inside the district.
+	count int
+}
+
+// Singapore-like extent (lon 103.6–104.1, lat 1.15–1.48).
+var sgBounds = geom.Rect{MinX: 103.60, MinY: 1.15, MaxX: 104.10, MaxY: 1.48}
+
+// SingaporeBounds returns the case-study extent.
+func SingaporeBounds() geom.Rect { return sgBounds }
+
+// mixes: Food, Shop, Nightlife, Arts, Transport, Outdoors, Professional,
+// Residence, Education. Orchard and Marina Bay are intentionally close;
+// Bugis matches on Food/Transport only.
+var (
+	orchardMix   = []float64{0.28, 0.34, 0.10, 0.08, 0.07, 0.03, 0.05, 0.03, 0.02}
+	marinaBayMix = []float64{0.27, 0.32, 0.11, 0.09, 0.08, 0.04, 0.05, 0.02, 0.02}
+	bugisMix     = []float64{0.29, 0.18, 0.02, 0.01, 0.08, 0.02, 0.10, 0.22, 0.08}
+	cityMix      = []float64{0.22, 0.12, 0.03, 0.02, 0.09, 0.07, 0.12, 0.25, 0.08}
+)
+
+// SingaporeDistricts returns the three named districts of Fig 14(a).
+// Coordinates approximate the real neighborhoods' positions.
+func SingaporeDistricts() []District {
+	return []District{
+		{Name: "Orchard", Rect: geom.Rect{MinX: 103.827, MinY: 1.298, MaxX: 103.843, MaxY: 1.310}, mix: orchardMix, count: 420},
+		{Name: "Marina Bay", Rect: geom.Rect{MinX: 103.850, MinY: 1.276, MaxX: 103.866, MaxY: 1.288}, mix: marinaBayMix, count: 410},
+		{Name: "Bugis", Rect: geom.Rect{MinX: 103.850, MinY: 1.296, MaxX: 103.866, MaxY: 1.308}, mix: bugisMix, count: 400},
+	}
+}
+
+// SingaporeSchema returns the case-study schema: one categorical
+// "category" attribute.
+func SingaporeSchema() *attr.Schema {
+	return attr.MustSchema(attr.Attribute{Name: "category", Kind: attr.Categorical, Domain: POICategories})
+}
+
+// SingaporePOI generates the synthetic case-study corpus: POIs inside each
+// district follow the district mix; the remainder scatter across the city
+// with the background mix, lightly clustered.
+func SingaporePOI(seed int64) *attr.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	schema := SingaporeSchema()
+	districts := SingaporeDistricts()
+	objs := make([]attr.Object, 0, SingaporePOICount)
+
+	sampleCat := func(mix []float64) int {
+		u := rng.Float64()
+		acc := 0.0
+		for i, p := range mix {
+			acc += p
+			if u < acc {
+				return i
+			}
+		}
+		return len(mix) - 1
+	}
+
+	for _, d := range districts {
+		for i := 0; i < d.count; i++ {
+			objs = append(objs, attr.Object{
+				Loc: geom.Point{
+					X: d.Rect.MinX + rng.Float64()*d.Rect.Width(),
+					Y: d.Rect.MinY + rng.Float64()*d.Rect.Height(),
+				},
+				Values: []attr.Value{attr.CatValue(sampleCat(d.mix))},
+			})
+		}
+	}
+
+	clusters := makeClusters(rng, sgBounds, 25)
+	rest := SingaporePOICount - len(objs)
+	pts, _ := locations(rng, sgBounds, rest, clusters, 0.5)
+	for _, p := range pts {
+		objs = append(objs, attr.Object{Loc: p, Values: []attr.Value{attr.CatValue(sampleCat(cityMix))}})
+	}
+	return &attr.Dataset{Schema: schema, Objects: objs}
+}

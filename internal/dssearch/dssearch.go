@@ -1,0 +1,457 @@
+// Package dssearch implements the paper's primary contribution: the
+// Discretize-and-Split search (DS-Search) algorithm for the ASP problem
+// (paper §4), its (1+δ)-approximate variant (§6), and the ASRS front door
+// that reduces a region query to ASP and maps the answer point back to a
+// region (Theorem 1).
+//
+// DS-Search repeatedly discretizes a space into an n_row×n_col grid,
+// evaluates clean cells exactly, lower-bounds dirty cells via Equation 1,
+// prunes, and splits the surviving dirty cells into two MBR sub-spaces
+// until each space either satisfies the GPS-accuracy drop condition
+// (Definition 8) or runs out of unpruned dirty cells. Spaces are processed
+// best-first from a min-heap keyed by lower bound.
+package dssearch
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/geom"
+	"asrs/internal/sweep"
+)
+
+// Options configures a DS-Search run.
+type Options struct {
+	// NCol, NRow control the discretization grid (paper default 30×30).
+	NCol, NRow int
+	// Delta is the approximation parameter δ of §6. Zero gives the exact
+	// algorithm; δ>0 returns a region within (1+δ) of the optimum.
+	Delta float64
+	// Accuracy overrides the GPS accuracies (Definition 7) used by the
+	// drop condition. Zero values are computed from the rectangle edges.
+	Accuracy geom.Accuracy
+	// DisableSafetyNet turns off the exactness safety net (the mini-sweep
+	// run on drop-satisfied spaces that still hold unpruned dirty cells;
+	// see DESIGN.md §3). With the net disabled the search matches the
+	// paper's pseudocode exactly but inherits its Theorem 2 caveat.
+	DisableSafetyNet bool
+	// DisableRefinement turns off the exact subset-enumeration
+	// refinement of dirty-cell lower bounds (DESIGN.md §3). With it off,
+	// cells at the boundary of the optimal region can only be resolved by
+	// splitting down to the drop condition — the ablation benchmarks
+	// quantify the cost. Results stay exact either way.
+	DisableRefinement bool
+	// Anchor picks the reduction anchor (default: top-right corner).
+	Anchor asp.Anchor
+}
+
+// DefaultNCol and DefaultNRow are the paper's best-performing grid
+// granularity (§7.2: n_col = n_row = 30).
+const (
+	DefaultNCol = 30
+	DefaultNRow = 30
+)
+
+func (o Options) withDefaults() Options {
+	if o.NCol <= 0 {
+		o.NCol = DefaultNCol
+	}
+	if o.NRow <= 0 {
+		o.NRow = DefaultNRow
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Delta < 0 {
+		return fmt.Errorf("dssearch: negative approximation parameter δ=%g", o.Delta)
+	}
+	if o.NCol < 2 || o.NRow < 2 {
+		return fmt.Errorf("dssearch: grid must be at least 2x2, got %dx%d", o.NCol, o.NRow)
+	}
+	return nil
+}
+
+// Stats reports the work performed by one search.
+type Stats struct {
+	Discretizations int // Discretize invocations (spaces processed)
+	Splits          int // Split invocations
+	Bisections      int // forced bisections (progress guard)
+	CleanCells      int // clean cells evaluated
+	DirtyCells      int // dirty cells bounded
+	PrunedCells     int // dirty cells pruned by Equation 1
+	MiniSweeps      int // safety-net sweeps run
+	MiniSweepRects  int // rectangles handed to safety-net sweeps
+	RefinedCells    int // dirty cells tightened by subset enumeration
+	RefinePruned    int // dirty cells pruned only after refinement
+	CenterProbes    int // dirty-cell centers evaluated as candidates
+	HeapPushes      int
+	MaxHeapSize     int
+}
+
+// spaceItem is one heap entry: a sub-space, its lower bound, and the
+// rectangle objects overlapping it.
+type spaceItem struct {
+	space geom.Rect
+	lb    float64
+	rects []asp.RectObject
+}
+
+type spaceHeap []spaceItem
+
+func (h spaceHeap) Len() int            { return len(h) }
+func (h spaceHeap) Less(i, j int) bool  { return h[i].lb < h[j].lb }
+func (h spaceHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *spaceHeap) Push(x interface{}) { *h = append(*h, x.(spaceItem)) }
+func (h *spaceHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1].rects = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Searcher runs DS-Search over a fixed set of rectangle objects and a
+// query. Construct with NewSearcher; one Searcher is good for one Solve.
+type Searcher struct {
+	rects []asp.RectObject
+	query asp.Query
+	opt   Options
+	acc   geom.Accuracy
+	grid  *gridBuffers
+	isInt []bool // integer representation dims (fD counts)
+	Stats Stats
+
+	best asp.Result
+}
+
+// NewSearcher validates inputs and prepares buffers.
+func NewSearcher(rects []asp.RectObject, q asp.Query, opt Options) (*Searcher, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	acc := opt.Accuracy
+	if acc.DX <= 0 || acc.DY <= 0 {
+		computed := geom.ComputeAccuracy(rectsOnly(rects))
+		if acc.DX <= 0 {
+			acc.DX = computed.DX
+		}
+		if acc.DY <= 0 {
+			acc.DY = computed.DY
+		}
+	}
+	return &Searcher{
+		rects: rects,
+		query: q,
+		opt:   opt,
+		acc:   acc,
+		grid:  newGridBuffers(opt.NCol, opt.NRow, q.F),
+		isInt: q.F.IntegerDims(),
+	}, nil
+}
+
+func rectsOnly(rs []asp.RectObject) []geom.Rect {
+	out := make([]geom.Rect, len(rs))
+	for i, r := range rs {
+		out[i] = r.Rect
+	}
+	return out
+}
+
+// threshold is the pruning cutoff: d_opt for the exact algorithm,
+// d_opt/(1+δ) for the approximate variant (§6).
+func (s *Searcher) threshold() float64 {
+	if s.opt.Delta > 0 {
+		return s.best.Dist / (1 + s.opt.Delta)
+	}
+	return s.best.Dist
+}
+
+// Solve runs DS-Search over the full plane: the space of all rectangle
+// objects plus the empty-cover candidate outside it.
+func (s *Searcher) Solve() asp.Result {
+	space := asp.Space(s.rects)
+	s.best = s.emptyResult(space)
+	if len(s.rects) > 0 {
+		s.SolveWithin(space, 0)
+	}
+	s.best.Rep = asp.PointRepresentation(s.rects, s.query.F, s.best.Point)
+	s.best.Dist = s.query.Distance(s.best.Rep)
+	return s.best
+}
+
+// emptyResult evaluates the empty covering set outside space.
+func (s *Searcher) emptyResult(space geom.Rect) asp.Result {
+	p := asp.EmptyCandidate(space)
+	rep := make([]float64, s.query.F.Dims())
+	s.query.F.FinalizeExact(make([]float64, s.query.F.Channels()), rep)
+	return asp.Result{Point: p, Dist: s.query.Distance(rep), Rep: rep}
+}
+
+// SolveWithin refines the current best answer by searching the given
+// space, seeded with the known lower bound seedLB (Algorithm 1, also the
+// inner call of GI-DS Algorithm 2, line 7). The caller must have
+// initialized s.best (Solve does; gridindex seeds it with its own running
+// optimum).
+func (s *Searcher) SolveWithin(space geom.Rect, seedLB float64) {
+	s.SolveWithinSubset(space, seedLB, filterRects(s.rects, space))
+}
+
+// SolveWithinSubset is SolveWithin for callers that already know the
+// rectangle objects relevant to the space (GI-DS narrows them with a
+// binary-searched window instead of a linear scan). rects must contain
+// every rectangle whose interior intersects the space.
+func (s *Searcher) SolveWithinSubset(space geom.Rect, seedLB float64, rects []asp.RectObject) {
+	if !space.IsValid() || len(s.rects) == 0 {
+		return
+	}
+	h := &spaceHeap{}
+	heap.Init(h)
+	heap.Push(h, spaceItem{space: space, lb: seedLB, rects: rects})
+	s.Stats.HeapPushes++
+
+	for h.Len() > 0 {
+		if h.Len() > s.Stats.MaxHeapSize {
+			s.Stats.MaxHeapSize = h.Len()
+		}
+		it := heap.Pop(h).(spaceItem)
+		if it.lb >= s.threshold() {
+			break // every remaining space is bounded away from improving
+		}
+		s.processSpace(it, h)
+	}
+}
+
+// sweepCutoff is the rectangle count below which a space is solved
+// directly by the exact sweep instead of further discretize/split rounds:
+// an O(m²) sweep on m ≤ 48 rectangles is cheaper than even one more grid
+// pass and terminates the whole subtree.
+const sweepCutoff = 160
+
+// processSpace discretizes one space, prunes, and either stops (drop
+// condition / nothing left), runs the safety net, or splits and pushes the
+// two sub-spaces.
+func (s *Searcher) processSpace(it spaceItem, h *spaceHeap) {
+	if len(it.rects) <= sweepCutoff && !s.opt.DisableSafetyNet {
+		s.miniSweep([]cellInfo{{rect: it.space}}, it.rects)
+		return
+	}
+	s.Stats.Discretizations++
+	dirty, drop := s.discretize(it.space, it.rects)
+	if len(dirty) == 0 {
+		return
+	}
+	if drop {
+		if !s.opt.DisableSafetyNet {
+			s.miniSweep(dirty, it.rects)
+		}
+		return
+	}
+	if len(dirty) == 1 {
+		// Nothing to partition: recurse into the single cell's extent.
+		s.push(h, dirty[0].rect, dirty[0].lb, it)
+		return
+	}
+	g1, lb1, g2, lb2 := split(dirty)
+	s.Stats.Splits++
+	s.push(h, g1, lb1, it)
+	s.push(h, g2, lb2, it)
+}
+
+// push enqueues a child space, guarding against non-shrinking children
+// (which would never satisfy the drop condition) by bisecting instead.
+func (s *Searcher) push(h *spaceHeap, child geom.Rect, lb float64, parent spaceItem) {
+	if lb >= s.threshold() {
+		return
+	}
+	const shrink = 0.999 // child must be meaningfully smaller in some axis
+	if child.Width() > parent.space.Width()*shrink && child.Height() > parent.space.Height()*shrink {
+		s.Stats.Bisections++
+		var left, right geom.Rect
+		if child.Width() >= child.Height() {
+			mid := (child.MinX + child.MaxX) / 2
+			left = geom.Rect{MinX: child.MinX, MinY: child.MinY, MaxX: mid, MaxY: child.MaxY}
+			right = geom.Rect{MinX: mid, MinY: child.MinY, MaxX: child.MaxX, MaxY: child.MaxY}
+		} else {
+			mid := (child.MinY + child.MaxY) / 2
+			left = geom.Rect{MinX: child.MinX, MinY: child.MinY, MaxX: child.MaxX, MaxY: mid}
+			right = geom.Rect{MinX: child.MinX, MinY: mid, MaxX: child.MaxX, MaxY: child.MaxY}
+		}
+		heap.Push(h, spaceItem{space: left, lb: lb, rects: filterRects(parent.rects, left)})
+		heap.Push(h, spaceItem{space: right, lb: lb, rects: filterRects(parent.rects, right)})
+		s.Stats.HeapPushes += 2
+		return
+	}
+	heap.Push(h, spaceItem{space: child, lb: lb, rects: filterRects(parent.rects, child)})
+	s.Stats.HeapPushes++
+}
+
+// miniSweep runs the Base algorithm restricted to the MBR of the surviving
+// dirty cells; see DESIGN.md §3 "Exactness safety net".
+func (s *Searcher) miniSweep(dirty []cellInfo, rects []asp.RectObject) {
+	mbr := geom.EmptyRect()
+	for _, c := range dirty {
+		mbr = mbr.Union(c.rect)
+	}
+	sub := filterRects(rects, mbr)
+	s.Stats.MiniSweeps++
+	s.Stats.MiniSweepRects += len(sub)
+	sw, err := sweep.New(sub, s.query)
+	if err != nil {
+		return // query was validated at construction; unreachable
+	}
+	if r, ok := sw.SolveWithin(mbr); ok && r.Dist < s.best.Dist {
+		s.best = r
+	}
+}
+
+// filterRects returns the rectangle objects whose open interior intersects
+// the closed space (only those can cover a candidate point in the space).
+func filterRects(rs []asp.RectObject, space geom.Rect) []asp.RectObject {
+	out := make([]asp.RectObject, 0, len(rs)/2+1)
+	for _, r := range rs {
+		if r.Rect.MinX < space.MaxX && space.MinX < r.Rect.MaxX &&
+			r.Rect.MinY < space.MaxY && space.MinY < r.Rect.MaxY {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Best returns the current best result (valid during and after a solve;
+// used by the grid-index driver to thread d_opt across cells).
+func (s *Searcher) Best() asp.Result { return s.best }
+
+// SeedBest installs an externally found incumbent (GI-DS threads its
+// running optimum through successive DS-Search invocations).
+func (s *Searcher) SeedBest(r asp.Result) { s.best = r }
+
+// SolveASRSExcluding solves the ASRS problem restricted to answer regions
+// that do not overlap the exclude rectangle (beyond shared boundary).
+// This supports query-by-example with a real query region, where the
+// query region itself would otherwise be the trivial zero-distance
+// answer (§7.6's case study: query "Orchard", answer "Marina Bay").
+// Requires the default top-right-corner anchor.
+func SolveASRSExcluding(ds *attr.Dataset, a, b float64, q asp.Query, exclude geom.Rect, opt Options) (geom.Rect, asp.Result, Stats, error) {
+	if opt.Anchor != asp.AnchorTR {
+		return geom.Rect{}, asp.Result{}, Stats{}, fmt.Errorf("dssearch: exclusion requires the top-right-corner anchor")
+	}
+	rects, err := asp.Reduce(ds, a, b, opt.Anchor)
+	if err != nil {
+		return geom.Rect{}, asp.Result{}, Stats{}, err
+	}
+	s, err := NewSearcher(rects, q, opt)
+	if err != nil {
+		return geom.Rect{}, asp.Result{}, Stats{}, err
+	}
+	space := asp.Space(rects)
+	s.best = s.emptyResult(space)
+	if len(rects) > 0 {
+		// Bottom-left corners whose region would overlap the excluded
+		// rectangle form its Minkowski expansion by (a, b) toward min.
+		forbidden := geom.Rect{MinX: exclude.MinX - a, MinY: exclude.MinY - b, MaxX: exclude.MaxX, MaxY: exclude.MaxY}
+		for _, sub := range subtractRect(space, forbidden) {
+			s.SolveWithin(sub, 0)
+		}
+	}
+	s.best.Rep = asp.PointRepresentation(rects, s.query.F, s.best.Point)
+	s.best.Dist = s.query.Distance(s.best.Rep)
+	region := opt.Anchor.RegionFor(s.best.Point, a, b)
+	return region, s.best, s.Stats, nil
+}
+
+// SolveASRSTopK returns up to k non-overlapping similar regions in
+// increasing distance order: the greedy sequence "best region, best
+// region not overlapping the first, …". An optional extra exclusion
+// (typically the example query region) applies to every answer. This is
+// an extension beyond the paper, built from the same machinery.
+func SolveASRSTopK(ds *attr.Dataset, a, b float64, q asp.Query, k int, exclude []geom.Rect, opt Options) ([]geom.Rect, []asp.Result, error) {
+	if k <= 0 {
+		return nil, nil, fmt.Errorf("dssearch: top-k requires k >= 1, got %d", k)
+	}
+	if opt.Anchor != asp.AnchorTR {
+		return nil, nil, fmt.Errorf("dssearch: top-k requires the top-right-corner anchor")
+	}
+	rects, err := asp.Reduce(ds, a, b, opt.Anchor)
+	if err != nil {
+		return nil, nil, err
+	}
+	space := asp.Space(rects)
+	excl := append([]geom.Rect(nil), exclude...)
+	var regions []geom.Rect
+	var results []asp.Result
+	for i := 0; i < k; i++ {
+		s, err := NewSearcher(rects, q, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		s.best = s.emptyResult(space)
+		if len(rects) > 0 {
+			pieces := []geom.Rect{space}
+			for _, e := range excl {
+				forbidden := geom.Rect{MinX: e.MinX - a, MinY: e.MinY - b, MaxX: e.MaxX, MaxY: e.MaxY}
+				var next []geom.Rect
+				for _, p := range pieces {
+					next = append(next, subtractRect(p, forbidden)...)
+				}
+				pieces = next
+			}
+			for _, p := range pieces {
+				s.SolveWithin(p, 0)
+			}
+		}
+		s.best.Rep = asp.PointRepresentation(rects, q.F, s.best.Point)
+		s.best.Dist = s.query.Distance(s.best.Rep)
+		region := opt.Anchor.RegionFor(s.best.Point, a, b)
+		regions = append(regions, region)
+		results = append(results, s.best)
+		excl = append(excl, region)
+	}
+	return regions, results, nil
+}
+
+// subtractRect returns up to four rectangles covering space minus the
+// open interior of f.
+func subtractRect(space, f geom.Rect) []geom.Rect {
+	if !space.IntersectsOpen(f) {
+		return []geom.Rect{space}
+	}
+	var out []geom.Rect
+	add := func(r geom.Rect) {
+		if r.IsValid() && !r.IsEmpty() {
+			out = append(out, r)
+		}
+	}
+	add(geom.Rect{MinX: space.MinX, MinY: space.MinY, MaxX: f.MinX, MaxY: space.MaxY}) // left
+	add(geom.Rect{MinX: f.MaxX, MinY: space.MinY, MaxX: space.MaxX, MaxY: space.MaxY}) // right
+	mid := geom.Rect{MinX: math.Max(space.MinX, f.MinX), MaxX: math.Min(space.MaxX, f.MaxX)}
+	add(geom.Rect{MinX: mid.MinX, MinY: space.MinY, MaxX: mid.MaxX, MaxY: f.MinY}) // bottom
+	add(geom.Rect{MinX: mid.MinX, MinY: f.MaxY, MaxX: mid.MaxX, MaxY: space.MaxY}) // top
+	return out
+}
+
+// SolveASRS is the package front door: it solves the ASRS problem for a
+// dataset directly. It reduces to ASP (Definition 5), runs DS-Search, and
+// returns the answer region (Theorem 1) along with the answer
+// representation and distance.
+func SolveASRS(ds *attr.Dataset, a, b float64, q asp.Query, opt Options) (geom.Rect, asp.Result, Stats, error) {
+	rects, err := asp.Reduce(ds, a, b, opt.Anchor)
+	if err != nil {
+		return geom.Rect{}, asp.Result{}, Stats{}, err
+	}
+	s, err := NewSearcher(rects, q, opt)
+	if err != nil {
+		return geom.Rect{}, asp.Result{}, Stats{}, err
+	}
+	res := s.Solve()
+	region := opt.Anchor.RegionFor(res.Point, a, b)
+	return region, res, s.Stats, nil
+}

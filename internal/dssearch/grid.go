@@ -1,0 +1,463 @@
+package dssearch
+
+import (
+	"math"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/geom"
+)
+
+// cellInfo is one surviving dirty cell: its extent and Equation 1 lower
+// bound.
+type cellInfo struct {
+	rect geom.Rect
+	lb   float64
+}
+
+// gridBuffers holds the reusable scratch memory of Function Discretize: 2D
+// difference arrays for the full- and partial-cover channel grids, a
+// partial-cover counter grid, and per-cell min/max slots for average
+// aggregators. Buffers are sized once per Searcher and zeroed per call.
+type gridBuffers struct {
+	ncol, nrow int
+	f          *agg.Composite
+	chans      int
+	mmSlots    int
+
+	diffFull []float64 // (nrow+1)*(ncol+1)*chans difference array
+	diffPart []float64 // same layout
+	diffCnt  []float64 // (nrow+1)*(ncol+1) partial-cover counts
+	mmMin    []float64 // nrow*ncol*mmSlots
+	mmMax    []float64
+
+	cbuf []agg.Contrib
+	mbuf []agg.MMContrib
+	rep  []float64
+	lo   []float64
+	hi   []float64
+
+	refineBase    []float64
+	refineCh      []float64
+	refinePartial []*attr.Object
+}
+
+func newGridBuffers(ncol, nrow int, f *agg.Composite) *gridBuffers {
+	g := &gridBuffers{
+		ncol:    ncol,
+		nrow:    nrow,
+		f:       f,
+		chans:   f.Channels(),
+		mmSlots: f.MinMaxSlots(),
+	}
+	pad := (nrow + 1) * (ncol + 1)
+	g.diffFull = make([]float64, pad*g.chans)
+	g.diffPart = make([]float64, pad*g.chans)
+	g.diffCnt = make([]float64, pad)
+	if g.mmSlots > 0 {
+		g.mmMin = make([]float64, nrow*ncol*g.mmSlots)
+		g.mmMax = make([]float64, nrow*ncol*g.mmSlots)
+	}
+	g.rep = make([]float64, f.Dims())
+	g.lo = make([]float64, f.Dims())
+	g.hi = make([]float64, f.Dims())
+	g.refineBase = make([]float64, g.chans)
+	g.refineCh = make([]float64, g.chans)
+	return g
+}
+
+func (g *gridBuffers) reset() {
+	clearF(g.diffFull)
+	clearF(g.diffPart)
+	clearF(g.diffCnt)
+	for i := range g.mmMin {
+		g.mmMin[i] = math.Inf(1)
+		g.mmMax[i] = math.Inf(-1)
+	}
+}
+
+func clearF(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// rangeAdd applies the sparse contributions to the 2D difference array
+// diff over cell rows [r0,r1] × cols [c0,c1] (inclusive, assumed valid).
+func (g *gridBuffers) rangeAdd(diff []float64, contribs []agg.Contrib, c0, r0, c1, r1 int) {
+	w := g.ncol + 1
+	a := (r0*w + c0) * g.chans
+	b := (r0*w + c1 + 1) * g.chans
+	c := ((r1+1)*w + c0) * g.chans
+	d := ((r1+1)*w + c1 + 1) * g.chans
+	for _, cb := range contribs {
+		diff[a+cb.Ch] += cb.V
+		diff[b+cb.Ch] -= cb.V
+		diff[c+cb.Ch] -= cb.V
+		diff[d+cb.Ch] += cb.V
+	}
+}
+
+// rangeAddCnt bumps the partial-cover counter grid over a cell range.
+func (g *gridBuffers) rangeAddCnt(c0, r0, c1, r1 int) {
+	w := g.ncol + 1
+	g.diffCnt[r0*w+c0]++
+	g.diffCnt[r0*w+c1+1]--
+	g.diffCnt[(r1+1)*w+c0]--
+	g.diffCnt[(r1+1)*w+c1+1]++
+}
+
+// mmUpdate folds the min/max contributions into every cell of the range.
+func (g *gridBuffers) mmUpdate(mm []agg.MMContrib, c0, r0, c1, r1 int) {
+	if len(mm) == 0 {
+		return
+	}
+	for r := r0; r <= r1; r++ {
+		base := (r*g.ncol + c0) * g.mmSlots
+		for c := c0; c <= c1; c++ {
+			for _, m := range mm {
+				if m.V < g.mmMin[base+m.Slot] {
+					g.mmMin[base+m.Slot] = m.V
+				}
+				if m.V > g.mmMax[base+m.Slot] {
+					g.mmMax[base+m.Slot] = m.V
+				}
+			}
+			base += g.mmSlots
+		}
+	}
+}
+
+// integrate turns the difference arrays into per-cell values via a 2D
+// prefix sum (in place; cell (c,r) value lands at index (r*(ncol+1)+c)).
+func (g *gridBuffers) integrate() {
+	w := g.ncol + 1
+	h := g.nrow + 1
+	integ2D(g.diffFull, w, h, g.chans)
+	integ2D(g.diffPart, w, h, g.chans)
+	integ2D(g.diffCnt, w, h, 1)
+}
+
+func integ2D(v []float64, w, h, chans int) {
+	// Prefix along columns within each row.
+	for r := 0; r < h; r++ {
+		row := r * w * chans
+		for c := 1; c < w; c++ {
+			a := row + c*chans
+			b := a - chans
+			for ch := 0; ch < chans; ch++ {
+				v[a+ch] += v[b+ch]
+			}
+		}
+	}
+	// Prefix along rows within each column.
+	for r := 1; r < h; r++ {
+		cur := r * w * chans
+		prev := cur - w*chans
+		for i := 0; i < w*chans; i++ {
+			v[cur+i] += v[prev+i]
+		}
+	}
+}
+
+// cellIdx returns the flat index of cell (c,r) in the integrated arrays.
+func (g *gridBuffers) cellIdx(c, r int) int { return r*(g.ncol+1) + c }
+
+// discretize implements Function Discretize (paper §4.3): it grids the
+// space, classifies cells, evaluates clean cells exactly (updating the
+// incumbent), bounds dirty cells, and returns the dirty cells whose lower
+// bound survives the pruning threshold, plus whether the space satisfies
+// the drop condition (Definition 8).
+func (s *Searcher) discretize(space geom.Rect, rects []asp.RectObject) ([]cellInfo, bool) {
+	g := s.grid
+	ncol, nrow := g.ncol, g.nrow
+	cw := space.Width() / float64(ncol)
+	chh := space.Height() / float64(nrow)
+	if cw <= 0 || chh <= 0 {
+		// Degenerate (zero-area) space: fall back to an exact line sweep.
+		s.miniSweep([]cellInfo{{rect: space}}, rects)
+		return nil, true
+	}
+	g.reset()
+
+	cellX := func(i int) float64 { return space.MinX + float64(i)*cw }
+	cellY := func(j int) float64 { return space.MinY + float64(j)*chh }
+
+	for i := range rects {
+		r := rects[i].Rect
+		// Columns whose open interior intersects the rect interior.
+		c0, c1 := overlapRange(r.MinX, r.MaxX, space.MinX, cw, ncol)
+		r0, r1 := overlapRange(r.MinY, r.MaxY, space.MinY, chh, nrow)
+		if c0 > c1 || r0 > r1 {
+			continue
+		}
+		// Fully covered sub-range: every point of the cell interior is
+		// strictly inside the rect (closed cell ⊆ closed rect suffices for
+		// interiors; see DESIGN.md "Coverage semantics").
+		fc0, fc1 := fullRange(c0, c1, r.MinX, r.MaxX, space.MinX, cw)
+		fr0, fr1 := fullRange(r0, r1, r.MinY, r.MaxY, space.MinY, chh)
+
+		g.cbuf = s.query.F.AppendContribs(rects[i].Obj, g.cbuf[:0])
+		if g.mmSlots > 0 {
+			g.mbuf = s.query.F.AppendMM(rects[i].Obj, g.mbuf[:0])
+		}
+
+		if fc0 <= fc1 && fr0 <= fr1 {
+			g.rangeAdd(g.diffFull, g.cbuf, fc0, fr0, fc1, fr1)
+			// Partial ring: the overlap range minus the full range, as up
+			// to four rectangles.
+			s.applyPartial(c0, r0, c1, fr0-1) // bottom rows
+			s.applyPartial(c0, fr1+1, c1, r1) // top rows
+			s.applyPartial(c0, fr0, fc0-1, fr1)
+			s.applyPartial(fc1+1, fr0, c1, fr1)
+		} else {
+			s.applyPartial(c0, r0, c1, r1)
+		}
+	}
+
+	g.integrate()
+
+	// Pass 1: clean cells refine the incumbent so that pass 2 prunes
+	// against the tightest d_opt.
+	for r := 0; r < nrow; r++ {
+		for c := 0; c < ncol; c++ {
+			idx := g.cellIdx(c, r)
+			if g.diffCnt[idx] != 0 {
+				continue
+			}
+			s.Stats.CleanCells++
+			full := g.diffFull[idx*g.chans : (idx+1)*g.chans]
+			s.query.F.FinalizeExact(full, g.rep)
+			if d := s.query.Distance(g.rep); d < s.best.Dist {
+				s.best.Dist = d
+				s.best.Point = geom.Point{X: cellX(c) + cw/2, Y: cellY(r) + chh/2}
+				s.best.Rep = append(s.best.Rep[:0], g.rep...)
+			}
+		}
+	}
+
+	// Pass 2: bound and filter dirty cells.
+	var dirty []cellInfo
+	thresh := s.threshold()
+	scanBudget := refineScanBudget
+	for r := 0; r < nrow; r++ {
+		for c := 0; c < ncol; c++ {
+			idx := g.cellIdx(c, r)
+			if g.diffCnt[idx] == 0 {
+				continue
+			}
+			s.Stats.DirtyCells++
+			full := g.diffFull[idx*g.chans : (idx+1)*g.chans]
+			part := g.diffPart[idx*g.chans : (idx+1)*g.chans]
+			var mmMin, mmMax []float64
+			if g.mmSlots > 0 {
+				mi := (r*ncol + c) * g.mmSlots
+				mmMin = g.mmMin[mi : mi+g.mmSlots]
+				mmMax = g.mmMax[mi : mi+g.mmSlots]
+			}
+			s.query.F.FinalizeBounds(full, part, mmMin, mmMax, g.lo, g.hi)
+			lb := s.query.LowerBoundInt(g.lo, g.hi, s.isInt)
+			cell := geom.Rect{MinX: cellX(c), MinY: cellY(r), MaxX: cellX(c + 1), MaxY: cellY(r + 1)}
+			if lb < thresh && !s.opt.DisableRefinement && scanBudget >= len(rects) {
+				scanBudget -= len(rects)
+				// Interval bounds admit unachievable mixtures (Equation 1's
+				// slack); for cells with few partial rectangles an exact
+				// minimum over all subset completions is affordable and
+				// prunes the boundary-of-optimum tail. Sound: the achievable
+				// covering sets are a subset of the enumerated ones.
+				if rlb, ok := s.refineCellLB(cell, rects); ok {
+					s.Stats.RefinedCells++
+					if rlb > lb {
+						lb = rlb
+					}
+					if lb >= thresh {
+						s.Stats.RefinePruned++
+					}
+				}
+			}
+			if lb < thresh {
+				dirty = append(dirty, cellInfo{rect: cell, lb: lb})
+			} else {
+				s.Stats.PrunedCells++
+			}
+		}
+	}
+
+	drop := 2*cw < s.acc.DX && 2*chh < s.acc.DY
+	s.probeCellCenters(dirty, rects)
+	return dirty, drop
+}
+
+// probeCellCenters evaluates the centers of the most promising surviving
+// dirty cells as genuine candidate points. This does not affect
+// exactness — any point's distance is a valid incumbent — but it makes
+// d_opt converge early on flat distance landscapes, which is what lets
+// Equation 1 prune aggressively on workloads like F2 where many regions
+// are near-ties.
+func (s *Searcher) probeCellCenters(dirty []cellInfo, rects []asp.RectObject) {
+	const probes = 4
+	if len(dirty) == 0 {
+		return
+	}
+	// Partial selection of the `probes` lowest lower bounds.
+	idx := make([]int, 0, probes)
+	for i := range dirty {
+		if len(idx) < probes {
+			idx = append(idx, i)
+			continue
+		}
+		worst := 0
+		for j := 1; j < len(idx); j++ {
+			if dirty[idx[j]].lb > dirty[idx[worst]].lb {
+				worst = j
+			}
+		}
+		if dirty[i].lb < dirty[idx[worst]].lb {
+			idx[worst] = i
+		}
+	}
+	g := s.grid
+	ch := g.refineCh[:g.chans]
+	for _, di := range idx {
+		p := dirty[di].rect.Center()
+		clearF(ch)
+		for i := range rects {
+			if rects[i].Rect.ContainsOpen(p) {
+				g.cbuf = s.query.F.AppendContribs(rects[i].Obj, g.cbuf[:0])
+				for _, cb := range g.cbuf {
+					ch[cb.Ch] += cb.V
+				}
+			}
+		}
+		s.query.F.FinalizeExact(ch, g.rep)
+		if d := s.query.Distance(g.rep); d < s.best.Dist {
+			s.best.Dist = d
+			s.best.Point = p
+			s.best.Rep = append(s.best.Rep[:0], g.rep...)
+		}
+	}
+	s.Stats.CenterProbes += len(idx)
+}
+
+// applyPartial marks a (possibly empty) cell range as partially covered.
+func (s *Searcher) applyPartial(c0, r0, c1, r1 int) {
+	if c0 > c1 || r0 > r1 {
+		return
+	}
+	g := s.grid
+	g.rangeAdd(g.diffPart, g.cbuf, c0, r0, c1, r1)
+	g.rangeAddCnt(c0, r0, c1, r1)
+	g.mmUpdate(g.mbuf, c0, r0, c1, r1)
+}
+
+// overlapRange returns the inclusive range [i0, i1] of cells whose open
+// interior intersects the open interval (lo, hi); i0 > i1 signals no
+// overlap. Cells are [min+i*step, min+(i+1)*step] for i in [0, n). The
+// float guesses only seed the exact-comparison walks, so the result is
+// consistent with every other min+i*step computation in the package.
+func overlapRange(lo, hi, min, step float64, n int) (int, int) {
+	// i0: smallest cell with right edge strictly greater than lo.
+	i0 := int(math.Floor((lo - min) / step))
+	if i0 < 0 {
+		i0 = 0
+	}
+	if i0 > n-1 {
+		i0 = n - 1
+	}
+	for i0 > 0 && min+float64(i0)*step > lo {
+		i0--
+	}
+	for i0 < n && min+float64(i0+1)*step <= lo {
+		i0++
+	}
+	// i1: largest cell with left edge strictly smaller than hi.
+	i1 := int(math.Floor((hi - min) / step))
+	if i1 < 0 {
+		i1 = 0
+	}
+	if i1 > n-1 {
+		i1 = n - 1
+	}
+	for i1 < n-1 && min+float64(i1+1)*step < hi {
+		i1++
+	}
+	for i1 >= 0 && min+float64(i1)*step >= hi {
+		i1--
+	}
+	return i0, i1
+}
+
+// Gates for the subset-enumeration refinement. Each refined cell scans
+// the space's rectangle list (O(#rects)), so one discretize gets a total
+// scan budget; once exhausted, remaining cells keep their interval bound
+// (sound, just looser). Cells with many partial rectangles skip the
+// enumeration (O(2^#partial)).
+const (
+	refineScanBudget = 6 << 20 // rectangle visits per discretize
+	refineMaxPartial = 6
+)
+
+// refineCellLB computes an exact lower bound for a dirty cell by
+// enumerating every completion of the full covering set with a subset of
+// the partial rectangles. Returns ok=false when the cell exceeds the
+// enumeration gates.
+func (s *Searcher) refineCellLB(cell geom.Rect, rects []asp.RectObject) (float64, bool) {
+	g := s.grid
+	base := g.refineBase[:g.chans]
+	clearF(base)
+	partial := g.refinePartial[:0]
+	for i := range rects {
+		r := rects[i].Rect
+		// Only rectangles whose interior meets the cell interior matter.
+		if !(r.MinX < cell.MaxX && cell.MinX < r.MaxX && r.MinY < cell.MaxY && cell.MinY < r.MaxY) {
+			continue
+		}
+		if r.ContainsRect(cell) {
+			g.cbuf = s.query.F.AppendContribs(rects[i].Obj, g.cbuf[:0])
+			for _, cb := range g.cbuf {
+				base[cb.Ch] += cb.V
+			}
+			continue
+		}
+		partial = append(partial, rects[i].Obj)
+		if len(partial) > refineMaxPartial {
+			g.refinePartial = partial[:0]
+			return 0, false
+		}
+	}
+	g.refinePartial = partial[:0]
+
+	best := math.Inf(1)
+	ch := g.refineCh[:g.chans]
+	for mask := 0; mask < 1<<len(partial); mask++ {
+		copy(ch, base)
+		for i := range partial {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			g.cbuf = s.query.F.AppendContribs(partial[i], g.cbuf[:0])
+			for _, cb := range g.cbuf {
+				ch[cb.Ch] += cb.V
+			}
+		}
+		s.query.F.FinalizeExact(ch, g.rep)
+		if d := s.query.Distance(g.rep); d < best {
+			best = d
+		}
+	}
+	return best, true
+}
+
+// fullRange shrinks [c0, c1] to the cells entirely inside [lo, hi]
+// (closed containment).
+func fullRange(c0, c1 int, lo, hi, min, step float64) (int, int) {
+	f0, f1 := c0, c1
+	for f0 <= f1 && min+float64(f0)*step < lo {
+		f0++
+	}
+	for f1 >= f0 && min+float64(f1+1)*step > hi {
+		f1--
+	}
+	return f0, f1
+}

@@ -1,0 +1,93 @@
+package dssearch
+
+import "asrs/internal/geom"
+
+// split implements Function Split (paper §4.4): it partitions the
+// surviving dirty cells into two groups, aiming to minimize the total area
+// and overlap of the two group MBRs, and returns each group's MBR together
+// with the group's smallest lower bound.
+//
+// Seed selection follows the paper's "two cells that are far from each
+// other" heuristic with the classic linear pick (the most separated pair
+// among the four axis extremes), then every remaining cell joins the group
+// whose MBR grows the least (ties to group 1, matching the pseudocode's
+// `cost1 > cost2 → G2, else G1`).
+func split(dirty []cellInfo) (mbr1 geom.Rect, lb1 float64, mbr2 geom.Rect, lb2 float64) {
+	s1, s2 := pickSeeds(dirty)
+
+	mbr1 = dirty[s1].rect
+	mbr2 = dirty[s2].rect
+	lb1 = dirty[s1].lb
+	lb2 = dirty[s2].lb
+	a1 := mbr1.Area()
+	a2 := mbr2.Area()
+
+	for i := range dirty {
+		if i == s1 || i == s2 {
+			continue
+		}
+		g := dirty[i]
+		u1 := mbr1.Union(g.rect)
+		u2 := mbr2.Union(g.rect)
+		cost1 := u1.Area() - a1
+		cost2 := u2.Area() - a2
+		if cost1 > cost2 {
+			mbr2, a2 = u2, u2.Area()
+			if g.lb < lb2 {
+				lb2 = g.lb
+			}
+		} else {
+			mbr1, a1 = u1, u1.Area()
+			if g.lb < lb1 {
+				lb1 = g.lb
+			}
+		}
+	}
+	return mbr1, lb1, mbr2, lb2
+}
+
+// pickSeeds returns the indices of the two seed cells: the most separated
+// pair (by center L1 distance) among the extreme cells along each axis.
+// Linear time, which keeps Split at O(n_row · n_col) as Lemma 6 assumes.
+func pickSeeds(dirty []cellInfo) (int, int) {
+	minX, maxX, minY, maxY := 0, 0, 0, 0
+	for i := range dirty {
+		c := dirty[i].rect.Center()
+		if c.X < dirty[minX].rect.Center().X {
+			minX = i
+		}
+		if c.X > dirty[maxX].rect.Center().X {
+			maxX = i
+		}
+		if c.Y < dirty[minY].rect.Center().Y {
+			minY = i
+		}
+		if c.Y > dirty[maxY].rect.Center().Y {
+			maxY = i
+		}
+	}
+	cands := [][2]int{{minX, maxX}, {minY, maxY}, {minX, maxY}, {minY, maxX}}
+	bi, bj, bd := 0, 1, -1.0
+	for _, c := range cands {
+		i, j := c[0], c[1]
+		if i == j {
+			continue
+		}
+		ci, cj := dirty[i].rect.Center(), dirty[j].rect.Center()
+		d := abs(ci.X-cj.X) + abs(ci.Y-cj.Y)
+		if d > bd {
+			bi, bj, bd = i, j, d
+		}
+	}
+	if bi == bj { // all cells coincide; any distinct pair works
+		bj = (bi + 1) % len(dirty)
+	}
+	return bi, bj
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,76 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// Accuracy holds the GPS horizontal and vertical accuracies of Definition 7:
+// the minimum separation between any two distinct x (resp. y) coordinates of
+// rectangle edges. The drop condition of Definition 8 compares grid cell
+// extents against these values.
+type Accuracy struct {
+	DX, DY float64
+}
+
+// minSeparation returns the smallest positive gap between distinct values in
+// vs. It returns +Inf when fewer than two distinct values exist.
+func minSeparation(vs []float64) float64 {
+	if len(vs) < 2 {
+		return math.Inf(1)
+	}
+	sorted := make([]float64, len(vs))
+	copy(sorted, vs)
+	sort.Float64s(sorted)
+	min := math.Inf(1)
+	for i := 1; i < len(sorted); i++ {
+		if d := sorted[i] - sorted[i-1]; d > 0 && d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// ComputeAccuracy derives the horizontal/vertical accuracies from a set of
+// rectangles per Definition 7: X collects the x-coordinates of all vertical
+// edges and Y the y-coordinates of all horizontal edges.
+func ComputeAccuracy(rects []Rect) Accuracy {
+	xs := make([]float64, 0, 2*len(rects))
+	ys := make([]float64, 0, 2*len(rects))
+	for _, r := range rects {
+		xs = append(xs, r.MinX, r.MaxX)
+		ys = append(ys, r.MinY, r.MaxY)
+	}
+	return Accuracy{DX: minSeparation(xs), DY: minSeparation(ys)}
+}
+
+// ComputeAccuracyFromPoints derives the accuracies from point locations. In
+// the ASRS→ASP reduction every rectangle edge coordinate is a point
+// coordinate shifted by the fixed query extent, so the minimum separation of
+// the point coordinates equals the minimum separation of the edge
+// coordinates up to the a/b offsets; taking the min over both shifted sets
+// is equivalent to taking it over the raw coordinates together with their
+// shifted copies.
+func ComputeAccuracyFromPoints(pts []Point, a, b float64) Accuracy {
+	xs := make([]float64, 0, 2*len(pts))
+	ys := make([]float64, 0, 2*len(pts))
+	for _, p := range pts {
+		xs = append(xs, p.X, p.X-a)
+		ys = append(ys, p.Y, p.Y-b)
+	}
+	return Accuracy{DX: minSeparation(xs), DY: minSeparation(ys)}
+}
+
+// Clamp bounds the accuracy from below. Degenerate datasets (all points
+// coincident) produce +Inf accuracies; callers that need a finite grid
+// resolution clamp to a floor such as the device resolution.
+func (a Accuracy) Clamp(floorX, floorY float64) Accuracy {
+	out := a
+	if math.IsInf(out.DX, 1) || out.DX < floorX {
+		out.DX = floorX
+	}
+	if math.IsInf(out.DY, 1) || out.DY < floorY {
+		out.DY = floorY
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+// Package geom provides the planar geometry primitives used throughout the
+// ASRS library: points, axis-parallel rectangles, and the open/closed
+// coverage semantics required by the ASRS→ASP reduction (paper §4.1).
+//
+// Coordinates are float64 throughout. All rectangles are axis-parallel and
+// are represented by their min and max corners.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%g, %g)", p.X, p.Y) }
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Rect is an axis-parallel rectangle with corners (MinX,MinY) and
+// (MaxX,MaxY). A Rect is valid when MinX <= MaxX and MinY <= MaxY.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// NewRect returns the rectangle spanning the two corner coordinates in
+// either order.
+func NewRect(x0, y0, x1, y1 float64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{MinX: x0, MinY: y0, MaxX: x1, MaxY: y1}
+}
+
+// RectFromBL returns the a×b rectangle whose bottom-left corner is p.
+// This is the candidate-region construction of Theorem 1.
+func RectFromBL(p Point, a, b float64) Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X + a, MaxY: p.Y + b}
+}
+
+// RectFromTR returns the a×b rectangle whose top-right corner is p.
+// This is the rectangle-object construction of the ASRS→ASP reduction
+// (Definition 5: each spatial object becomes the top-right corner of an
+// a×b rectangle).
+func RectFromTR(p Point, a, b float64) Rect {
+	return Rect{MinX: p.X - a, MinY: p.Y - b, MaxX: p.X, MaxY: p.Y}
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g]x[%g,%g]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// Width returns MaxX-MinX.
+func (r Rect) Width() float64 { return r.MaxX - r.MinX }
+
+// Height returns MaxY-MinY.
+func (r Rect) Height() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// IsValid reports whether r has non-negative extent in both axes.
+func (r Rect) IsValid() bool { return r.MinX <= r.MaxX && r.MinY <= r.MaxY }
+
+// IsEmpty reports whether r has zero area.
+func (r Rect) IsEmpty() bool { return r.MinX >= r.MaxX || r.MinY >= r.MaxY }
+
+// Center returns the centroid of r.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// BL returns the bottom-left corner of r.
+func (r Rect) BL() Point { return Point{r.MinX, r.MinY} }
+
+// TR returns the top-right corner of r.
+func (r Rect) TR() Point { return Point{r.MaxX, r.MaxY} }
+
+// ContainsOpen reports whether p lies strictly inside r (the "covers"
+// relation of Lemma 1: boundary points are not covered).
+func (r Rect) ContainsOpen(p Point) bool {
+	return r.MinX < p.X && p.X < r.MaxX && r.MinY < p.Y && p.Y < r.MaxY
+}
+
+// ContainsClosed reports whether p lies inside r or on its boundary.
+func (r Rect) ContainsClosed(p Point) bool {
+	return r.MinX <= p.X && p.X <= r.MaxX && r.MinY <= p.Y && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether inner is entirely inside r (closed
+// containment: shared boundary counts as contained).
+func (r Rect) ContainsRect(inner Rect) bool {
+	return r.MinX <= inner.MinX && inner.MaxX <= r.MaxX &&
+		r.MinY <= inner.MinY && inner.MaxY <= r.MaxY
+}
+
+// ContainsRectOpen reports whether inner is strictly inside the open
+// rectangle r: every point of inner (including its boundary) is strictly
+// inside r. Used for the conservative full-cover cell classification.
+func (r Rect) ContainsRectOpen(inner Rect) bool {
+	return r.MinX < inner.MinX && inner.MaxX < r.MaxX &&
+		r.MinY < inner.MinY && inner.MaxY < r.MaxY
+}
+
+// Intersects reports whether r and s share any point (closed semantics).
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX &&
+		r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// IntersectsOpen reports whether the open interiors of r and s overlap.
+func (r Rect) IntersectsOpen(s Rect) bool {
+	return r.MinX < s.MaxX && s.MinX < r.MaxX &&
+		r.MinY < s.MaxY && s.MinY < r.MaxY
+}
+
+// Intersect returns the intersection of r and s. The result may be
+// invalid (negative extent) when the rectangles are disjoint; callers
+// should check IsValid.
+func (r Rect) Intersect(s Rect) Rect {
+	return Rect{
+		MinX: math.Max(r.MinX, s.MinX),
+		MinY: math.Max(r.MinY, s.MinY),
+		MaxX: math.Min(r.MaxX, s.MaxX),
+		MaxY: math.Min(r.MaxY, s.MaxY),
+	}
+}
+
+// Union returns the minimum bounding rectangle of r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// ExpandToInclude grows r in place to contain p.
+func (r *Rect) ExpandToInclude(p Point) {
+	if p.X < r.MinX {
+		r.MinX = p.X
+	}
+	if p.X > r.MaxX {
+		r.MaxX = p.X
+	}
+	if p.Y < r.MinY {
+		r.MinY = p.Y
+	}
+	if p.Y > r.MaxY {
+		r.MaxY = p.Y
+	}
+}
+
+// EmptyRect returns the identity element for Union: a rectangle that any
+// ExpandToInclude/Union will replace.
+func EmptyRect() Rect {
+	return Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// BoundingBox returns the minimum bounding rectangle of the given points.
+// It returns EmptyRect() for an empty input.
+func BoundingBox(pts []Point) Rect {
+	box := EmptyRect()
+	for _, p := range pts {
+		box.ExpandToInclude(p)
+	}
+	return box
+}

@@ -1,0 +1,179 @@
+package gridindex
+
+import (
+	"fmt"
+	"math"
+
+	"asrs/internal/agg"
+	"asrs/internal/attr"
+	"asrs/internal/fenwick"
+	"asrs/internal/geom"
+)
+
+// Dynamic is an append-only grid index over a live object stream: Insert
+// is O(log² grid) per object (a 2D Fenwick tree carries the channel
+// sums), RegionChannels answers the Lemma 8 query on the current stream
+// contents, and Snapshot materializes an immutable static Index for GI-DS
+// query bursts. This serves the paper's motivating setting — continuously
+// accumulating geo-tagged streams (§1, and the Surge [12] line of work) —
+// where rebuilding the static suffix tables per arrival would cost
+// O(grid) each.
+//
+// The spatial extent is fixed at construction (streams need a declared
+// region of interest); objects outside are clamped to the border cells,
+// which keeps every bound conservative. Dynamic is not safe for
+// concurrent mutation; synchronize externally or shard by producer.
+type Dynamic struct {
+	f       *agg.Composite
+	bounds  geom.Rect
+	sx, sy  int
+	cw, chh float64
+	chans   int
+	mmSlots int
+
+	tree    *fenwick.Tree2D
+	cells   []float64 // raw per-cell channel totals (for Snapshot)
+	cellMin []float64
+	cellMax []float64
+	objects int
+
+	tmp []float64
+}
+
+// NewDynamic creates an empty dynamic index with the given extent and
+// granularity for the composite aggregator f.
+func NewDynamic(f *agg.Composite, bounds geom.Rect, sx, sy int) (*Dynamic, error) {
+	if f == nil {
+		return nil, fmt.Errorf("gridindex: nil composite aggregator")
+	}
+	if sx < 1 || sy < 1 {
+		return nil, fmt.Errorf("gridindex: granularity must be positive, got %dx%d", sx, sy)
+	}
+	if !bounds.IsValid() || bounds.IsEmpty() {
+		return nil, fmt.Errorf("gridindex: dynamic index needs a non-empty extent, got %v", bounds)
+	}
+	d := &Dynamic{
+		f:       f,
+		bounds:  bounds,
+		sx:      sx,
+		sy:      sy,
+		cw:      bounds.Width() / float64(sx),
+		chh:     bounds.Height() / float64(sy),
+		chans:   f.Channels(),
+		mmSlots: f.MinMaxSlots(),
+		tree:    fenwick.New2D(sx, sy, f.Channels()),
+		cells:   make([]float64, sx*sy*f.Channels()),
+		tmp:     make([]float64, f.Channels()),
+	}
+	if d.mmSlots > 0 {
+		d.cellMin = make([]float64, sx*sy*d.mmSlots)
+		d.cellMax = make([]float64, sx*sy*d.mmSlots)
+		for i := range d.cellMin {
+			d.cellMin[i] = math.Inf(1)
+			d.cellMax[i] = math.Inf(-1)
+		}
+	}
+	return d, nil
+}
+
+// cellOf clamps a location into the grid.
+func (d *Dynamic) cellOf(p geom.Point) (int, int) {
+	i := int((p.X - d.bounds.MinX) / d.cw)
+	j := int((p.Y - d.bounds.MinY) / d.chh)
+	if i < 0 {
+		i = 0
+	}
+	if i >= d.sx {
+		i = d.sx - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j >= d.sy {
+		j = d.sy - 1
+	}
+	return i, j
+}
+
+// Insert adds one object to the index.
+func (d *Dynamic) Insert(o *attr.Object) {
+	ci, cj := d.cellOf(o.Loc)
+	contribs := d.f.AppendContribs(o, nil)
+	at := (cj*d.sx + ci) * d.chans
+	for _, cb := range contribs {
+		d.tree.Add(ci, cj, cb.Ch, cb.V)
+		d.cells[at+cb.Ch] += cb.V
+	}
+	if d.mmSlots > 0 {
+		mat := (cj*d.sx + ci) * d.mmSlots
+		for _, m := range d.f.AppendMM(o, nil) {
+			if m.V < d.cellMin[mat+m.Slot] {
+				d.cellMin[mat+m.Slot] = m.V
+			}
+			if m.V > d.cellMax[mat+m.Slot] {
+				d.cellMax[mat+m.Slot] = m.V
+			}
+		}
+	}
+	d.objects++
+}
+
+// InsertAll feeds a batch.
+func (d *Dynamic) InsertAll(objs []attr.Object) {
+	for i := range objs {
+		d.Insert(&objs[i])
+	}
+}
+
+// Objects returns the number of inserted objects.
+func (d *Dynamic) Objects() int { return d.objects }
+
+// Bounds returns the declared extent.
+func (d *Dynamic) Bounds() geom.Rect { return d.bounds }
+
+// RegionChannels answers the Lemma 8 region query on the live contents:
+// channel totals of objects in cells [l, r) × [b, t). O(log sx · log sy ·
+// chans).
+func (d *Dynamic) RegionChannels(l, r, b, t int, out []float64) {
+	d.tree.RegionIntoBuf(l, r, b, t, out, d.tmp)
+}
+
+// Snapshot materializes the current contents as an immutable static Index
+// (suffix tables), suitable for gridindex.Solve. O(grid · chans).
+func (d *Dynamic) Snapshot() *Index {
+	idx := &Index{
+		f:       d.f,
+		bounds:  d.bounds,
+		sx:      d.sx,
+		sy:      d.sy,
+		cw:      d.cw,
+		chh:     d.chh,
+		chans:   d.chans,
+		mmSlots: d.mmSlots,
+		objects: d.objects,
+	}
+	idx.suffix = make([]float64, (d.sx+1)*(d.sy+1)*d.chans)
+	for j := 0; j < d.sy; j++ {
+		for i := 0; i < d.sx; i++ {
+			src := (j*d.sx + i) * d.chans
+			dst := (j*(d.sx+1) + i) * d.chans
+			copy(idx.suffix[dst:dst+d.chans], d.cells[src:src+d.chans])
+		}
+	}
+	for j := d.sy - 1; j >= 0; j-- {
+		for i := d.sx - 1; i >= 0; i-- {
+			at := (j*(d.sx+1) + i) * d.chans
+			right := (j*(d.sx+1) + i + 1) * d.chans
+			up := ((j+1)*(d.sx+1) + i) * d.chans
+			diag := ((j+1)*(d.sx+1) + i + 1) * d.chans
+			for ch := 0; ch < d.chans; ch++ {
+				idx.suffix[at+ch] += idx.suffix[right+ch] + idx.suffix[up+ch] - idx.suffix[diag+ch]
+			}
+		}
+	}
+	if d.mmSlots > 0 {
+		idx.cellMin = append([]float64(nil), d.cellMin...)
+		idx.cellMax = append([]float64(nil), d.cellMax...)
+	}
+	return idx
+}

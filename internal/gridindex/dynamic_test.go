@@ -1,0 +1,166 @@
+package gridindex_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/dataset"
+	"asrs/internal/dssearch"
+	"asrs/internal/geom"
+	"asrs/internal/gridindex"
+)
+
+// TestDynamicSnapshotMatchesStatic: inserting a dataset into a Dynamic
+// index and snapshotting must reproduce the static index built over the
+// same data and extent.
+func TestDynamicSnapshotMatchesStatic(t *testing.T) {
+	ds := dataset.Random(2000, 80, 100)
+	f := testComposite(t, ds)
+	const sx, sy = 24, 18
+	static, err := gridindex.New(ds, f, sx, sy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, err := gridindex.NewDynamic(f, ds.Bounds(), sx, sy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn.InsertAll(ds.Objects)
+	snap := dyn.Snapshot()
+
+	q := randomTarget(f, rand.New(rand.NewSource(101)))
+	a, b := 9.0, 11.0
+	l1 := static.CellLowerBounds(q, a, b)
+	l2 := snap.CellLowerBounds(q, a, b)
+	for i := range l1 {
+		if math.Abs(l1[i]-l2[i]) > 1e-9 {
+			t.Fatalf("lb %d: static %g vs snapshot %g", i, l1[i], l2[i])
+		}
+	}
+
+	rects, _ := asp.Reduce(ds, a, b, asp.AnchorTR)
+	r1, _, err := gridindex.Solve(static, rects, q, a, b, dssearch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := gridindex.Solve(snap, rects, q, a, b, dssearch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1.Dist-r2.Dist) > 1e-9 {
+		t.Fatalf("snapshot GI-DS differs: %g vs %g", r1.Dist, r2.Dist)
+	}
+}
+
+// TestDynamicRegionChannels: live region queries match a direct scan at
+// every prefix of the stream.
+func TestDynamicRegionChannels(t *testing.T) {
+	ds := dataset.Random(600, 50, 102)
+	f := testComposite(t, ds)
+	bounds := ds.Bounds()
+	const sx, sy = 10, 10
+	dyn, err := gridindex.NewDynamic(f, bounds, sx, sy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(103))
+	got := make([]float64, f.Channels())
+
+	for i := range ds.Objects {
+		dyn.Insert(&ds.Objects[i])
+		if i%97 != 0 {
+			continue
+		}
+		// Compare against the static index over the inserted prefix, with
+		// the same extent.
+		snap := dyn.Snapshot()
+		l, r := rng.Intn(sx+1), rng.Intn(sx+1)
+		b, tp := rng.Intn(sy+1), rng.Intn(sy+1)
+		if l > r {
+			l, r = r, l
+		}
+		if b > tp {
+			b, tp = tp, b
+		}
+		dyn.RegionChannels(l, r, b, tp, got)
+		want := make([]float64, f.Channels())
+		snap.RegionChannels(l, r, b, tp, want)
+		for c := range got {
+			if math.Abs(got[c]-want[c]) > 1e-9 {
+				t.Fatalf("after %d inserts, region [%d,%d)x[%d,%d) ch %d: live %g vs snapshot %g",
+					i+1, l, r, b, tp, c, got[c], want[c])
+			}
+		}
+	}
+	if dyn.Objects() != len(ds.Objects) {
+		t.Fatalf("Objects = %d", dyn.Objects())
+	}
+}
+
+// TestDynamicStreamingSearch: a monitoring loop — insert a burst, snapshot,
+// query — must track the ground truth (plain DS-Search over the prefix).
+func TestDynamicStreamingSearch(t *testing.T) {
+	ds := dataset.Random(900, 60, 104)
+	f := testComposite(t, ds)
+	bounds := ds.Bounds()
+	dyn, err := gridindex.NewDynamic(f, bounds, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randomTarget(f, rand.New(rand.NewSource(105)))
+	a, b := 8.0, 8.0
+	for chunk := 0; chunk < 3; chunk++ {
+		lo, hi := chunk*300, (chunk+1)*300
+		dyn.InsertAll(ds.Objects[lo:hi])
+		snap := dyn.Snapshot()
+		prefix := &attr.Dataset{Schema: ds.Schema, Objects: ds.Objects[:hi]}
+		rects, _ := asp.Reduce(prefix, a, b, asp.AnchorTR)
+		got, _, err := gridindex.Solve(snap, rects, q, a, b, dssearch.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, _ := dssearch.NewSearcher(rects, q, dssearch.Options{})
+		want := s.Solve()
+		if math.Abs(got.Dist-want.Dist) > 1e-9 {
+			t.Fatalf("chunk %d: streaming %g vs ground truth %g", chunk, got.Dist, want.Dist)
+		}
+	}
+}
+
+func TestDynamicValidation(t *testing.T) {
+	ds := dataset.Random(5, 10, 106)
+	f := testComposite(t, ds)
+	if _, err := gridindex.NewDynamic(nil, ds.Bounds(), 4, 4); err == nil {
+		t.Error("nil composite accepted")
+	}
+	if _, err := gridindex.NewDynamic(f, ds.Bounds(), 0, 4); err == nil {
+		t.Error("zero granularity accepted")
+	}
+	if _, err := gridindex.NewDynamic(f, geom.Rect{MinX: 1, MinY: 1, MaxX: 1, MaxY: 5}, 4, 4); err == nil {
+		t.Error("empty extent accepted")
+	}
+}
+
+// TestDynamicClampsOutOfBounds: objects outside the declared extent land
+// in border cells without panicking.
+func TestDynamicClampsOutOfBounds(t *testing.T) {
+	ds := dataset.Random(10, 10, 107)
+	f := testComposite(t, ds)
+	dyn, _ := gridindex.NewDynamic(f, geom.Rect{MinX: 2, MinY: 2, MaxX: 8, MaxY: 8}, 4, 4)
+	dyn.InsertAll(ds.Objects) // locations span [0,10]²
+	if dyn.Objects() != 10 {
+		t.Fatal("clamped inserts lost")
+	}
+	got := make([]float64, f.Channels())
+	dyn.RegionChannels(0, 4, 0, 4, got)
+	var count float64
+	for _, v := range got[:3] { // distribution channels of "cat"
+		count += v
+	}
+	if count != 10 {
+		t.Fatalf("full-grid distribution count = %g, want 10", count)
+	}
+}

@@ -1,0 +1,267 @@
+package gridindex
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"asrs/internal/asp"
+	"asrs/internal/dssearch"
+	"asrs/internal/geom"
+)
+
+// rectWindow accelerates "which rectangles matter for this cell". The
+// reduction produces uniformly sized rectangles, so the rectangles whose
+// interior meets a cell's x-extent form a contiguous run in MinX order —
+// one binary search per side, then a y filter over the run.
+type rectWindow struct {
+	byMinX []asp.RectObject // sorted by Rect.MinX
+	width  float64          // uniform rectangle width (0 if none)
+}
+
+func newRectWindow(rects []asp.RectObject) *rectWindow {
+	w := &rectWindow{byMinX: append([]asp.RectObject(nil), rects...)}
+	sort.Slice(w.byMinX, func(i, j int) bool { return w.byMinX[i].Rect.MinX < w.byMinX[j].Rect.MinX })
+	if len(rects) > 0 {
+		w.width = rects[0].Rect.Width()
+	}
+	return w
+}
+
+// subset returns the rectangles whose open interior intersects the closed
+// space, appended to dst.
+func (w *rectWindow) subset(space geom.Rect, dst []asp.RectObject) []asp.RectObject {
+	// Interior intersection in x: MinX < space.MaxX && MinX+width > space.MinX.
+	lo := sort.Search(len(w.byMinX), func(i int) bool {
+		return w.byMinX[i].Rect.MinX > space.MinX-w.width
+	})
+	for i := lo; i < len(w.byMinX); i++ {
+		r := w.byMinX[i].Rect
+		if r.MinX >= space.MaxX {
+			break
+		}
+		if r.MinY < space.MaxY && space.MinY < r.MaxY {
+			dst = append(dst, w.byMinX[i])
+		}
+	}
+	return dst
+}
+
+// GI-DS (Algorithm 2): estimate a distance lower bound for the candidate
+// regions bl-corner-located in every index cell, then search the cells
+// best-first with DS-Search, stopping when the cheapest unsearched cell
+// cannot beat the incumbent (d_opt exactly, or d_opt/(1+δ) for app-GIDS).
+
+// Stats reports the work of one GI-DS run. CellsSearched/Cells is the
+// "ratio of cells searched" column of Table 1.
+type Stats struct {
+	Cells         int // index cells considered
+	CellsSearched int // cells handed to DS-Search
+	MarginRuns    int // DS-Search runs on the reduction margins
+	DS            dssearch.Stats
+}
+
+type cellCand struct {
+	lb   float64
+	rect geom.Rect
+}
+
+type cellHeap []cellCand
+
+func (h cellHeap) Len() int            { return len(h) }
+func (h cellHeap) Less(i, j int) bool  { return h[i].lb < h[j].lb }
+func (h cellHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *cellHeap) Push(x interface{}) { *h = append(*h, x.(cellCand)) }
+func (h *cellHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// Solve runs GI-DS for an a×b query over the index. rects must be the
+// AnchorTR reduction of the indexed dataset with the same extent (the
+// bl-corner bucketing of §5.3 assumes the top-right-corner reduction).
+// opt.Delta > 0 selects the approximate variant (app-GIDS).
+func Solve(idx *Index, rects []asp.RectObject, q asp.Query, a, b float64, opt dssearch.Options) (asp.Result, Stats, error) {
+	if opt.Anchor != asp.AnchorTR {
+		return asp.Result{}, Stats{}, fmt.Errorf("gridindex: GI-DS requires the top-right-corner reduction (AnchorTR)")
+	}
+	if idx.f != q.F {
+		return asp.Result{}, Stats{}, fmt.Errorf("gridindex: index was built for a different composite aggregator")
+	}
+	if err := q.Validate(); err != nil {
+		return asp.Result{}, Stats{}, err
+	}
+	searcher, err := dssearch.NewSearcher(rects, q, opt)
+	if err != nil {
+		return asp.Result{}, Stats{}, err
+	}
+	var stats Stats
+
+	// Seed the incumbent with the empty covering set.
+	space := asp.Space(rects)
+	emptyP := asp.EmptyCandidate(space)
+	emptyRep := asp.PointRepresentation(rects, q.F, emptyP)
+	searcher.SeedBest(asp.Result{Point: emptyP, Dist: q.Distance(emptyRep), Rep: emptyRep})
+
+	if len(rects) > 0 {
+		// The reduction extends the candidate space below/left of the
+		// indexed bounds by (a, b); those thin margins are searched
+		// directly (no index cells bucket them).
+		bounds := idx.bounds
+		margins := []geom.Rect{
+			{MinX: space.MinX, MinY: space.MinY, MaxX: bounds.MinX, MaxY: space.MaxY},
+			{MinX: bounds.MinX, MinY: space.MinY, MaxX: space.MaxX, MaxY: bounds.MinY},
+		}
+		for _, m := range margins {
+			if m.IsValid() && !m.IsEmpty() {
+				stats.MarginRuns++
+				searcher.SolveWithin(m, 0)
+			}
+		}
+
+		// Lines 2–4: lower-bound every cell and heap them.
+		h := make(cellHeap, 0, idx.sx*idx.sy)
+		lbs := idx.CellLowerBounds(q, a, b)
+		for j := 0; j < idx.sy; j++ {
+			for i := 0; i < idx.sx; i++ {
+				stats.Cells++
+				h = append(h, cellCand{lb: lbs[j*idx.sx+i], rect: idx.CellRect(i, j)})
+			}
+		}
+		heap.Init(&h)
+
+		// Lines 5–7: best-first refinement. Rectangle subsets per cell come
+		// from the binary-searched window, not a linear scan.
+		window := newRectWindow(rects)
+		var sub []asp.RectObject
+		for h.Len() > 0 {
+			top := heap.Pop(&h).(cellCand)
+			thresh := searcher.Best().Dist
+			if opt.Delta > 0 {
+				thresh /= 1 + opt.Delta
+			}
+			if top.lb >= thresh {
+				break
+			}
+			stats.CellsSearched++
+			sub = window.subset(top.rect, sub[:0])
+			searcher.SolveWithinSubset(top.rect, top.lb, sub)
+		}
+	}
+
+	best := searcher.Best()
+	best.Rep = asp.PointRepresentation(rects, q.F, best.Point)
+	best.Dist = q.Distance(best.Rep)
+	stats.DS = searcher.Stats
+	return best, stats, nil
+}
+
+// CellLowerBounds computes the §5.3 lower bound for every index cell:
+// bounded region ⊆ every candidate region ⊆ bounding region, evaluated
+// with Lemma 8 and Equation 1. Returned in row-major order (j*sx+i).
+func (x *Index) CellLowerBounds(q asp.Query, a, b float64) []float64 {
+	out := make([]float64, x.sx*x.sy)
+	full := make([]float64, x.chans)
+	big := make([]float64, x.chans)
+	part := make([]float64, x.chans)
+	lo := make([]float64, x.f.Dims())
+	hi := make([]float64, x.f.Dims())
+	mmMin, mmMax := x.f.InfMM()
+	isInt := x.f.IntegerDims()
+
+	for j := 0; j < x.sy; j++ {
+		x.rowLowerBounds(q, a, b, j, out[j*x.sx:(j+1)*x.sx], full, big, part, lo, hi, mmMin, mmMax, isInt)
+	}
+	return out
+}
+
+// rowLowerBounds fills one row of CellLowerBounds using caller-provided
+// scratch buffers (so the parallel variant can shard by row).
+func (x *Index) rowLowerBounds(q asp.Query, a, b float64, j int, out, full, big, part, lo, hi, mmMin, mmMax []float64, isInt []bool) {
+	ib, it := x.insideRows(j, b)
+	ob, ot := x.boundRows(j, b)
+	for i := 0; i < x.sx; i++ {
+		il, ir := x.insideCols(i, a)
+		ol, or := x.boundCols(i, a)
+
+		x.RegionChannels(il, ir, ib, it, full)
+		x.RegionChannels(ol, or, ob, ot, big)
+		for ch := 0; ch < x.chans; ch++ {
+			// The partial set is the bounding region minus the bounded
+			// one, so its channel totals are exactly big−full. Values
+			// may be legitimately negative (the sumNeg channel of fS);
+			// only float residue from the telescoped sums is clamped.
+			v := big[ch] - full[ch]
+			if v < 0 && v > -1e-9 {
+				v = 0
+			}
+			part[ch] = v
+		}
+		if x.mmSlots > 0 {
+			for s := 0; s < x.mmSlots; s++ {
+				mmMin[s] = math.Inf(1)
+				mmMax[s] = math.Inf(-1)
+			}
+			x.RingMinMax(ol, or, ob, ot, il, ir, ib, it, mmMin, mmMax)
+		}
+		x.f.FinalizeBounds(full, part, mmMin, mmMax, lo, hi)
+		out[i] = q.LowerBoundInt(lo, hi, isInt)
+	}
+}
+
+// insideCols returns the [l, r) column range of cells fully covered by
+// every candidate region whose bl corner lies in column i: columns inside
+// [X_{i+1}, X_i + a]. Objects in those cells satisfy p.x < x < p.x+a
+// strictly for every corner p in the half-open bucket [X_i, X_{i+1})
+// because binning is half-open too — except that boundary objects at the
+// dataset maximum are clamped into the last cell, so a range reaching the
+// last column is shrunk by one (conservatively partial).
+func (x *Index) insideCols(i int, a float64) (int, int) {
+	l := i + 1
+	hi := x.bounds.MinX + float64(i)*x.cw + a
+	r := l
+	for r < x.sx && x.bounds.MinX+float64(r+1)*x.cw <= hi {
+		r++
+	}
+	if r == x.sx && r > l {
+		r--
+	}
+	return l, r
+}
+
+func (x *Index) insideRows(j int, b float64) (int, int) {
+	bo := j + 1
+	hi := x.bounds.MinY + float64(j)*x.chh + b
+	t := bo
+	for t < x.sy && x.bounds.MinY+float64(t+1)*x.chh <= hi {
+		t++
+	}
+	if t == x.sy && t > bo {
+		t--
+	}
+	return bo, t
+}
+
+// boundCols returns the [l, r) column range of cells intersected by any
+// candidate region with bl corner in column i: columns meeting
+// [X_i, X_{i+1} + a].
+func (x *Index) boundCols(i int, a float64) (int, int) {
+	hi := x.bounds.MinX + float64(i+1)*x.cw + a
+	r := i + 1
+	for r < x.sx && x.bounds.MinX+float64(r)*x.cw < hi {
+		r++
+	}
+	return i, r
+}
+
+func (x *Index) boundRows(j int, b float64) (int, int) {
+	hi := x.bounds.MinY + float64(j+1)*x.chh + b
+	t := j + 1
+	for t < x.sy && x.bounds.MinY+float64(t)*x.chh < hi {
+		t++
+	}
+	return j, t
+}

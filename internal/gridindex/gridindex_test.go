@@ -1,0 +1,292 @@
+package gridindex_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/dataset"
+	"asrs/internal/dssearch"
+	"asrs/internal/geom"
+	"asrs/internal/gridindex"
+	"asrs/internal/sweep"
+)
+
+func testComposite(t testing.TB, ds *attr.Dataset) *agg.Composite {
+	t.Helper()
+	f, err := agg.New(ds.Schema,
+		agg.Spec{Kind: agg.Distribution, Attr: "cat"},
+		agg.Spec{Kind: agg.Average, Attr: "val"},
+		agg.Spec{Kind: agg.Sum, Attr: "val"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func randomTarget(f *agg.Composite, rng *rand.Rand) asp.Query {
+	target := make([]float64, f.Dims())
+	w := make([]float64, f.Dims())
+	for i := range target {
+		target[i] = rng.NormFloat64() * 3
+		w[i] = 0.1 + rng.Float64()
+	}
+	return asp.Query{F: f, Target: target, W: w}
+}
+
+// TestLemma8 validates RegionChannels against a direct object scan for
+// random cell ranges.
+func TestLemma8(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := dataset.Random(300, 80, 2)
+	f := testComposite(t, ds)
+	const sx, sy = 13, 9
+	idx, err := gridindex.New(ds, f, sx, sy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := idx.Bounds()
+	cw := bounds.Width() / sx
+	ch := bounds.Height() / sy
+
+	got := make([]float64, f.Channels())
+	want := make([]float64, f.Channels())
+	var cbuf []agg.Contrib
+	for trial := 0; trial < 200; trial++ {
+		l, r := rng.Intn(sx+1), rng.Intn(sx+1)
+		b, tt := rng.Intn(sy+1), rng.Intn(sy+1)
+		if l > r {
+			l, r = r, l
+		}
+		if b > tt {
+			b, tt = tt, b
+		}
+		idx.RegionChannels(l, r, b, tt, got)
+
+		for i := range want {
+			want[i] = 0
+		}
+		for oi := range ds.Objects {
+			o := &ds.Objects[oi]
+			ci := int((o.Loc.X - bounds.MinX) / cw)
+			cj := int((o.Loc.Y - bounds.MinY) / ch)
+			if ci >= sx {
+				ci = sx - 1
+			}
+			if cj >= sy {
+				cj = sy - 1
+			}
+			if ci < l || ci >= r || cj < b || cj >= tt {
+				continue
+			}
+			cbuf = f.AppendContribs(o, cbuf[:0])
+			for _, cb := range cbuf {
+				want[cb.Ch] += cb.V
+			}
+		}
+		for chn := range got {
+			if math.Abs(got[chn]-want[chn]) > 1e-6 {
+				t.Fatalf("trial %d range [%d,%d)x[%d,%d) ch %d: %g vs %g", trial, l, r, b, tt, chn, got[chn], want[chn])
+			}
+		}
+	}
+}
+
+// TestCellLowerBoundsSound: for every index cell, the cell's lower bound
+// must not exceed the true distance of any candidate region bl-corner-
+// located in the cell.
+func TestCellLowerBoundsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := dataset.Random(120, 60, 4)
+	f := testComposite(t, ds)
+	idx, err := gridindex.New(ds, f, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := 11.0, 13.0
+	q := randomTarget(f, rng)
+	rects, _ := asp.Reduce(ds, a, b, asp.AnchorTR)
+	lbs := idx.CellLowerBounds(q, a, b)
+
+	bounds := idx.Bounds()
+	for trial := 0; trial < 500; trial++ {
+		p := geom.Point{
+			X: bounds.MinX + rng.Float64()*bounds.Width(),
+			Y: bounds.MinY + rng.Float64()*bounds.Height(),
+		}
+		ci := int((p.X - bounds.MinX) / (bounds.Width() / 8))
+		cj := int((p.Y - bounds.MinY) / (bounds.Height() / 8))
+		if ci > 7 {
+			ci = 7
+		}
+		if cj > 7 {
+			cj = 7
+		}
+		rep := asp.PointRepresentation(rects, f, p)
+		d := q.Distance(rep)
+		if lb := lbs[cj*8+ci]; lb > d+1e-9 {
+			t.Fatalf("cell (%d,%d): lb %g > true distance %g at %v", ci, cj, lb, d, p)
+		}
+	}
+}
+
+// TestGIDSMatchesSweep: GI-DS must return the exact optimum on random
+// instances, for several granularities.
+func TestGIDSMatchesSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(60)
+		ds := dataset.Random(n, 50, rng.Int63())
+		f := testComposite(t, ds)
+		a := 2 + rng.Float64()*12
+		b := 2 + rng.Float64()*12
+		rects, _ := asp.Reduce(ds, a, b, asp.AnchorTR)
+		q := randomTarget(f, rng)
+		sw, _ := sweep.New(rects, q)
+		want := sw.Solve()
+
+		for _, g := range []int{4, 16} {
+			idx, err := gridindex.New(ds, f, g, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, stats, err := gridindex.Solve(idx, rects, q, a, b, dssearch.Options{NCol: 10, NRow: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Dist-want.Dist) > 1e-9 {
+				t.Fatalf("trial %d g=%d: GI-DS %g vs sweep %g (stats %+v)", trial, g, got.Dist, want.Dist, stats)
+			}
+			if stats.Cells != g*g {
+				t.Fatalf("cells considered %d, want %d", stats.Cells, g*g)
+			}
+		}
+	}
+}
+
+// TestGIDSPrunes: on a clustered instance with a seeded strong optimum,
+// GI-DS should search only a fraction of the cells (Table 1's point).
+func TestGIDSPrunes(t *testing.T) {
+	ds := dataset.Random(800, 100, 9)
+	f := testComposite(t, ds)
+	a, b := 5.0, 5.0
+	rects, _ := asp.Reduce(ds, a, b, asp.AnchorTR)
+	// Target the empty region: distance 0 is found immediately, so cells
+	// with any object nearby are pruned.
+	q := asp.Query{F: f, Target: make([]float64, f.Dims()), W: agg.UnitWeights(f.Dims())}
+	idx, _ := gridindex.New(ds, f, 32, 32)
+	_, stats, err := gridindex.Solve(idx, rects, q, a, b, dssearch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.CellsSearched > stats.Cells/2 {
+		t.Fatalf("searched %d of %d cells; pruning ineffective", stats.CellsSearched, stats.Cells)
+	}
+}
+
+// TestGIDSApproxGuarantee: app-GIDS respects (1+δ).
+func TestGIDSApproxGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 15; trial++ {
+		ds := dataset.Random(1+rng.Intn(50), 50, rng.Int63())
+		f := testComposite(t, ds)
+		a, b := 7.0, 6.0
+		rects, _ := asp.Reduce(ds, a, b, asp.AnchorTR)
+		q := randomTarget(f, rng)
+		sw, _ := sweep.New(rects, q)
+		opt := sw.Solve().Dist
+		idx, _ := gridindex.New(ds, f, 8, 8)
+		for _, delta := range []float64{0.1, 0.3} {
+			got, _, err := gridindex.Solve(idx, rects, q, a, b, dssearch.Options{Delta: delta})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Dist > (1+delta)*opt+1e-9 {
+				t.Fatalf("trial %d δ=%g: %g violates (1+δ)·%g", trial, delta, got.Dist, opt)
+			}
+		}
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	ds := dataset.Random(10, 10, 12)
+	f := testComposite(t, ds)
+	if _, err := gridindex.New(ds, f, 0, 4); err == nil {
+		t.Error("zero granularity accepted")
+	}
+	if _, err := gridindex.New(ds, nil, 4, 4); err == nil {
+		t.Error("nil composite accepted")
+	}
+	bad := &attr.Dataset{Schema: ds.Schema, Objects: []attr.Object{{Loc: geom.Point{}, Values: nil}}}
+	if _, err := gridindex.New(bad, f, 4, 4); err == nil {
+		t.Error("invalid dataset accepted")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	ds := dataset.Random(10, 10, 13)
+	f := testComposite(t, ds)
+	idx, _ := gridindex.New(ds, f, 4, 4)
+	rects, _ := asp.Reduce(ds, 2, 2, asp.AnchorTR)
+	q := randomTarget(f, rand.New(rand.NewSource(1)))
+	if _, _, err := gridindex.Solve(idx, rects, q, 2, 2, dssearch.Options{Anchor: asp.AnchorBL}); err == nil {
+		t.Error("non-TR anchor accepted")
+	}
+	other := testComposite(t, ds)
+	q2 := randomTarget(other, rand.New(rand.NewSource(2)))
+	if _, _, err := gridindex.Solve(idx, rects, q2, 2, 2, dssearch.Options{}); err == nil {
+		t.Error("mismatched composite accepted")
+	}
+}
+
+func TestEmptyDatasetIndex(t *testing.T) {
+	ds := &attr.Dataset{Schema: dataset.Random(1, 1, 1).Schema}
+	f := testComposite(t, ds)
+	idx, err := gridindex.New(ds, f, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := asp.Query{F: f, Target: make([]float64, f.Dims())}
+	res, _, err := gridindex.Solve(idx, nil, q, 1, 1, dssearch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist != 0 {
+		t.Fatalf("empty dataset: dist %g", res.Dist)
+	}
+}
+
+func TestIndexSizeGrowsWithGranularity(t *testing.T) {
+	ds := dataset.Random(2000, 100, 14)
+	f := testComposite(t, ds)
+	var prev int
+	for _, g := range []int{8, 16, 32} {
+		idx, _ := gridindex.New(ds, f, g, g)
+		size := idx.SizeBytes()
+		if size <= prev {
+			t.Fatalf("granularity %d: size %d not larger than %d", g, size, prev)
+		}
+		prev = size
+	}
+}
+
+func TestCellRect(t *testing.T) {
+	ds := dataset.Random(50, 64, 15)
+	f := testComposite(t, ds)
+	idx, _ := gridindex.New(ds, f, 8, 8)
+	union := geom.EmptyRect()
+	for j := 0; j < 8; j++ {
+		for i := 0; i < 8; i++ {
+			union = union.Union(idx.CellRect(i, j))
+		}
+	}
+	b := idx.Bounds()
+	if math.Abs(union.MinX-b.MinX) > 1e-9 || math.Abs(union.MaxX-b.MaxX) > 1e-9 ||
+		math.Abs(union.MinY-b.MinY) > 1e-9 || math.Abs(union.MaxY-b.MaxY) > 1e-9 {
+		t.Fatalf("cells union %v != bounds %v", union, b)
+	}
+}

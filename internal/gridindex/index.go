@@ -1,0 +1,299 @@
+// Package gridindex implements the grid index of paper §5 — per-cell
+// attribute summary tables addressable in O(1) per region through
+// suffix-sum inclusion–exclusion (Lemma 8) — and the GI-DS algorithm
+// (Algorithm 2) that uses the index to prune whole index cells before
+// handing the survivors to DS-Search.
+//
+// The paper stores, for each cell g(i,j), a hash table per attribute
+// mapping each domain value to the count of objects in G[i..∞][j..∞]. We
+// compile the same information into the composite aggregator's channel
+// vectors (per-value counts for fD; count/sum/positive/negative sums for
+// fA and fS), which additionally supports selection functions γ because
+// channels apply γ at build time. Per-cell minima and maxima of fA
+// attributes are kept separately (min/max do not telescope through
+// inclusion–exclusion, so the ring of boundary cells is scanned directly).
+package gridindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"asrs/internal/agg"
+	"asrs/internal/attr"
+	"asrs/internal/geom"
+)
+
+// Index is an immutable grid index over a dataset for one composite
+// aggregator. Build once with New; safe for concurrent readers.
+type Index struct {
+	f       *agg.Composite
+	bounds  geom.Rect
+	sx, sy  int
+	cw, chh float64
+	chans   int
+	mmSlots int
+
+	// suffix[(j*(sx+1)+i)*chans+ch] = Σ channels of objects located in
+	// cells (i', j') with i' ≥ i and j' ≥ j. This is the paper's attribute
+	// summary table for cell g(i,j) (§5.2, Fig 6).
+	suffix []float64
+	// cellMin/cellMax[(j*sx+i)*mmSlots+s]: per-single-cell min/max of the
+	// s-th fA component's attribute among selected objects in the cell.
+	cellMin []float64
+	cellMax []float64
+
+	objects int
+}
+
+// New builds the index with granularity sx×sy over the dataset bounds
+// (§7.3 evaluates 64×64, 128×128 and 256×256).
+func New(ds *attr.Dataset, f *agg.Composite, sx, sy int) (*Index, error) {
+	if sx < 1 || sy < 1 {
+		return nil, fmt.Errorf("gridindex: granularity must be positive, got %dx%d", sx, sy)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("gridindex: nil composite aggregator")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	bounds := ds.Bounds()
+	if len(ds.Objects) == 0 || bounds.IsEmpty() {
+		// Degenerate datasets get a unit bounds so that cell geometry stays
+		// finite; every summary is zero.
+		bounds = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	}
+	idx := &Index{
+		f:       f,
+		bounds:  bounds,
+		sx:      sx,
+		sy:      sy,
+		cw:      bounds.Width() / float64(sx),
+		chh:     bounds.Height() / float64(sy),
+		chans:   f.Channels(),
+		mmSlots: f.MinMaxSlots(),
+		objects: len(ds.Objects),
+	}
+	idx.suffix = make([]float64, (sx+1)*(sy+1)*idx.chans)
+	if idx.mmSlots > 0 {
+		idx.cellMin = make([]float64, sx*sy*idx.mmSlots)
+		idx.cellMax = make([]float64, sx*sy*idx.mmSlots)
+		for i := range idx.cellMin {
+			idx.cellMin[i] = math.Inf(1)
+			idx.cellMax[i] = math.Inf(-1)
+		}
+	}
+
+	// Bin object channel contributions into cells. The per-cell totals are
+	// staged into the suffix array at (i, j) and then telescoped.
+	var cbuf []agg.Contrib
+	var mbuf []agg.MMContrib
+	for oi := range ds.Objects {
+		o := &ds.Objects[oi]
+		ci, cj := idx.cellOf(o.Loc)
+		at := (cj*(sx+1) + ci) * idx.chans
+		cbuf = f.AppendContribs(o, cbuf[:0])
+		for _, cb := range cbuf {
+			idx.suffix[at+cb.Ch] += cb.V
+		}
+		if idx.mmSlots > 0 {
+			mbuf = f.AppendMM(o, mbuf[:0])
+			mat := (cj*idx.sx + ci) * idx.mmSlots
+			for _, m := range mbuf {
+				if m.V < idx.cellMin[mat+m.Slot] {
+					idx.cellMin[mat+m.Slot] = m.V
+				}
+				if m.V > idx.cellMax[mat+m.Slot] {
+					idx.cellMax[mat+m.Slot] = m.V
+				}
+			}
+		}
+	}
+	// Suffix accumulation: S(i,j) = cell(i,j) + S(i+1,j) + S(i,j+1) −
+	// S(i+1,j+1).
+	for j := sy - 1; j >= 0; j-- {
+		for i := sx - 1; i >= 0; i-- {
+			at := (j*(sx+1) + i) * idx.chans
+			right := (j*(sx+1) + i + 1) * idx.chans
+			up := ((j+1)*(sx+1) + i) * idx.chans
+			diag := ((j+1)*(sx+1) + i + 1) * idx.chans
+			for ch := 0; ch < idx.chans; ch++ {
+				idx.suffix[at+ch] += idx.suffix[right+ch] + idx.suffix[up+ch] - idx.suffix[diag+ch]
+			}
+		}
+	}
+	return idx, nil
+}
+
+// cellOf maps a location to its cell, clamping boundary points inward.
+func (x *Index) cellOf(p geom.Point) (int, int) {
+	i := int((p.X - x.bounds.MinX) / x.cw)
+	j := int((p.Y - x.bounds.MinY) / x.chh)
+	if i < 0 {
+		i = 0
+	}
+	if i >= x.sx {
+		i = x.sx - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j >= x.sy {
+		j = x.sy - 1
+	}
+	return i, j
+}
+
+// Granularity returns (sx, sy).
+func (x *Index) Granularity() (int, int) { return x.sx, x.sy }
+
+// Bounds returns the indexed extent.
+func (x *Index) Bounds() geom.Rect { return x.bounds }
+
+// Composite returns the aggregator the index was built for.
+func (x *Index) Composite() *agg.Composite { return x.f }
+
+// CellRect returns the extent of cell (i, j).
+func (x *Index) CellRect(i, j int) geom.Rect {
+	return geom.Rect{
+		MinX: x.bounds.MinX + float64(i)*x.cw,
+		MinY: x.bounds.MinY + float64(j)*x.chh,
+		MaxX: x.bounds.MinX + float64(i+1)*x.cw,
+		MaxY: x.bounds.MinY + float64(j+1)*x.chh,
+	}
+}
+
+// suffixAt returns the summary table vector at suffix position (i, j),
+// clamping out-of-range positions to the zero table at the far edge.
+func (x *Index) suffixAt(i, j int) []float64 {
+	if i < 0 {
+		i = 0
+	}
+	if j < 0 {
+		j = 0
+	}
+	if i > x.sx {
+		i = x.sx
+	}
+	if j > x.sy {
+		j = x.sy
+	}
+	at := (j*(x.sx+1) + i) * x.chans
+	return x.suffix[at : at+x.chans]
+}
+
+// RegionChannels writes into out the channel totals of objects located in
+// cells [l, r) × [b, t) via Lemma 8 inclusion–exclusion. Empty ranges
+// yield zeros.
+func (x *Index) RegionChannels(l, r, b, t int, out []float64) {
+	if l < 0 {
+		l = 0
+	}
+	if b < 0 {
+		b = 0
+	}
+	if r > x.sx {
+		r = x.sx
+	}
+	if t > x.sy {
+		t = x.sy
+	}
+	if l >= r || b >= t {
+		for i := range out {
+			out[i] = 0
+		}
+		return
+	}
+	lb := x.suffixAt(l, b)
+	rb := x.suffixAt(r, b)
+	lt := x.suffixAt(l, t)
+	rt := x.suffixAt(r, t)
+	for ch := 0; ch < x.chans; ch++ {
+		v := lb[ch] - rb[ch] - lt[ch] + rt[ch]
+		if v < 0 && v > -1e-9 {
+			v = 0 // cancel float residue from the telescoped sums
+		}
+		out[ch] = v
+	}
+}
+
+// RingMinMax folds the per-cell minima/maxima of cells in
+// [l,r)×[b,t) \ [il,ir)×[ib,it) into mmMin/mmMax.
+func (x *Index) RingMinMax(l, r, b, t, il, ir, ib, it int, mmMin, mmMax []float64) {
+	if x.mmSlots == 0 {
+		return
+	}
+	clampI := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > x.sx {
+			return x.sx
+		}
+		return v
+	}
+	clampJ := func(v int) int {
+		if v < 0 {
+			return 0
+		}
+		if v > x.sy {
+			return x.sy
+		}
+		return v
+	}
+	l, r, b, t = clampI(l), clampI(r), clampJ(b), clampJ(t)
+	for j := b; j < t; j++ {
+		for i := l; i < r; i++ {
+			if i >= il && i < ir && j >= ib && j < it {
+				continue
+			}
+			at := (j*x.sx + i) * x.mmSlots
+			for s := 0; s < x.mmSlots; s++ {
+				if v := x.cellMin[at+s]; v < mmMin[s] {
+					mmMin[s] = v
+				}
+				if v := x.cellMax[at+s]; v > mmMax[s] {
+					mmMax[s] = v
+				}
+			}
+		}
+	}
+}
+
+// SizeBytes models the storage footprint of the index the way the paper
+// accounts for it (Table 1): one pointer per cell into a pool of
+// hash-consed attribute summary tables (identical tables are stored once,
+// Fig 6), where each stored table costs 16 bytes per non-zero entry. The
+// per-cell min/max slots are charged at 16 bytes per fA slot.
+func (x *Index) SizeBytes() int {
+	unique := make(map[uint64]int)
+	var tableBytes int
+	buf := make([]byte, 8)
+	for j := 0; j <= x.sy; j++ {
+		for i := 0; i <= x.sx; i++ {
+			vec := x.suffixAt(i, j)
+			h := fnv.New64a()
+			nonzero := 0
+			for _, v := range vec {
+				binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+				h.Write(buf)
+				if v != 0 {
+					nonzero++
+				}
+			}
+			key := h.Sum64()
+			if _, seen := unique[key]; !seen {
+				unique[key] = nonzero
+				tableBytes += 16 * nonzero
+			}
+		}
+	}
+	pointerBytes := 8 * (x.sx + 1) * (x.sy + 1)
+	mmBytes := 16 * x.mmSlots * x.sx * x.sy
+	return tableBytes + pointerBytes + mmBytes
+}
+
+// Objects returns the number of indexed objects.
+func (x *Index) Objects() int { return x.objects }

@@ -1,0 +1,194 @@
+package gridindex
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+)
+
+// NewParallel builds the same index as New using `workers` goroutines for
+// the binning pass (the suffix accumulation is a cheap single pass).
+// workers <= 0 selects runtime.NumCPU(). The result is byte-identical to
+// New's up to floating-point summation order; all bounds remain sound
+// because per-cell totals are exact sums either way.
+func NewParallel(ds *attr.Dataset, f *agg.Composite, sx, sy, workers int) (*Index, error) {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 || len(ds.Objects) < 4096 {
+		return New(ds, f, sx, sy)
+	}
+	if sx < 1 || sy < 1 {
+		return nil, fmt.Errorf("gridindex: granularity must be positive, got %dx%d", sx, sy)
+	}
+	if f == nil {
+		return nil, fmt.Errorf("gridindex: nil composite aggregator")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+
+	base, err := New(&attr.Dataset{Schema: ds.Schema}, f, sx, sy)
+	if err != nil {
+		return nil, err
+	}
+	// New() on an empty dataset gives unit bounds; rebuild geometry from
+	// the real extent.
+	bounds := ds.Bounds()
+	if len(ds.Objects) == 0 || bounds.IsEmpty() {
+		return base, nil
+	}
+	idx := &Index{
+		f:       f,
+		bounds:  bounds,
+		sx:      sx,
+		sy:      sy,
+		cw:      bounds.Width() / float64(sx),
+		chh:     bounds.Height() / float64(sy),
+		chans:   f.Channels(),
+		mmSlots: f.MinMaxSlots(),
+		objects: len(ds.Objects),
+	}
+	idx.suffix = make([]float64, (sx+1)*(sy+1)*idx.chans)
+	if idx.mmSlots > 0 {
+		idx.cellMin = make([]float64, sx*sy*idx.mmSlots)
+		idx.cellMax = make([]float64, sx*sy*idx.mmSlots)
+		for i := range idx.cellMin {
+			idx.cellMin[i] = inf
+			idx.cellMax[i] = -inf
+		}
+	}
+
+	type shard struct {
+		cells   []float64
+		cellMin []float64
+		cellMax []float64
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	chunk := (len(ds.Objects) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(ds.Objects) {
+			hi = len(ds.Objects)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := &shards[w]
+			s.cells = make([]float64, (sx+1)*(sy+1)*idx.chans)
+			if idx.mmSlots > 0 {
+				s.cellMin = make([]float64, sx*sy*idx.mmSlots)
+				s.cellMax = make([]float64, sx*sy*idx.mmSlots)
+				for i := range s.cellMin {
+					s.cellMin[i] = inf
+					s.cellMax[i] = -inf
+				}
+			}
+			var cbuf []agg.Contrib
+			var mbuf []agg.MMContrib
+			for oi := lo; oi < hi; oi++ {
+				o := &ds.Objects[oi]
+				ci, cj := idx.cellOf(o.Loc)
+				at := (cj*(sx+1) + ci) * idx.chans
+				cbuf = f.AppendContribs(o, cbuf[:0])
+				for _, cb := range cbuf {
+					s.cells[at+cb.Ch] += cb.V
+				}
+				if idx.mmSlots > 0 {
+					mbuf = f.AppendMM(o, mbuf[:0])
+					mat := (cj*sx + ci) * idx.mmSlots
+					for _, m := range mbuf {
+						if m.V < s.cellMin[mat+m.Slot] {
+							s.cellMin[mat+m.Slot] = m.V
+						}
+						if m.V > s.cellMax[mat+m.Slot] {
+							s.cellMax[mat+m.Slot] = m.V
+						}
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	for w := range shards {
+		s := &shards[w]
+		if s.cells == nil {
+			continue
+		}
+		for i, v := range s.cells {
+			idx.suffix[i] += v
+		}
+		for i, v := range s.cellMin {
+			if v < idx.cellMin[i] {
+				idx.cellMin[i] = v
+			}
+		}
+		for i, v := range s.cellMax {
+			if v > idx.cellMax[i] {
+				idx.cellMax[i] = v
+			}
+		}
+	}
+	// Suffix accumulation (identical to New).
+	for j := sy - 1; j >= 0; j-- {
+		for i := sx - 1; i >= 0; i-- {
+			at := (j*(sx+1) + i) * idx.chans
+			right := (j*(sx+1) + i + 1) * idx.chans
+			up := ((j+1)*(sx+1) + i) * idx.chans
+			diag := ((j+1)*(sx+1) + i + 1) * idx.chans
+			for ch := 0; ch < idx.chans; ch++ {
+				idx.suffix[at+ch] += idx.suffix[right+ch] + idx.suffix[up+ch] - idx.suffix[diag+ch]
+			}
+		}
+	}
+	return idx, nil
+}
+
+// ParallelCellLowerBounds computes CellLowerBounds with row-parallelism;
+// results are identical. workers <= 0 selects runtime.NumCPU().
+func (x *Index) ParallelCellLowerBounds(q asp.Query, a, b float64, workers int) []float64 {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 || x.sy < 2*workers {
+		return x.CellLowerBounds(q, a, b)
+	}
+	out := make([]float64, x.sx*x.sy)
+	var wg sync.WaitGroup
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			full := make([]float64, x.chans)
+			big := make([]float64, x.chans)
+			part := make([]float64, x.chans)
+			lo := make([]float64, x.f.Dims())
+			hi := make([]float64, x.f.Dims())
+			mmMin, mmMax := x.f.InfMM()
+			isInt := x.f.IntegerDims()
+			for j := range rows {
+				x.rowLowerBounds(q, a, b, j, out[j*x.sx:(j+1)*x.sx], full, big, part, lo, hi, mmMin, mmMax, isInt)
+			}
+		}()
+	}
+	for j := 0; j < x.sy; j++ {
+		rows <- j
+	}
+	close(rows)
+	wg.Wait()
+	return out
+}
+
+var inf = math.Inf(1)

@@ -1,0 +1,94 @@
+package gridindex_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs/internal/dataset"
+	"asrs/internal/gridindex"
+)
+
+// TestParallelBuildMatchesSequential: same summaries up to float
+// summation order.
+func TestParallelBuildMatchesSequential(t *testing.T) {
+	ds := dataset.Random(20000, 100, 80)
+	f := testComposite(t, ds)
+	seq, err := gridindex.New(ds, f, 32, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		par, err := gridindex.NewParallel(ds, f, 32, 32, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := 7.0, 9.0
+		q := randomTarget(f, rand.New(rand.NewSource(81)))
+		l1 := seq.CellLowerBounds(q, a, b)
+		l2 := par.CellLowerBounds(q, a, b)
+		for i := range l1 {
+			if math.Abs(l1[i]-l2[i]) > 1e-6 {
+				t.Fatalf("workers=%d: lb %d differs: %g vs %g", workers, i, l1[i], l2[i])
+			}
+		}
+	}
+}
+
+// TestParallelBuildSmallFallsBack: tiny datasets use the sequential path.
+func TestParallelBuildSmallFallsBack(t *testing.T) {
+	ds := dataset.Random(100, 50, 82)
+	f := testComposite(t, ds)
+	par, err := gridindex.NewParallel(ds, f, 8, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _ := gridindex.New(ds, f, 8, 8)
+	q := randomTarget(f, rand.New(rand.NewSource(83)))
+	l1 := seq.CellLowerBounds(q, 5, 5)
+	l2 := par.CellLowerBounds(q, 5, 5)
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("fallback differs at %d", i)
+		}
+	}
+}
+
+func TestParallelBuildValidation(t *testing.T) {
+	ds := dataset.Random(10000, 50, 84)
+	f := testComposite(t, ds)
+	if _, err := gridindex.NewParallel(ds, f, 0, 4, 4); err == nil {
+		t.Error("zero granularity accepted")
+	}
+	if _, err := gridindex.NewParallel(ds, nil, 4, 4, 4); err == nil {
+		t.Error("nil composite accepted")
+	}
+}
+
+// TestParallelCellLowerBounds: identical results to the sequential
+// computation.
+func TestParallelCellLowerBounds(t *testing.T) {
+	ds := dataset.Random(5000, 80, 85)
+	f := testComposite(t, ds)
+	idx, err := gridindex.New(ds, f, 40, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := randomTarget(f, rand.New(rand.NewSource(86)))
+	want := idx.CellLowerBounds(q, 6, 6)
+	for _, workers := range []int{2, 5} {
+		got := idx.ParallelCellLowerBounds(q, 6, 6, workers)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("workers=%d: lb %d differs", workers, i)
+			}
+		}
+	}
+	// workers=1 falls back.
+	got := idx.ParallelCellLowerBounds(q, 6, 6, 1)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatal("workers=1 fallback differs")
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package gridindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"asrs/internal/agg"
+	"asrs/internal/geom"
+)
+
+// Binary index format (little endian):
+//
+//	magic "ASRSIDX1"
+//	u32 sx, sy, chans, mmSlots, objects
+//	f64 bounds.MinX, MinY, MaxX, MaxY
+//	u32 len(fingerprint), fingerprint bytes
+//	f64 suffix[(sx+1)*(sy+1)*chans]
+//	f64 cellMin[sx*sy*mmSlots], cellMax[...]   (only when mmSlots > 0)
+//
+// The composite aggregator itself is not serialized (selection functions
+// are arbitrary Go functions); the loader re-binds a caller-supplied
+// composite and verifies its structural fingerprint.
+
+var indexMagic = [8]byte{'A', 'S', 'R', 'S', 'I', 'D', 'X', '1'}
+
+// WriteTo serializes the index. It implements io.WriterTo.
+func (x *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: bufio.NewWriter(w)}
+	write := func(v interface{}) error { return binary.Write(cw, binary.LittleEndian, v) }
+
+	if _, err := cw.Write(indexMagic[:]); err != nil {
+		return cw.n, err
+	}
+	fp := []byte(x.f.Fingerprint())
+	for _, v := range []uint32{uint32(x.sx), uint32(x.sy), uint32(x.chans), uint32(x.mmSlots), uint32(x.objects)} {
+		if err := write(v); err != nil {
+			return cw.n, err
+		}
+	}
+	for _, v := range []float64{x.bounds.MinX, x.bounds.MinY, x.bounds.MaxX, x.bounds.MaxY} {
+		if err := write(v); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := write(uint32(len(fp))); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write(fp); err != nil {
+		return cw.n, err
+	}
+	if err := write(x.suffix); err != nil {
+		return cw.n, err
+	}
+	if x.mmSlots > 0 {
+		if err := write(x.cellMin); err != nil {
+			return cw.n, err
+		}
+		if err := write(x.cellMax); err != nil {
+			return cw.n, err
+		}
+	}
+	return cw.n, cw.w.(*bufio.Writer).Flush()
+}
+
+// ReadFrom deserializes an index written by WriteTo, re-binding it to the
+// supplied composite aggregator. The composite must match the one the
+// index was built with structurally (verified via fingerprint) and
+// behaviorally (selection functions are not verifiable; supplying a
+// composite with different γ silently yields wrong answers — treat the
+// composite definition as part of the index's identity).
+func Read(r io.Reader, f *agg.Composite) (*Index, error) {
+	if f == nil {
+		return nil, fmt.Errorf("gridindex: Read requires the composite aggregator the index was built with")
+	}
+	br := bufio.NewReader(r)
+	read := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("gridindex: reading magic: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("gridindex: not an index file (magic %q)", magic[:])
+	}
+	var sx, sy, chans, mmSlots, objects uint32
+	for _, p := range []*uint32{&sx, &sy, &chans, &mmSlots, &objects} {
+		if err := read(p); err != nil {
+			return nil, fmt.Errorf("gridindex: reading header: %w", err)
+		}
+	}
+	const maxDim = 1 << 16
+	if sx == 0 || sy == 0 || sx > maxDim || sy > maxDim || chans > 1<<20 || mmSlots > 1<<16 {
+		return nil, fmt.Errorf("gridindex: implausible header %dx%d chans=%d mm=%d", sx, sy, chans, mmSlots)
+	}
+	var bounds geom.Rect
+	for _, p := range []*float64{&bounds.MinX, &bounds.MinY, &bounds.MaxX, &bounds.MaxY} {
+		if err := read(p); err != nil {
+			return nil, fmt.Errorf("gridindex: reading bounds: %w", err)
+		}
+	}
+	if !bounds.IsValid() || bounds.IsEmpty() || math.IsNaN(bounds.MinX) {
+		return nil, fmt.Errorf("gridindex: invalid bounds %v", bounds)
+	}
+	var fpLen uint32
+	if err := read(&fpLen); err != nil {
+		return nil, fmt.Errorf("gridindex: reading fingerprint length: %w", err)
+	}
+	if fpLen > 1<<16 {
+		return nil, fmt.Errorf("gridindex: implausible fingerprint length %d", fpLen)
+	}
+	fp := make([]byte, fpLen)
+	if _, err := io.ReadFull(br, fp); err != nil {
+		return nil, fmt.Errorf("gridindex: reading fingerprint: %w", err)
+	}
+	if got := f.Fingerprint(); got != string(fp) {
+		return nil, fmt.Errorf("gridindex: composite mismatch: index built for %q, got %q", fp, got)
+	}
+	if int(chans) != f.Channels() || int(mmSlots) != f.MinMaxSlots() {
+		return nil, fmt.Errorf("gridindex: channel layout mismatch")
+	}
+
+	idx := &Index{
+		f:       f,
+		bounds:  bounds,
+		sx:      int(sx),
+		sy:      int(sy),
+		cw:      bounds.Width() / float64(sx),
+		chh:     bounds.Height() / float64(sy),
+		chans:   int(chans),
+		mmSlots: int(mmSlots),
+		objects: int(objects),
+	}
+	idx.suffix = make([]float64, (sx+1)*(sy+1)*chans)
+	if err := read(idx.suffix); err != nil {
+		return nil, fmt.Errorf("gridindex: reading suffix tables: %w", err)
+	}
+	if mmSlots > 0 {
+		idx.cellMin = make([]float64, sx*sy*mmSlots)
+		idx.cellMax = make([]float64, sx*sy*mmSlots)
+		if err := read(idx.cellMin); err != nil {
+			return nil, fmt.Errorf("gridindex: reading cell minima: %w", err)
+		}
+		if err := read(idx.cellMax); err != nil {
+			return nil, fmt.Errorf("gridindex: reading cell maxima: %w", err)
+		}
+	}
+	return idx, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,149 @@
+// Package harness regenerates every table and figure of the paper's
+// experimental study (§7) on the synthetic workloads of
+// internal/dataset. Each experiment prints the same rows/series the paper
+// reports; EXPERIMENTS.md records a reference run against the paper's
+// numbers.
+//
+// Cardinalities are scaled down from the paper's 10⁶–10⁸ objects (the
+// sweep-line baseline is O(n²); the paper's C++ testbed ran hours of
+// machine time). Config.Scale multiplies every default cardinality, so
+// `asrsbench -exp fig8 -scale 10` approaches the paper's sizes when given
+// the time.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	Out   io.Writer // destination for the table rows (required)
+	Seed  int64     // dataset seed (default 42)
+	Scale float64   // cardinality multiplier (default 1.0)
+}
+
+func (c Config) normalized() Config {
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// scaled returns n·Scale, at least 1.
+func (c Config) scaled(n int) int {
+	v := int(float64(n) * c.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Experiment is one regenerable artifact of the paper.
+type Experiment struct {
+	Name  string // harness id, e.g. "fig8"
+	Paper string // the artifact it regenerates
+	Desc  string
+	Run   func(Config) error
+}
+
+var registry = map[string]Experiment{}
+var order []string
+
+func register(e Experiment) {
+	registry[e.Name] = e
+	order = append(order, e.Name)
+}
+
+// Experiments lists all registered experiments in registration order.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(order))
+	sorted := append([]string(nil), order...)
+	sort.Strings(sorted)
+	for _, n := range sorted {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// Run executes the named experiment.
+func Run(name string, cfg Config) error {
+	e, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("harness: unknown experiment %q (try: %v)", name, names())
+	}
+	cfg = cfg.normalized()
+	fmt.Fprintf(cfg.Out, "== %s: %s ==\n%s\n", e.Name, e.Paper, e.Desc)
+	start := time.Now()
+	if err := e.Run(cfg); err != nil {
+		return fmt.Errorf("harness: %s: %w", name, err)
+	}
+	fmt.Fprintf(cfg.Out, "(%s completed in %v)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// RunAll executes every experiment.
+func RunAll(cfg Config) error {
+	for _, e := range Experiments() {
+		if err := Run(e.Name, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func names() []string {
+	var ns []string
+	for n := range registry {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// timeIt measures fn's wall time in milliseconds.
+func timeIt(fn func() error) (float64, error) {
+	start := time.Now()
+	err := fn()
+	return float64(time.Since(start).Microseconds()) / 1000, err
+}
+
+// table is a minimal fixed-width row printer.
+type table struct {
+	out  io.Writer
+	cols []string
+}
+
+func newTable(out io.Writer, cols ...string) *table {
+	t := &table{out: out, cols: cols}
+	for i, c := range cols {
+		if i > 0 {
+			fmt.Fprint(out, "  ")
+		}
+		fmt.Fprintf(out, "%-14s", c)
+	}
+	fmt.Fprintln(out)
+	return t
+}
+
+func (t *table) row(cells ...interface{}) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.out, "  ")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(t.out, "%-14.2f", v)
+		case string:
+			fmt.Fprintf(t.out, "%-14s", v)
+		default:
+			fmt.Fprintf(t.out, "%-14v", v)
+		}
+	}
+	fmt.Fprintln(t.out)
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every registered experiment at 1% scale:
+// it checks that each completes without error, prints its table, and that
+// the built-in agreement checks (Base == DS-Search == GI-DS, the (1+δ)
+// guarantee, the case-study assertion) hold on the scaled workloads.
+func TestAllExperimentsSmoke(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(e.Name, Config{Out: &buf, Scale: 0.01, Seed: 7}); err != nil {
+				t.Fatalf("%s: %v\noutput:\n%s", e.Name, err, buf.String())
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.Paper) {
+				t.Errorf("%s: header missing", e.Name)
+			}
+			if strings.Contains(out, "NO (") {
+				t.Errorf("%s: algorithms disagreed:\n%s", e.Name, out)
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", Config{Out: &buf}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{"casestudy", "fig10", "fig11", "fig12", "fig13a", "fig13b", "fig8", "fig9", "table1", "table2"}
+	got := Experiments()
+	if len(got) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(got), len(want))
+	}
+	for i, e := range got {
+		if e.Name != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.Name, want[i])
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Seed != 42 || c.Scale != 1 {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if c.scaled(100) != 100 {
+		t.Fatal("scaled identity")
+	}
+	tiny := Config{Scale: 0.001}.normalized()
+	if tiny.scaled(100) != 1 {
+		t.Fatal("scaled floor")
+	}
+}

@@ -1,0 +1,173 @@
+package maxrs_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asrs/internal/dssearch"
+	"asrs/internal/geom"
+	"asrs/internal/maxrs"
+)
+
+func randPoints(rng *rand.Rand, n int, extent float64, unitWeights bool) []maxrs.Point {
+	pts := make([]maxrs.Point, n)
+	for i := range pts {
+		w := 1.0
+		if !unitWeights {
+			w = rng.Float64()*5 + 0.1
+		}
+		pts[i] = maxrs.Point{
+			Loc:    geom.Point{X: rng.Float64() * extent, Y: rng.Float64() * extent},
+			Weight: w,
+		}
+	}
+	return pts
+}
+
+// TestOEMatchesBruteForce: OE equals brute force on random weighted
+// instances.
+func TestOEMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(40)
+		pts := randPoints(rng, n, 50, trial%2 == 0)
+		a := 1 + rng.Float64()*15
+		b := 1 + rng.Float64()*15
+		got, err := maxrs.OE(pts, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := maxrs.BruteForce(pts, a, b)
+		if math.Abs(got.Weight-want.Weight) > 1e-9 {
+			t.Fatalf("trial %d (n=%d): OE %g vs brute %g", trial, n, got.Weight, want.Weight)
+		}
+		// The reported corner must actually enclose the reported weight.
+		if w := maxrs.WeightAt(pts, got.Corner, a, b); math.Abs(w-got.Weight) > 1e-9 {
+			t.Fatalf("trial %d: corner encloses %g, reported %g", trial, w, got.Weight)
+		}
+	}
+}
+
+// TestDSMatchesOE: the DS-Search adaptation returns the same optimum.
+func TestDSMatchesOE(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(60)
+		pts := randPoints(rng, n, 60, trial%2 == 0)
+		a := 2 + rng.Float64()*12
+		b := 2 + rng.Float64()*12
+		oe, err := maxrs.OE(pts, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, _, err := maxrs.DS(pts, a, b, dssearch.Options{NCol: 10, NRow: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ds.Weight-oe.Weight) > 1e-9 {
+			t.Fatalf("trial %d: DS %g vs OE %g", trial, ds.Weight, oe.Weight)
+		}
+	}
+}
+
+// TestMaxRSKnownInstance: a hand-built instance with an unambiguous
+// answer.
+func TestMaxRSKnownInstance(t *testing.T) {
+	// Three points clustered at (10,10); two isolated.
+	pts := []maxrs.Point{
+		{Loc: geom.Point{X: 10, Y: 10}, Weight: 1},
+		{Loc: geom.Point{X: 10.5, Y: 10.2}, Weight: 1},
+		{Loc: geom.Point{X: 9.8, Y: 9.7}, Weight: 1},
+		{Loc: geom.Point{X: 30, Y: 30}, Weight: 1},
+		{Loc: geom.Point{X: 50, Y: 5}, Weight: 1},
+	}
+	res, err := maxrs.OE(pts, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 3 {
+		t.Fatalf("weight = %g, want 3", res.Weight)
+	}
+	ds, _, _ := maxrs.DS(pts, 2, 2, dssearch.Options{})
+	if ds.Weight != 3 {
+		t.Fatalf("DS weight = %g, want 3", ds.Weight)
+	}
+}
+
+// TestMaxRSWeighted: heavier isolated point beats a light cluster.
+func TestMaxRSWeighted(t *testing.T) {
+	pts := []maxrs.Point{
+		{Loc: geom.Point{X: 10, Y: 10}, Weight: 1},
+		{Loc: geom.Point{X: 10.5, Y: 10.2}, Weight: 1},
+		{Loc: geom.Point{X: 40, Y: 40}, Weight: 5},
+	}
+	res, err := maxrs.OE(pts, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 5 {
+		t.Fatalf("weight = %g, want 5", res.Weight)
+	}
+}
+
+// TestMaxRSProperty (testing/quick): OE's reported weight is achievable
+// and no random probe beats it.
+func TestMaxRSProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pts := randPoints(rng, 1+rng.Intn(25), 30, false)
+		a := 1 + rng.Float64()*10
+		b := 1 + rng.Float64()*10
+		res, err := maxrs.OE(pts, a, b)
+		if err != nil {
+			return false
+		}
+		if w := maxrs.WeightAt(pts, res.Corner, a, b); math.Abs(w-res.Weight) > 1e-9 {
+			return false
+		}
+		for probe := 0; probe < 50; probe++ {
+			p := geom.Point{X: rng.Float64()*40 - 5, Y: rng.Float64()*40 - 5}
+			if maxrs.WeightAt(pts, p, a, b) > res.Weight+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxRSValidation(t *testing.T) {
+	if _, err := maxrs.OE(nil, 1, 1); err == nil {
+		t.Error("empty points accepted")
+	}
+	pts := []maxrs.Point{{Loc: geom.Point{X: 1, Y: 1}, Weight: 1}}
+	if _, err := maxrs.OE(pts, 0, 1); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, _, err := maxrs.DS(pts, 1, -2, dssearch.Options{}); err == nil {
+		t.Error("negative height accepted")
+	}
+}
+
+// TestMaxRSCoincident: all points at the same location.
+func TestMaxRSCoincident(t *testing.T) {
+	pts := make([]maxrs.Point, 7)
+	for i := range pts {
+		pts[i] = maxrs.Point{Loc: geom.Point{X: 3, Y: 4}, Weight: 1}
+	}
+	res, err := maxrs.OE(pts, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weight != 7 {
+		t.Fatalf("coincident: weight %g, want 7", res.Weight)
+	}
+	ds, _, _ := maxrs.DS(pts, 2, 2, dssearch.Options{})
+	if ds.Weight != 7 {
+		t.Fatalf("coincident DS: weight %g, want 7", ds.Weight)
+	}
+}

@@ -1,0 +1,96 @@
+package maxrs_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs/internal/dssearch"
+	"asrs/internal/geom"
+	"asrs/internal/maxrs"
+)
+
+// TestUnitPoints wraps locations with weight 1.
+func TestUnitPoints(t *testing.T) {
+	locs := []geom.Point{{X: 1, Y: 2}, {X: 3, Y: 4}}
+	pts := maxrs.UnitPoints(locs)
+	if len(pts) != 2 || pts[0].Weight != 1 || pts[1].Loc != locs[1] {
+		t.Fatalf("UnitPoints = %+v", pts)
+	}
+}
+
+// TestDatasetConversion: the weight schema round-trips values.
+func TestDatasetConversion(t *testing.T) {
+	pts := []maxrs.Point{
+		{Loc: geom.Point{X: 1, Y: 1}, Weight: 2.5},
+		{Loc: geom.Point{X: 2, Y: 2}, Weight: 7},
+	}
+	ds := maxrs.Dataset(pts)
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Objects[0].Values[0].Num != 2.5 || ds.Objects[1].Values[0].Num != 7 {
+		t.Fatalf("weights lost: %+v", ds.Objects)
+	}
+}
+
+// TestMaxRSHeavyTailWeights: OE == DS == brute under skewed weights.
+func TestMaxRSHeavyTailWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(30)
+		pts := make([]maxrs.Point, n)
+		for i := range pts {
+			w := math.Exp(rng.NormFloat64() * 2) // log-normal: heavy tail
+			pts[i] = maxrs.Point{
+				Loc:    geom.Point{X: rng.Float64() * 40, Y: rng.Float64() * 40},
+				Weight: w,
+			}
+		}
+		a := 2 + rng.Float64()*8
+		b := 2 + rng.Float64()*8
+		oe, err := maxrs.OE(pts, a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, _, err := maxrs.DS(pts, a, b, dssearch.Options{NCol: 10, NRow: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		brute := maxrs.BruteForce(pts, a, b)
+		if math.Abs(oe.Weight-brute.Weight) > 1e-9*(1+brute.Weight) {
+			t.Fatalf("trial %d: OE %g vs brute %g", trial, oe.Weight, brute.Weight)
+		}
+		if math.Abs(ds.Weight-brute.Weight) > 1e-9*(1+brute.Weight) {
+			t.Fatalf("trial %d: DS %g vs brute %g", trial, ds.Weight, brute.Weight)
+		}
+	}
+}
+
+// TestMaxRSGridAligned: points on an exact lattice (maximal degeneracy:
+// every rectangle edge coincides with others).
+func TestMaxRSGridAligned(t *testing.T) {
+	var pts []maxrs.Point
+	for x := 0; x < 6; x++ {
+		for y := 0; y < 6; y++ {
+			pts = append(pts, maxrs.Point{Loc: geom.Point{X: float64(x), Y: float64(y)}, Weight: 1})
+		}
+	}
+	// A 2.5×2.5 window strictly encloses a 3×3 sub-lattice at best... the
+	// open window (p, p+2.5) holds lattice points in an interval of length
+	// 2.5, which contains at most 3 integers, so 9 points.
+	oe, err := maxrs.OE(pts, 2.5, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oe.Weight != 9 {
+		t.Fatalf("lattice OE weight = %g, want 9", oe.Weight)
+	}
+	ds, _, err := maxrs.DS(pts, 2.5, 2.5, dssearch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Weight != 9 {
+		t.Fatalf("lattice DS weight = %g, want 9", ds.Weight)
+	}
+}

@@ -1,0 +1,64 @@
+package sweep_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/dataset"
+	"asrs/internal/sweep"
+)
+
+// TestSweepSelectiveGammaQuick: property-based comparison against brute
+// force with non-trivial selection functions.
+func TestSweepSelectiveGammaQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ds := dataset.Random(1+rng.Intn(20), 30, rng.Int63())
+		catIdx := ds.Schema.Index("cat")
+		valIdx := ds.Schema.Index("val")
+		comp, err := agg.New(ds.Schema,
+			agg.Spec{Kind: agg.Count, Select: attr.SelectCategory(catIdx, rng.Intn(3))},
+			agg.Spec{Kind: agg.Sum, Attr: "val", Select: attr.SelectNumRange(valIdx, -5, 5)},
+		)
+		if err != nil {
+			return false
+		}
+		q := asp.Query{F: comp, Target: []float64{float64(rng.Intn(6)), rng.NormFloat64() * 5}}
+		rects, err := asp.Reduce(ds, 3+rng.Float64()*8, 3+rng.Float64()*8, asp.AnchorTR)
+		if err != nil {
+			return false
+		}
+		s, err := sweep.New(rects, q)
+		if err != nil {
+			return false
+		}
+		got := s.Solve()
+		want := asp.BruteForce(rects, q)
+		return math.Abs(got.Dist-want.Dist) <= 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepL2 matches brute force under the L2 norm.
+func TestSweepL2(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 20; trial++ {
+		ds := dataset.Random(1+rng.Intn(20), 30, rng.Int63())
+		comp := agg.MustNew(ds.Schema, agg.Spec{Kind: agg.Distribution, Attr: "cat"})
+		q := asp.Query{F: comp, Target: []float64{1, 2, 3}, Norm: agg.L2}
+		rects, _ := asp.Reduce(ds, 6, 6, asp.AnchorTR)
+		s, _ := sweep.New(rects, q)
+		got := s.Solve()
+		want := asp.BruteForce(rects, q)
+		if math.Abs(got.Dist-want.Dist) > 1e-9 {
+			t.Fatalf("trial %d: L2 sweep %g vs brute %g", trial, got.Dist, want.Dist)
+		}
+	}
+}

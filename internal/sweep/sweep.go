@@ -1,0 +1,225 @@
+// Package sweep implements the sweep-line baseline ("Base" in paper §7)
+// for the ASP problem: it enumerates every disjoint region of the
+// rectangle arrangement by sweeping horizontal strips and scanning the
+// x-intervals within each strip with an incremental accumulator. Its time
+// complexity is O(n²) for arbitrary composite aggregators, which is the
+// bound the paper derives for sweep-line approaches (§4.1).
+//
+// The same machinery restricted to a small sub-space serves as the
+// exactness safety net of DS-Search (DESIGN.md §3).
+package sweep
+
+import (
+	"math"
+	"sort"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/geom"
+)
+
+// Stats reports work counters of one sweep run.
+type Stats struct {
+	Strips    int // horizontal strips examined
+	Intervals int // candidate x-intervals evaluated
+}
+
+// Solver runs the Base algorithm. The zero value is not usable; construct
+// with New.
+type Solver struct {
+	rects []asp.RectObject
+	query asp.Query
+
+	byMinX []int // rect indices sorted by Rect.MinX
+	byMaxX []int // rect indices sorted by Rect.MaxX
+
+	Stats Stats
+}
+
+// New prepares a solver over the given rectangle objects. The pre-sorted
+// edge orders are shared across strips so each strip costs O(n).
+func New(rects []asp.RectObject, q asp.Query) (*Solver, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Solver{rects: rects, query: q}
+	s.byMinX = make([]int, len(rects))
+	s.byMaxX = make([]int, len(rects))
+	for i := range rects {
+		s.byMinX[i] = i
+		s.byMaxX[i] = i
+	}
+	sort.Slice(s.byMinX, func(a, b int) bool { return rects[s.byMinX[a]].Rect.MinX < rects[s.byMinX[b]].Rect.MinX })
+	sort.Slice(s.byMaxX, func(a, b int) bool { return rects[s.byMaxX[a]].Rect.MaxX < rects[s.byMaxX[b]].Rect.MaxX })
+	return s, nil
+}
+
+// Solve finds the minimum-distance point over the whole plane, including
+// the empty covering set.
+func (s *Solver) Solve() asp.Result {
+	space := asp.Space(s.rects)
+	best := s.emptyResult(space)
+	if len(s.rects) == 0 {
+		return best
+	}
+	if r, ok := s.SolveWithin(space); ok && r.Dist < best.Dist {
+		best = r
+	}
+	return best
+}
+
+// emptyResult evaluates the empty covering set at a point outside space.
+func (s *Solver) emptyResult(space geom.Rect) asp.Result {
+	p := asp.EmptyCandidate(space)
+	rep := make([]float64, s.query.F.Dims())
+	s.query.F.FinalizeExact(make([]float64, s.query.F.Channels()), rep)
+	return asp.Result{Point: p, Dist: s.query.Distance(rep), Rep: rep}
+}
+
+// SolveWithin finds the minimum-distance point whose location lies in the
+// closed rectangle space, considering only open disjoint regions of the
+// arrangement (the candidates the paper enumerates). It returns ok=false
+// when the space is invalid or degenerate.
+func (s *Solver) SolveWithin(space geom.Rect) (asp.Result, bool) {
+	if !space.IsValid() {
+		return asp.Result{}, false
+	}
+	// Horizontal strips: distinct y edge coordinates clipped to the space,
+	// plus the space's own extent.
+	ys := make([]float64, 0, 2*len(s.rects)+2)
+	ys = append(ys, space.MinY, space.MaxY)
+	for _, r := range s.rects {
+		if r.Rect.MinY > space.MinY && r.Rect.MinY < space.MaxY {
+			ys = append(ys, r.Rect.MinY)
+		}
+		if r.Rect.MaxY > space.MinY && r.Rect.MaxY < space.MaxY {
+			ys = append(ys, r.Rect.MaxY)
+		}
+	}
+	sort.Float64s(ys)
+	ys = dedup(ys)
+
+	acc := agg.NewAccumulator(s.query.F)
+	rep := make([]float64, s.query.F.Dims())
+	best := asp.Result{Dist: math.Inf(1)}
+	found := false
+
+	for si := 0; si+1 < len(ys); si++ {
+		ym := (ys[si] + ys[si+1]) / 2
+		if ys[si+1] <= ys[si] {
+			continue
+		}
+		s.Stats.Strips++
+		if s.scanStrip(ym, space, acc, rep, &best) {
+			found = true
+		}
+	}
+	// Degenerate zero-height space: a single line strip.
+	if space.MinY == space.MaxY {
+		s.Stats.Strips++
+		if s.scanStrip(space.MinY, space, acc, rep, &best) {
+			found = true
+		}
+	}
+	return best, found
+}
+
+// scanStrip sweeps the x-intervals of the strip at height ym, updating
+// best. Returns true if at least one candidate was evaluated.
+func (s *Solver) scanStrip(ym float64, space geom.Rect, acc *agg.Accumulator, rep []float64, best *asp.Result) bool {
+	acc.Reset()
+	// Merge-walk the two pre-sorted edge lists, keeping only rects active
+	// in this strip (open coverage in y).
+	active := func(i int) bool {
+		r := s.rects[i].Rect
+		return r.MinY < ym && ym < r.MaxY
+	}
+	found := false
+	ins, outs := s.byMinX, s.byMaxX
+	ii, oi := 0, 0
+	// prevX is the left end of the current candidate interval, clipped to
+	// the space.
+	prevX := space.MinX
+	evaluate := func(upToX float64) {
+		l := math.Max(prevX, space.MinX)
+		r := math.Min(upToX, space.MaxX)
+		if l > r {
+			return
+		}
+		var xm float64
+		if l == r {
+			xm = l
+		} else {
+			xm = (l + r) / 2
+		}
+		s.Stats.Intervals++
+		acc.Representation(rep)
+		if d := s.query.Distance(rep); d < best.Dist {
+			best.Dist = d
+			best.Point = geom.Point{X: xm, Y: ym}
+			best.Rep = append(best.Rep[:0], rep...)
+		}
+		found = true
+	}
+	for ii < len(ins) || oi < len(outs) {
+		var x float64
+		takeIn := false
+		switch {
+		case ii >= len(ins):
+			x = s.rects[outs[oi]].Rect.MaxX
+		case oi >= len(outs):
+			x = s.rects[ins[ii]].Rect.MinX
+			takeIn = true
+		default:
+			xi := s.rects[ins[ii]].Rect.MinX
+			xo := s.rects[outs[oi]].Rect.MaxX
+			// Process removals first at equal coordinates so that a point
+			// exactly between a closing and an opening edge is attributed
+			// the open-interval set on each side correctly.
+			if xi < xo {
+				x, takeIn = xi, true
+			} else {
+				x = xo
+			}
+		}
+		if x > prevX && x > space.MinX {
+			evaluate(x)
+			prevX = x
+		}
+		if prevX >= space.MaxX {
+			// The rest of the strip is outside the space, and the covering
+			// set to the right can only be reached outside; stop early.
+			break
+		}
+		if takeIn {
+			if active(ins[ii]) {
+				acc.Add(s.rects[ins[ii]].Obj)
+			}
+			ii++
+		} else {
+			if active(outs[oi]) {
+				acc.Remove(s.rects[outs[oi]].Obj)
+			}
+			oi++
+		}
+	}
+	// Trailing interval to the right of the last edge.
+	if prevX < space.MaxX {
+		evaluate(space.MaxX)
+	}
+	return found
+}
+
+// dedup removes adjacent duplicates from a sorted slice in place.
+func dedup(vs []float64) []float64 {
+	if len(vs) == 0 {
+		return vs
+	}
+	out := vs[:1]
+	for _, v := range vs[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

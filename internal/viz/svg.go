@@ -1,0 +1,147 @@
+// Package viz renders datasets and regions to SVG — the library's
+// equivalent of the paper's map figures (Fig 14(a)): object points colored
+// by a categorical attribute, with labeled query/answer rectangles
+// overlaid. Output is plain SVG 1.1, no external assets.
+package viz
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"asrs/internal/attr"
+	"asrs/internal/geom"
+)
+
+// Palette is the default categorical color cycle.
+var Palette = []string{
+	"#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f",
+	"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+}
+
+// Box is a labeled rectangle overlay.
+type Box struct {
+	Rect  geom.Rect
+	Label string
+	Color string // CSS color; default red
+}
+
+// Map is one renderable scene.
+type Map struct {
+	Dataset *attr.Dataset
+	// ColorBy names a categorical attribute used for point colors; empty
+	// renders all points in gray.
+	ColorBy string
+	Boxes   []Box
+	// WidthPx is the output width in pixels (default 800); height follows
+	// the data aspect ratio.
+	WidthPx int
+	// PointRadius in pixels (default 1.5).
+	PointRadius float64
+}
+
+// Render writes the scene as an SVG document.
+func Render(w io.Writer, m Map) error {
+	if m.Dataset == nil || m.Dataset.Schema == nil {
+		return fmt.Errorf("viz: nil dataset")
+	}
+	bounds := m.Dataset.Bounds()
+	for _, b := range m.Boxes {
+		bounds = bounds.Union(b.Rect)
+	}
+	if !bounds.IsValid() || bounds.IsEmpty() {
+		return fmt.Errorf("viz: nothing to draw (bounds %v)", bounds)
+	}
+	widthPx := m.WidthPx
+	if widthPx <= 0 {
+		widthPx = 800
+	}
+	r := m.PointRadius
+	if r <= 0 {
+		r = 1.5
+	}
+	// 4% margin.
+	mx := bounds.Width() * 0.04
+	my := bounds.Height() * 0.04
+	bounds = geom.Rect{MinX: bounds.MinX - mx, MinY: bounds.MinY - my, MaxX: bounds.MaxX + mx, MaxY: bounds.MaxY + my}
+	scale := float64(widthPx) / bounds.Width()
+	heightPx := int(bounds.Height()*scale) + 1
+
+	// SVG y grows downward; data y grows upward.
+	px := func(p geom.Point) (float64, float64) {
+		return (p.X - bounds.MinX) * scale, (bounds.MaxY - p.Y) * scale
+	}
+
+	colorIdx := -1
+	var domainSize int
+	if m.ColorBy != "" {
+		a, ok := m.Dataset.Schema.Lookup(m.ColorBy)
+		if !ok || a.Kind != attr.Categorical {
+			return fmt.Errorf("viz: ColorBy attribute %q is not a categorical attribute of the schema", m.ColorBy)
+		}
+		colorIdx = m.Dataset.Schema.Index(m.ColorBy)
+		domainSize = a.DomainSize()
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		widthPx, heightPx, widthPx, heightPx)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="white"/>`+"\n", widthPx, heightPx)
+
+	for i := range m.Dataset.Objects {
+		o := &m.Dataset.Objects[i]
+		x, y := px(o.Loc)
+		color := "#888888"
+		if colorIdx >= 0 {
+			c := o.Values[colorIdx].Cat
+			if c >= 0 && c < domainSize {
+				color = Palette[c%len(Palette)]
+			}
+		}
+		fmt.Fprintf(bw, `<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s" fill-opacity="0.7"/>`+"\n", x, y, r, color)
+	}
+
+	for _, b := range m.Boxes {
+		color := b.Color
+		if color == "" {
+			color = "#d62728"
+		}
+		x0, y1 := px(b.Rect.BL())
+		x1, y0 := px(b.Rect.TR())
+		fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			x0, y0, x1-x0, y1-y0, color)
+		if b.Label != "" {
+			fmt.Fprintf(bw, `<text x="%.2f" y="%.2f" font-family="sans-serif" font-size="14" fill="%s">%s</text>`+"\n",
+				x0, y0-4, color, escape(b.Label))
+		}
+	}
+
+	// Legend for the categorical coloring.
+	if colorIdx >= 0 {
+		a, _ := m.Dataset.Schema.Lookup(m.ColorBy)
+		for i, v := range a.Domain {
+			y := 18 + 16*i
+			fmt.Fprintf(bw, `<circle cx="12" cy="%d" r="5" fill="%s"/>`+"\n", y, Palette[i%len(Palette)])
+			fmt.Fprintf(bw, `<text x="22" y="%d" font-family="sans-serif" font-size="12" fill="#333">%s</text>`+"\n", y+4, escape(v))
+		}
+	}
+	fmt.Fprintln(bw, `</svg>`)
+	return bw.Flush()
+}
+
+func escape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,97 @@
+package viz_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"asrs/internal/attr"
+	"asrs/internal/dataset"
+	"asrs/internal/geom"
+	"asrs/internal/viz"
+)
+
+func TestRenderCaseStudyMap(t *testing.T) {
+	ds := dataset.SingaporePOI(1)
+	var buf bytes.Buffer
+	districts := dataset.SingaporeDistricts()
+	err := viz.Render(&buf, viz.Map{
+		Dataset: ds,
+		ColorBy: "category",
+		Boxes: []viz.Box{
+			{Rect: districts[0].Rect, Label: "Orchard"},
+			{Rect: districts[1].Rect, Label: "Marina Bay", Color: "#111111"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	if strings.Count(out, "<circle") < dataset.SingaporePOICount {
+		t.Fatalf("expected ≥%d circles", dataset.SingaporePOICount)
+	}
+	if !strings.Contains(out, ">Orchard<") || !strings.Contains(out, ">Marina Bay<") {
+		t.Fatal("labels missing")
+	}
+	// Legend entries for every category.
+	for _, c := range dataset.POICategories {
+		if !strings.Contains(out, ">"+strings.ReplaceAll(c, "&", "&amp;")+"<") {
+			t.Fatalf("legend missing %q", c)
+		}
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	if err := viz.Render(&bytes.Buffer{}, viz.Map{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+	ds := dataset.Random(10, 10, 1)
+	if err := viz.Render(&bytes.Buffer{}, viz.Map{Dataset: ds, ColorBy: "val"}); err == nil {
+		t.Error("numeric ColorBy accepted")
+	}
+	if err := viz.Render(&bytes.Buffer{}, viz.Map{Dataset: ds, ColorBy: "ghost"}); err == nil {
+		t.Error("unknown ColorBy accepted")
+	}
+	empty := &attr.Dataset{Schema: ds.Schema}
+	if err := viz.Render(&bytes.Buffer{}, viz.Map{Dataset: empty}); err == nil {
+		t.Error("empty scene accepted")
+	}
+}
+
+func TestRenderGrayPoints(t *testing.T) {
+	ds := dataset.Random(50, 20, 2)
+	var buf bytes.Buffer
+	if err := viz.Render(&buf, viz.Map{Dataset: ds, WidthPx: 300, PointRadius: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "#888888") {
+		t.Fatal("gray default coloring missing")
+	}
+	if !strings.Contains(buf.String(), `width="300"`) {
+		t.Fatal("custom width ignored")
+	}
+}
+
+func TestRenderEscaping(t *testing.T) {
+	schema := attr.MustSchema(attr.Attribute{Name: "c", Kind: attr.Categorical, Domain: []string{"<x&y>"}})
+	ds := &attr.Dataset{Schema: schema, Objects: []attr.Object{
+		{Loc: geom.Point{X: 1, Y: 1}, Values: []attr.Value{attr.CatValue(0)}},
+		{Loc: geom.Point{X: 2, Y: 2}, Values: []attr.Value{attr.CatValue(0)}},
+	}}
+	var buf bytes.Buffer
+	if err := viz.Render(&buf, viz.Map{Dataset: ds, ColorBy: "c", Boxes: []viz.Box{
+		{Rect: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Label: "a<b"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "<x&y>") || strings.Contains(out, "a<b<") {
+		t.Fatal("unescaped markup leaked")
+	}
+	if !strings.Contains(out, "&lt;x&amp;y&gt;") {
+		t.Fatal("expected escaped domain value")
+	}
+}

@@ -1,0 +1,63 @@
+// Benchmarks for the streaming substrate: dynamic-index ingest
+// throughput, live region queries, and snapshot materialization.
+package asrs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"asrs"
+	"asrs/internal/dataset"
+)
+
+func BenchmarkDynamicInsert(b *testing.B) {
+	ds := tweetDS(200000)
+	q, _, _ := tweetQuery(b, ds, 10)
+	for _, g := range []int{64, 128, 256} {
+		b.Run(fmt.Sprintf("grid=%d", g), func(b *testing.B) {
+			dyn, err := asrs.NewDynamicIndex(q.F, dataset.USBounds(), g, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dyn.Insert(&ds.Objects[i%len(ds.Objects)])
+			}
+		})
+	}
+}
+
+func BenchmarkDynamicRegionQuery(b *testing.B) {
+	ds := tweetDS(100000)
+	q, _, _ := tweetQuery(b, ds, 10)
+	dyn, err := asrs.NewDynamicIndex(q.F, dataset.USBounds(), 128, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dyn.InsertAll(ds.Objects)
+	out := make([]float64, q.F.Channels())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dyn.RegionChannels(i%64, 64+i%64, 16, 112, out)
+	}
+}
+
+func BenchmarkDynamicSnapshot(b *testing.B) {
+	ds := tweetDS(100000)
+	q, _, _ := tweetQuery(b, ds, 10)
+	for _, g := range []int{64, 128} {
+		b.Run(fmt.Sprintf("grid=%d", g), func(b *testing.B) {
+			dyn, err := asrs.NewDynamicIndex(q.F, dataset.USBounds(), g, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dyn.InsertAll(ds.Objects)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if dyn.Snapshot() == nil {
+					b.Fatal("nil snapshot")
+				}
+			}
+		})
+	}
+}
