@@ -16,7 +16,25 @@
 //   - SearchApprox via Options.Delta: the (1+δ)-approximate variant,
 //   - NewIndex / SearchWithIndex: the grid-index-accelerated GI-DS,
 //   - SearchBaseline: the O(n²) sweep-line baseline,
-//   - MaxRS / MaxRSBaseline: the MaxRS adaptation and the OE sweep.
+//   - MaxRS / MaxRSBaseline: the MaxRS adaptation and the OE sweep,
+//   - Engine: the serving-layer facade — one dataset, lazily built cached
+//     per-composite indexes, safe concurrent Query/QueryBatch.
+//
+// # Concurrent search kernel
+//
+// Every search front door (Search, SearchWithIndex, MaxRS, …) runs on the
+// shared best-first kernel of internal/kernel: a worker pool
+// (Options.Workers; values <= 0 select GOMAXPROCS) pulls candidate spaces
+// from a min-heap in fixed-size deterministic batches, processes them
+// concurrently, and publishes improved incumbents through an atomic
+// shared pruning bound merged at batch barriers under a total order
+// (distance, then point). Because every structural decision depends only
+// on deterministic state, the answer — region, point and distance — is
+// bit-identical for every Workers setting and goroutine schedule, so the
+// paper's exactness theorems and the (1+δ) guarantee carry over
+// unchanged. Discretization scratch, rectangle subsets and mini-sweep
+// solvers are pooled, so steady-state searches allocate almost nothing
+// per space. See DESIGN.md §4 for the full protocol.
 //
 // Quick start:
 //

@@ -156,6 +156,28 @@ func BenchmarkFig10Base(b *testing.B) {
 	}
 }
 
+// ---- Kernel worker sweep: parallel DS-Search scaling ----
+
+// BenchmarkWorkersSweep measures the concurrent kernel across worker
+// counts on the Fig. 10 workload. Answers are identical for every count
+// (the kernel's superstep schedule is deterministic); only throughput
+// varies. cmd/asrsbench -parallel-json runs the same sweep at 100k and
+// records it in BENCH_PR1.json.
+func BenchmarkWorkersSweep(b *testing.B) {
+	ds := tweetDS(50000)
+	q, qa, qb := tweetQuery(b, ds, 10)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := asrs.Search(ds, qa, qb, q, asrs.Options{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // ---- Figure 11 / Table 1: GI-DS vs DS-Search across index granularity ----
 
 func BenchmarkFig11GIDS(b *testing.B) {

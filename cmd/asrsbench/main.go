@@ -1,32 +1,51 @@
-// Command asrsbench regenerates the paper's tables and figures.
+// Command asrsbench regenerates the paper's tables and figures, and
+// benchmarks the concurrent search kernel.
 //
 // Usage:
 //
 //	asrsbench -list
 //	asrsbench -exp fig8 [-scale 2] [-seed 7]
 //	asrsbench -exp all
+//	asrsbench -parallel-json BENCH_PR1.json [-n 100000] [-workers 1,2,4,8]
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact. Cardinalities default to laptop-scale; -scale multiplies them
-// toward the paper's sizes.
+// toward the paper's sizes. -parallel-json runs the kernel worker sweep
+// (DS-Search on the tweet workload) and writes a machine-readable report
+// with ops/sec, allocs/op and speedup per worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"asrs/internal/harness"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (fig8, fig9, fig10, fig11, table1, fig12, table2, fig13a, fig13b, casestudy) or 'all'")
-		scale = flag.Float64("scale", 1, "cardinality multiplier relative to defaults")
-		seed  = flag.Int64("seed", 42, "dataset seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "", "experiment id (fig8, fig9, fig10, fig11, table1, fig12, table2, fig13a, fig13b, casestudy) or 'all'")
+		scale   = flag.Float64("scale", 1, "cardinality multiplier relative to defaults")
+		seed    = flag.Int64("seed", 42, "dataset seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		parJSON = flag.String("parallel-json", "", "run the kernel worker sweep and write the JSON report to this file ('-' for stdout)")
+		n       = flag.Int("n", 100000, "dataset cardinality for -parallel-json")
+		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel-json")
+		baseNs  = flag.Int64("baseline-ns", 0, "externally measured reference ns/op for the same workload, recorded in the report")
+		note    = flag.String("note", "", "free-form provenance recorded in the report")
 	)
 	flag.Parse()
+
+	if *parJSON != "" {
+		if err := runParallelBench(*parJSON, *n, *seed, *workers, *baseNs, *note); err != nil {
+			fmt.Fprintln(os.Stderr, "asrsbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -51,4 +70,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, "asrsbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runParallelBench parses the worker sweep and writes the JSON report.
+func runParallelBench(path string, n int, seed int64, workerList string, baseNs int64, note string) error {
+	var sweep []int
+	for _, tok := range strings.Split(workerList, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		w, err := strconv.Atoi(tok)
+		if err != nil || w < 1 {
+			return fmt.Errorf("invalid worker count %q", tok)
+		}
+		sweep = append(sweep, w)
+	}
+	cfg := harness.ParallelBenchConfig{N: n, Seed: seed, Workers: sweep, BaselineNs: baseNs, Note: note}
+	if path == "-" {
+		return harness.RunParallelBench(os.Stdout, cfg)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := harness.RunParallelBench(f, cfg); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -9,6 +9,7 @@
 //	asrsquery -dataset singapore                        # query-by-example: Orchard → ?
 //	asrsquery -dataset tweet -algo base -n 3000         # sweep-line baseline
 //	asrsquery -dataset tweet -algo gids -grid 128       # grid-index accelerated
+//	asrsquery -dataset tweet -workers 8                 # explicit search worker pool
 package main
 
 import (
@@ -23,23 +24,24 @@ import (
 
 func main() {
 	var (
-		dsName = flag.String("dataset", "tweet", "tweet | poisyn | singapore")
-		n      = flag.Int("n", 100000, "number of generated objects (tweet/poisyn)")
-		k      = flag.Int("k", 10, "query size multiplier: region is k·(W/1000) × k·(H/1000)")
-		algo   = flag.String("algo", "ds", "ds | gids | base")
-		grid   = flag.Int("grid", 128, "grid index granularity (gids only)")
-		delta  = flag.Float64("delta", 0, "approximation parameter δ (0 = exact)")
-		seed   = flag.Int64("seed", 42, "dataset seed")
+		dsName  = flag.String("dataset", "tweet", "tweet | poisyn | singapore")
+		n       = flag.Int("n", 100000, "number of generated objects (tweet/poisyn)")
+		k       = flag.Int("k", 10, "query size multiplier: region is k·(W/1000) × k·(H/1000)")
+		algo    = flag.String("algo", "ds", "ds | gids | base")
+		grid    = flag.Int("grid", 128, "grid index granularity (gids only)")
+		delta   = flag.Float64("delta", 0, "approximation parameter δ (0 = exact)")
+		seed    = flag.Int64("seed", 42, "dataset seed")
+		workers = flag.Int("workers", 0, "search worker pool size (<=0 = GOMAXPROCS); the answer is identical for any setting")
 	)
 	flag.Parse()
 
-	if err := run(*dsName, *n, *k, *algo, *grid, *delta, *seed); err != nil {
+	if err := run(*dsName, *n, *k, *algo, *grid, *delta, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "asrsquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dsName string, n, k int, algo string, grid int, delta float64, seed int64) error {
+func run(dsName string, n, k int, algo string, grid int, delta float64, seed int64, workers int) error {
 	var (
 		ds  *asrs.Dataset
 		q   asrs.Query
@@ -57,7 +59,7 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 		a, b = scaledSize(ds, k)
 		q, err = dataset.F2(ds, a, b)
 	case "singapore":
-		return runSingapore(seed)
+		return runSingapore(seed, workers)
 	default:
 		return fmt.Errorf("unknown dataset %q", dsName)
 	}
@@ -73,15 +75,19 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 	)
 	switch algo {
 	case "ds":
-		region, res, _, err = asrs.Search(ds, a, b, q, asrs.Options{Delta: delta})
+		region, res, _, err = asrs.Search(ds, a, b, q, asrs.Options{Delta: delta, Workers: workers})
 	case "gids":
+		// The index is built sequentially on purpose: NewIndexParallel's
+		// shard merge reorders float summation with the worker count,
+		// which would break this command's promise that -workers never
+		// changes the printed answer.
 		var idx *asrs.Index
 		idx, err = asrs.NewIndex(ds, q.F, grid, grid)
 		if err != nil {
 			return err
 		}
 		var stats asrs.IndexStats
-		region, res, stats, err = asrs.SearchWithIndex(idx, ds, a, b, q, asrs.Options{Delta: delta})
+		region, res, stats, err = asrs.SearchWithIndex(idx, ds, a, b, q, asrs.Options{Delta: delta, Workers: workers})
 		if err == nil {
 			fmt.Printf("index: %dx%d, %d/%d cells searched\n", grid, grid, stats.CellsSearched, stats.Cells)
 		}
@@ -100,7 +106,7 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 	return nil
 }
 
-func runSingapore(seed int64) error {
+func runSingapore(seed int64, workers int) error {
 	ds := dataset.SingaporePOI(seed)
 	f, err := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "category"})
 	if err != nil {
@@ -112,7 +118,7 @@ func runSingapore(seed int64) error {
 		return err
 	}
 	start := time.Now()
-	region, res, _, err := asrs.SearchExcluding(ds, orchard.Rect.Width(), orchard.Rect.Height(), q, orchard.Rect, asrs.Options{})
+	region, res, _, err := asrs.SearchExcluding(ds, orchard.Rect.Width(), orchard.Rect.Height(), q, orchard.Rect, asrs.Options{Workers: workers})
 	if err != nil {
 		return err
 	}

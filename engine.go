@@ -1,0 +1,227 @@
+package asrs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// EngineOptions configures an Engine.
+type EngineOptions struct {
+	// IndexGranularity selects the grid granularity g (g×g cells) of the
+	// lazily built per-composite indexes used by plain single-region
+	// queries. Zero disables indexing: every query runs plain DS-Search.
+	IndexGranularity int
+	// Search supplies the default search options (grid granularity,
+	// Workers, Delta, …) for requests that do not carry their own.
+	Search Options
+	// BatchParallelism caps the number of requests one QueryBatch call
+	// runs concurrently; values <= 0 select runtime.GOMAXPROCS(0).
+	BatchParallelism int
+}
+
+// QueryRequest is one unit of Engine work.
+type QueryRequest struct {
+	// Query is the compiled similarity query (see QueryFromRegion /
+	// QueryFromTarget).
+	Query Query
+	// A, B are the answer region's width and height.
+	A, B float64
+	// TopK requests the k best non-overlapping regions; 0 or 1 returns
+	// the single best.
+	TopK int
+	// Exclude lists rectangles no answer region may overlap (beyond a
+	// shared boundary) — typically the example query region.
+	Exclude []Rect
+	// Options overrides the engine's default search options for this
+	// request when non-nil.
+	Options *Options
+}
+
+// QueryResponse is the Engine's answer to one QueryRequest. Regions and
+// Results are parallel slices (length 1 unless TopK > 1); Err reports a
+// per-request failure without failing the rest of the batch.
+type QueryResponse struct {
+	Regions []Rect
+	Results []Result
+	Err     error
+}
+
+// Best returns the first (best) region and result of a successful
+// response.
+func (r QueryResponse) Best() (Rect, Result) {
+	if len(r.Regions) == 0 {
+		return Rect{}, Result{}
+	}
+	return r.Regions[0], r.Results[0]
+}
+
+// Engine is the serving-layer entry point: it owns a dataset plus lazily
+// built, cached per-composite grid indexes, and answers similarity
+// queries through safe concurrent Query/QueryBatch calls. The dataset
+// must not be mutated while the engine serves it; indexes are immutable
+// once built, so any number of goroutines may query in parallel, each
+// search fanning out over its own kernel worker pool (Options.Workers).
+type Engine struct {
+	ds  *Dataset
+	opt EngineOptions
+
+	mu      sync.Mutex
+	indexes map[*Composite]*indexEntry
+}
+
+// indexEntry builds its index exactly once, even under concurrent demand
+// for the same composite.
+type indexEntry struct {
+	once sync.Once
+	idx  *Index
+	err  error
+}
+
+// NewEngine validates the dataset and returns an engine serving it.
+func NewEngine(ds *Dataset, opt EngineOptions) (*Engine, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("asrs: engine requires a dataset")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.IndexGranularity < 0 {
+		return nil, fmt.Errorf("asrs: negative index granularity %d", opt.IndexGranularity)
+	}
+	return &Engine{ds: ds, opt: opt, indexes: make(map[*Composite]*indexEntry)}, nil
+}
+
+// Dataset returns the served dataset (treat as read-only).
+func (e *Engine) Dataset() *Dataset { return e.ds }
+
+// Index returns the engine's cached grid index for the composite,
+// building it on first use. It returns (nil, nil) when indexing is
+// disabled. Concurrent callers for the same composite share one build.
+//
+// The cache is keyed by composite identity (the pointer), not structure:
+// two composites with equal specs but different selection functions must
+// not share an index, and selectors cannot be fingerprinted (see
+// ReadIndex). Treat composites as long-lived singletons — one per query
+// shape, compiled once at startup — or the cache rebuilds per call and
+// grows without bound.
+func (e *Engine) Index(f *Composite) (*Index, error) {
+	g := e.opt.IndexGranularity
+	if g == 0 {
+		return nil, nil
+	}
+	e.mu.Lock()
+	ent, ok := e.indexes[f]
+	if !ok {
+		ent = &indexEntry{}
+		e.indexes[f] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		// Sequential build on purpose: NewIndexParallel's shard merge
+		// reorders float summation with the worker count, which would
+		// make engine answers depend on Options.Workers through last-ulp
+		// differences in cell bounds. The build runs once per composite,
+		// so determinism wins over build latency here.
+		ent.idx, ent.err = NewIndex(e.ds, f, g, g)
+	})
+	return ent.idx, ent.err
+}
+
+// options resolves a request's effective search options.
+func (e *Engine) options(req QueryRequest) Options {
+	if req.Options != nil {
+		return *req.Options
+	}
+	return e.opt.Search
+}
+
+// Query answers one request. Plain single-region requests ride the cached
+// grid index (GI-DS) when indexing is enabled; TopK and exclusion
+// requests use the DS-Search greedy machinery directly. Safe for
+// concurrent use.
+func (e *Engine) Query(req QueryRequest) QueryResponse {
+	opt := e.options(req)
+	if req.TopK > 1 || len(req.Exclude) > 0 {
+		k := req.TopK
+		if k < 1 {
+			k = 1
+		}
+		regions, results, err := SearchTopK(e.ds, req.A, req.B, req.Query, k, req.Exclude, opt)
+		return QueryResponse{Regions: regions, Results: results, Err: err}
+	}
+	idx, err := e.Index(req.Query.F)
+	if err != nil {
+		return QueryResponse{Err: err}
+	}
+	var (
+		region Rect
+		res    Result
+	)
+	if idx != nil {
+		region, res, _, err = SearchWithIndex(idx, e.ds, req.A, req.B, req.Query, opt)
+	} else {
+		region, res, _, err = Search(e.ds, req.A, req.B, req.Query, opt)
+	}
+	if err != nil {
+		return QueryResponse{Err: err}
+	}
+	return QueryResponse{Regions: []Rect{region}, Results: []Result{res}}
+}
+
+// QueryBatch answers a batch of requests, running up to
+// EngineOptions.BatchParallelism of them concurrently. The response slice
+// is index-aligned with the requests; per-request failures land in the
+// corresponding response's Err.
+func (e *Engine) QueryBatch(reqs []QueryRequest) []QueryResponse {
+	out := make([]QueryResponse, len(reqs))
+	if len(reqs) == 0 {
+		return out
+	}
+	par := e.opt.BatchParallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(reqs) {
+		par = len(reqs)
+	}
+	if par == 1 {
+		for i := range reqs {
+			out[i] = e.Query(reqs[i])
+		}
+		return out
+	}
+	// Batch- and kernel-level parallelism share one CPU budget: with par
+	// queries in flight, letting each default to GOMAXPROCS kernel
+	// workers would oversubscribe par-fold. Requests that do not pin
+	// their own options get GOMAXPROCS/par workers instead (answers are
+	// worker-count independent, so this is purely a scheduling choice).
+	perQuery := runtime.GOMAXPROCS(0) / par
+	if perQuery < 1 {
+		perQuery = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				req := reqs[i]
+				if req.Options == nil && e.opt.Search.Workers <= 0 {
+					opt := e.opt.Search
+					opt.Workers = perQuery
+					req.Options = &opt
+				}
+				out[i] = e.Query(req)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,3 @@
+module asrs
+
+go 1.22

@@ -10,16 +10,24 @@
 // until each space either satisfies the GPS-accuracy drop condition
 // (Definition 8) or runs out of unpruned dirty cells. Spaces are processed
 // best-first from a min-heap keyed by lower bound.
+//
+// The best-first loop itself lives in internal/kernel and runs on a
+// worker pool (Options.Workers): spaces are popped in deterministic
+// batches, processed concurrently against a shared atomic pruning bound,
+// and merged so the final answer is bit-identical for every worker count.
+// Each worker owns its discretization scratch (recycled through a
+// sync.Pool across searches) and a rebindable mini-sweep solver, so the
+// steady state allocates nothing per space.
 package dssearch
 
 import (
-	"container/heap"
 	"fmt"
-	"math"
+	"sync"
 
 	"asrs/internal/asp"
 	"asrs/internal/attr"
 	"asrs/internal/geom"
+	"asrs/internal/kernel"
 	"asrs/internal/sweep"
 )
 
@@ -30,6 +38,11 @@ type Options struct {
 	// Delta is the approximation parameter δ of §6. Zero gives the exact
 	// algorithm; δ>0 returns a region within (1+δ) of the optimum.
 	Delta float64
+	// Workers is the size of the search worker pool; values <= 0 select
+	// runtime.GOMAXPROCS(0). The answer is independent of the setting —
+	// the kernel's superstep schedule is deterministic — so Workers is
+	// purely a throughput knob.
+	Workers int
 	// Accuracy overrides the GPS accuracies (Definition 7) used by the
 	// drop condition. Zero values are computed from the rectangle edges.
 	Accuracy geom.Accuracy
@@ -92,44 +105,59 @@ type Stats struct {
 	MaxHeapSize     int
 }
 
-// spaceItem is one heap entry: a sub-space, its lower bound, and the
-// rectangle objects overlapping it.
-type spaceItem struct {
-	space geom.Rect
-	lb    float64
-	rects []asp.RectObject
+// add folds another stats record into s (worker merge).
+func (s *Stats) add(o Stats) {
+	s.Discretizations += o.Discretizations
+	s.Splits += o.Splits
+	s.Bisections += o.Bisections
+	s.CleanCells += o.CleanCells
+	s.DirtyCells += o.DirtyCells
+	s.PrunedCells += o.PrunedCells
+	s.MiniSweeps += o.MiniSweeps
+	s.MiniSweepRects += o.MiniSweepRects
+	s.RefinedCells += o.RefinedCells
+	s.RefinePruned += o.RefinePruned
+	s.CenterProbes += o.CenterProbes
+	s.HeapPushes += o.HeapPushes
+	if o.MaxHeapSize > s.MaxHeapSize {
+		s.MaxHeapSize = o.MaxHeapSize
+	}
 }
 
-type spaceHeap []spaceItem
+// rectPool recycles the rectangle-subset slices that flow through the
+// space heap (one per pushed child space). Pooling them removes the
+// dominant per-space allocation of the search.
+var rectPool = sync.Pool{New: func() any { s := make([]asp.RectObject, 0, 128); return &s }}
 
-func (h spaceHeap) Len() int            { return len(h) }
-func (h spaceHeap) Less(i, j int) bool  { return h[i].lb < h[j].lb }
-func (h spaceHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *spaceHeap) Push(x interface{}) { *h = append(*h, x.(spaceItem)) }
-func (h *spaceHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	old[n-1].rects = nil
-	*h = old[:n-1]
-	return it
+func getRects() []asp.RectObject {
+	return (*(rectPool.Get().(*[]asp.RectObject)))[:0]
+}
+
+func putRects(s []asp.RectObject) {
+	if cap(s) == 0 {
+		return
+	}
+	rectPool.Put(&s)
 }
 
 // Searcher runs DS-Search over a fixed set of rectangle objects and a
-// query. Construct with NewSearcher; one Searcher is good for one Solve.
+// query. Construct with NewSearcher; one Searcher is good for one query
+// (but may solve many sub-spaces, as GI-DS does). A Searcher must not be
+// used from multiple goroutines — concurrency happens inside each solve
+// through the kernel worker pool.
 type Searcher struct {
 	rects []asp.RectObject
 	query asp.Query
 	opt   Options
 	acc   geom.Accuracy
-	grid  *gridBuffers
 	isInt []bool // integer representation dims (fD counts)
 	Stats Stats
 
-	best asp.Result
+	best    asp.Result
+	workers []*worker
 }
 
-// NewSearcher validates inputs and prepares buffers.
+// NewSearcher validates inputs and prepares per-worker state.
 func NewSearcher(rects []asp.RectObject, q asp.Query, opt Options) (*Searcher, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
@@ -148,14 +176,18 @@ func NewSearcher(rects []asp.RectObject, q asp.Query, opt Options) (*Searcher, e
 			acc.DY = computed.DY
 		}
 	}
-	return &Searcher{
+	s := &Searcher{
 		rects: rects,
 		query: q,
 		opt:   opt,
 		acc:   acc,
-		grid:  newGridBuffers(opt.NCol, opt.NRow, q.F),
 		isInt: q.F.IntegerDims(),
-	}, nil
+	}
+	s.workers = make([]*worker, kernel.Workers(opt.Workers))
+	for i := range s.workers {
+		s.workers[i] = &worker{s: s}
+	}
+	return s, nil
 }
 
 func rectsOnly(rs []asp.RectObject) []geom.Rect {
@@ -166,13 +198,47 @@ func rectsOnly(rs []asp.RectObject) []geom.Rect {
 	return out
 }
 
+// worker is the per-goroutine state of one kernel worker: discretization
+// scratch, a rebindable mini-sweep solver, the local incumbent for the
+// space being processed, and private work counters merged after each run.
+type worker struct {
+	s     *Searcher
+	grid  *gridBuffers
+	sw    *sweep.Solver
+	swSub []asp.RectObject // mini-sweep rect scratch
+	dirty []cellInfo       // discretize output scratch
+	one   [1]cellInfo      // single-cell scratch for degenerate sweeps
+	cur   asp.Result       // local incumbent; Rep aliases repBuf
+	rep   []float64        // owned backing store for cur.Rep
+	stats Stats
+}
+
 // threshold is the pruning cutoff: d_opt for the exact algorithm,
-// d_opt/(1+δ) for the approximate variant (§6).
-func (s *Searcher) threshold() float64 {
-	if s.opt.Delta > 0 {
-		return s.best.Dist / (1 + s.opt.Delta)
+// d_opt/(1+δ) for the approximate variant (§6), evaluated against the
+// worker's local incumbent.
+func (w *worker) threshold() float64 {
+	if w.s.opt.Delta > 0 {
+		return w.cur.Dist / (1 + w.s.opt.Delta)
 	}
-	return s.best.Dist
+	return w.cur.Dist
+}
+
+// beginItem resets the worker's incumbent to the superstep snapshot. The
+// representation is copied into worker-owned storage so improvements
+// never write through to the shared bound's buffer.
+func (w *worker) beginItem(incumbent asp.Result) {
+	w.rep = append(w.rep[:0], incumbent.Rep...)
+	w.cur = asp.Result{Point: incumbent.Point, Dist: incumbent.Dist, Rep: w.rep}
+}
+
+// improve installs a better local incumbent under the kernel's canonical
+// order, copying rep into worker-owned storage.
+func (w *worker) improve(dist float64, p geom.Point, rep []float64) {
+	if !kernel.Better(asp.Result{Point: p, Dist: dist}, w.cur) {
+		return
+	}
+	w.rep = append(w.rep[:0], rep...)
+	w.cur = asp.Result{Point: p, Dist: dist, Rep: w.rep}
 }
 
 // Solve runs DS-Search over the full plane: the space of all rectangle
@@ -208,73 +274,100 @@ func (s *Searcher) SolveWithin(space geom.Rect, seedLB float64) {
 // SolveWithinSubset is SolveWithin for callers that already know the
 // rectangle objects relevant to the space (GI-DS narrows them with a
 // binary-searched window instead of a linear scan). rects must contain
-// every rectangle whose interior intersects the space.
+// every rectangle whose interior intersects the space; the slice is only
+// read and never retained past the call.
 func (s *Searcher) SolveWithinSubset(space geom.Rect, seedLB float64, rects []asp.RectObject) {
 	if !space.IsValid() || len(s.rects) == 0 {
 		return
 	}
-	h := &spaceHeap{}
-	heap.Init(h)
-	heap.Push(h, spaceItem{space: space, lb: seedLB, rects: rects})
-	s.Stats.HeapPushes++
-
-	for h.Len() > 0 {
-		if h.Len() > s.Stats.MaxHeapSize {
-			s.Stats.MaxHeapSize = h.Len()
+	bound := kernel.NewBound(s.opt.Delta, s.best)
+	seed := kernel.Item{Space: space, LB: seedLB, Rects: rects}
+	pushes, maxHeap := kernel.Run(len(s.workers), []kernel.Item{seed}, bound,
+		func(wid int, it kernel.Item, incumbent asp.Result, emit func(kernel.Item)) asp.Result {
+			w := s.workers[wid]
+			w.beginItem(incumbent)
+			w.processSpace(it, emit)
+			if it.Pooled {
+				putRects(it.Rects)
+			}
+			res := w.cur
+			if res.Point == incumbent.Point && res.Dist == incumbent.Dist {
+				// Unchanged: hand back the incumbent itself, whose Rep is
+				// bound-owned and immutable.
+				return incumbent
+			}
+			// Improved: detach Rep from the worker's scratch, which the
+			// next item of this superstep would otherwise overwrite before
+			// the merge barrier reads it.
+			res.Rep = append([]float64(nil), res.Rep...)
+			return res
+		},
+		func(it kernel.Item) {
+			if it.Pooled {
+				putRects(it.Rects)
+			}
+		})
+	s.best = bound.Best()
+	s.Stats.HeapPushes += pushes
+	if maxHeap > s.Stats.MaxHeapSize {
+		s.Stats.MaxHeapSize = maxHeap
+	}
+	for _, w := range s.workers {
+		s.Stats.add(w.stats)
+		w.stats = Stats{}
+		if w.grid != nil {
+			putGridBuffers(w.grid)
+			w.grid = nil
 		}
-		it := heap.Pop(h).(spaceItem)
-		if it.lb >= s.threshold() {
-			break // every remaining space is bounded away from improving
-		}
-		s.processSpace(it, h)
 	}
 }
 
 // sweepCutoff is the rectangle count below which a space is solved
 // directly by the exact sweep instead of further discretize/split rounds:
-// an O(m²) sweep on m ≤ 48 rectangles is cheaper than even one more grid
-// pass and terminates the whole subtree.
+// an O(m²) sweep on m rectangles this small is cheaper than even one more
+// grid pass and terminates the whole subtree.
 const sweepCutoff = 160
 
 // processSpace discretizes one space, prunes, and either stops (drop
-// condition / nothing left), runs the safety net, or splits and pushes the
+// condition / nothing left), runs the safety net, or splits and emits the
 // two sub-spaces.
-func (s *Searcher) processSpace(it spaceItem, h *spaceHeap) {
-	if len(it.rects) <= sweepCutoff && !s.opt.DisableSafetyNet {
-		s.miniSweep([]cellInfo{{rect: it.space}}, it.rects)
+func (w *worker) processSpace(it kernel.Item, emit func(kernel.Item)) {
+	if len(it.Rects) <= sweepCutoff && !w.s.opt.DisableSafetyNet {
+		w.one[0] = cellInfo{rect: it.Space}
+		w.miniSweep(w.one[:], it.Rects)
 		return
 	}
-	s.Stats.Discretizations++
-	dirty, drop := s.discretize(it.space, it.rects)
+	w.stats.Discretizations++
+	dirty, drop := w.discretize(it.Space, it.Rects)
 	if len(dirty) == 0 {
 		return
 	}
 	if drop {
-		if !s.opt.DisableSafetyNet {
-			s.miniSweep(dirty, it.rects)
+		if !w.s.opt.DisableSafetyNet {
+			w.miniSweep(dirty, it.Rects)
 		}
 		return
 	}
 	if len(dirty) == 1 {
 		// Nothing to partition: recurse into the single cell's extent.
-		s.push(h, dirty[0].rect, dirty[0].lb, it)
+		w.push(emit, dirty[0].rect, dirty[0].lb, it)
 		return
 	}
 	g1, lb1, g2, lb2 := split(dirty)
-	s.Stats.Splits++
-	s.push(h, g1, lb1, it)
-	s.push(h, g2, lb2, it)
+	w.stats.Splits++
+	w.push(emit, g1, lb1, it)
+	w.push(emit, g2, lb2, it)
 }
 
-// push enqueues a child space, guarding against non-shrinking children
+// push emits a child space, guarding against non-shrinking children
 // (which would never satisfy the drop condition) by bisecting instead.
-func (s *Searcher) push(h *spaceHeap, child geom.Rect, lb float64, parent spaceItem) {
-	if lb >= s.threshold() {
+func (w *worker) push(emit func(kernel.Item), child geom.Rect, lb float64, parent kernel.Item) {
+	if lb >= w.threshold() {
 		return
 	}
 	const shrink = 0.999 // child must be meaningfully smaller in some axis
-	if child.Width() > parent.space.Width()*shrink && child.Height() > parent.space.Height()*shrink {
-		s.Stats.Bisections++
+	if child.Width() > parent.Space.Width()*shrink && child.Height() > parent.Space.Height()*shrink {
+		w.stats.Bisections++
 		var left, right geom.Rect
 		if child.Width() >= child.Height() {
 			mid := (child.MinX + child.MaxX) / 2
@@ -285,38 +378,47 @@ func (s *Searcher) push(h *spaceHeap, child geom.Rect, lb float64, parent spaceI
 			left = geom.Rect{MinX: child.MinX, MinY: child.MinY, MaxX: child.MaxX, MaxY: mid}
 			right = geom.Rect{MinX: child.MinX, MinY: mid, MaxX: child.MaxX, MaxY: child.MaxY}
 		}
-		heap.Push(h, spaceItem{space: left, lb: lb, rects: filterRects(parent.rects, left)})
-		heap.Push(h, spaceItem{space: right, lb: lb, rects: filterRects(parent.rects, right)})
-		s.Stats.HeapPushes += 2
+		emit(kernel.Item{Space: left, LB: lb, Rects: filterRectsInto(getRects(), parent.Rects, left), Pooled: true})
+		emit(kernel.Item{Space: right, LB: lb, Rects: filterRectsInto(getRects(), parent.Rects, right), Pooled: true})
 		return
 	}
-	heap.Push(h, spaceItem{space: child, lb: lb, rects: filterRects(parent.rects, child)})
-	s.Stats.HeapPushes++
+	emit(kernel.Item{Space: child, LB: lb, Rects: filterRectsInto(getRects(), parent.Rects, child), Pooled: true})
 }
 
 // miniSweep runs the Base algorithm restricted to the MBR of the surviving
-// dirty cells; see DESIGN.md §3 "Exactness safety net".
-func (s *Searcher) miniSweep(dirty []cellInfo, rects []asp.RectObject) {
+// dirty cells; see DESIGN.md §3 "Exactness safety net". The worker's
+// sweep solver is rebound in place, so steady-state sweeps reuse all of
+// their scratch.
+func (w *worker) miniSweep(dirty []cellInfo, rects []asp.RectObject) {
 	mbr := geom.EmptyRect()
 	for _, c := range dirty {
 		mbr = mbr.Union(c.rect)
 	}
-	sub := filterRects(rects, mbr)
-	s.Stats.MiniSweeps++
-	s.Stats.MiniSweepRects += len(sub)
-	sw, err := sweep.New(sub, s.query)
-	if err != nil {
-		return // query was validated at construction; unreachable
+	w.swSub = filterRectsInto(w.swSub[:0], rects, mbr)
+	w.stats.MiniSweeps++
+	w.stats.MiniSweepRects += len(w.swSub)
+	if w.sw == nil {
+		sw, err := sweep.New(w.swSub, w.s.query)
+		if err != nil {
+			return // query was validated at construction; unreachable
+		}
+		w.sw = sw
+	} else {
+		w.sw.Rebind(w.swSub)
 	}
-	if r, ok := sw.SolveWithin(mbr); ok && r.Dist < s.best.Dist {
-		s.best = r
+	if r, ok := w.sw.SolveWithin(mbr); ok {
+		w.improve(r.Dist, r.Point, r.Rep)
 	}
 }
 
 // filterRects returns the rectangle objects whose open interior intersects
 // the closed space (only those can cover a candidate point in the space).
 func filterRects(rs []asp.RectObject, space geom.Rect) []asp.RectObject {
-	out := make([]asp.RectObject, 0, len(rs)/2+1)
+	return filterRectsInto(make([]asp.RectObject, 0, len(rs)/2+1), rs, space)
+}
+
+// filterRectsInto is filterRects appending into a caller-provided slice.
+func filterRectsInto(out, rs []asp.RectObject, space geom.Rect) []asp.RectObject {
 	for _, r := range rs {
 		if r.Rect.MinX < space.MaxX && space.MinX < r.Rect.MaxX &&
 			r.Rect.MinY < space.MaxY && space.MinY < r.Rect.MaxY {
@@ -432,7 +534,7 @@ func subtractRect(space, f geom.Rect) []geom.Rect {
 	}
 	add(geom.Rect{MinX: space.MinX, MinY: space.MinY, MaxX: f.MinX, MaxY: space.MaxY}) // left
 	add(geom.Rect{MinX: f.MaxX, MinY: space.MinY, MaxX: space.MaxX, MaxY: space.MaxY}) // right
-	mid := geom.Rect{MinX: math.Max(space.MinX, f.MinX), MaxX: math.Min(space.MaxX, f.MaxX)}
+	mid := geom.Rect{MinX: max(space.MinX, f.MinX), MaxX: min(space.MaxX, f.MaxX)}
 	add(geom.Rect{MinX: mid.MinX, MinY: space.MinY, MaxX: mid.MaxX, MaxY: f.MinY}) // bottom
 	add(geom.Rect{MinX: mid.MinX, MinY: f.MaxY, MaxX: mid.MaxX, MaxY: space.MaxY}) // top
 	return out

@@ -2,6 +2,7 @@ package dssearch
 
 import (
 	"math"
+	"sync"
 
 	"asrs/internal/agg"
 	"asrs/internal/asp"
@@ -19,12 +20,13 @@ type cellInfo struct {
 // gridBuffers holds the reusable scratch memory of Function Discretize: 2D
 // difference arrays for the full- and partial-cover channel grids, a
 // partial-cover counter grid, and per-cell min/max slots for average
-// aggregators. Buffers are sized once per Searcher and zeroed per call.
+// aggregators. Buffers are owned by one kernel worker at a time and
+// recycled through gridPool across searches; they are zeroed per call.
 type gridBuffers struct {
 	ncol, nrow int
-	f          *agg.Composite
 	chans      int
 	mmSlots    int
+	dims       int
 
 	diffFull []float64 // (nrow+1)*(ncol+1)*chans difference array
 	diffPart []float64 // same layout
@@ -47,9 +49,9 @@ func newGridBuffers(ncol, nrow int, f *agg.Composite) *gridBuffers {
 	g := &gridBuffers{
 		ncol:    ncol,
 		nrow:    nrow,
-		f:       f,
 		chans:   f.Channels(),
 		mmSlots: f.MinMaxSlots(),
+		dims:    f.Dims(),
 	}
 	pad := (nrow + 1) * (ncol + 1)
 	g.diffFull = make([]float64, pad*g.chans)
@@ -59,13 +61,31 @@ func newGridBuffers(ncol, nrow int, f *agg.Composite) *gridBuffers {
 		g.mmMin = make([]float64, nrow*ncol*g.mmSlots)
 		g.mmMax = make([]float64, nrow*ncol*g.mmSlots)
 	}
-	g.rep = make([]float64, f.Dims())
-	g.lo = make([]float64, f.Dims())
-	g.hi = make([]float64, f.Dims())
+	g.rep = make([]float64, g.dims)
+	g.lo = make([]float64, g.dims)
+	g.hi = make([]float64, g.dims)
 	g.refineBase = make([]float64, g.chans)
 	g.refineCh = make([]float64, g.chans)
 	return g
 }
+
+// gridPool recycles discretization scratch across searches. Shapes are
+// checked on Get because the pool may hold buffers from differently
+// configured searchers; mismatches are simply dropped for the GC.
+var gridPool sync.Pool
+
+func getGridBuffers(ncol, nrow int, f *agg.Composite) *gridBuffers {
+	if v := gridPool.Get(); v != nil {
+		g := v.(*gridBuffers)
+		if g.ncol == ncol && g.nrow == nrow &&
+			g.chans == f.Channels() && g.mmSlots == f.MinMaxSlots() && g.dims == f.Dims() {
+			return g
+		}
+	}
+	return newGridBuffers(ncol, nrow, f)
+}
+
+func putGridBuffers(g *gridBuffers) { gridPool.Put(g) }
 
 func (g *gridBuffers) reset() {
 	clearF(g.diffFull)
@@ -166,17 +186,26 @@ func (g *gridBuffers) cellIdx(c, r int) int { return r*(g.ncol+1) + c }
 
 // discretize implements Function Discretize (paper §4.3): it grids the
 // space, classifies cells, evaluates clean cells exactly (updating the
-// incumbent), bounds dirty cells, and returns the dirty cells whose lower
-// bound survives the pruning threshold, plus whether the space satisfies
-// the drop condition (Definition 8).
-func (s *Searcher) discretize(space geom.Rect, rects []asp.RectObject) ([]cellInfo, bool) {
-	g := s.grid
+// worker's incumbent), bounds dirty cells, and returns the dirty cells
+// whose lower bound survives the pruning threshold, plus whether the
+// space satisfies the drop condition (Definition 8). The returned slice
+// is worker-owned scratch, valid until the next discretize call.
+func (w *worker) discretize(space geom.Rect, rects []asp.RectObject) ([]cellInfo, bool) {
+	if w.grid == nil {
+		// Acquired lazily at first use: GI-DS runs SolveWithinSubset once
+		// per index cell, and cells at or below the sweep cutoff never
+		// discretize at all.
+		w.grid = getGridBuffers(w.s.opt.NCol, w.s.opt.NRow, w.s.query.F)
+	}
+	g := w.grid
+	query := &w.s.query
 	ncol, nrow := g.ncol, g.nrow
 	cw := space.Width() / float64(ncol)
 	chh := space.Height() / float64(nrow)
 	if cw <= 0 || chh <= 0 {
 		// Degenerate (zero-area) space: fall back to an exact line sweep.
-		s.miniSweep([]cellInfo{{rect: space}}, rects)
+		w.one[0] = cellInfo{rect: space}
+		w.miniSweep(w.one[:], rects)
 		return nil, true
 	}
 	g.reset()
@@ -198,21 +227,21 @@ func (s *Searcher) discretize(space geom.Rect, rects []asp.RectObject) ([]cellIn
 		fc0, fc1 := fullRange(c0, c1, r.MinX, r.MaxX, space.MinX, cw)
 		fr0, fr1 := fullRange(r0, r1, r.MinY, r.MaxY, space.MinY, chh)
 
-		g.cbuf = s.query.F.AppendContribs(rects[i].Obj, g.cbuf[:0])
+		g.cbuf = query.F.AppendContribs(rects[i].Obj, g.cbuf[:0])
 		if g.mmSlots > 0 {
-			g.mbuf = s.query.F.AppendMM(rects[i].Obj, g.mbuf[:0])
+			g.mbuf = query.F.AppendMM(rects[i].Obj, g.mbuf[:0])
 		}
 
 		if fc0 <= fc1 && fr0 <= fr1 {
 			g.rangeAdd(g.diffFull, g.cbuf, fc0, fr0, fc1, fr1)
 			// Partial ring: the overlap range minus the full range, as up
 			// to four rectangles.
-			s.applyPartial(c0, r0, c1, fr0-1) // bottom rows
-			s.applyPartial(c0, fr1+1, c1, r1) // top rows
-			s.applyPartial(c0, fr0, fc0-1, fr1)
-			s.applyPartial(fc1+1, fr0, c1, fr1)
+			w.applyPartial(c0, r0, c1, fr0-1) // bottom rows
+			w.applyPartial(c0, fr1+1, c1, r1) // top rows
+			w.applyPartial(c0, fr0, fc0-1, fr1)
+			w.applyPartial(fc1+1, fr0, c1, fr1)
 		} else {
-			s.applyPartial(c0, r0, c1, r1)
+			w.applyPartial(c0, r0, c1, r1)
 		}
 	}
 
@@ -226,20 +255,18 @@ func (s *Searcher) discretize(space geom.Rect, rects []asp.RectObject) ([]cellIn
 			if g.diffCnt[idx] != 0 {
 				continue
 			}
-			s.Stats.CleanCells++
+			w.stats.CleanCells++
 			full := g.diffFull[idx*g.chans : (idx+1)*g.chans]
-			s.query.F.FinalizeExact(full, g.rep)
-			if d := s.query.Distance(g.rep); d < s.best.Dist {
-				s.best.Dist = d
-				s.best.Point = geom.Point{X: cellX(c) + cw/2, Y: cellY(r) + chh/2}
-				s.best.Rep = append(s.best.Rep[:0], g.rep...)
+			query.F.FinalizeExact(full, g.rep)
+			if d := query.Distance(g.rep); d <= w.cur.Dist {
+				w.improve(d, geom.Point{X: cellX(c) + cw/2, Y: cellY(r) + chh/2}, g.rep)
 			}
 		}
 	}
 
 	// Pass 2: bound and filter dirty cells.
-	var dirty []cellInfo
-	thresh := s.threshold()
+	dirty := w.dirty[:0]
+	thresh := w.threshold()
 	scanBudget := refineScanBudget
 	for r := 0; r < nrow; r++ {
 		for c := 0; c < ncol; c++ {
@@ -247,7 +274,7 @@ func (s *Searcher) discretize(space geom.Rect, rects []asp.RectObject) ([]cellIn
 			if g.diffCnt[idx] == 0 {
 				continue
 			}
-			s.Stats.DirtyCells++
+			w.stats.DirtyCells++
 			full := g.diffFull[idx*g.chans : (idx+1)*g.chans]
 			part := g.diffPart[idx*g.chans : (idx+1)*g.chans]
 			var mmMin, mmMax []float64
@@ -256,36 +283,37 @@ func (s *Searcher) discretize(space geom.Rect, rects []asp.RectObject) ([]cellIn
 				mmMin = g.mmMin[mi : mi+g.mmSlots]
 				mmMax = g.mmMax[mi : mi+g.mmSlots]
 			}
-			s.query.F.FinalizeBounds(full, part, mmMin, mmMax, g.lo, g.hi)
-			lb := s.query.LowerBoundInt(g.lo, g.hi, s.isInt)
+			query.F.FinalizeBounds(full, part, mmMin, mmMax, g.lo, g.hi)
+			lb := query.LowerBoundInt(g.lo, g.hi, w.s.isInt)
 			cell := geom.Rect{MinX: cellX(c), MinY: cellY(r), MaxX: cellX(c + 1), MaxY: cellY(r + 1)}
-			if lb < thresh && !s.opt.DisableRefinement && scanBudget >= len(rects) {
+			if lb < thresh && !w.s.opt.DisableRefinement && scanBudget >= len(rects) {
 				scanBudget -= len(rects)
 				// Interval bounds admit unachievable mixtures (Equation 1's
 				// slack); for cells with few partial rectangles an exact
 				// minimum over all subset completions is affordable and
 				// prunes the boundary-of-optimum tail. Sound: the achievable
 				// covering sets are a subset of the enumerated ones.
-				if rlb, ok := s.refineCellLB(cell, rects); ok {
-					s.Stats.RefinedCells++
+				if rlb, ok := w.refineCellLB(cell, rects); ok {
+					w.stats.RefinedCells++
 					if rlb > lb {
 						lb = rlb
 					}
 					if lb >= thresh {
-						s.Stats.RefinePruned++
+						w.stats.RefinePruned++
 					}
 				}
 			}
 			if lb < thresh {
 				dirty = append(dirty, cellInfo{rect: cell, lb: lb})
 			} else {
-				s.Stats.PrunedCells++
+				w.stats.PrunedCells++
 			}
 		}
 	}
+	w.dirty = dirty
 
-	drop := 2*cw < s.acc.DX && 2*chh < s.acc.DY
-	s.probeCellCenters(dirty, rects)
+	drop := 2*cw < w.s.acc.DX && 2*chh < w.s.acc.DY
+	w.probeCellCenters(dirty, rects)
 	return dirty, drop
 }
 
@@ -295,7 +323,7 @@ func (s *Searcher) discretize(space geom.Rect, rects []asp.RectObject) ([]cellIn
 // d_opt converge early on flat distance landscapes, which is what lets
 // Equation 1 prune aggressively on workloads like F2 where many regions
 // are near-ties.
-func (s *Searcher) probeCellCenters(dirty []cellInfo, rects []asp.RectObject) {
+func (w *worker) probeCellCenters(dirty []cellInfo, rects []asp.RectObject) {
 	const probes = 4
 	if len(dirty) == 0 {
 		return
@@ -317,35 +345,34 @@ func (s *Searcher) probeCellCenters(dirty []cellInfo, rects []asp.RectObject) {
 			idx[worst] = i
 		}
 	}
-	g := s.grid
+	g := w.grid
+	query := &w.s.query
 	ch := g.refineCh[:g.chans]
 	for _, di := range idx {
 		p := dirty[di].rect.Center()
 		clearF(ch)
 		for i := range rects {
 			if rects[i].Rect.ContainsOpen(p) {
-				g.cbuf = s.query.F.AppendContribs(rects[i].Obj, g.cbuf[:0])
+				g.cbuf = query.F.AppendContribs(rects[i].Obj, g.cbuf[:0])
 				for _, cb := range g.cbuf {
 					ch[cb.Ch] += cb.V
 				}
 			}
 		}
-		s.query.F.FinalizeExact(ch, g.rep)
-		if d := s.query.Distance(g.rep); d < s.best.Dist {
-			s.best.Dist = d
-			s.best.Point = p
-			s.best.Rep = append(s.best.Rep[:0], g.rep...)
+		query.F.FinalizeExact(ch, g.rep)
+		if d := query.Distance(g.rep); d <= w.cur.Dist {
+			w.improve(d, p, g.rep)
 		}
 	}
-	s.Stats.CenterProbes += len(idx)
+	w.stats.CenterProbes += len(idx)
 }
 
 // applyPartial marks a (possibly empty) cell range as partially covered.
-func (s *Searcher) applyPartial(c0, r0, c1, r1 int) {
+func (w *worker) applyPartial(c0, r0, c1, r1 int) {
 	if c0 > c1 || r0 > r1 {
 		return
 	}
-	g := s.grid
+	g := w.grid
 	g.rangeAdd(g.diffPart, g.cbuf, c0, r0, c1, r1)
 	g.rangeAddCnt(c0, r0, c1, r1)
 	g.mmUpdate(g.mbuf, c0, r0, c1, r1)
@@ -402,8 +429,9 @@ const (
 // enumerating every completion of the full covering set with a subset of
 // the partial rectangles. Returns ok=false when the cell exceeds the
 // enumeration gates.
-func (s *Searcher) refineCellLB(cell geom.Rect, rects []asp.RectObject) (float64, bool) {
-	g := s.grid
+func (w *worker) refineCellLB(cell geom.Rect, rects []asp.RectObject) (float64, bool) {
+	g := w.grid
+	query := &w.s.query
 	base := g.refineBase[:g.chans]
 	clearF(base)
 	partial := g.refinePartial[:0]
@@ -414,7 +442,7 @@ func (s *Searcher) refineCellLB(cell geom.Rect, rects []asp.RectObject) (float64
 			continue
 		}
 		if r.ContainsRect(cell) {
-			g.cbuf = s.query.F.AppendContribs(rects[i].Obj, g.cbuf[:0])
+			g.cbuf = query.F.AppendContribs(rects[i].Obj, g.cbuf[:0])
 			for _, cb := range g.cbuf {
 				base[cb.Ch] += cb.V
 			}
@@ -436,13 +464,13 @@ func (s *Searcher) refineCellLB(cell geom.Rect, rects []asp.RectObject) (float64
 			if mask&(1<<i) == 0 {
 				continue
 			}
-			g.cbuf = s.query.F.AppendContribs(partial[i], g.cbuf[:0])
+			g.cbuf = query.F.AppendContribs(partial[i], g.cbuf[:0])
 			for _, cb := range g.cbuf {
 				ch[cb.Ch] += cb.V
 			}
 		}
-		s.query.F.FinalizeExact(ch, g.rep)
-		if d := s.query.Distance(g.rep); d < best {
+		query.F.FinalizeExact(ch, g.rep)
+		if d := query.Distance(g.rep); d < best {
 			best = d
 		}
 	}

@@ -1,7 +1,6 @@
 package gridindex
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +8,7 @@ import (
 	"asrs/internal/asp"
 	"asrs/internal/dssearch"
 	"asrs/internal/geom"
+	"asrs/internal/kernel"
 )
 
 // rectWindow accelerates "which rectangles matter for this cell". The
@@ -67,23 +67,12 @@ type cellCand struct {
 	rect geom.Rect
 }
 
-type cellHeap []cellCand
-
-func (h cellHeap) Len() int            { return len(h) }
-func (h cellHeap) Less(i, j int) bool  { return h[i].lb < h[j].lb }
-func (h cellHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *cellHeap) Push(x interface{}) { *h = append(*h, x.(cellCand)) }
-func (h *cellHeap) Pop() interface{} {
-	old := *h
-	it := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return it
-}
-
 // Solve runs GI-DS for an a×b query over the index. rects must be the
 // AnchorTR reduction of the indexed dataset with the same extent (the
 // bl-corner bucketing of §5.3 assumes the top-right-corner reduction).
-// opt.Delta > 0 selects the approximate variant (app-GIDS).
+// opt.Delta > 0 selects the approximate variant (app-GIDS). The cell
+// lower-bound pass and the per-cell DS-Search refinement both use
+// opt.Workers; the answer is independent of the worker count.
 func Solve(idx *Index, rects []asp.RectObject, q asp.Query, a, b float64, opt dssearch.Options) (asp.Result, Stats, error) {
 	if opt.Anchor != asp.AnchorTR {
 		return asp.Result{}, Stats{}, fmt.Errorf("gridindex: GI-DS requires the top-right-corner reduction (AnchorTR)")
@@ -123,22 +112,21 @@ func Solve(idx *Index, rects []asp.RectObject, q asp.Query, a, b float64, opt ds
 		}
 
 		// Lines 2–4: lower-bound every cell and heap them.
-		h := make(cellHeap, 0, idx.sx*idx.sy)
-		lbs := idx.CellLowerBounds(q, a, b)
+		h := kernel.NewHeap[cellCand](func(x, y cellCand) bool { return x.lb < y.lb })
+		lbs := idx.ParallelCellLowerBounds(q, a, b, kernel.Workers(opt.Workers))
 		for j := 0; j < idx.sy; j++ {
 			for i := 0; i < idx.sx; i++ {
 				stats.Cells++
-				h = append(h, cellCand{lb: lbs[j*idx.sx+i], rect: idx.CellRect(i, j)})
+				h.Push(cellCand{lb: lbs[j*idx.sx+i], rect: idx.CellRect(i, j)})
 			}
 		}
-		heap.Init(&h)
 
 		// Lines 5–7: best-first refinement. Rectangle subsets per cell come
 		// from the binary-searched window, not a linear scan.
 		window := newRectWindow(rects)
 		var sub []asp.RectObject
 		for h.Len() > 0 {
-			top := heap.Pop(&h).(cellCand)
+			top := h.Pop()
 			thresh := searcher.Best().Dist
 			if opt.Delta > 0 {
 				thresh /= 1 + opt.Delta

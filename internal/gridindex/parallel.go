@@ -13,12 +13,14 @@ import (
 
 // NewParallel builds the same index as New using `workers` goroutines for
 // the binning pass (the suffix accumulation is a cheap single pass).
-// workers <= 0 selects runtime.NumCPU(). The result is byte-identical to
-// New's up to floating-point summation order; all bounds remain sound
-// because per-cell totals are exact sums either way.
+// workers <= 0 selects runtime.GOMAXPROCS(0). The result is byte-identical
+// to New's up to floating-point summation order (the shard merge depends
+// on the worker count — build with New when last-ulp reproducibility
+// across configurations matters); all bounds remain sound because
+// per-cell totals are exact sums either way.
 func NewParallel(ds *attr.Dataset, f *agg.Composite, sx, sy, workers int) (*Index, error) {
 	if workers <= 0 {
-		workers = runtime.NumCPU()
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || len(ds.Objects) < 4096 {
 		return New(ds, f, sx, sy)
@@ -156,10 +158,11 @@ func NewParallel(ds *attr.Dataset, f *agg.Composite, sx, sy, workers int) (*Inde
 }
 
 // ParallelCellLowerBounds computes CellLowerBounds with row-parallelism;
-// results are identical. workers <= 0 selects runtime.NumCPU().
+// results are identical for every worker count (rows are computed
+// independently). workers <= 0 selects runtime.GOMAXPROCS(0).
 func (x *Index) ParallelCellLowerBounds(q asp.Query, a, b float64, workers int) []float64 {
 	if workers <= 0 {
-		workers = runtime.NumCPU()
+		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers == 1 || x.sy < 2*workers {
 		return x.CellLowerBounds(q, a, b)

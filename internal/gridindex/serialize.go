@@ -29,7 +29,7 @@ var indexMagic = [8]byte{'A', 'S', 'R', 'S', 'I', 'D', 'X', '1'}
 // WriteTo serializes the index. It implements io.WriterTo.
 func (x *Index) WriteTo(w io.Writer) (int64, error) {
 	cw := &countingWriter{w: bufio.NewWriter(w)}
-	write := func(v interface{}) error { return binary.Write(cw, binary.LittleEndian, v) }
+	write := func(v any) error { return binary.Write(cw, binary.LittleEndian, v) }
 
 	if _, err := cw.Write(indexMagic[:]); err != nil {
 		return cw.n, err
@@ -76,7 +76,7 @@ func Read(r io.Reader, f *agg.Composite) (*Index, error) {
 		return nil, fmt.Errorf("gridindex: Read requires the composite aggregator the index was built with")
 	}
 	br := bufio.NewReader(r)
-	read := func(v interface{}) error { return binary.Read(br, binary.LittleEndian, v) }
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
 
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {

@@ -66,7 +66,11 @@ func runDS(w workload, k, ncol, nrow int) (float64, float64, dssearch.Stats, err
 	var dist float64
 	var stats dssearch.Stats
 	ms, err := timeIt(func() error {
-		_, res, st, err := dssearch.SolveASRS(w.ds, a, b, q, dssearch.Options{NCol: ncol, NRow: nrow})
+		// Workers pinned to 1: these experiments reproduce the paper's
+		// single-threaded algorithm comparison, so kernel parallelism
+		// must not inflate DS-Search against the sequential Base. The
+		// worker sweep lives in RunParallelBench.
+		_, res, st, err := dssearch.SolveASRS(w.ds, a, b, q, dssearch.Options{NCol: ncol, NRow: nrow, Workers: 1})
 		stats = st
 		dist = res.Dist
 		return err
@@ -110,7 +114,7 @@ func init() {
 				fmt.Fprintf(cfg.Out, "[%s]\n", w.name)
 				t := newTable(cfg.Out, "n_col=n_row", "q (ms)", "4q (ms)", "7q (ms)", "10q (ms)")
 				for _, g := range []int{10, 20, 30, 40, 50} {
-					cells := make([]interface{}, 0, 5)
+					cells := make([]any, 0, 5)
 					cells = append(cells, g)
 					for _, k := range []int{1, 4, 7, 10} {
 						ms, _, _, err := runDS(w, k, g, g)

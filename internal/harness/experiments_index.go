@@ -21,7 +21,7 @@ func runGIDS(w workload, k int, idx *gridindex.Index, delta float64) (float64, f
 		if err != nil {
 			return err
 		}
-		res, st, err := gridindex.Solve(idx, rects, q, a, b, dssearch.Options{Delta: delta})
+		res, st, err := gridindex.Solve(idx, rects, q, a, b, dssearch.Options{Delta: delta, Workers: 1})
 		stats = st
 		dist = res.Dist
 		return err
@@ -97,7 +97,7 @@ func init() {
 					if err != nil {
 						return err
 					}
-					cells := []interface{}{fmt.Sprintf("%dq", k), dsMS}
+					cells := []any{fmt.Sprintf("%dq", k), dsMS}
 					for _, iw := range iws {
 						ms, dist, _, err := runGIDS(iw.workload, k, iw.idx, 0)
 						if err != nil {
@@ -128,7 +128,7 @@ func init() {
 				if err != nil {
 					return err
 				}
-				cells := []interface{}{fmt.Sprintf("%dx%d", g, g)}
+				cells := []any{fmt.Sprintf("%dx%d", g, g)}
 				for _, k := range []int{1, 4, 7, 10} {
 					_, _, stats, err := runGIDS(iw.workload, k, iw.idx, 0)
 					if err != nil {
@@ -167,7 +167,7 @@ func init() {
 					if err != nil {
 						return err
 					}
-					cells := []interface{}{mult * unit}
+					cells := []any{mult * unit}
 					for _, delta := range []float64{0.1, 0.2, 0.3, 0.4} {
 						ms, _, _, err := runGIDS(iw.workload, 10, iw.idx, delta)
 						if err != nil {
@@ -199,7 +199,7 @@ func init() {
 				if err != nil {
 					return err
 				}
-				cells := []interface{}{mult * unit}
+				cells := []any{mult * unit}
 				for _, delta := range []float64{0.1, 0.2, 0.3, 0.4} {
 					_, dapp, _, err := runGIDS(iw.workload, 10, iw.idx, delta)
 					if err != nil {

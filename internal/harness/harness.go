@@ -131,7 +131,7 @@ func newTable(out io.Writer, cols ...string) *table {
 	return t
 }
 
-func (t *table) row(cells ...interface{}) {
+func (t *table) row(cells ...any) {
 	for i, c := range cells {
 		if i > 0 {
 			fmt.Fprint(t.out, "  ")

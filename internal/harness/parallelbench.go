@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"asrs/internal/asp"
+	"asrs/internal/dataset"
+	"asrs/internal/dssearch"
+)
+
+// ParallelBenchConfig drives the concurrent-kernel benchmark sweep that
+// backs BENCH_PR1.json: DS-Search on the tweet workload across worker
+// counts, reported machine-readably so the perf trajectory can be
+// tracked across PRs.
+type ParallelBenchConfig struct {
+	N       int   // dataset cardinality (default 100000)
+	K       int   // query size multiplier (default 10, matching Fig. 10)
+	Seed    int64 // dataset seed (default 42)
+	Workers []int // worker sweep (default 1,2,4,8)
+	// BaselineNs optionally records an externally measured reference
+	// ns/op for the same workload (e.g. the pre-kernel sequential path at
+	// its commit), so the report can state speedup against it. Zero
+	// omits the comparison.
+	BaselineNs int64
+	// Note is free-form provenance recorded verbatim in the report
+	// (machine, baseline commit, caveats).
+	Note string
+}
+
+func (c ParallelBenchConfig) normalized() ParallelBenchConfig {
+	if c.N <= 0 {
+		c.N = 100000
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	// Seed is used verbatim — 0 is a legitimate seed; the CLI flag
+	// supplies the 42 default.
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+	return c
+}
+
+// ParallelBenchRun is one measured configuration.
+type ParallelBenchRun struct {
+	Workers     int     `json:"workers"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Dist        float64 `json:"dist"` // answer distance (identical across workers by contract)
+	// Speedup is present only when the sweep includes a workers=1 run to
+	// measure against.
+	Speedup float64 `json:"speedup_vs_workers_1,omitempty"`
+	// SpeedupVsBaseline is present only when the config carried an
+	// external baseline measurement.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// ParallelBenchReport is the JSON document written to BENCH_PR1.json.
+type ParallelBenchReport struct {
+	Benchmark  string             `json:"benchmark"`
+	Dataset    string             `json:"dataset"`
+	N          int                `json:"n"`
+	QuerySizeK int                `json:"query_size_k"`
+	Seed       int64              `json:"seed"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	BaselineNs int64              `json:"baseline_ns_per_op,omitempty"`
+	Note       string             `json:"note,omitempty"`
+	Runs       []ParallelBenchRun `json:"runs"`
+}
+
+// RunParallelBench benchmarks exact DS-Search across the worker sweep
+// and writes the JSON report to out. All configurations must return the
+// same answer distance — a mismatch is reported as an error, making the
+// bench double as a cheap large-scale determinism check.
+func RunParallelBench(out io.Writer, cfg ParallelBenchConfig) error {
+	cfg = cfg.normalized()
+	ds := dataset.Tweet(cfg.N, cfg.Seed)
+	bounds := ds.Bounds()
+	qa := float64(cfg.K) * bounds.Width() / 1000
+	qb := float64(cfg.K) * bounds.Height() / 1000
+	q, err := dataset.F1(ds, qa, qb)
+	if err != nil {
+		return err
+	}
+
+	report := ParallelBenchReport{
+		Benchmark:  "ds-search/tweet",
+		Dataset:    "tweet",
+		N:          len(ds.Objects),
+		QuerySizeK: cfg.K,
+		Seed:       cfg.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		BaselineNs: cfg.BaselineNs,
+		Note:       cfg.Note,
+	}
+
+	var want asp.Result
+	for i, w := range cfg.Workers {
+		opt := dssearch.Options{Workers: w}
+		_, res, _, err := dssearch.SolveASRS(ds, qa, qb, q, opt)
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			want = res
+		} else if res.Dist != want.Dist || res.Point != want.Point {
+			// The kernel contract is bit-identical answers — point
+			// included, since tied distances are where schedule
+			// dependence would hide.
+			return fmt.Errorf("harness: workers=%d answered %g at %v, workers=%d answered %g at %v — determinism contract violated",
+				w, res.Dist, res.Point, cfg.Workers[0], want.Dist, want.Point)
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := dssearch.SolveASRS(ds, qa, qb, q, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		run := ParallelBenchRun{
+			Workers:     w,
+			NsPerOp:     br.NsPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			Dist:        res.Dist,
+		}
+		if run.NsPerOp > 0 {
+			run.OpsPerSec = 1e9 / float64(run.NsPerOp)
+			if cfg.BaselineNs > 0 {
+				run.SpeedupVsBaseline = float64(cfg.BaselineNs) / float64(run.NsPerOp)
+			}
+		}
+		report.Runs = append(report.Runs, run)
+	}
+
+	// Speedups are measured against the sweep's workers=1 entry; a sweep
+	// without one simply omits the field rather than inventing a
+	// baseline.
+	var seqNs int64
+	for _, r := range report.Runs {
+		if r.Workers == 1 {
+			seqNs = r.NsPerOp
+			break
+		}
+	}
+	if seqNs > 0 {
+		for i := range report.Runs {
+			if report.Runs[i].NsPerOp > 0 {
+				report.Runs[i].Speedup = float64(seqNs) / float64(report.Runs[i].NsPerOp)
+			}
+		}
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

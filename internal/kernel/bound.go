@@ -1,0 +1,80 @@
+package kernel
+
+import (
+	"sync/atomic"
+
+	"asrs/internal/asp"
+)
+
+// Better is the canonical total order on candidate answers: smaller
+// distance wins, ties broken on the point (X, then Y). Because it is a
+// total order, the minimum of any candidate set is independent of the
+// order the candidates were merged in — this is what makes the concurrent
+// search's final answer schedule-independent.
+func Better(a, b asp.Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	if a.Point.X != b.Point.X {
+		return a.Point.X < b.Point.X
+	}
+	return a.Point.Y < b.Point.Y
+}
+
+// Bound is the shared pruning bound of a concurrent best-first search:
+// the best answer found so far. Under Run's superstep protocol it is
+// written only at merge barriers and snapshotted at round starts, so
+// workers prune against the round-start optimum; the atomic pointer and
+// the CAS Offer loop exist so that code *outside* the driver — progress
+// reporting, a future work-stealing variant, tests — can read or offer
+// concurrently without tearing. Offer uses the total Better order, so
+// the installed winner is independent of offer order.
+//
+// The threshold derived from the bound is the pruning cutoff of the
+// paper's Equation 1: d_opt for the exact algorithm, d_opt/(1+δ) for the
+// (1+δ)-approximate variant (§6).
+type Bound struct {
+	delta float64
+	cur   atomic.Pointer[asp.Result]
+}
+
+// NewBound returns a bound seeded with the given incumbent. delta > 0
+// selects the approximate threshold.
+func NewBound(delta float64, seed asp.Result) *Bound {
+	b := &Bound{delta: delta}
+	r := seed
+	r.Rep = append([]float64(nil), seed.Rep...)
+	b.cur.Store(&r)
+	return b
+}
+
+// Best returns the current best answer.
+func (b *Bound) Best() asp.Result { return *b.cur.Load() }
+
+// Threshold returns the current pruning cutoff: spaces whose lower bound
+// reaches it cannot improve the answer (or cannot improve it by more than
+// the (1+δ) guarantee allows).
+func (b *Bound) Threshold() float64 {
+	d := b.cur.Load().Dist
+	if b.delta > 0 {
+		return d / (1 + b.delta)
+	}
+	return d
+}
+
+// Offer installs r as the new best if it beats the current one under
+// Better, copying the representation so the caller may keep reusing its
+// scratch buffer. It reports whether r was installed.
+func (b *Bound) Offer(r asp.Result) bool {
+	for {
+		cur := b.cur.Load()
+		if !Better(r, *cur) {
+			return false
+		}
+		nr := r
+		nr.Rep = append([]float64(nil), r.Rep...)
+		if b.cur.CompareAndSwap(cur, &nr) {
+			return true
+		}
+	}
+}

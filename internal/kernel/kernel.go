@@ -1,0 +1,197 @@
+// Package kernel is the concurrent best-first search core shared by
+// DS-Search (internal/dssearch), GI-DS (internal/gridindex) and the MaxRS
+// adaptation (internal/maxrs). It owns the space min-heap, the worker
+// pool, and the shared pruning bound; the search packages supply a
+// process function that discretizes, bounds and splits one space.
+//
+// # Execution model: deterministic supersteps
+//
+// The paper's best-first loop is embarrassingly parallel at the space
+// level — each popped space is processed independently, coupled only
+// through the global best-so-far bound. A fully asynchronous pool would
+// exploit that, but its answers could depend on scheduling whenever
+// several candidate points tie on distance (common with integer-count
+// aggregators). Instead the kernel runs in supersteps:
+//
+//  1. Snapshot the shared bound; terminate if the cheapest space cannot
+//     beat it.
+//  2. Pop a fixed-size batch of spaces (batchSize, independent of the
+//     worker count) that survive the snapshot threshold.
+//  3. Process the batch's spaces concurrently. Each space is a pure
+//     function of (space, snapshot): workers start from the snapshot
+//     incumbent, improve it locally with candidates found inside the
+//     space, and collect child spaces. Workers never observe each other's
+//     mid-round finds.
+//  4. Barrier. Offer every space's local best to the shared bound (the
+//     Better order is total, so the merged optimum is independent of
+//     merge order), then push children onto the heap in batch order.
+//
+// Every structural decision therefore depends only on deterministic
+// state, so the final answer — and every intermediate heap state — is
+// bit-identical for any worker count and any goroutine schedule. The
+// price is bound freshness: a worker prunes against the optimum as of the
+// round start rather than the freshest global value, wasting at most one
+// batch of lookahead near convergence. The exactness theorems and the
+// (1+δ) guarantee carry over unchanged: a space is only discarded when
+// its lower bound reaches a threshold derived from some already-achieved
+// answer distance, exactly as in the sequential pseudocode.
+package kernel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"asrs/internal/asp"
+	"asrs/internal/geom"
+)
+
+// batchSize is the number of spaces popped per superstep. It is a
+// compile-time constant, NOT derived from the worker count: the heap
+// trajectory must be identical for every Workers setting or answers could
+// differ between deployments. 32 keeps a wide machine busy while bounding
+// the stale-bound lookahead.
+const batchSize = 32
+
+// Item is one unit of best-first work: a candidate space, its Equation 1
+// lower bound, and the rectangle objects whose interiors intersect it.
+type Item struct {
+	LB    float64
+	Space geom.Rect
+	Rects []asp.RectObject
+	// Pooled marks rect slices owned by the search's buffer pool (the
+	// processor recycles them after use); seed items passed by callers
+	// keep their slices.
+	Pooled bool
+}
+
+// ProcessFunc handles one popped space. worker identifies the worker slot
+// (0 ≤ worker < Workers) so the processor can use per-worker scratch;
+// incumbent is the shared bound's snapshot at the start of the superstep;
+// emit enqueues child spaces. The return value is the processor's local
+// best — incumbent if nothing better was found inside the space.
+//
+// Processing must be a pure function of (item, incumbent) plus per-worker
+// scratch whose contents never influence results; this is what makes the
+// search schedule-independent.
+type ProcessFunc func(worker int, it Item, incumbent asp.Result, emit func(Item)) asp.Result
+
+// Workers resolves a worker-count option: values ≤ 0 select
+// runtime.GOMAXPROCS(0).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// outcome collects one item's deterministic processing result.
+type outcome struct {
+	best     asp.Result
+	children []Item
+}
+
+// Run drives the best-first loop to exhaustion and returns heap work
+// counters (total pushes including seeds, and the maximum heap size).
+// bound carries the incumbent in and the final answer out. release, when
+// non-nil, is called exactly once for every emitted item that Run drops
+// without handing it to process (children pruned at the merge barrier,
+// and heap leftovers when the bound terminates the loop), so processors
+// that pool per-item resources can reclaim them; processed items are the
+// processor's own responsibility.
+func Run(workers int, seeds []Item, bound *Bound, process ProcessFunc, release func(Item)) (pushes, maxHeap int) {
+	h := NewHeap[Item](func(a, b Item) bool { return a.LB < b.LB })
+	for _, s := range seeds {
+		h.Push(s)
+	}
+	pushes = len(seeds)
+	workers = Workers(workers)
+
+	batch := make([]Item, 0, batchSize)
+	outs := make([]outcome, batchSize)
+
+	for h.Len() > 0 {
+		if h.Len() > maxHeap {
+			maxHeap = h.Len()
+		}
+		incumbent := bound.Best()
+		thresh := bound.Threshold()
+		if h.Peek().LB >= thresh {
+			break // every remaining space is bounded away from improving
+		}
+		batch = batch[:0]
+		for h.Len() > 0 && len(batch) < batchSize && h.Peek().LB < thresh {
+			batch = append(batch, h.Pop())
+		}
+		if len(batch) == 0 {
+			// A NaN threshold or lower bound (e.g. a NaN query target)
+			// fails both the break test above and the pop test, which
+			// would spin this loop forever on a non-empty heap. Pop one
+			// item unconditionally — the sequential loop's behavior — so
+			// the search always drains and terminates.
+			batch = append(batch, h.Pop())
+		}
+		n := len(batch)
+		for i := 0; i < n; i++ {
+			outs[i].children = outs[i].children[:0]
+		}
+
+		if workers == 1 || n == 1 {
+			// Inline fast path: no goroutines for sequential runs or
+			// single-item rounds (results are identical either way).
+			for i := 0; i < n; i++ {
+				o := &outs[i]
+				o.best = process(0, batch[i], incumbent, func(c Item) { o.children = append(o.children, c) })
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			spawn := workers
+			if n < spawn {
+				spawn = n
+			}
+			for w := 0; w < spawn; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= n {
+							return
+						}
+						o := &outs[i]
+						o.best = process(w, batch[i], incumbent, func(c Item) { o.children = append(o.children, c) })
+					}
+				}(w)
+			}
+			wg.Wait()
+		}
+
+		// Deterministic merge: candidates first (order-independent under
+		// the total order), then children in batch order so the heap
+		// trajectory is reproducible.
+		for i := 0; i < n; i++ {
+			bound.Offer(outs[i].best)
+		}
+		merged := bound.Threshold()
+		for i := 0; i < n; i++ {
+			for _, c := range outs[i].children {
+				if c.LB >= merged {
+					// Already bounded away by this round's finds.
+					if release != nil {
+						release(c)
+					}
+					continue
+				}
+				h.Push(c)
+				pushes++
+			}
+		}
+	}
+	if release != nil {
+		for h.Len() > 0 {
+			release(h.Pop())
+		}
+	}
+	return pushes, maxHeap
+}

@@ -33,6 +33,14 @@ type Solver struct {
 	byMinX []int // rect indices sorted by Rect.MinX
 	byMaxX []int // rect indices sorted by Rect.MaxX
 
+	// Reusable per-solve scratch: DS-Search's safety net runs thousands
+	// of mini-sweeps per query through one Rebind-ed solver, so the strip
+	// coordinates, accumulator and representation buffers persist here
+	// instead of being allocated per call.
+	ys  []float64
+	acc *agg.Accumulator
+	rep []float64
+
 	Stats Stats
 }
 
@@ -42,16 +50,37 @@ func New(rects []asp.RectObject, q asp.Query) (*Solver, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Solver{rects: rects, query: q}
-	s.byMinX = make([]int, len(rects))
-	s.byMaxX = make([]int, len(rects))
+	s := &Solver{
+		query: q,
+		acc:   agg.NewAccumulator(q.F),
+		rep:   make([]float64, q.F.Dims()),
+	}
+	s.Rebind(rects)
+	return s, nil
+}
+
+// Rebind points the solver at a new rectangle set, reusing all scratch
+// (sorted-edge orders, strip buffers, accumulator). The query is
+// unchanged; the rects slice is only read, never retained past the next
+// Rebind. Stats keep accumulating across rebinds.
+func (s *Solver) Rebind(rects []asp.RectObject) {
+	s.rects = rects
+	s.byMinX = resizeInts(s.byMinX, len(rects))
+	s.byMaxX = resizeInts(s.byMaxX, len(rects))
 	for i := range rects {
 		s.byMinX[i] = i
 		s.byMaxX[i] = i
 	}
 	sort.Slice(s.byMinX, func(a, b int) bool { return rects[s.byMinX[a]].Rect.MinX < rects[s.byMinX[b]].Rect.MinX })
 	sort.Slice(s.byMaxX, func(a, b int) bool { return rects[s.byMaxX[a]].Rect.MaxX < rects[s.byMaxX[b]].Rect.MaxX })
-	return s, nil
+}
+
+// resizeInts returns a slice of length n, reusing capacity when possible.
+func resizeInts(v []int, n int) []int {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]int, n)
 }
 
 // Solve finds the minimum-distance point over the whole plane, including
@@ -86,8 +115,7 @@ func (s *Solver) SolveWithin(space geom.Rect) (asp.Result, bool) {
 	}
 	// Horizontal strips: distinct y edge coordinates clipped to the space,
 	// plus the space's own extent.
-	ys := make([]float64, 0, 2*len(s.rects)+2)
-	ys = append(ys, space.MinY, space.MaxY)
+	ys := append(s.ys[:0], space.MinY, space.MaxY)
 	for _, r := range s.rects {
 		if r.Rect.MinY > space.MinY && r.Rect.MinY < space.MaxY {
 			ys = append(ys, r.Rect.MinY)
@@ -98,9 +126,10 @@ func (s *Solver) SolveWithin(space geom.Rect) (asp.Result, bool) {
 	}
 	sort.Float64s(ys)
 	ys = dedup(ys)
+	s.ys = ys
 
-	acc := agg.NewAccumulator(s.query.F)
-	rep := make([]float64, s.query.F.Dims())
+	acc := s.acc
+	rep := s.rep
 	best := asp.Result{Dist: math.Inf(1)}
 	found := false
 
