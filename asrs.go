@@ -32,9 +32,12 @@
 // on deterministic state, the answer — region, point and distance — is
 // bit-identical for every Workers setting and goroutine schedule, so the
 // paper's exactness theorems and the (1+δ) guarantee carry over
-// unchanged. Discretization scratch, rectangle subsets and mini-sweep
-// solvers are pooled, so steady-state searches allocate almost nothing
-// per space. See DESIGN.md §4 for the full protocol.
+// unchanged. Rectangle subsets travel the heap as compact id slices
+// recycled through per-worker arenas, discretization scratch and
+// mini-sweep solvers are batch-built per worker, and large spaces are
+// discretized from a query-level summed-area table instead of rebuilt
+// difference arrays, so steady-state searches allocate almost nothing
+// per space. See DESIGN.md §2 and §4 for the full protocol.
 //
 // Quick start:
 //

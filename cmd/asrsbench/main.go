@@ -6,19 +6,24 @@
 //	asrsbench -list
 //	asrsbench -exp fig8 [-scale 2] [-seed 7]
 //	asrsbench -exp all
-//	asrsbench -parallel-json BENCH_PR1.json [-n 100000] [-workers 1,2,4,8]
+//	asrsbench -parallel-json BENCH_PR2.json [-n 100000] [-workers 1,2,4,8]
+//	asrsbench -exp fig10 -cpuprofile cpu.prof -memprofile mem.prof
 //
 // Each experiment prints the rows/series of the corresponding paper
 // artifact. Cardinalities default to laptop-scale; -scale multiplies them
 // toward the paper's sizes. -parallel-json runs the kernel worker sweep
 // (DS-Search on the tweet workload) and writes a machine-readable report
-// with ops/sec, allocs/op and speedup per worker count.
+// with ops/sec, allocs/op and speedup per worker count. -cpuprofile and
+// -memprofile write pprof profiles of whatever ran, so perf changes can
+// ship with attached evidence.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -36,8 +41,38 @@ func main() {
 		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel-json")
 		baseNs  = flag.Int64("baseline-ns", 0, "externally measured reference ns/op for the same workload, recorded in the report")
 		note    = flag.String("note", "", "free-form provenance recorded in the report")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "asrsbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "asrsbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "asrsbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "asrsbench:", err)
+			}
+		}()
+	}
 
 	if *parJSON != "" {
 		if err := runParallelBench(*parJSON, *n, *seed, *workers, *baseNs, *note); err != nil {

@@ -185,6 +185,59 @@ func TestApproximateDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestSATLayerDeterministicAcrossWorkers: the query-level summed-area
+// table engages on spaces holding thousands of rectangles (integer-exact
+// composites only). Answers must be bit-identical across worker counts
+// AND across the SAT/difference-array fills — the two fills produce
+// identical cell grids by construction, so any divergence is a bug in
+// the SAT layer.
+func TestSATLayerDeterministicAcrossWorkers(t *testing.T) {
+	ds := dataset.Tweet(8000, 42)
+	f, err := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "day"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := asrs.QueryFromTarget(f, []float64{0, 0, 0, 0, 0, 40, 40}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ds.Bounds()
+	a := 10 * b.Width() / 1000
+	bb := 10 * b.Height() / 1000
+
+	type answer struct {
+		region asrs.Rect
+		point  asrs.Point
+		dist   float64
+	}
+	var want answer
+	first := true
+	satCovered := false
+	for _, disableSAT := range []bool{false, true} {
+		for _, w := range workerSweep {
+			region, res, st, err := asrs.Search(ds, a, bb, q, asrs.Options{Workers: w, DisableSAT: disableSAT})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !disableSAT && st.SATFills > 0 {
+				satCovered = true
+			}
+			got := answer{region: region, point: res.Point, dist: res.Dist}
+			if first {
+				want = got
+				first = false
+				continue
+			}
+			if got != want {
+				t.Fatalf("disableSAT=%v workers=%d answered %+v, want %+v", disableSAT, w, got, want)
+			}
+		}
+	}
+	if !satCovered {
+		t.Fatal("SAT fill never engaged — the test no longer covers the SAT layer")
+	}
+}
+
 // TestEngineQueryBatchParallel: one engine, one shared lazily built
 // index, many goroutines issuing batches concurrently — every response
 // must match the serial answer.

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"asrs/internal/dssearch"
 )
 
 // EngineOptions configures an Engine.
@@ -69,6 +71,7 @@ type Engine struct {
 
 	mu      sync.Mutex
 	indexes map[*Composite]*indexEntry
+	slabs   map[*Composite]*dssearch.SlabCache
 }
 
 // indexEntry builds its index exactly once, even under concurrent demand
@@ -90,7 +93,12 @@ func NewEngine(ds *Dataset, opt EngineOptions) (*Engine, error) {
 	if opt.IndexGranularity < 0 {
 		return nil, fmt.Errorf("asrs: negative index granularity %d", opt.IndexGranularity)
 	}
-	return &Engine{ds: ds, opt: opt, indexes: make(map[*Composite]*indexEntry)}, nil
+	return &Engine{
+		ds:      ds,
+		opt:     opt,
+		indexes: make(map[*Composite]*indexEntry),
+		slabs:   make(map[*Composite]*dssearch.SlabCache),
+	}, nil
 }
 
 // Dataset returns the served dataset (treat as read-only).
@@ -129,12 +137,26 @@ func (e *Engine) Index(f *Composite) (*Index, error) {
 	return ent.idx, ent.err
 }
 
-// options resolves a request's effective search options.
+// options resolves a request's effective search options and attaches the
+// engine's per-composite slab cache, so the per-query search tables
+// (sorted coordinate arrays, contribution tables, SAT grids, id arenas)
+// are recycled across queries instead of reallocated.
 func (e *Engine) options(req QueryRequest) Options {
+	opt := e.opt.Search
 	if req.Options != nil {
-		return *req.Options
+		opt = *req.Options
 	}
-	return e.opt.Search
+	if opt.Slabs == nil {
+		e.mu.Lock()
+		sc, ok := e.slabs[req.Query.F]
+		if !ok {
+			sc = &dssearch.SlabCache{}
+			e.slabs[req.Query.F] = sc
+		}
+		e.mu.Unlock()
+		opt.Slabs = sc
+	}
+	return opt
 }
 
 // Query answers one request. Plain single-region requests ride the cached
@@ -142,6 +164,18 @@ func (e *Engine) options(req QueryRequest) Options {
 // requests use the DS-Search greedy machinery directly. Safe for
 // concurrent use.
 func (e *Engine) Query(req QueryRequest) QueryResponse {
+	var resp QueryResponse
+	e.queryInto(req, &resp)
+	return resp
+}
+
+// queryInto answers one request into resp, reusing resp's Regions and
+// Results slice capacity (the per-response buffer reuse QueryBatchInto
+// relies on).
+func (e *Engine) queryInto(req QueryRequest, resp *QueryResponse) {
+	resp.Regions = resp.Regions[:0]
+	resp.Results = resp.Results[:0]
+	resp.Err = nil
 	opt := e.options(req)
 	if req.TopK > 1 || len(req.Exclude) > 0 {
 		k := req.TopK
@@ -149,11 +183,15 @@ func (e *Engine) Query(req QueryRequest) QueryResponse {
 			k = 1
 		}
 		regions, results, err := SearchTopK(e.ds, req.A, req.B, req.Query, k, req.Exclude, opt)
-		return QueryResponse{Regions: regions, Results: results, Err: err}
+		resp.Regions = append(resp.Regions, regions...)
+		resp.Results = append(resp.Results, results...)
+		resp.Err = err
+		return
 	}
 	idx, err := e.Index(req.Query.F)
 	if err != nil {
-		return QueryResponse{Err: err}
+		resp.Err = err
+		return
 	}
 	var (
 		region Rect
@@ -165,9 +203,11 @@ func (e *Engine) Query(req QueryRequest) QueryResponse {
 		region, res, _, err = Search(e.ds, req.A, req.B, req.Query, opt)
 	}
 	if err != nil {
-		return QueryResponse{Err: err}
+		resp.Err = err
+		return
 	}
-	return QueryResponse{Regions: []Rect{region}, Results: []Result{res}}
+	resp.Regions = append(resp.Regions, region)
+	resp.Results = append(resp.Results, res)
 }
 
 // QueryBatch answers a batch of requests, running up to
@@ -175,7 +215,21 @@ func (e *Engine) Query(req QueryRequest) QueryResponse {
 // is index-aligned with the requests; per-request failures land in the
 // corresponding response's Err.
 func (e *Engine) QueryBatch(reqs []QueryRequest) []QueryResponse {
-	out := make([]QueryResponse, len(reqs))
+	return e.QueryBatchInto(nil, reqs)
+}
+
+// QueryBatchInto is QueryBatch reusing a caller-provided response
+// buffer: the returned slice aliases dst when it has the capacity, and
+// each retained response's Regions/Results backing arrays are reused
+// too. Serving loops that answer batch after batch hold allocations
+// steady by passing the previous batch's slice back in.
+func (e *Engine) QueryBatchInto(dst []QueryResponse, reqs []QueryRequest) []QueryResponse {
+	var out []QueryResponse
+	if cap(dst) >= len(reqs) {
+		out = dst[:len(reqs)]
+	} else {
+		out = make([]QueryResponse, len(reqs))
+	}
 	if len(reqs) == 0 {
 		return out
 	}
@@ -188,7 +242,7 @@ func (e *Engine) QueryBatch(reqs []QueryRequest) []QueryResponse {
 	}
 	if par == 1 {
 		for i := range reqs {
-			out[i] = e.Query(reqs[i])
+			e.queryInto(reqs[i], &out[i])
 		}
 		return out
 	}
@@ -218,7 +272,7 @@ func (e *Engine) QueryBatch(reqs []QueryRequest) []QueryResponse {
 					opt.Workers = perQuery
 					req.Options = &opt
 				}
-				out[i] = e.Query(req)
+				e.queryInto(req, &out[i])
 			}
 		}()
 	}

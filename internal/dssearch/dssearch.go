@@ -15,13 +15,19 @@
 // worker pool (Options.Workers): spaces are popped in deterministic
 // batches, processed concurrently against a shared atomic pruning bound,
 // and merged so the final answer is bit-identical for every worker count.
-// Each worker owns its discretization scratch (recycled through a
-// sync.Pool across searches) and a rebindable mini-sweep solver, so the
-// steady state allocates nothing per space.
+//
+// Per-query state is concentrated in the incremental-aggregation layer of
+// sat.go: the master rectangle array (sorted for integer-exact
+// composites), flattened channel contributions, and the query-level
+// summed-area table that large discretizations read instead of rebuilding
+// difference arrays. Rectangle subsets flow through the kernel heap as
+// 4-byte id slices recycled by per-worker arenas, so the steady state
+// allocates almost nothing per space.
 package dssearch
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"asrs/internal/asp"
@@ -57,6 +63,17 @@ type Options struct {
 	// splitting down to the drop condition — the ablation benchmarks
 	// quantify the cost. Results stay exact either way.
 	DisableRefinement bool
+	// DisableSAT turns off the query-level summed-area-table fill for
+	// large discretizations (DESIGN.md §2), forcing the difference-array
+	// path everywhere. Cell totals are bit-identical either way for the
+	// integer-exact composites the SAT serves; the switch exists for
+	// ablation and as the oracle for the SAT property tests.
+	DisableSAT bool
+	// Slabs, when non-nil, recycles the per-query table slabs (sorted
+	// coordinate arrays, contribution tables, SAT grids, id arenas)
+	// across searches. Callers that set it must call Searcher.Release
+	// (the package front doors do) when the search is done.
+	Slabs *SlabCache
 	// Anchor picks the reduction anchor (default: top-right corner).
 	Anchor asp.Anchor
 }
@@ -91,6 +108,7 @@ func (o Options) validate() error {
 // Stats reports the work performed by one search.
 type Stats struct {
 	Discretizations int // Discretize invocations (spaces processed)
+	SATFills        int // discretizations served by the summed-area table
 	Splits          int // Split invocations
 	Bisections      int // forced bisections (progress guard)
 	CleanCells      int // clean cells evaluated
@@ -108,6 +126,7 @@ type Stats struct {
 // add folds another stats record into s (worker merge).
 func (s *Stats) add(o Stats) {
 	s.Discretizations += o.Discretizations
+	s.SATFills += o.SATFills
 	s.Splits += o.Splits
 	s.Bisections += o.Bisections
 	s.CleanCells += o.CleanCells
@@ -124,41 +143,55 @@ func (s *Stats) add(o Stats) {
 	}
 }
 
-// rectPool recycles the rectangle-subset slices that flow through the
-// space heap (one per pushed child space). Pooling them removes the
-// dominant per-space allocation of the search.
-var rectPool = sync.Pool{New: func() any { s := make([]asp.RectObject, 0, 128); return &s }}
-
-func getRects() []asp.RectObject {
-	return (*(rectPool.Get().(*[]asp.RectObject)))[:0]
-}
-
-func putRects(s []asp.RectObject) {
-	if cap(s) == 0 {
-		return
-	}
-	rectPool.Put(&s)
-}
-
 // Searcher runs DS-Search over a fixed set of rectangle objects and a
 // query. Construct with NewSearcher; one Searcher is good for one query
 // (but may solve many sub-spaces, as GI-DS does). A Searcher must not be
 // used from multiple goroutines — concurrency happens inside each solve
 // through the kernel worker pool.
 type Searcher struct {
-	rects []asp.RectObject
+	rects []asp.RectObject // master array; sorted by (MinX, MinY) for integer-exact composites
 	query asp.Query
 	opt   Options
 	acc   geom.Accuracy
-	isInt []bool // integer representation dims (fD counts)
+	isInt []bool  // integer representation dims (fD counts)
+	tab   *tables // per-query aggregation layer (sat.go)
 	Stats Stats
 
 	best    asp.Result
 	workers []*worker
+
+	// Batch-built per-worker scratch (ensureScratch): every worker's
+	// discretization grids, sweep solvers and result buffers come from a
+	// handful of shared slab allocations, so the allocation count stays
+	// flat in the worker count.
+	scratchOnce sync.Once
+	grids       []gridBuffers
+	sweepPool   []sweep.Solver
+
+	// sharedIds is the spill arena for recycled id slices: the kernel's
+	// merge barrier releases pruned children here, and workers fall back
+	// to it when their own arena has no fitting slice. The mutex sits on
+	// the miss path only — steady-state gets and puts stay within one
+	// worker's private arena (DESIGN.md §4).
+	sharedMu  sync.Mutex
+	sharedIds [][]int32
 }
 
-// NewSearcher validates inputs and prepares per-worker state.
+// NewSearcher validates inputs and prepares per-worker state. The rects
+// slice is only read; if the master order needs resorting (integer-exact
+// composites), a copy is sorted instead.
 func NewSearcher(rects []asp.RectObject, q asp.Query, opt Options) (*Searcher, error) {
+	return newSearcher(rects, q, opt, false)
+}
+
+// NewSearcherOwning is NewSearcher for callers that hand over ownership
+// of the rects slice: it may be re-sorted in place, which the hot paths
+// prefer over copying. The slice must not be concurrently read elsewhere.
+func NewSearcherOwning(rects []asp.RectObject, q asp.Query, opt Options) (*Searcher, error) {
+	return newSearcher(rects, q, opt, true)
+}
+
+func newSearcher(rects []asp.RectObject, q asp.Query, opt Options, own bool) (*Searcher, error) {
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -166,9 +199,11 @@ func NewSearcher(rects []asp.RectObject, q asp.Query, opt Options) (*Searcher, e
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	tab := opt.Slabs.get()
+	master := buildTables(tab, rects, q.F, own)
 	acc := opt.Accuracy
 	if acc.DX <= 0 || acc.DY <= 0 {
-		computed := geom.ComputeAccuracy(rectsOnly(rects))
+		computed := tab.accuracy(master)
 		if acc.DX <= 0 {
 			acc.DX = computed.DX
 		}
@@ -177,40 +212,187 @@ func NewSearcher(rects []asp.RectObject, q asp.Query, opt Options) (*Searcher, e
 		}
 	}
 	s := &Searcher{
-		rects: rects,
+		rects: master,
 		query: q,
 		opt:   opt,
 		acc:   acc,
 		isInt: q.F.IntegerDims(),
+		tab:   tab,
 	}
-	s.workers = make([]*worker, kernel.Workers(opt.Workers))
-	for i := range s.workers {
-		s.workers[i] = &worker{s: s}
+	// Recycled id slices from a previous query using the same slab cache.
+	s.sharedIds, tab.idFree = tab.idFree, nil
+	nw := kernel.Workers(opt.Workers)
+	ws := make([]worker, nw)
+	s.workers = make([]*worker, nw)
+	for i := range ws {
+		ws[i].s = s
+		s.workers[i] = &ws[i]
 	}
 	return s, nil
 }
 
-func rectsOnly(rs []asp.RectObject) []geom.Rect {
-	out := make([]geom.Rect, len(rs))
-	for i, r := range rs {
-		out[i] = r.Rect
+// ensureScratch lazily batch-builds the per-worker scratch at the first
+// processed space: all workers' discretization grids (one slab), sweep
+// solvers (sweep.NewPool), incumbent/dirty/mini-sweep buffers (one slab
+// each). Safe under concurrent workers via the sync.Once.
+func (s *Searcher) ensureScratch() {
+	s.scratchOnce.Do(func() {
+		nw := len(s.workers)
+		f := s.query.F
+		ncol, nrow := s.opt.NCol, s.opt.NRow
+		s.grids = newGridBuffersBatch(nw, ncol, nrow, f)
+		incrCap := 0
+		if s.tab.intExact {
+			incrCap = 2048 // pre-size the Fenwick sweep scratch it will use
+		}
+		if pool, err := sweep.NewPool(nw, s.query, incrCap); err == nil {
+			s.sweepPool = pool
+		}
+		dims := f.Dims()
+		reps := make([]float64, nw*dims)
+		cells := ncol * nrow
+		dirt := make([]cellInfo, nw*cells)
+		const swCap = 1024
+		swBack := make([]asp.RectObject, nw*swCap)
+		// Prewarm each worker's private arena with two small id slices
+		// carved from one slab, so the first spaces a worker touches hit
+		// the arena instead of allocating.
+		warm := make([]int32, nw*2*workerArenaMaxCap)
+		if cap(s.sharedIds) == 0 {
+			s.sharedIds = make([][]int32, 0, 64)
+		}
+		for i, w := range s.workers {
+			c := workerArenaMaxCap
+			w.arena = append(w.arena,
+				warm[(2*i)*c:(2*i)*c:(2*i+1)*c],
+				warm[(2*i+1)*c:(2*i+1)*c:(2*i+2)*c])
+			w.grid = &s.grids[i]
+			if s.sweepPool != nil {
+				w.sw = &s.sweepPool[i]
+				w.sw.SetIncremental(s.tab.intExact)
+			}
+			w.rep = reps[i*dims : i*dims : (i+1)*dims]
+			w.dirty = dirt[i*cells : i*cells : (i+1)*cells]
+			w.swSub = swBack[i*swCap : i*swCap : (i+1)*swCap]
+		}
+	})
+}
+
+// Release hands the searcher's slab memory back to Options.Slabs for
+// reuse by later queries. The searcher must not be used afterwards.
+// A no-op when no slab cache was configured.
+func (s *Searcher) Release() {
+	if s.tab == nil || s.opt.Slabs == nil {
+		return
 	}
-	return out
+	t := s.tab
+	for _, w := range s.workers {
+		t.idFree = append(t.idFree, w.arena...)
+		w.arena = nil
+	}
+	t.idFree = append(t.idFree, s.sharedIds...)
+	s.sharedIds = nil
+	if len(t.idFree) > 64 {
+		t.idFree = t.idFree[:64]
+	}
+	s.opt.Slabs.put(t)
+	s.tab = nil
 }
 
 // worker is the per-goroutine state of one kernel worker: discretization
-// scratch, a rebindable mini-sweep solver, the local incumbent for the
-// space being processed, and private work counters merged after each run.
+// scratch, a rebindable mini-sweep solver, an id-slice arena, the local
+// incumbent for the space being processed, and private work counters
+// merged after each run.
 type worker struct {
 	s     *Searcher
 	grid  *gridBuffers
 	sw    *sweep.Solver
-	swSub []asp.RectObject // mini-sweep rect scratch
+	swSub []asp.RectObject // mini-sweep rect scratch (materialized from ids)
 	dirty []cellInfo       // discretize output scratch
 	one   [1]cellInfo      // single-cell scratch for degenerate sweeps
 	cur   asp.Result       // local incumbent; Rep aliases repBuf
 	rep   []float64        // owned backing store for cur.Rep
+	arena [][]int32        // recycled id slices, touched only by this worker
 	stats Stats
+}
+
+// getIds returns a recycled id slice with capacity >= n (length 0),
+// preferring the worker's own arena, then the searcher's shared spill
+// list, then a fresh allocation.
+func (w *worker) getIds(n int) []int32 {
+	a := w.arena
+	for i := len(a) - 1; i >= 0; i-- {
+		if cap(a[i]) >= n {
+			out := a[i][:0]
+			a[i] = a[len(a)-1]
+			w.arena = a[:len(a)-1]
+			return out
+		}
+	}
+	if out := w.s.sharedGetIds(n); out != nil {
+		return out
+	}
+	return make([]int32, 0, n)
+}
+
+// Arena routing: each worker's private (lock-free) arena holds a few
+// small slices — the common churn of deep, narrow spaces — while large
+// slices and surplus recirculate through the shared spill list so they
+// do not strand in one worker's arena while another allocates fresh.
+// That stranding is what would make allocs/op grow with the worker
+// count.
+const (
+	workerArenaCap    = 2
+	workerArenaMaxCap = 512 // slice capacity above which puts go shared
+)
+
+// putIds recycles an id slice into the worker's own arena, spilling
+// surplus and large slices to the shared list.
+func (w *worker) putIds(ids []int32) {
+	if cap(ids) == 0 {
+		return
+	}
+	if cap(ids) > workerArenaMaxCap || len(w.arena) >= workerArenaCap {
+		w.s.sharedPutIds(ids)
+		return
+	}
+	w.arena = append(w.arena, ids)
+}
+
+// sharedGetIds pops a fitting slice from the shared spill list,
+// preferring the smallest sufficient capacity so large slices stay
+// available for large requests. Workers may call it concurrently; the
+// list is short and the mutex sits on the miss path only.
+func (s *Searcher) sharedGetIds(n int) []int32 {
+	s.sharedMu.Lock()
+	defer s.sharedMu.Unlock()
+	a := s.sharedIds
+	best := -1
+	for i := len(a) - 1; i >= 0; i-- {
+		if c := cap(a[i]); c >= n && (best < 0 || c < cap(a[best])) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	out := a[best][:0]
+	a[best] = a[len(a)-1]
+	s.sharedIds = a[:len(a)-1]
+	return out
+}
+
+// sharedPutIds pushes a slice onto the shared spill list. It is called
+// from the kernel's merge barrier and heap-drain AND concurrently by
+// workers mid-round through the putIds spill path — the mutex is
+// load-bearing, not defensive.
+func (s *Searcher) sharedPutIds(ids []int32) {
+	if cap(ids) == 0 {
+		return
+	}
+	s.sharedMu.Lock()
+	s.sharedIds = append(s.sharedIds, ids)
+	s.sharedMu.Unlock()
 }
 
 // threshold is the pruning cutoff: d_opt for the exact algorithm,
@@ -268,27 +450,49 @@ func (s *Searcher) emptyResult(space geom.Rect) asp.Result {
 // initialized s.best (Solve does; gridindex seeds it with its own running
 // optimum).
 func (s *Searcher) SolveWithin(space geom.Rect, seedLB float64) {
-	s.SolveWithinSubset(space, seedLB, filterRects(s.rects, space))
+	ids := s.AppendWindowIDs(space, s.workers[0].getIds(len(s.rects)))
+	s.SolveWithinIDs(space, seedLB, ids)
+	s.workers[0].putIds(ids)
 }
 
-// SolveWithinSubset is SolveWithin for callers that already know the
-// rectangle objects relevant to the space (GI-DS narrows them with a
-// binary-searched window instead of a linear scan). rects must contain
-// every rectangle whose interior intersects the space; the slice is only
-// read and never retained past the call.
-func (s *Searcher) SolveWithinSubset(space geom.Rect, seedLB float64, rects []asp.RectObject) {
+// AppendWindowIDs appends the master ids of every rectangle whose open
+// interior intersects the closed space (only those can cover a candidate
+// point in the space) and returns dst. On sorted masters the candidates
+// come from a binary-searched window rather than a full scan.
+func (s *Searcher) AppendWindowIDs(space geom.Rect, dst []int32) []int32 {
+	master := s.rects
+	lo, hi := 0, len(master)
+	if s.tab.sorted {
+		lo, hi = s.tab.window(space.MinX, space.MaxX)
+	}
+	for i := lo; i < hi; i++ {
+		r := &master[i].Rect
+		if r.MinX < space.MaxX && space.MinX < r.MaxX &&
+			r.MinY < space.MaxY && space.MinY < r.MaxY {
+			dst = append(dst, int32(i))
+		}
+	}
+	return dst
+}
+
+// SolveWithinIDs is SolveWithin for callers that already know the master
+// ids relevant to the space (GI-DS narrows them per index cell). ids
+// must contain, in ascending order, every id whose rectangle interior
+// intersects the space; the slice is only read and never retained past
+// the call.
+func (s *Searcher) SolveWithinIDs(space geom.Rect, seedLB float64, ids []int32) {
 	if !space.IsValid() || len(s.rects) == 0 {
 		return
 	}
 	bound := kernel.NewBound(s.opt.Delta, s.best)
-	seed := kernel.Item{Space: space, LB: seedLB, Rects: rects}
+	seed := kernel.Item{Space: space, Clip: space, LB: seedLB, Ids: ids}
 	pushes, maxHeap := kernel.Run(len(s.workers), []kernel.Item{seed}, bound,
 		func(wid int, it kernel.Item, incumbent asp.Result, emit func(kernel.Item)) asp.Result {
 			w := s.workers[wid]
 			w.beginItem(incumbent)
 			w.processSpace(it, emit)
 			if it.Pooled {
-				putRects(it.Rects)
+				w.putIds(it.Ids)
 			}
 			res := w.cur
 			if res.Point == incumbent.Point && res.Dist == incumbent.Dist {
@@ -304,7 +508,7 @@ func (s *Searcher) SolveWithinSubset(space geom.Rect, seedLB float64, rects []as
 		},
 		func(it kernel.Item) {
 			if it.Pooled {
-				putRects(it.Rects)
+				s.sharedPutIds(it.Ids)
 			}
 		})
 	s.best = bound.Best()
@@ -315,10 +519,6 @@ func (s *Searcher) SolveWithinSubset(space geom.Rect, seedLB float64, rects []as
 	for _, w := range s.workers {
 		s.Stats.add(w.stats)
 		w.stats = Stats{}
-		if w.grid != nil {
-			putGridBuffers(w.grid)
-			w.grid = nil
-		}
 	}
 }
 
@@ -332,19 +532,20 @@ const sweepCutoff = 160
 // condition / nothing left), runs the safety net, or splits and emits the
 // two sub-spaces.
 func (w *worker) processSpace(it kernel.Item, emit func(kernel.Item)) {
-	if len(it.Rects) <= sweepCutoff && !w.s.opt.DisableSafetyNet {
+	w.s.ensureScratch()
+	if len(it.Ids) <= sweepCutoff && !w.s.opt.DisableSafetyNet {
 		w.one[0] = cellInfo{rect: it.Space}
-		w.miniSweep(w.one[:], it.Rects)
+		w.miniSweep(w.one[:], it.Ids)
 		return
 	}
 	w.stats.Discretizations++
-	dirty, drop := w.discretize(it.Space, it.Rects)
+	dirty, drop := w.discretize(it.Space, it.Clip, it.Ids)
 	if len(dirty) == 0 {
 		return
 	}
 	if drop {
 		if !w.s.opt.DisableSafetyNet {
-			w.miniSweep(dirty, it.Rects)
+			w.miniSweep(dirty, it.Ids)
 		}
 		return
 	}
@@ -359,11 +560,50 @@ func (w *worker) processSpace(it kernel.Item, emit func(kernel.Item)) {
 	w.push(emit, g2, lb2, it)
 }
 
+// childIds filters the parent's ids down to those intersecting space,
+// into a recycled slice sized by the binary-searched window.
+func (w *worker) childIds(parent []int32, space geom.Rect) []int32 {
+	t := w.s.tab
+	lo, hi := 0, len(parent)
+	if t.sorted {
+		x0 := space.MinX - t.wmax
+		lo = sort.Search(len(parent), func(k int) bool { return t.minXs[parent[k]] > x0 })
+		if h := sort.Search(len(parent), func(k int) bool { return t.minXs[parent[k]] >= space.MaxX }); h < hi {
+			hi = h
+		}
+		if lo > hi {
+			lo = hi
+		}
+	}
+	out := w.getIds(hi - lo)
+	master := w.s.rects
+	for _, id := range parent[lo:hi] {
+		r := &master[id].Rect
+		if r.MinX < space.MaxX && space.MinX < r.MaxX &&
+			r.MinY < space.MaxY && space.MinY < r.MaxY {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // push emits a child space, guarding against non-shrinking children
 // (which would never satisfy the drop condition) by bisecting instead.
 func (w *worker) push(emit func(kernel.Item), child geom.Rect, lb float64, parent kernel.Item) {
 	if lb >= w.threshold() {
 		return
+	}
+	// The child's clip: lower edges coincide with the child space (cell
+	// edges never undershoot), upper edges take the ancestor minimum.
+	clipOf := func(space geom.Rect) geom.Rect {
+		cl := space
+		if parent.Clip.MaxX < cl.MaxX {
+			cl.MaxX = parent.Clip.MaxX
+		}
+		if parent.Clip.MaxY < cl.MaxY {
+			cl.MaxY = parent.Clip.MaxY
+		}
+		return cl
 	}
 	const shrink = 0.999 // child must be meaningfully smaller in some axis
 	if child.Width() > parent.Space.Width()*shrink && child.Height() > parent.Space.Height()*shrink {
@@ -378,54 +618,47 @@ func (w *worker) push(emit func(kernel.Item), child geom.Rect, lb float64, paren
 			left = geom.Rect{MinX: child.MinX, MinY: child.MinY, MaxX: child.MaxX, MaxY: mid}
 			right = geom.Rect{MinX: child.MinX, MinY: mid, MaxX: child.MaxX, MaxY: child.MaxY}
 		}
-		emit(kernel.Item{Space: left, LB: lb, Rects: filterRectsInto(getRects(), parent.Rects, left), Pooled: true})
-		emit(kernel.Item{Space: right, LB: lb, Rects: filterRectsInto(getRects(), parent.Rects, right), Pooled: true})
+		emit(kernel.Item{Space: left, Clip: clipOf(left), LB: lb, Ids: w.childIds(parent.Ids, left), Pooled: true})
+		emit(kernel.Item{Space: right, Clip: clipOf(right), LB: lb, Ids: w.childIds(parent.Ids, right), Pooled: true})
 		return
 	}
-	emit(kernel.Item{Space: child, LB: lb, Rects: filterRectsInto(getRects(), parent.Rects, child), Pooled: true})
+	emit(kernel.Item{Space: child, Clip: clipOf(child), LB: lb, Ids: w.childIds(parent.Ids, child), Pooled: true})
 }
 
 // miniSweep runs the Base algorithm restricted to the MBR of the surviving
 // dirty cells; see DESIGN.md §3 "Exactness safety net". The worker's
 // sweep solver is rebound in place, so steady-state sweeps reuse all of
 // their scratch.
-func (w *worker) miniSweep(dirty []cellInfo, rects []asp.RectObject) {
+func (w *worker) miniSweep(dirty []cellInfo, ids []int32) {
 	mbr := geom.EmptyRect()
 	for _, c := range dirty {
 		mbr = mbr.Union(c.rect)
 	}
-	w.swSub = filterRectsInto(w.swSub[:0], rects, mbr)
+	master := w.s.rects
+	w.swSub = w.swSub[:0]
+	for _, id := range ids {
+		r := &master[id].Rect
+		if r.MinX < mbr.MaxX && mbr.MinX < r.MaxX && r.MinY < mbr.MaxY && mbr.MinY < r.MaxY {
+			w.swSub = append(w.swSub, master[id])
+		}
+	}
 	w.stats.MiniSweeps++
 	w.stats.MiniSweepRects += len(w.swSub)
 	if w.sw == nil {
+		// Fallback when the batch pool could not be built; the pool path
+		// assigns solvers in ensureScratch.
 		sw, err := sweep.New(w.swSub, w.s.query)
 		if err != nil {
 			return // query was validated at construction; unreachable
 		}
 		w.sw = sw
+		w.sw.SetIncremental(w.s.tab.intExact)
 	} else {
 		w.sw.Rebind(w.swSub)
 	}
 	if r, ok := w.sw.SolveWithin(mbr); ok {
 		w.improve(r.Dist, r.Point, r.Rep)
 	}
-}
-
-// filterRects returns the rectangle objects whose open interior intersects
-// the closed space (only those can cover a candidate point in the space).
-func filterRects(rs []asp.RectObject, space geom.Rect) []asp.RectObject {
-	return filterRectsInto(make([]asp.RectObject, 0, len(rs)/2+1), rs, space)
-}
-
-// filterRectsInto is filterRects appending into a caller-provided slice.
-func filterRectsInto(out, rs []asp.RectObject, space geom.Rect) []asp.RectObject {
-	for _, r := range rs {
-		if r.Rect.MinX < space.MaxX && space.MinX < r.Rect.MaxX &&
-			r.Rect.MinY < space.MaxY && space.MinY < r.Rect.MaxY {
-			out = append(out, r)
-		}
-	}
-	return out
 }
 
 // Best returns the current best result (valid during and after a solve;
@@ -435,6 +668,11 @@ func (s *Searcher) Best() asp.Result { return s.best }
 // SeedBest installs an externally found incumbent (GI-DS threads its
 // running optimum through successive DS-Search invocations).
 func (s *Searcher) SeedBest(r asp.Result) { s.best = r }
+
+// Rects returns the searcher's master rectangle array (read-only; the
+// order may differ from the constructor argument when the incremental
+// layer sorted it).
+func (s *Searcher) Rects() []asp.RectObject { return s.rects }
 
 // SolveASRSExcluding solves the ASRS problem restricted to answer regions
 // that do not overlap the exclude rectangle (beyond shared boundary).
@@ -450,13 +688,14 @@ func SolveASRSExcluding(ds *attr.Dataset, a, b float64, q asp.Query, exclude geo
 	if err != nil {
 		return geom.Rect{}, asp.Result{}, Stats{}, err
 	}
-	s, err := NewSearcher(rects, q, opt)
+	s, err := NewSearcherOwning(rects, q, opt)
 	if err != nil {
 		return geom.Rect{}, asp.Result{}, Stats{}, err
 	}
-	space := asp.Space(rects)
+	defer s.Release()
+	space := asp.Space(s.rects)
 	s.best = s.emptyResult(space)
-	if len(rects) > 0 {
+	if len(s.rects) > 0 {
 		// Bottom-left corners whose region would overlap the excluded
 		// rectangle form its Minkowski expansion by (a, b) toward min.
 		forbidden := geom.Rect{MinX: exclude.MinX - a, MinY: exclude.MinY - b, MaxX: exclude.MaxX, MaxY: exclude.MaxY}
@@ -464,7 +703,7 @@ func SolveASRSExcluding(ds *attr.Dataset, a, b float64, q asp.Query, exclude geo
 			s.SolveWithin(sub, 0)
 		}
 	}
-	s.best.Rep = asp.PointRepresentation(rects, s.query.F, s.best.Point)
+	s.best.Rep = asp.PointRepresentation(s.rects, s.query.F, s.best.Point)
 	s.best.Dist = s.query.Distance(s.best.Rep)
 	region := opt.Anchor.RegionFor(s.best.Point, a, b)
 	return region, s.best, s.Stats, nil
@@ -491,7 +730,7 @@ func SolveASRSTopK(ds *attr.Dataset, a, b float64, q asp.Query, k int, exclude [
 	var regions []geom.Rect
 	var results []asp.Result
 	for i := 0; i < k; i++ {
-		s, err := NewSearcher(rects, q, opt)
+		s, err := NewSearcherOwning(rects, q, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -516,6 +755,7 @@ func SolveASRSTopK(ds *attr.Dataset, a, b float64, q asp.Query, k int, exclude [
 		regions = append(regions, region)
 		results = append(results, s.best)
 		excl = append(excl, region)
+		s.Release()
 	}
 	return regions, results, nil
 }
@@ -549,10 +789,11 @@ func SolveASRS(ds *attr.Dataset, a, b float64, q asp.Query, opt Options) (geom.R
 	if err != nil {
 		return geom.Rect{}, asp.Result{}, Stats{}, err
 	}
-	s, err := NewSearcher(rects, q, opt)
+	s, err := NewSearcherOwning(rects, q, opt)
 	if err != nil {
 		return geom.Rect{}, asp.Result{}, Stats{}, err
 	}
+	defer s.Release()
 	res := s.Solve()
 	region := opt.Anchor.RegionFor(res.Point, a, b)
 	return region, res, s.Stats, nil

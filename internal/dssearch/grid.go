@@ -2,11 +2,8 @@ package dssearch
 
 import (
 	"math"
-	"sync"
 
 	"asrs/internal/agg"
-	"asrs/internal/asp"
-	"asrs/internal/attr"
 	"asrs/internal/geom"
 )
 
@@ -17,11 +14,13 @@ type cellInfo struct {
 	lb   float64
 }
 
-// gridBuffers holds the reusable scratch memory of Function Discretize: 2D
-// difference arrays for the full- and partial-cover channel grids, a
-// partial-cover counter grid, and per-cell min/max slots for average
-// aggregators. Buffers are owned by one kernel worker at a time and
-// recycled through gridPool across searches; they are zeroed per call.
+// gridBuffers holds the reusable scratch memory of Function Discretize:
+// 2D difference arrays for the full- and partial-cover channel grids, a
+// partial-cover counter grid, per-cell min/max slots for average
+// aggregators, the precomputed cell edge coordinates, and the SAT fill's
+// per-column/row bin ranges. One gridBuffers is owned by one kernel
+// worker for the lifetime of its Searcher — per-worker arena scratch, not
+// a global pool, so allocation counts stay flat in the worker count.
 type gridBuffers struct {
 	ncol, nrow int
 	chans      int
@@ -34,19 +33,59 @@ type gridBuffers struct {
 	mmMin    []float64 // nrow*ncol*mmSlots
 	mmMax    []float64
 
-	cbuf []agg.Contrib
-	mbuf []agg.MMContrib
-	rep  []float64
-	lo   []float64
-	hi   []float64
+	xe []float64 // cell edge x coordinates: xe[i] = space.MinX + i*cw
+	ye []float64
+
+	// SAT fill scratch: per-cell count+channel accumulators and the
+	// per-column (x) / per-row (y) interior and outer bin ranges of the
+	// full-cover and overlap anchor boxes.
+	fullVec, ovVec               []float64
+	fxIn0, fxIn1, fxOut0, fxOut1 []int32
+	oxIn0, oxIn1, oxOut0, oxOut1 []int32
+	fyIn0, fyIn1, fyOut0, fyOut1 []int32
+	oyIn0, oyIn1, oyOut0, oyOut1 []int32
+
+	rep []float64
+	lo  []float64
+	hi  []float64
 
 	refineBase    []float64
 	refineCh      []float64
-	refinePartial []*attr.Object
+	refinePartial []int32
+}
+
+// gridFloatSize returns the float-slab footprint of one gridBuffers.
+func gridFloatSize(ncol, nrow int, f *agg.Composite) int {
+	pad := (nrow + 1) * (ncol + 1)
+	chans, mmSlots, dims := f.Channels(), f.MinMaxSlots(), f.Dims()
+	return 2*pad*chans + pad + 2*nrow*ncol*mmSlots + (ncol + 1) + (nrow + 1) + 2*(chans+1) + 3*dims + 2*chans
+}
+
+// newGridBuffersBatch builds n independent gridBuffers out of shared
+// slab allocations — one float slab, one int32 slab, one struct array —
+// so a worker pool's discretization scratch costs O(1) allocations
+// instead of O(workers), keeping per-op allocation counts flat across
+// worker counts.
+func newGridBuffersBatch(n, ncol, nrow int, f *agg.Composite) []gridBuffers {
+	gs := make([]gridBuffers, n)
+	fper := gridFloatSize(ncol, nrow, f)
+	iper := 8*ncol + 8*nrow
+	fslab := make([]float64, n*fper)
+	islab := make([]int32, n*iper)
+	for i := range gs {
+		gs[i].init(ncol, nrow, f, fslab[i*fper:(i+1)*fper], islab[i*iper:(i+1)*iper])
+	}
+	return gs
 }
 
 func newGridBuffers(ncol, nrow int, f *agg.Composite) *gridBuffers {
-	g := &gridBuffers{
+	return &newGridBuffersBatch(1, ncol, nrow, f)[0]
+}
+
+// init carves g's buffers from the provided slabs (sized by
+// gridFloatSize and 8*ncol+8*nrow respectively).
+func (g *gridBuffers) init(ncol, nrow int, f *agg.Composite, slab []float64, cols []int32) {
+	*g = gridBuffers{
 		ncol:    ncol,
 		nrow:    nrow,
 		chans:   f.Channels(),
@@ -54,38 +93,44 @@ func newGridBuffers(ncol, nrow int, f *agg.Composite) *gridBuffers {
 		dims:    f.Dims(),
 	}
 	pad := (nrow + 1) * (ncol + 1)
-	g.diffFull = make([]float64, pad*g.chans)
-	g.diffPart = make([]float64, pad*g.chans)
-	g.diffCnt = make([]float64, pad)
+	slab = slab[:0]
+	carve := func(n int) []float64 {
+		slab = slab[:len(slab)+n]
+		return slab[len(slab)-n:]
+	}
+	g.diffFull = carve(pad * g.chans)
+	g.diffPart = carve(pad * g.chans)
+	g.diffCnt = carve(pad)
 	if g.mmSlots > 0 {
-		g.mmMin = make([]float64, nrow*ncol*g.mmSlots)
-		g.mmMax = make([]float64, nrow*ncol*g.mmSlots)
+		g.mmMin = carve(nrow * ncol * g.mmSlots)
+		g.mmMax = carve(nrow * ncol * g.mmSlots)
 	}
-	g.rep = make([]float64, g.dims)
-	g.lo = make([]float64, g.dims)
-	g.hi = make([]float64, g.dims)
-	g.refineBase = make([]float64, g.chans)
-	g.refineCh = make([]float64, g.chans)
-	return g
+	g.xe = carve(ncol + 1)
+	g.ye = carve(nrow + 1)
+	g.fullVec = carve(g.chans + 1)
+	g.ovVec = carve(g.chans + 1)
+	g.fxIn0, cols = cols[:ncol], cols[ncol:]
+	g.fxIn1, cols = cols[:ncol], cols[ncol:]
+	g.fxOut0, cols = cols[:ncol], cols[ncol:]
+	g.fxOut1, cols = cols[:ncol], cols[ncol:]
+	g.oxIn0, cols = cols[:ncol], cols[ncol:]
+	g.oxIn1, cols = cols[:ncol], cols[ncol:]
+	g.oxOut0, cols = cols[:ncol], cols[ncol:]
+	g.oxOut1, cols = cols[:ncol], cols[ncol:]
+	g.fyIn0, cols = cols[:nrow], cols[nrow:]
+	g.fyIn1, cols = cols[:nrow], cols[nrow:]
+	g.fyOut0, cols = cols[:nrow], cols[nrow:]
+	g.fyOut1, cols = cols[:nrow], cols[nrow:]
+	g.oyIn0, cols = cols[:nrow], cols[nrow:]
+	g.oyIn1, cols = cols[:nrow], cols[nrow:]
+	g.oyOut0, cols = cols[:nrow], cols[nrow:]
+	g.oyOut1 = cols[:nrow]
+	g.rep = carve(g.dims)
+	g.lo = carve(g.dims)
+	g.hi = carve(g.dims)
+	g.refineBase = carve(g.chans)
+	g.refineCh = carve(g.chans)
 }
-
-// gridPool recycles discretization scratch across searches. Shapes are
-// checked on Get because the pool may hold buffers from differently
-// configured searchers; mismatches are simply dropped for the GC.
-var gridPool sync.Pool
-
-func getGridBuffers(ncol, nrow int, f *agg.Composite) *gridBuffers {
-	if v := gridPool.Get(); v != nil {
-		g := v.(*gridBuffers)
-		if g.ncol == ncol && g.nrow == nrow &&
-			g.chans == f.Channels() && g.mmSlots == f.MinMaxSlots() && g.dims == f.Dims() {
-			return g
-		}
-	}
-	return newGridBuffers(ncol, nrow, f)
-}
-
-func putGridBuffers(g *gridBuffers) { gridPool.Put(g) }
 
 func (g *gridBuffers) reset() {
 	clearF(g.diffFull)
@@ -190,12 +235,18 @@ func (g *gridBuffers) cellIdx(c, r int) int { return r*(g.ncol+1) + c }
 // whose lower bound survives the pruning threshold, plus whether the
 // space satisfies the drop condition (Definition 8). The returned slice
 // is worker-owned scratch, valid until the next discretize call.
-func (w *worker) discretize(space geom.Rect, rects []asp.RectObject) ([]cellInfo, bool) {
+//
+// Cell totals come from one of two fills that produce bit-identical
+// grids for the integer-exact composites both support: the per-rectangle
+// difference-array fill (fillGridDiff), and — for spaces holding at
+// least satMinIds rectangles — the query-level summed-area-table fill
+// (fillGridSAT), whose cost is independent of the rectangle count.
+func (w *worker) discretize(space, clip geom.Rect, ids []int32) ([]cellInfo, bool) {
 	if w.grid == nil {
-		// Acquired lazily at first use: GI-DS runs SolveWithinSubset once
+		// Acquired lazily at first use: GI-DS runs SolveWithinIDs once
 		// per index cell, and cells at or below the sweep cutoff never
 		// discretize at all.
-		w.grid = getGridBuffers(w.s.opt.NCol, w.s.opt.NRow, w.s.query.F)
+		w.grid = newGridBuffers(w.s.opt.NCol, w.s.opt.NRow, w.s.query.F)
 	}
 	g := w.grid
 	query := &w.s.query
@@ -205,47 +256,24 @@ func (w *worker) discretize(space geom.Rect, rects []asp.RectObject) ([]cellInfo
 	if cw <= 0 || chh <= 0 {
 		// Degenerate (zero-area) space: fall back to an exact line sweep.
 		w.one[0] = cellInfo{rect: space}
-		w.miniSweep(w.one[:], rects)
+		w.miniSweep(w.one[:], ids)
 		return nil, true
 	}
-	g.reset()
-
-	cellX := func(i int) float64 { return space.MinX + float64(i)*cw }
-	cellY := func(j int) float64 { return space.MinY + float64(j)*chh }
-
-	for i := range rects {
-		r := rects[i].Rect
-		// Columns whose open interior intersects the rect interior.
-		c0, c1 := overlapRange(r.MinX, r.MaxX, space.MinX, cw, ncol)
-		r0, r1 := overlapRange(r.MinY, r.MaxY, space.MinY, chh, nrow)
-		if c0 > c1 || r0 > r1 {
-			continue
-		}
-		// Fully covered sub-range: every point of the cell interior is
-		// strictly inside the rect (closed cell ⊆ closed rect suffices for
-		// interiors; see DESIGN.md "Coverage semantics").
-		fc0, fc1 := fullRange(c0, c1, r.MinX, r.MaxX, space.MinX, cw)
-		fr0, fr1 := fullRange(r0, r1, r.MinY, r.MaxY, space.MinY, chh)
-
-		g.cbuf = query.F.AppendContribs(rects[i].Obj, g.cbuf[:0])
-		if g.mmSlots > 0 {
-			g.mbuf = query.F.AppendMM(rects[i].Obj, g.mbuf[:0])
-		}
-
-		if fc0 <= fc1 && fr0 <= fr1 {
-			g.rangeAdd(g.diffFull, g.cbuf, fc0, fr0, fc1, fr1)
-			// Partial ring: the overlap range minus the full range, as up
-			// to four rectangles.
-			w.applyPartial(c0, r0, c1, fr0-1) // bottom rows
-			w.applyPartial(c0, fr1+1, c1, r1) // top rows
-			w.applyPartial(c0, fr0, fc0-1, fr1)
-			w.applyPartial(fc1+1, fr0, c1, fr1)
-		} else {
-			w.applyPartial(c0, r0, c1, r1)
-		}
+	for i := 0; i <= ncol; i++ {
+		g.xe[i] = space.MinX + float64(i)*cw
+	}
+	for j := 0; j <= nrow; j++ {
+		g.ye[j] = space.MinY + float64(j)*chh
 	}
 
-	g.integrate()
+	tab := w.s.tab
+	if tab.satUsable() && !w.s.opt.DisableSAT && len(ids) >= satMinIds {
+		tab.ensureSAT(w.s.rects)
+		w.fillGridSAT(clip)
+		w.stats.SATFills++
+	} else {
+		w.fillGridDiff(space, ids, cw, chh)
+	}
 
 	// Pass 1: clean cells refine the incumbent so that pass 2 prunes
 	// against the tightest d_opt.
@@ -259,7 +287,7 @@ func (w *worker) discretize(space geom.Rect, rects []asp.RectObject) ([]cellInfo
 			full := g.diffFull[idx*g.chans : (idx+1)*g.chans]
 			query.F.FinalizeExact(full, g.rep)
 			if d := query.Distance(g.rep); d <= w.cur.Dist {
-				w.improve(d, geom.Point{X: cellX(c) + cw/2, Y: cellY(r) + chh/2}, g.rep)
+				w.improve(d, geom.Point{X: g.xe[c] + cw/2, Y: g.ye[r] + chh/2}, g.rep)
 			}
 		}
 	}
@@ -285,21 +313,25 @@ func (w *worker) discretize(space geom.Rect, rects []asp.RectObject) ([]cellInfo
 			}
 			query.F.FinalizeBounds(full, part, mmMin, mmMax, g.lo, g.hi)
 			lb := query.LowerBoundInt(g.lo, g.hi, w.s.isInt)
-			cell := geom.Rect{MinX: cellX(c), MinY: cellY(r), MaxX: cellX(c + 1), MaxY: cellY(r + 1)}
-			if lb < thresh && !w.s.opt.DisableRefinement && scanBudget >= len(rects) {
-				scanBudget -= len(rects)
-				// Interval bounds admit unachievable mixtures (Equation 1's
-				// slack); for cells with few partial rectangles an exact
-				// minimum over all subset completions is affordable and
-				// prunes the boundary-of-optimum tail. Sound: the achievable
-				// covering sets are a subset of the enumerated ones.
-				if rlb, ok := w.refineCellLB(cell, rects); ok {
-					w.stats.RefinedCells++
-					if rlb > lb {
-						lb = rlb
-					}
-					if lb >= thresh {
-						w.stats.RefinePruned++
+			cell := geom.Rect{MinX: g.xe[c], MinY: g.ye[r], MaxX: g.xe[c+1], MaxY: g.ye[r+1]}
+			if lb < thresh && !w.s.opt.DisableRefinement {
+				cost := w.refineCost(cell, len(ids))
+				if scanBudget >= cost {
+					scanBudget -= cost
+					// Interval bounds admit unachievable mixtures (Equation
+					// 1's slack); for cells with few partial rectangles an
+					// exact minimum over all subset completions is affordable
+					// and prunes the boundary-of-optimum tail. Sound: the
+					// achievable covering sets are a subset of the enumerated
+					// ones.
+					if rlb, ok := w.refineCellLB(cell, clip, ids); ok {
+						w.stats.RefinedCells++
+						if rlb > lb {
+							lb = rlb
+						}
+						if lb >= thresh {
+							w.stats.RefinePruned++
+						}
 					}
 				}
 			}
@@ -313,8 +345,209 @@ func (w *worker) discretize(space geom.Rect, rects []asp.RectObject) ([]cellInfo
 	w.dirty = dirty
 
 	drop := 2*cw < w.s.acc.DX && 2*chh < w.s.acc.DY
-	w.probeCellCenters(dirty, rects)
+	w.probeCellCenters(dirty, clip, ids)
 	return dirty, drop
+}
+
+// fillGridDiff is the per-rectangle difference-array fill: each
+// rectangle's channel contributions are range-added into the full- and
+// partial-cover grids, then one 2D prefix pass produces per-cell totals.
+func (w *worker) fillGridDiff(space geom.Rect, ids []int32, cw, chh float64) {
+	g := w.grid
+	tab := w.s.tab
+	master := w.s.rects
+	g.reset()
+	for _, id := range ids {
+		r := master[id].Rect
+		// Columns whose open interior intersects the rect interior.
+		c0, c1 := overlapRange(r.MinX, r.MaxX, space.MinX, cw, g.xe)
+		r0, r1 := overlapRange(r.MinY, r.MaxY, space.MinY, chh, g.ye)
+		if c0 > c1 || r0 > r1 {
+			continue
+		}
+		// Fully covered sub-range: every point of the cell interior is
+		// strictly inside the rect (closed cell ⊆ closed rect suffices for
+		// interiors; see DESIGN.md "Coverage semantics").
+		fc0, fc1 := fullRange(c0, c1, r.MinX, r.MaxX, g.xe)
+		fr0, fr1 := fullRange(r0, r1, r.MinY, r.MaxY, g.ye)
+
+		contribs := tab.rectContribs(id)
+		var mm []agg.MMContrib
+		if g.mmSlots > 0 {
+			mm = tab.rectMM(id)
+		}
+
+		if fc0 <= fc1 && fr0 <= fr1 {
+			g.rangeAdd(g.diffFull, contribs, fc0, fr0, fc1, fr1)
+			// Partial ring: the overlap range minus the full range, as up
+			// to four rectangles.
+			w.applyPartial(contribs, mm, c0, r0, c1, fr0-1) // bottom rows
+			w.applyPartial(contribs, mm, c0, fr1+1, c1, r1) // top rows
+			w.applyPartial(contribs, mm, c0, fr0, fc0-1, fr1)
+			w.applyPartial(contribs, mm, fc1+1, fr0, c1, fr1)
+		} else {
+			w.applyPartial(contribs, mm, c0, r0, c1, r1)
+		}
+	}
+	g.integrate()
+}
+
+// fillGridSAT computes the same per-cell totals from the query-level
+// summed-area table: for each cell, the covering rectangles are exactly
+// the anchors inside an axis-aligned box in (MinX, MinY) space, so the
+// totals are four-corner SAT lookups over the bins certainly inside the
+// box plus an exact scan of the boundary bins. Only valid for
+// integer-exact composites without min/max slots (satUsable), where
+// sums are independent of order and the subtraction overlap − full is
+// exact — which makes this fill bit-identical to fillGridDiff.
+//
+// The SAT counts over the whole master set while the difference-array
+// fill only sees the space's subset, so every predicate also carries the
+// subset's defining clause — open intersection with the space. This is
+// not redundant with the cell conditions: the grid's upper edges are
+// space.MinX + i*cw floats that can overshoot space.MaxX, letting a
+// boundary cell poke out of the space and "overlap" rectangles the
+// subset excludes.
+func (w *worker) fillGridSAT(clip geom.Rect) {
+	g := w.grid
+	t := w.s.tab
+	ncol, nrow := g.ncol, g.nrow
+	chans := g.chans
+
+	// Per-column anchor-box bin ranges. A rectangle fully covers column
+	// c's cells in x iff MinX ≤ xe[c] and MaxX ≥ xe[c+1]; it overlaps
+	// them iff MinX < xe[c+1] and MaxX > xe[c]; either way it must also
+	// satisfy MinX < space.MaxX (subset clause). In anchor space the
+	// MaxX conditions translate to MinX thresholds through the width
+	// range [wmin, wmax]: certainly-true and certainly-false bands whose
+	// gap lands in the outer-minus-interior ring scanned exactly.
+	bxCap := t.binX(clip.MaxX)
+	byCap := t.binY(clip.MaxY)
+	for c := 0; c < ncol; c++ {
+		hi := t.binX(g.xe[c])
+		if hi > bxCap {
+			hi = bxCap
+		}
+		g.fxIn1[c], g.fxOut1[c] = int32(hi), int32(hi+1)
+		g.fxIn0[c] = int32(t.binX(g.xe[c+1]-t.wmin) + 1)
+		g.fxOut0[c] = int32(t.binX(g.xe[c+1] - t.wmax))
+		hi = t.binX(g.xe[c+1])
+		if hi > bxCap {
+			hi = bxCap
+		}
+		g.oxIn1[c], g.oxOut1[c] = int32(hi), int32(hi+1)
+		g.oxIn0[c] = int32(t.binX(g.xe[c]-t.wmin) + 1)
+		g.oxOut0[c] = int32(t.binX(g.xe[c] - t.wmax))
+	}
+	for r := 0; r < nrow; r++ {
+		hi := t.binY(g.ye[r])
+		if hi > byCap {
+			hi = byCap
+		}
+		g.fyIn1[r], g.fyOut1[r] = int32(hi), int32(hi+1)
+		g.fyIn0[r] = int32(t.binY(g.ye[r+1]-t.hmin) + 1)
+		g.fyOut0[r] = int32(t.binY(g.ye[r+1] - t.hmax))
+		hi = t.binY(g.ye[r+1])
+		if hi > byCap {
+			hi = byCap
+		}
+		g.oyIn1[r], g.oyOut1[r] = int32(hi), int32(hi+1)
+		g.oyIn0[r] = int32(t.binY(g.ye[r]-t.hmin) + 1)
+		g.oyOut0[r] = int32(t.binY(g.ye[r] - t.hmax))
+	}
+
+	full := g.fullVec
+	ov := g.ovVec
+	for r := 0; r < nrow; r++ {
+		for c := 0; c < ncol; c++ {
+			clearF(full)
+			clearF(ov)
+			t.satRegion(int(g.fxIn0[c]), int(g.fxIn1[c]), int(g.fyIn0[r]), int(g.fyIn1[r]), full)
+			w.satRing(clip, c, r, true, full)
+			t.satRegion(int(g.oxIn0[c]), int(g.oxIn1[c]), int(g.oyIn0[r]), int(g.oyIn1[r]), ov)
+			w.satRing(clip, c, r, false, ov)
+
+			idx := g.cellIdx(c, r)
+			g.diffCnt[idx] = ov[0] - full[0]
+			df := g.diffFull[idx*chans : (idx+1)*chans]
+			dp := g.diffPart[idx*chans : (idx+1)*chans]
+			for ch := 0; ch < chans; ch++ {
+				df[ch] = full[1+ch]
+				dp[ch] = ov[1+ch] - full[1+ch]
+			}
+		}
+	}
+}
+
+// satRing scans the boundary bins of cell (c, r)'s anchor box — the bins
+// inside the outer range but not certainly inside the box — testing each
+// anchor's rectangle exactly against the cell's full-cover (full=true)
+// or overlap condition plus the space-subset clause, and accumulates
+// count+channels into acc.
+func (w *worker) satRing(clip geom.Rect, c, r int, full bool, acc []float64) {
+	g := w.grid
+	t := w.s.tab
+	var xi0, xi1, xo0, xo1, yi0, yi1, yo0, yo1 int
+	if full {
+		xi0, xi1 = int(g.fxIn0[c]), int(g.fxIn1[c])
+		xo0, xo1 = int(g.fxOut0[c]), int(g.fxOut1[c])
+		yi0, yi1 = int(g.fyIn0[r]), int(g.fyIn1[r])
+		yo0, yo1 = int(g.fyOut0[r]), int(g.fyOut1[r])
+	} else {
+		xi0, xi1 = int(g.oxIn0[c]), int(g.oxIn1[c])
+		xo0, xo1 = int(g.oxOut0[c]), int(g.oxOut1[c])
+		yi0, yi1 = int(g.oyIn0[r]), int(g.oyIn1[r])
+		yo0, yo1 = int(g.oyOut0[r]), int(g.oyOut1[r])
+	}
+	if xo0 < 0 {
+		xo0 = 0
+	}
+	if yo0 < 0 {
+		yo0 = 0
+	}
+	if xo1 > t.gx {
+		xo1 = t.gx
+	}
+	if yo1 > t.gy {
+		yo1 = t.gy
+	}
+	cellL, cellR := g.xe[c], g.xe[c+1]
+	cellB, cellT := g.ye[r], g.ye[r+1]
+	master := w.s.rects
+	for bj := yo0; bj < yo1; bj++ {
+		inJ := bj >= yi0 && bj < yi1
+		row := bj * t.gx
+		for bi := xo0; bi < xo1; bi++ {
+			if inJ && bi >= xi0 && bi < xi1 {
+				bi = xi1 - 1 // skip the interior run (already in the SAT sum)
+				continue
+			}
+			for _, id := range t.binIds[t.binStart[row+bi]:t.binStart[row+bi+1]] {
+				rc := &master[id].Rect
+				if !(rc.MinX < clip.MaxX && clip.MinX < rc.MaxX &&
+					rc.MinY < clip.MaxY && clip.MinY < rc.MaxY) {
+					continue // not in the chain-filtered subset
+				}
+				if !(rc.MinX < cellR && rc.MaxX > cellL && rc.MinY < cellT && rc.MaxY > cellB) {
+					// Not overlapping the cell. The overlap clause guards the
+					// full test too: the difference-array fill only applies
+					// full cover inside the overlap range, which differs
+					// exactly on degenerate zero-extent cells, where a
+					// rectangle can satisfy the closed full conditions while
+					// failing the open overlap ones. (Interior bins imply
+					// overlap automatically: a < cellL ≤ cellR, etc.)
+					continue
+				}
+				if full && !(rc.MinX <= cellL && rc.MaxX >= cellR && rc.MinY <= cellB && rc.MaxY >= cellT) {
+					continue
+				}
+				acc[0]++
+				for _, cb := range t.rectContribs(id) {
+					acc[1+cb.Ch] += cb.V
+				}
+			}
+		}
+	}
 }
 
 // probeCellCenters evaluates the centers of the most promising surviving
@@ -323,7 +556,7 @@ func (w *worker) discretize(space geom.Rect, rects []asp.RectObject) ([]cellInfo
 // d_opt converge early on flat distance landscapes, which is what lets
 // Equation 1 prune aggressively on workloads like F2 where many regions
 // are near-ties.
-func (w *worker) probeCellCenters(dirty []cellInfo, rects []asp.RectObject) {
+func (w *worker) probeCellCenters(dirty []cellInfo, clip geom.Rect, ids []int32) {
 	const probes = 4
 	if len(dirty) == 0 {
 		return
@@ -346,16 +579,37 @@ func (w *worker) probeCellCenters(dirty []cellInfo, rects []asp.RectObject) {
 		}
 	}
 	g := w.grid
+	t := w.s.tab
+	master := w.s.rects
 	query := &w.s.query
 	ch := g.refineCh[:g.chans]
 	for _, di := range idx {
 		p := dirty[di].rect.Center()
 		clearF(ch)
-		for i := range rects {
-			if rects[i].Rect.ContainsOpen(p) {
-				g.cbuf = query.F.AppendContribs(rects[i].Obj, g.cbuf[:0])
-				for _, cb := range g.cbuf {
-					ch[cb.Ch] += cb.V
+		if t.sorted {
+			// The rectangles covering p form a binary-searched window of
+			// the master order: MinX ∈ (p.X − wmax, p.X). The clip clause
+			// restricts the window to the space's chain-filtered subset
+			// (a probe point in a boundary cell can poke an ulp outside
+			// the clip; see Item.Clip).
+			lo := t.windowLo(p.X - t.wmax)
+			hi := t.windowHi(p.X)
+			for id := lo; id < hi; id++ {
+				rc := &master[id].Rect
+				if rc.ContainsOpen(p) &&
+					rc.MinX < clip.MaxX && clip.MinX < rc.MaxX &&
+					rc.MinY < clip.MaxY && clip.MinY < rc.MaxY {
+					for _, cb := range t.rectContribs(int32(id)) {
+						ch[cb.Ch] += cb.V
+					}
+				}
+			}
+		} else {
+			for _, id := range ids {
+				if master[id].Rect.ContainsOpen(p) {
+					for _, cb := range t.rectContribs(id) {
+						ch[cb.Ch] += cb.V
+					}
 				}
 			}
 		}
@@ -368,22 +622,24 @@ func (w *worker) probeCellCenters(dirty []cellInfo, rects []asp.RectObject) {
 }
 
 // applyPartial marks a (possibly empty) cell range as partially covered.
-func (w *worker) applyPartial(c0, r0, c1, r1 int) {
+func (w *worker) applyPartial(contribs []agg.Contrib, mm []agg.MMContrib, c0, r0, c1, r1 int) {
 	if c0 > c1 || r0 > r1 {
 		return
 	}
 	g := w.grid
-	g.rangeAdd(g.diffPart, g.cbuf, c0, r0, c1, r1)
+	g.rangeAdd(g.diffPart, contribs, c0, r0, c1, r1)
 	g.rangeAddCnt(c0, r0, c1, r1)
-	g.mmUpdate(g.mbuf, c0, r0, c1, r1)
+	g.mmUpdate(mm, c0, r0, c1, r1)
 }
 
 // overlapRange returns the inclusive range [i0, i1] of cells whose open
 // interior intersects the open interval (lo, hi); i0 > i1 signals no
-// overlap. Cells are [min+i*step, min+(i+1)*step] for i in [0, n). The
-// float guesses only seed the exact-comparison walks, so the result is
-// consistent with every other min+i*step computation in the package.
-func overlapRange(lo, hi, min, step float64, n int) (int, int) {
+// overlap. Cell edges are precomputed in edges (edges[i] == min+i*step
+// bit-for-bit). The float guess only seeds the exact-comparison walks,
+// so the result is consistent with every other edge computation in the
+// package.
+func overlapRange(lo, hi, min, step float64, edges []float64) (int, int) {
+	n := len(edges) - 1
 	// i0: smallest cell with right edge strictly greater than lo.
 	i0 := int(math.Floor((lo - min) / step))
 	if i0 < 0 {
@@ -392,10 +648,10 @@ func overlapRange(lo, hi, min, step float64, n int) (int, int) {
 	if i0 > n-1 {
 		i0 = n - 1
 	}
-	for i0 > 0 && min+float64(i0)*step > lo {
+	for i0 > 0 && edges[i0] > lo {
 		i0--
 	}
-	for i0 < n && min+float64(i0+1)*step <= lo {
+	for i0 < n && edges[i0+1] <= lo {
 		i0++
 	}
 	// i1: largest cell with left edge strictly smaller than hi.
@@ -406,52 +662,88 @@ func overlapRange(lo, hi, min, step float64, n int) (int, int) {
 	if i1 > n-1 {
 		i1 = n - 1
 	}
-	for i1 < n-1 && min+float64(i1+1)*step < hi {
+	for i1 < n-1 && edges[i1+1] < hi {
 		i1++
 	}
-	for i1 >= 0 && min+float64(i1)*step >= hi {
+	for i1 >= 0 && edges[i1] >= hi {
 		i1--
 	}
 	return i0, i1
 }
 
 // Gates for the subset-enumeration refinement. Each refined cell scans
-// the space's rectangle list (O(#rects)), so one discretize gets a total
-// scan budget; once exhausted, remaining cells keep their interval bound
-// (sound, just looser). Cells with many partial rectangles skip the
-// enumeration (O(2^#partial)).
+// the candidate rectangles for its cell (the space's rectangle list, or
+// the cell's binary-searched window on sorted masters), so one
+// discretize gets a total scan budget; once exhausted, remaining cells
+// keep their interval bound (sound, just looser). Cells with many
+// partial rectangles skip the enumeration (O(2^#partial)).
 const (
 	refineScanBudget = 6 << 20 // rectangle visits per discretize
 	refineMaxPartial = 6
 )
 
+// refineCost returns the number of rectangles a refineCellLB call for
+// this cell will scan, for budget accounting.
+func (w *worker) refineCost(cell geom.Rect, nIds int) int {
+	t := w.s.tab
+	if !t.sorted {
+		return nIds
+	}
+	lo := t.windowLo(cell.MinX - t.wmax)
+	hi := t.windowHi(cell.MaxX)
+	if hi < lo {
+		hi = lo
+	}
+	return hi - lo
+}
+
 // refineCellLB computes an exact lower bound for a dirty cell by
 // enumerating every completion of the full covering set with a subset of
 // the partial rectangles. Returns ok=false when the cell exceeds the
 // enumeration gates.
-func (w *worker) refineCellLB(cell geom.Rect, rects []asp.RectObject) (float64, bool) {
+func (w *worker) refineCellLB(cell, clip geom.Rect, ids []int32) (float64, bool) {
 	g := w.grid
+	t := w.s.tab
+	master := w.s.rects
 	query := &w.s.query
 	base := g.refineBase[:g.chans]
 	clearF(base)
 	partial := g.refinePartial[:0]
-	for i := range rects {
-		r := rects[i].Rect
+	consider := func(id int32) bool {
+		r := master[id].Rect
 		// Only rectangles whose interior meets the cell interior matter.
 		if !(r.MinX < cell.MaxX && cell.MinX < r.MaxX && r.MinY < cell.MaxY && cell.MinY < r.MaxY) {
-			continue
+			return true
 		}
 		if r.ContainsRect(cell) {
-			g.cbuf = query.F.AppendContribs(rects[i].Obj, g.cbuf[:0])
-			for _, cb := range g.cbuf {
+			for _, cb := range t.rectContribs(id) {
 				base[cb.Ch] += cb.V
 			}
-			continue
+			return true
 		}
-		partial = append(partial, rects[i].Obj)
-		if len(partial) > refineMaxPartial {
-			g.refinePartial = partial[:0]
-			return 0, false
+		partial = append(partial, id)
+		return len(partial) <= refineMaxPartial
+	}
+	if t.sorted {
+		lo := t.windowLo(cell.MinX - t.wmax)
+		hi := t.windowHi(cell.MaxX)
+		for id := lo; id < hi; id++ {
+			r := &master[id].Rect
+			if !(r.MinX < clip.MaxX && clip.MinX < r.MaxX &&
+				r.MinY < clip.MaxY && clip.MinY < r.MaxY) {
+				continue // outside the space's chain-filtered subset
+			}
+			if !consider(int32(id)) {
+				g.refinePartial = partial[:0]
+				return 0, false
+			}
+		}
+	} else {
+		for _, id := range ids {
+			if !consider(id) {
+				g.refinePartial = partial[:0]
+				return 0, false
+			}
 		}
 	}
 	g.refinePartial = partial[:0]
@@ -464,8 +756,7 @@ func (w *worker) refineCellLB(cell geom.Rect, rects []asp.RectObject) (float64, 
 			if mask&(1<<i) == 0 {
 				continue
 			}
-			g.cbuf = query.F.AppendContribs(partial[i], g.cbuf[:0])
-			for _, cb := range g.cbuf {
+			for _, cb := range t.rectContribs(partial[i]) {
 				ch[cb.Ch] += cb.V
 			}
 		}
@@ -479,12 +770,12 @@ func (w *worker) refineCellLB(cell geom.Rect, rects []asp.RectObject) (float64, 
 
 // fullRange shrinks [c0, c1] to the cells entirely inside [lo, hi]
 // (closed containment).
-func fullRange(c0, c1 int, lo, hi, min, step float64) (int, int) {
+func fullRange(c0, c1 int, lo, hi float64, edges []float64) (int, int) {
 	f0, f1 := c0, c1
-	for f0 <= f1 && min+float64(f0)*step < lo {
+	for f0 <= f1 && edges[f0] < lo {
 		f0++
 	}
-	for f1 >= f0 && min+float64(f1+1)*step > hi {
+	for f1 >= f0 && edges[f1+1] > hi {
 		f1--
 	}
 	return f0, f1

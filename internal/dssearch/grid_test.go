@@ -9,6 +9,16 @@ import (
 	"asrs/internal/geom"
 )
 
+// mkEdges builds the precomputed cell-edge array discretize passes to
+// overlapRange/fullRange.
+func mkEdges(min, step float64, n int) []float64 {
+	edges := make([]float64, n+1)
+	for i := range edges {
+		edges[i] = min + float64(i)*step
+	}
+	return edges
+}
+
 // TestOverlapRange: exhaustive validation against the definition — cell i
 // overlaps (lo, hi) iff x_i < hi and x_{i+1} > lo.
 func TestOverlapRange(t *testing.T) {
@@ -17,12 +27,13 @@ func TestOverlapRange(t *testing.T) {
 		step = 2.5
 		n    = 8
 	)
+	edges := mkEdges(min, step, n)
 	cellX := func(i int) float64 { return min + float64(i)*step }
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 5000; trial++ {
 		lo := min - 5 + rng.Float64()*30
 		hi := lo + rng.Float64()*20
-		i0, i1 := overlapRange(lo, hi, min, step, n)
+		i0, i1 := overlapRange(lo, hi, min, step, edges)
 		for i := 0; i < n; i++ {
 			overlaps := cellX(i) < hi && cellX(i+1) > lo
 			inRange := i >= i0 && i <= i1
@@ -36,20 +47,21 @@ func TestOverlapRange(t *testing.T) {
 // TestOverlapRangeEdgeAligned: interval endpoints exactly on cell edges.
 func TestOverlapRangeEdgeAligned(t *testing.T) {
 	// Cells [0,1], [1,2], [2,3], [3,4].
-	i0, i1 := overlapRange(1, 3, 0, 1, 4)
+	edges := mkEdges(0, 1, 4)
+	i0, i1 := overlapRange(1, 3, 0, 1, edges)
 	if i0 != 1 || i1 != 2 {
 		t.Fatalf("aligned (1,3): [%d,%d], want [1,2]", i0, i1)
 	}
 	// Degenerate open interval on an edge overlaps nothing.
-	i0, i1 = overlapRange(2, 2, 0, 1, 4)
+	i0, i1 = overlapRange(2, 2, 0, 1, edges)
 	if i0 <= i1 {
 		t.Fatalf("degenerate interval: [%d,%d] non-empty", i0, i1)
 	}
 	// Entirely left/right of the grid.
-	if i0, i1 := overlapRange(-5, -1, 0, 1, 4); i0 <= i1 {
+	if i0, i1 := overlapRange(-5, -1, 0, 1, edges); i0 <= i1 {
 		t.Fatalf("left of grid: [%d,%d]", i0, i1)
 	}
-	if i0, i1 := overlapRange(6, 9, 0, 1, 4); i0 <= i1 {
+	if i0, i1 := overlapRange(6, 9, 0, 1, edges); i0 <= i1 {
 		t.Fatalf("right of grid: [%d,%d]", i0, i1)
 	}
 }
@@ -62,15 +74,16 @@ func TestFullRange(t *testing.T) {
 		step = 1.0
 		n    = 10
 	)
+	edges := mkEdges(min, step, n)
 	rng := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 2000; trial++ {
 		lo := rng.Float64() * 8
 		hi := lo + rng.Float64()*5
-		c0, c1 := overlapRange(lo, hi, min, step, n)
+		c0, c1 := overlapRange(lo, hi, min, step, edges)
 		if c0 > c1 {
 			continue
 		}
-		f0, f1 := fullRange(c0, c1, lo, hi, min, step)
+		f0, f1 := fullRange(c0, c1, lo, hi, edges)
 		for i := f0; i <= f1; i++ {
 			if min+float64(i)*step < lo || min+float64(i+1)*step > hi {
 				t.Fatalf("lo=%g hi=%g: cell %d reported full but not contained", lo, hi, i)

@@ -1,0 +1,557 @@
+package dssearch
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/geom"
+)
+
+// This file implements the per-query incremental-aggregation layer of
+// DS-Search: one `tables` value is built per Searcher and owns
+//
+//   - the master rectangle array, sorted by (MinX, MinY) when the
+//     composite is integer-exact, so that every space's relevant
+//     rectangles form a binary-searchable contiguous window;
+//   - the flattened per-rectangle channel contributions (AppendContribs
+//     evaluated once per query instead of once per discretization);
+//   - the GPS-accuracy computation (Definition 7), derived from the
+//     sorted coordinate arrays by a merge walk instead of re-sorting the
+//     edge multiset per query;
+//   - the query-level summed-area table (SAT): 2D prefix sums of
+//     rectangle-anchor counts and channel contributions over a bin grid,
+//     plus CSR per-bin id lists. Discretize uses it to compute a cell's
+//     full-/partial-cover totals with four-corner lookups plus an exact
+//     scan of the boundary bins, instead of re-integrating difference
+//     arrays over the whole space (see DESIGN.md §2).
+//
+// The SAT path is enabled only for *integer-exact* composites — ones
+// whose every channel contribution is an integer (fD, fC, and fS/fA over
+// integer-valued attributes), so that channel sums are exact in float64
+// and therefore independent of summation order. That is what lets the
+// SAT totals be bit-identical to the difference-array totals (the
+// property tests assert this), and the search trajectory stay
+// deterministic for every worker count. Composites with non-integer
+// contributions keep the difference-array path and the original master
+// order, byte-for-byte the pre-SAT behavior.
+
+// satMinIds is the rectangle count at which discretize switches from the
+// per-rectangle difference-array fill to SAT lookups: the SAT fill costs
+// O(cells · boundary-bin density) independent of the rectangle count, so
+// it wins exactly on the large spaces near the root of the split tree.
+// A variable so tests can force the SAT path onto small inputs.
+var satMinIds = 2048
+
+// maxIntContrib bounds the channel contributions accepted as
+// integer-exact; n·maxIntContrib must stay well inside float64's exact
+// integer range (2^53).
+const maxIntContrib = 1 << 30
+
+// tables is the per-query aggregation layer described above. It is built
+// by newSearcher and shared read-only by all kernel workers; the lazily
+// built SAT is protected by satMu.
+type tables struct {
+	f     *agg.Composite
+	chans int
+
+	intExact bool // every contribution integer-valued (and few enough to sum exactly)
+	sorted   bool // master order is (MinX, MinY); windows are usable
+
+	wmin, wmax float64 // range of rect widths (MaxX-MinX) over the master set
+	hmin, hmax float64
+
+	minXs []float64 // master[i].Rect.MinX, aligned with master order
+
+	// Flattened channel contributions: master[i] contributes
+	// contribs[cOff[i]:cOff[i+1]]; likewise mm contributions.
+	cOff     []int32
+	contribs []agg.Contrib
+	mOff     []int32
+	mms      []agg.MMContrib
+
+	// Accuracy scratch (kept for slab reuse).
+	axs, bxs []float64
+
+	// Query-level SAT over rectangle-anchor (MinX, MinY) bins.
+	satMu        sync.Mutex
+	satBuilt     bool
+	gx, gy       int
+	bx0, by0     float64
+	bxMax, byMax float64 // largest anchor coordinates (see binX)
+	bw, bh       float64
+	sat          []float64 // (gx+1)*(gy+1)*(chans+1) prefix sums; channel 0 = count
+	binStart     []int32   // gx*gy+1 CSR offsets
+	binIds       []int32   // master ids grouped by bin, ascending within a bin
+
+	// Recycled id slices handed back by a released Searcher (slab reuse
+	// across Engine queries).
+	idFree [][]int32
+}
+
+// reset prepares a recycled tables value for a new query, keeping every
+// slice's capacity.
+func (t *tables) reset() {
+	t.satBuilt = false
+	t.sat = t.sat[:0]
+	t.binStart = t.binStart[:0]
+	t.binIds = t.binIds[:0]
+	t.minXs = t.minXs[:0]
+	t.cOff = t.cOff[:0]
+	t.contribs = t.contribs[:0]
+	t.mOff = t.mOff[:0]
+	t.mms = t.mms[:0]
+}
+
+// buildTables constructs the layer over master for the composite f.
+// When own is true the master slice may be re-sorted in place; otherwise
+// a sorted copy is made if sorting is called for. It returns the master
+// actually used (== the input unless a copy was needed).
+func buildTables(t *tables, master []asp.RectObject, f *agg.Composite, own bool) []asp.RectObject {
+	t.f = f
+	t.chans = f.Channels()
+
+	if cap(t.cOff) < len(master)+1 {
+		// Pre-size the slab arrays: the flatten/accuracy passes would
+		// otherwise each pay ~2x their final size in append-doubling
+		// churn, which dominates the per-query allocation profile.
+		t.cOff = make([]int32, 0, len(master)+1)
+		t.contribs = make([]agg.Contrib, 0, len(master)+len(master)/4)
+		t.minXs = make([]float64, 0, len(master))
+		t.axs = make([]float64, 0, len(master))
+		t.bxs = make([]float64, 0, len(master))
+	}
+
+	// Pass 1: extent ranges and contribution flattening in current order,
+	// deciding integer exactness as we go.
+	t.wmin, t.wmax = math.Inf(1), math.Inf(-1)
+	t.hmin, t.hmax = math.Inf(1), math.Inf(-1)
+	intExact := len(master) < (1 << 22) // keep n·maxIntContrib ≪ 2^53
+	t.flattenContribs(master)
+	for i := range master {
+		r := &master[i].Rect
+		if w := r.MaxX - r.MinX; true {
+			if w < t.wmin {
+				t.wmin = w
+			}
+			if w > t.wmax {
+				t.wmax = w
+			}
+		}
+		if h := r.MaxY - r.MinY; true {
+			if h < t.hmin {
+				t.hmin = h
+			}
+			if h > t.hmax {
+				t.hmax = h
+			}
+		}
+	}
+	for i := range t.contribs {
+		v := t.contribs[i].V
+		if v != math.Trunc(v) || v > maxIntContrib || v < -maxIntContrib {
+			intExact = false
+			break
+		}
+	}
+	t.intExact = intExact
+
+	// Integer-exact composites get the sorted master (and with it the
+	// window, probe and SAT machinery). Sorting reorders float summation,
+	// which is harmless exactly when contributions are integers.
+	t.sorted = false
+	if intExact && len(master) > 1 {
+		if !sort.SliceIsSorted(master, func(a, b int) bool {
+			ra, rb := &master[a].Rect, &master[b].Rect
+			if ra.MinX != rb.MinX {
+				return ra.MinX < rb.MinX
+			}
+			return ra.MinY < rb.MinY
+		}) {
+			if !own {
+				master = append([]asp.RectObject(nil), master...)
+			}
+			sort.Slice(master, func(a, b int) bool {
+				ra, rb := &master[a].Rect, &master[b].Rect
+				if ra.MinX != rb.MinX {
+					return ra.MinX < rb.MinX
+				}
+				return ra.MinY < rb.MinY
+			})
+			t.flattenContribs(master) // realign with the new order
+		}
+		t.sorted = true
+	} else if intExact {
+		t.sorted = true // 0- and 1-element masters are trivially sorted
+	}
+
+	t.minXs = t.minXs[:0]
+	for i := range master {
+		t.minXs = append(t.minXs, master[i].Rect.MinX)
+	}
+	return master
+}
+
+// flattenContribs (re)fills the per-rect contribution tables in master
+// order.
+func (t *tables) flattenContribs(master []asp.RectObject) {
+	t.cOff = append(t.cOff[:0], 0)
+	t.contribs = t.contribs[:0]
+	for i := range master {
+		t.contribs = t.f.AppendContribs(master[i].Obj, t.contribs)
+		t.cOff = append(t.cOff, int32(len(t.contribs)))
+	}
+	if t.f.MinMaxSlots() > 0 {
+		t.mOff = append(t.mOff[:0], 0)
+		t.mms = t.mms[:0]
+		for i := range master {
+			t.mms = t.f.AppendMM(master[i].Obj, t.mms)
+			t.mOff = append(t.mOff, int32(len(t.mms)))
+		}
+	}
+}
+
+// rectContribs returns master[id]'s flattened channel contributions.
+func (t *tables) rectContribs(id int32) []agg.Contrib {
+	return t.contribs[t.cOff[id]:t.cOff[id+1]]
+}
+
+// rectMM returns master[id]'s flattened min/max contributions.
+func (t *tables) rectMM(id int32) []agg.MMContrib {
+	return t.mms[t.mOff[id]:t.mOff[id+1]]
+}
+
+// satUsable reports whether discretize may use the SAT fill: channel
+// sums must be order-independent (integer-exact) and there must be no
+// min/max slots (those do not telescope; composites with fA components
+// are not integer-exact anyway, since the fA sum channel carries raw
+// attribute values).
+func (t *tables) satUsable() bool { return t.sorted && t.intExact && t.f.MinMaxSlots() == 0 }
+
+// accuracy computes the Definition 7 GPS accuracies: the minimum
+// separation of the distinct x (resp. y) edge coordinates. The edge
+// multiset {MinX} ∪ {MaxX} is enumerated in sorted order by merging two
+// sorted halves, so the result is bit-identical to sorting the combined
+// multiset (the pre-SAT geom.ComputeAccuracy path) at half the sort work
+// and none of the allocation.
+func (t *tables) accuracy(master []asp.RectObject) geom.Accuracy {
+	t.axs = t.axs[:0]
+	t.bxs = t.bxs[:0]
+	for i := range master {
+		t.axs = append(t.axs, master[i].Rect.MinX)
+		t.bxs = append(t.bxs, master[i].Rect.MaxX)
+	}
+	if !t.sorted {
+		sort.Float64s(t.axs)
+	}
+	sort.Float64s(t.bxs)
+	dx := minGapMerged(t.axs, t.bxs)
+	t.axs = t.axs[:0]
+	t.bxs = t.bxs[:0]
+	for i := range master {
+		t.axs = append(t.axs, master[i].Rect.MinY)
+		t.bxs = append(t.bxs, master[i].Rect.MaxY)
+	}
+	sort.Float64s(t.axs)
+	sort.Float64s(t.bxs)
+	dy := minGapMerged(t.axs, t.bxs)
+	return geom.Accuracy{DX: dx, DY: dy}
+}
+
+// minGapMerged returns the smallest positive gap between consecutive
+// values of the merged sorted sequences a and b (+Inf when no positive
+// gap exists).
+func minGapMerged(a, b []float64) float64 {
+	min := math.Inf(1)
+	prev := math.NaN()
+	ai, bi := 0, 0
+	for ai < len(a) || bi < len(b) {
+		var v float64
+		if bi >= len(b) || (ai < len(a) && a[ai] <= b[bi]) {
+			v = a[ai]
+			ai++
+		} else {
+			v = b[bi]
+			bi++
+		}
+		if d := v - prev; !math.IsNaN(prev) && d > 0 && d < min {
+			min = d
+		}
+		prev = v
+	}
+	return min
+}
+
+// windowLo returns the first master index whose MinX exceeds x
+// (binary search over the sorted minXs).
+func (t *tables) windowLo(x float64) int {
+	return sort.Search(len(t.minXs), func(i int) bool { return t.minXs[i] > x })
+}
+
+// windowHi returns the first master index whose MinX is >= x.
+func (t *tables) windowHi(x float64) int {
+	return sort.SearchFloat64s(t.minXs, x)
+}
+
+// window returns the [lo, hi) master index range that must contain every
+// rectangle whose open interior intersects the open x-range (x0, x1):
+// such a rectangle has MinX < x1 and MaxX > x0, hence MinX > x0 - wmax.
+func (t *tables) window(x0, x1 float64) (int, int) {
+	lo := t.windowLo(x0 - t.wmax)
+	hi := t.windowHi(x1)
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// ---- Query-level SAT ----
+
+// satGrid picks the bin granularity for n anchors.
+func satGrid(n int) int {
+	g := int(math.Sqrt(float64(n)))
+	if g < 8 {
+		g = 8
+	}
+	if g > 128 {
+		g = 128
+	}
+	return g
+}
+
+// ensureSAT lazily builds the summed-area table over the master anchors.
+// Many queries never pop a space large enough to want it, so the build
+// cost is deferred to the first large discretization. Safe for
+// concurrent workers; the build result is deterministic, so it does not
+// matter which worker wins the race for the lock.
+func (t *tables) ensureSAT(master []asp.RectObject) {
+	t.satMu.Lock()
+	defer t.satMu.Unlock()
+	if t.satBuilt {
+		return
+	}
+	n := len(master)
+	g := satGrid(n)
+	t.gx, t.gy = g, g
+
+	bx0, by0 := math.Inf(1), math.Inf(1)
+	bx1, by1 := math.Inf(-1), math.Inf(-1)
+	for i := range master {
+		r := &master[i].Rect
+		if r.MinX < bx0 {
+			bx0 = r.MinX
+		}
+		if r.MinX > bx1 {
+			bx1 = r.MinX
+		}
+		if r.MinY < by0 {
+			by0 = r.MinY
+		}
+		if r.MinY > by1 {
+			by1 = r.MinY
+		}
+	}
+	t.bx0, t.by0 = bx0, by0
+	t.bxMax, t.byMax = bx1, by1
+	t.bw = (bx1 - bx0) / float64(g)
+	t.bh = (by1 - by0) / float64(g)
+	if !(t.bw > 0) {
+		t.bw = 1
+	}
+	if !(t.bh > 0) {
+		t.bh = 1
+	}
+
+	// CSR bins via counting sort (stable: ids ascend within each bin).
+	nb := g * g
+	t.binStart = resizeInt32(t.binStart, nb+1)
+	for i := range t.binStart {
+		t.binStart[i] = 0
+	}
+	binOf := func(r *geom.Rect) int {
+		bi := int((r.MinX - bx0) / t.bw)
+		bj := int((r.MinY - by0) / t.bh)
+		if bi >= g {
+			bi = g - 1
+		}
+		if bj >= g {
+			bj = g - 1
+		}
+		return bj*g + bi
+	}
+	for i := range master {
+		t.binStart[binOf(&master[i].Rect)+1]++
+	}
+	for b := 0; b < nb; b++ {
+		t.binStart[b+1] += t.binStart[b]
+	}
+	t.binIds = resizeInt32(t.binIds, n)
+	fill := append([]int32(nil), t.binStart[:nb]...)
+	for i := range master {
+		b := binOf(&master[i].Rect)
+		t.binIds[fill[b]] = int32(i)
+		fill[b]++
+	}
+
+	// Prefix-summed count+channel grid: sat[(j*(g+1)+i)*C+c] holds the
+	// totals of anchors in bins [0,i)×[0,j); channel 0 is the anchor
+	// count, channels 1..chans the composite channels. All values are
+	// integers (satUsable gates on integer exactness), so the prefix
+	// telescoping and the four-corner differences are exact.
+	C := t.chans + 1
+	t.sat = resizeF64(t.sat, (g+1)*(g+1)*C)
+	for i := range t.sat {
+		t.sat[i] = 0
+	}
+	w := g + 1
+	for i := range master {
+		b := binOf(&master[i].Rect)
+		bi, bj := b%g, b/g
+		at := ((bj+1)*w + bi + 1) * C
+		t.sat[at]++
+		for _, cb := range t.rectContribs(int32(i)) {
+			t.sat[at+1+cb.Ch] += cb.V
+		}
+	}
+	for j := 0; j <= g; j++ {
+		row := j * w * C
+		for i := 1; i <= g; i++ {
+			a := row + i*C
+			for c := 0; c < C; c++ {
+				t.sat[a+c] += t.sat[a-C+c]
+			}
+		}
+	}
+	for j := 1; j <= g; j++ {
+		cur := j * w * C
+		prev := cur - w*C
+		for i := 0; i < w*C; i++ {
+			t.sat[cur+i] += t.sat[prev+i]
+		}
+	}
+	t.satBuilt = true
+}
+
+// binX maps an x coordinate to its bin column for threshold purposes:
+// values below every bin map to -1, and values are mapped to the
+// (gx) "above everything" sentinel only when they strictly exceed the
+// largest anchor. The latter guard matters because anchors at the grid's
+// far edge are clamped into the last bin: a threshold inside the last
+// bin's float-rounded overshoot must keep that bin in the exactly
+// tested ring, or anchors beyond the threshold would be mis-counted by
+// the interior four-corner sum. binY likewise.
+func (t *tables) binX(x float64) int {
+	v := math.Floor((x - t.bx0) / t.bw)
+	if v < 0 {
+		return -1
+	}
+	if v >= float64(t.gx) {
+		if x > t.bxMax {
+			return t.gx
+		}
+		return t.gx - 1
+	}
+	return int(v)
+}
+
+func (t *tables) binY(y float64) int {
+	v := math.Floor((y - t.by0) / t.bh)
+	if v < 0 {
+		return -1
+	}
+	if v >= float64(t.gy) {
+		if y > t.byMax {
+			return t.gy
+		}
+		return t.gy - 1
+	}
+	return int(v)
+}
+
+// satRegion adds the count+channel totals of anchors in bins
+// [i0,i1)×[j0,j1) into out (length chans+1) via a four-corner lookup.
+func (t *tables) satRegion(i0, i1, j0, j1 int, out []float64) {
+	if i0 < 0 {
+		i0 = 0
+	}
+	if j0 < 0 {
+		j0 = 0
+	}
+	if i1 > t.gx {
+		i1 = t.gx
+	}
+	if j1 > t.gy {
+		j1 = t.gy
+	}
+	if i0 >= i1 || j0 >= j1 {
+		return
+	}
+	C := t.chans + 1
+	w := t.gx + 1
+	a := (j1*w + i1) * C
+	b := (j0*w + i1) * C
+	c := (j1*w + i0) * C
+	d := (j0*w + i0) * C
+	for ch := 0; ch < C; ch++ {
+		out[ch] += t.sat[a+ch] - t.sat[b+ch] - t.sat[c+ch] + t.sat[d+ch]
+	}
+}
+
+// resizeInt32 returns a slice of length n reusing capacity.
+func resizeInt32(v []int32, n int) []int32 {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]int32, n)
+}
+
+// resizeF64 returns a slice of length n reusing capacity.
+func resizeF64(v []float64, n int) []float64 {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]float64, n)
+}
+
+// ---- Slab cache ----
+
+// SlabCache recycles the per-query table slabs (sorted coordinate
+// arrays, contribution tables, SAT grids, id-slice arenas) across
+// searches. An Engine holds one per composite so that steady-state
+// serving rebuilds table *contents* each query but reallocates nothing.
+// Safe for concurrent use; the zero value is ready.
+type SlabCache struct {
+	mu   sync.Mutex
+	free []*tables
+}
+
+// get returns a recycled tables value (reset, capacities kept) or a
+// fresh one.
+func (c *SlabCache) get() *tables {
+	if c == nil {
+		return &tables{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := len(c.free); n > 0 {
+		t := c.free[n-1]
+		c.free = c.free[:n-1]
+		t.reset()
+		return t
+	}
+	return &tables{}
+}
+
+// put hands a tables value back for reuse.
+func (c *SlabCache) put(t *tables) {
+	if c == nil || t == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.free) < 4 {
+		c.free = append(c.free, t)
+	}
+}

@@ -8,6 +8,83 @@ package fenwick
 
 import "fmt"
 
+// Tree1D is a one-dimensional Fenwick tree over n positions, each
+// carrying `chans` float64 channels, in range-add / point-query form:
+// RangeAdd adds a delta to every position of an inclusive range in
+// O(log n), and PointInto reads one position's channel vector in
+// O(log n · chans). It is the substrate of the incremental sweep
+// (internal/sweep): strip accumulators advance by edge deltas instead of
+// rescanning every interval. The zero value is not usable; construct
+// with New1D or Reset a recycled tree.
+type Tree1D struct {
+	n, chans int
+	// data is 1-based: position i lives at ((i+1)*chans ...); entry j
+	// holds the standard BIT partial sums of the difference array.
+	data []float64
+}
+
+// New1D returns a tree over n positions with the given channel count.
+func New1D(n, chans int) *Tree1D {
+	if n < 1 || chans < 1 {
+		panic(fmt.Sprintf("fenwick: invalid dimensions %dx%d", n, chans))
+	}
+	t := &Tree1D{}
+	t.Reset(n, chans)
+	return t
+}
+
+// Reset re-dimensions the tree to n positions × chans channels and
+// zeroes it, reusing the backing array when it fits.
+func (t *Tree1D) Reset(n, chans int) {
+	t.n = n
+	t.chans = chans
+	need := (n + 1) * chans
+	if cap(t.data) >= need {
+		t.data = t.data[:need]
+		for i := range t.data {
+			t.data[i] = 0
+		}
+	} else {
+		t.data = make([]float64, need)
+	}
+}
+
+// Len returns the number of positions.
+func (t *Tree1D) Len() int { return t.n }
+
+// RangeAdd adds delta to channel ch of every position in [l, r]
+// (inclusive). Out-of-range ends are clamped; empty ranges are no-ops.
+func (t *Tree1D) RangeAdd(l, r, ch int, delta float64) {
+	if l < 0 {
+		l = 0
+	}
+	if r >= t.n {
+		r = t.n - 1
+	}
+	if l > r {
+		return
+	}
+	for i := l + 1; i <= t.n; i += i & (-i) {
+		t.data[i*t.chans+ch] += delta
+	}
+	for i := r + 2; i <= t.n; i += i & (-i) {
+		t.data[i*t.chans+ch] -= delta
+	}
+}
+
+// PointInto writes position i's channel vector into out (length chans).
+func (t *Tree1D) PointInto(i int, out []float64) {
+	for c := range out {
+		out[c] = 0
+	}
+	for i = i + 1; i > 0; i -= i & (-i) {
+		base := i * t.chans
+		for c := 0; c < t.chans; c++ {
+			out[c] += t.data[base+c]
+		}
+	}
+}
+
 // Tree2D is a 2D Fenwick tree over an sx×sy grid, each cell carrying
 // `chans` float64 channels. The zero value is not usable; construct with
 // New2D.

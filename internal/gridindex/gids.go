@@ -3,50 +3,12 @@ package gridindex
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"asrs/internal/asp"
 	"asrs/internal/dssearch"
 	"asrs/internal/geom"
 	"asrs/internal/kernel"
 )
-
-// rectWindow accelerates "which rectangles matter for this cell". The
-// reduction produces uniformly sized rectangles, so the rectangles whose
-// interior meets a cell's x-extent form a contiguous run in MinX order —
-// one binary search per side, then a y filter over the run.
-type rectWindow struct {
-	byMinX []asp.RectObject // sorted by Rect.MinX
-	width  float64          // uniform rectangle width (0 if none)
-}
-
-func newRectWindow(rects []asp.RectObject) *rectWindow {
-	w := &rectWindow{byMinX: append([]asp.RectObject(nil), rects...)}
-	sort.Slice(w.byMinX, func(i, j int) bool { return w.byMinX[i].Rect.MinX < w.byMinX[j].Rect.MinX })
-	if len(rects) > 0 {
-		w.width = rects[0].Rect.Width()
-	}
-	return w
-}
-
-// subset returns the rectangles whose open interior intersects the closed
-// space, appended to dst.
-func (w *rectWindow) subset(space geom.Rect, dst []asp.RectObject) []asp.RectObject {
-	// Interior intersection in x: MinX < space.MaxX && MinX+width > space.MinX.
-	lo := sort.Search(len(w.byMinX), func(i int) bool {
-		return w.byMinX[i].Rect.MinX > space.MinX-w.width
-	})
-	for i := lo; i < len(w.byMinX); i++ {
-		r := w.byMinX[i].Rect
-		if r.MinX >= space.MaxX {
-			break
-		}
-		if r.MinY < space.MaxY && space.MinY < r.MaxY {
-			dst = append(dst, w.byMinX[i])
-		}
-	}
-	return dst
-}
 
 // GI-DS (Algorithm 2): estimate a distance lower bound for the candidate
 // regions bl-corner-located in every index cell, then search the cells
@@ -83,10 +45,15 @@ func Solve(idx *Index, rects []asp.RectObject, q asp.Query, a, b float64, opt ds
 	if err := q.Validate(); err != nil {
 		return asp.Result{}, Stats{}, err
 	}
-	searcher, err := dssearch.NewSearcher(rects, q, opt)
+	// Ownership of rects passes to the searcher, whose incremental layer
+	// may re-sort them by MinX; every use below goes through the searcher
+	// or is order-independent.
+	searcher, err := dssearch.NewSearcherOwning(rects, q, opt)
 	if err != nil {
 		return asp.Result{}, Stats{}, err
 	}
+	defer searcher.Release()
+	rects = searcher.Rects()
 	var stats Stats
 
 	// Seed the incumbent with the empty covering set.
@@ -121,10 +88,10 @@ func Solve(idx *Index, rects []asp.RectObject, q asp.Query, a, b float64, opt ds
 			}
 		}
 
-		// Lines 5–7: best-first refinement. Rectangle subsets per cell come
-		// from the binary-searched window, not a linear scan.
-		window := newRectWindow(rects)
-		var sub []asp.RectObject
+		// Lines 5–7: best-first refinement. Rectangle id subsets per cell
+		// come from the searcher's binary-searched master window, not a
+		// linear scan.
+		var sub []int32
 		for h.Len() > 0 {
 			top := h.Pop()
 			thresh := searcher.Best().Dist
@@ -135,8 +102,8 @@ func Solve(idx *Index, rects []asp.RectObject, q asp.Query, a, b float64, opt ds
 				break
 			}
 			stats.CellsSearched++
-			sub = window.subset(top.rect, sub[:0])
-			searcher.SolveWithinSubset(top.rect, top.lb, sub)
+			sub = searcher.AppendWindowIDs(top.rect, sub[:0])
+			searcher.SolveWithinIDs(top.rect, top.lb, sub)
 		}
 	}
 

@@ -13,9 +13,10 @@ import (
 )
 
 // ParallelBenchConfig drives the concurrent-kernel benchmark sweep that
-// backs BENCH_PR1.json: DS-Search on the tweet workload across worker
-// counts, reported machine-readably so the perf trajectory can be
-// tracked across PRs.
+// backs the BENCH_PR*.json trajectory files: DS-Search on the tweet
+// workload across worker counts, reported machine-readably so the perf
+// trajectory can be tracked across PRs (each PR's file records the
+// previous PR's workers=1 result as baseline_ns_per_op).
 type ParallelBenchConfig struct {
 	N       int   // dataset cardinality (default 100000)
 	K       int   // query size multiplier (default 10, matching Fig. 10)

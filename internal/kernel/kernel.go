@@ -39,7 +39,6 @@ package kernel
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"asrs/internal/asp"
@@ -54,14 +53,26 @@ import (
 const batchSize = 32
 
 // Item is one unit of best-first work: a candidate space, its Equation 1
-// lower bound, and the rectangle objects whose interiors intersect it.
+// lower bound, and the ids (indices into the processor's master rectangle
+// array) of the rectangle objects whose interiors intersect it. Ids are
+// 4-byte indices rather than materialized rectangle copies so that the
+// subsets flowing through the heap cost a tenth of the memory and recycle
+// through the processor's per-worker arenas.
 type Item struct {
 	LB    float64
 	Space geom.Rect
-	Rects []asp.RectObject
-	// Pooled marks rect slices owned by the search's buffer pool (the
-	// processor recycles them after use); seed items passed by callers
-	// keep their slices.
+	// Clip is the running intersection of this item's space with every
+	// ancestor space. Child spaces are cell MBRs whose float upper edges
+	// can overshoot the parent by an ulp, so Ids — filtered down the
+	// ancestor chain — is exactly the master set open-intersecting Clip,
+	// not Space. Processors that consult query-global structures (the
+	// dssearch SAT layer) clamp against Clip to stay consistent with the
+	// chain-filtered subset. The kernel itself never reads it.
+	Clip geom.Rect
+	Ids  []int32
+	// Pooled marks id slices owned by the search's arena (the processor
+	// recycles them after use); seed items passed by callers keep their
+	// slices.
 	Pooled bool
 }
 
@@ -85,10 +96,14 @@ func Workers(n int) int {
 	return n
 }
 
-// outcome collects one item's deterministic processing result.
+// outcome collects one item's deterministic processing result. emit is
+// the slot's reusable child-collector closure, created once per Run —
+// allocating it per processed item would dominate the steady-state
+// allocation count.
 type outcome struct {
 	best     asp.Result
 	children []Item
+	emit     func(Item)
 }
 
 // Run drives the best-first loop to exhaustion and returns heap work
@@ -109,12 +124,47 @@ func Run(workers int, seeds []Item, bound *Bound, process ProcessFunc, release f
 
 	batch := make([]Item, 0, batchSize)
 	outs := make([]outcome, batchSize)
+	for i := range outs {
+		o := &outs[i]
+		o.emit = func(c Item) { o.children = append(o.children, c) }
+	}
+
+	// Persistent worker pool: goroutines are spawned once per Run (lazily,
+	// at the first multi-item round) and parked between supersteps, so the
+	// per-op allocation count does not grow with the worker count the way
+	// per-round goroutine spawning would make it. Coordinator → worker
+	// round state (batch, outs, incumbent, n) is published before the
+	// start-channel sends and read back after the done-channel receives,
+	// so the channel operations order all access.
+	var (
+		n         int
+		incumbent asp.Result
+		next      atomic.Int64
+		start     chan bool // one token per worker per round; false = quit
+		done      chan struct{}
+		spawned   int
+	)
+	runRound := func(w int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			o := &outs[i]
+			o.best = process(w, batch[i], incumbent, o.emit)
+		}
+	}
+	defer func() {
+		for i := 0; i < spawned; i++ {
+			start <- false
+		}
+	}()
 
 	for h.Len() > 0 {
 		if h.Len() > maxHeap {
 			maxHeap = h.Len()
 		}
-		incumbent := bound.Best()
+		incumbent = bound.Best()
 		thresh := bound.Threshold()
 		if h.Peek().LB >= thresh {
 			break // every remaining space is bounded away from improving
@@ -131,7 +181,7 @@ func Run(workers int, seeds []Item, bound *Bound, process ProcessFunc, release f
 			// the search always drains and terminates.
 			batch = append(batch, h.Pop())
 		}
-		n := len(batch)
+		n = len(batch)
 		for i := 0; i < n; i++ {
 			outs[i].children = outs[i].children[:0]
 		}
@@ -141,30 +191,30 @@ func Run(workers int, seeds []Item, bound *Bound, process ProcessFunc, release f
 			// single-item rounds (results are identical either way).
 			for i := 0; i < n; i++ {
 				o := &outs[i]
-				o.best = process(0, batch[i], incumbent, func(c Item) { o.children = append(o.children, c) })
+				o.best = process(0, batch[i], incumbent, o.emit)
 			}
 		} else {
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			spawn := workers
-			if n < spawn {
-				spawn = n
-			}
-			for w := 0; w < spawn; w++ {
-				wg.Add(1)
-				go func(w int) {
-					defer wg.Done()
-					for {
-						i := int(next.Add(1)) - 1
-						if i >= n {
-							return
+			if spawned == 0 {
+				start = make(chan bool)
+				done = make(chan struct{})
+				for w := 1; w < workers; w++ {
+					go func(w int) {
+						for <-start {
+							runRound(w)
+							done <- struct{}{}
 						}
-						o := &outs[i]
-						o.best = process(w, batch[i], incumbent, func(c Item) { o.children = append(o.children, c) })
-					}
-				}(w)
+					}(w)
+				}
+				spawned = workers - 1
 			}
-			wg.Wait()
+			next.Store(0)
+			for i := 0; i < spawned; i++ {
+				start <- true
+			}
+			runRound(0) // the coordinator doubles as worker 0
+			for i := 0; i < spawned; i++ {
+				<-done
+			}
 		}
 
 		// Deterministic merge: candidates first (order-independent under

@@ -1,0 +1,217 @@
+package sweep
+
+import (
+	"sort"
+
+	"asrs/internal/fenwick"
+	"asrs/internal/geom"
+
+	"asrs/internal/asp"
+)
+
+// The incremental sweep replaces the classic per-strip rescan with a
+// Fenwick-backed delta walk. The candidate x-intervals of a space are
+// the gaps between consecutive distinct edge coordinates and are shared
+// by every strip; a rectangle covers a fixed inclusive interval span and
+// is active over a contiguous strip run. Walking strips bottom-up, the
+// channel totals of every interval live in a range-add/point-query
+// Fenwick tree updated only by the rectangles entering or leaving at the
+// strip boundary, and only the intervals those deltas touch are
+// re-evaluated: an untouched interval has the same covering set — hence
+// the same representation and distance — as when it was last evaluated,
+// at which point it already failed (or set) the strict `d < best`
+// improvement test. The answer (distance and point) is therefore
+// bit-identical to the classic scan's.
+//
+// The mode is enabled by SetIncremental and must only be enabled for
+// composites whose channel contributions are all integer-valued (the
+// caller's responsibility — DS-Search gates it on its incremental
+// layer's integer-exactness flag), because the Fenwick tree sums
+// contributions in a different order than the classic accumulator walk;
+// with integer contributions both orders give the same bits.
+
+// incrMinRects gates the incremental path: below it the classic scan's
+// lower constant factor wins.
+const incrMinRects = 48
+
+// incrState is the reusable scratch of the incremental sweep.
+type incrState struct {
+	xs       []float64 // distinct interval boundaries, incl. space edges
+	bit      fenwick.Tree1D
+	li, ri   []int32 // per-rect inclusive interval span (li>ri: inactive)
+	sa, se   []int32 // per-rect active strip run [sa, se)
+	addStart []int32 // CSR: rect ids activating at each strip
+	addIds   []int32
+	remStart []int32 // CSR: rect ids deactivating at each strip
+	remIds   []int32
+	fill     []int32
+	ranges   [][2]int32 // dirty interval ranges of the current strip
+	ch       []float64  // channel scratch
+}
+
+// SetIncremental switches the solver between the classic per-strip
+// rescan and the Fenwick-backed incremental sweep for large inputs. Only
+// enable it for composites whose channel contributions are all
+// integer-valued; results are bit-identical there (see the package note
+// above). Solvers not built by NewPool get an unbounded size cap.
+func (s *Solver) SetIncremental(on bool) {
+	s.incremental = on
+	if s.incrCap == 0 {
+		s.incrCap = int(^uint(0) >> 1)
+	}
+}
+
+// solveWithinIncremental walks the strips of s.ys (deduplicated
+// ascending, exactly as SolveWithin built them) updating best in place;
+// it reports whether any candidate was evaluated.
+func (s *Solver) solveWithinIncremental(space geom.Rect, best *asp.Result) (found bool) {
+	inc := &s.inc
+	ys := s.ys
+	ns := len(ys) - 1
+	ym := func(si int) float64 { return (ys[si] + ys[si+1]) / 2 }
+
+	// Interval boundaries: distinct edge x-coordinates strictly inside
+	// the space, plus the space edges.
+	xs := append(inc.xs[:0], space.MinX, space.MaxX)
+	for i := range s.rects {
+		r := &s.rects[i].Rect
+		if r.MinX > space.MinX && r.MinX < space.MaxX {
+			xs = append(xs, r.MinX)
+		}
+		if r.MaxX > space.MinX && r.MaxX < space.MaxX {
+			xs = append(xs, r.MaxX)
+		}
+	}
+	sort.Float64s(xs)
+	xs = dedup(xs)
+	inc.xs = xs
+	k := len(xs) - 1 // interval count
+	if k < 1 {
+		return false
+	}
+
+	// Per-rect interval spans and activation strip runs, bucketed into
+	// CSR event lists (counting sort by strip).
+	n := len(s.rects)
+	inc.li = resizeI32(inc.li, n)
+	inc.ri = resizeI32(inc.ri, n)
+	inc.sa = resizeI32(inc.sa, n)
+	inc.se = resizeI32(inc.se, n)
+	inc.addStart = resizeI32(inc.addStart, ns+2)
+	inc.remStart = resizeI32(inc.remStart, ns+2)
+	for i := range inc.addStart {
+		inc.addStart[i] = 0
+		inc.remStart[i] = 0
+	}
+	for i := range s.rects {
+		r := &s.rects[i].Rect
+		// Covered intervals: MinX <= xs[j] && MaxX >= xs[j+1].
+		li := int32(sort.SearchFloat64s(xs, r.MinX))
+		ri := int32(sort.Search(k, func(j int) bool { return xs[j+1] > r.MaxX })) - 1
+		// Active strips: the contiguous run where MinY < ym < MaxY
+		// (identical to the classic active() predicate; ym is
+		// non-decreasing in the strip index).
+		sa := sort.Search(ns, func(si int) bool { return ym(si) > r.MinY })
+		se := sort.Search(ns, func(si int) bool { return ym(si) >= r.MaxY })
+		if int(li) > int(ri) || sa >= se {
+			inc.li[i], inc.ri[i] = 1, 0 // inactive
+			continue
+		}
+		inc.li[i], inc.ri[i] = li, ri
+		inc.sa[i], inc.se[i] = int32(sa), int32(se)
+		inc.addStart[sa+1]++
+		inc.remStart[se+1]++
+	}
+	for i := 1; i < len(inc.addStart); i++ {
+		inc.addStart[i] += inc.addStart[i-1]
+		inc.remStart[i] += inc.remStart[i-1]
+	}
+	inc.addIds = resizeI32(inc.addIds, int(inc.addStart[ns+1]))
+	inc.remIds = resizeI32(inc.remIds, int(inc.remStart[ns+1]))
+	inc.fill = append(inc.fill[:0], inc.addStart...)
+	remFillOff := len(inc.fill)
+	inc.fill = append(inc.fill, inc.remStart...)
+	addFill := inc.fill[:remFillOff]
+	remFill := inc.fill[remFillOff:]
+	for i := range s.rects {
+		if inc.li[i] > inc.ri[i] {
+			continue
+		}
+		sa, se := inc.sa[i], inc.se[i]
+		inc.addIds[addFill[sa]] = int32(i)
+		addFill[sa]++
+		inc.remIds[remFill[se]] = int32(i)
+		remFill[se]++
+	}
+
+	chans := s.query.F.Channels()
+	inc.bit.Reset(k, chans)
+	if cap(inc.ch) < chans {
+		inc.ch = make([]float64, chans)
+	}
+	ch := inc.ch[:chans]
+	rep := s.rep
+
+	apply := func(id int32, sign float64) {
+		o := s.rects[id].Obj
+		s.cbuf = s.query.F.AppendContribs(o, s.cbuf[:0])
+		for _, cb := range s.cbuf {
+			inc.bit.RangeAdd(int(inc.li[id]), int(inc.ri[id]), cb.Ch, sign*cb.V)
+		}
+		inc.ranges = append(inc.ranges, [2]int32{inc.li[id], inc.ri[id]})
+	}
+
+	for si := 0; si < ns; si++ {
+		s.Stats.Strips++
+		inc.ranges = inc.ranges[:0]
+		for _, id := range inc.remIds[inc.remStart[si]:inc.remStart[si+1]] {
+			apply(id, -1)
+		}
+		for _, id := range inc.addIds[inc.addStart[si]:inc.addStart[si+1]] {
+			apply(id, 1)
+		}
+		if si == 0 {
+			// Every interval is a fresh candidate in the first strip.
+			inc.ranges = append(inc.ranges[:0], [2]int32{0, int32(k - 1)})
+		} else if len(inc.ranges) == 0 {
+			continue
+		}
+		// Merge the dirty ranges and evaluate their intervals ascending —
+		// the same (strip, interval) visit order as the classic scan on
+		// the intervals that could have changed.
+		sort.Slice(inc.ranges, func(a, b int) bool { return inc.ranges[a][0] < inc.ranges[b][0] })
+		y := ym(si)
+		cur := inc.ranges[0]
+		for i := 1; i <= len(inc.ranges); i++ {
+			if i < len(inc.ranges) && inc.ranges[i][0] <= cur[1]+1 {
+				if inc.ranges[i][1] > cur[1] {
+					cur[1] = inc.ranges[i][1]
+				}
+				continue
+			}
+			for j := cur[0]; j <= cur[1]; j++ {
+				s.Stats.Intervals++
+				inc.bit.PointInto(int(j), ch)
+				s.query.F.FinalizeExact(ch, rep)
+				if d := s.query.Distance(rep); d < best.Dist {
+					best.Dist = d
+					best.Point = geom.Point{X: (xs[j] + xs[j+1]) / 2, Y: y}
+					best.Rep = append(best.Rep[:0], rep...)
+				}
+				found = true
+			}
+			if i < len(inc.ranges) {
+				cur = inc.ranges[i]
+			}
+		}
+	}
+	return found
+}
+
+// resizeI32 returns a slice of length n, reusing capacity when possible.
+func resizeI32(v []int32, n int) []int32 {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return make([]int32, n)
+}

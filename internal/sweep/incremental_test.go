@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/geom"
+)
+
+// incrFixture builds an integer-valued workload (fD + fS over small
+// integers) large enough to clear incrMinRects, with coordinate
+// collisions so edge ordering corner cases get exercised.
+func incrFixture(t *testing.T, rng *rand.Rand, n int) ([]asp.RectObject, asp.Query) {
+	t.Helper()
+	schema, err := attr.NewSchema(
+		attr.Attribute{Name: "cat", Kind: attr.Categorical, Domain: []string{"a", "b", "c", "d"}},
+		attr.Attribute{Name: "val", Kind: attr.Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := agg.New(schema,
+		agg.Spec{Kind: agg.Distribution, Attr: "cat"},
+		agg.Spec{Kind: agg.Sum, Attr: "val"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]attr.Object, n)
+	rects := make([]asp.RectObject, n)
+	w := 4 + rng.Float64()*8
+	h := 3 + rng.Float64()*8
+	for i := range rects {
+		x := rng.Float64() * 100
+		y := rng.Float64() * 100
+		if rng.Intn(3) == 0 {
+			x = float64(rng.Intn(25)) * 4
+			y = float64(rng.Intn(25)) * 4
+		}
+		objs[i] = attr.Object{
+			Loc: geom.Point{X: x, Y: y},
+			Values: []attr.Value{
+				{Cat: rng.Intn(4)},
+				{Num: float64(rng.Intn(9) - 4)},
+			},
+		}
+		rects[i] = asp.RectObject{Rect: geom.Rect{MinX: x - w, MinY: y - h, MaxX: x, MaxY: y}, Obj: &objs[i]}
+	}
+	target := make([]float64, f.Dims())
+	for i := range target {
+		target[i] = float64(rng.Intn(20))
+	}
+	q := asp.Query{F: f, Target: target}
+	return rects, q
+}
+
+// TestIncrementalSweepBitIdentical: for integer-valued composites the
+// Fenwick-backed incremental sweep must return the exact same answer —
+// distance, point and representation — as the classic per-strip rescan,
+// over randomized inputs and spaces (the skip rule only elides
+// re-evaluations that cannot win the strict improvement test).
+func TestIncrementalSweepBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		n := incrMinRects + rng.Intn(200)
+		rects, q := incrFixture(t, rng, n)
+		spaces := []geom.Rect{
+			asp.Space(rects),
+			{MinX: 10, MinY: 10, MaxX: 60, MaxY: 70},
+			{MinX: rng.Float64() * 50, MinY: rng.Float64() * 50, MaxX: 50 + rng.Float64()*50, MaxY: 50 + rng.Float64()*50},
+		}
+		classic, err := New(rects, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incr, err := New(rects, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		incr.SetIncremental(true)
+		for si, space := range spaces {
+			cr, cok := classic.SolveWithin(space)
+			ir, iok := incr.SolveWithin(space)
+			if cok != iok {
+				t.Fatalf("trial %d space %d: found %v vs %v", trial, si, cok, iok)
+			}
+			if !cok {
+				continue
+			}
+			if cr.Dist != ir.Dist || cr.Point != ir.Point {
+				t.Fatalf("trial %d space %d: classic %g@%v, incremental %g@%v",
+					trial, si, cr.Dist, cr.Point, ir.Dist, ir.Point)
+			}
+			for d := range cr.Rep {
+				if math.Float64bits(cr.Rep[d]) != math.Float64bits(ir.Rep[d]) {
+					t.Fatalf("trial %d space %d: rep[%d] %v vs %v", trial, si, d, cr.Rep[d], ir.Rep[d])
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalSweepSolve: the full-plane Solve agrees too (exercises
+// rebinds and the empty-cover candidate around the incremental core).
+func TestIncrementalSweepSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	rects, q := incrFixture(t, rng, incrMinRects+60)
+	classic, err := New(rects, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := New(rects, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr.SetIncremental(true)
+	cr := classic.Solve()
+	ir := incr.Solve()
+	if cr.Dist != ir.Dist || cr.Point != ir.Point {
+		t.Fatalf("classic %g@%v, incremental %g@%v", cr.Dist, cr.Point, ir.Dist, ir.Point)
+	}
+}

@@ -37,9 +37,18 @@ type Solver struct {
 	// of mini-sweeps per query through one Rebind-ed solver, so the strip
 	// coordinates, accumulator and representation buffers persist here
 	// instead of being allocated per call.
-	ys  []float64
-	acc *agg.Accumulator
-	rep []float64
+	ys   []float64
+	acc  *agg.Accumulator
+	rep  []float64
+	cbuf []agg.Contrib
+
+	// incremental selects the Fenwick-backed delta sweep for large
+	// inputs (see incremental.go); inc is its reusable scratch, and
+	// incrCap bounds the input size it engages for (NewPool pre-sizes
+	// the scratch to this bound, so the path never regrows per worker).
+	incremental bool
+	incrCap     int
+	inc         incrState
 
 	Stats Stats
 }
@@ -57,6 +66,73 @@ func New(rects []asp.RectObject, q asp.Query) (*Solver, error) {
 	}
 	s.Rebind(rects)
 	return s, nil
+}
+
+// NewPool returns n unbound solvers for the query whose scratch comes
+// from shared slab allocations, so a worker pool's solvers cost O(1)
+// allocations rather than O(workers). incrCap > 0 additionally
+// pre-sizes each solver's incremental-sweep scratch for inputs up to
+// incrCap rectangles (larger inputs just regrow). Each solver must be
+// Rebind-ed before use; solvers are independent afterwards.
+func NewPool(n int, q asp.Query, incrCap int) ([]Solver, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	const presort = 2048 // sorted-edge and strip capacity per solver
+	solvers := make([]Solver, n)
+	accs := agg.NewAccumulators(q.F, n)
+	reps := make([]float64, n*q.F.Dims())
+	ints := make([]int, 2*n*presort)
+	carveInt := func(sz int) []int {
+		out := ints[:sz:sz]
+		ints = ints[sz:]
+		return out[:0]
+	}
+	ysf := make([]float64, n*presort)
+	for i := range solvers {
+		solvers[i] = Solver{
+			query:  q,
+			acc:    &accs[i],
+			rep:    reps[i*q.F.Dims() : (i+1)*q.F.Dims()],
+			byMinX: carveInt(presort),
+			byMaxX: carveInt(presort),
+			ys:     ysf[i*presort : i*presort : (i+1)*presort],
+		}
+	}
+	if incrCap > 0 {
+		chans := q.F.Channels()
+		m := incrCap
+		for i := range solvers {
+			solvers[i].incrCap = m
+		}
+		i32 := make([]int32, n*(14*m+12))
+		carve32 := func(sz int) []int32 {
+			out := i32[:sz:sz]
+			i32 = i32[sz:]
+			return out[:0]
+		}
+		fl := make([]float64, n*(2*m+2+chans))
+		rngs := make([][2]int32, n*64)
+		for i := range solvers {
+			inc := &solvers[i].inc
+			inc.ranges = rngs[i*64 : i*64 : (i+1)*64]
+			inc.xs = fl[: 0 : 2*m+2]
+			fl = fl[2*m+2:]
+			inc.ch = fl[:chans:chans]
+			fl = fl[chans:]
+			inc.li = carve32(m)
+			inc.ri = carve32(m)
+			inc.sa = carve32(m)
+			inc.se = carve32(m)
+			inc.addStart = carve32(2*m + 3)
+			inc.remStart = carve32(2*m + 3)
+			inc.addIds = carve32(m)
+			inc.remIds = carve32(m)
+			inc.fill = carve32(4*m + 6)
+			inc.bit.Reset(2*m+1, chans)
+		}
+	}
+	return solvers, nil
 }
 
 // Rebind points the solver at a new rectangle set, reusing all scratch
@@ -132,6 +208,12 @@ func (s *Solver) SolveWithin(space geom.Rect) (asp.Result, bool) {
 	rep := s.rep
 	best := asp.Result{Dist: math.Inf(1)}
 	found := false
+
+	if s.incremental && len(s.rects) >= incrMinRects && len(s.rects) <= s.incrCap &&
+		len(ys) >= 2 && space.MinY != space.MaxY {
+		found = s.solveWithinIncremental(space, &best)
+		return best, found
+	}
 
 	for si := 0; si+1 < len(ys); si++ {
 		ym := (ys[si] + ys[si+1]) / 2
