@@ -6,7 +6,7 @@
 //	asrsbench -list
 //	asrsbench -exp fig8 [-scale 2] [-seed 7]
 //	asrsbench -exp all
-//	asrsbench -parallel-json BENCH_PR2.json [-n 100000] [-workers 1,2,4,8]
+//	asrsbench -parallel-json BENCH_PR3.json [-n 100000] [-workers 1,2,4,8] [-batch 32] [-workload f1|f2q]
 //	asrsbench -exp fig10 -cpuprofile cpu.prof -memprofile mem.prof
 //
 // Each experiment prints the rows/series of the corresponding paper
@@ -32,17 +32,19 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig8, fig9, fig10, fig11, table1, fig12, table2, fig13a, fig13b, casestudy) or 'all'")
-		scale   = flag.Float64("scale", 1, "cardinality multiplier relative to defaults")
-		seed    = flag.Int64("seed", 42, "dataset seed")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		parJSON = flag.String("parallel-json", "", "run the kernel worker sweep and write the JSON report to this file ('-' for stdout)")
-		n       = flag.Int("n", 100000, "dataset cardinality for -parallel-json")
-		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel-json")
-		baseNs  = flag.Int64("baseline-ns", 0, "externally measured reference ns/op for the same workload, recorded in the report")
-		note    = flag.String("note", "", "free-form provenance recorded in the report")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		exp      = flag.String("exp", "", "experiment id (fig8, fig9, fig10, fig11, table1, fig12, table2, fig13a, fig13b, casestudy) or 'all'")
+		scale    = flag.Float64("scale", 1, "cardinality multiplier relative to defaults")
+		seed     = flag.Int64("seed", 42, "dataset seed")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		parJSON  = flag.String("parallel-json", "", "run the kernel worker sweep and write the JSON report to this file ('-' for stdout)")
+		n        = flag.Int("n", 100000, "dataset cardinality for -parallel-json")
+		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel-json")
+		batch    = flag.Int("batch", 0, "kernel superstep batch size for -parallel-json (0 = kernel default)")
+		workload = flag.String("workload", "f1", "composite workload for -parallel-json: f1 (integer fD on tweet) or f2q (real-valued fS+fA on the dyadic-quantized POI corpus)")
+		baseNs   = flag.Int64("baseline-ns", 0, "externally measured reference ns/op for the same workload, recorded in the report")
+		note     = flag.String("note", "", "free-form provenance recorded in the report")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -75,7 +77,7 @@ func main() {
 	}
 
 	if *parJSON != "" {
-		if err := runParallelBench(*parJSON, *n, *seed, *workers, *baseNs, *note); err != nil {
+		if err := runParallelBench(*parJSON, *n, *seed, *workers, *batch, *workload, *baseNs, *note); err != nil {
 			fmt.Fprintln(os.Stderr, "asrsbench:", err)
 			os.Exit(1)
 		}
@@ -108,7 +110,7 @@ func main() {
 }
 
 // runParallelBench parses the worker sweep and writes the JSON report.
-func runParallelBench(path string, n int, seed int64, workerList string, baseNs int64, note string) error {
+func runParallelBench(path string, n int, seed int64, workerList string, batch int, workload string, baseNs int64, note string) error {
 	var sweep []int
 	for _, tok := range strings.Split(workerList, ",") {
 		tok = strings.TrimSpace(tok)
@@ -121,7 +123,7 @@ func runParallelBench(path string, n int, seed int64, workerList string, baseNs 
 		}
 		sweep = append(sweep, w)
 	}
-	cfg := harness.ParallelBenchConfig{N: n, Seed: seed, Workers: sweep, BaselineNs: baseNs, Note: note}
+	cfg := harness.ParallelBenchConfig{N: n, Seed: seed, Workers: sweep, Batch: batch, Workload: workload, BaselineNs: baseNs, Note: note}
 	if path == "-" {
 		return harness.RunParallelBench(os.Stdout, cfg)
 	}

@@ -139,8 +139,15 @@ func (e *Engine) Index(f *Composite) (*Index, error) {
 
 // options resolves a request's effective search options and attaches the
 // engine's per-composite slab cache, so the per-query search tables
-// (sorted coordinate arrays, contribution tables, SAT grids, id arenas)
-// are recycled across queries instead of reallocated.
+// (sorted coordinate arrays, contribution tables, int64 SAT grids, the
+// min/max companion trees, the fixed-point quantization-certificate
+// vectors, id arenas) are recycled across queries instead of
+// reallocated. The cache key is the composite, which also keys the
+// certificate: the certificate depends only on the contribution values
+// the composite derives from the served (immutable) dataset, so every
+// query through one cache re-derives identical scales into the retained
+// slabs — reuse is safe across concurrent queries on the same
+// composite.
 func (e *Engine) options(req QueryRequest) Options {
 	opt := e.opt.Search
 	if req.Options != nil {

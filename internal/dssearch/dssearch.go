@@ -49,6 +49,15 @@ type Options struct {
 	// the kernel's superstep schedule is deterministic — so Workers is
 	// purely a throughput knob.
 	Workers int
+	// BatchSize is the number of spaces the kernel pops per superstep;
+	// values <= 0 select kernel.DefaultBatchSize (32). Larger batches
+	// keep wide machines busier at the cost of staler pruning bounds
+	// within a round. For any fixed batch size the answer is fully
+	// deterministic and independent of Workers; changing the batch size
+	// keeps the answer *distance* exact and identical but may resolve
+	// ties between equally-distant optimum points differently (DESIGN.md
+	// §4; pinned by TestSearchEquivalenceRealValued).
+	BatchSize int
 	// Accuracy overrides the GPS accuracies (Definition 7) used by the
 	// drop condition. Zero values are computed from the rectangle edges.
 	Accuracy geom.Accuracy
@@ -242,7 +251,7 @@ func (s *Searcher) ensureScratch() {
 		ncol, nrow := s.opt.NCol, s.opt.NRow
 		s.grids = newGridBuffersBatch(nw, ncol, nrow, f)
 		incrCap := 0
-		if s.tab.intExact {
+		if s.tab.allExact {
 			incrCap = 2048 // pre-size the Fenwick sweep scratch it will use
 		}
 		if pool, err := sweep.NewPool(nw, s.query, incrCap); err == nil {
@@ -269,7 +278,10 @@ func (s *Searcher) ensureScratch() {
 			w.grid = &s.grids[i]
 			if s.sweepPool != nil {
 				w.sw = &s.sweepPool[i]
-				w.sw.SetIncremental(s.tab.intExact)
+				w.sw.SetIncremental(s.tab.allExact)
+				if s.tab.allExact {
+					w.sw.SetFixedPoint(s.tab.chScale, s.tab.chInv)
+				}
 			}
 			w.rep = reps[i*dims : i*dims : (i+1)*dims]
 			w.dirty = dirt[i*cells : i*cells : (i+1)*cells]
@@ -486,7 +498,7 @@ func (s *Searcher) SolveWithinIDs(space geom.Rect, seedLB float64, ids []int32) 
 	}
 	bound := kernel.NewBound(s.opt.Delta, s.best)
 	seed := kernel.Item{Space: space, Clip: space, LB: seedLB, Ids: ids}
-	pushes, maxHeap := kernel.Run(len(s.workers), []kernel.Item{seed}, bound,
+	pushes, maxHeap := kernel.Run(len(s.workers), s.opt.BatchSize, []kernel.Item{seed}, bound,
 		func(wid int, it kernel.Item, incumbent asp.Result, emit func(kernel.Item)) asp.Result {
 			w := s.workers[wid]
 			w.beginItem(incumbent)
@@ -652,7 +664,10 @@ func (w *worker) miniSweep(dirty []cellInfo, ids []int32) {
 			return // query was validated at construction; unreachable
 		}
 		w.sw = sw
-		w.sw.SetIncremental(w.s.tab.intExact)
+		w.sw.SetIncremental(w.s.tab.allExact)
+		if w.s.tab.allExact {
+			w.sw.SetFixedPoint(w.s.tab.chScale, w.s.tab.chInv)
+		}
 	} else {
 		w.sw.Rebind(w.swSub)
 	}

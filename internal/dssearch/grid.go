@@ -36,10 +36,11 @@ type gridBuffers struct {
 	xe []float64 // cell edge x coordinates: xe[i] = space.MinX + i*cw
 	ye []float64
 
-	// SAT fill scratch: per-cell count+channel accumulators and the
-	// per-column (x) / per-row (y) interior and outer bin ranges of the
-	// full-cover and overlap anchor boxes.
-	fullVec, ovVec               []float64
+	// SAT fill scratch: per-cell count+channel accumulators (scaled
+	// int64, matching the int64 SAT) and the per-column (x) / per-row
+	// (y) interior and outer bin ranges of the full-cover and overlap
+	// anchor boxes.
+	fullVec, ovVec               []int64
 	fxIn0, fxIn1, fxOut0, fxOut1 []int32
 	oxIn0, oxIn1, oxOut0, oxOut1 []int32
 	fyIn0, fyIn1, fyOut0, fyOut1 []int32
@@ -58,22 +59,28 @@ type gridBuffers struct {
 func gridFloatSize(ncol, nrow int, f *agg.Composite) int {
 	pad := (nrow + 1) * (ncol + 1)
 	chans, mmSlots, dims := f.Channels(), f.MinMaxSlots(), f.Dims()
-	return 2*pad*chans + pad + 2*nrow*ncol*mmSlots + (ncol + 1) + (nrow + 1) + 2*(chans+1) + 3*dims + 2*chans
+	return 2*pad*chans + pad + 2*nrow*ncol*mmSlots + (ncol + 1) + (nrow + 1) + 3*dims + 2*chans
 }
 
+// gridInt64Size returns the int64-slab footprint of one gridBuffers:
+// the two per-cell SAT accumulators.
+func gridInt64Size(f *agg.Composite) int { return 2 * (f.Channels() + 1) }
+
 // newGridBuffersBatch builds n independent gridBuffers out of shared
-// slab allocations — one float slab, one int32 slab, one struct array —
-// so a worker pool's discretization scratch costs O(1) allocations
-// instead of O(workers), keeping per-op allocation counts flat across
-// worker counts.
+// slab allocations — one float slab, one int32 slab, one int64 slab,
+// one struct array — so a worker pool's discretization scratch costs
+// O(1) allocations instead of O(workers), keeping per-op allocation
+// counts flat across worker counts.
 func newGridBuffersBatch(n, ncol, nrow int, f *agg.Composite) []gridBuffers {
 	gs := make([]gridBuffers, n)
 	fper := gridFloatSize(ncol, nrow, f)
 	iper := 8*ncol + 8*nrow
+	i64per := gridInt64Size(f)
 	fslab := make([]float64, n*fper)
 	islab := make([]int32, n*iper)
+	i64slab := make([]int64, n*i64per)
 	for i := range gs {
-		gs[i].init(ncol, nrow, f, fslab[i*fper:(i+1)*fper], islab[i*iper:(i+1)*iper])
+		gs[i].init(ncol, nrow, f, fslab[i*fper:(i+1)*fper], islab[i*iper:(i+1)*iper], i64slab[i*i64per:(i+1)*i64per])
 	}
 	return gs
 }
@@ -83,8 +90,8 @@ func newGridBuffers(ncol, nrow int, f *agg.Composite) *gridBuffers {
 }
 
 // init carves g's buffers from the provided slabs (sized by
-// gridFloatSize and 8*ncol+8*nrow respectively).
-func (g *gridBuffers) init(ncol, nrow int, f *agg.Composite, slab []float64, cols []int32) {
+// gridFloatSize, 8*ncol+8*nrow, and gridInt64Size respectively).
+func (g *gridBuffers) init(ncol, nrow int, f *agg.Composite, slab []float64, cols []int32, i64s []int64) {
 	*g = gridBuffers{
 		ncol:    ncol,
 		nrow:    nrow,
@@ -107,8 +114,8 @@ func (g *gridBuffers) init(ncol, nrow int, f *agg.Composite, slab []float64, col
 	}
 	g.xe = carve(ncol + 1)
 	g.ye = carve(nrow + 1)
-	g.fullVec = carve(g.chans + 1)
-	g.ovVec = carve(g.chans + 1)
+	g.fullVec = i64s[:g.chans+1]
+	g.ovVec = i64s[g.chans+1 : 2*(g.chans+1)]
 	g.fxIn0, cols = cols[:ncol], cols[ncol:]
 	g.fxIn1, cols = cols[:ncol], cols[ncol:]
 	g.fxOut0, cols = cols[:ncol], cols[ncol:]
@@ -269,7 +276,7 @@ func (w *worker) discretize(space, clip geom.Rect, ids []int32) ([]cellInfo, boo
 	tab := w.s.tab
 	if tab.satUsable() && !w.s.opt.DisableSAT && len(ids) >= satMinIds {
 		tab.ensureSAT(w.s.rects)
-		w.fillGridSAT(clip)
+		w.fillGridFast(space, clip, ids, cw, chh)
 		w.stats.SATFills++
 	} else {
 		w.fillGridDiff(space, ids, cw, chh)
@@ -323,14 +330,19 @@ func (w *worker) discretize(space, clip geom.Rect, ids []int32) ([]cellInfo, boo
 					// exact minimum over all subset completions is affordable
 					// and prunes the boundary-of-optimum tail. Sound: the
 					// achievable covering sets are a subset of the enumerated
-					// ones.
-					if rlb, ok := w.refineCellLB(cell, clip, ids); ok {
-						w.stats.RefinedCells++
-						if rlb > lb {
-							lb = rlb
-						}
-						if lb >= thresh {
-							w.stats.RefinePruned++
+					// ones. The cell's partial-cover count is exactly the
+					// size of the partial set the enumeration would collect,
+					// so cells over the gate skip the scan outright — the
+					// same outcome the scan's own bail would reach.
+					if g.diffCnt[idx] <= refineMaxPartial {
+						if rlb, ok := w.refineCellLB(cell, clip, ids, full); ok {
+							w.stats.RefinedCells++
+							if rlb > lb {
+								lb = rlb
+							}
+							if lb >= thresh {
+								w.stats.RefinePruned++
+							}
 						}
 					}
 				}
@@ -354,10 +366,36 @@ func (w *worker) discretize(space, clip geom.Rect, ids []int32) ([]cellInfo, boo
 // partial-cover grids, then one 2D prefix pass produces per-cell totals.
 func (w *worker) fillGridDiff(space geom.Rect, ids []int32, cw, chh float64) {
 	g := w.grid
+	g.reset()
+	w.fillRects(space, ids, cw, chh, false)
+	g.integrate()
+}
+
+// fillRects is the difference-array pass shared by the classic fill and
+// the hybrid fast fill: each rectangle is classified against the cell
+// grid once (overlap range, fully-covered sub-range, partial ring) and
+// its contributions range-added. failOnly restricts the pass to the
+// channels that failed the fixed-point certificate and skips the
+// counter grid and min/max folds — in the hybrid fill the SAT side owns
+// those — so both fills share one copy of the coverage semantics.
+func (w *worker) fillRects(space geom.Rect, ids []int32, cw, chh float64, failOnly bool) {
+	g := w.grid
 	tab := w.s.tab
 	master := w.s.rects
-	g.reset()
 	for _, id := range ids {
+		var contribs []agg.Contrib
+		var mm []agg.MMContrib
+		if failOnly {
+			contribs = tab.rectFailContribs(id)
+			if len(contribs) == 0 {
+				continue
+			}
+		} else {
+			contribs = tab.rectContribs(id)
+			if g.mmSlots > 0 {
+				mm = tab.rectMM(id)
+			}
+		}
 		r := master[id].Rect
 		// Columns whose open interior intersects the rect interior.
 		c0, c1 := overlapRange(r.MinX, r.MaxX, space.MinX, cw, g.xe)
@@ -371,35 +409,61 @@ func (w *worker) fillGridDiff(space geom.Rect, ids []int32, cw, chh float64) {
 		fc0, fc1 := fullRange(c0, c1, r.MinX, r.MaxX, g.xe)
 		fr0, fr1 := fullRange(r0, r1, r.MinY, r.MaxY, g.ye)
 
-		contribs := tab.rectContribs(id)
-		var mm []agg.MMContrib
-		if g.mmSlots > 0 {
-			mm = tab.rectMM(id)
-		}
-
 		if fc0 <= fc1 && fr0 <= fr1 {
 			g.rangeAdd(g.diffFull, contribs, fc0, fr0, fc1, fr1)
 			// Partial ring: the overlap range minus the full range, as up
 			// to four rectangles.
-			w.applyPartial(contribs, mm, c0, r0, c1, fr0-1) // bottom rows
-			w.applyPartial(contribs, mm, c0, fr1+1, c1, r1) // top rows
-			w.applyPartial(contribs, mm, c0, fr0, fc0-1, fr1)
-			w.applyPartial(contribs, mm, fc1+1, fr0, c1, fr1)
+			w.applyPartial(contribs, mm, !failOnly, c0, r0, c1, fr0-1) // bottom rows
+			w.applyPartial(contribs, mm, !failOnly, c0, fr1+1, c1, r1) // top rows
+			w.applyPartial(contribs, mm, !failOnly, c0, fr0, fc0-1, fr1)
+			w.applyPartial(contribs, mm, !failOnly, fc1+1, fr0, c1, fr1)
 		} else {
-			w.applyPartial(contribs, mm, c0, r0, c1, r1)
+			w.applyPartial(contribs, mm, !failOnly, c0, r0, c1, r1)
 		}
 	}
-	g.integrate()
 }
 
-// fillGridSAT computes the same per-cell totals from the query-level
-// summed-area table: for each cell, the covering rectangles are exactly
-// the anchors inside an axis-aligned box in (MinX, MinY) space, so the
-// totals are four-corner SAT lookups over the bins certainly inside the
-// box plus an exact scan of the boundary bins. Only valid for
-// integer-exact composites without min/max slots (satUsable), where
-// sums are independent of order and the subtraction overlap − full is
-// exact — which makes this fill bit-identical to fillGridDiff.
+// fillGridFast is the SAT-backed hybrid fill. Channels carrying the
+// fixed-point certificate (plus the partial-cover counts and the
+// min/max slots) come from the query-level summed-area table and its
+// order-statistic companion; channels that failed the certificate come
+// from a difference-array pass restricted to just those channels, run
+// over the ids in unchanged master order so their float summation order
+// — and hence every bit of their totals — matches fillGridDiff.
+func (w *worker) fillGridFast(space, clip geom.Rect, ids []int32, cw, chh float64) {
+	g := w.grid
+	t := w.s.tab
+	if t.allExact {
+		// Every cell value is written by the SAT fill; only the min/max
+		// fold identities need re-arming.
+		for i := range g.mmMin {
+			g.mmMin[i] = math.Inf(1)
+			g.mmMax[i] = math.Inf(-1)
+		}
+	} else {
+		g.reset()
+		w.fillRects(space, ids, cw, chh, true)
+		// Integrate only the channel grids: the SAT fill rewrites the
+		// counter grid for every cell, so its prefix pass would be dead
+		// work. (Certified channels are all-zero here and integrate to
+		// zero before being overwritten — a per-channel skip would cost
+		// the inner loops a branch for no measured win.)
+		pad := g.ncol + 1
+		integ2D(g.diffFull, pad, g.nrow+1, g.chans)
+		integ2D(g.diffPart, pad, g.nrow+1, g.chans)
+	}
+	w.fillGridSAT(clip)
+}
+
+// fillGridSAT computes per-cell totals from the query-level summed-area
+// table: for each cell, the covering rectangles are exactly the anchors
+// inside an axis-aligned box in (MinX, MinY) space, so the totals are
+// four-corner SAT lookups over the bins certainly inside the box plus
+// an exact scan of the boundary bins. It writes the partial-cover
+// counts, the certified channels (converted back from scaled int64 at
+// emit — exact, so bit-identical to fillGridDiff), and the min/max
+// slots (via the order-statistic companion); channels that failed the
+// certificate are left untouched for the hybrid difference-array pass.
 //
 // The SAT counts over the whole master set while the difference-array
 // fill only sees the space's subset, so every predicate also carries the
@@ -460,31 +524,46 @@ func (w *worker) fillGridSAT(clip geom.Rect) {
 	ov := g.ovVec
 	for r := 0; r < nrow; r++ {
 		for c := 0; c < ncol; c++ {
-			clearF(full)
-			clearF(ov)
+			clearI64(full)
+			clearI64(ov)
 			t.satRegion(int(g.fxIn0[c]), int(g.fxIn1[c]), int(g.fyIn0[r]), int(g.fyIn1[r]), full)
 			w.satRing(clip, c, r, true, full)
 			t.satRegion(int(g.oxIn0[c]), int(g.oxIn1[c]), int(g.oyIn0[r]), int(g.oyIn1[r]), ov)
 			w.satRing(clip, c, r, false, ov)
 
 			idx := g.cellIdx(c, r)
-			g.diffCnt[idx] = ov[0] - full[0]
+			g.diffCnt[idx] = float64(ov[0] - full[0])
 			df := g.diffFull[idx*chans : (idx+1)*chans]
 			dp := g.diffPart[idx*chans : (idx+1)*chans]
 			for ch := 0; ch < chans; ch++ {
-				df[ch] = full[1+ch]
-				dp[ch] = ov[1+ch] - full[1+ch]
+				if !t.chOK[ch] {
+					continue // hybrid pass owns this channel
+				}
+				// Exact emit: |scaled| ≤ 2^52 so the int64→float64
+				// conversion is lossless, and the power-of-two inverse
+				// only shifts the exponent.
+				df[ch] = float64(full[1+ch]) * t.chInv[ch]
+				dp[ch] = float64(ov[1+ch]-full[1+ch]) * t.chInv[ch]
+			}
+			if g.mmSlots > 0 && ov[0] != full[0] {
+				// Clean cells (no partial cover) have nothing to fold —
+				// the difference-array path's mmUpdate would leave the
+				// ±Inf identities too — and their min/max slots are
+				// never read, so skip the companion work entirely.
+				w.satCellMM(clip, c, r)
 			}
 		}
 	}
 }
 
+func clearI64(v []int64) { clear(v) }
+
 // satRing scans the boundary bins of cell (c, r)'s anchor box — the bins
 // inside the outer range but not certainly inside the box — testing each
 // anchor's rectangle exactly against the cell's full-cover (full=true)
 // or overlap condition plus the space-subset clause, and accumulates
-// count+channels into acc.
-func (w *worker) satRing(clip geom.Rect, c, r int, full bool, acc []float64) {
+// count+scaled channels into acc.
+func (w *worker) satRing(clip geom.Rect, c, r int, full bool, acc []int64) {
 	g := w.grid
 	t := w.s.tab
 	var xi0, xi1, xo0, xo1, yi0, yi1, yo0, yo1 int
@@ -542,8 +621,115 @@ func (w *worker) satRing(clip geom.Rect, c, r int, full bool, acc []float64) {
 					continue
 				}
 				acc[0]++
-				for _, cb := range t.rectContribs(id) {
-					acc[1+cb.Ch] += cb.V
+				contribs := t.rectContribs(id)
+				scaled := t.rectContribsI(id)
+				for k := range contribs {
+					acc[1+contribs[k].Ch] += scaled[k]
+				}
+			}
+		}
+	}
+}
+
+// satCellMM fills cell (c, r)'s min/max slots from the order-statistic
+// companion: the partially covering rectangles are the anchors in the
+// cell's overlap box minus its full-cover box, so the certainly-partial
+// bins — certainly inside the overlap interior and certainly outside
+// the full-cover outer box — fold their pre-reduced per-bin min/max via
+// segment-tree range queries, and the remaining boundary bins are
+// scanned exactly against the same predicates the difference-array path
+// applies per rectangle (overlap, not closed-full, in the clip-filtered
+// subset). Min/max folds are order-independent, so the result is
+// identical to fillGridDiff's mmUpdate regardless of visit order.
+func (w *worker) satCellMM(clip geom.Rect, c, r int) {
+	g := w.grid
+	t := w.s.tab
+	mi := (r*g.ncol + c) * g.mmSlots
+	mmMin := g.mmMin[mi : mi+g.mmSlots]
+	mmMax := g.mmMax[mi : mi+g.mmSlots]
+
+	ai0, ai1 := int(g.oxIn0[c]), int(g.oxIn1[c]) // certainly-overlap interior box
+	aj0, aj1 := int(g.oyIn0[r]), int(g.oyIn1[r])
+	if ai0 < 0 {
+		ai0 = 0
+	}
+	if aj0 < 0 {
+		aj0 = 0
+	}
+	bi0, bi1 := int(g.fxOut0[c]), int(g.fxOut1[c]) // full-cover outer box
+	bj0, bj1 := int(g.fyOut0[r]), int(g.fyOut1[r])
+
+	// Certainly-partial region: the overlap interior minus the
+	// full-cover outer box, row by row (each row is one or two
+	// segment-tree range queries).
+	for bj := aj0; bj < aj1; bj++ {
+		if bj < bj0 || bj >= bj1 {
+			t.mmBank.Query(bj, ai0, ai1, mmMin, mmMax)
+			continue
+		}
+		t.mmBank.Query(bj, ai0, min(ai1, bi0), mmMin, mmMax)
+		t.mmBank.Query(bj, max(ai0, bi1), ai1, mmMin, mmMax)
+	}
+
+	// Boundary bins: everything in the overlap outer box not already
+	// folded above and not certainly fully covering (full ⇒ not
+	// partial), tested rectangle by rectangle.
+	xo0, xo1 := int(g.oxOut0[c]), int(g.oxOut1[c])
+	yo0, yo1 := int(g.oyOut0[r]), int(g.oyOut1[r])
+	if xo0 < 0 {
+		xo0 = 0
+	}
+	if yo0 < 0 {
+		yo0 = 0
+	}
+	if xo1 > t.gx {
+		xo1 = t.gx
+	}
+	if yo1 > t.gy {
+		yo1 = t.gy
+	}
+	fi0, fi1 := int(g.fxIn0[c]), int(g.fxIn1[c]) // certainly-full interior box
+	fj0, fj1 := int(g.fyIn0[r]), int(g.fyIn1[r])
+	cellL, cellR := g.xe[c], g.xe[c+1]
+	cellB, cellT := g.ye[r], g.ye[r+1]
+	master := w.s.rects
+	for bj := yo0; bj < yo1; bj++ {
+		inAJ := bj >= aj0 && bj < aj1
+		clearBJ := inAJ && (bj < bj0 || bj >= bj1) // whole row-run of A is certain
+		inFJ := bj >= fj0 && bj < fj1
+		row := bj * t.gx
+		for bi := xo0; bi < xo1; bi++ {
+			if inAJ && bi >= ai0 && bi < ai1 {
+				if clearBJ || bi < bi0 || bi >= bi1 {
+					if clearBJ && bi1 <= ai0 { // no B overlap ahead in this row
+						bi = ai1 - 1
+						continue
+					}
+					continue // folded by the tree queries
+				}
+			}
+			if inFJ && bi >= fi0 && bi < fi1 {
+				continue // certainly fully covering: never partial
+			}
+			for _, id := range t.binIds[t.binStart[row+bi]:t.binStart[row+bi+1]] {
+				rc := &master[id].Rect
+				if !(rc.MinX < clip.MaxX && clip.MinX < rc.MaxX &&
+					rc.MinY < clip.MaxY && clip.MinY < rc.MaxY) {
+					continue // not in the chain-filtered subset
+				}
+				if !(rc.MinX < cellR && rc.MaxX > cellL && rc.MinY < cellT && rc.MaxY > cellB) {
+					continue // does not overlap the cell interior
+				}
+				if rc.MinX <= cellL && rc.MaxX >= cellR && rc.MinY <= cellB && rc.MaxY >= cellT {
+					continue // fully covers the cell: not partial
+				}
+				for _, m := range t.rectMM(id) {
+					if m.V < mmMin[m.Slot] {
+						mmMin[m.Slot] = m.V
+					}
+					if m.V > mmMax[m.Slot] {
+						mmMax[m.Slot] = m.V
+					}
 				}
 			}
 		}
@@ -621,15 +807,20 @@ func (w *worker) probeCellCenters(dirty []cellInfo, clip geom.Rect, ids []int32)
 	w.stats.CenterProbes += len(idx)
 }
 
-// applyPartial marks a (possibly empty) cell range as partially covered.
-func (w *worker) applyPartial(contribs []agg.Contrib, mm []agg.MMContrib, c0, r0, c1, r1 int) {
+// applyPartial marks a (possibly empty) cell range as partially
+// covered; cntMM additionally bumps the counter grid and folds the
+// min/max slots (false on the hybrid fill's failing-channel pass,
+// where the SAT owns both).
+func (w *worker) applyPartial(contribs []agg.Contrib, mm []agg.MMContrib, cntMM bool, c0, r0, c1, r1 int) {
 	if c0 > c1 || r0 > r1 {
 		return
 	}
 	g := w.grid
 	g.rangeAdd(g.diffPart, contribs, c0, r0, c1, r1)
-	g.rangeAddCnt(c0, r0, c1, r1)
-	g.mmUpdate(mm, c0, r0, c1, r1)
+	if cntMM {
+		g.rangeAddCnt(c0, r0, c1, r1)
+		g.mmUpdate(mm, c0, r0, c1, r1)
+	}
 }
 
 // overlapRange returns the inclusive range [i0, i1] of cells whose open
@@ -700,49 +891,124 @@ func (w *worker) refineCost(cell geom.Rect, nIds int) int {
 // refineCellLB computes an exact lower bound for a dirty cell by
 // enumerating every completion of the full covering set with a subset of
 // the partial rectangles. Returns ok=false when the cell exceeds the
-// enumeration gates.
-func (w *worker) refineCellLB(cell, clip geom.Rect, ids []int32) (float64, bool) {
+// enumeration gates. cellFull is the cell's full-cover channel totals
+// from the grid fill, which the fully certified fast path reuses as the
+// enumeration base (exact sums make it bit-identical to re-accumulating
+// the containing rectangles) while finding the partial rectangles in
+// the cell's 2D anchor-bin box — a fraction of the 1D master-window
+// scan, whose x-range spans the full y extent. The budget accounting
+// (refineCost) deliberately still charges the window cost, so the
+// refinement decisions — and with them the whole search trajectory —
+// are identical to the scan path's; the fast path only makes each
+// decision cheaper to execute.
+func (w *worker) refineCellLB(cell, clip geom.Rect, ids []int32, cellFull []float64) (float64, bool) {
 	g := w.grid
 	t := w.s.tab
 	master := w.s.rects
 	query := &w.s.query
-	base := g.refineBase[:g.chans]
-	clearF(base)
+	var base []float64
 	partial := g.refinePartial[:0]
-	consider := func(id int32) bool {
-		r := master[id].Rect
-		// Only rectangles whose interior meets the cell interior matter.
-		if !(r.MinX < cell.MaxX && cell.MinX < r.MaxX && r.MinY < cell.MaxY && cell.MinY < r.MaxY) {
-			return true
+	if t.allExact && !w.s.opt.DisableSAT {
+		t.ensureSAT(master)
+		base = cellFull
+		// All possibly-overlapping anchors have MinX ∈ (cell.MinX − wmax,
+		// cell.MaxX) and MinY ∈ (cell.MinY − hmax, cell.MaxY); each bin
+		// row of that box is a contiguous CSR run. Bins certainly inside
+		// the cell's full-cover box hold only rectangles that closed-
+		// contain the cell — already summed into cellFull (if in the
+		// subset) or excluded everywhere (if not) — so the scan skips
+		// that interior and walks only the ring where partials can live.
+		xo0, xo1 := t.binX(cell.MinX-t.wmax), t.binX(cell.MaxX)+1
+		yo0, yo1 := t.binY(cell.MinY-t.hmax), t.binY(cell.MaxY)+1
+		if xo0 < 0 {
+			xo0 = 0
 		}
-		if r.ContainsRect(cell) {
-			for _, cb := range t.rectContribs(id) {
-				base[cb.Ch] += cb.V
+		if yo0 < 0 {
+			yo0 = 0
+		}
+		if xo1 > t.gx {
+			xo1 = t.gx
+		}
+		if yo1 > t.gy {
+			yo1 = t.gy
+		}
+		fi0, fi1 := t.binX(cell.MaxX-t.wmin)+1, t.binX(cell.MinX)
+		fj0, fj1 := t.binY(cell.MaxY-t.hmin)+1, t.binY(cell.MinY)
+		scan := func(lo, hi, row int) bool {
+			if lo >= hi {
+				return true
+			}
+			for _, id := range t.binIds[t.binStart[row+lo]:t.binStart[row+hi]] {
+				r := &master[id].Rect
+				if !(r.MinX < clip.MaxX && clip.MinX < r.MaxX &&
+					r.MinY < clip.MaxY && clip.MinY < r.MaxY) {
+					continue // outside the space's chain-filtered subset
+				}
+				if !(r.MinX < cell.MaxX && cell.MinX < r.MaxX && r.MinY < cell.MaxY && cell.MinY < r.MaxY) {
+					continue // interior does not meet the cell interior
+				}
+				if r.ContainsRect(cell) {
+					continue // already summed into cellFull by the fill
+				}
+				partial = append(partial, id)
+				if len(partial) > refineMaxPartial {
+					return false
+				}
 			}
 			return true
 		}
-		partial = append(partial, id)
-		return len(partial) <= refineMaxPartial
-	}
-	if t.sorted {
-		lo := t.windowLo(cell.MinX - t.wmax)
-		hi := t.windowHi(cell.MaxX)
-		for id := lo; id < hi; id++ {
-			r := &master[id].Rect
-			if !(r.MinX < clip.MaxX && clip.MinX < r.MaxX &&
-				r.MinY < clip.MaxY && clip.MinY < r.MaxY) {
-				continue // outside the space's chain-filtered subset
+		for bj := yo0; bj < yo1; bj++ {
+			row := bj * t.gx
+			ok := true
+			if bj >= fj0 && bj < fj1 && fi0 < fi1 {
+				ok = scan(xo0, min(fi0, xo1), row) && scan(max(xo0, fi1), xo1, row)
+			} else {
+				ok = scan(xo0, xo1, row)
 			}
-			if !consider(int32(id)) {
+			if !ok {
 				g.refinePartial = partial[:0]
 				return 0, false
 			}
 		}
 	} else {
-		for _, id := range ids {
-			if !consider(id) {
-				g.refinePartial = partial[:0]
-				return 0, false
+		base = g.refineBase[:g.chans]
+		clearF(base)
+		consider := func(id int32) bool {
+			r := master[id].Rect
+			// Only rectangles whose interior meets the cell interior
+			// matter.
+			if !(r.MinX < cell.MaxX && cell.MinX < r.MaxX && r.MinY < cell.MaxY && cell.MinY < r.MaxY) {
+				return true
+			}
+			if r.ContainsRect(cell) {
+				for _, cb := range t.rectContribs(id) {
+					base[cb.Ch] += cb.V
+				}
+				return true
+			}
+			partial = append(partial, id)
+			return len(partial) <= refineMaxPartial
+		}
+		if t.sorted {
+			lo := t.windowLo(cell.MinX - t.wmax)
+			hi := t.windowHi(cell.MaxX)
+			for id := lo; id < hi; id++ {
+				r := &master[id].Rect
+				if !(r.MinX < clip.MaxX && clip.MinX < r.MaxX &&
+					r.MinY < clip.MaxY && clip.MinY < r.MaxY) {
+					continue // outside the space's chain-filtered subset
+				}
+				if !consider(int32(id)) {
+					g.refinePartial = partial[:0]
+					return 0, false
+				}
+			}
+		} else {
+			for _, id := range ids {
+				if !consider(id) {
+					g.refinePartial = partial[:0]
+					return 0, false
+				}
 			}
 		}
 	}

@@ -1,0 +1,463 @@
+package dssearch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/geom"
+)
+
+// TestFracBits pins the fraction-bit computation at the heart of the
+// fixed-point certificate.
+func TestFracBits(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{-3, 0},
+		{1 << 30, 0},
+		{0.5, 1},
+		{-0.5, 1},
+		{2.25, 2},
+		{0.375, 3}, // 3/8
+		{1.0 / 1024, 10},
+		{math.Ldexp(1, -62), 62},
+	}
+	for _, c := range cases {
+		if got := fracBits(c.v); got != c.want {
+			t.Errorf("fracBits(%g) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// 0.1 is not 1/10 but the nearest double, m·2^-55 — exactly
+	// representable, so a *single* such value passes; it is the Σ|v|·2^55
+	// headroom bound that rejects decimal-grid channels in practice
+	// (TestCertificatePerChannel).
+	if got := fracBits(0.1); got != 55 {
+		t.Errorf("fracBits(0.1) = %d, want 55", got)
+	}
+	// Unquantizable inputs must exceed the shift budget.
+	for _, v := range []float64{math.NaN(), math.Inf(1), 5e-324, 1e-308, math.Ldexp(1, -100)} {
+		if got := fracBits(v); got <= maxShift {
+			t.Errorf("fracBits(%g) = %d, want > maxShift", v, got)
+		}
+	}
+}
+
+// quantSearcher builds a Searcher over the given objects/composite and
+// returns it with its tables for certificate inspection.
+func quantSearcher(t *testing.T, rects []asp.RectObject, f *agg.Composite) *Searcher {
+	t.Helper()
+	q := asp.Query{F: f, Target: make([]float64, f.Dims())}
+	s, err := NewSearcher(rects, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCertificatePerChannel: channels pass and fail the certificate
+// individually — dyadic reals pass, full-mantissa decimals, denormals,
+// NaN, and headroom-overflowing channels fail.
+func TestCertificatePerChannel(t *testing.T) {
+	schema, err := attr.NewSchema(
+		attr.Attribute{Name: "dyadic", Kind: attr.Numeric},
+		attr.Attribute{Name: "decimal", Kind: attr.Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := agg.New(schema,
+		agg.Spec{Kind: agg.Sum, Attr: "dyadic"},
+		agg.Spec{Kind: agg.Sum, Attr: "decimal"},
+		agg.Spec{Kind: agg.Count},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	objs := make([]attr.Object, 40)
+	rects := make([]asp.RectObject, 40)
+	for i := range objs {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		objs[i] = attr.Object{Loc: geom.Point{X: x, Y: y}, Values: []attr.Value{
+			{Num: float64(rng.Intn(41)-20) * 0.25}, // quarters: certificate passes
+			{Num: 0.1 * float64(1+rng.Intn(9))},    // tenths: not dyadic, fails
+		}}
+		rects[i] = asp.RectObject{Rect: geom.Rect{MinX: x - 1, MinY: y - 1, MaxX: x, MaxY: y}, Obj: &objs[i]}
+	}
+	s := quantSearcher(t, rects, f)
+	tab := s.tab
+	if tab.allExact {
+		t.Fatal("decimal channel should fail the certificate")
+	}
+	if !tab.anyExact || !tab.satUsable() {
+		t.Fatal("dyadic and count channels should pass the certificate")
+	}
+	// Channel layout: fS(dyadic)=0..2, fS(decimal)=3..5, fC=6.
+	if !tab.chOK[0] {
+		t.Error("dyadic sum channel should pass")
+	}
+	if tab.chOK[3] {
+		t.Error("decimal sum channel should fail")
+	}
+	if !tab.chOK[6] {
+		t.Error("count channel should pass")
+	}
+	if tab.chScale[0] != 4 || tab.chInv[0] != 0.25 {
+		t.Errorf("dyadic scale = %g/%g, want 4/0.25", tab.chScale[0], tab.chInv[0])
+	}
+	// Mixed composites must keep the original master order (the failing
+	// channels' float summation order is part of the contract).
+	for i := range rects {
+		if s.rects[i].Obj != rects[i].Obj {
+			t.Fatal("master order changed for a mixed composite")
+		}
+	}
+	if tab.sorted {
+		t.Fatal("mixed composite must not sort the master")
+	}
+}
+
+// TestCertificateDenormalAndHeadroom: denormal-adjacent values and
+// channels whose scaled mass exceeds the 2^52 headroom fall back.
+func TestCertificateDenormalAndHeadroom(t *testing.T) {
+	schema, err := attr.NewSchema(attr.Attribute{Name: "v", Kind: attr.Numeric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := agg.New(schema, agg.Spec{Kind: agg.Sum, Attr: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(vals []float64) *tables {
+		objs := make([]attr.Object, len(vals))
+		rects := make([]asp.RectObject, len(vals))
+		for i, v := range vals {
+			x := float64(i)
+			objs[i] = attr.Object{Loc: geom.Point{X: x, Y: x}, Values: []attr.Value{{Num: v}}}
+			rects[i] = asp.RectObject{Rect: geom.Rect{MinX: x - 1, MinY: x - 1, MaxX: x, MaxY: x}, Obj: &objs[i]}
+		}
+		return quantSearcher(t, rects, f).tab
+	}
+	if tab := build([]float64{0.5, 5e-324}); tab.chOK[0] {
+		t.Error("denormal-bearing channel must fail the certificate")
+	}
+	if tab := build([]float64{0.5, math.NaN()}); tab.chOK[0] {
+		t.Error("NaN-bearing channel must fail the certificate")
+	}
+	if tab := build([]float64{0.5, math.Inf(1)}); tab.chOK[0] {
+		t.Error("Inf-bearing channel must fail the certificate")
+	}
+	// A tiny dyadic value forces a huge shift; a large one then blows the
+	// scaled-sum headroom: individually fine, jointly over budget.
+	if tab := build([]float64{math.Ldexp(1, -50), 16}); tab.chOK[0] {
+		t.Error("exponent-range overflow must fail the certificate")
+	}
+	if tab := build([]float64{math.Ldexp(1, -50), math.Ldexp(1, -49)}); !tab.chOK[0] {
+		t.Error("small dyadic values within headroom should pass")
+	}
+}
+
+// quantRects builds randomized uniform-size rect objects over a
+// two-numeric-attribute schema with dyadic values (rating quarters in
+// [0,10], visits halves in [1,500]), mirroring the POIQuant workload.
+// width/height <= 0 produce degenerate zero-extent rectangles.
+func quantRects(rng *rand.Rand, n int, w, h float64) []asp.RectObject {
+	objs := make([]attr.Object, n)
+	rects := make([]asp.RectObject, n)
+	for i := range rects {
+		x := rng.Float64() * 100
+		y := rng.Float64() * 100
+		if rng.Intn(2) == 0 {
+			x = float64(rng.Intn(20)) * 5
+			y = float64(rng.Intn(20)) * 5
+		}
+		objs[i] = attr.Object{
+			Loc: geom.Point{X: x, Y: y},
+			Values: []attr.Value{
+				{Num: float64(rng.Intn(41)) * 0.25},
+				{Num: 1 + float64(rng.Intn(999))*0.5},
+			},
+		}
+		rects[i] = asp.RectObject{
+			Rect: geom.Rect{MinX: x - w, MinY: y - h, MaxX: x, MaxY: y},
+			Obj:  &objs[i],
+		}
+	}
+	return rects
+}
+
+// realSchemaF2 compiles the F2-shaped composite (fS + fA) against the
+// two-numeric-attribute schema used by quantRects. Its fA component
+// carries a min/max slot, so the fast path must exercise the
+// order-statistic companion.
+func realSchemaF2(t *testing.T) *agg.Composite {
+	t.Helper()
+	schema, err := attr.NewSchema(
+		attr.Attribute{Name: "rating", Kind: attr.Numeric},
+		attr.Attribute{Name: "visits", Kind: attr.Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := agg.New(schema,
+		agg.Spec{Kind: agg.Sum, Attr: "visits"},
+		agg.Spec{Kind: agg.Average, Attr: "rating"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// fillBothQuant runs the difference-array fill and the SAT-backed fast
+// fill on the same space and returns each fill's cell totals (full and
+// partial channels, partial counts) plus the min/max slot grids.
+func fillBothQuant(t *testing.T, rects []asp.RectObject, f *agg.Composite, space, clip geom.Rect, ncol, nrow int, wantSorted bool) (d, s [5][]float64) {
+	t.Helper()
+	q := asp.Query{F: f, Target: make([]float64, f.Dims())}
+	sr, err := NewSearcher(rects, q, Options{NCol: ncol, NRow: nrow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr.tab.satUsable() {
+		t.Fatal("composite should be fast-path usable")
+	}
+	if sr.tab.sorted != wantSorted {
+		t.Fatalf("sorted = %v, want %v", sr.tab.sorted, wantSorted)
+	}
+	w := sr.workers[0]
+	w.grid = newGridBuffers(ncol, nrow, f)
+	g := w.grid
+	ids := sr.AppendWindowIDs(clip, nil)
+
+	cw := space.Width() / float64(ncol)
+	chh := space.Height() / float64(nrow)
+	for i := 0; i <= ncol; i++ {
+		g.xe[i] = space.MinX + float64(i)*cw
+	}
+	for j := 0; j <= nrow; j++ {
+		g.ye[j] = space.MinY + float64(j)*chh
+	}
+
+	grab := func() (out [5][]float64) {
+		for r := 0; r < nrow; r++ {
+			for c := 0; c < ncol; c++ {
+				idx := g.cellIdx(c, r)
+				out[0] = append(out[0], g.diffFull[idx*g.chans:(idx+1)*g.chans]...)
+				out[1] = append(out[1], g.diffPart[idx*g.chans:(idx+1)*g.chans]...)
+				out[2] = append(out[2], g.diffCnt[idx])
+				if g.mmSlots > 0 {
+					mi := (r*ncol + c) * g.mmSlots
+					out[3] = append(out[3], g.mmMin[mi:mi+g.mmSlots]...)
+					out[4] = append(out[4], g.mmMax[mi:mi+g.mmSlots]...)
+				}
+			}
+		}
+		return
+	}
+	w.fillGridDiff(space, ids, cw, chh)
+	d = grab()
+	sr.tab.ensureSAT(sr.rects)
+	w.fillGridFast(space, clip, ids, cw, chh)
+	s = grab()
+	return
+}
+
+// TestFastFillBitIdenticalRealValued is the tentpole property test: on
+// randomized rectangle sets over a *real-valued* composite with min/max
+// slots whose values carry the fixed-point certificate, the SAT-backed
+// fast fill's per-cell full/partial channel totals, partial counts, and
+// min/max slots are bit-identical to the difference-array fill's —
+// including degenerate zero-extent rectangles, lattice-aligned edges,
+// sub-ulp sliver spaces, and ancestor-clip variants.
+func TestFastFillBitIdenticalRealValued(t *testing.T) {
+	f := realSchemaF2(t)
+	rng := rand.New(rand.NewSource(77))
+	names := [5]string{"full", "part", "cnt", "mmMin", "mmMax"}
+	for trial := 0; trial < 60; trial++ {
+		n := 30 + rng.Intn(400)
+		w := []float64{7.5, 5, 12.3, 0}[trial%4]
+		h := []float64{6, 5, 0.7, 0}[trial%4]
+		rects := quantRects(rng, n, w, h)
+		spaces := []geom.Rect{
+			asp.Space(rects),
+			{MinX: 10, MinY: 5, MaxX: 70, MaxY: 65},
+			{MinX: rng.Float64() * 40, MinY: rng.Float64() * 40, MaxX: 60 + rng.Float64()*40, MaxY: 60 + rng.Float64()*40},
+			{MinX: 5, MinY: 40 - 1e-13, MaxX: 95, MaxY: 40 + 1e-13},
+		}
+		ncol := 2 + rng.Intn(12)
+		nrow := 2 + rng.Intn(12)
+		for si, space := range spaces {
+			clip := space
+			if si%2 == 1 {
+				clip.MaxX = space.MaxX - space.Width()*1e-13
+				clip.MaxY = space.MaxY - space.Height()*5e-14
+			}
+			d, s := fillBothQuant(t, rects, f, space, clip, ncol, nrow, true)
+			for k := range d {
+				for i := range d[k] {
+					if math.Float64bits(d[k][i]) != math.Float64bits(s[k][i]) {
+						t.Fatalf("trial %d space %d: %s[%d] diff=%v fast=%v",
+							trial, si, names[k], i, d[k][i], s[k][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastFillMixedComposite: composites where some channels fail the
+// certificate still get the fast path for the passing channels, with
+// the hybrid difference-array pass covering the failing ones in
+// unchanged master order — the combined grids stay bit-identical to the
+// pure difference-array fill.
+func TestFastFillMixedComposite(t *testing.T) {
+	schema, err := attr.NewSchema(
+		attr.Attribute{Name: "cat", Kind: attr.Categorical, Domain: []string{"a", "b", "c"}},
+		attr.Attribute{Name: "raw", Kind: attr.Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fA over full-mantissa reals: the avg-sum channel fails, the count
+	// channel passes, and the min/max companion must still serve the fA
+	// slot exactly.
+	f, err := agg.New(schema,
+		agg.Spec{Kind: agg.Distribution, Attr: "cat"},
+		agg.Spec{Kind: agg.Average, Attr: "raw"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	names := [5]string{"full", "part", "cnt", "mmMin", "mmMax"}
+	for trial := 0; trial < 40; trial++ {
+		n := 30 + rng.Intn(300)
+		w := []float64{7.5, 5, 0}[trial%3]
+		h := []float64{6, 0.7, 0}[trial%3]
+		objs := make([]attr.Object, n)
+		rects := make([]asp.RectObject, n)
+		for i := range rects {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			objs[i] = attr.Object{
+				Loc: geom.Point{X: x, Y: y},
+				Values: []attr.Value{
+					{Cat: rng.Intn(3)},
+					{Num: rng.NormFloat64()},
+				},
+			}
+			rects[i] = asp.RectObject{Rect: geom.Rect{MinX: x - w, MinY: y - h, MaxX: x, MaxY: y}, Obj: &objs[i]}
+		}
+		space := asp.Space(rects)
+		clip := space
+		if trial%2 == 1 {
+			clip.MaxX -= space.Width() * 1e-13
+		}
+		d, s := fillBothQuant(t, rects, f, space, clip, 2+rng.Intn(10), 2+rng.Intn(10), false)
+		for k := range d {
+			for i := range d[k] {
+				if math.Float64bits(d[k][i]) != math.Float64bits(s[k][i]) {
+					t.Fatalf("trial %d: %s[%d] diff=%v fast=%v", trial, names[k], i, d[k][i], s[k][i])
+				}
+			}
+		}
+	}
+}
+
+// TestUnquantizableTakesOldPath: a composite whose every channel fails
+// the certificate silently keeps the pre-SAT behavior — no sort, no
+// fast path, original master order.
+func TestUnquantizableTakesOldPath(t *testing.T) {
+	schema, err := attr.NewSchema(attr.Attribute{Name: "v", Kind: attr.Numeric})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := agg.New(schema, agg.Spec{Kind: agg.Sum, Attr: "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	objs := make([]attr.Object, 60)
+	rects := make([]asp.RectObject, 60)
+	for i := range rects {
+		x, y := rng.Float64()*10, rng.Float64()*10
+		v := rng.NormFloat64()
+		if i%10 == 0 {
+			v = 5e-324 // denormal-adjacent
+		}
+		objs[i] = attr.Object{Loc: geom.Point{X: x, Y: y}, Values: []attr.Value{{Num: v}}}
+		rects[i] = asp.RectObject{Rect: geom.Rect{MinX: x - 1, MinY: y - 1, MaxX: x, MaxY: y}, Obj: &objs[i]}
+	}
+	s := quantSearcher(t, rects, f)
+	if s.tab.anyExact || s.tab.allExact || s.tab.sorted || s.tab.satUsable() {
+		t.Fatalf("unquantizable composite must fall back: %+v", s.tab.chOK)
+	}
+	for i := range rects {
+		if s.rects[i].Obj != rects[i].Obj {
+			t.Fatal("master order changed for an unquantizable composite")
+		}
+	}
+}
+
+// TestSearchEquivalenceRealValued runs whole searches over the
+// real-valued min/max composite and asserts the determinism contract:
+// for any fixed batch size, the fast path's answer is bit-identical to
+// the difference-array oracle (DisableSAT) for every worker count; and
+// across batch sizes — which legitimately change the pruning trajectory
+// and may therefore resolve ties between equally-distant optima
+// differently — the answer distance is identical (exactness).
+func TestSearchEquivalenceRealValued(t *testing.T) {
+	old := satMinIds
+	satMinIds = 64 // force the fast path onto test-sized spaces
+	defer func() { satMinIds = old }()
+
+	f := realSchemaF2(t)
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 6; trial++ {
+		rects := quantRects(rng, 400+rng.Intn(400), 9, 8)
+		target := make([]float64, f.Dims())
+		target[0] = 5000
+		target[1] = 10
+		q := asp.Query{F: f, Target: target}
+
+		solve := func(disableSAT bool, workers, batch int) asp.Result {
+			opt := Options{Workers: workers, BatchSize: batch, DisableSAT: disableSAT}
+			s, err := NewSearcher(rects, q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s.Solve()
+		}
+		for _, batch := range []int{0, 1, 8} {
+			want := solve(true, 1, batch) // difference-array oracle
+			for _, cfg := range [][2]int{{1, 0}, {3, 0}, {2, 1}} {
+				got := solve(cfg[1] == 1, cfg[0], batch)
+				if got.Dist != want.Dist || got.Point != want.Point {
+					t.Fatalf("trial %d batch %d cfg %v: got %v@%v, want %v@%v",
+						trial, batch, cfg, got.Dist, got.Point, want.Dist, want.Point)
+				}
+				for i := range want.Rep {
+					if math.Float64bits(got.Rep[i]) != math.Float64bits(want.Rep[i]) {
+						t.Fatalf("trial %d batch %d cfg %v: rep[%d] %v != %v", trial, batch, cfg, i, got.Rep[i], want.Rep[i])
+					}
+				}
+			}
+		}
+		// Across batch sizes the distance is exact and identical; the
+		// answer point may differ only between equally-distant optima.
+		base := solve(false, 1, 0)
+		for _, batch := range []int{1, 8, 100} {
+			if got := solve(false, 1, batch); got.Dist != base.Dist {
+				t.Fatalf("trial %d: batch %d changed the answer distance: %v != %v",
+					trial, batch, got.Dist, base.Dist)
+			}
+		}
+	}
+}

@@ -2,20 +2,23 @@ package dssearch
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"asrs/internal/agg"
 	"asrs/internal/asp"
 	"asrs/internal/geom"
+	"asrs/internal/segtree"
 )
 
 // This file implements the per-query incremental-aggregation layer of
 // DS-Search: one `tables` value is built per Searcher and owns
 //
-//   - the master rectangle array, sorted by (MinX, MinY) when the
-//     composite is integer-exact, so that every space's relevant
-//     rectangles form a binary-searchable contiguous window;
+//   - the master rectangle array, sorted by (MinX, MinY) when every
+//     channel carries the fixed-point certificate, so that every space's
+//     relevant rectangles form a binary-searchable contiguous window;
 //   - the flattened per-rectangle channel contributions (AppendContribs
 //     evaluated once per query instead of once per discretization);
 //   - the GPS-accuracy computation (Definition 7), derived from the
@@ -28,15 +31,33 @@ import (
 //     scan of the boundary bins, instead of re-integrating difference
 //     arrays over the whole space (see DESIGN.md §2).
 //
-// The SAT path is enabled only for *integer-exact* composites — ones
-// whose every channel contribution is an integer (fD, fC, and fS/fA over
-// integer-valued attributes), so that channel sums are exact in float64
-// and therefore independent of summation order. That is what lets the
-// SAT totals be bit-identical to the difference-array totals (the
-// property tests assert this), and the search trajectory stay
-// deterministic for every worker count. Composites with non-integer
-// contributions keep the difference-array path and the original master
-// order, byte-for-byte the pre-SAT behavior.
+// The SAT path is gated per channel by the *fixed-point certificate*:
+// a channel participates when all of its contributions quantize
+// losslessly onto a shared power-of-two grid (value · 2^shift is an
+// integer for every contribution) and the channel's total absolute
+// scaled mass stays within the exact summation headroom (Σ|v|·2^shift ≤
+// 2^52). Under the certificate every float64 partial sum the
+// difference-array fill can form is an integer multiple of 2^-shift
+// with a ≤53-bit numerator — exactly representable — so channel sums
+// are exact and independent of summation order, and the SAT can carry
+// the channel as scaled int64, converting back only at cell-grid emit,
+// bit-identical to the difference-array totals (the property tests
+// assert this). Integer channels (fD, fC, fS/fA over integer values)
+// pass trivially with shift 0; real-valued channels pass whenever the
+// data lives on a dyadic grid (halves, quarters, float32-sourced
+// values, …). Channels that fail the certificate individually — full-
+// mantissa reals, denormal-adjacent values, NaN/Inf — fall back to a
+// difference-array pass restricted to just those channels, in unchanged
+// master order, so mixed composites still get partial fast-path
+// coverage and fully failing composites keep the pre-SAT behavior
+// byte-for-byte.
+//
+// Min/max slots (fA components) do not telescope through prefix sums;
+// they are served by an order-statistic companion over the same anchor
+// bins: per-bin pre-reduced min/max with segment-tree range queries
+// (segtree.MinMaxRows) over the certainly-partial bin regions, plus an
+// exact scan of the boundary bins — min/max are order-independent, so
+// the companion is usable regardless of the channel certificates.
 
 // satMinIds is the rectangle count at which discretize switches from the
 // per-rectangle difference-array fill to SAT lookups: the SAT fill costs
@@ -45,10 +66,17 @@ import (
 // A variable so tests can force the SAT path onto small inputs.
 var satMinIds = 2048
 
-// maxIntContrib bounds the channel contributions accepted as
-// integer-exact; n·maxIntContrib must stay well inside float64's exact
-// integer range (2^53).
-const maxIntContrib = 1 << 30
+// maxScaledSum bounds a channel's total absolute scaled contribution
+// mass under the fixed-point certificate. 2^52 leaves a factor-2 margin
+// below float64's exact integer range (2^53), so every partial sum of
+// the float difference-array path is exactly representable even after
+// the float accumulation slack of the certificate's own Σ|v| estimate.
+const maxScaledSum = 1 << 52
+
+// maxShift caps the fixed-point scale exponent so the scaled int64
+// contributions (and the certificate arithmetic) stay well-defined;
+// denormal-adjacent values, which would need shifts near 1074, fail.
+const maxShift = 62
 
 // tables is the per-query aggregation layer described above. It is built
 // by newSearcher and shared read-only by all kernel workers; the lazily
@@ -57,8 +85,29 @@ type tables struct {
 	f     *agg.Composite
 	chans int
 
-	intExact bool // every contribution integer-valued (and few enough to sum exactly)
-	sorted   bool // master order is (MinX, MinY); windows are usable
+	sorted bool // master order is (MinX, MinY); windows are usable
+
+	// Fixed-point quantization certificate (see the package note).
+	// chScale/chInv are exact powers of two (1 for integer channels);
+	// contribsI holds the scaled int64 contributions aligned with
+	// contribs, valid wherever chOK. allExact gates the master sort and
+	// the incremental sweep (every float sum exact ⇒ order-free);
+	// anyExact gates the SAT fast path.
+	chOK      []bool
+	chScale   []float64
+	chInv     []float64
+	allExact  bool
+	anyExact  bool
+	contribsI []int64
+	certShift []int // certificate scratch (slab reuse)
+	certSum   []float64
+
+	// CSR of the contributions on channels that FAIL the certificate
+	// (built only for mixed composites): the hybrid fill's
+	// difference-array pass iterates these instead of filtering
+	// contribs per rect.
+	cOffF     []int32
+	contribsF []agg.Contrib
 
 	wmin, wmax float64 // range of rect widths (MaxX-MinX) over the master set
 	hmin, hmax float64
@@ -75,16 +124,22 @@ type tables struct {
 	// Accuracy scratch (kept for slab reuse).
 	axs, bxs []float64
 
-	// Query-level SAT over rectangle-anchor (MinX, MinY) bins.
+	// Query-level SAT over rectangle-anchor (MinX, MinY) bins. sat
+	// carries scaled int64 prefix sums; channel 0 is the anchor count,
+	// channels 1..chans the certified composite channels (failing
+	// channels stay zero). mmBank is the order-statistic companion:
+	// per-bin pre-reduced min/max slot values behind per-row segment
+	// trees.
 	satMu        sync.Mutex
-	satBuilt     bool
+	satBuilt     atomic.Bool // lock-free fast path for per-cell callers
 	gx, gy       int
 	bx0, by0     float64
 	bxMax, byMax float64 // largest anchor coordinates (see binX)
 	bw, bh       float64
-	sat          []float64 // (gx+1)*(gy+1)*(chans+1) prefix sums; channel 0 = count
-	binStart     []int32   // gx*gy+1 CSR offsets
-	binIds       []int32   // master ids grouped by bin, ascending within a bin
+	sat          []int64 // (gx+1)*(gy+1)*(chans+1) prefix sums
+	binStart     []int32 // gx*gy+1 CSR offsets
+	binIds       []int32 // master ids grouped by bin, ascending within a bin
+	mmBank       segtree.MinMaxRows
 
 	// Recycled id slices handed back by a released Searcher (slab reuse
 	// across Engine queries).
@@ -92,9 +147,10 @@ type tables struct {
 }
 
 // reset prepares a recycled tables value for a new query, keeping every
-// slice's capacity.
+// slice's capacity (the quantization-certificate and SAT slabs ride the
+// SlabCache across queries on the same composite).
 func (t *tables) reset() {
-	t.satBuilt = false
+	t.satBuilt.Store(false)
 	t.sat = t.sat[:0]
 	t.binStart = t.binStart[:0]
 	t.binIds = t.binIds[:0]
@@ -103,6 +159,9 @@ func (t *tables) reset() {
 	t.contribs = t.contribs[:0]
 	t.mOff = t.mOff[:0]
 	t.mms = t.mms[:0]
+	t.contribsI = t.contribsI[:0]
+	t.cOffF = t.cOffF[:0]
+	t.contribsF = t.contribsF[:0]
 }
 
 // buildTables constructs the layer over master for the composite f.
@@ -124,11 +183,9 @@ func buildTables(t *tables, master []asp.RectObject, f *agg.Composite, own bool)
 		t.bxs = make([]float64, 0, len(master))
 	}
 
-	// Pass 1: extent ranges and contribution flattening in current order,
-	// deciding integer exactness as we go.
+	// Pass 1: extent ranges and contribution flattening in current order.
 	t.wmin, t.wmax = math.Inf(1), math.Inf(-1)
 	t.hmin, t.hmax = math.Inf(1), math.Inf(-1)
-	intExact := len(master) < (1 << 22) // keep n·maxIntContrib ≪ 2^53
 	t.flattenContribs(master)
 	for i := range master {
 		r := &master[i].Rect
@@ -149,20 +206,14 @@ func buildTables(t *tables, master []asp.RectObject, f *agg.Composite, own bool)
 			}
 		}
 	}
-	for i := range t.contribs {
-		v := t.contribs[i].V
-		if v != math.Trunc(v) || v > maxIntContrib || v < -maxIntContrib {
-			intExact = false
-			break
-		}
-	}
-	t.intExact = intExact
+	t.computeCertificate()
 
-	// Integer-exact composites get the sorted master (and with it the
-	// window, probe and SAT machinery). Sorting reorders float summation,
-	// which is harmless exactly when contributions are integers.
+	// Fully certified composites get the sorted master (and with it the
+	// window and probe machinery). Sorting reorders float summation,
+	// which is harmless exactly when every partial sum is exact — what
+	// the certificate guarantees for every channel.
 	t.sorted = false
-	if intExact && len(master) > 1 {
+	if t.allExact && len(master) > 1 {
 		if !sort.SliceIsSorted(master, func(a, b int) bool {
 			ra, rb := &master[a].Rect, &master[b].Rect
 			if ra.MinX != rb.MinX {
@@ -183,15 +234,142 @@ func buildTables(t *tables, master []asp.RectObject, f *agg.Composite, own bool)
 			t.flattenContribs(master) // realign with the new order
 		}
 		t.sorted = true
-	} else if intExact {
+	} else if t.allExact {
 		t.sorted = true // 0- and 1-element masters are trivially sorted
 	}
+	t.scaleContribs()
 
 	t.minXs = t.minXs[:0]
 	for i := range master {
 		t.minXs = append(t.minXs, master[i].Rect.MinX)
 	}
 	return master
+}
+
+// fracBits returns the number of binary fraction bits of v — the
+// smallest k with v·2^k integral — or a value above maxShift when v is
+// unquantizable within the certificate's budget (denormals would need
+// shifts near 1074; NaN/Inf never quantize).
+func fracBits(v float64) int {
+	if v == 0 {
+		return 0
+	}
+	b := math.Float64bits(v)
+	exp := int(b>>52) & 0x7ff
+	frac := b & (1<<52 - 1)
+	switch exp {
+	case 0x7ff: // Inf/NaN
+		return maxShift + 1
+	case 0: // denormal: v = frac·2^-1074
+		return 1074 - bits.TrailingZeros64(frac)
+	}
+	// v = (2^52 | frac) · 2^(exp-1075).
+	fb := 1075 - exp - bits.TrailingZeros64(frac|1<<52)
+	if fb < 0 {
+		return 0
+	}
+	return fb
+}
+
+// computeCertificate derives the per-channel fixed-point certificate
+// from the flattened contributions: the shared power-of-two shift (the
+// maximum fraction-bit count over the channel's values) and the
+// headroom check Σ|v|·2^shift ≤ 2^52. Channels with no contributions
+// pass trivially with shift 0.
+func (t *tables) computeCertificate() {
+	c := t.chans
+	if cap(t.chOK) < c {
+		t.chOK = make([]bool, c)
+		t.chScale = make([]float64, c)
+		t.chInv = make([]float64, c)
+		t.certShift = make([]int, c)
+		t.certSum = make([]float64, c)
+	}
+	t.chOK = t.chOK[:c]
+	t.chScale = t.chScale[:c]
+	t.chInv = t.chInv[:c]
+	shift := t.certShift[:c]
+	sumAbs := t.certSum[:c]
+	for ch := range shift {
+		shift[ch] = 0
+		sumAbs[ch] = 0
+	}
+	ok := true
+	for i := range t.contribs {
+		cb := &t.contribs[i]
+		if fb := fracBits(cb.V); fb > shift[cb.Ch] {
+			shift[cb.Ch] = fb
+		}
+		sumAbs[cb.Ch] += math.Abs(cb.V)
+	}
+	t.allExact, t.anyExact = true, false
+	for ch := 0; ch < c; ch++ {
+		ok = shift[ch] <= maxShift
+		if ok {
+			t.chScale[ch] = math.Ldexp(1, shift[ch])
+			t.chInv[ch] = math.Ldexp(1, -shift[ch])
+			ok = sumAbs[ch]*t.chScale[ch] <= maxScaledSum
+		}
+		if !ok {
+			t.chScale[ch], t.chInv[ch] = 1, 1
+		}
+		t.chOK[ch] = ok
+		t.allExact = t.allExact && ok
+		t.anyExact = t.anyExact || ok
+	}
+}
+
+// scaleContribs materializes the scaled int64 contributions (aligned
+// with contribs, valid wherever chOK) and, for mixed composites, the
+// failing-channel CSR the hybrid fill's difference-array pass iterates.
+// Must run after any master re-sort so the alignment holds.
+func (t *tables) scaleContribs() {
+	if !t.anyExact {
+		return
+	}
+	if cap(t.contribsI) < len(t.contribs) {
+		t.contribsI = make([]int64, 0, cap(t.contribs))
+	}
+	t.contribsI = t.contribsI[:len(t.contribs)]
+	for i := range t.contribs {
+		cb := &t.contribs[i]
+		if t.chOK[cb.Ch] {
+			// Exact: cb.V is an integer multiple of 2^-shift with a
+			// ≤52-bit numerator, and the power-of-two multiply only
+			// shifts the exponent.
+			t.contribsI[i] = int64(cb.V * t.chScale[cb.Ch])
+		} else {
+			t.contribsI[i] = 0
+		}
+	}
+	if t.allExact {
+		t.cOffF = t.cOffF[:0]
+		t.contribsF = t.contribsF[:0]
+		return
+	}
+	t.cOffF = append(t.cOffF[:0], 0)
+	t.contribsF = t.contribsF[:0]
+	n := len(t.cOff) - 1
+	for i := 0; i < n; i++ {
+		for _, cb := range t.contribs[t.cOff[i]:t.cOff[i+1]] {
+			if !t.chOK[cb.Ch] {
+				t.contribsF = append(t.contribsF, cb)
+			}
+		}
+		t.cOffF = append(t.cOffF, int32(len(t.contribsF)))
+	}
+}
+
+// rectFailContribs returns master[id]'s contributions on channels that
+// failed the certificate (mixed composites only).
+func (t *tables) rectFailContribs(id int32) []agg.Contrib {
+	return t.contribsF[t.cOffF[id]:t.cOffF[id+1]]
+}
+
+// rectContribsI returns master[id]'s scaled int64 contributions,
+// aligned with rectContribs (entries on failing channels are zero).
+func (t *tables) rectContribsI(id int32) []int64 {
+	return t.contribsI[t.cOff[id]:t.cOff[id+1]]
 }
 
 // flattenContribs (re)fills the per-rect contribution tables in master
@@ -223,12 +401,13 @@ func (t *tables) rectMM(id int32) []agg.MMContrib {
 	return t.mms[t.mOff[id]:t.mOff[id+1]]
 }
 
-// satUsable reports whether discretize may use the SAT fill: channel
-// sums must be order-independent (integer-exact) and there must be no
-// min/max slots (those do not telescope; composites with fA components
-// are not integer-exact anyway, since the fA sum channel carries raw
-// attribute values).
-func (t *tables) satUsable() bool { return t.sorted && t.intExact && t.f.MinMaxSlots() == 0 }
+// satUsable reports whether discretize may use the SAT-backed fast
+// fill: at least one channel must carry the fixed-point certificate
+// (counts and the min/max companion then ride along; channels that
+// failed are filled by the hybrid difference-array pass in unchanged
+// master order). Composites whose every channel fails keep the classic
+// difference-array path, byte-for-byte the pre-SAT behavior.
+func (t *tables) satUsable() bool { return t.anyExact }
 
 // accuracy computes the Definition 7 GPS accuracies: the minimum
 // separation of the distinct x (resp. y) edge coordinates. The edge
@@ -327,9 +506,12 @@ func satGrid(n int) int {
 // concurrent workers; the build result is deterministic, so it does not
 // matter which worker wins the race for the lock.
 func (t *tables) ensureSAT(master []asp.RectObject) {
+	if t.satBuilt.Load() {
+		return
+	}
 	t.satMu.Lock()
 	defer t.satMu.Unlock()
-	if t.satBuilt {
+	if t.satBuilt.Load() {
 		return
 	}
 	n := len(master)
@@ -397,11 +579,12 @@ func (t *tables) ensureSAT(master []asp.RectObject) {
 
 	// Prefix-summed count+channel grid: sat[(j*(g+1)+i)*C+c] holds the
 	// totals of anchors in bins [0,i)×[0,j); channel 0 is the anchor
-	// count, channels 1..chans the composite channels. All values are
-	// integers (satUsable gates on integer exactness), so the prefix
-	// telescoping and the four-corner differences are exact.
+	// count, channels 1..chans the certified composite channels as
+	// scaled int64 (failing channels stay zero). Integer arithmetic, so
+	// the prefix telescoping and four-corner differences are exact by
+	// construction.
 	C := t.chans + 1
-	t.sat = resizeF64(t.sat, (g+1)*(g+1)*C)
+	t.sat = resizeI64(t.sat, (g+1)*(g+1)*C)
 	for i := range t.sat {
 		t.sat[i] = 0
 	}
@@ -411,8 +594,10 @@ func (t *tables) ensureSAT(master []asp.RectObject) {
 		bi, bj := b%g, b/g
 		at := ((bj+1)*w + bi + 1) * C
 		t.sat[at]++
-		for _, cb := range t.rectContribs(int32(i)) {
-			t.sat[at+1+cb.Ch] += cb.V
+		contribs := t.rectContribs(int32(i))
+		scaled := t.rectContribsI(int32(i))
+		for k := range contribs {
+			t.sat[at+1+contribs[k].Ch] += scaled[k]
 		}
 	}
 	for j := 0; j <= g; j++ {
@@ -431,7 +616,22 @@ func (t *tables) ensureSAT(master []asp.RectObject) {
 			t.sat[cur+i] += t.sat[prev+i]
 		}
 	}
-	t.satBuilt = true
+
+	// Order-statistic companion: per-bin pre-reduced min/max slot values
+	// behind per-row segment trees, queried by the fast fill over the
+	// certainly-partial bin regions of each cell.
+	if slots := t.f.MinMaxSlots(); slots > 0 {
+		t.mmBank.Reset(g, g, slots)
+		for i := range master {
+			b := binOf(&master[i].Rect)
+			bi, bj := b%g, b/g
+			for _, m := range t.rectMM(int32(i)) {
+				t.mmBank.Fold(bj, bi, m.Slot, m.V)
+			}
+		}
+		t.mmBank.Build()
+	}
+	t.satBuilt.Store(true)
 }
 
 // binX maps an x coordinate to its bin column for threshold purposes:
@@ -471,8 +671,9 @@ func (t *tables) binY(y float64) int {
 }
 
 // satRegion adds the count+channel totals of anchors in bins
-// [i0,i1)×[j0,j1) into out (length chans+1) via a four-corner lookup.
-func (t *tables) satRegion(i0, i1, j0, j1 int, out []float64) {
+// [i0,i1)×[j0,j1) into out (length chans+1, scaled int64) via a
+// four-corner lookup.
+func (t *tables) satRegion(i0, i1, j0, j1 int, out []int64) {
 	if i0 < 0 {
 		i0 = 0
 	}
@@ -507,12 +708,12 @@ func resizeInt32(v []int32, n int) []int32 {
 	return make([]int32, n)
 }
 
-// resizeF64 returns a slice of length n reusing capacity.
-func resizeF64(v []float64, n int) []float64 {
+// resizeI64 returns a slice of length n reusing capacity.
+func resizeI64(v []int64, n int) []int64 {
 	if cap(v) >= n {
 		return v[:n]
 	}
-	return make([]float64, n)
+	return make([]int64, n)
 }
 
 // ---- Slab cache ----

@@ -195,8 +195,8 @@ func TestSATNotUsableForFloatChannels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if s.tab.intExact || s.tab.sorted || s.tab.satUsable() {
-		t.Fatalf("float composite must not enable the SAT layer: %+v", s.tab.intExact)
+	if s.tab.allExact || s.tab.anyExact || s.tab.sorted || s.tab.satUsable() {
+		t.Fatalf("float composite must not enable the SAT layer: allExact=%v anyExact=%v", s.tab.allExact, s.tab.anyExact)
 	}
 	for i := range rects {
 		if s.rects[i].Obj != rects[i].Obj {

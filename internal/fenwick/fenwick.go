@@ -8,34 +8,46 @@ package fenwick
 
 import "fmt"
 
+// Value constrains the element types a Fenwick tree can carry. The
+// int64 instantiation exists for the fixed-point fast paths (DESIGN.md
+// §2): channel contributions certified to quantize losslessly onto a
+// power-of-two grid are carried as scaled integers, so every partial
+// sum is exact by construction rather than by float headroom argument.
+type Value interface {
+	~int64 | ~float64
+}
+
 // Tree1D is a one-dimensional Fenwick tree over n positions, each
-// carrying `chans` float64 channels, in range-add / point-query form:
+// carrying `chans` value channels, in range-add / point-query form:
 // RangeAdd adds a delta to every position of an inclusive range in
 // O(log n), and PointInto reads one position's channel vector in
 // O(log n · chans). It is the substrate of the incremental sweep
 // (internal/sweep): strip accumulators advance by edge deltas instead of
 // rescanning every interval. The zero value is not usable; construct
 // with New1D or Reset a recycled tree.
-type Tree1D struct {
+type Tree1D[T Value] struct {
 	n, chans int
 	// data is 1-based: position i lives at ((i+1)*chans ...); entry j
 	// holds the standard BIT partial sums of the difference array.
-	data []float64
+	data []T
 }
 
+// Int64Tree1D carries scaled fixed-point channels.
+type Int64Tree1D = Tree1D[int64]
+
 // New1D returns a tree over n positions with the given channel count.
-func New1D(n, chans int) *Tree1D {
+func New1D[T Value](n, chans int) *Tree1D[T] {
 	if n < 1 || chans < 1 {
 		panic(fmt.Sprintf("fenwick: invalid dimensions %dx%d", n, chans))
 	}
-	t := &Tree1D{}
+	t := &Tree1D[T]{}
 	t.Reset(n, chans)
 	return t
 }
 
 // Reset re-dimensions the tree to n positions × chans channels and
 // zeroes it, reusing the backing array when it fits.
-func (t *Tree1D) Reset(n, chans int) {
+func (t *Tree1D[T]) Reset(n, chans int) {
 	t.n = n
 	t.chans = chans
 	need := (n + 1) * chans
@@ -45,16 +57,16 @@ func (t *Tree1D) Reset(n, chans int) {
 			t.data[i] = 0
 		}
 	} else {
-		t.data = make([]float64, need)
+		t.data = make([]T, need)
 	}
 }
 
 // Len returns the number of positions.
-func (t *Tree1D) Len() int { return t.n }
+func (t *Tree1D[T]) Len() int { return t.n }
 
 // RangeAdd adds delta to channel ch of every position in [l, r]
 // (inclusive). Out-of-range ends are clamped; empty ranges are no-ops.
-func (t *Tree1D) RangeAdd(l, r, ch int, delta float64) {
+func (t *Tree1D[T]) RangeAdd(l, r, ch int, delta T) {
 	if l < 0 {
 		l = 0
 	}
@@ -73,7 +85,7 @@ func (t *Tree1D) RangeAdd(l, r, ch int, delta float64) {
 }
 
 // PointInto writes position i's channel vector into out (length chans).
-func (t *Tree1D) PointInto(i int, out []float64) {
+func (t *Tree1D[T]) PointInto(i int, out []T) {
 	for c := range out {
 		out[c] = 0
 	}

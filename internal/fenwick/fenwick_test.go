@@ -183,7 +183,7 @@ func TestTree1DRangeAddPointQuery(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		n := 1 + rng.Intn(60)
 		chans := 1 + rng.Intn(4)
-		tree := fenwick.New1D(n, chans)
+		tree := fenwick.New1D[float64](n, chans)
 		ref := make([]float64, n*chans)
 		for op := 0; op < 200; op++ {
 			l := rng.Intn(n+4) - 2
@@ -217,6 +217,45 @@ func TestTree1DRangeAddPointQuery(t *testing.T) {
 		for c := range out {
 			if out[c] != 0 {
 				t.Fatal("Reset did not zero the tree")
+			}
+		}
+	}
+}
+
+// TestInt64Tree1D validates the fixed-point (int64) instantiation: the
+// sums carried for quantized channels must match an exact integer
+// reference, with the same clamping semantics as the float tree.
+func TestInt64Tree1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(40)
+		chans := 1 + rng.Intn(3)
+		tree := fenwick.New1D[int64](n, chans)
+		ref := make([]int64, n*chans)
+		for op := 0; op < 150; op++ {
+			l := rng.Intn(n+4) - 2
+			r := rng.Intn(n+4) - 2
+			ch := rng.Intn(chans)
+			delta := int64(rng.Intn(1<<20) - 1<<19)
+			tree.RangeAdd(l, r, ch, delta)
+			lo, hi := l, r
+			if lo < 0 {
+				lo = 0
+			}
+			if hi >= n {
+				hi = n - 1
+			}
+			for i := lo; i <= hi; i++ {
+				ref[i*chans+ch] += delta
+			}
+		}
+		out := make([]int64, chans)
+		for i := 0; i < n; i++ {
+			tree.PointInto(i, out)
+			for c := 0; c < chans; c++ {
+				if out[c] != ref[i*chans+c] {
+					t.Fatalf("trial %d pos %d ch %d: got %v want %v", trial, i, c, out[c], ref[i*chans+c])
+				}
 			}
 		}
 	}

@@ -114,56 +114,89 @@ func Solve(idx *Index, rects []asp.RectObject, q asp.Query, a, b float64, opt ds
 	return best, stats, nil
 }
 
+// lbScratch bundles the per-query scratch of the cell lower-bound pass
+// — channel vectors, bound vectors, min/max slots and the integer-dim
+// flags — carved from one slab allocation. Index.CellLowerBounds used
+// to allocate its nine slices on every query (and the parallel variant
+// once per worker); scratches now recycle through the index's pool, so
+// steady-state GI-DS queries reallocate nothing here.
+type lbScratch struct {
+	full, big, part []float64
+	lo, hi          []float64
+	mmMin, mmMax    []float64
+	isInt           []bool
+}
+
+func (x *Index) getLBScratch() *lbScratch {
+	if sc, ok := x.lbPool.Get().(*lbScratch); ok && sc != nil {
+		return sc
+	}
+	dims := x.f.Dims()
+	slab := make([]float64, 3*x.chans+2*dims+2*x.mmSlots)
+	carve := func(n int) []float64 {
+		out := slab[:n:n]
+		slab = slab[n:]
+		return out
+	}
+	return &lbScratch{
+		full:  carve(x.chans),
+		big:   carve(x.chans),
+		part:  carve(x.chans),
+		lo:    carve(dims),
+		hi:    carve(dims),
+		mmMin: carve(x.mmSlots),
+		mmMax: carve(x.mmSlots),
+		isInt: x.f.IntegerDims(),
+	}
+}
+
+func (x *Index) putLBScratch(sc *lbScratch) { x.lbPool.Put(sc) }
+
 // CellLowerBounds computes the §5.3 lower bound for every index cell:
 // bounded region ⊆ every candidate region ⊆ bounding region, evaluated
 // with Lemma 8 and Equation 1. Returned in row-major order (j*sx+i).
 func (x *Index) CellLowerBounds(q asp.Query, a, b float64) []float64 {
 	out := make([]float64, x.sx*x.sy)
-	full := make([]float64, x.chans)
-	big := make([]float64, x.chans)
-	part := make([]float64, x.chans)
-	lo := make([]float64, x.f.Dims())
-	hi := make([]float64, x.f.Dims())
-	mmMin, mmMax := x.f.InfMM()
-	isInt := x.f.IntegerDims()
-
+	sc := x.getLBScratch()
 	for j := 0; j < x.sy; j++ {
-		x.rowLowerBounds(q, a, b, j, out[j*x.sx:(j+1)*x.sx], full, big, part, lo, hi, mmMin, mmMax, isInt)
+		x.rowLowerBounds(q, a, b, j, out[j*x.sx:(j+1)*x.sx], sc)
 	}
+	x.putLBScratch(sc)
 	return out
 }
 
-// rowLowerBounds fills one row of CellLowerBounds using caller-provided
-// scratch buffers (so the parallel variant can shard by row).
-func (x *Index) rowLowerBounds(q asp.Query, a, b float64, j int, out, full, big, part, lo, hi, mmMin, mmMax []float64, isInt []bool) {
+// rowLowerBounds fills one row of CellLowerBounds using a pooled
+// scratch (so the parallel variant can shard by row, one scratch per
+// worker).
+func (x *Index) rowLowerBounds(q asp.Query, a, b float64, j int, out []float64, sc *lbScratch) {
 	ib, it := x.insideRows(j, b)
 	ob, ot := x.boundRows(j, b)
 	for i := 0; i < x.sx; i++ {
 		il, ir := x.insideCols(i, a)
 		ol, or := x.boundCols(i, a)
 
-		x.RegionChannels(il, ir, ib, it, full)
-		x.RegionChannels(ol, or, ob, ot, big)
+		x.RegionChannels(il, ir, ib, it, sc.full)
+		x.RegionChannels(ol, or, ob, ot, sc.big)
 		for ch := 0; ch < x.chans; ch++ {
 			// The partial set is the bounding region minus the bounded
 			// one, so its channel totals are exactly big−full. Values
 			// may be legitimately negative (the sumNeg channel of fS);
 			// only float residue from the telescoped sums is clamped.
-			v := big[ch] - full[ch]
+			v := sc.big[ch] - sc.full[ch]
 			if v < 0 && v > -1e-9 {
 				v = 0
 			}
-			part[ch] = v
+			sc.part[ch] = v
 		}
 		if x.mmSlots > 0 {
 			for s := 0; s < x.mmSlots; s++ {
-				mmMin[s] = math.Inf(1)
-				mmMax[s] = math.Inf(-1)
+				sc.mmMin[s] = math.Inf(1)
+				sc.mmMax[s] = math.Inf(-1)
 			}
-			x.RingMinMax(ol, or, ob, ot, il, ir, ib, it, mmMin, mmMax)
+			x.RingMinMax(ol, or, ob, ot, il, ir, ib, it, sc.mmMin, sc.mmMax)
 		}
-		x.f.FinalizeBounds(full, part, mmMin, mmMax, lo, hi)
-		out[i] = q.LowerBoundInt(lo, hi, isInt)
+		x.f.FinalizeBounds(sc.full, sc.part, sc.mmMin, sc.mmMax, sc.lo, sc.hi)
+		out[i] = q.LowerBoundInt(sc.lo, sc.hi, sc.isInt)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"sync"
 
 	"asrs/internal/agg"
 	"asrs/internal/attr"
@@ -45,6 +46,11 @@ type Index struct {
 	cellMax []float64
 
 	objects int
+
+	// lbPool recycles the cell lower-bound scratch (lbScratch) across
+	// queries and workers; an Index is immutable once built, so pooling
+	// is its only mutable state and is safe for concurrent readers.
+	lbPool sync.Pool
 }
 
 // New builds the index with granularity sx×sy over the dataset bounds

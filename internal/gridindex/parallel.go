@@ -174,16 +174,11 @@ func (x *Index) ParallelCellLowerBounds(q asp.Query, a, b float64, workers int) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			full := make([]float64, x.chans)
-			big := make([]float64, x.chans)
-			part := make([]float64, x.chans)
-			lo := make([]float64, x.f.Dims())
-			hi := make([]float64, x.f.Dims())
-			mmMin, mmMax := x.f.InfMM()
-			isInt := x.f.IntegerDims()
+			sc := x.getLBScratch()
 			for j := range rows {
-				x.rowLowerBounds(q, a, b, j, out[j*x.sx:(j+1)*x.sx], full, big, part, lo, hi, mmMin, mmMax, isInt)
+				x.rowLowerBounds(q, a, b, j, out[j*x.sx:(j+1)*x.sx], sc)
 			}
+			x.putLBScratch(sc)
 		}()
 	}
 	for j := 0; j < x.sy; j++ {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"asrs/internal/asp"
+	"asrs/internal/attr"
 	"asrs/internal/dataset"
 	"asrs/internal/dssearch"
 )
@@ -22,6 +23,18 @@ type ParallelBenchConfig struct {
 	K       int   // query size multiplier (default 10, matching Fig. 10)
 	Seed    int64 // dataset seed (default 42)
 	Workers []int // worker sweep (default 1,2,4,8)
+	// Batch overrides the kernel superstep batch size (0 keeps the
+	// default). At any fixed batch the answer is worker-independent —
+	// the sweep's determinism check enforces that at scale; across
+	// batch sizes only the answer distance is guaranteed identical
+	// (ties between equally-distant optima may resolve differently).
+	Batch int
+	// Workload selects the benchmarked composite: "f1" (default) is the
+	// integer-exact fD workload on the Tweet corpus; "f2q" is the
+	// real-valued fS+fA composite on the dyadic-quantized POI corpus
+	// (dataset.POIQuant) that exercises the fixed-point channel and
+	// min/max fast paths.
+	Workload string
 	// BaselineNs optionally records an externally measured reference
 	// ns/op for the same workload (e.g. the pre-kernel sequential path at
 	// its commit), so the report can state speedup against it. Zero
@@ -44,6 +57,9 @@ func (c ParallelBenchConfig) normalized() ParallelBenchConfig {
 	if len(c.Workers) == 0 {
 		c.Workers = []int{1, 2, 4, 8}
 	}
+	if c.Workload == "" {
+		c.Workload = "f1"
+	}
 	return c
 }
 
@@ -63,13 +79,16 @@ type ParallelBenchRun struct {
 	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
 }
 
-// ParallelBenchReport is the JSON document written to BENCH_PR1.json.
+// ParallelBenchReport is the JSON document written to the BENCH_PR*.json
+// trajectory files.
 type ParallelBenchReport struct {
 	Benchmark  string             `json:"benchmark"`
 	Dataset    string             `json:"dataset"`
+	Workload   string             `json:"workload"`
 	N          int                `json:"n"`
 	QuerySizeK int                `json:"query_size_k"`
 	Seed       int64              `json:"seed"`
+	Batch      int                `json:"batch,omitempty"` // kernel superstep batch size; 0 = kernel default
 	GoMaxProcs int                `json:"gomaxprocs"`
 	NumCPU     int                `json:"num_cpu"`
 	BaselineNs int64              `json:"baseline_ns_per_op,omitempty"`
@@ -83,21 +102,35 @@ type ParallelBenchReport struct {
 // bench double as a cheap large-scale determinism check.
 func RunParallelBench(out io.Writer, cfg ParallelBenchConfig) error {
 	cfg = cfg.normalized()
-	ds := dataset.Tweet(cfg.N, cfg.Seed)
+	var (
+		ds     *attr.Dataset
+		dsName string
+		makeQ  func(*attr.Dataset, float64, float64) (asp.Query, error)
+	)
+	switch cfg.Workload {
+	case "f1":
+		ds, dsName, makeQ = dataset.Tweet(cfg.N, cfg.Seed), "tweet", dataset.F1
+	case "f2q":
+		ds, dsName, makeQ = dataset.POIQuant(cfg.N, cfg.Seed), "poiquant", dataset.F2
+	default:
+		return fmt.Errorf("harness: unknown workload %q (want f1 or f2q)", cfg.Workload)
+	}
 	bounds := ds.Bounds()
 	qa := float64(cfg.K) * bounds.Width() / 1000
 	qb := float64(cfg.K) * bounds.Height() / 1000
-	q, err := dataset.F1(ds, qa, qb)
+	q, err := makeQ(ds, qa, qb)
 	if err != nil {
 		return err
 	}
 
 	report := ParallelBenchReport{
-		Benchmark:  "ds-search/tweet",
-		Dataset:    "tweet",
+		Benchmark:  "ds-search/" + dsName,
+		Dataset:    dsName,
+		Workload:   cfg.Workload,
 		N:          len(ds.Objects),
 		QuerySizeK: cfg.K,
 		Seed:       cfg.Seed,
+		Batch:      cfg.Batch,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		BaselineNs: cfg.BaselineNs,
@@ -106,7 +139,7 @@ func RunParallelBench(out io.Writer, cfg ParallelBenchConfig) error {
 
 	var want asp.Result
 	for i, w := range cfg.Workers {
-		opt := dssearch.Options{Workers: w}
+		opt := dssearch.Options{Workers: w, BatchSize: cfg.Batch}
 		_, res, _, err := dssearch.SolveASRS(ds, qa, qb, q, opt)
 		if err != nil {
 			return err

@@ -45,12 +45,12 @@ import (
 	"asrs/internal/geom"
 )
 
-// batchSize is the number of spaces popped per superstep. It is a
-// compile-time constant, NOT derived from the worker count: the heap
-// trajectory must be identical for every Workers setting or answers could
-// differ between deployments. 32 keeps a wide machine busy while bounding
-// the stale-bound lookahead.
-const batchSize = 32
+// DefaultBatchSize is the number of spaces popped per superstep when
+// the caller does not choose one. It is deliberately NOT derived from
+// the worker count: the heap trajectory must be identical for every
+// Workers setting or answers could differ between deployments. 32 keeps
+// a wide machine busy while bounding the stale-bound lookahead.
+const DefaultBatchSize = 32
 
 // Item is one unit of best-first work: a candidate space, its Equation 1
 // lower bound, and the ids (indices into the processor's master rectangle
@@ -108,13 +108,20 @@ type outcome struct {
 
 // Run drives the best-first loop to exhaustion and returns heap work
 // counters (total pushes including seeds, and the maximum heap size).
+// batchSize is the superstep batch width (values <= 0 select
+// DefaultBatchSize); like the worker count it is a throughput knob —
+// answers are deterministic for any fixed batch size, and the search
+// packages' determinism tests assert they do not depend on it either.
 // bound carries the incumbent in and the final answer out. release, when
 // non-nil, is called exactly once for every emitted item that Run drops
 // without handing it to process (children pruned at the merge barrier,
 // and heap leftovers when the bound terminates the loop), so processors
 // that pool per-item resources can reclaim them; processed items are the
 // processor's own responsibility.
-func Run(workers int, seeds []Item, bound *Bound, process ProcessFunc, release func(Item)) (pushes, maxHeap int) {
+func Run(workers, batchSize int, seeds []Item, bound *Bound, process ProcessFunc, release func(Item)) (pushes, maxHeap int) {
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
 	h := NewHeap[Item](func(a, b Item) bool { return a.LB < b.LB })
 	for _, s := range seeds {
 		h.Push(s)

@@ -119,10 +119,10 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 		v := (x - 0.6180339) * (x - 0.6180339)
 		return v + 0.1*(1+sin13(x))
 	}
-	solve := func(workers int) asp.Result {
+	solve := func(workers, batch int) asp.Result {
 		bound := NewBound(0, asp.Result{Dist: 1e18})
 		seed := Item{Space: geom.Rect{MinX: 0, MaxX: 1, MinY: 0, MaxY: 1}, LB: 0}
-		Run(workers, []Item{seed}, bound, func(w int, it Item, inc asp.Result, emit func(Item)) asp.Result {
+		Run(workers, batch, []Item{seed}, bound, func(w int, it Item, inc asp.Result, emit func(Item)) asp.Result {
 			lo, hi := it.Space.MinX, it.Space.MaxX
 			mid := (lo + hi) / 2
 			cand := asp.Result{Dist: f(mid), Point: geom.Point{X: mid}}
@@ -139,11 +139,19 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 		}, nil)
 		return bound.Best()
 	}
-	want := solve(1)
+	want := solve(1, 0)
 	for _, w := range []int{2, 3, 8} {
-		got := solve(w)
+		got := solve(w, 0)
 		if got.Dist != want.Dist || got.Point != want.Point {
 			t.Fatalf("workers=%d: %+v, want %+v", w, got, want)
+		}
+	}
+	// The batch width is a throughput knob too: this workload's optimum
+	// is unique, so every batch size must land on the same answer bits.
+	for _, b := range []int{1, 4, DefaultBatchSize, 100} {
+		got := solve(3, b)
+		if got.Dist != want.Dist || got.Point != want.Point {
+			t.Fatalf("batch=%d: %+v, want %+v", b, got, want)
 		}
 	}
 }
@@ -165,7 +173,7 @@ func TestRunTerminatesOnNaNThreshold(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		Run(1, []Item{{LB: 0}, {LB: nan}}, bound,
+		Run(1, 0, []Item{{LB: 0}, {LB: nan}}, bound,
 			func(w int, it Item, inc asp.Result, emit func(Item)) asp.Result {
 				processed++
 				return inc
@@ -188,7 +196,7 @@ func TestRunReleasesDroppedItems(t *testing.T) {
 	bound := NewBound(0, asp.Result{Dist: 1e18})
 	released := 0
 	processed := 0
-	pushes, _ := Run(1, []Item{{LB: 0}}, bound,
+	pushes, _ := Run(1, 0, []Item{{LB: 0}}, bound,
 		func(w int, it Item, inc asp.Result, emit func(Item)) asp.Result {
 			processed++
 			// First item finds the optimum and emits children that the

@@ -1,11 +1,23 @@
-// Package segtree provides a lazy segment tree over m positions supporting
-// range-add updates and global max queries with argmax position. It is the
-// classic substrate for the Optimal Enclosure (OE) algorithm for MaxRS
-// (Nandy & Bhattacharya 1995; Choi et al. 2012): sweep the plane in y,
-// range-add each rectangle's x-interval, and track the stabbing maximum.
+// Package segtree provides segment-tree substrates for the sweep-style
+// algorithms of this library:
+//
+//   - Tree, a lazy segment tree over m positions supporting range-add
+//     updates and global max queries with argmax position — the classic
+//     substrate for the Optimal Enclosure (OE) algorithm for MaxRS
+//     (Nandy & Bhattacharya 1995; Choi et al. 2012): sweep the plane in
+//     y, range-add each rectangle's x-interval, and track the stabbing
+//     maximum;
+//   - MinMaxRows, a bank of static iterative segment trees over the rows
+//     of a grid answering range min/max ("order statistic") queries —
+//     the substrate of the min/max companion structure that lets the
+//     DS-Search SAT layer serve composites with fA min/max slots
+//     (internal/dssearch, DESIGN.md §2).
 package segtree
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Tree is a segment tree over positions [0, n) with range-add and max
 // query. The zero Tree is not usable; construct with New.
@@ -106,4 +118,123 @@ func (t *Tree) Value(pos int) float64 {
 		}
 	}
 	return acc + t.max[node]
+}
+
+// MinMaxRows is a bank of independent static segment trees, one per row
+// of a rows×width grid, each leaf carrying `slots` (min, max) pairs. It
+// answers "min and max of slot s over columns [l, r) of row j" in
+// O(log width) after an O(rows·width·slots) build, with zero
+// allocations on rebuild when the dimensions fit the retained slabs.
+//
+// The intended use is order-statistic summed-area-table companions:
+// prefix sums telescope but minima/maxima do not, so rectangular
+// min/max regions are answered by combining per-row range queries
+// instead of four-corner lookups. The zero value is ready; call Reset
+// before folding leaves.
+type MinMaxRows struct {
+	rows, width, slots int
+	stride             int // floats per row: 2*width*slots
+	mn, mx             []float64
+}
+
+// Reset re-dimensions the bank to rows×width with the given slot count
+// and resets every node to the fold identities (+Inf for min, -Inf for
+// max), reusing the backing slabs when they fit.
+func (t *MinMaxRows) Reset(rows, width, slots int) {
+	if rows < 1 || width < 1 || slots < 1 {
+		panic(fmt.Sprintf("segtree: invalid MinMaxRows dimensions %dx%dx%d", rows, width, slots))
+	}
+	t.rows, t.width, t.slots = rows, width, slots
+	t.stride = 2 * width * slots
+	need := rows * t.stride
+	if cap(t.mn) < need {
+		t.mn = make([]float64, need)
+		t.mx = make([]float64, need)
+	} else {
+		t.mn = t.mn[:need]
+		t.mx = t.mx[:need]
+	}
+	for i := range t.mn {
+		t.mn[i] = math.Inf(1)
+		t.mx[i] = math.Inf(-1)
+	}
+}
+
+// Fold folds value v into slot `slot` of leaf (row, i). Must be
+// followed by Build before querying.
+func (t *MinMaxRows) Fold(row, i, slot int, v float64) {
+	at := row*t.stride + (t.width+i)*t.slots + slot
+	if v < t.mn[at] {
+		t.mn[at] = v
+	}
+	if v > t.mx[at] {
+		t.mx[at] = v
+	}
+}
+
+// Build fills the internal nodes of every row tree from the leaves.
+func (t *MinMaxRows) Build() {
+	for row := 0; row < t.rows; row++ {
+		base := row * t.stride
+		for k := t.width - 1; k >= 1; k-- {
+			at := base + k*t.slots
+			l := base + 2*k*t.slots
+			r := l + t.slots
+			for s := 0; s < t.slots; s++ {
+				mn := t.mn[l+s]
+				if t.mn[r+s] < mn {
+					mn = t.mn[r+s]
+				}
+				t.mn[at+s] = mn
+				mx := t.mx[l+s]
+				if t.mx[r+s] > mx {
+					mx = t.mx[r+s]
+				}
+				t.mx[at+s] = mx
+			}
+		}
+	}
+}
+
+// Query folds the min/max of every slot over columns [l, r) of row into
+// mn/mx (length >= slots; existing contents are kept as fold seeds, so
+// callers can accumulate across several regions). Empty or out-of-range
+// portions fold nothing.
+func (t *MinMaxRows) Query(row, l, r int, mn, mx []float64) {
+	if l < 0 {
+		l = 0
+	}
+	if r > t.width {
+		r = t.width
+	}
+	if row < 0 || row >= t.rows || l >= r {
+		return
+	}
+	base := row * t.stride
+	for l, r = l+t.width, r+t.width; l < r; l, r = l>>1, r>>1 {
+		if l&1 == 1 {
+			at := base + l*t.slots
+			for s := 0; s < t.slots; s++ {
+				if t.mn[at+s] < mn[s] {
+					mn[s] = t.mn[at+s]
+				}
+				if t.mx[at+s] > mx[s] {
+					mx[s] = t.mx[at+s]
+				}
+			}
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			at := base + r*t.slots
+			for s := 0; s < t.slots; s++ {
+				if t.mn[at+s] < mn[s] {
+					mn[s] = t.mn[at+s]
+				}
+				if t.mx[at+s] > mx[s] {
+					mx[s] = t.mx[at+s]
+				}
+			}
+		}
+	}
 }

@@ -24,11 +24,15 @@ import (
 // bit-identical to the classic scan's.
 //
 // The mode is enabled by SetIncremental and must only be enabled for
-// composites whose channel contributions are all integer-valued (the
-// caller's responsibility — DS-Search gates it on its incremental
-// layer's integer-exactness flag), because the Fenwick tree sums
-// contributions in a different order than the classic accumulator walk;
-// with integer contributions both orders give the same bits.
+// composites whose channel contributions all sum exactly in float64 —
+// integers, or reals carrying a fixed-point certificate supplied via
+// SetFixedPoint (the caller's responsibility; DS-Search gates it on its
+// incremental layer's per-channel certificate) — because the Fenwick
+// tree sums contributions in a different order than the classic
+// accumulator walk. The tree carries scaled int64 channels: every
+// intermediate is exact by construction, and the power-of-two
+// conversion back at evaluation reproduces the classic scan's floats
+// bit for bit.
 
 // incrMinRects gates the incremental path: below it the classic scan's
 // lower constant factor wins.
@@ -37,7 +41,7 @@ const incrMinRects = 48
 // incrState is the reusable scratch of the incremental sweep.
 type incrState struct {
 	xs       []float64 // distinct interval boundaries, incl. space edges
-	bit      fenwick.Tree1D
+	bit      fenwick.Int64Tree1D
 	li, ri   []int32 // per-rect inclusive interval span (li>ri: inactive)
 	sa, se   []int32 // per-rect active strip run [sa, se)
 	addStart []int32 // CSR: rect ids activating at each strip
@@ -46,19 +50,32 @@ type incrState struct {
 	remIds   []int32
 	fill     []int32
 	ranges   [][2]int32 // dirty interval ranges of the current strip
+	chI      []int64    // scaled channel scratch
 	ch       []float64  // channel scratch
 }
 
 // SetIncremental switches the solver between the classic per-strip
 // rescan and the Fenwick-backed incremental sweep for large inputs. Only
-// enable it for composites whose channel contributions are all
-// integer-valued; results are bit-identical there (see the package note
-// above). Solvers not built by NewPool get an unbounded size cap.
+// enable it for composites whose channel contributions sum exactly in
+// float64; results are bit-identical there (see the package note
+// above). Real-valued composites must additionally carry a fixed-point
+// certificate installed via SetFixedPoint. Solvers not built by NewPool
+// get an unbounded size cap.
 func (s *Solver) SetIncremental(on bool) {
 	s.incremental = on
 	if s.incrCap == 0 {
 		s.incrCap = int(^uint(0) >> 1)
 	}
+}
+
+// SetFixedPoint installs the per-channel fixed-point scales the
+// incremental sweep uses to carry contributions as exact scaled int64:
+// scale[ch] and inv[ch] are the (power-of-two) multipliers to and from
+// the scaled domain. nil restores the default — all channels integer
+// (scale 1). The slices are retained and must not be mutated while the
+// solver is in use; both must have length Channels() when non-nil.
+func (s *Solver) SetFixedPoint(scale, inv []float64) {
+	s.fpScale, s.fpInv = scale, inv
 }
 
 // solveWithinIncremental walks the strips of s.ys (deduplicated
@@ -148,15 +165,21 @@ func (s *Solver) solveWithinIncremental(space geom.Rect, best *asp.Result) (foun
 	inc.bit.Reset(k, chans)
 	if cap(inc.ch) < chans {
 		inc.ch = make([]float64, chans)
+		inc.chI = make([]int64, chans)
 	}
 	ch := inc.ch[:chans]
+	chI := inc.chI[:chans]
 	rep := s.rep
 
-	apply := func(id int32, sign float64) {
+	apply := func(id int32, sign int64) {
 		o := s.rects[id].Obj
 		s.cbuf = s.query.F.AppendContribs(o, s.cbuf[:0])
 		for _, cb := range s.cbuf {
-			inc.bit.RangeAdd(int(inc.li[id]), int(inc.ri[id]), cb.Ch, sign*cb.V)
+			v := cb.V
+			if s.fpScale != nil {
+				v *= s.fpScale[cb.Ch] // exact power-of-two shift
+			}
+			inc.bit.RangeAdd(int(inc.li[id]), int(inc.ri[id]), cb.Ch, sign*int64(v))
 		}
 		inc.ranges = append(inc.ranges, [2]int32{inc.li[id], inc.ri[id]})
 	}
@@ -191,7 +214,18 @@ func (s *Solver) solveWithinIncremental(space geom.Rect, best *asp.Result) (foun
 			}
 			for j := cur[0]; j <= cur[1]; j++ {
 				s.Stats.Intervals++
-				inc.bit.PointInto(int(j), ch)
+				inc.bit.PointInto(int(j), chI)
+				if s.fpInv != nil {
+					// Exact: |scaled| stays within 2^53 under the
+					// certificate, and the inverse is a power of two.
+					for c := 0; c < chans; c++ {
+						ch[c] = float64(chI[c]) * s.fpInv[c]
+					}
+				} else {
+					for c := 0; c < chans; c++ {
+						ch[c] = float64(chI[c])
+					}
+				}
 				s.query.F.FinalizeExact(ch, rep)
 				if d := s.query.Distance(rep); d < best.Dist {
 					best.Dist = d

@@ -46,9 +46,13 @@ type Solver struct {
 	// inputs (see incremental.go); inc is its reusable scratch, and
 	// incrCap bounds the input size it engages for (NewPool pre-sizes
 	// the scratch to this bound, so the path never regrows per worker).
-	incremental bool
-	incrCap     int
-	inc         incrState
+	// fpScale/fpInv are the optional per-channel fixed-point scales
+	// (SetFixedPoint) that let real-valued certified channels ride the
+	// int64 tree exactly.
+	incremental    bool
+	incrCap        int
+	fpScale, fpInv []float64
+	inc            incrState
 
 	Stats Stats
 }
@@ -112,6 +116,7 @@ func NewPool(n int, q asp.Query, incrCap int) ([]Solver, error) {
 			return out[:0]
 		}
 		fl := make([]float64, n*(2*m+2+chans))
+		i64 := make([]int64, n*chans)
 		rngs := make([][2]int32, n*64)
 		for i := range solvers {
 			inc := &solvers[i].inc
@@ -120,6 +125,7 @@ func NewPool(n int, q asp.Query, incrCap int) ([]Solver, error) {
 			fl = fl[2*m+2:]
 			inc.ch = fl[:chans:chans]
 			fl = fl[chans:]
+			inc.chI = i64[i*chans : (i+1)*chans : (i+1)*chans]
 			inc.li = carve32(m)
 			inc.ri = carve32(m)
 			inc.sa = carve32(m)
