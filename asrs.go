@@ -145,6 +145,13 @@ type (
 	SearchStats = dssearch.Stats
 	// Index is a grid index over a dataset for one composite aggregator.
 	Index = gridindex.Index
+	// Pyramid is the persistent per-composite aggregate pyramid: the
+	// dataset-level aggregation layer (canonical master order, channel
+	// contributions, exactness certificates, hierarchical summed-area
+	// tables and the min/max companion) built once per (dataset,
+	// composite) and bound by every query instead of rebuilt (DESIGN.md
+	// §6). Engines build and cache one per composite automatically.
+	Pyramid = dssearch.Pyramid
 	// IndexStats reports the work of one GI-DS run.
 	IndexStats = gridindex.Stats
 	// DynamicIndex is an append-only grid index over a live object
@@ -254,6 +261,14 @@ func NewIndex(ds *Dataset, f *Composite, sx, sy int) (*Index, error) {
 	return gridindex.New(ds, f, sx, sy)
 }
 
+// BuildPyramid constructs the persistent aggregate pyramid for one
+// composite over a dataset (DESIGN.md §6). Engines build pyramids
+// lazily on their own; use this (with WritePyramid/ReadPyramid) to
+// build one offline and ship it to query services.
+func BuildPyramid(ds *Dataset, f *Composite) (*Pyramid, error) {
+	return dssearch.BuildPyramid(ds, f)
+}
+
 // NewIndexParallel is NewIndex with a parallel binning pass (workers <= 0
 // selects GOMAXPROCS-many). Summaries are identical up to floating-point
 // summation order.
@@ -273,7 +288,7 @@ func NewDynamicIndex(f *Composite, bounds Rect, sx, sy int) (*DynamicIndex, erro
 // cells are lower-bounded and searched best-first by DS-Search.
 // Options.Delta > 0 selects app-GIDS.
 func SearchWithIndex(idx *Index, ds *Dataset, a, b float64, q Query, opt Options) (Rect, Result, IndexStats, error) {
-	rects, err := asp.Reduce(ds, a, b, asp.AnchorTR)
+	rects, err := dssearch.ReduceForSearch(ds, a, b, q.F, opt)
 	if err != nil {
 		return Rect{}, Result{}, IndexStats{}, err
 	}
@@ -313,6 +328,21 @@ func WriteIndex(w io.Writer, idx *Index) (int64, error) { return idx.WriteTo(w) 
 // verified via fingerprint; its selection functions cannot be verified,
 // so treat the composite definition as part of the index's identity.
 func ReadIndex(r io.Reader, f *Composite) (*Index, error) { return gridindex.Read(r, f) }
+
+// WritePyramid serializes an aggregate pyramid to a compact
+// checksummed binary format; load it back with ReadPyramid. Returns the
+// byte count written.
+func WritePyramid(w io.Writer, p *Pyramid) (int64, error) { return persist.WritePyramid(w, p) }
+
+// ReadPyramid loads a pyramid written by WritePyramid, re-binding it to
+// the dataset and composite it was built with (fingerprint- and
+// checksum-verified; corrupt or mismatched files error out cleanly).
+// Install it into an Engine with Engine.SetPyramid. Like ReadIndex, the
+// dataset identity and the composite's selection functions are part of
+// the file's contract.
+func ReadPyramid(r io.Reader, ds *Dataset, f *Composite) (*Pyramid, error) {
+	return persist.ReadPyramid(r, ds, f)
+}
 
 // UnitWeights returns a weight vector of n ones.
 func UnitWeights(n int) []float64 { return agg.UnitWeights(n) }

@@ -10,6 +10,7 @@
 //	asrsquery -dataset tweet -algo base -n 3000         # sweep-line baseline
 //	asrsquery -dataset tweet -algo gids -grid 128       # grid-index accelerated
 //	asrsquery -dataset tweet -workers 8                 # explicit search worker pool
+//	asrsquery -dataset tweet -pyramid tweet.pyr         # bind the aggregate pyramid (built+saved on first use)
 package main
 
 import (
@@ -32,16 +33,46 @@ func main() {
 		delta   = flag.Float64("delta", 0, "approximation parameter δ (0 = exact)")
 		seed    = flag.Int64("seed", 42, "dataset seed")
 		workers = flag.Int("workers", 0, "search worker pool size (<=0 = GOMAXPROCS); the answer is identical for any setting")
+		pyrPath = flag.String("pyramid", "", "aggregate-pyramid file: load the per-composite pyramid from this path instead of rebuilding the query's aggregation layer (the file is built and saved on first use); answers are identical either way")
 	)
 	flag.Parse()
 
-	if err := run(*dsName, *n, *k, *algo, *grid, *delta, *seed, *workers); err != nil {
+	if err := run(*dsName, *n, *k, *algo, *grid, *delta, *seed, *workers, *pyrPath); err != nil {
 		fmt.Fprintln(os.Stderr, "asrsquery:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dsName string, n, k int, algo string, grid int, delta float64, seed int64, workers int) error {
+// loadOrBuildPyramid binds the on-disk pyramid for (ds, f), building and
+// saving it when the file does not exist yet.
+func loadOrBuildPyramid(path string, ds *asrs.Dataset, f *asrs.Composite) (*asrs.Pyramid, error) {
+	if file, err := os.Open(path); err == nil {
+		defer file.Close()
+		p, err := asrs.ReadPyramid(file, ds, f)
+		if err != nil {
+			return nil, fmt.Errorf("loading pyramid %s: %w", path, err)
+		}
+		fmt.Printf("pyramid:        loaded from %s (%d objects, %d levels)\n", path, p.Objects(), p.Levels())
+		return p, nil
+	}
+	p, err := asrs.BuildPyramid(ds, f)
+	if err != nil {
+		return nil, err
+	}
+	file, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer file.Close()
+	bytes, err := asrs.WritePyramid(file, p)
+	if err != nil {
+		return nil, fmt.Errorf("saving pyramid %s: %w", path, err)
+	}
+	fmt.Printf("pyramid:        built and saved to %s (%d bytes, %d levels)\n", path, bytes, p.Levels())
+	return p, nil
+}
+
+func run(dsName string, n, k int, algo string, grid int, delta float64, seed int64, workers int, pyrPath string) error {
 	var (
 		ds  *asrs.Dataset
 		q   asrs.Query
@@ -68,6 +99,15 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 	}
 	fmt.Printf("dataset=%s n=%d query=%.4gx%.4g algo=%s δ=%g\n", dsName, len(ds.Objects), a, b, algo, delta)
 
+	opt := asrs.Options{Delta: delta, Workers: workers}
+	if pyrPath != "" && algo != "base" {
+		p, err := loadOrBuildPyramid(pyrPath, ds, q.F)
+		if err != nil {
+			return err
+		}
+		opt.Pyramid = p
+	}
+
 	start := time.Now()
 	var (
 		region asrs.Rect
@@ -75,7 +115,7 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 	)
 	switch algo {
 	case "ds":
-		region, res, _, err = asrs.Search(ds, a, b, q, asrs.Options{Delta: delta, Workers: workers})
+		region, res, _, err = asrs.Search(ds, a, b, q, opt)
 	case "gids":
 		// The index is built sequentially on purpose: NewIndexParallel's
 		// shard merge reorders float summation with the worker count,
@@ -87,7 +127,7 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 			return err
 		}
 		var stats asrs.IndexStats
-		region, res, stats, err = asrs.SearchWithIndex(idx, ds, a, b, q, asrs.Options{Delta: delta, Workers: workers})
+		region, res, stats, err = asrs.SearchWithIndex(idx, ds, a, b, q, opt)
 		if err == nil {
 			fmt.Printf("index: %dx%d, %d/%d cells searched\n", grid, grid, stats.CellsSearched, stats.Cells)
 		}

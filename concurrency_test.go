@@ -192,7 +192,9 @@ func TestApproximateDeterministicAcrossWorkers(t *testing.T) {
 // identical cell grids by construction, so any divergence is a bug in
 // the SAT layer.
 func TestSATLayerDeterministicAcrossWorkers(t *testing.T) {
-	ds := dataset.Tweet(8000, 42)
+	// Large enough that the cost-based fill selection picks the SAT at
+	// the root spaces (the difference-array fill wins on smaller sets).
+	ds := dataset.Tweet(32000, 42)
 	f, err := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "day"})
 	if err != nil {
 		t.Fatal(err)

@@ -2,7 +2,10 @@ package asrs
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -21,6 +24,17 @@ type EngineOptions struct {
 	// BatchParallelism caps the number of requests one QueryBatch call
 	// runs concurrently; values <= 0 select runtime.GOMAXPROCS(0).
 	BatchParallelism int
+	// DisablePyramid turns off the lazily built per-composite aggregate
+	// pyramid (the dataset-level SAT hierarchy every query binds instead
+	// of rebuilding its aggregation layer; DESIGN.md §6). Answers are
+	// bit-identical either way; the switch exists for ablation and as
+	// the oracle side of the pyramid property tests.
+	DisablePyramid bool
+	// DisableBatchGrouping turns off QueryBatch's grouping pass
+	// (deduplicating identical requests and sharing one prepared query
+	// shape per (composite, a, b) group). Answers are bit-identical
+	// either way.
+	DisableBatchGrouping bool
 }
 
 // QueryRequest is one unit of Engine work.
@@ -69,9 +83,10 @@ type Engine struct {
 	ds  *Dataset
 	opt EngineOptions
 
-	mu      sync.Mutex
-	indexes map[*Composite]*indexEntry
-	slabs   map[*Composite]*dssearch.SlabCache
+	mu       sync.Mutex
+	indexes  map[*Composite]*indexEntry
+	slabs    map[*Composite]*dssearch.SlabCache
+	pyramids map[*Composite]*pyramidEntry
 }
 
 // indexEntry builds its index exactly once, even under concurrent demand
@@ -79,6 +94,14 @@ type Engine struct {
 type indexEntry struct {
 	once sync.Once
 	idx  *Index
+	err  error
+}
+
+// pyramidEntry builds (or adopts) its pyramid exactly once, even under
+// concurrent demand for the same composite.
+type pyramidEntry struct {
+	once sync.Once
+	p    *Pyramid
 	err  error
 }
 
@@ -94,10 +117,11 @@ func NewEngine(ds *Dataset, opt EngineOptions) (*Engine, error) {
 		return nil, fmt.Errorf("asrs: negative index granularity %d", opt.IndexGranularity)
 	}
 	return &Engine{
-		ds:      ds,
-		opt:     opt,
-		indexes: make(map[*Composite]*indexEntry),
-		slabs:   make(map[*Composite]*dssearch.SlabCache),
+		ds:       ds,
+		opt:      opt,
+		indexes:  make(map[*Composite]*indexEntry),
+		slabs:    make(map[*Composite]*dssearch.SlabCache),
+		pyramids: make(map[*Composite]*pyramidEntry),
 	}, nil
 }
 
@@ -137,6 +161,49 @@ func (e *Engine) Index(f *Composite) (*Index, error) {
 	return ent.idx, ent.err
 }
 
+// Pyramid returns the engine's cached aggregate pyramid for the
+// composite, building it on first use (nil, nil when pyramids are
+// disabled). Concurrent callers for the same composite share one build.
+// Like Index, the cache is keyed by composite identity — treat
+// composites as long-lived singletons.
+func (e *Engine) Pyramid(f *Composite) (*Pyramid, error) {
+	if e.opt.DisablePyramid {
+		return nil, nil
+	}
+	e.mu.Lock()
+	ent, ok := e.pyramids[f]
+	if !ok {
+		ent = &pyramidEntry{}
+		e.pyramids[f] = ent
+	}
+	e.mu.Unlock()
+	ent.once.Do(func() {
+		ent.p, ent.err = dssearch.BuildPyramid(e.ds, f)
+	})
+	return ent.p, ent.err
+}
+
+// SetPyramid installs a prebuilt pyramid (typically loaded from disk
+// via ReadPyramid) into the engine's cache, so queries bind it instead
+// of triggering a fresh build. The pyramid must have been built for the
+// engine's dataset and the composite it reports.
+func (e *Engine) SetPyramid(p *Pyramid) error {
+	if p == nil {
+		return fmt.Errorf("asrs: nil pyramid")
+	}
+	// The cache key is the pyramid's own composite, so only dataset
+	// identity needs verifying here.
+	if !p.Matches(e.ds, p.Composite()) {
+		return fmt.Errorf("asrs: pyramid was built for a different dataset")
+	}
+	ent := &pyramidEntry{p: p}
+	ent.once.Do(func() {}) // mark built
+	e.mu.Lock()
+	e.pyramids[p.Composite()] = ent
+	e.mu.Unlock()
+	return nil
+}
+
 // options resolves a request's effective search options and attaches the
 // engine's per-composite slab cache, so the per-query search tables
 // (sorted coordinate arrays, contribution tables, int64 SAT grids, the
@@ -163,6 +230,14 @@ func (e *Engine) options(req QueryRequest) Options {
 		e.mu.Unlock()
 		opt.Slabs = sc
 	}
+	if opt.Pyramid == nil {
+		// Bind the persistent per-composite pyramid: every query then
+		// aliases the dataset-level aggregation layer instead of
+		// rebuilding it (a build failure just means unassisted queries).
+		if p, err := e.Pyramid(req.Query.F); err == nil && p != nil {
+			opt.Pyramid = p
+		}
+	}
 	return opt
 }
 
@@ -180,10 +255,20 @@ func (e *Engine) Query(req QueryRequest) QueryResponse {
 // Results slice capacity (the per-response buffer reuse QueryBatchInto
 // relies on).
 func (e *Engine) queryInto(req QueryRequest, resp *QueryResponse) {
+	e.queryIntoPrep(req, resp, nil)
+}
+
+// queryIntoPrep is queryInto with an optional group-shared prepared
+// query shape (QueryBatchInto's grouping pass builds one per
+// overlapping-extent group).
+func (e *Engine) queryIntoPrep(req QueryRequest, resp *QueryResponse, prep *dssearch.Prepared) {
 	resp.Regions = resp.Regions[:0]
 	resp.Results = resp.Results[:0]
 	resp.Err = nil
 	opt := e.options(req)
+	if prep != nil {
+		opt.Prepared = prep
+	}
 	if req.TopK > 1 || len(req.Exclude) > 0 {
 		k := req.TopK
 		if k < 1 {
@@ -230,6 +315,14 @@ func (e *Engine) QueryBatch(reqs []QueryRequest) []QueryResponse {
 // each retained response's Regions/Results backing arrays are reused
 // too. Serving loops that answer batch after batch hold allocations
 // steady by passing the previous batch's slice back in.
+//
+// Before dispatch the batch goes through a grouping pass (unless
+// EngineOptions.DisableBatchGrouping): bitwise-identical plain requests
+// are answered once and copied, and plain requests sharing a
+// (composite, a, b) shape — overlapping extents in the same corpus —
+// share one prepared query shape (master rectangles, accuracy, pyramid
+// binding) built once per group instead of once per query. Per-request
+// answers are bit-identical with grouping on or off.
 func (e *Engine) QueryBatchInto(dst []QueryResponse, reqs []QueryRequest) []QueryResponse {
 	var out []QueryResponse
 	if cap(dst) >= len(reqs) {
@@ -240,6 +333,31 @@ func (e *Engine) QueryBatchInto(dst []QueryResponse, reqs []QueryRequest) []Quer
 	if len(reqs) == 0 {
 		return out
 	}
+	var (
+		preps []*dssearch.Prepared
+		dupOf []int
+	)
+	if !e.opt.DisableBatchGrouping && len(reqs) > 1 {
+		preps, dupOf = e.groupBatch(reqs)
+	}
+	prepFor := func(i int) *dssearch.Prepared {
+		if preps == nil {
+			return nil
+		}
+		return preps[i]
+	}
+	canonical := func(i int) bool { return dupOf == nil || dupOf[i] < 0 }
+	finish := func() []QueryResponse {
+		if dupOf != nil {
+			for i, c := range dupOf {
+				if c >= 0 {
+					copyResponse(&out[i], &out[c])
+				}
+			}
+		}
+		return out
+	}
+
 	par := e.opt.BatchParallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -249,9 +367,11 @@ func (e *Engine) QueryBatchInto(dst []QueryResponse, reqs []QueryRequest) []Quer
 	}
 	if par == 1 {
 		for i := range reqs {
-			e.queryInto(reqs[i], &out[i])
+			if canonical(i) {
+				e.queryIntoPrep(reqs[i], &out[i], prepFor(i))
+			}
 		}
-		return out
+		return finish()
 	}
 	// Batch- and kernel-level parallelism share one CPU budget: with par
 	// queries in flight, letting each default to GOMAXPROCS kernel
@@ -273,16 +393,118 @@ func (e *Engine) QueryBatchInto(dst []QueryResponse, reqs []QueryRequest) []Quer
 				if i >= len(reqs) {
 					return
 				}
+				if !canonical(i) {
+					continue
+				}
 				req := reqs[i]
 				if req.Options == nil && e.opt.Search.Workers <= 0 {
 					opt := e.opt.Search
 					opt.Workers = perQuery
 					req.Options = &opt
 				}
-				e.queryInto(req, &out[i])
+				e.queryIntoPrep(req, &out[i], prepFor(i))
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	return finish()
+}
+
+// groupBatch runs the batch grouping pass: it marks duplicate plain
+// requests (dupOf[i] = canonical index, -1 otherwise) and builds one
+// Prepared query shape per (composite, a, b) group with at least two
+// distinct members. Requests that pin their own Options, ask for TopK,
+// or carry exclusions are left ungrouped.
+func (e *Engine) groupBatch(reqs []QueryRequest) ([]*dssearch.Prepared, []int) {
+	preps := make([]*dssearch.Prepared, len(reqs))
+	dupOf := make([]int, len(reqs))
+	type gkey struct {
+		f    *Composite
+		a, b float64
+	}
+	groups := make(map[gkey][]int)
+	seen := make(map[string]int)
+	var kb strings.Builder
+	for i := range reqs {
+		dupOf[i] = -1
+		req := &reqs[i]
+		if req.Options != nil || req.TopK > 1 || len(req.Exclude) > 0 || req.Query.F == nil {
+			continue
+		}
+		kb.Reset()
+		dedupKey(&kb, req)
+		k := kb.String()
+		if j, ok := seen[k]; ok {
+			dupOf[i] = j
+			continue
+		}
+		seen[k] = i
+		gk := gkey{req.Query.F, req.A, req.B}
+		groups[gk] = append(groups[gk], i)
+	}
+	for gk, idxs := range groups {
+		if len(idxs) < 2 {
+			continue
+		}
+		p, err := e.Pyramid(gk.f)
+		if err != nil || p == nil {
+			continue
+		}
+		if prep, ok := p.Prepare(gk.a, gk.b); ok {
+			for _, i := range idxs {
+				preps[i] = prep
+			}
+		}
+	}
+	return preps, dupOf
+}
+
+// dedupKey writes a byte-exact identity key for a plain request:
+// composite pointer, extent, TopK, norm, target and weights. Two
+// requests with equal keys are answered identically by the
+// deterministic search, so one execution serves both.
+func dedupKey(kb *strings.Builder, req *QueryRequest) {
+	// Lengths (with nil marked distinctly from empty) precede the
+	// values: a nil weight vector means unit weights while an empty
+	// non-nil one is invalid, and the two must never dedup together.
+	fmt.Fprintf(kb, "%p|%x|%x|%d|%d|", req.Query.F,
+		math.Float64bits(req.A), math.Float64bits(req.B), req.TopK, req.Query.Norm)
+	writeVec := func(v []float64) {
+		if v == nil {
+			kb.WriteString("nil|")
+			return
+		}
+		kb.WriteString(strconv.Itoa(len(v)))
+		kb.WriteByte(':')
+		for _, x := range v {
+			kb.WriteString(strconv.FormatUint(math.Float64bits(x), 16))
+			kb.WriteByte(',')
+		}
+		kb.WriteByte('|')
+	}
+	writeVec(req.Query.Target)
+	writeVec(req.Query.W)
+}
+
+// copyResponse deep-copies a canonical response into a duplicate
+// request's slot, reusing the destination's backing arrays — including
+// each retained result's Rep buffer, so dedup-heavy serving loops hold
+// allocations steady batch after batch.
+func copyResponse(dst, src *QueryResponse) {
+	dst.Regions = append(dst.Regions[:0], src.Regions...)
+	n := len(src.Results)
+	if cap(dst.Results) >= n {
+		dst.Results = dst.Results[:n]
+	} else {
+		dst.Results = make([]Result, n)
+	}
+	for i := range src.Results {
+		// Read the slot's previous Rep buffer before overwriting the
+		// struct; it is slot-owned (earlier copies detached it), never an
+		// alias of the canonical's.
+		rep := append(dst.Results[i].Rep[:0], src.Results[i].Rep...)
+		dst.Results[i] = src.Results[i]
+		dst.Results[i].Rep = rep
+	}
+	dst.Err = src.Err
 }

@@ -1,0 +1,192 @@
+package asrs_test
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs"
+	"asrs/internal/dataset"
+)
+
+// batchFixture builds a Singapore-flavored dataset, a composite, and a
+// set of overlapping query-by-example requests (the serving shape the
+// batch grouping pass targets).
+func batchFixture(t *testing.T, nQueries int, seed int64) (*asrs.Dataset, *asrs.Composite, []asrs.QueryRequest) {
+	t.Helper()
+	ds := dataset.SingaporePOI(seed)
+	f, err := asrs.NewComposite(ds.Schema,
+		asrs.AggSpec{Kind: asrs.Distribution, Attr: "category"},
+		asrs.AggSpec{Kind: asrs.Count},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := ds.Bounds()
+	a := bounds.Width() / 14
+	b := bounds.Height() / 14
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]asrs.QueryRequest, nQueries)
+	for i := range reqs {
+		// Overlapping extents around the center of the corpus.
+		cx := bounds.MinX + bounds.Width()*(0.35+0.3*rng.Float64())
+		cy := bounds.MinY + bounds.Height()*(0.35+0.3*rng.Float64())
+		rq := asrs.Rect{MinX: cx, MinY: cy, MaxX: cx + a, MaxY: cy + b}
+		q, err := asrs.QueryFromRegion(ds, f, nil, rq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs[i] = asrs.QueryRequest{Query: q, A: a, B: b, Exclude: []asrs.Rect{rq}}
+		if i%2 == 0 {
+			// Half the batch is plain (groupable); the excluded half rides
+			// the TopK machinery and must coexist untouched.
+			reqs[i].Exclude = nil
+		}
+		if i > 0 && i%5 == 0 {
+			reqs[i] = reqs[i-1] // exact duplicates exercise the dedup pass
+		}
+	}
+	return ds, f, reqs
+}
+
+// respKey flattens a response for comparison.
+func respEqual(t *testing.T, tag string, i int, a, b asrs.QueryResponse) {
+	t.Helper()
+	if (a.Err == nil) != (b.Err == nil) || len(a.Regions) != len(b.Regions) {
+		t.Fatalf("%s: response %d shape differs: %+v vs %+v", tag, i, a, b)
+	}
+	for k := range a.Regions {
+		if a.Regions[k] != b.Regions[k] {
+			t.Fatalf("%s: response %d region %d: %v != %v", tag, i, k, a.Regions[k], b.Regions[k])
+		}
+		if a.Results[k].Dist != b.Results[k].Dist || a.Results[k].Point != b.Results[k].Point {
+			t.Fatalf("%s: response %d result %d: %v@%v != %v@%v", tag, i, k,
+				a.Results[k].Dist, a.Results[k].Point, b.Results[k].Dist, b.Results[k].Point)
+		}
+		for j := range a.Results[k].Rep {
+			if math.Float64bits(a.Results[k].Rep[j]) != math.Float64bits(b.Results[k].Rep[j]) {
+				t.Fatalf("%s: response %d rep[%d] differs", tag, i, j)
+			}
+		}
+	}
+}
+
+// TestBatchGroupingDeterminism: per-request answers are bit-identical
+// across (a) grouping on/off, (b) pyramid on/off, (c) batch parallelism
+// and kernel worker counts — the acceptance contract of the batched
+// serving path.
+func TestBatchGroupingDeterminism(t *testing.T) {
+	ds, _, reqs := batchFixture(t, 14, 21)
+	configs := []struct {
+		tag string
+		opt asrs.EngineOptions
+	}{
+		{"baseline", asrs.EngineOptions{BatchParallelism: 1, DisablePyramid: true, DisableBatchGrouping: true, Search: asrs.Options{Workers: 1}}},
+		{"pyramid", asrs.EngineOptions{BatchParallelism: 1, DisableBatchGrouping: true, Search: asrs.Options{Workers: 1}}},
+		{"grouped", asrs.EngineOptions{BatchParallelism: 1, Search: asrs.Options{Workers: 1}}},
+		{"grouped-par", asrs.EngineOptions{BatchParallelism: 4, Search: asrs.Options{Workers: 1}}},
+		{"grouped-workers", asrs.EngineOptions{BatchParallelism: 2, Search: asrs.Options{Workers: 3}}},
+	}
+	var want []asrs.QueryResponse
+	for ci, cfg := range configs {
+		eng, err := asrs.NewEngine(ds, cfg.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := eng.QueryBatch(reqs)
+		for i := range got {
+			if got[i].Err != nil {
+				t.Fatalf("%s: request %d failed: %v", cfg.tag, i, got[i].Err)
+			}
+		}
+		if ci == 0 {
+			want = got
+			continue
+		}
+		for i := range got {
+			respEqual(t, cfg.tag, i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchGroupingMatchesSingleQueries: a grouped batch answers every
+// request exactly as the same engine answers it alone.
+func TestBatchGroupingMatchesSingleQueries(t *testing.T) {
+	ds, _, reqs := batchFixture(t, 10, 33)
+	eng, err := asrs.NewEngine(ds, asrs.EngineOptions{BatchParallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := eng.QueryBatch(reqs)
+	for i := range reqs {
+		single := eng.Query(reqs[i])
+		respEqual(t, "single-vs-batch", i, batch[i], single)
+	}
+}
+
+// TestEnginePyramidRoundTripServing: a pyramid serialized, reloaded and
+// installed with SetPyramid serves bit-identical answers to the
+// engine-built one.
+func TestEnginePyramidRoundTripServing(t *testing.T) {
+	ds, f, reqs := batchFixture(t, 6, 44)
+	built, err := asrs.BuildPyramid(ds, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := asrs.WritePyramid(&buf, built); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := asrs.ReadPyramid(&buf, ds, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engBuilt, err := asrs.NewEngine(ds, asrs.EngineOptions{BatchParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engLoaded, err := asrs.NewEngine(ds, asrs.EngineOptions{BatchParallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := engLoaded.SetPyramid(loaded); err != nil {
+		t.Fatal(err)
+	}
+	a := engBuilt.QueryBatch(reqs)
+	b := engLoaded.QueryBatch(reqs)
+	for i := range a {
+		respEqual(t, "loaded-pyramid", i, a[i], b[i])
+	}
+}
+
+// TestBatchSteadyStateAllocs is the alloc-regression assertion of the
+// batch path: once the engine is warm (pyramid built, slabs populated),
+// answering a whole batch through QueryBatchInto must stay under a
+// small per-query allocation budget — the per-worker scratch is reused
+// across the queries of a batch instead of re-acquired.
+func TestBatchSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting under -short")
+	}
+	ds, _, reqs := batchFixture(t, 8, 55)
+	eng, err := asrs.NewEngine(ds, asrs.EngineOptions{BatchParallelism: 1, Search: asrs.Options{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp []asrs.QueryResponse
+	resp = eng.QueryBatchInto(resp, reqs) // warm: builds pyramid, slabs, scratch
+	resp = eng.QueryBatchInto(resp, reqs)
+	allocs := testing.AllocsPerRun(5, func() {
+		resp = eng.QueryBatchInto(resp, reqs)
+	})
+	perQuery := allocs / float64(len(reqs))
+	// The budget is deliberately loose (kernel heap growth, response Rep
+	// detaches and TopK paths legitimately allocate) — the assertion
+	// exists to catch order-of-magnitude regressions like re-building
+	// per-worker scratch for every query of a batch.
+	if perQuery > 2000 {
+		t.Fatalf("steady-state batch allocations: %.0f allocs/query (budget 2000)", perQuery)
+	}
+	t.Logf("steady-state batch: %.0f allocs/query", perQuery)
+}

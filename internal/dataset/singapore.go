@@ -78,10 +78,26 @@ func SingaporeSchema() *attr.Schema {
 // district follow the district mix; the remainder scatter across the city
 // with the background mix, lightly clustered.
 func SingaporePOI(seed int64) *attr.Dataset {
+	return SingaporeScaled(SingaporePOICount, seed)
+}
+
+// SingaporeScaled is SingaporePOI at an arbitrary cardinality: district
+// populations scale proportionally, keeping the case study's geography
+// and category contrasts. The batched-serving benchmark uses it to run
+// overlapping Singapore extents over a corpus large enough that
+// per-query setup costs matter.
+func SingaporeScaled(n int, seed int64) *attr.Dataset {
+	if n < 1 {
+		n = 1
+	}
 	rng := rand.New(rand.NewSource(seed))
 	schema := SingaporeSchema()
 	districts := SingaporeDistricts()
-	objs := make([]attr.Object, 0, SingaporePOICount)
+	scale := float64(n) / float64(SingaporePOICount)
+	for i := range districts {
+		districts[i].count = int(float64(districts[i].count) * scale)
+	}
+	objs := make([]attr.Object, 0, n)
 
 	sampleCat := func(mix []float64) int {
 		u := rng.Float64()
@@ -108,7 +124,10 @@ func SingaporePOI(seed int64) *attr.Dataset {
 	}
 
 	clusters := makeClusters(rng, sgBounds, 25)
-	rest := SingaporePOICount - len(objs)
+	rest := n - len(objs)
+	if rest < 0 {
+		rest = 0
+	}
 	pts, _ := locations(rng, sgBounds, rest, clusters, 0.5)
 	for _, p := range pts {
 		objs = append(objs, attr.Object{Loc: p, Values: []attr.Value{attr.CatValue(sampleCat(cityMix))}})

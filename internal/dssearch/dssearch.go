@@ -27,9 +27,11 @@ package dssearch
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
+	"asrs/internal/agg"
 	"asrs/internal/asp"
 	"asrs/internal/attr"
 	"asrs/internal/geom"
@@ -79,10 +81,26 @@ type Options struct {
 	// ablation and as the oracle for the SAT property tests.
 	DisableSAT bool
 	// Slabs, when non-nil, recycles the per-query table slabs (sorted
-	// coordinate arrays, contribution tables, SAT grids, id arenas)
-	// across searches. Callers that set it must call Searcher.Release
-	// (the package front doors do) when the search is done.
+	// coordinate arrays, contribution tables, SAT grids, discretization
+	// grids, sweep solvers, id arenas) across searches. Callers that set
+	// it must call Searcher.Release (the package front doors do) when
+	// the search is done.
 	Slabs *SlabCache
+	// Pyramid, when non-nil and built for the query's composite over the
+	// same master cardinality, binds the searcher to the persistent
+	// dataset-level aggregate pyramid instead of rebuilding the
+	// per-query aggregation layer: master order, contributions,
+	// certificates and SAT levels are aliased, leaving only O(n)
+	// per-query work (DESIGN.md §6). Answers are bit-identical to the
+	// unassisted path; the binding silently falls back to the classic
+	// build when it cannot guarantee that (wrong composite, wrong
+	// cardinality, non-TR anchor, or anchor collapse under translation).
+	Pyramid *Pyramid
+	// Prepared, when non-nil, additionally shares the per-query-shape
+	// state (materialized master rectangles, GPS accuracy) across every
+	// query with the same (a, b) extent — the Engine's batch grouping
+	// builds one Prepared per group. Implies Pyramid (it carries one).
+	Prepared *Prepared
 	// Anchor picks the reduction anchor (default: top-right corner).
 	Anchor asp.Anchor
 }
@@ -130,6 +148,7 @@ type Stats struct {
 	CenterProbes    int // dirty-cell centers evaluated as candidates
 	HeapPushes      int
 	MaxHeapSize     int
+	Steals          int // superstep items drained from another worker's deque
 }
 
 // add folds another stats record into s (worker merge).
@@ -147,6 +166,7 @@ func (s *Stats) add(o Stats) {
 	s.RefinePruned += o.RefinePruned
 	s.CenterProbes += o.CenterProbes
 	s.HeapPushes += o.HeapPushes
+	s.Steals += o.Steals
 	if o.MaxHeapSize > s.MaxHeapSize {
 		s.MaxHeapSize = o.MaxHeapSize
 	}
@@ -208,11 +228,47 @@ func newSearcher(rects []asp.RectObject, q asp.Query, opt Options, own bool) (*S
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
+	if opt.Prepared != nil && opt.Pyramid == nil {
+		opt.Pyramid = opt.Prepared.p
+	}
 	tab := opt.Slabs.get()
-	master := buildTables(tab, rects, q.F, own)
+	var master []asp.RectObject
+	prepBound, bound := false, false
+	if prep := opt.Prepared; prep != nil && prep.p != nil && rects == nil &&
+		opt.Anchor == asp.AnchorTR && prep.p.f == q.F {
+		// Group-shared shape: the master materialization and accuracy were
+		// computed once by Pyramid.Prepare and are shared read-only by
+		// every query in the group. The Prepared binds through its OWN
+		// pyramid — opt.Pyramid may legitimately point at a different
+		// instance (an engine cache refreshed by SetPyramid, or a
+		// caller-supplied shape) and must not be allowed to strand the
+		// query on an empty master. A *nil* rects slice is the sentinel
+		// ReduceForSearch returns after validating the shape against
+		// (ds, a, b); an empty-but-non-nil reduction (empty dataset) is a
+		// real master and must NOT bind a foreign shape.
+		master = prep.master
+		prep.p.bindPrepared(tab, prep)
+		prepBound, bound = true, true
+	} else if p := opt.Pyramid; p != nil && opt.Anchor == asp.AnchorTR && p.f == q.F && len(rects) == p.n {
+		if m, ok := p.bind(tab, rects); ok {
+			master = m
+			bound = true
+		}
+	}
+	if !bound {
+		master = buildTables(tab, rects, q.F, own)
+	}
 	acc := opt.Accuracy
 	if acc.DX <= 0 || acc.DY <= 0 {
-		computed := tab.accuracy(master)
+		var computed geom.Accuracy
+		switch {
+		case prepBound:
+			computed = opt.Prepared.acc
+		case bound:
+			computed = tab.pyr.accuracyIds(master)
+		default:
+			computed = tab.accuracy(master)
+		}
 		if acc.DX <= 0 {
 			acc.DX = computed.DX
 		}
@@ -243,44 +299,76 @@ func newSearcher(rects []asp.RectObject, q asp.Query, opt Options, own bool) (*S
 // ensureScratch lazily batch-builds the per-worker scratch at the first
 // processed space: all workers' discretization grids (one slab), sweep
 // solvers (sweep.NewPool), incumbent/dirty/mini-sweep buffers (one slab
-// each). Safe under concurrent workers via the sync.Once.
+// each). The slabs are *retained on the tables value* and recycled
+// through the SlabCache, so batches of queries on the same composite
+// reuse every worker's scratch query after query instead of
+// reallocating it (the batch-bench alloc assertion pins this). Safe
+// under concurrent workers via the sync.Once.
 func (s *Searcher) ensureScratch() {
 	s.scratchOnce.Do(func() {
 		nw := len(s.workers)
 		f := s.query.F
+		t := s.tab
 		ncol, nrow := s.opt.NCol, s.opt.NRow
-		s.grids = newGridBuffersBatch(nw, ncol, nrow, f)
+		if t.grids == nil || t.gridNW < nw || t.gridNCol != ncol || t.gridNRow != nrow ||
+			t.gridEff != t.eff || t.gridF != f {
+			t.grids = newGridBuffersBatch(nw, ncol, nrow, f, t.eff)
+			t.gridNW, t.gridNCol, t.gridNRow, t.gridEff, t.gridF = nw, ncol, nrow, t.eff, f
+		}
+		s.grids = t.grids
 		incrCap := 0
-		if s.tab.allExact {
+		if t.allExact {
 			incrCap = 2048 // pre-size the Fenwick sweep scratch it will use
 		}
-		if pool, err := sweep.NewPool(nw, s.query, incrCap); err == nil {
+		if t.sweepPool != nil && t.sweepN >= nw && t.sweepF == f && t.sweepCap == incrCap {
+			// Recycled solvers: rebind the query (same composite, new
+			// target/weights), keep all scratch.
+			for i := 0; i < nw; i++ {
+				t.sweepPool[i].SetQuery(s.query)
+			}
+			s.sweepPool = t.sweepPool
+		} else if pool, err := sweep.NewPool(nw, s.query, incrCap); err == nil {
+			t.sweepPool, t.sweepN, t.sweepF, t.sweepCap = pool, nw, f, incrCap
 			s.sweepPool = pool
 		}
 		dims := f.Dims()
-		reps := make([]float64, nw*dims)
 		cells := ncol * nrow
-		dirt := make([]cellInfo, nw*cells)
 		const swCap = 1024
-		swBack := make([]asp.RectObject, nw*swCap)
+		if len(t.scratchF) < nw*dims || len(t.scratchCells) < nw*cells ||
+			len(t.scratchRects) < nw*swCap {
+			t.scratchF = make([]float64, nw*dims)
+			t.scratchCells = make([]cellInfo, nw*cells)
+			t.scratchRects = make([]asp.RectObject, nw*swCap)
+		}
+		reps := t.scratchF
+		dirt := t.scratchCells
+		swBack := t.scratchRects
 		// Prewarm each worker's private arena with two small id slices
 		// carved from one slab, so the first spaces a worker touches hit
-		// the arena instead of allocating.
-		warm := make([]int32, nw*2*workerArenaMaxCap)
-		if cap(s.sharedIds) == 0 {
+		// the arena instead of allocating. Recycled searchers skip this:
+		// their arenas are seeded from the slab cache's recycled id
+		// slices instead (which may alias an earlier query's warm slab —
+		// carving it again would hand the same memory out twice).
+		var warm []int32
+		if len(s.sharedIds) == 0 {
 			s.sharedIds = make([][]int32, 0, 64)
+			warm = make([]int32, nw*2*workerArenaMaxCap)
 		}
 		for i, w := range s.workers {
 			c := workerArenaMaxCap
-			w.arena = append(w.arena,
-				warm[(2*i)*c:(2*i)*c:(2*i+1)*c],
-				warm[(2*i+1)*c:(2*i+1)*c:(2*i+2)*c])
+			if warm != nil {
+				w.arena = append(w.arena,
+					warm[(2*i)*c:(2*i)*c:(2*i+1)*c],
+					warm[(2*i+1)*c:(2*i+1)*c:(2*i+2)*c])
+			}
 			w.grid = &s.grids[i]
 			if s.sweepPool != nil {
 				w.sw = &s.sweepPool[i]
-				w.sw.SetIncremental(s.tab.allExact)
-				if s.tab.allExact {
-					w.sw.SetFixedPoint(s.tab.chScale, s.tab.chInv)
+				w.sw.SetIncremental(t.allExact)
+				if t.allExact {
+					w.sw.SetFixedPoint(t.chScale, t.chInv)
+				} else {
+					w.sw.SetFixedPoint(nil, nil)
 				}
 			}
 			w.rep = reps[i*dims : i*dims : (i+1)*dims]
@@ -443,7 +531,7 @@ func (s *Searcher) Solve() asp.Result {
 	if len(s.rects) > 0 {
 		s.SolveWithin(space, 0)
 	}
-	s.best.Rep = asp.PointRepresentation(s.rects, s.query.F, s.best.Point)
+	s.best.Rep = s.PointRepresentation(s.best.Point)
 	s.best.Dist = s.query.Distance(s.best.Rep)
 	return s.best
 }
@@ -470,12 +558,23 @@ func (s *Searcher) SolveWithin(space geom.Rect, seedLB float64) {
 // AppendWindowIDs appends the master ids of every rectangle whose open
 // interior intersects the closed space (only those can cover a candidate
 // point in the space) and returns dst. On sorted masters the candidates
-// come from a binary-searched window rather than a full scan.
+// come from a binary-searched window rather than a full scan; when a SAT
+// level is available (bound pyramid, or lazily built) and the window is
+// much larger than the space's 2D anchor box, the ids are collected from
+// the level's bins instead — certain bins bulk-append, boundary bins
+// test exactly, and a final sort restores the ascending contract, so the
+// result slice is identical either way.
 func (s *Searcher) AppendWindowIDs(space geom.Rect, dst []int32) []int32 {
 	master := s.rects
+	t := s.tab
 	lo, hi := 0, len(master)
-	if s.tab.sorted {
-		lo, hi = s.tab.window(space.MinX, space.MaxX)
+	if t.sorted {
+		lo, hi = t.window(space.MinX, space.MaxX)
+		if t.satBuilt.Load() {
+			if out, ok := s.appendBinIDs(space, dst, hi-lo); ok {
+				return out
+			}
+		}
 	}
 	for i := lo; i < hi; i++ {
 		r := &master[i].Rect
@@ -485,6 +584,61 @@ func (s *Searcher) AppendWindowIDs(space geom.Rect, dst []int32) []int32 {
 		}
 	}
 	return dst
+}
+
+// appendBinIDs is the SAT-backed id collection of AppendWindowIDs: it
+// walks the space's anchor box on the best level — the 2D region that
+// can hold anchors of intersecting rectangles — instead of the 1D MinX
+// window, whose x-range spans the full y extent. ok=false means the
+// window scan is expected to be no slower (small windows, or boxes
+// covering most of the window).
+func (s *Searcher) appendBinIDs(space geom.Rect, dst []int32, window int) ([]int32, bool) {
+	t := s.tab
+	master := s.rects
+	l, _ := t.pickLevel(master, space, 1, 1, space.MaxX-space.MinX, space.MaxY-space.MinY)
+	i0 := l.xBinLE(master, space.MinX-t.wmax, true)
+	i1 := l.xBinGT(master, space.MaxX, true)
+	j0 := l.yBinLE(master, space.MinY-t.hmax, true)
+	j1 := l.yBinGT(master, space.MaxY, true)
+	if i0 >= i1 || j0 >= j1 {
+		return dst, true // no anchor can intersect: empty result
+	}
+	// Estimated work: anchors in the box (count plane) plus bin visits,
+	// versus the 1D window scan.
+	box := l.countRegion(i0, i1, j0, j1)
+	bins := (i1 - i0) * (j1 - j0)
+	if int64(window) < 2*(box+int64(bins)) {
+		return dst, false
+	}
+	// Certainly-intersecting bins (bulk append, CSR runs are contiguous
+	// per row) versus boundary bins (exact test).
+	ci0 := l.xBinGT(master, space.MinX-t.wmin, false)
+	ci1 := l.xBinLE(master, space.MaxX, true)
+	cj0 := l.yBinGT(master, space.MinY-t.hmin, false)
+	cj1 := l.yBinLE(master, space.MaxY, true)
+	start := len(dst)
+	for bj := j0; bj < j1; bj++ {
+		row := bj * l.gx
+		inJ := bj >= cj0 && bj < cj1
+		for bi := i0; bi < i1; bi++ {
+			if inJ && bi >= ci0 && bi < ci1 {
+				if ci0 < ci1 {
+					dst = append(dst, l.binIds[l.binStart[row+ci0]:l.binStart[row+ci1]]...)
+					bi = ci1 - 1
+					continue
+				}
+			}
+			for _, id := range l.binIds[l.binStart[row+bi]:l.binStart[row+bi+1]] {
+				r := &master[id].Rect
+				if r.MinX < space.MaxX && space.MinX < r.MaxX &&
+					r.MinY < space.MaxY && space.MinY < r.MaxY {
+					dst = append(dst, id)
+				}
+			}
+		}
+	}
+	slices.Sort(dst[start:])
+	return dst, true
 }
 
 // SolveWithinIDs is SolveWithin for callers that already know the master
@@ -498,7 +652,7 @@ func (s *Searcher) SolveWithinIDs(space geom.Rect, seedLB float64, ids []int32) 
 	}
 	bound := kernel.NewBound(s.opt.Delta, s.best)
 	seed := kernel.Item{Space: space, Clip: space, LB: seedLB, Ids: ids}
-	pushes, maxHeap := kernel.Run(len(s.workers), s.opt.BatchSize, []kernel.Item{seed}, bound,
+	pushes, maxHeap, steals := kernel.Run(len(s.workers), s.opt.BatchSize, []kernel.Item{seed}, bound,
 		func(wid int, it kernel.Item, incumbent asp.Result, emit func(kernel.Item)) asp.Result {
 			w := s.workers[wid]
 			w.beginItem(incumbent)
@@ -525,6 +679,7 @@ func (s *Searcher) SolveWithinIDs(space geom.Rect, seedLB float64, ids []int32) 
 		})
 	s.best = bound.Best()
 	s.Stats.HeapPushes += pushes
+	s.Stats.Steals += steals
 	if maxHeap > s.Stats.MaxHeapSize {
 		s.Stats.MaxHeapSize = maxHeap
 	}
@@ -676,6 +831,31 @@ func (w *worker) miniSweep(dirty []cellInfo, ids []int32) {
 	}
 }
 
+// PointRepresentation computes F(p) exactly over the master set,
+// restricted to the binary-searched MinX window when the master is
+// sorted. Bit-identical to asp.PointRepresentation: the covering
+// rectangles are visited in the same master order, through the same
+// accumulator (the window merely skips rectangles that cannot cover p).
+func (s *Searcher) PointRepresentation(p geom.Point) []float64 {
+	t := s.tab
+	out := make([]float64, s.query.F.Dims())
+	lo, hi := 0, len(s.rects)
+	if t.sorted {
+		lo, hi = t.windowLo(p.X-t.wmax), t.windowHi(p.X)
+		if lo > hi {
+			lo = hi
+		}
+	}
+	acc := agg.NewAccumulator(s.query.F)
+	for i := lo; i < hi; i++ {
+		if s.rects[i].Rect.ContainsOpen(p) {
+			acc.Add(s.rects[i].Obj)
+		}
+	}
+	acc.Representation(out)
+	return out
+}
+
 // Best returns the current best result (valid during and after a solve;
 // used by the grid-index driver to thread d_opt across cells).
 func (s *Searcher) Best() asp.Result { return s.best }
@@ -718,7 +898,7 @@ func SolveASRSExcluding(ds *attr.Dataset, a, b float64, q asp.Query, exclude geo
 			s.SolveWithin(sub, 0)
 		}
 	}
-	s.best.Rep = asp.PointRepresentation(s.rects, s.query.F, s.best.Point)
+	s.best.Rep = s.PointRepresentation(s.best.Point)
 	s.best.Dist = s.query.Distance(s.best.Rep)
 	region := opt.Anchor.RegionFor(s.best.Point, a, b)
 	return region, s.best, s.Stats, nil
@@ -764,7 +944,7 @@ func SolveASRSTopK(ds *attr.Dataset, a, b float64, q asp.Query, k int, exclude [
 				s.SolveWithin(p, 0)
 			}
 		}
-		s.best.Rep = asp.PointRepresentation(rects, q.F, s.best.Point)
+		s.best.Rep = s.PointRepresentation(s.best.Point)
 		s.best.Dist = s.query.Distance(s.best.Rep)
 		region := opt.Anchor.RegionFor(s.best.Point, a, b)
 		regions = append(regions, region)
@@ -795,12 +975,25 @@ func subtractRect(space, f geom.Rect) []geom.Rect {
 	return out
 }
 
+// ReduceForSearch performs the ASP reduction for a search unless a
+// valid Prepared shape (Options.Prepared built by Pyramid.Prepare for
+// exactly this dataset, composite and extent) short-circuits it: the
+// prepared master is bound inside newSearcher, so no per-query
+// rectangle array is materialized at all. The returned slice is nil
+// exactly when the Prepared shape applies.
+func ReduceForSearch(ds *attr.Dataset, a, b float64, f *agg.Composite, opt Options) ([]asp.RectObject, error) {
+	if opt.Prepared.For(ds, f, a, b) && opt.Anchor == asp.AnchorTR {
+		return nil, nil
+	}
+	return asp.Reduce(ds, a, b, opt.Anchor)
+}
+
 // SolveASRS is the package front door: it solves the ASRS problem for a
 // dataset directly. It reduces to ASP (Definition 5), runs DS-Search, and
 // returns the answer region (Theorem 1) along with the answer
 // representation and distance.
 func SolveASRS(ds *attr.Dataset, a, b float64, q asp.Query, opt Options) (geom.Rect, asp.Result, Stats, error) {
-	rects, err := asp.Reduce(ds, a, b, opt.Anchor)
+	rects, err := ReduceForSearch(ds, a, b, q.F, opt)
 	if err != nil {
 		return geom.Rect{}, asp.Result{}, Stats{}, err
 	}

@@ -23,7 +23,8 @@ type cellInfo struct {
 // a global pool, so allocation counts stay flat in the worker count.
 type gridBuffers struct {
 	ncol, nrow int
-	chans      int
+	chans      int // grid channel stride: eff space (logical + two-float shadows)
+	lchans     int // logical channel count (f.Channels())
 	mmSlots    int
 	dims       int
 
@@ -50,52 +51,63 @@ type gridBuffers struct {
 	lo  []float64
 	hi  []float64
 
+	// Two-float fold scratch: logical-space views of eff-space cell
+	// vectors (tables.fold).
+	foldFull []float64
+	foldPart []float64
+
 	refineBase    []float64
 	refineCh      []float64
 	refinePartial []int32
 }
 
 // gridFloatSize returns the float-slab footprint of one gridBuffers.
-func gridFloatSize(ncol, nrow int, f *agg.Composite) int {
+// eff is the grid channel stride (logical channels plus two-float
+// shadow planes).
+func gridFloatSize(ncol, nrow int, f *agg.Composite, eff int) int {
 	pad := (nrow + 1) * (ncol + 1)
-	chans, mmSlots, dims := f.Channels(), f.MinMaxSlots(), f.Dims()
-	return 2*pad*chans + pad + 2*nrow*ncol*mmSlots + (ncol + 1) + (nrow + 1) + 3*dims + 2*chans
+	mmSlots, dims := f.MinMaxSlots(), f.Dims()
+	return 2*pad*eff + pad + 2*nrow*ncol*mmSlots + (ncol + 1) + (nrow + 1) + 3*dims + 2*eff + 2*f.Channels()
 }
 
 // gridInt64Size returns the int64-slab footprint of one gridBuffers:
 // the two per-cell SAT accumulators.
-func gridInt64Size(f *agg.Composite) int { return 2 * (f.Channels() + 1) }
+func gridInt64Size(eff int) int { return 2 * (eff + 1) }
 
 // newGridBuffersBatch builds n independent gridBuffers out of shared
 // slab allocations — one float slab, one int32 slab, one int64 slab,
 // one struct array — so a worker pool's discretization scratch costs
 // O(1) allocations instead of O(workers), keeping per-op allocation
 // counts flat across worker counts.
-func newGridBuffersBatch(n, ncol, nrow int, f *agg.Composite) []gridBuffers {
+func newGridBuffersBatch(n, ncol, nrow int, f *agg.Composite, eff int) []gridBuffers {
+	if eff < f.Channels() {
+		eff = f.Channels()
+	}
 	gs := make([]gridBuffers, n)
-	fper := gridFloatSize(ncol, nrow, f)
+	fper := gridFloatSize(ncol, nrow, f, eff)
 	iper := 8*ncol + 8*nrow
-	i64per := gridInt64Size(f)
+	i64per := gridInt64Size(eff)
 	fslab := make([]float64, n*fper)
 	islab := make([]int32, n*iper)
 	i64slab := make([]int64, n*i64per)
 	for i := range gs {
-		gs[i].init(ncol, nrow, f, fslab[i*fper:(i+1)*fper], islab[i*iper:(i+1)*iper], i64slab[i*i64per:(i+1)*i64per])
+		gs[i].init(ncol, nrow, f, eff, fslab[i*fper:(i+1)*fper], islab[i*iper:(i+1)*iper], i64slab[i*i64per:(i+1)*i64per])
 	}
 	return gs
 }
 
-func newGridBuffers(ncol, nrow int, f *agg.Composite) *gridBuffers {
-	return &newGridBuffersBatch(1, ncol, nrow, f)[0]
+func newGridBuffers(ncol, nrow int, f *agg.Composite, eff int) *gridBuffers {
+	return &newGridBuffersBatch(1, ncol, nrow, f, eff)[0]
 }
 
 // init carves g's buffers from the provided slabs (sized by
 // gridFloatSize, 8*ncol+8*nrow, and gridInt64Size respectively).
-func (g *gridBuffers) init(ncol, nrow int, f *agg.Composite, slab []float64, cols []int32, i64s []int64) {
+func (g *gridBuffers) init(ncol, nrow int, f *agg.Composite, eff int, slab []float64, cols []int32, i64s []int64) {
 	*g = gridBuffers{
 		ncol:    ncol,
 		nrow:    nrow,
-		chans:   f.Channels(),
+		chans:   eff,
+		lchans:  f.Channels(),
 		mmSlots: f.MinMaxSlots(),
 		dims:    f.Dims(),
 	}
@@ -135,6 +147,8 @@ func (g *gridBuffers) init(ncol, nrow int, f *agg.Composite, slab []float64, col
 	g.rep = carve(g.dims)
 	g.lo = carve(g.dims)
 	g.hi = carve(g.dims)
+	g.foldFull = carve(g.lchans)
+	g.foldPart = carve(g.lchans)
 	g.refineBase = carve(g.chans)
 	g.refineCh = carve(g.chans)
 }
@@ -253,7 +267,7 @@ func (w *worker) discretize(space, clip geom.Rect, ids []int32) ([]cellInfo, boo
 		// Acquired lazily at first use: GI-DS runs SolveWithinIDs once
 		// per index cell, and cells at or below the sweep cutoff never
 		// discretize at all.
-		w.grid = newGridBuffers(w.s.opt.NCol, w.s.opt.NRow, w.s.query.F)
+		w.grid = newGridBuffers(w.s.opt.NCol, w.s.opt.NRow, w.s.query.F, w.s.tab.eff)
 	}
 	g := w.grid
 	query := &w.s.query
@@ -274,9 +288,22 @@ func (w *worker) discretize(space, clip geom.Rect, ids []int32) ([]cellInfo, boo
 	}
 
 	tab := w.s.tab
+	var satLvl *satLevel
 	if tab.satUsable() && !w.s.opt.DisableSAT && len(ids) >= satMinIds {
-		tab.ensureSAT(w.s.rects)
-		w.fillGridFast(space, clip, ids, cw, chh)
+		// Cost-based fill selection: the SAT fill's boundary-ring work is
+		// independent of the subset size, so it loses on mid-size subsets
+		// (GI-DS cells) where the difference-array fill touches only the
+		// subset. Both fills are bit-identical and the estimate depends
+		// only on deterministic quantities, so this is purely a
+		// performance choice.
+		tab.ensureLevels(w.s.rects)
+		lvl, satCost := tab.pickLevel(w.s.rects, space, ncol, nrow, cw, chh)
+		if satCost < tab.diffCost(len(ids), ncol, nrow) {
+			satLvl = lvl
+		}
+	}
+	if satLvl != nil {
+		w.fillGridFast(space, clip, ids, cw, chh, satLvl)
 		w.stats.SATFills++
 	} else {
 		w.fillGridDiff(space, ids, cw, chh)
@@ -291,7 +318,7 @@ func (w *worker) discretize(space, clip geom.Rect, ids []int32) ([]cellInfo, boo
 				continue
 			}
 			w.stats.CleanCells++
-			full := g.diffFull[idx*g.chans : (idx+1)*g.chans]
+			full := tab.fold(g.foldFull, g.diffFull[idx*g.chans:(idx+1)*g.chans])
 			query.F.FinalizeExact(full, g.rep)
 			if d := query.Distance(g.rep); d <= w.cur.Dist {
 				w.improve(d, geom.Point{X: g.xe[c] + cw/2, Y: g.ye[r] + chh/2}, g.rep)
@@ -310,8 +337,8 @@ func (w *worker) discretize(space, clip geom.Rect, ids []int32) ([]cellInfo, boo
 				continue
 			}
 			w.stats.DirtyCells++
-			full := g.diffFull[idx*g.chans : (idx+1)*g.chans]
-			part := g.diffPart[idx*g.chans : (idx+1)*g.chans]
+			full := tab.fold(g.foldFull, g.diffFull[idx*g.chans:(idx+1)*g.chans])
+			part := tab.fold(g.foldPart, g.diffPart[idx*g.chans:(idx+1)*g.chans])
 			var mmMin, mmMax []float64
 			if g.mmSlots > 0 {
 				mi := (r*ncol + c) * g.mmSlots
@@ -335,7 +362,7 @@ func (w *worker) discretize(space, clip geom.Rect, ids []int32) ([]cellInfo, boo
 					// so cells over the gate skip the scan outright — the
 					// same outcome the scan's own bail would reach.
 					if g.diffCnt[idx] <= refineMaxPartial {
-						if rlb, ok := w.refineCellLB(cell, clip, ids, full); ok {
+						if rlb, ok := w.refineCellLB(cell, clip, ids, g.diffFull[idx*g.chans:(idx+1)*g.chans]); ok {
 							w.stats.RefinedCells++
 							if rlb > lb {
 								lb = rlb
@@ -430,10 +457,10 @@ func (w *worker) fillRects(space geom.Rect, ids []int32, cw, chh float64, failOn
 // from a difference-array pass restricted to just those channels, run
 // over the ids in unchanged master order so their float summation order
 // — and hence every bit of their totals — matches fillGridDiff.
-func (w *worker) fillGridFast(space, clip geom.Rect, ids []int32, cw, chh float64) {
+func (w *worker) fillGridFast(space, clip geom.Rect, ids []int32, cw, chh float64, l *satLevel) {
 	g := w.grid
 	t := w.s.tab
-	if t.allExact {
+	if t.sortExact {
 		// Every cell value is written by the SAT fill; only the min/max
 		// fold identities need re-arming.
 		for i := range g.mmMin {
@@ -452,10 +479,10 @@ func (w *worker) fillGridFast(space, clip geom.Rect, ids []int32, cw, chh float6
 		integ2D(g.diffFull, pad, g.nrow+1, g.chans)
 		integ2D(g.diffPart, pad, g.nrow+1, g.chans)
 	}
-	w.fillGridSAT(clip)
+	w.fillGridSAT(clip, l)
 }
 
-// fillGridSAT computes per-cell totals from the query-level summed-area
+// fillGridSAT computes per-cell totals from a level of the summed-area
 // table: for each cell, the covering rectangles are exactly the anchors
 // inside an axis-aligned box in (MinX, MinY) space, so the totals are
 // four-corner SAT lookups over the bins certainly inside the box plus
@@ -463,7 +490,7 @@ func (w *worker) fillGridFast(space, clip geom.Rect, ids []int32, cw, chh float6
 // counts, the certified channels (converted back from scaled int64 at
 // emit — exact, so bit-identical to fillGridDiff), and the min/max
 // slots (via the order-statistic companion); channels that failed the
-// certificate are left untouched for the hybrid difference-array pass.
+// certificates are left untouched for the hybrid difference-array pass.
 //
 // The SAT counts over the whole master set while the difference-array
 // fill only sees the space's subset, so every predicate also carries the
@@ -472,52 +499,52 @@ func (w *worker) fillGridFast(space, clip geom.Rect, ids []int32, cw, chh float6
 // space.MinX + i*cw floats that can overshoot space.MaxX, letting a
 // boundary cell poke out of the space and "overlap" rectangles the
 // subset excludes.
-func (w *worker) fillGridSAT(clip geom.Rect) {
+//
+// Bin ranges come from the level's id-anchored threshold searches
+// (satLevel.xBinLE and friends): a rectangle fully covers column c's
+// cells in x iff MinX ≤ xe[c] and MaxX ≥ xe[c+1]; it overlaps them iff
+// MinX < xe[c+1] and MaxX > xe[c]. The MaxX conditions translate to
+// MinX thresholds through the width range [wmin, wmax]: certainly-true
+// and certainly-false bands whose gap lands in the outer-minus-interior
+// ring scanned exactly. Every certification is one-sided conservative,
+// so the fill result is independent of the level geometry.
+func (w *worker) fillGridSAT(clip geom.Rect, l *satLevel) {
 	g := w.grid
 	t := w.s.tab
+	master := w.s.rects
+	if l == nil {
+		// Callers that made the fill decision already pass the level in;
+		// this re-pick exists for direct (test) invocations.
+		space := geom.Rect{MinX: g.xe[0], MinY: g.ye[0], MaxX: g.xe[g.ncol], MaxY: g.ye[g.nrow]}
+		l, _ = t.pickLevel(master, space, g.ncol, g.nrow, g.xe[1]-g.xe[0], g.ye[1]-g.ye[0])
+	}
 	ncol, nrow := g.ncol, g.nrow
 	chans := g.chans
 
-	// Per-column anchor-box bin ranges. A rectangle fully covers column
-	// c's cells in x iff MinX ≤ xe[c] and MaxX ≥ xe[c+1]; it overlaps
-	// them iff MinX < xe[c+1] and MaxX > xe[c]; either way it must also
-	// satisfy MinX < space.MaxX (subset clause). In anchor space the
-	// MaxX conditions translate to MinX thresholds through the width
-	// range [wmin, wmax]: certainly-true and certainly-false bands whose
-	// gap lands in the outer-minus-interior ring scanned exactly.
-	bxCap := t.binX(clip.MaxX)
-	byCap := t.binY(clip.MaxY)
+	// Subset-clause caps, shared by every column/row.
+	capLTx := l.xBinLE(master, clip.MaxX, true) // bins < capLTx: MinX < clip.MaxX
+	capGEx := l.xBinGT(master, clip.MaxX, true) // bins ≥ capGEx: MinX ≥ clip.MaxX
+	capLTy := l.yBinLE(master, clip.MaxY, true)
+	capGEy := l.yBinGT(master, clip.MaxY, true)
 	for c := 0; c < ncol; c++ {
-		hi := t.binX(g.xe[c])
-		if hi > bxCap {
-			hi = bxCap
-		}
-		g.fxIn1[c], g.fxOut1[c] = int32(hi), int32(hi+1)
-		g.fxIn0[c] = int32(t.binX(g.xe[c+1]-t.wmin) + 1)
-		g.fxOut0[c] = int32(t.binX(g.xe[c+1] - t.wmax))
-		hi = t.binX(g.xe[c+1])
-		if hi > bxCap {
-			hi = bxCap
-		}
-		g.oxIn1[c], g.oxOut1[c] = int32(hi), int32(hi+1)
-		g.oxIn0[c] = int32(t.binX(g.xe[c]-t.wmin) + 1)
-		g.oxOut0[c] = int32(t.binX(g.xe[c] - t.wmax))
+		g.fxIn1[c] = int32(min(l.xBinLE(master, g.xe[c], false), capLTx))
+		g.fxOut1[c] = int32(min(l.xBinGT(master, g.xe[c], false), capGEx))
+		g.fxIn0[c] = int32(l.xBinGT(master, g.xe[c+1]-t.wmin, false))
+		g.fxOut0[c] = int32(l.xBinLE(master, g.xe[c+1]-t.wmax, true))
+		g.oxIn1[c] = int32(min(l.xBinLE(master, g.xe[c+1], true), capLTx))
+		g.oxOut1[c] = int32(min(l.xBinGT(master, g.xe[c+1], true), capGEx))
+		g.oxIn0[c] = int32(l.xBinGT(master, g.xe[c]-t.wmin, false))
+		g.oxOut0[c] = int32(l.xBinLE(master, g.xe[c]-t.wmax, true))
 	}
 	for r := 0; r < nrow; r++ {
-		hi := t.binY(g.ye[r])
-		if hi > byCap {
-			hi = byCap
-		}
-		g.fyIn1[r], g.fyOut1[r] = int32(hi), int32(hi+1)
-		g.fyIn0[r] = int32(t.binY(g.ye[r+1]-t.hmin) + 1)
-		g.fyOut0[r] = int32(t.binY(g.ye[r+1] - t.hmax))
-		hi = t.binY(g.ye[r+1])
-		if hi > byCap {
-			hi = byCap
-		}
-		g.oyIn1[r], g.oyOut1[r] = int32(hi), int32(hi+1)
-		g.oyIn0[r] = int32(t.binY(g.ye[r]-t.hmin) + 1)
-		g.oyOut0[r] = int32(t.binY(g.ye[r] - t.hmax))
+		g.fyIn1[r] = int32(min(l.yBinLE(master, g.ye[r], false), capLTy))
+		g.fyOut1[r] = int32(min(l.yBinGT(master, g.ye[r], false), capGEy))
+		g.fyIn0[r] = int32(l.yBinGT(master, g.ye[r+1]-t.hmin, false))
+		g.fyOut0[r] = int32(l.yBinLE(master, g.ye[r+1]-t.hmax, true))
+		g.oyIn1[r] = int32(min(l.yBinLE(master, g.ye[r+1], true), capLTy))
+		g.oyOut1[r] = int32(min(l.yBinGT(master, g.ye[r+1], true), capGEy))
+		g.oyIn0[r] = int32(l.yBinGT(master, g.ye[r]-t.hmin, false))
+		g.oyOut0[r] = int32(l.yBinLE(master, g.ye[r]-t.hmax, true))
 	}
 
 	full := g.fullVec
@@ -526,10 +553,10 @@ func (w *worker) fillGridSAT(clip geom.Rect) {
 		for c := 0; c < ncol; c++ {
 			clearI64(full)
 			clearI64(ov)
-			t.satRegion(int(g.fxIn0[c]), int(g.fxIn1[c]), int(g.fyIn0[r]), int(g.fyIn1[r]), full)
-			w.satRing(clip, c, r, true, full)
-			t.satRegion(int(g.oxIn0[c]), int(g.oxIn1[c]), int(g.oyIn0[r]), int(g.oyIn1[r]), ov)
-			w.satRing(clip, c, r, false, ov)
+			l.satRegion(int(g.fxIn0[c]), int(g.fxIn1[c]), int(g.fyIn0[r]), int(g.fyIn1[r]), full)
+			w.satRing(l, clip, c, r, true, full)
+			l.satRegion(int(g.oxIn0[c]), int(g.oxIn1[c]), int(g.oyIn0[r]), int(g.oyIn1[r]), ov)
+			w.satRing(l, clip, c, r, false, ov)
 
 			idx := g.cellIdx(c, r)
 			g.diffCnt[idx] = float64(ov[0] - full[0])
@@ -550,7 +577,7 @@ func (w *worker) fillGridSAT(clip geom.Rect) {
 				// the difference-array path's mmUpdate would leave the
 				// ±Inf identities too — and their min/max slots are
 				// never read, so skip the companion work entirely.
-				w.satCellMM(clip, c, r)
+				w.satCellMM(l, clip, c, r)
 			}
 		}
 	}
@@ -563,7 +590,7 @@ func clearI64(v []int64) { clear(v) }
 // anchor's rectangle exactly against the cell's full-cover (full=true)
 // or overlap condition plus the space-subset clause, and accumulates
 // count+scaled channels into acc.
-func (w *worker) satRing(clip geom.Rect, c, r int, full bool, acc []int64) {
+func (w *worker) satRing(l *satLevel, clip geom.Rect, c, r int, full bool, acc []int64) {
 	g := w.grid
 	t := w.s.tab
 	var xi0, xi1, xo0, xo1, yi0, yi1, yo0, yo1 int
@@ -584,24 +611,24 @@ func (w *worker) satRing(clip geom.Rect, c, r int, full bool, acc []int64) {
 	if yo0 < 0 {
 		yo0 = 0
 	}
-	if xo1 > t.gx {
-		xo1 = t.gx
+	if xo1 > l.gx {
+		xo1 = l.gx
 	}
-	if yo1 > t.gy {
-		yo1 = t.gy
+	if yo1 > l.gy {
+		yo1 = l.gy
 	}
 	cellL, cellR := g.xe[c], g.xe[c+1]
 	cellB, cellT := g.ye[r], g.ye[r+1]
 	master := w.s.rects
 	for bj := yo0; bj < yo1; bj++ {
 		inJ := bj >= yi0 && bj < yi1
-		row := bj * t.gx
+		row := bj * l.gx
 		for bi := xo0; bi < xo1; bi++ {
 			if inJ && bi >= xi0 && bi < xi1 {
 				bi = xi1 - 1 // skip the interior run (already in the SAT sum)
 				continue
 			}
-			for _, id := range t.binIds[t.binStart[row+bi]:t.binStart[row+bi+1]] {
+			for _, id := range l.binIds[l.binStart[row+bi]:l.binStart[row+bi+1]] {
 				rc := &master[id].Rect
 				if !(rc.MinX < clip.MaxX && clip.MinX < rc.MaxX &&
 					rc.MinY < clip.MaxY && clip.MinY < rc.MaxY) {
@@ -636,14 +663,13 @@ func (w *worker) satRing(clip geom.Rect, c, r int, full bool, acc []int64) {
 // cell's overlap box minus its full-cover box, so the certainly-partial
 // bins — certainly inside the overlap interior and certainly outside
 // the full-cover outer box — fold their pre-reduced per-bin min/max via
-// segment-tree range queries, and the remaining boundary bins are
+// O(1) sparse-table region queries, and the remaining boundary bins are
 // scanned exactly against the same predicates the difference-array path
 // applies per rectangle (overlap, not closed-full, in the clip-filtered
 // subset). Min/max folds are order-independent, so the result is
 // identical to fillGridDiff's mmUpdate regardless of visit order.
-func (w *worker) satCellMM(clip geom.Rect, c, r int) {
+func (w *worker) satCellMM(l *satLevel, clip geom.Rect, c, r int) {
 	g := w.grid
-	t := w.s.tab
 	mi := (r*g.ncol + c) * g.mmSlots
 	mmMin := g.mmMin[mi : mi+g.mmSlots]
 	mmMax := g.mmMax[mi : mi+g.mmSlots]
@@ -660,15 +686,18 @@ func (w *worker) satCellMM(clip geom.Rect, c, r int) {
 	bj0, bj1 := int(g.fyOut0[r]), int(g.fyOut1[r])
 
 	// Certainly-partial region: the overlap interior minus the
-	// full-cover outer box, row by row (each row is one or two
-	// segment-tree range queries).
-	for bj := aj0; bj < aj1; bj++ {
-		if bj < bj0 || bj >= bj1 {
-			t.mmBank.Query(bj, ai0, ai1, mmMin, mmMax)
-			continue
-		}
-		t.mmBank.Query(bj, ai0, min(ai1, bi0), mmMin, mmMax)
-		t.mmBank.Query(bj, max(ai0, bi1), ai1, mmMin, mmMax)
+	// full-cover outer box, decomposed into at most four rectangles,
+	// each one O(1) sparse-table region query.
+	if bj0 > aj0 { // rows below the full-cover outer box
+		l.mm.QueryRegion(aj0, min(aj1, bj0), ai0, ai1, mmMin, mmMax)
+	}
+	if bj1 < aj1 { // rows above it
+		l.mm.QueryRegion(max(aj0, bj1), aj1, ai0, ai1, mmMin, mmMax)
+	}
+	jm0, jm1 := max(aj0, bj0), min(aj1, bj1) // rows crossing it
+	if jm0 < jm1 {
+		l.mm.QueryRegion(jm0, jm1, ai0, min(ai1, bi0), mmMin, mmMax)
+		l.mm.QueryRegion(jm0, jm1, max(ai0, bi1), ai1, mmMin, mmMax)
 	}
 
 	// Boundary bins: everything in the overlap outer box not already
@@ -682,11 +711,11 @@ func (w *worker) satCellMM(clip geom.Rect, c, r int) {
 	if yo0 < 0 {
 		yo0 = 0
 	}
-	if xo1 > t.gx {
-		xo1 = t.gx
+	if xo1 > l.gx {
+		xo1 = l.gx
 	}
-	if yo1 > t.gy {
-		yo1 = t.gy
+	if yo1 > l.gy {
+		yo1 = l.gy
 	}
 	fi0, fi1 := int(g.fxIn0[c]), int(g.fxIn1[c]) // certainly-full interior box
 	fj0, fj1 := int(g.fyIn0[r]), int(g.fyIn1[r])
@@ -697,7 +726,7 @@ func (w *worker) satCellMM(clip geom.Rect, c, r int) {
 		inAJ := bj >= aj0 && bj < aj1
 		clearBJ := inAJ && (bj < bj0 || bj >= bj1) // whole row-run of A is certain
 		inFJ := bj >= fj0 && bj < fj1
-		row := bj * t.gx
+		row := bj * l.gx
 		for bi := xo0; bi < xo1; bi++ {
 			if inAJ && bi >= ai0 && bi < ai1 {
 				if clearBJ || bi < bi0 || bi >= bi1 {
@@ -705,13 +734,13 @@ func (w *worker) satCellMM(clip geom.Rect, c, r int) {
 						bi = ai1 - 1
 						continue
 					}
-					continue // folded by the tree queries
+					continue // folded by the region queries
 				}
 			}
 			if inFJ && bi >= fi0 && bi < fi1 {
 				continue // certainly fully covering: never partial
 			}
-			for _, id := range t.binIds[t.binStart[row+bi]:t.binStart[row+bi+1]] {
+			for _, id := range l.binIds[l.binStart[row+bi]:l.binStart[row+bi+1]] {
 				rc := &master[id].Rect
 				if !(rc.MinX < clip.MaxX && clip.MinX < rc.MaxX &&
 					rc.MinY < clip.MaxY && clip.MinY < rc.MaxY) {
@@ -723,7 +752,7 @@ func (w *worker) satCellMM(clip geom.Rect, c, r int) {
 				if rc.MinX <= cellL && rc.MaxX >= cellR && rc.MinY <= cellB && rc.MaxY >= cellT {
 					continue // fully covers the cell: not partial
 				}
-				for _, m := range t.rectMM(id) {
+				for _, m := range w.s.tab.rectMM(id) {
 					if m.V < mmMin[m.Slot] {
 						mmMin[m.Slot] = m.V
 					}
@@ -799,7 +828,7 @@ func (w *worker) probeCellCenters(dirty []cellInfo, clip geom.Rect, ids []int32)
 				}
 			}
 		}
-		query.F.FinalizeExact(ch, g.rep)
+		query.F.FinalizeExact(t.fold(g.foldFull, ch), g.rep)
 		if d := query.Distance(g.rep); d <= w.cur.Dist {
 			w.improve(d, p, g.rep)
 		}
@@ -908,8 +937,9 @@ func (w *worker) refineCellLB(cell, clip geom.Rect, ids []int32, cellFull []floa
 	query := &w.s.query
 	var base []float64
 	partial := g.refinePartial[:0]
-	if t.allExact && !w.s.opt.DisableSAT {
-		t.ensureSAT(master)
+	if t.sortExact && !w.s.opt.DisableSAT {
+		t.ensureLevels(master)
+		l, _ := t.pickLevel(master, cell, 1, 1, cell.MaxX-cell.MinX, cell.MaxY-cell.MinY)
 		base = cellFull
 		// All possibly-overlapping anchors have MinX ∈ (cell.MinX − wmax,
 		// cell.MaxX) and MinY ∈ (cell.MinY − hmax, cell.MaxY); each bin
@@ -918,27 +948,15 @@ func (w *worker) refineCellLB(cell, clip geom.Rect, ids []int32, cellFull []floa
 		// contain the cell — already summed into cellFull (if in the
 		// subset) or excluded everywhere (if not) — so the scan skips
 		// that interior and walks only the ring where partials can live.
-		xo0, xo1 := t.binX(cell.MinX-t.wmax), t.binX(cell.MaxX)+1
-		yo0, yo1 := t.binY(cell.MinY-t.hmax), t.binY(cell.MaxY)+1
-		if xo0 < 0 {
-			xo0 = 0
-		}
-		if yo0 < 0 {
-			yo0 = 0
-		}
-		if xo1 > t.gx {
-			xo1 = t.gx
-		}
-		if yo1 > t.gy {
-			yo1 = t.gy
-		}
-		fi0, fi1 := t.binX(cell.MaxX-t.wmin)+1, t.binX(cell.MinX)
-		fj0, fj1 := t.binY(cell.MaxY-t.hmin)+1, t.binY(cell.MinY)
+		xo0, xo1 := l.xBinLE(master, cell.MinX-t.wmax, true), l.xBinGT(master, cell.MaxX, true)
+		yo0, yo1 := l.yBinLE(master, cell.MinY-t.hmax, true), l.yBinGT(master, cell.MaxY, true)
+		fi0, fi1 := l.xBinGT(master, cell.MaxX-t.wmin, false), l.xBinLE(master, cell.MinX, false)
+		fj0, fj1 := l.yBinGT(master, cell.MaxY-t.hmin, false), l.yBinLE(master, cell.MinY, false)
 		scan := func(lo, hi, row int) bool {
 			if lo >= hi {
 				return true
 			}
-			for _, id := range t.binIds[t.binStart[row+lo]:t.binStart[row+hi]] {
+			for _, id := range l.binIds[l.binStart[row+lo]:l.binStart[row+hi]] {
 				r := &master[id].Rect
 				if !(r.MinX < clip.MaxX && clip.MinX < r.MaxX &&
 					r.MinY < clip.MaxY && clip.MinY < r.MaxY) {
@@ -958,7 +976,7 @@ func (w *worker) refineCellLB(cell, clip geom.Rect, ids []int32, cellFull []floa
 			return true
 		}
 		for bj := yo0; bj < yo1; bj++ {
-			row := bj * t.gx
+			row := bj * l.gx
 			ok := true
 			if bj >= fj0 && bj < fj1 && fi0 < fi1 {
 				ok = scan(xo0, min(fi0, xo1), row) && scan(max(xo0, fi1), xo1, row)
@@ -1026,7 +1044,10 @@ func (w *worker) refineCellLB(cell, clip geom.Rect, ids []int32, cellFull []floa
 				ch[cb.Ch] += cb.V
 			}
 		}
-		query.F.FinalizeExact(ch, g.rep)
+		// ch is an eff-space vector (base and contributions carry the
+		// two-float hi/lo planes separately); fold before finalizing or
+		// the lo planes would be dropped from the bound.
+		query.F.FinalizeExact(t.fold(g.foldFull, ch), g.rep)
 		if d := query.Distance(g.rep); d < best {
 			best = d
 		}

@@ -1,0 +1,629 @@
+package dssearch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/geom"
+)
+
+// Pyramid is the persistent per-composite aggregate pyramid: the whole
+// per-query aggregation layer of sat.go, hoisted to the dataset level
+// and built exactly once per (dataset, composite) pair.
+//
+// The hoist is possible because, under the default top-right-corner
+// reduction, every rectangle's anchor (MinX, MinY) is the object's
+// location translated by the constant (-a, -b): the master sort order,
+// the flattened channel contributions, the fixed-point / two-float
+// certificates, the SAT bin partition and the min/max companion are all
+// functions of (dataset, composite) alone — only the rectangle
+// materialization, the width/height ranges and the accuracy merge walks
+// depend on the query's (a, b), and those are O(n) passes. Binding a
+// pyramid to a Searcher therefore replaces the per-query O(R log R)
+// sort, the O(contribs) flatten/certify passes and the O(R + g²·C) SAT
+// build with aliased reads of shared immutable state (DESIGN.md §6).
+//
+// Bit-identity with the unassisted path is preserved by construction:
+// the pyramid's master order is produced by the *same* sort over the
+// *same* initial order (translation is monotone, so the comparator
+// outcomes — and with them the unstable sort's permutation — are
+// identical), the SAT planes carry the same exact scaled int64 sums,
+// and the id-anchored threshold arrays bound the translated per-query
+// anchors through actual rectangle coordinates rather than bin
+// geometry. The single case translation can break — two distinct anchor
+// x coordinates collapsing onto one float (a sub-ulp event that changes
+// the tie structure the sort saw) — is detected at bind time and falls
+// back to the classic per-query build, so answers never depend on the
+// pyramid being bindable.
+//
+// A Pyramid is immutable after construction and safe for any number of
+// concurrent binds; the Engine caches one per composite, and
+// internal/persist gives it a durable on-disk form.
+type Pyramid struct {
+	ds      *attr.Dataset
+	f       *agg.Composite
+	n       int
+	mmSlots int
+
+	core             *tables     // frozen canonical aggregation core (master order)
+	order            []int32     // master position -> dataset object index
+	xAscIds, yAscIds []int32     // master ids sorted by anchor x / y (accuracy)
+	lvls             []*satLevel // SAT hierarchy, finest first (empty when nothing certifies)
+}
+
+// BuildPyramid constructs the pyramid for one composite over a dataset.
+// The dataset must not be mutated afterwards while the pyramid serves
+// it (the same contract as Engine and Index).
+func BuildPyramid(ds *attr.Dataset, f *agg.Composite) (*Pyramid, error) {
+	if ds == nil {
+		return nil, fmt.Errorf("dssearch: pyramid requires a dataset")
+	}
+	if f == nil {
+		return nil, fmt.Errorf("dssearch: pyramid requires a composite aggregator")
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(ds.Objects)
+
+	// Degenerate location-anchored rectangles stand in for the reduced
+	// master: their (MinX, MinY) are the object locations, i.e. the
+	// anchors of every real reduction up to translation, so buildTables
+	// runs the exact per-query code path — flatten, certify (plain +
+	// two-float), sort, scale — and its outputs ARE the shared core.
+	synth := make([]asp.RectObject, n)
+	for i := range ds.Objects {
+		o := &ds.Objects[i]
+		synth[i] = asp.RectObject{
+			Rect: geom.Rect{MinX: o.Loc.X, MinY: o.Loc.Y, MaxX: o.Loc.X, MaxY: o.Loc.Y},
+			Obj:  o,
+		}
+	}
+	core := &tables{}
+	master := buildTables(core, synth, f, true)
+
+	// Recover the sort permutation via object identity.
+	idxOf := make(map[*attr.Object]int32, n)
+	for i := range ds.Objects {
+		idxOf[&ds.Objects[i]] = int32(i)
+	}
+	order := make([]int32, n)
+	for i := range master {
+		order[i] = idxOf[master[i].Obj]
+	}
+
+	p := &Pyramid{ds: ds, f: f, n: n, mmSlots: f.MinMaxSlots(), core: core, order: order}
+
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range master {
+		xs[i] = master[i].Rect.MinX
+		ys[i] = master[i].Rect.MinY
+	}
+	p.xAscIds = sortedIdsByValue(xs)
+	p.yAscIds = sortedIdsByValue(ys)
+
+	if core.anyExact {
+		// The persistent hierarchy can afford finer levels than the
+		// per-query SAT: ring-scan work shrinks linearly with the bin
+		// width, and the cost-based pickLevel chooses per
+		// discretization. Min/max companions are memory-heavy (2D sparse
+		// tables), so composites with min/max slots cap lower.
+		g := satGrid(n)
+		cap := 256
+		if p.mmSlots > 0 {
+			cap = 128
+		}
+		for 2*g <= cap && g*g < n {
+			g *= 2
+		}
+		for {
+			l := &satLevel{}
+			buildSATLevel(l, g, xs, ys, core.eff,
+				core.cOff, core.contribs, core.contribsI, core.mOff, core.mms, p.mmSlots)
+			p.lvls = append(p.lvls, l)
+			if g <= 8 {
+				break
+			}
+			g /= 2
+			if g < 8 {
+				g = 8
+			}
+		}
+	}
+	return p, nil
+}
+
+// sortedIdsByValue returns the indices of vs in ascending value order
+// (ties by index, fully deterministic).
+func sortedIdsByValue(vs []float64) []int32 {
+	ids := make([]int32, len(vs))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if vs[ids[a]] != vs[ids[b]] {
+			return vs[ids[a]] < vs[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// Matches reports whether the pyramid was built for exactly this
+// dataset and composite (pointer identity, the same contract as the
+// Engine's index cache).
+func (p *Pyramid) Matches(ds *attr.Dataset, f *agg.Composite) bool {
+	return p != nil && p.ds == ds && p.f == f
+}
+
+// Composite returns the composite the pyramid serves.
+func (p *Pyramid) Composite() *agg.Composite { return p.f }
+
+// Objects returns the master cardinality.
+func (p *Pyramid) Objects() int { return p.n }
+
+// Levels returns the number of SAT resolutions in the hierarchy.
+func (p *Pyramid) Levels() int { return len(p.lvls) }
+
+// bindCore aliases the pyramid's frozen aggregation core into a
+// recycled tables value and marks it shared so reset() drops (never
+// truncates) the aliased slices.
+func (p *Pyramid) bindCore(t *tables) {
+	c := p.core
+	t.f, t.chans, t.eff = c.f, c.chans, c.eff
+	t.chOK, t.chScale, t.chInv, t.twoOf = c.chOK, c.chScale, c.chInv, c.twoOf
+	t.twoCount = c.twoCount
+	t.allExact, t.sortExact, t.anyExact = c.allExact, c.sortExact, c.anyExact
+	t.sorted = c.sorted
+	t.cOff, t.contribs, t.contribsI = c.cOff, c.contribs, c.contribsI
+	t.mOff, t.mms = c.mOff, c.mms
+	t.cOffF, t.contribsF = c.cOffF, c.contribsF
+	t.lvls = append(t.lvls[:0], p.lvls...)
+	t.satBuilt.Store(len(p.lvls) > 0)
+	t.shared = true
+	t.pyr = p
+}
+
+// bind rebinds a per-query reduction (rects, in dataset order) onto the
+// pyramid: the master is permuted into the pyramid's canonical order
+// (reusing the tables' retained master slab), the shared core is
+// aliased, and the per-query O(n) parts (width/height ranges, minXs)
+// are recomputed. ok=false signals an anchor collapse — the translated
+// anchors no longer realize the pyramid's tie structure — and the
+// caller must fall back to the classic build.
+func (p *Pyramid) bind(t *tables, rects []asp.RectObject) ([]asp.RectObject, bool) {
+	var master []asp.RectObject
+	if p.core.sorted && p.n > 0 {
+		if cap(t.masterBuf) < p.n {
+			t.masterBuf = make([]asp.RectObject, p.n)
+		}
+		master = t.masterBuf[:p.n]
+		for i, oi := range p.order {
+			r := rects[oi]
+			if r.Obj != &p.ds.Objects[oi] {
+				// rects is not the dataset-order reduction (e.g. a slice an
+				// earlier fallback searcher re-sorted in place): the
+				// permutation would misalign the shared contributions.
+				return nil, false
+			}
+			master[i] = r
+		}
+		if !masterSortedNoCollapse(master) {
+			return nil, false
+		}
+	} else {
+		for i := range rects {
+			if rects[i].Obj != &p.ds.Objects[i] {
+				return nil, false // contribution tables assume dataset order
+			}
+		}
+		master = rects
+	}
+	p.bindMaster(t, master)
+	return master, true
+}
+
+// bindMaster aliases the core and recomputes the per-query O(n) parts
+// (width/height ranges, the sorted MinX array) for a master already in
+// pyramid order.
+func (p *Pyramid) bindMaster(t *tables, master []asp.RectObject) {
+	p.bindCore(t)
+	t.measureExtents(master)
+	t.fillMinXs(master)
+}
+
+// masterSortedNoCollapse verifies that the translated master realizes
+// the pyramid's canonical order: (MinX, MinY) must be non-decreasing,
+// and anchors may coincide only for rectangles that are bitwise equal
+// (equal-location objects). Translation is monotone, so a violation can
+// only come from distinct coordinates collapsing onto one float — the
+// sub-ulp event where the per-query sort could have arranged ties
+// differently than the pyramid did.
+func masterSortedNoCollapse(master []asp.RectObject) bool {
+	for i := 1; i < len(master); i++ {
+		a, b := &master[i-1].Rect, &master[i].Rect
+		if a.MinX > b.MinX || (a.MinX == b.MinX && a.MinY > b.MinY) {
+			return false
+		}
+		if a.MinX == b.MinX && a.MinY == b.MinY && (a.MaxX != b.MaxX || a.MaxY != b.MaxY) {
+			return false
+		}
+	}
+	return true
+}
+
+// accuracyIds computes the Definition 7 GPS accuracies for a bound
+// master via the pyramid's presorted id orders: the MinX sequence in
+// xAscIds order is sorted (translation is monotone) and the MaxX
+// sequence likewise, so the edge-multiset merge walk runs with no
+// per-query sorting at all — bit-identical to tables.accuracy, which
+// sorts the same multisets before the same merge.
+func (p *Pyramid) accuracyIds(master []asp.RectObject) geom.Accuracy {
+	dx := minGapMergedIds(master, p.xAscIds, false)
+	dy := minGapMergedIds(master, p.yAscIds, true)
+	return geom.Accuracy{DX: dx, DY: dy}
+}
+
+// minGapMergedIds is minGapMerged over the virtual sequences
+// A = {master[ids[k]].MinX} and B = {master[ids[k]].MaxX} (or the Y
+// variants), both ascending because ids is sorted by the corresponding
+// anchor coordinate.
+func minGapMergedIds(master []asp.RectObject, ids []int32, yAxis bool) float64 {
+	minGap := math.Inf(1)
+	prev := math.NaN()
+	ai, bi := 0, 0
+	n := len(ids)
+	coord := func(k int, upper bool) float64 {
+		r := &master[ids[k]].Rect
+		if yAxis {
+			if upper {
+				return r.MaxY
+			}
+			return r.MinY
+		}
+		if upper {
+			return r.MaxX
+		}
+		return r.MinX
+	}
+	for ai < n || bi < n {
+		var v float64
+		if bi >= n || (ai < n && coord(ai, false) <= coord(bi, true)) {
+			v = coord(ai, false)
+			ai++
+		} else {
+			v = coord(bi, true)
+			bi++
+		}
+		if d := v - prev; !math.IsNaN(prev) && d > 0 && d < minGap {
+			minGap = d
+		}
+		prev = v
+	}
+	return minGap
+}
+
+// Prepared is the per-query-shape state shared by every query with the
+// same (a, b) extent over one pyramid: the materialized master
+// rectangle array (read-only for all concurrent searchers in a batch
+// group) and the GPS accuracy. Build with Pyramid.Prepare; attach via
+// Options.Prepared.
+type Prepared struct {
+	p      *Pyramid
+	a, b   float64
+	master []asp.RectObject
+	acc    geom.Accuracy
+	// Shared per-shape O(n) derivations: the sorted MinX array and the
+	// width/height ranges, computed once per group instead of once per
+	// query.
+	minXs                  []float64
+	wmin, wmax, hmin, hmax float64
+}
+
+// Prepare materializes the query-shape state for an a×b query: the
+// master rectangles in pyramid order (built straight from the objects —
+// bit-identical to reducing and permuting, with no intermediate copy)
+// and the accuracy. ok=false signals an anchor collapse under this
+// particular (a, b); callers fall back to unshared per-query execution.
+func (p *Pyramid) Prepare(a, b float64) (*Prepared, bool) {
+	if p == nil || a <= 0 || b <= 0 {
+		return nil, false
+	}
+	master := make([]asp.RectObject, p.n)
+	for i, oi := range p.order {
+		o := &p.ds.Objects[oi]
+		master[i] = asp.RectObject{Rect: asp.AnchorTR.RectFor(o.Loc, a, b), Obj: o}
+	}
+	if p.core.sorted && !masterSortedNoCollapse(master) {
+		return nil, false
+	}
+	prep := &Prepared{p: p, a: a, b: b, master: master, acc: p.accuracyIds(master)}
+	var t tables
+	t.measureExtents(master)
+	prep.wmin, prep.wmax, prep.hmin, prep.hmax = t.wmin, t.wmax, t.hmin, t.hmax
+	prep.minXs = make([]float64, len(master))
+	for i := range master {
+		prep.minXs[i] = master[i].Rect.MinX
+	}
+	return prep, true
+}
+
+// bindPrepared is bindMaster for a group-shared shape: the extents and
+// the sorted MinX array are aliased from the Prepared instead of
+// recomputed per query.
+func (p *Pyramid) bindPrepared(t *tables, prep *Prepared) {
+	p.bindCore(t)
+	t.wmin, t.wmax, t.hmin, t.hmax = prep.wmin, prep.wmax, prep.hmin, prep.hmax
+	t.minXs = prep.minXs
+}
+
+// For reports whether the prepared shape serves exactly this
+// (dataset, composite, a, b) combination.
+func (prep *Prepared) For(ds *attr.Dataset, f *agg.Composite, a, b float64) bool {
+	return prep != nil && prep.p.Matches(ds, f) && prep.a == a && prep.b == b
+}
+
+// ---- Serialization snapshot ----
+
+// PyramidSnapshot is the exported, codec-friendly image of a Pyramid.
+// internal/persist encodes and decodes it; PyramidFromSnapshot
+// validates it and rebuilds the derived state (scaled contributions,
+// min/max sparse tables) that is cheaper to recompute than to store.
+type PyramidSnapshot struct {
+	N          int
+	Chans, Eff int
+	MMSlots    int
+
+	AllExact, SortExact, AnyExact, Sorted bool
+
+	ChOK    []bool
+	ChScale []float64
+	ChInv   []float64
+	TwoOf   []int32
+
+	Order            []int32
+	COff             []int32
+	Contribs         []agg.Contrib
+	MOff             []int32
+	MMs              []agg.MMContrib
+	COffF            []int32
+	ContribsF        []agg.Contrib
+	XAscIds, YAscIds []int32
+
+	Levels []PyramidLevelSnapshot
+}
+
+// PyramidLevelSnapshot is one SAT resolution.
+type PyramidLevelSnapshot struct {
+	G                  int
+	BW, BH             float64
+	Sat                []int64
+	BinStart, BinIds   []int32
+	XMaxUpTo, XMinFrom []int32
+	YMaxUpTo, YMinFrom []int32
+}
+
+// Snapshot exports the pyramid's serializable image. The returned
+// slices alias the pyramid — treat as read-only.
+func (p *Pyramid) Snapshot() *PyramidSnapshot {
+	c := p.core
+	s := &PyramidSnapshot{
+		N: p.n, Chans: c.chans, Eff: c.eff, MMSlots: p.mmSlots,
+		AllExact: c.allExact, SortExact: c.sortExact, AnyExact: c.anyExact, Sorted: c.sorted,
+		ChOK: c.chOK, ChScale: c.chScale, ChInv: c.chInv, TwoOf: c.twoOf,
+		Order: p.order, COff: c.cOff, Contribs: c.contribs,
+		MOff: c.mOff, MMs: c.mms, COffF: c.cOffF, ContribsF: c.contribsF,
+		XAscIds: p.xAscIds, YAscIds: p.yAscIds,
+	}
+	for _, l := range p.lvls {
+		s.Levels = append(s.Levels, PyramidLevelSnapshot{
+			G: l.gx, BW: l.bw, BH: l.bh, Sat: l.sat,
+			BinStart: l.binStart, BinIds: l.binIds,
+			XMaxUpTo: l.xMaxUpTo, XMinFrom: l.xMinFrom,
+			YMaxUpTo: l.yMaxUpTo, YMinFrom: l.yMinFrom,
+		})
+	}
+	return s
+}
+
+// PyramidFromSnapshot reconstructs a pyramid over (ds, f) from a
+// decoded snapshot, validating structural consistency (a corrupt or
+// mismatched file must produce an error, never a panic) and rebuilding
+// the derived state: scaled int64 contributions and the per-level
+// min/max sparse tables. The snapshot's contribution values are trusted
+// to describe ds — like ReadIndex, the dataset identity is part of the
+// file's contract.
+func PyramidFromSnapshot(ds *attr.Dataset, f *agg.Composite, s *PyramidSnapshot) (*Pyramid, error) {
+	if ds == nil || f == nil || s == nil {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot requires dataset, composite and data")
+	}
+	n := s.N
+	if n != len(ds.Objects) {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot covers %d objects, dataset has %d", n, len(ds.Objects))
+	}
+	if s.Chans != f.Channels() {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot has %d channels, composite has %d", s.Chans, f.Channels())
+	}
+	if s.MMSlots != f.MinMaxSlots() {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot has %d min/max slots, composite has %d", s.MMSlots, f.MinMaxSlots())
+	}
+	if s.Eff < s.Chans || s.Eff > 2*s.Chans {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot eff=%d inconsistent with chans=%d", s.Eff, s.Chans)
+	}
+	if len(s.ChOK) != s.Eff || len(s.ChScale) != s.Eff || len(s.ChInv) != s.Eff || len(s.TwoOf) != s.Chans {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot certificate arrays inconsistent")
+	}
+	if len(s.Order) != n || len(s.XAscIds) != n || len(s.YAscIds) != n {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot id arrays inconsistent")
+	}
+	if err := checkPermutation(s.Order, n); err != nil {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot order: %w", err)
+	}
+	if err := checkPermutation(s.XAscIds, n); err != nil {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot x id order: %w", err)
+	}
+	if err := checkPermutation(s.YAscIds, n); err != nil {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot y id order: %w", err)
+	}
+	if err := checkOffsets(s.COff, n, len(s.Contribs)); err != nil {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot contributions: %w", err)
+	}
+	for i := range s.Contribs {
+		if ch := s.Contribs[i].Ch; ch < 0 || ch >= s.Eff {
+			return nil, fmt.Errorf("dssearch: pyramid snapshot contribution channel %d out of range", ch)
+		}
+	}
+	twoCount := 0
+	for ch, sh := range s.TwoOf {
+		if sh < 0 {
+			continue
+		}
+		if int(sh) < s.Chans || int(sh) >= s.Eff {
+			return nil, fmt.Errorf("dssearch: pyramid snapshot shadow slot %d of channel %d out of range", sh, ch)
+		}
+		twoCount++
+	}
+	if s.Chans+twoCount != s.Eff {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot shadow count %d inconsistent with eff=%d", twoCount, s.Eff)
+	}
+	if s.MMSlots > 0 {
+		if err := checkOffsets(s.MOff, n, len(s.MMs)); err != nil {
+			return nil, fmt.Errorf("dssearch: pyramid snapshot min/max contributions: %w", err)
+		}
+		for i := range s.MMs {
+			if sl := s.MMs[i].Slot; sl < 0 || sl >= s.MMSlots {
+				return nil, fmt.Errorf("dssearch: pyramid snapshot min/max slot %d out of range", sl)
+			}
+		}
+	}
+	if !s.SortExact {
+		if err := checkOffsets(s.COffF, n, len(s.ContribsF)); err != nil {
+			return nil, fmt.Errorf("dssearch: pyramid snapshot fallback contributions: %w", err)
+		}
+		for i := range s.ContribsF {
+			if ch := s.ContribsF[i].Ch; ch < 0 || ch >= s.Eff {
+				return nil, fmt.Errorf("dssearch: pyramid snapshot fallback channel %d out of range", ch)
+			}
+		}
+	}
+
+	core := &tables{
+		f: f, chans: s.Chans, eff: s.Eff,
+		chOK: s.ChOK, chScale: s.ChScale, chInv: s.ChInv, twoOf: s.TwoOf,
+		twoCount: twoCount,
+		allExact: s.AllExact, sortExact: s.SortExact, anyExact: s.AnyExact, sorted: s.Sorted,
+		cOff: s.COff, contribs: s.Contribs,
+		mOff: s.MOff, mms: s.MMs,
+		cOffF: s.COffF, contribsF: s.ContribsF,
+	}
+	core.scaleContribsForSnapshot()
+
+	p := &Pyramid{
+		ds: ds, f: f, n: n, mmSlots: s.MMSlots,
+		core: core, order: s.Order, xAscIds: s.XAscIds, yAscIds: s.YAscIds,
+	}
+	for li := range s.Levels {
+		ls := &s.Levels[li]
+		g := ls.G
+		if g < 1 || g > 1<<14 {
+			return nil, fmt.Errorf("dssearch: pyramid snapshot level %d granularity %d out of range", li, g)
+		}
+		if len(ls.Sat) != (g+1)*(g+1)*(s.Eff+1) ||
+			len(ls.BinStart) != g*g+1 || len(ls.BinIds) != n ||
+			len(ls.XMaxUpTo) != g || len(ls.XMinFrom) != g ||
+			len(ls.YMaxUpTo) != g || len(ls.YMinFrom) != g {
+			return nil, fmt.Errorf("dssearch: pyramid snapshot level %d arrays inconsistent", li)
+		}
+		if err := checkOffsets(ls.BinStart, g*g, n); err != nil {
+			return nil, fmt.Errorf("dssearch: pyramid snapshot level %d bins: %w", li, err)
+		}
+		for _, id := range ls.BinIds {
+			if id < 0 || int(id) >= n {
+				return nil, fmt.Errorf("dssearch: pyramid snapshot level %d bin id %d out of range", li, id)
+			}
+		}
+		for _, arr := range [][]int32{ls.XMaxUpTo, ls.XMinFrom, ls.YMaxUpTo, ls.YMinFrom} {
+			for _, id := range arr {
+				if int(id) >= n {
+					return nil, fmt.Errorf("dssearch: pyramid snapshot level %d threshold id %d out of range", li, id)
+				}
+			}
+		}
+		l := &satLevel{
+			gx: g, gy: g, bw: ls.BW, bh: ls.BH, eff: s.Eff,
+			sat: ls.Sat, binStart: ls.BinStart, binIds: ls.BinIds,
+			xMaxUpTo: ls.XMaxUpTo, xMinFrom: ls.XMinFrom,
+			yMaxUpTo: ls.YMaxUpTo, yMinFrom: ls.YMinFrom,
+		}
+		l.hasMM = s.MMSlots > 0
+		if l.hasMM {
+			l.mm.Reset(g, g, s.MMSlots)
+			for b := 0; b < g*g; b++ {
+				row, col := b/g, b%g
+				for _, id := range l.binIds[l.binStart[b]:l.binStart[b+1]] {
+					for _, m := range core.mms[core.mOff[id]:core.mOff[id+1]] {
+						l.mm.Fold(row, col, m.Slot, m.V)
+					}
+				}
+			}
+			l.mm.Build()
+		}
+		p.lvls = append(p.lvls, l)
+	}
+	if s.AnyExact && len(p.lvls) == 0 {
+		return nil, fmt.Errorf("dssearch: pyramid snapshot certifies channels but carries no SAT levels")
+	}
+	return p, nil
+}
+
+// scaleContribsForSnapshot rebuilds contribsI from the loaded
+// contributions and certificate (the exact inverse of what Snapshot
+// omitted).
+func (t *tables) scaleContribsForSnapshot() {
+	t.contribsI = make([]int64, len(t.contribs))
+	for i := range t.contribs {
+		cb := &t.contribs[i]
+		if t.chOK[cb.Ch] {
+			t.contribsI[i] = int64(cb.V * t.chScale[cb.Ch])
+		}
+	}
+}
+
+// checkPermutation verifies ids is a permutation of [0, n).
+func checkPermutation(ids []int32, n int) error {
+	if len(ids) != n {
+		return fmt.Errorf("length %d, want %d", len(ids), n)
+	}
+	seen := make([]bool, n)
+	for _, id := range ids {
+		if id < 0 || int(id) >= n || seen[id] {
+			return fmt.Errorf("not a permutation of [0,%d)", n)
+		}
+		seen[id] = true
+	}
+	return nil
+}
+
+// checkOffsets verifies off is a monotone CSR offset array of n ranges
+// covering [0, total].
+func checkOffsets(off []int32, n, total int) error {
+	if len(off) != n+1 {
+		return fmt.Errorf("offset array length %d, want %d", len(off), n+1)
+	}
+	if n >= 0 && len(off) > 0 {
+		if off[0] != 0 || int(off[n]) != total {
+			return fmt.Errorf("offset bounds [%d,%d], want [0,%d]", off[0], off[n], total)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if off[i] > off[i+1] {
+			return fmt.Errorf("offsets not monotone at %d", i)
+		}
+	}
+	return nil
+}

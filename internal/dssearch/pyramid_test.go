@@ -1,0 +1,291 @@
+package dssearch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/geom"
+)
+
+// pyramidDataset builds a dataset over a two-attribute schema whose
+// numeric values are drawn from the given generator, plus the composite
+// under test (fD + fC + fS or fS + fA depending on withMM).
+func pyramidDataset(t *testing.T, rng *rand.Rand, n int, num func() float64, withMM bool) (*attr.Dataset, *agg.Composite) {
+	t.Helper()
+	schema, err := attr.NewSchema(
+		attr.Attribute{Name: "cat", Kind: attr.Categorical, Domain: []string{"a", "b", "c"}},
+		attr.Attribute{Name: "val", Kind: attr.Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var specs []agg.Spec
+	if withMM {
+		specs = []agg.Spec{
+			{Kind: agg.Sum, Attr: "val"},
+			{Kind: agg.Average, Attr: "val"},
+		}
+	} else {
+		specs = []agg.Spec{
+			{Kind: agg.Distribution, Attr: "cat"},
+			{Kind: agg.Count},
+			{Kind: agg.Sum, Attr: "val"},
+		}
+	}
+	f, err := agg.New(schema, specs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]attr.Object, n)
+	for i := range objs {
+		x := rng.Float64() * 100
+		y := rng.Float64() * 100
+		if rng.Intn(3) == 0 {
+			// Lattice snap: duplicate locations and edge collisions.
+			x = float64(rng.Intn(20)) * 5
+			y = float64(rng.Intn(20)) * 5
+		}
+		objs[i] = attr.Object{
+			Loc:    geom.Point{X: x, Y: y},
+			Values: []attr.Value{{Cat: rng.Intn(3)}, {Num: num()}},
+		}
+	}
+	return &attr.Dataset{Schema: schema, Objects: objs}, f
+}
+
+// solvePyr runs SolveASRS with or without the pyramid (and optionally a
+// Prepared shape) and returns the answer.
+func solvePyr(t *testing.T, ds *attr.Dataset, f *agg.Composite, a, b float64, target []float64,
+	p *Pyramid, prep *Prepared, workers int) (geom.Rect, asp.Result) {
+	t.Helper()
+	q := asp.Query{F: f, Target: target}
+	opt := Options{Workers: workers, Pyramid: p, Prepared: prep}
+	region, res, _, err := SolveASRS(ds, a, b, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return region, res
+}
+
+// TestPyramidAnswersBitIdentical is the tentpole property test: for
+// integer-exact, dyadic-real, decimal-grid (two-float) and min/max
+// composites, over query extents including sub-ulp slivers (a below one
+// ulp of the coordinates, producing zero-extent rectangles) and
+// extents that dwarf the space, pyramid-bound answers — region, point,
+// distance and representation — are bit-identical to the classic
+// per-query build at every worker count, with and without the
+// group-shared Prepared shape.
+func TestPyramidAnswersBitIdentical(t *testing.T) {
+	old := satMinIds
+	satMinIds = 64 // force the SAT paths onto test-sized spaces
+	defer func() { satMinIds = old }()
+
+	rng := rand.New(rand.NewSource(4242))
+	kinds := []struct {
+		name   string
+		num    func() float64
+		withMM bool
+	}{
+		{"integer", func() float64 { return float64(rng.Intn(11) - 5) }, false},
+		{"dyadic", func() float64 { return float64(rng.Intn(41)) * 0.25 }, false},
+		{"decimal", func() float64 { return 0.1 * float64(1+rng.Intn(99)) }, false},
+		{"minmax", func() float64 { return float64(rng.Intn(2001)) * 0.5 }, true},
+	}
+	for _, kind := range kinds {
+		ds, f := pyramidDataset(t, rng, 150+rng.Intn(250), kind.num, kind.withMM)
+		p, err := BuildPyramid(ds, f)
+		if err != nil {
+			t.Fatalf("%s: BuildPyramid: %v", kind.name, err)
+		}
+		target := make([]float64, f.Dims())
+		for i := range target {
+			target[i] = float64(2 + i)
+		}
+		extents := [][2]float64{
+			{9, 8},
+			{5, 5},
+			{0.37, 0.91},
+			{1e-13, 1e-13}, // sub-ulp: zero-extent rectangles
+			{400, 400},     // dwarfs the space
+		}
+		for _, ab := range extents {
+			a, b := ab[0], ab[1]
+			wantRegion, want := solvePyr(t, ds, f, a, b, target, nil, nil, 1)
+			prep, prepOK := p.Prepare(a, b)
+			for _, workers := range []int{1, 3} {
+				gotRegion, got := solvePyr(t, ds, f, a, b, target, p, nil, workers)
+				if gotRegion != wantRegion || got.Dist != want.Dist || got.Point != want.Point {
+					t.Fatalf("%s a=%g b=%g workers=%d: pyramid answer %v@%v (region %v), want %v@%v (region %v)",
+						kind.name, a, b, workers, got.Dist, got.Point, gotRegion, want.Dist, want.Point, wantRegion)
+				}
+				for i := range want.Rep {
+					if math.Float64bits(got.Rep[i]) != math.Float64bits(want.Rep[i]) {
+						t.Fatalf("%s a=%g b=%g workers=%d: rep[%d] %v != %v",
+							kind.name, a, b, workers, i, got.Rep[i], want.Rep[i])
+					}
+				}
+				if prepOK {
+					gotRegion, got = solvePyr(t, ds, f, a, b, target, p, prep, workers)
+					if gotRegion != wantRegion || got.Dist != want.Dist || got.Point != want.Point {
+						t.Fatalf("%s a=%g b=%g workers=%d: prepared answer %v@%v, want %v@%v",
+							kind.name, a, b, workers, got.Dist, got.Point, want.Dist, want.Point)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPyramidAccuracyBitIdentical: the pyramid's sort-free accuracy
+// merge walks produce bit-identical GPS accuracies to the classic
+// sorted-multiset computation.
+func TestPyramidAccuracyBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ds, f := pyramidDataset(t, rng, 300, func() float64 { return float64(rng.Intn(7)) }, false)
+	p, err := BuildPyramid(ds, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ab := range [][2]float64{{7, 3}, {0.1, 0.25}, {123.456, 9.5}} {
+		a, b := ab[0], ab[1]
+		rects, err := asp.Reduce(ds, a, b, asp.AnchorTR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		classic, err := NewSearcher(rects, asp.Query{F: f, Target: make([]float64, f.Dims())}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pyr, err := NewSearcher(rects, asp.Query{F: f, Target: make([]float64, f.Dims())}, Options{Pyramid: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pyr.tab.pyr != p {
+			t.Fatal("pyramid did not bind")
+		}
+		if math.Float64bits(classic.acc.DX) != math.Float64bits(pyr.acc.DX) ||
+			math.Float64bits(classic.acc.DY) != math.Float64bits(pyr.acc.DY) {
+			t.Fatalf("a=%g b=%g: accuracy (%v,%v) != classic (%v,%v)",
+				a, b, pyr.acc.DX, pyr.acc.DY, classic.acc.DX, classic.acc.DY)
+		}
+	}
+}
+
+// TestPyramidBindRejections: binds that cannot guarantee bit-identity
+// must fall back, never mis-bind — foreign rect slices, re-sorted
+// slices, wrong cardinalities.
+func TestPyramidBindRejections(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds, f := pyramidDataset(t, rng, 80, func() float64 { return float64(rng.Intn(5)) }, false)
+	p, err := BuildPyramid(ds, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rects, err := asp.Reduce(ds, 3, 4, asp.AnchorTR)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tab tables
+	if _, ok := p.bind(&tab, rects); !ok {
+		t.Fatal("dataset-order reduction should bind")
+	}
+
+	// A slice an earlier searcher re-sorted in place is not in dataset
+	// order; the permutation would misalign the shared contributions.
+	shuffled := append([]asp.RectObject(nil), rects...)
+	shuffled[0], shuffled[len(shuffled)-1] = shuffled[len(shuffled)-1], shuffled[0]
+	var tab2 tables
+	if _, ok := p.bind(&tab2, shuffled); ok {
+		t.Fatal("reordered rects must not bind")
+	}
+
+	// Wrong cardinality is guarded at the newSearcher call site.
+	q := asp.Query{F: f, Target: make([]float64, f.Dims())}
+	s, err := NewSearcher(rects[:len(rects)-1], q, Options{Pyramid: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.tab.pyr != nil {
+		t.Fatal("short rect slice must not bind the pyramid")
+	}
+}
+
+// TestPreparedForeignPyramid: a Prepared shape must bind through its
+// OWN pyramid even when Options.Pyramid points at a different instance
+// for the same dataset/composite (an engine cache refreshed between
+// grouping and dispatch, or a caller-built shape) — the query must
+// answer correctly, never run on an empty master.
+func TestPreparedForeignPyramid(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	ds, f := pyramidDataset(t, rng, 100, func() float64 { return float64(rng.Intn(7)) }, false)
+	p1, err := BuildPyramid(ds, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := BuildPyramid(ds, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, ok := p1.Prepare(5, 4)
+	if !ok {
+		t.Fatal("Prepare failed")
+	}
+	target := make([]float64, f.Dims())
+	target[0] = 3
+	q := asp.Query{F: f, Target: target}
+	_, want, _, err := SolveASRS(ds, 5, 4, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got, _, err := SolveASRS(ds, 5, 4, q, Options{Prepared: prep, Pyramid: p2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dist != want.Dist || got.Point != want.Point {
+		t.Fatalf("foreign-pyramid prepared answered %v@%v, want %v@%v",
+			got.Dist, got.Point, want.Dist, want.Point)
+	}
+}
+
+// TestPyramidSlabReuse: queries recycled through one SlabCache with a
+// pyramid bound must not leak pyramid-owned memory into later classic
+// builds (the shared-slice reset contract), and repeated queries reuse
+// the retained scratch without changing answers.
+func TestPyramidSlabReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds, f := pyramidDataset(t, rng, 120, func() float64 { return float64(rng.Intn(9)) }, false)
+	p, err := BuildPyramid(ds, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := make([]float64, f.Dims())
+	target[0] = 3
+	slabs := &SlabCache{}
+	q := asp.Query{F: f, Target: target}
+
+	_, want, _, err := SolveASRS(ds, 6, 5, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		// Alternate pyramid-bound and classic queries through the same
+		// slab cache.
+		var opt Options
+		opt.Slabs = slabs
+		if round%2 == 0 {
+			opt.Pyramid = p
+		}
+		_, got, _, err := SolveASRS(ds, 6, 5, q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Dist != want.Dist || got.Point != want.Point {
+			t.Fatalf("round %d: %v@%v, want %v@%v", round, got.Dist, got.Point, want.Dist, want.Point)
+		}
+	}
+}

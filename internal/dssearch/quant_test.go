@@ -35,9 +35,10 @@ func TestFracBits(t *testing.T) {
 		}
 	}
 	// 0.1 is not 1/10 but the nearest double, m·2^-55 — exactly
-	// representable, so a *single* such value passes; it is the Σ|v|·2^55
-	// headroom bound that rejects decimal-grid channels in practice
-	// (TestCertificatePerChannel).
+	// representable, so a *single* such value passes the plain
+	// certificate; it is the Σ|v|·2^55 headroom bound that rejects
+	// decimal-grid channels from the plain path in practice — they ride
+	// the two-float fallback instead (TestCertificatePerChannel).
 	if got := fracBits(0.1); got != 55 {
 		t.Errorf("fracBits(0.1) = %d, want 55", got)
 	}
@@ -61,9 +62,11 @@ func quantSearcher(t *testing.T, rects []asp.RectObject, f *agg.Composite) *Sear
 	return s
 }
 
-// TestCertificatePerChannel: channels pass and fail the certificate
-// individually — dyadic reals pass, full-mantissa decimals, denormals,
-// NaN, and headroom-overflowing channels fail.
+// TestCertificatePerChannel: channels pass and fail the certificates
+// individually — dyadic reals pass the plain certificate, decimal-grid
+// (base-10) channels fail it but pass the two-float fallback (so the
+// whole composite is grid-exact and sorts), denormals and NaN fail
+// both.
 func TestCertificatePerChannel(t *testing.T) {
 	schema, err := attr.NewSchema(
 		attr.Attribute{Name: "dyadic", Kind: attr.Numeric},
@@ -94,7 +97,7 @@ func TestCertificatePerChannel(t *testing.T) {
 	s := quantSearcher(t, rects, f)
 	tab := s.tab
 	if tab.allExact {
-		t.Fatal("decimal channel should fail the certificate")
+		t.Fatal("decimal channel should fail the plain certificate")
 	}
 	if !tab.anyExact || !tab.satUsable() {
 		t.Fatal("dyadic and count channels should pass the certificate")
@@ -103,8 +106,12 @@ func TestCertificatePerChannel(t *testing.T) {
 	if !tab.chOK[0] {
 		t.Error("dyadic sum channel should pass")
 	}
-	if tab.chOK[3] {
-		t.Error("decimal sum channel should fail")
+	if !tab.chOK[3] || tab.twoOf[3] < 0 {
+		t.Errorf("decimal sum channel should pass via the two-float fallback (ok=%v two=%d)",
+			tab.chOK[3], tab.twoOf[3])
+	}
+	if tab.twoOf[0] >= 0 {
+		t.Error("dyadic channel must not need the two-float fallback")
 	}
 	if !tab.chOK[6] {
 		t.Error("count channel should pass")
@@ -112,15 +119,45 @@ func TestCertificatePerChannel(t *testing.T) {
 	if tab.chScale[0] != 4 || tab.chInv[0] != 0.25 {
 		t.Errorf("dyadic scale = %g/%g, want 4/0.25", tab.chScale[0], tab.chInv[0])
 	}
-	// Mixed composites must keep the original master order (the failing
-	// channels' float summation order is part of the contract).
-	for i := range rects {
-		if s.rects[i].Obj != rects[i].Obj {
-			t.Fatal("master order changed for a mixed composite")
-		}
+	if tab.eff != tab.chans+tab.twoCount || tab.twoCount < 1 {
+		t.Errorf("eff=%d chans=%d twoCount=%d inconsistent", tab.eff, tab.chans, tab.twoCount)
 	}
-	if tab.sorted {
-		t.Fatal("mixed composite must not sort the master")
+	// With every channel plain- or two-float-certified the composite is
+	// grid-exact: the master sorts and the windows come on.
+	if !tab.sortExact || !tab.sorted {
+		t.Fatal("decimal+dyadic composite should be grid-exact and sorted")
+	}
+	// The split is error-free: for every contribution on a two-float
+	// channel, the rewritten hi part plus its shadow lo part must equal
+	// the original contribution value bit-for-bit.
+	var orig []agg.Contrib
+	for id := int32(0); int(id) < len(s.rects); id++ {
+		orig = f.AppendContribs(s.rects[id].Obj, orig[:0])
+		cbs := tab.rectContribs(id)
+		shadow := func(sh int32) float64 {
+			for j := range cbs {
+				if cbs[j].Ch == int(sh) {
+					return cbs[j].V
+				}
+			}
+			t.Fatalf("rect %d: shadow slot %d missing", id, sh)
+			return 0
+		}
+		oi := 0
+		for k := 0; k < len(cbs); k++ {
+			if cbs[k].Ch >= tab.chans {
+				continue // shadow entries are checked with their primary
+			}
+			want := orig[oi]
+			oi++
+			if sh := tab.twoOf[cbs[k].Ch]; sh >= 0 {
+				if got := cbs[k].V + shadow(sh); math.Float64bits(got) != math.Float64bits(want.V) {
+					t.Fatalf("rect %d ch %d: hi+lo = %v, original = %v", id, cbs[k].Ch, got, want.V)
+				}
+			} else if math.Float64bits(cbs[k].V) != math.Float64bits(want.V) {
+				t.Fatalf("rect %d ch %d: value changed: %v != %v", id, cbs[k].Ch, cbs[k].V, want.V)
+			}
+		}
 	}
 }
 
@@ -146,21 +183,29 @@ func TestCertificateDenormalAndHeadroom(t *testing.T) {
 		return quantSearcher(t, rects, f).tab
 	}
 	if tab := build([]float64{0.5, 5e-324}); tab.chOK[0] {
-		t.Error("denormal-bearing channel must fail the certificate")
+		t.Error("denormal-bearing channel must fail both certificates")
 	}
 	if tab := build([]float64{0.5, math.NaN()}); tab.chOK[0] {
-		t.Error("NaN-bearing channel must fail the certificate")
+		t.Error("NaN-bearing channel must fail both certificates")
 	}
 	if tab := build([]float64{0.5, math.Inf(1)}); tab.chOK[0] {
-		t.Error("Inf-bearing channel must fail the certificate")
+		t.Error("Inf-bearing channel must fail both certificates")
 	}
 	// A tiny dyadic value forces a huge shift; a large one then blows the
-	// scaled-sum headroom: individually fine, jointly over budget.
-	if tab := build([]float64{math.Ldexp(1, -50), 16}); tab.chOK[0] {
-		t.Error("exponent-range overflow must fail the certificate")
+	// plain scaled-sum headroom — but the two-float fallback splits the
+	// spread across its hi/lo planes and serves the channel exactly.
+	if tab := build([]float64{math.Ldexp(1, -50), 16}); !tab.chOK[0] || tab.twoOf[0] < 0 {
+		t.Error("exponent-range overflow should ride the two-float fallback")
 	}
 	if tab := build([]float64{math.Ldexp(1, -50), math.Ldexp(1, -49)}); !tab.chOK[0] {
 		t.Error("small dyadic values within headroom should pass")
+	} else if tab.twoOf[0] >= 0 {
+		t.Error("within-headroom dyadic values must pass plainly, not via two-float")
+	}
+	// Spreads beyond even the two-float budget — a denormal-scale tail
+	// under a large head — must still fall back to the classic path.
+	if tab := build([]float64{math.Ldexp(1, -1060), 16}); tab.chOK[0] {
+		t.Error("beyond-two-float spread must fail both certificates")
 	}
 }
 
@@ -233,7 +278,7 @@ func fillBothQuant(t *testing.T, rects []asp.RectObject, f *agg.Composite, space
 		t.Fatalf("sorted = %v, want %v", sr.tab.sorted, wantSorted)
 	}
 	w := sr.workers[0]
-	w.grid = newGridBuffers(ncol, nrow, f)
+	w.grid = newGridBuffers(ncol, nrow, f, sr.tab.eff)
 	g := w.grid
 	ids := sr.AppendWindowIDs(clip, nil)
 
@@ -264,8 +309,8 @@ func fillBothQuant(t *testing.T, rects []asp.RectObject, f *agg.Composite, space
 	}
 	w.fillGridDiff(space, ids, cw, chh)
 	d = grab()
-	sr.tab.ensureSAT(sr.rects)
-	w.fillGridFast(space, clip, ids, cw, chh)
+	sr.tab.ensureLevels(sr.rects)
+	w.fillGridFast(space, clip, ids, cw, chh, nil)
 	s = grab()
 	return
 }
@@ -326,7 +371,8 @@ func TestFastFillMixedComposite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// fA over full-mantissa reals: the avg-sum channel fails, the count
+	// fA over reals salted with ±denormals: the avg-sum channels fail
+	// both certificates (the denormal tails are unsplittable), the count
 	// channel passes, and the min/max companion must still serve the fA
 	// slot exactly.
 	f, err := agg.New(schema,
@@ -346,11 +392,18 @@ func TestFastFillMixedComposite(t *testing.T) {
 		rects := make([]asp.RectObject, n)
 		for i := range rects {
 			x, y := rng.Float64()*100, rng.Float64()*100
+			v := rng.NormFloat64()
+			switch i % 9 {
+			case 0:
+				v = 5e-324
+			case 4:
+				v = -5e-324
+			}
 			objs[i] = attr.Object{
 				Loc: geom.Point{X: x, Y: y},
 				Values: []attr.Value{
 					{Cat: rng.Intn(3)},
-					{Num: rng.NormFloat64()},
+					{Num: v},
 				},
 			}
 			rects[i] = asp.RectObject{Rect: geom.Rect{MinX: x - w, MinY: y - h, MaxX: x, MaxY: y}, Obj: &objs[i]}
@@ -372,8 +425,9 @@ func TestFastFillMixedComposite(t *testing.T) {
 }
 
 // TestUnquantizableTakesOldPath: a composite whose every channel fails
-// the certificate silently keeps the pre-SAT behavior — no sort, no
-// fast path, original master order.
+// both certificates silently keeps the pre-SAT behavior — no sort, no
+// fast path, original master order. Denormal tails on both signs defeat
+// the two-float fallback on every sum channel.
 func TestUnquantizableTakesOldPath(t *testing.T) {
 	schema, err := attr.NewSchema(attr.Attribute{Name: "v", Kind: attr.Numeric})
 	if err != nil {
@@ -389,8 +443,11 @@ func TestUnquantizableTakesOldPath(t *testing.T) {
 	for i := range rects {
 		x, y := rng.Float64()*10, rng.Float64()*10
 		v := rng.NormFloat64()
-		if i%10 == 0 {
+		switch i % 10 {
+		case 0:
 			v = 5e-324 // denormal-adjacent
+		case 5:
+			v = -5e-324
 		}
 		objs[i] = attr.Object{Loc: geom.Point{X: x, Y: y}, Values: []attr.Value{{Num: v}}}
 		rects[i] = asp.RectObject{Rect: geom.Rect{MinX: x - 1, MinY: y - 1, MaxX: x, MaxY: y}, Obj: &objs[i]}

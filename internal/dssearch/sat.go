@@ -11,25 +11,35 @@ import (
 	"asrs/internal/asp"
 	"asrs/internal/geom"
 	"asrs/internal/segtree"
+	"asrs/internal/sweep"
 )
 
 // This file implements the per-query incremental-aggregation layer of
 // DS-Search: one `tables` value is built per Searcher and owns
 //
 //   - the master rectangle array, sorted by (MinX, MinY) when every
-//     channel carries the fixed-point certificate, so that every space's
-//     relevant rectangles form a binary-searchable contiguous window;
+//     channel carries an exact-summation certificate, so that every
+//     space's relevant rectangles form a binary-searchable contiguous
+//     window;
 //   - the flattened per-rectangle channel contributions (AppendContribs
 //     evaluated once per query instead of once per discretization);
 //   - the GPS-accuracy computation (Definition 7), derived from the
 //     sorted coordinate arrays by a merge walk instead of re-sorting the
 //     edge multiset per query;
-//   - the query-level summed-area table (SAT): 2D prefix sums of
-//     rectangle-anchor counts and channel contributions over a bin grid,
-//     plus CSR per-bin id lists. Discretize uses it to compute a cell's
+//   - the query-level summed-area table (SAT) levels: 2D prefix sums of
+//     rectangle-anchor counts and channel contributions over bin grids,
+//     plus CSR per-bin id lists. Discretize uses them to compute a cell's
 //     full-/partial-cover totals with four-corner lookups plus an exact
 //     scan of the boundary bins, instead of re-integrating difference
 //     arrays over the whole space (see DESIGN.md §2).
+//
+// When Options.Pyramid carries the dataset-level aggregate pyramid
+// (pyramid.go), the whole layer is *bound* instead of built: the master
+// order, contributions, certificate and SAT levels are aliased from the
+// persistent per-composite structure and only the O(n) per-query parts
+// (rectangle materialization, width ranges, accuracy merge walks) are
+// recomputed, converting the per-query O(R log R) setup into amortized
+// shared state (DESIGN.md §6).
 //
 // The SAT path is gated per channel by the *fixed-point certificate*:
 // a channel participates when all of its contributions quantize
@@ -45,19 +55,39 @@ import (
 // assert this). Integer channels (fD, fC, fS/fA over integer values)
 // pass trivially with shift 0; real-valued channels pass whenever the
 // data lives on a dyadic grid (halves, quarters, float32-sourced
-// values, …). Channels that fail the certificate individually — full-
-// mantissa reals, denormal-adjacent values, NaN/Inf — fall back to a
-// difference-array pass restricted to just those channels, in unchanged
-// master order, so mixed composites still get partial fast-path
-// coverage and fully failing composites keep the pre-SAT behavior
-// byte-for-byte.
+// values, …).
+//
+// Channels that fail the plain certificate get a second chance through
+// the *two-float (compensated-sum) fallback*: each contribution v is
+// split error-free into v = hi + lo, where hi is v rounded to a coarse
+// power-of-two grid chosen from the channel's total mass and lo is the
+// exact float64 remainder (Veltkamp-style splitting: the subtraction
+// v − hi is exact because hi agrees with v in its leading bits). The hi
+// parts live on a coarse dyadic grid with huge headroom, the lo parts
+// are tiny with huge headroom, so BOTH halves pass the fixed-point
+// certificate individually and ride the SAT as two exact int64 planes —
+// the channel's grid totals become fl(Σhi + Σlo), one rounding of the
+// exactly-represented true sum, identical in every fill path and
+// independent of summation order. This is what lets decimal-grid
+// (base-10) channels — 0.1-steped prices, percentages — use the fast
+// path instead of the classic difference-array fallback. Two-float
+// channels are "grid-exact" (order-free grid fills, sorting allowed)
+// but not "plain-exact": the Fenwick mini-sweep keeps its naive
+// accumulation for them, exactly like any real-valued channel.
+//
+// Channels that fail both certificates — full-mantissa reals,
+// denormal-adjacent values, NaN/Inf — fall back to a difference-array
+// pass restricted to just those channels, in unchanged master order, so
+// mixed composites still get partial fast-path coverage and fully
+// failing composites keep the pre-SAT behavior byte-for-byte.
 //
 // Min/max slots (fA components) do not telescope through prefix sums;
 // they are served by an order-statistic companion over the same anchor
-// bins: per-bin pre-reduced min/max with segment-tree range queries
-// (segtree.MinMaxRows) over the certainly-partial bin regions, plus an
-// exact scan of the boundary bins — min/max are order-independent, so
-// the companion is usable regardless of the channel certificates.
+// bins: per-bin pre-reduced min/max behind a 2D sparse table
+// (segtree.Sparse2D, O(1) rectangular range queries) over the
+// certainly-partial bin regions, plus an exact scan of the boundary
+// bins — min/max are order-independent, so the companion is usable
+// regardless of the channel certificates.
 
 // satMinIds is the rectangle count at which discretize switches from the
 // per-rectangle difference-array fill to SAT lookups: the SAT fill costs
@@ -78,31 +108,380 @@ const maxScaledSum = 1 << 52
 // denormal-adjacent values, which would need shifts near 1074, fail.
 const maxShift = 62
 
+// ---- SAT levels ----
+
+// satLevel is one resolution of the summed-area-table hierarchy: 2D
+// prefix sums of anchor counts and scaled channel contributions over a
+// g×g bin grid, CSR per-bin id lists for the exact boundary scans, the
+// order-statistic min/max companion, and the conservative threshold
+// arrays that map coordinate predicates to bin ranges.
+//
+// The threshold arrays are *id-anchored*: xMaxUpTo[i] is the master id
+// whose anchor attains the maximum anchor x over bin columns [0, i]
+// (-1 while empty), and xMinFrom[i] the id attaining the minimum over
+// columns [i, g). Queries compare the id's actual per-query coordinate
+// (master[id].Rect.MinX) rather than stored bin geometry, which makes a
+// level valid for any rigid translation of the anchor set: the
+// dataset-level pyramid stores bins over object locations, and the same
+// arrays bound the translated per-query anchors (MinX = x − a) exactly,
+// because translation by a constant is monotone and preserves argmax /
+// argmin. Lookups are O(log g) binary searches — the "pyramid lookup" —
+// and every interior/exterior claim they certify is conservative; the
+// exact boundary-bin scan owns whatever the certification leaves
+// uncertain, so cell totals depend only on the true predicate sets, not
+// on the bin geometry or level choice.
+type satLevel struct {
+	gx, gy int
+	bw, bh float64 // bin extents in stored space (level selection only)
+
+	sat      []int64 // (gx+1)*(gy+1)*(eff+1) prefix sums; plane 0 = count
+	binStart []int32 // gx*gy+1 CSR offsets
+	binIds   []int32 // master ids grouped by bin, ascending within a bin
+
+	xMaxUpTo, xMinFrom []int32 // len gx, id-anchored prefix extremes (x)
+	yMaxUpTo, yMinFrom []int32 // len gy, id-anchored prefix extremes (y)
+
+	mm    segtree.Sparse2D // order-statistic min/max companion
+	hasMM bool
+
+	eff int // channel planes carried by sat (excluding the count plane)
+}
+
+// xBinLE returns the largest h in [0, gx] such that every anchor in bin
+// columns [0, h) certainly has MinX ≤ x (or MinX < x when strict).
+func (l *satLevel) xBinLE(master []asp.RectObject, x float64, strict bool) int {
+	return sort.Search(l.gx, func(i int) bool {
+		id := l.xMaxUpTo[i]
+		if id < 0 {
+			return false // empty prefix: vacuously below any threshold
+		}
+		v := master[id].Rect.MinX
+		if strict {
+			return v >= x
+		}
+		return v > x
+	})
+}
+
+// xBinGT returns the smallest h in [0, gx] such that every anchor in
+// bin columns [h, gx) certainly has MinX > x (or MinX ≥ x when orEq).
+func (l *satLevel) xBinGT(master []asp.RectObject, x float64, orEq bool) int {
+	return sort.Search(l.gx, func(i int) bool {
+		id := l.xMinFrom[i]
+		if id < 0 {
+			return true // empty suffix: vacuously above any threshold
+		}
+		v := master[id].Rect.MinX
+		if orEq {
+			return v >= x
+		}
+		return v > x
+	})
+}
+
+// yBinLE / yBinGT mirror the x variants over bin rows and MinY.
+func (l *satLevel) yBinLE(master []asp.RectObject, y float64, strict bool) int {
+	return sort.Search(l.gy, func(i int) bool {
+		id := l.yMaxUpTo[i]
+		if id < 0 {
+			return false
+		}
+		v := master[id].Rect.MinY
+		if strict {
+			return v >= y
+		}
+		return v > y
+	})
+}
+
+func (l *satLevel) yBinGT(master []asp.RectObject, y float64, orEq bool) int {
+	return sort.Search(l.gy, func(i int) bool {
+		id := l.yMinFrom[i]
+		if id < 0 {
+			return true
+		}
+		v := master[id].Rect.MinY
+		if orEq {
+			return v >= y
+		}
+		return v > y
+	})
+}
+
+// satRegion adds the count+channel totals of anchors in bins
+// [i0,i1)×[j0,j1) into out (length eff+1, scaled int64) via a
+// four-corner lookup.
+func (l *satLevel) satRegion(i0, i1, j0, j1 int, out []int64) {
+	if i0 < 0 {
+		i0 = 0
+	}
+	if j0 < 0 {
+		j0 = 0
+	}
+	if i1 > l.gx {
+		i1 = l.gx
+	}
+	if j1 > l.gy {
+		j1 = l.gy
+	}
+	if i0 >= i1 || j0 >= j1 {
+		return
+	}
+	C := l.eff + 1
+	w := l.gx + 1
+	a := (j1*w + i1) * C
+	b := (j0*w + i1) * C
+	c := (j1*w + i0) * C
+	d := (j0*w + i0) * C
+	for ch := 0; ch < C; ch++ {
+		out[ch] += l.sat[a+ch] - l.sat[b+ch] - l.sat[c+ch] + l.sat[d+ch]
+	}
+}
+
+// countRegion returns the number of anchors in bins [i0,i1)×[j0,j1)
+// via a four-corner lookup on the count plane.
+func (l *satLevel) countRegion(i0, i1, j0, j1 int) int64 {
+	if i0 < 0 {
+		i0 = 0
+	}
+	if j0 < 0 {
+		j0 = 0
+	}
+	if i1 > l.gx {
+		i1 = l.gx
+	}
+	if j1 > l.gy {
+		j1 = l.gy
+	}
+	if i0 >= i1 || j0 >= j1 {
+		return 0
+	}
+	C := l.eff + 1
+	w := l.gx + 1
+	return l.sat[(j1*w+i1)*C] - l.sat[(j0*w+i1)*C] - l.sat[(j1*w+i0)*C] + l.sat[(j0*w+i0)*C]
+}
+
+// buildSATLevel fills l with a g×g bin grid over the stored anchor
+// coordinates xs/ys (aligned with master ids 0..n-1), the scaled
+// channel planes, the id-anchored threshold arrays, and — when
+// mmSlots > 0 — the min/max companion. Slabs are reused across builds.
+func buildSATLevel(l *satLevel, g int, xs, ys []float64, eff int,
+	cOff []int32, contribs []agg.Contrib, contribsI []int64,
+	mOff []int32, mms []agg.MMContrib, mmSlots int) {
+	n := len(xs)
+	l.gx, l.gy = g, g
+	l.eff = eff
+
+	bx0, by0 := math.Inf(1), math.Inf(1)
+	bx1, by1 := math.Inf(-1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		if xs[i] < bx0 {
+			bx0 = xs[i]
+		}
+		if xs[i] > bx1 {
+			bx1 = xs[i]
+		}
+		if ys[i] < by0 {
+			by0 = ys[i]
+		}
+		if ys[i] > by1 {
+			by1 = ys[i]
+		}
+	}
+	l.bw = (bx1 - bx0) / float64(g)
+	l.bh = (by1 - by0) / float64(g)
+	if !(l.bw > 0) {
+		l.bw = 1
+	}
+	if !(l.bh > 0) {
+		l.bh = 1
+	}
+	binx := func(x float64) int {
+		v := int((x - bx0) / l.bw)
+		if v < 0 {
+			v = 0
+		}
+		if v >= g {
+			v = g - 1
+		}
+		return v
+	}
+	biny := func(y float64) int {
+		v := int((y - by0) / l.bh)
+		if v < 0 {
+			v = 0
+		}
+		if v >= g {
+			v = g - 1
+		}
+		return v
+	}
+
+	// CSR bins via counting sort (stable: ids ascend within each bin).
+	nb := g * g
+	l.binStart = resizeInt32(l.binStart, nb+1)
+	for i := range l.binStart {
+		l.binStart[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		l.binStart[biny(ys[i])*g+binx(xs[i])+1]++
+	}
+	for b := 0; b < nb; b++ {
+		l.binStart[b+1] += l.binStart[b]
+	}
+	l.binIds = resizeInt32(l.binIds, n)
+	fill := append([]int32(nil), l.binStart[:nb]...)
+	for i := 0; i < n; i++ {
+		b := biny(ys[i])*g + binx(xs[i])
+		l.binIds[fill[b]] = int32(i)
+		fill[b]++
+	}
+
+	// Id-anchored threshold arrays: per-column / per-row extreme anchor,
+	// then prefix-max / suffix-min runs.
+	l.xMaxUpTo = resizeInt32(l.xMaxUpTo, g)
+	l.xMinFrom = resizeInt32(l.xMinFrom, g)
+	l.yMaxUpTo = resizeInt32(l.yMaxUpTo, g)
+	l.yMinFrom = resizeInt32(l.yMinFrom, g)
+	colMax := l.xMaxUpTo
+	colMin := l.xMinFrom
+	rowMax := l.yMaxUpTo
+	rowMin := l.yMinFrom
+	for i := 0; i < g; i++ {
+		colMax[i], colMin[i], rowMax[i], rowMin[i] = -1, -1, -1, -1
+	}
+	for i := 0; i < n; i++ {
+		bi, bj := binx(xs[i]), biny(ys[i])
+		if colMax[bi] < 0 || xs[i] > xs[colMax[bi]] {
+			colMax[bi] = int32(i)
+		}
+		if colMin[bi] < 0 || xs[i] < xs[colMin[bi]] {
+			colMin[bi] = int32(i)
+		}
+		if rowMax[bj] < 0 || ys[i] > ys[rowMax[bj]] {
+			rowMax[bj] = int32(i)
+		}
+		if rowMin[bj] < 0 || ys[i] < ys[rowMin[bj]] {
+			rowMin[bj] = int32(i)
+		}
+	}
+	run := int32(-1)
+	for i := 0; i < g; i++ {
+		if colMax[i] >= 0 && (run < 0 || xs[colMax[i]] > xs[run]) {
+			run = colMax[i]
+		}
+		colMax[i] = run
+	}
+	run = -1
+	for i := g - 1; i >= 0; i-- {
+		if colMin[i] >= 0 && (run < 0 || xs[colMin[i]] < xs[run]) {
+			run = colMin[i]
+		}
+		colMin[i] = run
+	}
+	run = -1
+	for i := 0; i < g; i++ {
+		if rowMax[i] >= 0 && (run < 0 || ys[rowMax[i]] > ys[run]) {
+			run = rowMax[i]
+		}
+		rowMax[i] = run
+	}
+	run = -1
+	for i := g - 1; i >= 0; i-- {
+		if rowMin[i] >= 0 && (run < 0 || ys[rowMin[i]] < ys[run]) {
+			run = rowMin[i]
+		}
+		rowMin[i] = run
+	}
+
+	// Prefix-summed count+channel grid: sat[(j*(g+1)+i)*C+c] holds the
+	// totals of anchors in bins [0,i)×[0,j); plane 0 is the anchor count,
+	// planes 1..eff the certified channels as scaled int64 (failing
+	// channels stay zero). Integer arithmetic, so the prefix telescoping
+	// and four-corner differences are exact by construction.
+	C := eff + 1
+	w := g + 1
+	l.sat = resizeI64(l.sat, w*w*C)
+	for i := range l.sat {
+		l.sat[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		bi, bj := binx(xs[i]), biny(ys[i])
+		at := ((bj+1)*w + bi + 1) * C
+		l.sat[at]++
+		cbs := contribs[cOff[i]:cOff[i+1]]
+		scaled := contribsI[cOff[i]:cOff[i+1]]
+		for k := range cbs {
+			l.sat[at+1+cbs[k].Ch] += scaled[k]
+		}
+	}
+	for j := 0; j <= g; j++ {
+		row := j * w * C
+		for i := 1; i <= g; i++ {
+			a := row + i*C
+			for c := 0; c < C; c++ {
+				l.sat[a+c] += l.sat[a-C+c]
+			}
+		}
+	}
+	for j := 1; j <= g; j++ {
+		cur := j * w * C
+		prev := cur - w*C
+		for i := 0; i < w*C; i++ {
+			l.sat[cur+i] += l.sat[prev+i]
+		}
+	}
+
+	// Order-statistic companion: per-bin pre-reduced min/max slot values
+	// behind a 2D sparse table, queried by the fast fill over the
+	// certainly-partial bin regions of each cell.
+	l.hasMM = mmSlots > 0
+	if l.hasMM {
+		l.mm.Reset(g, g, mmSlots)
+		for i := 0; i < n; i++ {
+			bi, bj := binx(xs[i]), biny(ys[i])
+			for _, m := range mms[mOff[i]:mOff[i+1]] {
+				l.mm.Fold(bj, bi, m.Slot, m.V)
+			}
+		}
+		l.mm.Build()
+	}
+}
+
 // tables is the per-query aggregation layer described above. It is built
 // by newSearcher and shared read-only by all kernel workers; the lazily
-// built SAT is protected by satMu.
+// built SAT level is protected by satMu. With a pyramid bound the level
+// slices alias the persistent per-composite structure (shared == true).
 type tables struct {
 	f     *agg.Composite
-	chans int
+	chans int // logical channels (f.Channels())
+	eff   int // grid channels including two-float shadow planes
 
 	sorted bool // master order is (MinX, MinY); windows are usable
 
-	// Fixed-point quantization certificate (see the package note).
-	// chScale/chInv are exact powers of two (1 for integer channels);
-	// contribsI holds the scaled int64 contributions aligned with
-	// contribs, valid wherever chOK. allExact gates the master sort and
-	// the incremental sweep (every float sum exact ⇒ order-free);
-	// anyExact gates the SAT fast path.
+	// Certificates (see the package note). Indexed by eff channel;
+	// two-float channels occupy their logical slot (hi part) plus a
+	// shadow slot in [chans, eff) (lo part); twoOf maps logical channel
+	// -> shadow slot or -1. allExact = every channel plainly certified
+	// (gates the fixed-point mini-sweep); sortExact = every channel
+	// plainly or two-float certified (gates the master sort, windows,
+	// and full SAT coverage); anyExact gates the SAT fast path at all.
 	chOK      []bool
 	chScale   []float64
 	chInv     []float64
+	twoOf     []int32
+	twoCount  int
 	allExact  bool
+	sortExact bool
 	anyExact  bool
 	contribsI []int64
 	certShift []int // certificate scratch (slab reuse)
 	certSum   []float64
+	certOK    []bool
+	certTwo   []twoState
+	certCands []twoCand
 
-	// CSR of the contributions on channels that FAIL the certificate
+	// CSR of the contributions on channels that FAIL both certificates
 	// (built only for mixed composites): the hybrid fill's
 	// difference-array pass iterates these instead of filtering
 	// contribs per rect.
@@ -112,9 +491,10 @@ type tables struct {
 	wmin, wmax float64 // range of rect widths (MaxX-MinX) over the master set
 	hmin, hmax float64
 
-	minXs []float64 // master[i].Rect.MinX, aligned with master order
+	minXs    []float64 // master[i].Rect.MinX, aligned with master order (may alias a Prepared)
+	minXsBuf []float64 // owned backing slab for minXs when not aliased
 
-	// Flattened channel contributions: master[i] contributes
+	// Flattened channel contributions in eff space: master[i] contributes
 	// contribs[cOff[i]:cOff[i+1]]; likewise mm contributions.
 	cOff     []int32
 	contribs []agg.Contrib
@@ -124,22 +504,35 @@ type tables struct {
 	// Accuracy scratch (kept for slab reuse).
 	axs, bxs []float64
 
-	// Query-level SAT over rectangle-anchor (MinX, MinY) bins. sat
-	// carries scaled int64 prefix sums; channel 0 is the anchor count,
-	// channels 1..chans the certified composite channels (failing
-	// channels stay zero). mmBank is the order-statistic companion:
-	// per-bin pre-reduced min/max slot values behind per-row segment
-	// trees.
-	satMu        sync.Mutex
-	satBuilt     atomic.Bool // lock-free fast path for per-cell callers
-	gx, gy       int
-	bx0, by0     float64
-	bxMax, byMax float64 // largest anchor coordinates (see binX)
-	bw, bh       float64
-	sat          []int64 // (gx+1)*(gy+1)*(chans+1) prefix sums
-	binStart     []int32 // gx*gy+1 CSR offsets
-	binIds       []int32 // master ids grouped by bin, ascending within a bin
-	mmBank       segtree.MinMaxRows
+	// SAT hierarchy. With a pyramid bound, lvls aliases the pyramid's
+	// prebuilt levels (fine -> coarse); otherwise ensureLevels lazily
+	// builds the single query-level ownLvl. minYs is build scratch.
+	satMu    sync.Mutex
+	satBuilt atomic.Bool // lock-free fast path for per-cell callers
+	lvls     []*satLevel
+	ownLvl   satLevel
+	minYs    []float64
+
+	// shared marks slices aliased from a Pyramid: reset must drop them
+	// instead of truncating, or later classic builds would append into
+	// the pyramid's read-only memory.
+	shared bool
+	pyr    *Pyramid
+
+	// Retained heavy per-query scratch, recycled across queries through
+	// the SlabCache: the permuted master copy (pyramid binds), the
+	// per-worker discretization grids, sweep solvers and worker buffers.
+	// Keys record the shape they were built for.
+	masterBuf                           []asp.RectObject
+	grids                               []gridBuffers
+	gridNW, gridNCol, gridNRow, gridEff int
+	gridF                               *agg.Composite
+	sweepPool                           []sweep.Solver
+	sweepN, sweepCap                    int
+	sweepF                              *agg.Composite
+	scratchF                            []float64
+	scratchCells                        []cellInfo
+	scratchRects                        []asp.RectObject
 
 	// Recycled id slices handed back by a released Searcher (slab reuse
 	// across Engine queries).
@@ -151,10 +544,19 @@ type tables struct {
 // SlabCache across queries on the same composite).
 func (t *tables) reset() {
 	t.satBuilt.Store(false)
-	t.sat = t.sat[:0]
-	t.binStart = t.binStart[:0]
-	t.binIds = t.binIds[:0]
-	t.minXs = t.minXs[:0]
+	t.lvls = t.lvls[:0]
+	t.pyr = nil
+	t.twoCount = 0
+	t.minXs = nil // a view of minXsBuf or a Prepared's shared array
+	if t.shared {
+		// Aliased pyramid/prepared memory: drop, never truncate.
+		t.shared = false
+		t.cOff, t.contribs, t.contribsI = nil, nil, nil
+		t.mOff, t.mms = nil, nil
+		t.cOffF, t.contribsF = nil, nil
+		t.chOK, t.chScale, t.chInv, t.twoOf = nil, nil, nil, nil
+		return
+	}
 	t.cOff = t.cOff[:0]
 	t.contribs = t.contribs[:0]
 	t.mOff = t.mOff[:0]
@@ -178,42 +580,26 @@ func buildTables(t *tables, master []asp.RectObject, f *agg.Composite, own bool)
 		// churn, which dominates the per-query allocation profile.
 		t.cOff = make([]int32, 0, len(master)+1)
 		t.contribs = make([]agg.Contrib, 0, len(master)+len(master)/4)
-		t.minXs = make([]float64, 0, len(master))
 		t.axs = make([]float64, 0, len(master))
 		t.bxs = make([]float64, 0, len(master))
 	}
 
 	// Pass 1: extent ranges and contribution flattening in current order.
-	t.wmin, t.wmax = math.Inf(1), math.Inf(-1)
-	t.hmin, t.hmax = math.Inf(1), math.Inf(-1)
+	t.measureExtents(master)
 	t.flattenContribs(master)
-	for i := range master {
-		r := &master[i].Rect
-		if w := r.MaxX - r.MinX; true {
-			if w < t.wmin {
-				t.wmin = w
-			}
-			if w > t.wmax {
-				t.wmax = w
-			}
-		}
-		if h := r.MaxY - r.MinY; true {
-			if h < t.hmin {
-				t.hmin = h
-			}
-			if h > t.hmax {
-				t.hmax = h
-			}
-		}
-	}
 	t.computeCertificate()
+	if t.twoCount > 0 {
+		// The certificate added shadow channels; re-flatten so the
+		// contribution tables carry the split (hi, lo) pairs.
+		t.flattenContribs(master)
+	}
 
-	// Fully certified composites get the sorted master (and with it the
+	// Grid-exact composites get the sorted master (and with it the
 	// window and probe machinery). Sorting reorders float summation,
-	// which is harmless exactly when every partial sum is exact — what
-	// the certificate guarantees for every channel.
+	// which is harmless exactly when every grid sum is order-free — what
+	// the plain and two-float certificates jointly guarantee.
 	t.sorted = false
-	if t.allExact && len(master) > 1 {
+	if t.sortExact && len(master) > 1 {
 		if !sort.SliceIsSorted(master, func(a, b int) bool {
 			ra, rb := &master[a].Rect, &master[b].Rect
 			if ra.MinX != rb.MinX {
@@ -234,16 +620,46 @@ func buildTables(t *tables, master []asp.RectObject, f *agg.Composite, own bool)
 			t.flattenContribs(master) // realign with the new order
 		}
 		t.sorted = true
-	} else if t.allExact {
+	} else if t.sortExact {
 		t.sorted = true // 0- and 1-element masters are trivially sorted
 	}
 	t.scaleContribs()
-
-	t.minXs = t.minXs[:0]
-	for i := range master {
-		t.minXs = append(t.minXs, master[i].Rect.MinX)
-	}
+	t.fillMinXs(master)
 	return master
+}
+
+// fillMinXs (re)derives the sorted-order MinX array into the owned slab.
+func (t *tables) fillMinXs(master []asp.RectObject) {
+	t.minXsBuf = t.minXsBuf[:0]
+	for i := range master {
+		t.minXsBuf = append(t.minXsBuf, master[i].Rect.MinX)
+	}
+	t.minXs = t.minXsBuf
+}
+
+// measureExtents records the width/height ranges of the master set.
+func (t *tables) measureExtents(master []asp.RectObject) {
+	t.wmin, t.wmax = math.Inf(1), math.Inf(-1)
+	t.hmin, t.hmax = math.Inf(1), math.Inf(-1)
+	for i := range master {
+		r := &master[i].Rect
+		if w := r.MaxX - r.MinX; true {
+			if w < t.wmin {
+				t.wmin = w
+			}
+			if w > t.wmax {
+				t.wmax = w
+			}
+		}
+		if h := r.MaxY - r.MinY; true {
+			if h < t.hmin {
+				t.hmin = h
+			}
+			if h > t.hmax {
+				t.hmax = h
+			}
+		}
+	}
 }
 
 // fracBits returns the number of binary fraction bits of v — the
@@ -271,30 +687,58 @@ func fracBits(v float64) int {
 	return fb
 }
 
-// computeCertificate derives the per-channel fixed-point certificate
-// from the flattened contributions: the shared power-of-two shift (the
-// maximum fraction-bit count over the channel's values) and the
-// headroom check Σ|v|·2^shift ≤ 2^52. Channels with no contributions
-// pass trivially with shift 0.
+// twoSplit is the error-free splitting used by the two-float fallback:
+// hi is v rounded to the nearest multiple of 2^-sHi, lo the remainder.
+// Both operations are exact when the certificate's guards hold
+// (|v|·2^sHi ≤ 2^52 keeps the rounded integer exact; v and hi agree in
+// their leading bits, so the subtraction is exact à la Sterbenz).
+func twoSplit(v, scaleHi, invHi float64) (hi, lo float64) {
+	hi = math.RoundToEven(v*scaleHi) * invHi
+	return hi, v - hi
+}
+
+// twoState is the per-channel accumulator of the two-float
+// certification pass; twoCand a channel that passed it. Both live on
+// retained tables scratch so the per-query classic build allocates
+// nothing here.
+type twoState struct {
+	scaleHi, invHi float64
+	sumHi, sumLo   float64
+	fbLo           int
+	ok             bool
+}
+
+type twoCand struct {
+	ch             int
+	scaleHi, invHi float64
+	scaleLo, invLo float64
+}
+
+// computeCertificate derives the per-channel fixed-point certificates
+// from the flattened contributions: first the plain certificate (the
+// shared power-of-two shift and the headroom check Σ|v|·2^shift ≤
+// 2^52), then the two-float fallback for channels the plain pass
+// rejects. Channels with no contributions pass trivially with shift 0.
+// On exit chOK/chScale/chInv cover the eff channel space (logical
+// channels plus one shadow per two-float channel) and twoOf maps each
+// logical channel to its shadow slot (-1 for none).
 func (t *tables) computeCertificate() {
 	c := t.chans
-	if cap(t.chOK) < c {
-		t.chOK = make([]bool, c)
-		t.chScale = make([]float64, c)
-		t.chInv = make([]float64, c)
+	if cap(t.certShift) < c {
 		t.certShift = make([]int, c)
 		t.certSum = make([]float64, c)
 	}
-	t.chOK = t.chOK[:c]
-	t.chScale = t.chScale[:c]
-	t.chInv = t.chInv[:c]
+	if cap(t.twoOf) < c {
+		t.twoOf = make([]int32, c)
+	}
+	t.twoOf = t.twoOf[:c]
 	shift := t.certShift[:c]
 	sumAbs := t.certSum[:c]
 	for ch := range shift {
 		shift[ch] = 0
 		sumAbs[ch] = 0
+		t.twoOf[ch] = -1
 	}
-	ok := true
 	for i := range t.contribs {
 		cb := &t.contribs[i]
 		if fb := fracBits(cb.V); fb > shift[cb.Ch] {
@@ -302,21 +746,128 @@ func (t *tables) computeCertificate() {
 		}
 		sumAbs[cb.Ch] += math.Abs(cb.V)
 	}
-	t.allExact, t.anyExact = true, false
+
+	// Plain pass. plainOK is computed into retained scratch first because
+	// the two-float pass below needs per-channel outcomes before the eff
+	// layout (and with it chOK's final length) is known.
+	if cap(t.certOK) < c {
+		t.certOK = make([]bool, c)
+	}
+	plainOK := t.certOK[:c]
+	cands := t.certCands[:0]
 	for ch := 0; ch < c; ch++ {
-		ok = shift[ch] <= maxShift
+		ok := shift[ch] <= maxShift
 		if ok {
+			ok = sumAbs[ch]*math.Ldexp(1, shift[ch]) <= maxScaledSum
+		}
+		plainOK[ch] = ok
+	}
+
+	// Two-float fallback for failing channels: choose each channel's hi
+	// grid from its total mass, then verify — in ONE pass over the
+	// flattened contributions, not one per channel — that every value
+	// splits exactly and both halves fit their headroom.
+	var states []twoState
+	pending := 0
+	for ch := 0; ch < c; ch++ {
+		if plainOK[ch] || sumAbs[ch] == 0 ||
+			math.IsInf(sumAbs[ch], 0) || math.IsNaN(sumAbs[ch]) {
+			continue
+		}
+		_, e := math.Frexp(sumAbs[ch]) // sumAbs < 2^e
+		sHi := 51 - e
+		if sHi > maxShift {
+			sHi = maxShift
+		}
+		if sHi < -1000 {
+			continue
+		}
+		if states == nil {
+			if cap(t.certTwo) < c {
+				t.certTwo = make([]twoState, c)
+			}
+			states = t.certTwo[:c]
+			for i := range states {
+				states[i] = twoState{}
+			}
+		}
+		states[ch] = twoState{
+			scaleHi: math.Ldexp(1, sHi),
+			invHi:   math.Ldexp(1, -sHi),
+			ok:      true,
+		}
+		pending++
+	}
+	if pending > 0 {
+		for i := range t.contribs {
+			cb := &t.contribs[i]
+			st := &states[cb.Ch]
+			if !st.ok {
+				continue
+			}
+			hi, lo := twoSplit(cb.V, st.scaleHi, st.invHi)
+			if hi+lo != cb.V || math.IsNaN(hi) || math.IsInf(hi, 0) {
+				st.ok = false
+				continue
+			}
+			st.sumHi += math.Abs(hi)
+			st.sumLo += math.Abs(lo)
+			if fb := fracBits(lo); fb > st.fbLo {
+				st.fbLo = fb
+			}
+		}
+		for ch := 0; ch < c; ch++ {
+			st := &states[ch]
+			if !st.ok || st.scaleHi == 0 {
+				continue
+			}
+			if st.fbLo > maxShift ||
+				st.sumHi*st.scaleHi > maxScaledSum || st.sumLo*math.Ldexp(1, st.fbLo) > maxScaledSum {
+				continue
+			}
+			cands = append(cands, twoCand{
+				ch:      ch,
+				scaleHi: st.scaleHi, invHi: st.invHi,
+				scaleLo: math.Ldexp(1, st.fbLo), invLo: math.Ldexp(1, -st.fbLo),
+			})
+		}
+	}
+
+	t.twoCount = len(cands)
+	t.eff = c + t.twoCount
+	if cap(t.chOK) < t.eff {
+		t.chOK = make([]bool, t.eff)
+		t.chScale = make([]float64, t.eff)
+		t.chInv = make([]float64, t.eff)
+	}
+	t.chOK = t.chOK[:t.eff]
+	t.chScale = t.chScale[:t.eff]
+	t.chInv = t.chInv[:t.eff]
+	for ch := 0; ch < c; ch++ {
+		t.chOK[ch] = plainOK[ch]
+		if plainOK[ch] {
 			t.chScale[ch] = math.Ldexp(1, shift[ch])
 			t.chInv[ch] = math.Ldexp(1, -shift[ch])
-			ok = sumAbs[ch]*t.chScale[ch] <= maxScaledSum
-		}
-		if !ok {
+		} else {
 			t.chScale[ch], t.chInv[ch] = 1, 1
 		}
-		t.chOK[ch] = ok
-		t.allExact = t.allExact && ok
-		t.anyExact = t.anyExact || ok
 	}
+	for k, cd := range cands {
+		sh := c + k
+		t.twoOf[cd.ch] = int32(sh)
+		t.chOK[cd.ch] = true
+		t.chScale[cd.ch], t.chInv[cd.ch] = cd.scaleHi, cd.invHi
+		t.chOK[sh] = true
+		t.chScale[sh], t.chInv[sh] = cd.scaleLo, cd.invLo
+	}
+
+	t.allExact, t.sortExact, t.anyExact = true, true, false
+	for ch := 0; ch < c; ch++ {
+		t.allExact = t.allExact && plainOK[ch]
+		t.sortExact = t.sortExact && t.chOK[ch]
+		t.anyExact = t.anyExact || t.chOK[ch]
+	}
+	t.certCands = cands[:0] // retain capacity for the next build
 }
 
 // scaleContribs materializes the scaled int64 contributions (aligned
@@ -342,7 +893,7 @@ func (t *tables) scaleContribs() {
 			t.contribsI[i] = 0
 		}
 	}
-	if t.allExact {
+	if t.sortExact {
 		t.cOffF = t.cOffF[:0]
 		t.contribsF = t.contribsF[:0]
 		return
@@ -361,7 +912,7 @@ func (t *tables) scaleContribs() {
 }
 
 // rectFailContribs returns master[id]'s contributions on channels that
-// failed the certificate (mixed composites only).
+// failed both certificates (mixed composites only).
 func (t *tables) rectFailContribs(id int32) []agg.Contrib {
 	return t.contribsF[t.cOffF[id]:t.cOffF[id+1]]
 }
@@ -373,12 +924,28 @@ func (t *tables) rectContribsI(id int32) []int64 {
 }
 
 // flattenContribs (re)fills the per-rect contribution tables in master
-// order.
+// order. After computeCertificate has registered two-float channels
+// (twoCount > 0), each contribution on such a channel is split in place
+// into its hi part (logical slot) plus an appended lo part (shadow
+// slot), so every consumer of the flattened tables sees the eff-space
+// layout.
 func (t *tables) flattenContribs(master []asp.RectObject) {
 	t.cOff = append(t.cOff[:0], 0)
 	t.contribs = t.contribs[:0]
 	for i := range master {
+		start := len(t.contribs)
 		t.contribs = t.f.AppendContribs(master[i].Obj, t.contribs)
+		if t.twoCount > 0 {
+			end := len(t.contribs)
+			for k := start; k < end; k++ {
+				cb := &t.contribs[k]
+				if sh := t.twoOf[cb.Ch]; sh >= 0 {
+					hi, lo := twoSplit(cb.V, t.chScale[cb.Ch], t.chInv[cb.Ch])
+					cb.V = hi
+					t.contribs = append(t.contribs, agg.Contrib{Ch: int(sh), V: lo})
+				}
+			}
+		}
 		t.cOff = append(t.cOff, int32(len(t.contribs)))
 	}
 	if t.f.MinMaxSlots() > 0 {
@@ -389,6 +956,25 @@ func (t *tables) flattenContribs(master []asp.RectObject) {
 			t.mOff = append(t.mOff, int32(len(t.mms)))
 		}
 	}
+}
+
+// fold collapses an eff-space cell vector into the logical channel
+// space: two-float channels get their shadow (lo) plane added onto the
+// hi plane — one rounding of the exactly represented true sum — and
+// plain channels pass through. Returns src itself when there is nothing
+// to fold, so the common case costs nothing.
+func (t *tables) fold(dst, src []float64) []float64 {
+	if t.twoCount == 0 {
+		return src
+	}
+	dst = dst[:t.chans]
+	copy(dst, src[:t.chans])
+	for ch, sh := range t.twoOf {
+		if sh >= 0 {
+			dst[ch] += src[sh]
+		}
+	}
+	return dst
 }
 
 // rectContribs returns master[id]'s flattened channel contributions.
@@ -402,10 +988,10 @@ func (t *tables) rectMM(id int32) []agg.MMContrib {
 }
 
 // satUsable reports whether discretize may use the SAT-backed fast
-// fill: at least one channel must carry the fixed-point certificate
-// (counts and the min/max companion then ride along; channels that
-// failed are filled by the hybrid difference-array pass in unchanged
-// master order). Composites whose every channel fails keep the classic
+// fill: at least one channel must carry a certificate (counts and the
+// min/max companion then ride along; channels that failed are filled by
+// the hybrid difference-array pass in unchanged master order).
+// Composites whose every channel fails keep the classic
 // difference-array path, byte-for-byte the pre-SAT behavior.
 func (t *tables) satUsable() bool { return t.anyExact }
 
@@ -486,7 +1072,7 @@ func (t *tables) window(x0, x1 float64) (int, int) {
 	return lo, hi
 }
 
-// ---- Query-level SAT ----
+// ---- SAT level management ----
 
 // satGrid picks the bin granularity for n anchors.
 func satGrid(n int) int {
@@ -500,12 +1086,14 @@ func satGrid(n int) int {
 	return g
 }
 
-// ensureSAT lazily builds the summed-area table over the master anchors.
+// ensureLevels lazily provides the SAT hierarchy. With a pyramid bound
+// the levels were aliased at construction and this is a no-op; otherwise
+// one query-level SAT is built over the master anchors on first demand.
 // Many queries never pop a space large enough to want it, so the build
 // cost is deferred to the first large discretization. Safe for
 // concurrent workers; the build result is deterministic, so it does not
 // matter which worker wins the race for the lock.
-func (t *tables) ensureSAT(master []asp.RectObject) {
+func (t *tables) ensureLevels(master []asp.RectObject) {
 	if t.satBuilt.Load() {
 		return
 	}
@@ -515,189 +1103,89 @@ func (t *tables) ensureSAT(master []asp.RectObject) {
 		return
 	}
 	n := len(master)
-	g := satGrid(n)
-	t.gx, t.gy = g, g
-
-	bx0, by0 := math.Inf(1), math.Inf(1)
-	bx1, by1 := math.Inf(-1), math.Inf(-1)
+	if cap(t.minYs) < n {
+		t.minYs = make([]float64, 0, n)
+	}
+	t.minYs = t.minYs[:0]
 	for i := range master {
-		r := &master[i].Rect
-		if r.MinX < bx0 {
-			bx0 = r.MinX
-		}
-		if r.MinX > bx1 {
-			bx1 = r.MinX
-		}
-		if r.MinY < by0 {
-			by0 = r.MinY
-		}
-		if r.MinY > by1 {
-			by1 = r.MinY
-		}
+		t.minYs = append(t.minYs, master[i].Rect.MinY)
 	}
-	t.bx0, t.by0 = bx0, by0
-	t.bxMax, t.byMax = bx1, by1
-	t.bw = (bx1 - bx0) / float64(g)
-	t.bh = (by1 - by0) / float64(g)
-	if !(t.bw > 0) {
-		t.bw = 1
-	}
-	if !(t.bh > 0) {
-		t.bh = 1
-	}
-
-	// CSR bins via counting sort (stable: ids ascend within each bin).
-	nb := g * g
-	t.binStart = resizeInt32(t.binStart, nb+1)
-	for i := range t.binStart {
-		t.binStart[i] = 0
-	}
-	binOf := func(r *geom.Rect) int {
-		bi := int((r.MinX - bx0) / t.bw)
-		bj := int((r.MinY - by0) / t.bh)
-		if bi >= g {
-			bi = g - 1
-		}
-		if bj >= g {
-			bj = g - 1
-		}
-		return bj*g + bi
-	}
-	for i := range master {
-		t.binStart[binOf(&master[i].Rect)+1]++
-	}
-	for b := 0; b < nb; b++ {
-		t.binStart[b+1] += t.binStart[b]
-	}
-	t.binIds = resizeInt32(t.binIds, n)
-	fill := append([]int32(nil), t.binStart[:nb]...)
-	for i := range master {
-		b := binOf(&master[i].Rect)
-		t.binIds[fill[b]] = int32(i)
-		fill[b]++
-	}
-
-	// Prefix-summed count+channel grid: sat[(j*(g+1)+i)*C+c] holds the
-	// totals of anchors in bins [0,i)×[0,j); channel 0 is the anchor
-	// count, channels 1..chans the certified composite channels as
-	// scaled int64 (failing channels stay zero). Integer arithmetic, so
-	// the prefix telescoping and four-corner differences are exact by
-	// construction.
-	C := t.chans + 1
-	t.sat = resizeI64(t.sat, (g+1)*(g+1)*C)
-	for i := range t.sat {
-		t.sat[i] = 0
-	}
-	w := g + 1
-	for i := range master {
-		b := binOf(&master[i].Rect)
-		bi, bj := b%g, b/g
-		at := ((bj+1)*w + bi + 1) * C
-		t.sat[at]++
-		contribs := t.rectContribs(int32(i))
-		scaled := t.rectContribsI(int32(i))
-		for k := range contribs {
-			t.sat[at+1+contribs[k].Ch] += scaled[k]
-		}
-	}
-	for j := 0; j <= g; j++ {
-		row := j * w * C
-		for i := 1; i <= g; i++ {
-			a := row + i*C
-			for c := 0; c < C; c++ {
-				t.sat[a+c] += t.sat[a-C+c]
-			}
-		}
-	}
-	for j := 1; j <= g; j++ {
-		cur := j * w * C
-		prev := cur - w*C
-		for i := 0; i < w*C; i++ {
-			t.sat[cur+i] += t.sat[prev+i]
-		}
-	}
-
-	// Order-statistic companion: per-bin pre-reduced min/max slot values
-	// behind per-row segment trees, queried by the fast fill over the
-	// certainly-partial bin regions of each cell.
-	if slots := t.f.MinMaxSlots(); slots > 0 {
-		t.mmBank.Reset(g, g, slots)
-		for i := range master {
-			b := binOf(&master[i].Rect)
-			bi, bj := b%g, b/g
-			for _, m := range t.rectMM(int32(i)) {
-				t.mmBank.Fold(bj, bi, m.Slot, m.V)
-			}
-		}
-		t.mmBank.Build()
-	}
+	mmSlots := t.f.MinMaxSlots()
+	buildSATLevel(&t.ownLvl, satGrid(n), t.minXs, t.minYs, t.eff,
+		t.cOff, t.contribs, t.contribsI, t.mOff, t.mms, mmSlots)
+	t.lvls = append(t.lvls[:0], &t.ownLvl)
 	t.satBuilt.Store(true)
 }
 
-// binX maps an x coordinate to its bin column for threshold purposes:
-// values below every bin map to -1, and values are mapped to the
-// (gx) "above everything" sentinel only when they strictly exceed the
-// largest anchor. The latter guard matters because anchors at the grid's
-// far edge are clamped into the last bin: a threshold inside the last
-// bin's float-rounded overshoot must keep that bin in the exactly
-// tested ring, or anchors beyond the threshold would be mis-counted by
-// the interior four-corner sum. binY likewise.
-func (t *tables) binX(x float64) int {
-	v := math.Floor((x - t.bx0) / t.bw)
-	if v < 0 {
-		return -1
-	}
-	if v >= float64(t.gx) {
-		if x > t.bxMax {
-			return t.gx
-		}
-		return t.gx - 1
-	}
-	return int(v)
-}
-
-func (t *tables) binY(y float64) int {
-	v := math.Floor((y - t.by0) / t.bh)
-	if v < 0 {
-		return -1
-	}
-	if v >= float64(t.gy) {
-		if y > t.byMax {
-			return t.gy
-		}
-		return t.gy - 1
-	}
-	return int(v)
-}
-
-// satRegion adds the count+channel totals of anchors in bins
-// [i0,i1)×[j0,j1) into out (length chans+1, scaled int64) via a
-// four-corner lookup.
-func (t *tables) satRegion(i0, i1, j0, j1 int, out []int64) {
-	if i0 < 0 {
-		i0 = 0
-	}
-	if j0 < 0 {
-		j0 = 0
-	}
-	if i1 > t.gx {
-		i1 = t.gx
-	}
-	if j1 > t.gy {
-		j1 = t.gy
-	}
+// spaceDensity estimates the anchor density of the space's anchor box —
+// the (MinX, MinY) region that can hold anchors of rectangles touching
+// the space — by reading the finest level's count plane (an O(1)
+// four-corner lookup). Using the measured local count instead of the
+// global average matters on clustered corpora, where the interesting
+// spaces sit at densities orders of magnitude above the mean.
+func (t *tables) spaceDensity(master []asp.RectObject, space geom.Rect) float64 {
+	l := t.lvls[0]
+	i0 := l.xBinLE(master, space.MinX-t.wmax, true)
+	i1 := l.xBinGT(master, space.MaxX, true)
+	j0 := l.yBinLE(master, space.MinY-t.hmax, true)
+	j1 := l.yBinGT(master, space.MaxY, true)
 	if i0 >= i1 || j0 >= j1 {
-		return
+		return 0
 	}
-	C := t.chans + 1
-	w := t.gx + 1
-	a := (j1*w + i1) * C
-	b := (j0*w + i1) * C
-	c := (j1*w + i0) * C
-	d := (j0*w + i0) * C
-	for ch := 0; ch < C; ch++ {
-		out[ch] += t.sat[a+ch] - t.sat[b+ch] - t.sat[c+ch] + t.sat[d+ch]
+	cnt := l.countRegion(i0, i1, j0, j1)
+	area := float64(i1-i0) * l.bw * float64(j1-j0) * l.bh
+	if !(area > 0) {
+		return 0
 	}
+	return float64(cnt) / area
+}
+
+// levelCost estimates the SAT-fill work for one discretization at this
+// level: per cell, the boundary ring is a band of ~one bin around the
+// anchor box, so it holds ≈ ρ·(bw·boxH + bh·boxW) anchors (ρ = local
+// anchor density) spread over ≈ boxH/bh + boxW/bw bins, all doubled for
+// the full + overlap rings, plus a constant per cell for the binary
+// searches and four-corner lookups. The constants weight an anchor test
+// against a bin visit (an anchor test walks contributions; a bin visit
+// is two loads).
+func (t *tables) levelCost(l *satLevel, rho float64, ncol, nrow int, cw, chh float64) float64 {
+	boxW := cw + t.wmax - t.wmin + 2*l.bw
+	boxH := chh + t.hmax - t.hmin + 2*l.bh
+	ringAnchors := rho * 2 * (l.bw*boxH + l.bh*boxW)
+	ringBins := 2 * (boxH/l.bh + boxW/l.bw)
+	perCell := 2*(2*ringAnchors+0.3*ringBins) + 16
+	return float64(ncol*nrow) * perCell
+}
+
+// pickLevel selects the SAT resolution for a discretization of the
+// space with cell extents (cw, chh): the level whose estimated ring
+// work is smallest, and that estimate (for the caller's
+// SAT-vs-difference-array decision). Any level yields bit-identical
+// fills — the threshold certification is conservative and the ring scan
+// exact — so this is purely a performance choice, and it depends only
+// on deterministic quantities, so the answer trajectory stays
+// reproducible.
+func (t *tables) pickLevel(master []asp.RectObject, space geom.Rect, ncol, nrow int, cw, chh float64) (*satLevel, float64) {
+	rho := t.spaceDensity(master, space)
+	best := t.lvls[0]
+	bestCost := t.levelCost(best, rho, ncol, nrow, cw, chh)
+	for _, l := range t.lvls[1:] {
+		if c := t.levelCost(l, rho, ncol, nrow, cw, chh); c < bestCost {
+			best, bestCost = l, c
+		}
+	}
+	return best, bestCost
+}
+
+// diffCost estimates the difference-array fill's work for a subset of
+// the given size: each rectangle range-adds its contributions at four
+// corners, plus the prefix integration over the padded grid.
+func (t *tables) diffCost(ids, ncol, nrow int) float64 {
+	avgContribs := 1.0
+	if n := len(t.cOff) - 1; n > 0 {
+		avgContribs = float64(len(t.contribs)) / float64(n)
+	}
+	return float64(ids)*(4*avgContribs+8) + float64((ncol+1)*(nrow+1)*(t.eff+1))
 }
 
 // resizeInt32 returns a slice of length n reusing capacity.
@@ -719,10 +1207,12 @@ func resizeI64(v []int64, n int) []int64 {
 // ---- Slab cache ----
 
 // SlabCache recycles the per-query table slabs (sorted coordinate
-// arrays, contribution tables, SAT grids, id-slice arenas) across
-// searches. An Engine holds one per composite so that steady-state
-// serving rebuilds table *contents* each query but reallocates nothing.
-// Safe for concurrent use; the zero value is ready.
+// arrays, contribution tables, SAT grids, discretization grids, sweep
+// solvers, id-slice arenas) across searches. An Engine holds one per
+// composite so that steady-state serving rebuilds table *contents* each
+// query but reallocates nothing — and batches of queries reuse the same
+// per-worker scratch query after query. Safe for concurrent use; the
+// zero value is ready.
 type SlabCache struct {
 	mu   sync.Mutex
 	free []*tables

@@ -81,7 +81,7 @@ func fillBoth(t *testing.T, rects []asp.RectObject, f *agg.Composite, space, cli
 		t.Fatal("composite should be integer-exact and SAT-usable")
 	}
 	w := s.workers[0]
-	w.grid = newGridBuffers(ncol, nrow, f)
+	w.grid = newGridBuffers(ncol, nrow, f, s.tab.eff)
 	g := w.grid
 	ids := s.AppendWindowIDs(clip, nil)
 
@@ -107,8 +107,8 @@ func fillBoth(t *testing.T, rects []asp.RectObject, f *agg.Composite, space, cli
 	}
 	w.fillGridDiff(space, ids, cw, chh)
 	diffFull, diffPart, diffCnt = grab()
-	s.tab.ensureSAT(s.rects)
-	w.fillGridSAT(clip)
+	s.tab.ensureLevels(s.rects)
+	w.fillGridSAT(clip, nil)
 	satFull, satPart, satCnt = grab()
 	return
 }
@@ -170,10 +170,11 @@ func TestSATFillBitIdentical(t *testing.T) {
 	}
 }
 
-// TestSATNotUsableForFloatChannels: composites with non-integer
-// contributions must keep the difference-array path (and the original
-// master order).
-func TestSATNotUsableForFloatChannels(t *testing.T) {
+// TestSATNotUsableForUnsplittableChannels: composites whose
+// contributions defeat both the plain fixed-point certificate and the
+// two-float fallback (denormal tails on both signs) must keep the
+// difference-array path and the original master order.
+func TestSATNotUsableForUnsplittableChannels(t *testing.T) {
 	schema, err := attr.NewSchema(attr.Attribute{Name: "v", Kind: attr.Numeric})
 	if err != nil {
 		t.Fatal(err)
@@ -187,7 +188,14 @@ func TestSATNotUsableForFloatChannels(t *testing.T) {
 	rects := make([]asp.RectObject, 50)
 	for i := range rects {
 		x, y := rng.Float64()*10, rng.Float64()*10
-		objs[i] = attr.Object{Loc: geom.Point{X: x, Y: y}, Values: []attr.Value{{Num: rng.NormFloat64()}}}
+		v := rng.NormFloat64()
+		switch i % 8 {
+		case 0:
+			v = 5e-324
+		case 3:
+			v = -5e-324
+		}
+		objs[i] = attr.Object{Loc: geom.Point{X: x, Y: y}, Values: []attr.Value{{Num: v}}}
 		rects[i] = asp.RectObject{Rect: geom.Rect{MinX: x - 1, MinY: y - 1, MaxX: x, MaxY: y}, Obj: &objs[i]}
 	}
 	q := asp.Query{F: f, Target: []float64{0}}
@@ -196,11 +204,11 @@ func TestSATNotUsableForFloatChannels(t *testing.T) {
 		t.Fatal(err)
 	}
 	if s.tab.allExact || s.tab.anyExact || s.tab.sorted || s.tab.satUsable() {
-		t.Fatalf("float composite must not enable the SAT layer: allExact=%v anyExact=%v", s.tab.allExact, s.tab.anyExact)
+		t.Fatalf("unsplittable composite must not enable the SAT layer: allExact=%v anyExact=%v", s.tab.allExact, s.tab.anyExact)
 	}
 	for i := range rects {
 		if s.rects[i].Obj != rects[i].Obj {
-			t.Fatal("master order changed for a float composite")
+			t.Fatal("master order changed for an unsplittable composite")
 		}
 	}
 }

@@ -59,7 +59,7 @@ func Solve(idx *Index, rects []asp.RectObject, q asp.Query, a, b float64, opt ds
 	// Seed the incumbent with the empty covering set.
 	space := asp.Space(rects)
 	emptyP := asp.EmptyCandidate(space)
-	emptyRep := asp.PointRepresentation(rects, q.F, emptyP)
+	emptyRep := searcher.PointRepresentation(emptyP)
 	searcher.SeedBest(asp.Result{Point: emptyP, Dist: q.Distance(emptyRep), Rep: emptyRep})
 
 	if len(rects) > 0 {
@@ -108,7 +108,7 @@ func Solve(idx *Index, rects []asp.RectObject, q asp.Query, a, b float64, opt ds
 	}
 
 	best := searcher.Best()
-	best.Rep = asp.PointRepresentation(rects, q.F, best.Point)
+	best.Rep = searcher.PointRepresentation(best.Point)
 	best.Dist = q.Distance(best.Rep)
 	stats.DS = searcher.Stats
 	return best, stats, nil

@@ -17,7 +17,10 @@
 //     beat it.
 //  2. Pop a fixed-size batch of spaces (batchSize, independent of the
 //     worker count) that survive the snapshot threshold.
-//  3. Process the batch's spaces concurrently. Each space is a pure
+//  3. Process the batch's spaces concurrently under work stealing: the
+//     batch is split into per-worker deques (contiguous index blocks);
+//     each worker pops from the front of its own deque and, when it runs
+//     dry, steals from the back of a victim's. Each space is a pure
 //     function of (space, snapshot): workers start from the snapshot
 //     incumbent, improve it locally with candidates found inside the
 //     space, and collect child spaces. Workers never observe each other's
@@ -28,13 +31,27 @@
 //
 // Every structural decision therefore depends only on deterministic
 // state, so the final answer — and every intermediate heap state — is
-// bit-identical for any worker count and any goroutine schedule. The
-// price is bound freshness: a worker prunes against the optimum as of the
-// round start rather than the freshest global value, wasting at most one
-// batch of lookahead near convergence. The exactness theorems and the
-// (1+δ) guarantee carry over unchanged: a space is only discarded when
-// its lower bound reaches a threshold derived from some already-achieved
-// answer distance, exactly as in the sequential pseudocode.
+// bit-identical for any worker count and any goroutine schedule. Work
+// stealing does not weaken this: each batch item's outcome is recorded
+// in its own slot regardless of which worker processed it, processing is
+// pure in (item, snapshot), and the merge at the barrier walks slots in
+// batch order — so stealing only changes *which CPU* runs an item, never
+// what the item computes or when its children enter the heap. The price
+// of supersteps is bound freshness: a worker prunes against the optimum
+// as of the round start rather than the freshest global value, wasting
+// at most one batch of lookahead near convergence. The exactness
+// theorems and the (1+δ) guarantee carry over unchanged: a space is only
+// discarded when its lower bound reaches a threshold derived from some
+// already-achieved answer distance, exactly as in the sequential
+// pseudocode.
+//
+// Stealing exists because space costs are heavily skewed: one space near
+// the optimum boundary can cost orders of magnitude more than its batch
+// peers (deep refinement, large mini-sweeps). A fixed partition would
+// idle every other worker behind the straggler for the rest of the
+// round; with deques the idle workers drain the straggler's remaining
+// items instead, which is exactly the skew that batched serving
+// workloads expose.
 package kernel
 
 import (
@@ -106,19 +123,52 @@ type outcome struct {
 	emit     func(Item)
 }
 
+// deque is one worker's share of a superstep batch: a contiguous index
+// range packed into a single atomic word (lo in the high half, hi
+// exclusive in the low half). The owner pops from the front (lo++),
+// thieves steal from the back (hi--); both sides race through CAS on
+// the one word, so every item is claimed exactly once.
+type deque struct {
+	_ [56]byte // pad to a cache line so deques don't false-share
+	b atomic.Uint64
+}
+
+func (d *deque) set(lo, hi int) { d.b.Store(uint64(lo)<<32 | uint64(hi)) }
+
+// take claims one item: the front item when front is true (owner), the
+// back item otherwise (thief). ok=false means the deque is empty.
+func (d *deque) take(front bool) (int, bool) {
+	for {
+		b := d.b.Load()
+		lo, hi := int(b>>32), int(b&0xffffffff)
+		if lo >= hi {
+			return 0, false
+		}
+		if front {
+			if d.b.CompareAndSwap(b, uint64(lo+1)<<32|uint64(hi)) {
+				return lo, true
+			}
+		} else {
+			if d.b.CompareAndSwap(b, uint64(lo)<<32|uint64(hi-1)) {
+				return hi - 1, true
+			}
+		}
+	}
+}
+
 // Run drives the best-first loop to exhaustion and returns heap work
-// counters (total pushes including seeds, and the maximum heap size).
-// batchSize is the superstep batch width (values <= 0 select
-// DefaultBatchSize); like the worker count it is a throughput knob —
-// answers are deterministic for any fixed batch size, and the search
-// packages' determinism tests assert they do not depend on it either.
-// bound carries the incumbent in and the final answer out. release, when
-// non-nil, is called exactly once for every emitted item that Run drops
-// without handing it to process (children pruned at the merge barrier,
-// and heap leftovers when the bound terminates the loop), so processors
-// that pool per-item resources can reclaim them; processed items are the
-// processor's own responsibility.
-func Run(workers, batchSize int, seeds []Item, bound *Bound, process ProcessFunc, release func(Item)) (pushes, maxHeap int) {
+// counters (total pushes including seeds, the maximum heap size, and the
+// number of within-superstep steals). batchSize is the superstep batch
+// width (values <= 0 select DefaultBatchSize); like the worker count it
+// is a throughput knob — answers are deterministic for any fixed batch
+// size, and the search packages' determinism tests assert they do not
+// depend on it either. bound carries the incumbent in and the final
+// answer out. release, when non-nil, is called exactly once for every
+// emitted item that Run drops without handing it to process (children
+// pruned at the merge barrier, and heap leftovers when the bound
+// terminates the loop), so processors that pool per-item resources can
+// reclaim them; processed items are the processor's own responsibility.
+func Run(workers, batchSize int, seeds []Item, bound *Bound, process ProcessFunc, release func(Item)) (pushes, maxHeap, steals int) {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
@@ -140,25 +190,50 @@ func Run(workers, batchSize int, seeds []Item, bound *Bound, process ProcessFunc
 	// at the first multi-item round) and parked between supersteps, so the
 	// per-op allocation count does not grow with the worker count the way
 	// per-round goroutine spawning would make it. Coordinator → worker
-	// round state (batch, outs, incumbent, n) is published before the
-	// start-channel sends and read back after the done-channel receives,
-	// so the channel operations order all access.
+	// round state (batch, outs, deques, incumbent, n) is published before
+	// the start-channel sends and read back after the done-channel
+	// receives, so the channel operations order all access.
 	var (
 		n         int
 		incumbent asp.Result
-		next      atomic.Int64
+		deques    []deque
+		stolen    atomic.Int64
 		start     chan bool // one token per worker per round; false = quit
 		done      chan struct{}
 		spawned   int
 	)
+	// runRound is the work-stealing loop of one worker: drain the front
+	// of the worker's own deque, then steal single items from the back of
+	// the other workers' deques until a full victim scan comes up empty.
+	// Item i's outcome lands in outs[i] no matter who ran it, so the
+	// merge below is oblivious to the schedule.
 	runRound := func(w int) {
 		for {
-			i := int(next.Add(1)) - 1
-			if i >= n {
-				return
+			i, ok := deques[w].take(true)
+			if !ok {
+				break
 			}
 			o := &outs[i]
 			o.best = process(w, batch[i], incumbent, o.emit)
+		}
+		for {
+			hit := false
+			for off := 1; off < workers; off++ {
+				v := w + off
+				if v >= workers {
+					v -= workers
+				}
+				if i, ok := deques[v].take(false); ok {
+					stolen.Add(1)
+					o := &outs[i]
+					o.best = process(w, batch[i], incumbent, o.emit)
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return
+			}
 		}
 	}
 	defer func() {
@@ -204,6 +279,7 @@ func Run(workers, batchSize int, seeds []Item, bound *Bound, process ProcessFunc
 			if spawned == 0 {
 				start = make(chan bool)
 				done = make(chan struct{})
+				deques = make([]deque, workers)
 				for w := 1; w < workers; w++ {
 					go func(w int) {
 						for <-start {
@@ -214,7 +290,18 @@ func Run(workers, batchSize int, seeds []Item, bound *Bound, process ProcessFunc
 				}
 				spawned = workers - 1
 			}
-			next.Store(0)
+			// Deal the batch into contiguous per-worker blocks. Workers
+			// whose block is empty go straight to stealing.
+			per, rem := n/workers, n%workers
+			lo := 0
+			for w := 0; w < workers; w++ {
+				hi := lo + per
+				if w < rem {
+					hi++
+				}
+				deques[w].set(lo, hi)
+				lo = hi
+			}
 			for i := 0; i < spawned; i++ {
 				start <- true
 			}
@@ -250,5 +337,5 @@ func Run(workers, batchSize int, seeds []Item, bound *Bound, process ProcessFunc
 			release(h.Pop())
 		}
 	}
-	return pushes, maxHeap
+	return pushes, maxHeap, int(stolen.Load())
 }

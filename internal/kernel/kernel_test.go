@@ -196,7 +196,7 @@ func TestRunReleasesDroppedItems(t *testing.T) {
 	bound := NewBound(0, asp.Result{Dist: 1e18})
 	released := 0
 	processed := 0
-	pushes, _ := Run(1, 0, []Item{{LB: 0}}, bound,
+	pushes, _, _ := Run(1, 0, []Item{{LB: 0}}, bound,
 		func(w int, it Item, inc asp.Result, emit func(Item)) asp.Result {
 			processed++
 			// First item finds the optimum and emits children that the
@@ -220,6 +220,75 @@ func TestRunReleasesDroppedItems(t *testing.T) {
 	}
 	if pushes != 1 {
 		t.Fatalf("pushes = %d, want 1 (seed only)", pushes)
+	}
+}
+
+// TestRunWorkSteals drives one wide superstep with a pathologically
+// skewed cost profile — the first items of the batch (worker 0's deque
+// block) sleep while the rest are instant — and asserts (a) idle workers
+// steal the straggler's remaining items, and (b) the answer stays
+// bit-identical to the sequential run, steals and all.
+func TestRunWorkSteals(t *testing.T) {
+	const items = 12
+	solve := func(workers int) (asp.Result, int) {
+		bound := NewBound(0, asp.Result{Dist: 1e18})
+		seeds := make([]Item, items)
+		for i := range seeds {
+			seeds[i] = Item{LB: 0, Space: geom.Rect{MinX: float64(i), MaxX: float64(i) + 1, MinY: 0, MaxY: 1}}
+		}
+		_, _, steals := Run(workers, items, seeds, bound,
+			func(w int, it Item, inc asp.Result, emit func(Item)) asp.Result {
+				if it.Space.MinX < float64(items)/2 {
+					time.Sleep(10 * time.Millisecond) // worker 0's block is slow
+				}
+				cand := asp.Result{Dist: 100 - it.Space.MinX, Point: geom.Point{X: it.Space.MinX}}
+				if Better(inc, cand) {
+					cand = inc
+				}
+				return cand
+			}, nil)
+		return bound.Best(), steals
+	}
+	want, _ := solve(1)
+	got, steals := solve(4)
+	if got.Dist != want.Dist || got.Point != want.Point {
+		t.Fatalf("workers=4: %+v, want %+v", got, want)
+	}
+	if steals == 0 {
+		t.Fatal("expected idle workers to steal from the slow worker's deque")
+	}
+}
+
+// TestDequeTake exercises the packed-CAS deque directly: front pops and
+// back steals must partition the range exactly once.
+func TestDequeTake(t *testing.T) {
+	var d deque
+	d.set(3, 9)
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		v, ok := d.take(true)
+		if !ok {
+			t.Fatal("front take failed")
+		}
+		seen[v] = true
+	}
+	for {
+		v, ok := d.take(false)
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("item %d claimed twice", v)
+		}
+		seen[v] = true
+	}
+	for i := 3; i < 9; i++ {
+		if !seen[i] {
+			t.Fatalf("item %d never claimed", i)
+		}
+	}
+	if _, ok := d.take(true); ok {
+		t.Fatal("take from empty deque succeeded")
 	}
 }
 

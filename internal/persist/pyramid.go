@@ -1,0 +1,353 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+	"io"
+
+	"asrs/internal/agg"
+	"asrs/internal/attr"
+	"asrs/internal/dssearch"
+)
+
+// Binary pyramid format (little endian):
+//
+//	magic "ASRSPYR1"
+//	u32 version (currently 1)
+//	u32 len(fingerprint), fingerprint bytes
+//	u32 n, chans, eff, mmSlots, flags, nLevels
+//	bool  chOK[eff]
+//	f64   chScale[eff], chInv[eff]
+//	i32   twoOf[chans]
+//	i32   order[n], xAscIds[n], yAscIds[n]
+//	i32   cOff[n+1]; {u32 ch, f64 v} contribs[cOff[n]]
+//	i32   mOff[n+1]; {u32 slot, f64 v} mms[mOff[n]]            (mmSlots > 0)
+//	i32   cOffF[n+1]; {u32 ch, f64 v} contribsF[cOffF[n]]      (!sortExact)
+//	per level: u32 g; f64 bw, bh; i64 sat[(g+1)²(eff+1)];
+//	           i32 binStart[g²+1], binIds[n],
+//	           xMaxUpTo[g], xMinFrom[g], yMaxUpTo[g], yMinFrom[g]
+//	u64 fnv-64a of every byte after the magic
+//
+// Derived state — scaled int64 contributions and the per-level min/max
+// sparse tables — is rebuilt at load (cheaper than storing it). The
+// composite aggregator is re-bound by the caller and verified via
+// structural fingerprint; like ReadIndex, the dataset identity and the
+// composite's selection functions are part of the file's contract.
+
+var pyramidMagic = [8]byte{'A', 'S', 'R', 'S', 'P', 'Y', 'R', '1'}
+
+const pyramidVersion = 1
+
+// flag bits of the header flags word.
+const (
+	pyrFlagAllExact = 1 << iota
+	pyrFlagSortExact
+	pyrFlagAnyExact
+	pyrFlagSorted
+)
+
+// hashingWriter tees every written byte into an fnv-64a sum.
+type hashingWriter struct {
+	w io.Writer
+	h hash.Hash64
+	n int64
+}
+
+func (hw *hashingWriter) Write(p []byte) (int, error) {
+	n, err := hw.w.Write(p)
+	hw.h.Write(p[:n])
+	hw.n += int64(n)
+	return n, err
+}
+
+// WritePyramid serializes a pyramid. Returns the byte count written.
+func WritePyramid(w io.Writer, p *dssearch.Pyramid) (int64, error) {
+	if p == nil {
+		return 0, fmt.Errorf("persist: nil pyramid")
+	}
+	s := p.Snapshot()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(pyramidMagic[:]); err != nil {
+		return 0, err
+	}
+	hw := &hashingWriter{w: bw, h: fnv.New64a()}
+	write := func(v any) error { return binary.Write(hw, binary.LittleEndian, v) }
+
+	if err := write(uint32(pyramidVersion)); err != nil {
+		return hw.n, err
+	}
+	fp := []byte(p.Composite().Fingerprint())
+	if err := write(uint32(len(fp))); err != nil {
+		return hw.n, err
+	}
+	if _, err := hw.Write(fp); err != nil {
+		return hw.n, err
+	}
+	flags := uint32(0)
+	if s.AllExact {
+		flags |= pyrFlagAllExact
+	}
+	if s.SortExact {
+		flags |= pyrFlagSortExact
+	}
+	if s.AnyExact {
+		flags |= pyrFlagAnyExact
+	}
+	if s.Sorted {
+		flags |= pyrFlagSorted
+	}
+	for _, v := range []uint32{uint32(s.N), uint32(s.Chans), uint32(s.Eff), uint32(s.MMSlots), flags, uint32(len(s.Levels))} {
+		if err := write(v); err != nil {
+			return hw.n, err
+		}
+	}
+	for _, v := range []any{s.ChOK, s.ChScale, s.ChInv, s.TwoOf, s.Order, s.XAscIds, s.YAscIds} {
+		if err := write(v); err != nil {
+			return hw.n, err
+		}
+	}
+	writeContribs := func(off []int32, cs []agg.Contrib) error {
+		if err := write(off); err != nil {
+			return err
+		}
+		for i := range cs {
+			if err := write(uint32(cs[i].Ch)); err != nil {
+				return err
+			}
+			if err := write(cs[i].V); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeContribs(s.COff, s.Contribs); err != nil {
+		return hw.n, err
+	}
+	if s.MMSlots > 0 {
+		if err := write(s.MOff); err != nil {
+			return hw.n, err
+		}
+		for i := range s.MMs {
+			if err := write(uint32(s.MMs[i].Slot)); err != nil {
+				return hw.n, err
+			}
+			if err := write(s.MMs[i].V); err != nil {
+				return hw.n, err
+			}
+		}
+	}
+	if !s.SortExact {
+		if err := writeContribs(s.COffF, s.ContribsF); err != nil {
+			return hw.n, err
+		}
+	}
+	for li := range s.Levels {
+		l := &s.Levels[li]
+		if err := write(uint32(l.G)); err != nil {
+			return hw.n, err
+		}
+		for _, v := range []any{l.BW, l.BH, l.Sat, l.BinStart, l.BinIds,
+			l.XMaxUpTo, l.XMinFrom, l.YMaxUpTo, l.YMinFrom} {
+			if err := write(v); err != nil {
+				return hw.n, err
+			}
+		}
+	}
+	sum := hw.h.Sum64()
+	if err := binary.Write(bw, binary.LittleEndian, sum); err != nil {
+		return hw.n, err
+	}
+	return hw.n + int64(len(pyramidMagic)) + 8, bw.Flush()
+}
+
+// hashingReader tees every read byte into an fnv-64a sum.
+type hashingReader struct {
+	r io.Reader
+	h hash.Hash64
+}
+
+func (hr *hashingReader) Read(p []byte) (int, error) {
+	n, err := hr.r.Read(p)
+	hr.h.Write(p[:n])
+	return n, err
+}
+
+// ReadPyramid deserializes a pyramid written by WritePyramid, re-binding
+// it to the dataset and composite it was built for. The composite is
+// verified structurally via fingerprint and the payload via checksum;
+// corrupt, truncated or mismatched files produce errors, never panics.
+// The dataset must be the one the pyramid was built from — that
+// identity, like the composite's selection functions, is part of the
+// file's contract.
+func ReadPyramid(r io.Reader, ds *attr.Dataset, f *agg.Composite) (*dssearch.Pyramid, error) {
+	if ds == nil || f == nil {
+		return nil, fmt.Errorf("persist: ReadPyramid requires the dataset and composite the pyramid was built with")
+	}
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("persist: reading pyramid magic: %w", err)
+	}
+	if magic != pyramidMagic {
+		return nil, fmt.Errorf("persist: not a pyramid file (magic %q)", magic[:])
+	}
+	hr := &hashingReader{r: br, h: fnv.New64a()}
+	read := func(v any) error { return binary.Read(hr, binary.LittleEndian, v) }
+
+	var version uint32
+	if err := read(&version); err != nil {
+		return nil, fmt.Errorf("persist: reading pyramid version: %w", err)
+	}
+	if version != pyramidVersion {
+		return nil, fmt.Errorf("persist: unsupported pyramid version %d (want %d)", version, pyramidVersion)
+	}
+	var fpLen uint32
+	if err := read(&fpLen); err != nil {
+		return nil, fmt.Errorf("persist: reading fingerprint length: %w", err)
+	}
+	if fpLen > 1<<16 {
+		return nil, fmt.Errorf("persist: implausible fingerprint length %d", fpLen)
+	}
+	fp := make([]byte, fpLen)
+	if _, err := io.ReadFull(hr, fp); err != nil {
+		return nil, fmt.Errorf("persist: reading fingerprint: %w", err)
+	}
+	if got := f.Fingerprint(); got != string(fp) {
+		return nil, fmt.Errorf("persist: composite mismatch: pyramid built for %q, got %q", fp, got)
+	}
+
+	var n, chans, eff, mmSlots, flags, nLevels uint32
+	for _, p := range []*uint32{&n, &chans, &eff, &mmSlots, &flags, &nLevels} {
+		if err := read(p); err != nil {
+			return nil, fmt.Errorf("persist: reading pyramid header: %w", err)
+		}
+	}
+	const maxN = 1 << 28
+	if n > maxN || chans > 1<<20 || eff > 1<<21 || mmSlots > 1<<16 || nLevels > 64 {
+		return nil, fmt.Errorf("persist: implausible pyramid header n=%d chans=%d eff=%d mm=%d levels=%d",
+			n, chans, eff, mmSlots, nLevels)
+	}
+	// Early structural checks double as allocation guards: a corrupted
+	// length field must fail here, before it can size a giant slice.
+	if int(n) != len(ds.Objects) {
+		return nil, fmt.Errorf("persist: pyramid covers %d objects, dataset has %d", n, len(ds.Objects))
+	}
+	if int(chans) != f.Channels() || int(mmSlots) != f.MinMaxSlots() || eff < chans || eff > 2*chans {
+		return nil, fmt.Errorf("persist: pyramid channel layout mismatch (chans=%d eff=%d mm=%d)", chans, eff, mmSlots)
+	}
+	s := &dssearch.PyramidSnapshot{
+		N: int(n), Chans: int(chans), Eff: int(eff), MMSlots: int(mmSlots),
+		AllExact:  flags&pyrFlagAllExact != 0,
+		SortExact: flags&pyrFlagSortExact != 0,
+		AnyExact:  flags&pyrFlagAnyExact != 0,
+		Sorted:    flags&pyrFlagSorted != 0,
+	}
+	s.ChOK = make([]bool, eff)
+	s.ChScale = make([]float64, eff)
+	s.ChInv = make([]float64, eff)
+	s.TwoOf = make([]int32, chans)
+	s.Order = make([]int32, n)
+	s.XAscIds = make([]int32, n)
+	s.YAscIds = make([]int32, n)
+	for _, v := range []any{s.ChOK, s.ChScale, s.ChInv, s.TwoOf, s.Order, s.XAscIds, s.YAscIds} {
+		if err := read(v); err != nil {
+			return nil, fmt.Errorf("persist: reading pyramid certificate/orders: %w", err)
+		}
+	}
+	readContribs := func(what string) ([]int32, []agg.Contrib, error) {
+		off := make([]int32, n+1)
+		if err := read(off); err != nil {
+			return nil, nil, fmt.Errorf("persist: reading %s offsets: %w", what, err)
+		}
+		total := int64(off[n])
+		if total < 0 || total > int64(n)*int64(eff)+1 {
+			return nil, nil, fmt.Errorf("persist: implausible %s count %d", what, total)
+		}
+		cs := make([]agg.Contrib, total)
+		for i := range cs {
+			var ch uint32
+			if err := read(&ch); err != nil {
+				return nil, nil, fmt.Errorf("persist: reading %s: %w", what, err)
+			}
+			cs[i].Ch = int(ch)
+			if err := read(&cs[i].V); err != nil {
+				return nil, nil, fmt.Errorf("persist: reading %s: %w", what, err)
+			}
+		}
+		return off, cs, nil
+	}
+	var err error
+	if s.COff, s.Contribs, err = readContribs("contributions"); err != nil {
+		return nil, err
+	}
+	if mmSlots > 0 {
+		s.MOff = make([]int32, n+1)
+		if err := read(s.MOff); err != nil {
+			return nil, fmt.Errorf("persist: reading min/max offsets: %w", err)
+		}
+		total := int64(s.MOff[n])
+		if total < 0 || total > int64(n)*int64(mmSlots)+1 {
+			return nil, fmt.Errorf("persist: implausible min/max count %d", total)
+		}
+		s.MMs = make([]agg.MMContrib, total)
+		for i := range s.MMs {
+			var slot uint32
+			if err := read(&slot); err != nil {
+				return nil, fmt.Errorf("persist: reading min/max contributions: %w", err)
+			}
+			s.MMs[i].Slot = int(slot)
+			if err := read(&s.MMs[i].V); err != nil {
+				return nil, fmt.Errorf("persist: reading min/max contributions: %w", err)
+			}
+		}
+	}
+	if !s.SortExact {
+		if s.COffF, s.ContribsF, err = readContribs("fallback contributions"); err != nil {
+			return nil, err
+		}
+	}
+	for li := 0; li < int(nLevels); li++ {
+		var g uint32
+		if err := read(&g); err != nil {
+			return nil, fmt.Errorf("persist: reading level %d granularity: %w", li, err)
+		}
+		// BuildPyramid never emits levels beyond 256 bins per side; the
+		// guard is deliberately far below the format's theoretical range
+		// so a corrupted granularity field fails here, before it can size
+		// a multi-gigabyte SAT slab (the checksum only runs at the end).
+		if g == 0 || g > 1024 {
+			return nil, fmt.Errorf("persist: implausible level %d granularity %d", li, g)
+		}
+		l := dssearch.PyramidLevelSnapshot{G: int(g)}
+		l.Sat = make([]int64, (g+1)*(g+1)*(eff+1))
+		l.BinStart = make([]int32, g*g+1)
+		l.BinIds = make([]int32, n)
+		l.XMaxUpTo = make([]int32, g)
+		l.XMinFrom = make([]int32, g)
+		l.YMaxUpTo = make([]int32, g)
+		l.YMinFrom = make([]int32, g)
+		for _, v := range []any{&l.BW, &l.BH, l.Sat, l.BinStart, l.BinIds,
+			l.XMaxUpTo, l.XMinFrom, l.YMaxUpTo, l.YMinFrom} {
+			if err := read(v); err != nil {
+				return nil, fmt.Errorf("persist: reading level %d: %w", li, err)
+			}
+		}
+		s.Levels = append(s.Levels, l)
+	}
+	want := hr.h.Sum64()
+	var sum uint64
+	if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
+		return nil, fmt.Errorf("persist: reading pyramid checksum: %w", err)
+	}
+	if sum != want {
+		return nil, fmt.Errorf("persist: pyramid checksum mismatch (file corrupt?)")
+	}
+	p, err := dssearch.PyramidFromSnapshot(ds, f, s)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,173 @@
+package persist
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/dssearch"
+	"asrs/internal/geom"
+)
+
+// pyrFixture builds a dataset with integer, decimal (two-float) and
+// min/max channels plus its pyramid, covering every serialized section.
+func pyrFixture(t *testing.T, seed int64) (*attr.Dataset, *agg.Composite, *dssearch.Pyramid) {
+	t.Helper()
+	schema, err := attr.NewSchema(
+		attr.Attribute{Name: "cat", Kind: attr.Categorical, Domain: []string{"x", "y"}},
+		attr.Attribute{Name: "price", Kind: attr.Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := agg.New(schema,
+		agg.Spec{Kind: agg.Distribution, Attr: "cat"},
+		agg.Spec{Kind: agg.Average, Attr: "price"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	objs := make([]attr.Object, 180)
+	for i := range objs {
+		objs[i] = attr.Object{
+			Loc: geom.Point{X: rng.Float64() * 50, Y: rng.Float64() * 50},
+			Values: []attr.Value{
+				{Cat: rng.Intn(2)},
+				{Num: 0.1 * float64(10+rng.Intn(990))}, // decimal grid: two-float channel
+			},
+		}
+	}
+	ds := &attr.Dataset{Schema: schema, Objects: objs}
+	p, err := dssearch.BuildPyramid(ds, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, f, p
+}
+
+// answer runs one pyramid-bound search.
+func answer(t *testing.T, ds *attr.Dataset, f *agg.Composite, p *dssearch.Pyramid) (geom.Rect, asp.Result) {
+	t.Helper()
+	target := make([]float64, f.Dims())
+	target[0] = 4
+	q := asp.Query{F: f, Target: target}
+	region, res, _, err := dssearch.SolveASRS(ds, 6, 7, q, dssearch.Options{Pyramid: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return region, res
+}
+
+// TestPyramidRoundTrip: a serialized-and-reloaded pyramid answers
+// queries bit-identically to the in-memory original.
+func TestPyramidRoundTrip(t *testing.T) {
+	ds, f, p := pyrFixture(t, 7)
+	var buf bytes.Buffer
+	n, err := WritePyramid(&buf, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WritePyramid reported %d bytes, wrote %d", n, buf.Len())
+	}
+	loaded, err := ReadPyramid(bytes.NewReader(buf.Bytes()), ds, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRegion, want := answer(t, ds, f, p)
+	gotRegion, got := answer(t, ds, f, loaded)
+	if gotRegion != wantRegion || got.Dist != want.Dist || got.Point != want.Point {
+		t.Fatalf("loaded pyramid answered %v@%v (region %v), want %v@%v (region %v)",
+			got.Dist, got.Point, gotRegion, want.Dist, want.Point, wantRegion)
+	}
+}
+
+// TestPyramidTruncated: every truncation of the file must produce a
+// clean error, never a panic.
+func TestPyramidTruncated(t *testing.T) {
+	ds, f, p := pyrFixture(t, 8)
+	var buf bytes.Buffer
+	if _, err := WritePyramid(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, frac := range []int{0, 4, 16, len(data) / 3, len(data) / 2, len(data) - 9, len(data) - 1} {
+		if frac < 0 {
+			continue
+		}
+		if _, err := ReadPyramid(bytes.NewReader(data[:frac]), ds, f); err == nil {
+			t.Fatalf("truncation at %d/%d bytes did not error", frac, len(data))
+		}
+	}
+}
+
+// TestPyramidCorrupt: flipping payload bytes must be caught by the
+// checksum (or earlier structural validation) as an error, not a wrong
+// answer or panic.
+func TestPyramidCorrupt(t *testing.T) {
+	ds, f, p := pyrFixture(t, 9)
+	var buf bytes.Buffer
+	if _, err := WritePyramid(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		data := append([]byte(nil), clean...)
+		at := 8 + rng.Intn(len(data)-8) // keep the magic so we reach validation
+		data[at] ^= 1 << uint(rng.Intn(8))
+		if _, err := ReadPyramid(bytes.NewReader(data), ds, f); err == nil {
+			t.Fatalf("trial %d: corrupt byte at %d accepted", trial, at)
+		}
+	}
+}
+
+// TestPyramidVersionAndMagic: wrong magic and future versions error out
+// with a clear message.
+func TestPyramidVersionAndMagic(t *testing.T) {
+	ds, f, p := pyrFixture(t, 10)
+	var buf bytes.Buffer
+	if _, err := WritePyramid(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := ReadPyramid(bytes.NewReader(bad), ds, f); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("wrong magic: err = %v", err)
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[8] = 99 // version word follows the magic
+	if _, err := ReadPyramid(bytes.NewReader(bad), ds, f); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong version: err = %v", err)
+	}
+}
+
+// TestPyramidCompositeMismatch: loading against a structurally
+// different composite fails the fingerprint check; loading against a
+// different-size dataset fails the cardinality check.
+func TestPyramidCompositeMismatch(t *testing.T) {
+	ds, f, p := pyrFixture(t, 11)
+	var buf bytes.Buffer
+	if _, err := WritePyramid(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	other, err := agg.New(ds.Schema, agg.Spec{Kind: agg.Count})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPyramid(bytes.NewReader(buf.Bytes()), ds, other); err == nil {
+		t.Fatal("composite mismatch accepted")
+	}
+	short := &attr.Dataset{Schema: ds.Schema, Objects: ds.Objects[:len(ds.Objects)-3]}
+	if _, err := ReadPyramid(bytes.NewReader(buf.Bytes()), short, f); err == nil {
+		t.Fatal("dataset cardinality mismatch accepted")
+	}
+}

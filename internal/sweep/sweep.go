@@ -141,6 +141,21 @@ func NewPool(n int, q asp.Query, incrCap int) ([]Solver, error) {
 	return solvers, nil
 }
 
+// SetQuery rebinds the solver to a new query that shares the current
+// query's composite aggregator (same channel layout, so the accumulator
+// and every pre-sized scratch slab stay valid) and reports whether it
+// did. A query over a different composite returns false and leaves the
+// solver untouched — the caller must rebuild. This is what lets a slab
+// cache recycle whole solver pools across the queries of a serving
+// batch: per-query state is just the target/weights/norm.
+func (s *Solver) SetQuery(q asp.Query) bool {
+	if q.F != s.query.F {
+		return false
+	}
+	s.query = q
+	return true
+}
+
 // Rebind points the solver at a new rectangle set, reusing all scratch
 // (sorted-edge orders, strip buffers, accumulator). The query is
 // unchanged; the rects slice is only read, never retained past the next
