@@ -51,7 +51,12 @@
 package asrs
 
 import (
+	"errors"
+	"fmt"
 	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
 
 	"asrs/internal/agg"
 	"asrs/internal/asp"
@@ -342,6 +347,62 @@ func WritePyramid(w io.Writer, p *Pyramid) (int64, error) { return persist.Write
 // the file's contract.
 func ReadPyramid(r io.Reader, ds *Dataset, f *Composite) (*Pyramid, error) {
 	return persist.ReadPyramid(r, ds, f)
+}
+
+// LoadOrBuildPyramidFile binds the on-disk pyramid for (ds, f): when
+// the file exists it is read and verified (a mismatched or corrupt file
+// is an error, not a rebuild — silently recomputing would hide a stale
+// artifact), otherwise the pyramid is built and saved to path. built
+// reports which happened, so callers can log build latency versus a
+// warm load. Both CLI front ends (asrsquery -pyramid, asrsd -pyramid)
+// ride this helper.
+func LoadOrBuildPyramidFile(path string, ds *Dataset, f *Composite) (p *Pyramid, built bool, err error) {
+	file, err := os.Open(path)
+	if err == nil {
+		defer file.Close()
+		p, err := persist.ReadPyramid(file, ds, f)
+		if err != nil {
+			return nil, false, fmt.Errorf("asrs: loading pyramid %s: %w", path, err)
+		}
+		return p, false, nil
+	}
+	if !errors.Is(err, fs.ErrNotExist) {
+		// An unreadable existing file (permissions, I/O error) must not
+		// silently trigger a rebuild that overwrites the artifact.
+		return nil, false, fmt.Errorf("asrs: opening pyramid %s: %w", path, err)
+	}
+	p, err = dssearch.BuildPyramid(ds, f)
+	if err != nil {
+		return nil, false, err
+	}
+	// Write-then-rename: the final path only ever holds a complete file,
+	// so a crash (or error) mid-save cannot leave a truncated pyramid
+	// that — by the corrupt-file contract above — would brick every
+	// later boot. Close before remove/rename (required on Windows), and
+	// surface the Close error: it can carry the real write-back failure
+	// on networked filesystems.
+	// CreateTemp, not a fixed ".tmp" name: two processes building the
+	// same missing pyramid concurrently must not interleave writes into
+	// one temp file and rename a corrupted blend into place.
+	out, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, false, err
+	}
+	tmp := out.Name()
+	if _, err := persist.WritePyramid(out, p); err != nil {
+		out.Close()
+		os.Remove(tmp)
+		return nil, false, fmt.Errorf("asrs: saving pyramid %s: %w", path, err)
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, false, fmt.Errorf("asrs: saving pyramid %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, false, fmt.Errorf("asrs: saving pyramid %s: %w", path, err)
+	}
+	return p, true, nil
 }
 
 // UnitWeights returns a weight vector of n ones.

@@ -40,8 +40,9 @@ func main() {
 		n        = flag.Int("n", 100000, "dataset cardinality for -parallel-json")
 		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel-json")
 		batch    = flag.Int("batch", 0, "kernel superstep batch size for -parallel-json (0 = kernel default)")
-		workload = flag.String("workload", "f1", "composite workload for -parallel-json: f1 (integer fD on tweet), f2q (real-valued fS+fA on the dyadic-quantized POI corpus), or batch (multi-query batch of overlapping Singapore extents: PR-3 per-query path vs the pyramid-amortized batched path)")
-		queries  = flag.Int("queries", 24, "requests per batch for -workload batch")
+		workload = flag.String("workload", "f1", "composite workload for -parallel-json: f1 (integer fD on tweet), f2q (real-valued fS+fA on the dyadic-quantized POI corpus), batch (multi-query batch of overlapping Singapore extents: PR-3 per-query path vs the pyramid-amortized batched path), or serve (closed-loop HTTP serving: coalescing window collector vs per-request dispatch at equal workers)")
+		queries  = flag.Int("queries", 24, "requests per batch for -workload batch; requests per client for -workload serve")
+		clients  = flag.Int("clients", 32, "concurrent closed-loop clients for -workload serve")
 		baseNs   = flag.Int64("baseline-ns", 0, "externally measured reference ns/op for the same workload, recorded in the report")
 		note     = flag.String("note", "", "free-form provenance recorded in the report")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -78,7 +79,7 @@ func main() {
 	}
 
 	if *parJSON != "" {
-		if err := runParallelBench(*parJSON, *n, *seed, *workers, *batch, *workload, *queries, *baseNs, *note); err != nil {
+		if err := runParallelBench(*parJSON, *n, *seed, *workers, *batch, *workload, *queries, *clients, *baseNs, *note); err != nil {
 			fmt.Fprintln(os.Stderr, "asrsbench:", err)
 			os.Exit(1)
 		}
@@ -111,7 +112,7 @@ func main() {
 }
 
 // runParallelBench parses the worker sweep and writes the JSON report.
-func runParallelBench(path string, n int, seed int64, workerList string, batch int, workload string, queries int, baseNs int64, note string) error {
+func runParallelBench(path string, n int, seed int64, workerList string, batch int, workload string, queries, clients int, baseNs int64, note string) error {
 	var sweep []int
 	for _, tok := range strings.Split(workerList, ",") {
 		tok = strings.TrimSpace(tok)
@@ -125,6 +126,10 @@ func runParallelBench(path string, n int, seed int64, workerList string, batch i
 		sweep = append(sweep, w)
 	}
 	run := func(out *os.File) error {
+		if workload == "serve" {
+			cfg := harness.ServeBenchConfig{N: n, Clients: clients, PerClient: queries, Seed: seed, Workers: sweep, BaselineNs: baseNs, Note: note}
+			return harness.RunServeBench(out, cfg)
+		}
 		if workload == "batch" {
 			cfg := harness.BatchBenchConfig{N: n, Queries: queries, Seed: seed, Workers: sweep, BaselineNs: baseNs, Note: note}
 			return harness.RunBatchBench(out, cfg)

@@ -1,0 +1,224 @@
+// Command asrsd is the ASRS serving daemon: an HTTP JSON API over
+// asrs.Engine that coalesces concurrent queries into batch supersteps
+// (request dedup + shared prepared query shapes across independent
+// clients), sheds load beyond a bounded in-flight queue, and enforces
+// per-query deadlines cancelled cooperatively at kernel superstep
+// boundaries. See DESIGN.md §7 for the architecture.
+//
+// Usage:
+//
+//	asrsd -dataset singapore -addr :8080
+//	asrsd -dataset singapore -n 100000 -pyramid sg.pyr   # warm-load (build+save on first run)
+//	asrsd -dataset tweet -n 200000 -window 5ms -batch-max 64
+//	asrsd -window 0                                      # coalescing off (ablation)
+//
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/stats
+//	curl -s -X POST localhost:8080/v1/query -d '{
+//	  "composite": "category",
+//	  "region": {"min_x":103.827,"min_y":1.298,"max_x":103.843,"max_y":1.310},
+//	  "exclude_region": true}'
+//
+// SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503, the
+// pending coalescing window is flushed so waiting clients get answers,
+// and in-flight searches get a grace period before cooperative
+// cancellation.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asrs"
+	"asrs/internal/dataset"
+	"asrs/internal/server"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		dsName     = flag.String("dataset", "singapore", "singapore | tweet | poisyn")
+		n          = flag.Int("n", 0, "corpus cardinality (0 = dataset default)")
+		seed       = flag.Int64("seed", 42, "dataset seed")
+		workers    = flag.Int("workers", 0, "kernel worker pool per search (<=0 = GOMAXPROCS); answers are identical for any setting")
+		grid       = flag.Int("grid", 64, "grid index granularity (0 disables GI-DS)")
+		window     = flag.Duration("window", server.DefaultWindow, "coalescing window (how long the first request of a batch waits for company; 0 disables coalescing)")
+		batchMax   = flag.Int("batch-max", server.DefaultMaxBatch, "max requests per coalesced batch")
+		queue      = flag.Int("queue", server.DefaultMaxInFlight, "admission bound: max in-flight requests before 429 load shedding")
+		pyrPath    = flag.String("pyramid", "", "aggregate-pyramid file: loaded at startup, or built and saved on first run; secondary composites persist beside it as <path>.<name>")
+		timeout    = flag.Duration("timeout", server.DefaultTimeout, "default per-query deadline")
+		maxTimeout = flag.Duration("max-timeout", server.DefaultMaxTimeout, "upper clamp on client-chosen timeout_ms")
+		grace      = flag.Duration("grace", 30*time.Second, "drain grace period after SIGTERM before in-flight searches are cancelled")
+		verbose    = flag.Bool("verbose", false, "log one line per request")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *dsName, *n, *seed, *workers, *grid, *window, *batchMax, *queue,
+		*pyrPath, *timeout, *maxTimeout, *grace, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "asrsd:", err)
+		os.Exit(1)
+	}
+}
+
+// buildServing constructs the dataset and its composite registry. The
+// first name returned is the primary composite (-pyramid applies to it).
+func buildServing(dsName string, n int, seed int64) (*asrs.Dataset, map[string]*asrs.Composite, []string, error) {
+	switch dsName {
+	case "singapore":
+		if n <= 0 {
+			n = dataset.SingaporePOICount
+		}
+		ds := dataset.SingaporeScaled(n, seed)
+		cat, err := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "category"})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		poi, err := asrs.NewComposite(ds.Schema,
+			asrs.AggSpec{Kind: asrs.Distribution, Attr: "category"},
+			asrs.AggSpec{Kind: asrs.Count},
+		)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return ds, map[string]*asrs.Composite{"category": cat, "poi": poi}, []string{"category", "poi"}, nil
+	case "tweet":
+		if n <= 0 {
+			n = 100000
+		}
+		ds := dataset.Tweet(n, seed)
+		day, err := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "day"})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return ds, map[string]*asrs.Composite{"day": day}, []string{"day"}, nil
+	case "poisyn":
+		if n <= 0 {
+			n = 100000
+		}
+		ds := dataset.POISyn(n, seed)
+		f2, err := asrs.NewComposite(ds.Schema,
+			asrs.AggSpec{Kind: asrs.Sum, Attr: "visits"},
+			asrs.AggSpec{Kind: asrs.Average, Attr: "rating"},
+		)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return ds, map[string]*asrs.Composite{"f2": f2}, []string{"f2"}, nil
+	}
+	return nil, nil, nil, fmt.Errorf("unknown dataset %q", dsName)
+}
+
+// loadOrBuildPyramid installs the on-disk pyramid for (ds, f) into the
+// engine, building and saving the file when it does not exist yet.
+func loadOrBuildPyramid(eng *asrs.Engine, path string, f *asrs.Composite) error {
+	p, built, err := asrs.LoadOrBuildPyramidFile(path, eng.Dataset(), f)
+	if err != nil {
+		return err
+	}
+	if built {
+		log.Printf("pyramid: built and saved %s (%d objects, %d levels)", path, p.Objects(), p.Levels())
+	} else {
+		log.Printf("pyramid: loaded %s (%d objects, %d levels)", path, p.Objects(), p.Levels())
+	}
+	return eng.SetPyramid(p)
+}
+
+// pyramidPath derives the per-composite pyramid file from the -pyramid
+// flag: the primary composite owns the path as given, secondary
+// composites get "<path>.<name>" beside it — every registered composite
+// is persisted, so a warm boot pays zero pyramid builds.
+func pyramidPath(base string, i int, name string) string {
+	if i == 0 {
+		return base
+	}
+	return base + "." + name
+}
+
+func run(addr, dsName string, n int, seed int64, workers, grid int,
+	window time.Duration, batchMax, queue int, pyrPath string,
+	timeout, maxTimeout, grace time.Duration, verbose bool) error {
+	ds, composites, names, err := buildServing(dsName, n, seed)
+	if err != nil {
+		return err
+	}
+	log.Printf("dataset: %s, %d objects, composites %v", dsName, len(ds.Objects), names)
+
+	eng, err := asrs.NewEngine(ds, asrs.EngineOptions{
+		IndexGranularity: grid,
+		Search:           asrs.Options{Workers: workers},
+	})
+	if err != nil {
+		return err
+	}
+	if pyrPath != "" {
+		for i, name := range names {
+			if err := loadOrBuildPyramid(eng, pyramidPath(pyrPath, i, name), composites[name]); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range names {
+		start := time.Now()
+		if err := eng.Warm(composites[name]); err != nil {
+			return fmt.Errorf("warming %s: %w", name, err)
+		}
+		log.Printf("warm: %s ready in %v (index %dx%d + pyramid)", name, time.Since(start).Round(time.Millisecond), grid, grid)
+	}
+
+	srv, err := server.New(server.Config{
+		Engine:      eng,
+		Composites:  composites,
+		Window:      window,
+		MaxBatch:    batchMax,
+		MaxInFlight: queue,
+		Timeout:     timeout,
+		MaxTimeout:  maxTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	handler := srv.Handler()
+	if verbose {
+		handler = server.LogMiddleware(handler)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (window=%v batch-max=%d queue=%d)", addr, window, batchMax, queue)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("draining (grace %v)…", grace)
+	graceCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	// Drain order: the serving layer first (flush the pending window,
+	// answer waiting clients, refuse new queries with 503), then the
+	// HTTP listener (close idle connections, wait out active handlers).
+	drainErr := srv.Shutdown(graceCtx)
+	if err := httpSrv.Shutdown(graceCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	log.Printf("drained cleanly")
+	return nil
+}

@@ -11,9 +11,11 @@
 //	asrsquery -dataset tweet -algo gids -grid 128       # grid-index accelerated
 //	asrsquery -dataset tweet -workers 8                 # explicit search worker pool
 //	asrsquery -dataset tweet -pyramid tweet.pyr         # bind the aggregate pyramid (built+saved on first use)
+//	asrsquery -dataset singapore -json                  # machine-readable output (the asrsd wire schema)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +23,7 @@ import (
 
 	"asrs"
 	"asrs/internal/dataset"
+	"asrs/internal/server"
 )
 
 func main() {
@@ -34,45 +37,48 @@ func main() {
 		seed    = flag.Int64("seed", 42, "dataset seed")
 		workers = flag.Int("workers", 0, "search worker pool size (<=0 = GOMAXPROCS); the answer is identical for any setting")
 		pyrPath = flag.String("pyramid", "", "aggregate-pyramid file: load the per-composite pyramid from this path instead of rebuilding the query's aggregation layer (the file is built and saved on first use); answers are identical either way")
+		jsonOut = flag.Bool("json", false, "emit the answer as JSON in the asrsd wire schema (one format for CLI and daemon)")
 	)
 	flag.Parse()
 
-	if err := run(*dsName, *n, *k, *algo, *grid, *delta, *seed, *workers, *pyrPath); err != nil {
+	if err := run(*dsName, *n, *k, *algo, *grid, *delta, *seed, *workers, *pyrPath, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "asrsquery:", err)
 		os.Exit(1)
 	}
 }
 
+// emitJSON prints the answer in the server wire schema — the same
+// document shape POST /v1/query returns for this query (indented here
+// for terminals; elapsed_ms naturally differs per run).
+func emitJSON(region asrs.Rect, res asrs.Result, elapsed time.Duration) error {
+	resp := asrs.QueryResponse{Regions: []asrs.Rect{region}, Results: []asrs.Result{res}}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(server.ResponseWire(resp, elapsed))
+}
+
+// infof prints an informational line: to stdout normally, to stderr in
+// -json mode so stdout stays a single machine-readable document.
+var infoOut = os.Stdout
+
+func infof(format string, args ...any) { fmt.Fprintf(infoOut, format, args...) }
+
 // loadOrBuildPyramid binds the on-disk pyramid for (ds, f), building and
 // saving it when the file does not exist yet.
 func loadOrBuildPyramid(path string, ds *asrs.Dataset, f *asrs.Composite) (*asrs.Pyramid, error) {
-	if file, err := os.Open(path); err == nil {
-		defer file.Close()
-		p, err := asrs.ReadPyramid(file, ds, f)
-		if err != nil {
-			return nil, fmt.Errorf("loading pyramid %s: %w", path, err)
-		}
-		fmt.Printf("pyramid:        loaded from %s (%d objects, %d levels)\n", path, p.Objects(), p.Levels())
-		return p, nil
-	}
-	p, err := asrs.BuildPyramid(ds, f)
+	p, built, err := asrs.LoadOrBuildPyramidFile(path, ds, f)
 	if err != nil {
 		return nil, err
 	}
-	file, err := os.Create(path)
-	if err != nil {
-		return nil, err
+	if built {
+		infof("pyramid:        built and saved to %s (%d objects, %d levels)\n", path, p.Objects(), p.Levels())
+	} else {
+		infof("pyramid:        loaded from %s (%d objects, %d levels)\n", path, p.Objects(), p.Levels())
 	}
-	defer file.Close()
-	bytes, err := asrs.WritePyramid(file, p)
-	if err != nil {
-		return nil, fmt.Errorf("saving pyramid %s: %w", path, err)
-	}
-	fmt.Printf("pyramid:        built and saved to %s (%d bytes, %d levels)\n", path, bytes, p.Levels())
 	return p, nil
 }
 
-func run(dsName string, n, k int, algo string, grid int, delta float64, seed int64, workers int, pyrPath string) error {
+func run(dsName string, n, k int, algo string, grid int, delta float64, seed int64, workers int, pyrPath string, jsonOut bool) error {
 	var (
 		ds  *asrs.Dataset
 		q   asrs.Query
@@ -90,14 +96,17 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 		a, b = scaledSize(ds, k)
 		q, err = dataset.F2(ds, a, b)
 	case "singapore":
-		return runSingapore(seed, workers)
+		return runSingapore(seed, workers, jsonOut)
 	default:
 		return fmt.Errorf("unknown dataset %q", dsName)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("dataset=%s n=%d query=%.4gx%.4g algo=%s δ=%g\n", dsName, len(ds.Objects), a, b, algo, delta)
+	if jsonOut {
+		infoOut = os.Stderr
+	}
+	infof("dataset=%s n=%d query=%.4gx%.4g algo=%s δ=%g\n", dsName, len(ds.Objects), a, b, algo, delta)
 
 	opt := asrs.Options{Delta: delta, Workers: workers}
 	if pyrPath != "" && algo != "base" {
@@ -129,7 +138,7 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 		var stats asrs.IndexStats
 		region, res, stats, err = asrs.SearchWithIndex(idx, ds, a, b, q, opt)
 		if err == nil {
-			fmt.Printf("index: %dx%d, %d/%d cells searched\n", grid, grid, stats.CellsSearched, stats.Cells)
+			infof("index: %dx%d, %d/%d cells searched\n", grid, grid, stats.CellsSearched, stats.Cells)
 		}
 	case "base":
 		region, res, err = asrs.SearchBaseline(ds, a, b, q)
@@ -139,6 +148,9 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return emitJSON(region, res, time.Since(start))
+	}
 	fmt.Printf("answer region:  %v\n", region)
 	fmt.Printf("distance:       %.4f\n", res.Dist)
 	fmt.Printf("representation: %.4g\n", res.Rep)
@@ -146,7 +158,7 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 	return nil
 }
 
-func runSingapore(seed int64, workers int) error {
+func runSingapore(seed int64, workers int, jsonOut bool) error {
 	ds := dataset.SingaporePOI(seed)
 	f, err := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "category"})
 	if err != nil {
@@ -161,6 +173,9 @@ func runSingapore(seed int64, workers int) error {
 	region, res, _, err := asrs.SearchExcluding(ds, orchard.Rect.Width(), orchard.Rect.Height(), q, orchard.Rect, asrs.Options{Workers: workers})
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		return emitJSON(region, res, time.Since(start))
 	}
 	fmt.Printf("query region (Orchard): %v\n", orchard.Rect)
 	fmt.Printf("most similar region:    %v (distance %.2f)\n", region, res.Dist)

@@ -1,6 +1,8 @@
 package asrs
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -8,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"asrs/internal/dssearch"
 )
@@ -53,6 +56,17 @@ type QueryRequest struct {
 	// Options overrides the engine's default search options for this
 	// request when non-nil.
 	Options *Options
+	// Ctx, when non-nil, bounds this request individually (per-query
+	// deadline or cancellation): the search kernel checks it at superstep
+	// boundaries and the response's Err becomes context.Canceled /
+	// context.DeadlineExceeded. It takes precedence over the batch-level
+	// context of QueryBatchCtx, except that a request deduplicated with
+	// byte-identical peers executes once under the group's latest member
+	// deadline (shared work must not die with one member, nor outlive
+	// every member's budget); a member already expired at dispatch, or
+	// whose group search itself ended in a context error, is stamped
+	// with its own context error.
+	Ctx context.Context
 }
 
 // QueryResponse is the Engine's answer to one QueryRequest. Regions and
@@ -87,6 +101,57 @@ type Engine struct {
 	indexes  map[*Composite]*indexEntry
 	slabs    map[*Composite]*dssearch.SlabCache
 	pyramids map[*Composite]*pyramidEntry
+
+	// Serving counters (atomic; snapshot via Stats). Queries counts every
+	// answered request, single or batched.
+	nQueries   atomic.Int64
+	nBatches   atomic.Int64
+	nDedup     atomic.Int64
+	nShared    atomic.Int64
+	nErrors    atomic.Int64
+	nCancelled atomic.Int64
+}
+
+// EngineStats is a point-in-time snapshot of an engine's serving
+// counters (see Engine.Stats).
+type EngineStats struct {
+	// Queries counts answered requests, batched or not.
+	Queries int64 `json:"queries"`
+	// Batches counts QueryBatch/QueryBatchInto calls.
+	Batches int64 `json:"batches"`
+	// DedupHits counts batched requests answered by copying a
+	// byte-identical peer's response instead of searching.
+	DedupHits int64 `json:"dedup_hits"`
+	// PreparedShared counts batched requests that rode a group-shared
+	// prepared query shape (composite, a, b grouping).
+	PreparedShared int64 `json:"prepared_shared"`
+	// Errors counts responses delivered with a non-nil Err.
+	Errors int64 `json:"errors"`
+	// Cancelled counts responses whose Err was a context error
+	// (deadline exceeded or cancellation); also included in Errors.
+	Cancelled int64 `json:"cancelled"`
+	// Indexes and Pyramids count the per-composite caches currently held.
+	Indexes  int `json:"indexes"`
+	Pyramids int `json:"pyramids"`
+}
+
+// Stats snapshots the engine's serving counters. Safe for concurrent
+// use; counters are read individually, so a snapshot taken mid-batch may
+// be internally skewed by in-flight requests.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	ni, np := len(e.indexes), len(e.pyramids)
+	e.mu.Unlock()
+	return EngineStats{
+		Queries:        e.nQueries.Load(),
+		Batches:        e.nBatches.Load(),
+		DedupHits:      e.nDedup.Load(),
+		PreparedShared: e.nShared.Load(),
+		Errors:         e.nErrors.Load(),
+		Cancelled:      e.nCancelled.Load(),
+		Indexes:        ni,
+		Pyramids:       np,
+	}
 }
 
 // indexEntry builds its index exactly once, even under concurrent demand
@@ -127,6 +192,13 @@ func NewEngine(ds *Dataset, opt EngineOptions) (*Engine, error) {
 
 // Dataset returns the served dataset (treat as read-only).
 func (e *Engine) Dataset() *Dataset { return e.ds }
+
+// SearchOptions returns the engine's default search options. Callers
+// that pin per-request Options (which replace the defaults wholesale)
+// should start from this value and override only what they mean to
+// change, or settings like the configured worker bound silently revert
+// to their zero-value defaults.
+func (e *Engine) SearchOptions() Options { return e.opt.Search }
 
 // Index returns the engine's cached grid index for the composite,
 // building it on first use. It returns (nil, nil) when indexing is
@@ -204,6 +276,24 @@ func (e *Engine) SetPyramid(p *Pyramid) error {
 	return nil
 }
 
+// Warm eagerly builds (or finishes building) the engine's cached grid
+// index and aggregate pyramid for a composite, so the first real query
+// pays neither build. Serving daemons call it per composite at startup —
+// typically after SetPyramid installed a pyramid loaded from disk, in
+// which case only the index build remains.
+func (e *Engine) Warm(f *Composite) error {
+	if f == nil {
+		return fmt.Errorf("asrs: warm requires a composite")
+	}
+	if _, err := e.Index(f); err != nil {
+		return err
+	}
+	if _, err := e.Pyramid(f); err != nil {
+		return err
+	}
+	return nil
+}
+
 // options resolves a request's effective search options and attaches the
 // engine's per-composite slab cache, so the per-query search tables
 // (sorted coordinate arrays, contribution tables, int64 SAT grids, the
@@ -246,26 +336,58 @@ func (e *Engine) options(req QueryRequest) Options {
 // requests use the DS-Search greedy machinery directly. Safe for
 // concurrent use.
 func (e *Engine) Query(req QueryRequest) QueryResponse {
+	return e.QueryCtx(context.Background(), req)
+}
+
+// QueryCtx is Query bounded by a context: when ctx (or the request's own
+// Ctx, which takes precedence) is cancelled or its deadline passes, the
+// search stops cooperatively at the next kernel superstep boundary and
+// the response's Err is the context error. Answers of searches that
+// complete are bit-identical to an unbounded Query.
+func (e *Engine) QueryCtx(ctx context.Context, req QueryRequest) QueryResponse {
 	var resp QueryResponse
-	e.queryInto(req, &resp)
+	e.queryIntoPrep(ctx, req, &resp, nil)
+	e.nQueries.Add(1)
+	e.countResponse(&resp)
 	return resp
 }
 
-// queryInto answers one request into resp, reusing resp's Regions and
-// Results slice capacity (the per-response buffer reuse QueryBatchInto
-// relies on).
-func (e *Engine) queryInto(req QueryRequest, resp *QueryResponse) {
-	e.queryIntoPrep(req, resp, nil)
+// countResponse folds one delivered response into the serving counters.
+func (e *Engine) countResponse(resp *QueryResponse) {
+	if resp.Err == nil {
+		return
+	}
+	e.nErrors.Add(1)
+	if errors.Is(resp.Err, context.Canceled) || errors.Is(resp.Err, context.DeadlineExceeded) {
+		e.nCancelled.Add(1)
+	}
 }
 
-// queryIntoPrep is queryInto with an optional group-shared prepared
+// queryIntoPrep answers one request into resp, reusing resp's Regions
+// and Results slice capacity (the per-response buffer reuse
+// QueryBatchInto relies on), with an optional group-shared prepared
 // query shape (QueryBatchInto's grouping pass builds one per
 // overlapping-extent group).
-func (e *Engine) queryIntoPrep(req QueryRequest, resp *QueryResponse, prep *dssearch.Prepared) {
+func (e *Engine) queryIntoPrep(ctx context.Context, req QueryRequest, resp *QueryResponse, prep *dssearch.Prepared) {
 	resp.Regions = resp.Regions[:0]
 	resp.Results = resp.Results[:0]
 	resp.Err = nil
+	if req.Ctx != nil {
+		ctx = req.Ctx
+	}
+	if ctx != nil {
+		// An already-dead request (deadline passed while it queued in a
+		// coalescing window) must not pay index lookup and searcher
+		// construction for an answer that is guaranteed to be discarded.
+		if cerr := ctx.Err(); cerr != nil {
+			resp.Err = cerr
+			return
+		}
+	}
 	opt := e.options(req)
+	if opt.Ctx == nil && ctx != nil {
+		opt.Ctx = ctx
+	}
 	if prep != nil {
 		opt.Prepared = prep
 	}
@@ -310,6 +432,12 @@ func (e *Engine) QueryBatch(reqs []QueryRequest) []QueryResponse {
 	return e.QueryBatchInto(nil, reqs)
 }
 
+// QueryBatchCtx is QueryBatch bounded by a batch-level context (see
+// QueryBatchIntoCtx for the per-request deadline semantics).
+func (e *Engine) QueryBatchCtx(ctx context.Context, reqs []QueryRequest) []QueryResponse {
+	return e.QueryBatchIntoCtx(ctx, nil, reqs)
+}
+
 // QueryBatchInto is QueryBatch reusing a caller-provided response
 // buffer: the returned slice aliases dst when it has the capacity, and
 // each retained response's Regions/Results backing arrays are reused
@@ -317,13 +445,32 @@ func (e *Engine) QueryBatch(reqs []QueryRequest) []QueryResponse {
 // steady by passing the previous batch's slice back in.
 //
 // Before dispatch the batch goes through a grouping pass (unless
-// EngineOptions.DisableBatchGrouping): bitwise-identical plain requests
-// are answered once and copied, and plain requests sharing a
+// EngineOptions.DisableBatchGrouping): bitwise-identical requests —
+// including TopK and exclusion requests, e.g. repeated query-by-example
+// traffic — are answered once and copied, and plain requests sharing a
 // (composite, a, b) shape — overlapping extents in the same corpus —
 // share one prepared query shape (master rectangles, accuracy, pyramid
 // binding) built once per group instead of once per query. Per-request
 // answers are bit-identical with grouping on or off.
 func (e *Engine) QueryBatchInto(dst []QueryResponse, reqs []QueryRequest) []QueryResponse {
+	return e.QueryBatchIntoCtx(context.Background(), dst, reqs)
+}
+
+// QueryBatchIntoCtx is QueryBatchInto bounded by a batch-level context.
+// Each request additionally honors its own QueryRequest.Ctx (per-query
+// deadline), with one dedup subtlety: a group of byte-identical requests
+// is answered by a single search that runs under the group's latest
+// member deadline — one member's short deadline cannot kill work the
+// other members still need, and a group where every member is bounded
+// never runs unbounded. Members whose own context has expired by
+// delivery time get their context error instead of the shared answer.
+func (e *Engine) QueryBatchIntoCtx(ctx context.Context, dst []QueryResponse, reqs []QueryRequest) []QueryResponse {
+	if ctx == nil {
+		// The dedup-group contexts below derive from ctx and would panic
+		// on nil; the single-query path merely tolerates it. Accept nil
+		// uniformly across the Ctx entry points.
+		ctx = context.Background()
+	}
 	var out []QueryResponse
 	if cap(dst) >= len(reqs) {
 		out = dst[:len(reqs)]
@@ -333,12 +480,114 @@ func (e *Engine) QueryBatchInto(dst []QueryResponse, reqs []QueryRequest) []Quer
 	if len(reqs) == 0 {
 		return out
 	}
+	e.nBatches.Add(1)
+	e.nQueries.Add(int64(len(reqs)))
 	var (
-		preps []*dssearch.Prepared
-		dupOf []int
+		preps  []*dssearch.Prepared
+		dupOf  []int
+		hasDup []bool
 	)
 	if !e.opt.DisableBatchGrouping && len(reqs) > 1 {
 		preps, dupOf = e.groupBatch(reqs)
+		for i, c := range dupOf {
+			if c >= 0 {
+				if hasDup == nil {
+					hasDup = make([]bool, len(reqs))
+				}
+				hasDup[c] = true
+				e.nDedup.Add(1)
+			}
+			if preps[i] != nil {
+				e.nShared.Add(1)
+			}
+		}
+	}
+	// A canonical with duplicates must not run under any single member's
+	// context (one member's short deadline would kill work the others
+	// still need), but it must not escape its members' budgets either —
+	// on a serving path every member carries a deadline, and hot queries
+	// dedup constantly. The shared search therefore runs under the
+	// *latest* member deadline when every member has one, and is
+	// cancelled outright once every member's own context has fired (all
+	// clients gone — nobody is left to receive the answer). Only a
+	// member with no context at all makes the group unbounded.
+	var groupCtx map[int]context.Context
+	if hasDup != nil {
+		type group struct {
+			members     []context.Context // non-nil member contexts
+			unbounded   bool              // some member has no context
+			latest      time.Time
+			allDeadline bool
+		}
+		gs := make(map[int]*group, 4)
+		add := func(c int, memberCtx context.Context) {
+			g := gs[c]
+			if g == nil {
+				g = &group{allDeadline: true}
+				gs[c] = g
+			}
+			if memberCtx == nil {
+				g.unbounded = true
+				g.allDeadline = false
+				return
+			}
+			g.members = append(g.members, memberCtx)
+			if d, ok := memberCtx.Deadline(); ok {
+				if d.After(g.latest) {
+					g.latest = d
+				}
+			} else {
+				g.allDeadline = false
+			}
+		}
+		for i := range reqs {
+			if hasDup[i] {
+				add(i, reqs[i].Ctx)
+			}
+		}
+		for i, c := range dupOf {
+			if c >= 0 {
+				add(c, reqs[i].Ctx)
+			}
+		}
+		groupCtx = make(map[int]context.Context, len(gs))
+		for c, g := range gs {
+			parent := ctx
+			if g.allDeadline {
+				var cancel context.CancelFunc
+				parent, cancel = context.WithDeadline(ctx, g.latest)
+				defer cancel()
+			}
+			if g.unbounded {
+				groupCtx[c] = parent
+				continue
+			}
+			gc, cancel := context.WithCancel(parent)
+			defer cancel()
+			var left atomic.Int64
+			left.Store(int64(len(g.members)))
+			for _, m := range g.members {
+				stop := context.AfterFunc(m, func() {
+					if left.Add(-1) == 0 {
+						cancel()
+					}
+				})
+				defer stop()
+			}
+			groupCtx[c] = gc
+		}
+	}
+	// Member contexts already dead at entry are noted now: those members
+	// get their error (matching queryIntoPrep's solo early-exit), while
+	// members whose deadline merely passes later in the batch — after
+	// their group's answer was already computed — keep the answer, the
+	// batch analogue of the kernel's completed-answer-wins rule.
+	var expiredAtEntry []bool
+	if hasDup != nil { // only dedup-group members are ever stamped
+		expiredAtEntry = make([]bool, len(reqs))
+		for i := range reqs {
+			expiredAtEntry[i] = reqs[i].Ctx != nil && reqs[i].Ctx.Err() != nil
+		}
 	}
 	prepFor := func(i int) *dssearch.Prepared {
 		if preps == nil {
@@ -347,6 +596,16 @@ func (e *Engine) QueryBatchInto(dst []QueryResponse, reqs []QueryRequest) []Quer
 		return preps[i]
 	}
 	canonical := func(i int) bool { return dupOf == nil || dupOf[i] < 0 }
+	// dispatch runs canonical request i. A canonical with duplicates is
+	// detached from its own per-request context and runs under the dedup
+	// group's context instead (see above and the stamping pass in
+	// finish).
+	dispatch := func(i int, req QueryRequest) {
+		if hasDup != nil && hasDup[i] {
+			req.Ctx = groupCtx[i] // nil → the batch context
+		}
+		e.queryIntoPrep(ctx, req, &out[i], prepFor(i))
+	}
 	finish := func() []QueryResponse {
 		if dupOf != nil {
 			for i, c := range dupOf {
@@ -354,21 +613,63 @@ func (e *Engine) QueryBatchInto(dst []QueryResponse, reqs []QueryRequest) []Quer
 					copyResponse(&out[i], &out[c])
 				}
 			}
+			// Deadline stamping for dedup groups: their shared search ran
+			// under the group context, not any one member's, so each
+			// member's own context error is applied here — after the
+			// copy, never perturbing a surviving peer — but only when
+			// the member was already dead at dispatch or the shared
+			// search itself ended in a context error (then every member
+			// reports its own error class). A member whose deadline
+			// passed while OTHER searches of the batch ran keeps the
+			// answer its group computed in time.
+			for i := range reqs {
+				inGroup := dupOf[i] >= 0 || (hasDup != nil && hasDup[i])
+				if !inGroup || reqs[i].Ctx == nil {
+					continue
+				}
+				sharedCtxErr := out[i].Err != nil &&
+					(errors.Is(out[i].Err, context.Canceled) || errors.Is(out[i].Err, context.DeadlineExceeded))
+				if !expiredAtEntry[i] && !sharedCtxErr {
+					continue
+				}
+				if cerr := reqs[i].Ctx.Err(); cerr != nil {
+					out[i].Regions = out[i].Regions[:0]
+					out[i].Results = out[i].Results[:0]
+					out[i].Err = cerr
+				}
+			}
+		}
+		for i := range out {
+			e.countResponse(&out[i])
 		}
 		return out
 	}
 
+	// Size the dispatch pool by the number of searches that will actually
+	// run: on dedup-heavy serving batches (the coalesced hot path) most
+	// requests are duplicates, and splitting the kernel-worker budget by
+	// the raw request count would leave most of the machine idle behind
+	// a handful of canonical searches.
+	work := len(reqs)
+	if dupOf != nil {
+		work = 0
+		for _, c := range dupOf {
+			if c < 0 {
+				work++
+			}
+		}
+	}
 	par := e.opt.BatchParallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
-	if par > len(reqs) {
-		par = len(reqs)
+	if par > work {
+		par = work
 	}
 	if par == 1 {
 		for i := range reqs {
 			if canonical(i) {
-				e.queryIntoPrep(reqs[i], &out[i], prepFor(i))
+				dispatch(i, reqs[i])
 			}
 		}
 		return finish()
@@ -402,7 +703,7 @@ func (e *Engine) QueryBatchInto(dst []QueryResponse, reqs []QueryRequest) []Quer
 					opt.Workers = perQuery
 					req.Options = &opt
 				}
-				e.queryIntoPrep(req, &out[i], prepFor(i))
+				dispatch(i, req)
 			}
 		}()
 	}
@@ -410,11 +711,15 @@ func (e *Engine) QueryBatchInto(dst []QueryResponse, reqs []QueryRequest) []Quer
 	return finish()
 }
 
-// groupBatch runs the batch grouping pass: it marks duplicate plain
-// requests (dupOf[i] = canonical index, -1 otherwise) and builds one
-// Prepared query shape per (composite, a, b) group with at least two
-// distinct members. Requests that pin their own Options, ask for TopK,
-// or carry exclusions are left ungrouped.
+// groupBatch runs the batch grouping pass: it marks duplicate requests
+// (dupOf[i] = canonical index, -1 otherwise) and builds one Prepared
+// query shape per (composite, a, b) group with at least two distinct
+// members. Requests that pin their own Options are left out entirely;
+// TopK and exclusion requests participate in dedup — the greedy search
+// is just as deterministic, and query-by-example traffic (region +
+// exclude-the-example, the serving layer's flagship form) dedups
+// constantly — but not in Prepared sharing, which only the plain
+// single-region path binds.
 func (e *Engine) groupBatch(reqs []QueryRequest) ([]*dssearch.Prepared, []int) {
 	preps := make([]*dssearch.Prepared, len(reqs))
 	dupOf := make([]int, len(reqs))
@@ -428,7 +733,7 @@ func (e *Engine) groupBatch(reqs []QueryRequest) ([]*dssearch.Prepared, []int) {
 	for i := range reqs {
 		dupOf[i] = -1
 		req := &reqs[i]
-		if req.Options != nil || req.TopK > 1 || len(req.Exclude) > 0 || req.Query.F == nil {
+		if req.Options != nil || req.Query.F == nil {
 			continue
 		}
 		kb.Reset()
@@ -439,6 +744,9 @@ func (e *Engine) groupBatch(reqs []QueryRequest) ([]*dssearch.Prepared, []int) {
 			continue
 		}
 		seen[k] = i
+		if req.TopK > 1 || len(req.Exclude) > 0 {
+			continue // dedup only; no prepared-shape group
+		}
 		gk := gkey{req.Query.F, req.A, req.B}
 		groups[gk] = append(groups[gk], i)
 	}
@@ -459,10 +767,10 @@ func (e *Engine) groupBatch(reqs []QueryRequest) ([]*dssearch.Prepared, []int) {
 	return preps, dupOf
 }
 
-// dedupKey writes a byte-exact identity key for a plain request:
-// composite pointer, extent, TopK, norm, target and weights. Two
-// requests with equal keys are answered identically by the
-// deterministic search, so one execution serves both.
+// dedupKey writes a byte-exact identity key for a request: composite
+// pointer, extent, TopK, norm, target, weights and exclusion
+// rectangles. Two requests with equal keys are answered identically by
+// the deterministic search, so one execution serves both.
 func dedupKey(kb *strings.Builder, req *QueryRequest) {
 	// Lengths (with nil marked distinctly from empty) precede the
 	// values: a nil weight vector means unit weights while an empty
@@ -484,6 +792,13 @@ func dedupKey(kb *strings.Builder, req *QueryRequest) {
 	}
 	writeVec(req.Query.Target)
 	writeVec(req.Query.W)
+	kb.WriteString(strconv.Itoa(len(req.Exclude)))
+	kb.WriteByte(':')
+	for _, r := range req.Exclude {
+		fmt.Fprintf(kb, "%x,%x,%x,%x;",
+			math.Float64bits(r.MinX), math.Float64bits(r.MinY),
+			math.Float64bits(r.MaxX), math.Float64bits(r.MaxY))
+	}
 }
 
 // copyResponse deep-copies a canonical response into a duplicate

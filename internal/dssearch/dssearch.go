@@ -26,6 +26,7 @@
 package dssearch
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -41,6 +42,14 @@ import (
 
 // Options configures a DS-Search run.
 type Options struct {
+	// Ctx, when non-nil, cancels the search cooperatively: the kernel
+	// checks it at superstep boundaries and the front doors between
+	// sub-space solves, so a cancelled or deadline-expired context stops
+	// the search within one batch of work and surfaces
+	// context.Canceled / context.DeadlineExceeded from the front door.
+	// Cancellation never tears a superstep, so searches that complete
+	// keep the bit-identical-answers guarantee unchanged.
+	Ctx context.Context
 	// NCol, NRow control the discretization grid (paper default 30×30).
 	NCol, NRow int
 	// Delta is the approximation parameter δ of §6. Zero gives the exact
@@ -187,6 +196,7 @@ type Searcher struct {
 	Stats Stats
 
 	best    asp.Result
+	err     error // first cancellation error; later solves become no-ops
 	workers []*worker
 
 	// Batch-built per-worker scratch (ensureScratch): every worker's
@@ -647,12 +657,16 @@ func (s *Searcher) appendBinIDs(space geom.Rect, dst []int32, window int) ([]int
 // intersects the space; the slice is only read and never retained past
 // the call.
 func (s *Searcher) SolveWithinIDs(space geom.Rect, seedLB float64, ids []int32) {
-	if !space.IsValid() || len(s.rects) == 0 {
+	if !space.IsValid() || len(s.rects) == 0 || s.err != nil {
 		return
+	}
+	ctx := s.opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	bound := kernel.NewBound(s.opt.Delta, s.best)
 	seed := kernel.Item{Space: space, Clip: space, LB: seedLB, Ids: ids}
-	pushes, maxHeap, steals := kernel.Run(len(s.workers), s.opt.BatchSize, []kernel.Item{seed}, bound,
+	pushes, maxHeap, steals, err := kernel.RunCtx(ctx, len(s.workers), s.opt.BatchSize, []kernel.Item{seed}, bound,
 		func(wid int, it kernel.Item, incumbent asp.Result, emit func(kernel.Item)) asp.Result {
 			w := s.workers[wid]
 			w.beginItem(incumbent)
@@ -678,6 +692,7 @@ func (s *Searcher) SolveWithinIDs(space geom.Rect, seedLB float64, ids []int32) 
 			}
 		})
 	s.best = bound.Best()
+	s.err = err
 	s.Stats.HeapPushes += pushes
 	s.Stats.Steals += steals
 	if maxHeap > s.Stats.MaxHeapSize {
@@ -860,6 +875,13 @@ func (s *Searcher) PointRepresentation(p geom.Point) []float64 {
 // used by the grid-index driver to thread d_opt across cells).
 func (s *Searcher) Best() asp.Result { return s.best }
 
+// Err reports whether a solve was cut short by Options.Ctx
+// (context.Canceled or context.DeadlineExceeded, nil otherwise). Once
+// set, further Solve calls on this searcher are no-ops; the partial
+// incumbent in Best() is NOT the search answer and front doors must
+// surface the error instead of it.
+func (s *Searcher) Err() error { return s.err }
+
 // SeedBest installs an externally found incumbent (GI-DS threads its
 // running optimum through successive DS-Search invocations).
 func (s *Searcher) SeedBest(r asp.Result) { s.best = r }
@@ -897,6 +919,9 @@ func SolveASRSExcluding(ds *attr.Dataset, a, b float64, q asp.Query, exclude geo
 		for _, sub := range subtractRect(space, forbidden) {
 			s.SolveWithin(sub, 0)
 		}
+	}
+	if err := s.Err(); err != nil {
+		return geom.Rect{}, asp.Result{}, s.Stats, err
 	}
 	s.best.Rep = s.PointRepresentation(s.best.Point)
 	s.best.Dist = s.query.Distance(s.best.Rep)
@@ -943,6 +968,10 @@ func SolveASRSTopK(ds *attr.Dataset, a, b float64, q asp.Query, k int, exclude [
 			for _, p := range pieces {
 				s.SolveWithin(p, 0)
 			}
+		}
+		if err := s.Err(); err != nil {
+			s.Release()
+			return nil, nil, err
 		}
 		s.best.Rep = s.PointRepresentation(s.best.Point)
 		s.best.Dist = s.query.Distance(s.best.Rep)
@@ -1003,6 +1032,9 @@ func SolveASRS(ds *attr.Dataset, a, b float64, q asp.Query, opt Options) (geom.R
 	}
 	defer s.Release()
 	res := s.Solve()
+	if err := s.Err(); err != nil {
+		return geom.Rect{}, asp.Result{}, s.Stats, err
+	}
 	region := opt.Anchor.RegionFor(res.Point, a, b)
 	return region, res, s.Stats, nil
 }

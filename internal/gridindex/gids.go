@@ -92,7 +92,7 @@ func Solve(idx *Index, rects []asp.RectObject, q asp.Query, a, b float64, opt ds
 		// come from the searcher's binary-searched master window, not a
 		// linear scan.
 		var sub []int32
-		for h.Len() > 0 {
+		for h.Len() > 0 && searcher.Err() == nil {
 			top := h.Pop()
 			thresh := searcher.Best().Dist
 			if opt.Delta > 0 {
@@ -105,6 +105,10 @@ func Solve(idx *Index, rects []asp.RectObject, q asp.Query, a, b float64, opt ds
 			sub = searcher.AppendWindowIDs(top.rect, sub[:0])
 			searcher.SolveWithinIDs(top.rect, top.lb, sub)
 		}
+	}
+	if err := searcher.Err(); err != nil {
+		stats.DS = searcher.Stats
+		return asp.Result{}, stats, err
 	}
 
 	best := searcher.Best()

@@ -55,6 +55,7 @@
 package kernel
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 
@@ -169,6 +170,23 @@ func (d *deque) take(front bool) (int, bool) {
 // terminates the loop), so processors that pool per-item resources can
 // reclaim them; processed items are the processor's own responsibility.
 func Run(workers, batchSize int, seeds []Item, bound *Bound, process ProcessFunc, release func(Item)) (pushes, maxHeap, steals int) {
+	pushes, maxHeap, steals, _ = RunCtx(context.Background(), workers, batchSize, seeds, bound, process, release)
+	return pushes, maxHeap, steals
+}
+
+// RunCtx is Run with cooperative cancellation: the context is checked
+// once per superstep, at the round boundary where no worker is mid-item.
+// On cancellation the loop stops before popping the next batch, every
+// unprocessed heap item is handed to release, the persistent worker pool
+// is torn down (no goroutine leaks), and err is ctx.Err()
+// (context.Canceled or context.DeadlineExceeded). The bound still holds
+// the best result found so far — callers decide whether a partial
+// incumbent is useful. Because the check sits at the barrier, a round in
+// flight always completes: cancellation never produces a torn superstep,
+// so searches that are NOT cancelled retain the bit-identical-answers
+// guarantee unchanged, and a cancelled search costs at most one batch of
+// extra work after the deadline.
+func RunCtx(ctx context.Context, workers, batchSize int, seeds []Item, bound *Bound, process ProcessFunc, release func(Item)) (pushes, maxHeap, steals int, err error) {
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
@@ -242,6 +260,7 @@ func Run(workers, batchSize int, seeds []Item, bound *Bound, process ProcessFunc
 		}
 	}()
 
+	stop := ctx.Done()
 	for h.Len() > 0 {
 		if h.Len() > maxHeap {
 			maxHeap = h.Len()
@@ -250,6 +269,18 @@ func Run(workers, batchSize int, seeds []Item, bound *Bound, process ProcessFunc
 		thresh := bound.Threshold()
 		if h.Peek().LB >= thresh {
 			break // every remaining space is bounded away from improving
+		}
+		// Cancellation is checked after the termination test on purpose:
+		// a search whose answer is already fully determined must return
+		// it, not discard it as DeadlineExceeded because the deadline
+		// happened to fire a beat before the clean break above.
+		select {
+		case <-stop:
+			err = ctx.Err()
+		default:
+		}
+		if err != nil {
+			break
 		}
 		batch = batch[:0]
 		for h.Len() > 0 && len(batch) < batchSize && h.Peek().LB < thresh {
@@ -337,5 +368,5 @@ func Run(workers, batchSize int, seeds []Item, bound *Bound, process ProcessFunc
 			release(h.Pop())
 		}
 	}
-	return pushes, maxHeap, int(stolen.Load())
+	return pushes, maxHeap, int(stolen.Load()), err
 }

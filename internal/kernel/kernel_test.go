@@ -1,10 +1,12 @@
 package kernel
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -256,6 +258,71 @@ func TestRunWorkSteals(t *testing.T) {
 	}
 	if steals == 0 {
 		t.Fatal("expected idle workers to steal from the slow worker's deque")
+	}
+}
+
+// TestRunCtxCancellation: a context cancelled mid-search must stop the
+// loop at the next superstep boundary, release every unprocessed heap
+// item exactly once, report ctx.Err(), and leave no worker goroutine
+// behind (the -race run doubles as the leak/teardown check). The
+// workload regrows the heap forever, so only cancellation terminates it.
+func TestRunCtxCancellation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		bound := NewBound(0, asp.Result{Dist: 1e18})
+		var processed atomic.Int64
+		var released atomic.Int64
+		done := make(chan error, 1)
+		go func() {
+			_, _, _, err := RunCtx(ctx, workers, 4, []Item{{LB: 0, Pooled: true}}, bound,
+				func(w int, it Item, inc asp.Result, emit func(Item)) asp.Result {
+					if processed.Add(1) == 16 {
+						cancel() // cancel from inside a round: the round must still complete
+					}
+					emit(Item{LB: 0, Pooled: true})
+					emit(Item{LB: 0, Pooled: true})
+					return inc
+				},
+				func(it Item) { released.Add(1) })
+			done <- err
+		}()
+		var err error
+		select {
+		case err = <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("workers=%d: RunCtx did not stop after cancellation", workers)
+		}
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Conservation: every processed item emitted two children; all
+		// items are either processed or released, minus the one seed.
+		if p, r := processed.Load(), released.Load(); p+r != 2*p+1 {
+			t.Fatalf("workers=%d: processed=%d released=%d — leftovers not drained exactly once", workers, p, r)
+		}
+		cancel()
+	}
+}
+
+// TestRunCtxDeadline: an already expired deadline must return before
+// processing anything.
+func TestRunCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	bound := NewBound(0, asp.Result{Dist: 1e18})
+	processed := 0
+	released := 0
+	_, _, _, err := RunCtx(ctx, 2, 0, []Item{{LB: 0}, {LB: 1}}, bound,
+		func(w int, it Item, inc asp.Result, emit func(Item)) asp.Result {
+			processed++
+			return inc
+		},
+		func(it Item) { released++ })
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if processed != 0 || released != 2 {
+		t.Fatalf("processed=%d released=%d, want 0 and 2", processed, released)
 	}
 }
 

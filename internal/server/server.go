@@ -1,0 +1,567 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asrs"
+)
+
+// Defaults for Config zero values.
+const (
+	// DefaultWindow is the coalescing window: how long the first request
+	// of a batch may wait for company. It bounds the latency tax of
+	// coalescing; 2ms is far below a search's own cost on serving-scale
+	// corpora.
+	DefaultWindow = 2 * time.Millisecond
+	// DefaultMaxBatch caps requests per coalesced superstep.
+	DefaultMaxBatch = 32
+	// DefaultMaxInFlight bounds admitted requests (queued in a window +
+	// executing); beyond it the server sheds load with 429.
+	DefaultMaxInFlight = 256
+	// DefaultTimeout bounds queries that do not pick their own.
+	DefaultTimeout = 10 * time.Second
+	// DefaultMaxTimeout clamps client-chosen timeouts.
+	DefaultMaxTimeout = 60 * time.Second
+	// maxBodyBytes bounds request bodies (targets and exclusion lists
+	// are small; 8 MiB is generous).
+	maxBodyBytes = 8 << 20
+)
+
+// Config configures a Server.
+type Config struct {
+	// Engine serves the queries (required).
+	Engine *asrs.Engine
+	// Composites is the serving registry: wire `composite` names to the
+	// long-lived singletons the engine's caches are keyed by (required,
+	// at least one entry).
+	Composites map[string]*asrs.Composite
+	// Window is the coalescing window. Zero or negative disables
+	// coalescing — every request dispatches alone (the ablation
+	// baseline). Callers that want the default must say
+	// server.DefaultWindow; a silent zero→default rewrite would make
+	// the no-coalescing configuration unreachable by the obvious value.
+	Window time.Duration
+	// MaxBatch caps requests per coalesced superstep (0 selects
+	// DefaultMaxBatch).
+	MaxBatch int
+	// MaxInFlight bounds admitted requests before 429 load shedding
+	// (0 selects DefaultMaxInFlight).
+	MaxInFlight int
+	// Timeout is the per-query deadline for requests that do not send
+	// timeout_ms (0 selects DefaultTimeout).
+	Timeout time.Duration
+	// MaxTimeout clamps client-chosen timeouts (0 selects
+	// DefaultMaxTimeout).
+	MaxTimeout time.Duration
+}
+
+// Server is the HTTP serving layer: handlers, the coalescer, admission
+// control and the drain lifecycle. Create with New, mount via Handler,
+// stop with Shutdown.
+type Server struct {
+	cfg  Config
+	eng  *asrs.Engine
+	coal *Coalescer
+	mux  *http.ServeMux
+
+	// sem is the admission semaphore: one token per admitted request,
+	// covering its whole life (window wait + search). Acquisition is
+	// non-blocking — a full queue sheds with 429 + Retry-After rather
+	// than stacking latency.
+	sem chan struct{}
+
+	// base is the serving context: every search runs under it. cancel
+	// fires at the end of Shutdown's grace period, aborting stragglers
+	// at their next kernel superstep boundary.
+	base     context.Context
+	cancel   context.CancelFunc
+	draining atomic.Bool
+	// inflight tracks engine work running outside the coalescer (the
+	// /v1/batch path), so Shutdown's drain waits for it too. drainMu
+	// orders inflight.Add against the draining flip: handlers register
+	// under the read lock, Shutdown flips under the write lock, so no
+	// Add can race a Wait that already observed zero.
+	drainMu  sync.RWMutex
+	inflight sync.WaitGroup
+
+	nReceived atomic.Int64
+	nShed     atomic.Int64
+	nTimeouts atomic.Int64
+	nBadReqs  atomic.Int64
+	start     time.Time
+}
+
+// New validates the config and builds a ready-to-serve Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: config requires an engine")
+	}
+	if len(cfg.Composites) == 0 {
+		return nil, fmt.Errorf("server: config requires at least one registered composite")
+	}
+	for name, f := range cfg.Composites {
+		if f == nil {
+			return nil, fmt.Errorf("server: composite %q is nil", name)
+		}
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = DefaultMaxTimeout
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:    cfg,
+		eng:    cfg.Engine,
+		coal:   NewCoalescer(base, cfg.Engine, cfg.Window, cfg.MaxBatch),
+		sem:    make(chan struct{}, cfg.MaxInFlight),
+		base:   base,
+		cancel: cancel,
+		start:  time.Now(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler with the standard
+// middleware (panic recovery) applied.
+func (s *Server) Handler() http.Handler { return recoverMiddleware(s.mux) }
+
+// Shutdown drains the server gracefully: liveness flips to 503 and new
+// queries are refused immediately, the pending coalescing window is
+// flushed, and in-flight searches get until ctx's deadline to finish
+// before the serving context is cancelled — which stops stragglers
+// cooperatively at their next kernel superstep boundary. Always returns
+// after in-flight work has stopped; the error reports whether the grace
+// period expired first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.coal.Close()
+		s.inflight.Wait() // /v1/batch work runs outside the coalescer
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("server: drain grace period expired: %w", ctx.Err())
+	}
+	// Cancel the serving context either way: a no-op after a clean
+	// drain, the cooperative abort for stragglers otherwise.
+	s.cancel()
+	<-done
+	return err
+}
+
+// buildRequest compiles a wire query into an engine request. The
+// returned cancel func releases the deadline timer and must be called
+// once the response is delivered.
+func (s *Server) buildRequest(wq Query) (asrs.QueryRequest, context.CancelFunc, error) {
+	f, ok := s.cfg.Composites[wq.Composite]
+	if !ok {
+		return asrs.QueryRequest{}, nil, fmt.Errorf("unknown composite %q", wq.Composite)
+	}
+	norm, err := ParseNorm(wq.Norm)
+	if err != nil {
+		return asrs.QueryRequest{}, nil, err
+	}
+	a, b := wq.A, wq.B
+	var q asrs.Query
+	exclude := make([]asrs.Rect, 0, len(wq.Exclude)+1)
+	for _, r := range wq.Exclude {
+		exclude = append(exclude, RectLib(r))
+	}
+	switch {
+	case wq.Region != nil && wq.Target != nil:
+		return asrs.QueryRequest{}, nil, fmt.Errorf("set either target or region, not both")
+	case wq.Region != nil:
+		rq := RectLib(*wq.Region)
+		if a == 0 {
+			a = rq.Width()
+		}
+		if b == 0 {
+			b = rq.Height()
+		}
+		q, err = asrs.QueryFromRegion(s.eng.Dataset(), f, wq.Weights, rq)
+		if err != nil {
+			return asrs.QueryRequest{}, nil, err
+		}
+		if wq.ExcludeRegion {
+			exclude = append(exclude, rq)
+		}
+	case wq.Target != nil:
+		q, err = asrs.QueryFromTarget(f, wq.Target, wq.Weights)
+		if err != nil {
+			return asrs.QueryRequest{}, nil, err
+		}
+	default:
+		return asrs.QueryRequest{}, nil, fmt.Errorf("query requires a target or an example region")
+	}
+	q.Norm = norm
+	if a <= 0 || b <= 0 {
+		return asrs.QueryRequest{}, nil, fmt.Errorf("region size must be positive, got %g x %g", a, b)
+	}
+	if wq.TopK < 0 {
+		return asrs.QueryRequest{}, nil, fmt.Errorf("top_k must be non-negative, got %d", wq.TopK)
+	}
+	if wq.Delta < 0 {
+		return asrs.QueryRequest{}, nil, fmt.Errorf("delta must be non-negative, got %g", wq.Delta)
+	}
+	req := asrs.QueryRequest{Query: q, A: a, B: b, TopK: wq.TopK, Exclude: exclude}
+	if wq.Delta > 0 {
+		// Pinning per-request options opts this query out of batch
+		// grouping (a δ-approximate answer must never be shared with an
+		// exact request); the search still coalesces into the superstep.
+		// Start from the engine's defaults so only δ changes — the
+		// operator's worker bound and grid settings must survive the pin.
+		opt := s.eng.SearchOptions()
+		opt.Delta = wq.Delta
+		req.Options = &opt
+	}
+	if wq.TimeoutMS < 0 {
+		return asrs.QueryRequest{}, nil, fmt.Errorf("timeout_ms must be non-negative, got %d", wq.TimeoutMS)
+	}
+	timeout := s.cfg.Timeout
+	if wq.TimeoutMS > 0 {
+		timeout = time.Duration(wq.TimeoutMS) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	ctx, cancel := context.WithTimeout(s.base, timeout)
+	req.Ctx = ctx
+	return req, cancel, nil
+}
+
+// statusFor maps an engine response error to its HTTP status. Client
+// input was already validated in buildRequest (400 before the engine is
+// reached), so a non-context engine error here is a server-side failure
+// — an index or pyramid build error, not bad client traffic — and maps
+// to 500.
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable // drain abort
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, Response{Error: fmt.Sprintf(format, args...)})
+}
+
+// admit acquires n admission tokens — one per query, so a client batch
+// weighs what it costs and cannot sidestep MaxInFlight by bundling —
+// or sheds. ok=false means the 429 (or 503 during drain) has already
+// been written. The caller has already counted the request in
+// nReceived (at handler entry, so decode failures count too).
+func (s *Server) admit(w http.ResponseWriter, n int) bool {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	}
+	for got := 0; got < n; got++ {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.release(got)
+			s.nShed.Add(1)
+			// Retry-After: one coalescing window is the natural backoff
+			// quantum, rounded up to a whole second for the header.
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.MaxInFlight)
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) release(n int) {
+	for ; n > 0; n-- {
+		<-s.sem
+	}
+}
+
+// handleQuery serves POST /v1/query: decode, admit, coalesce, respond.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.nReceived.Add(1)
+	// Admission before the body is even read: shedding must stay cheap
+	// under exactly the overload it exists to protect against — a 429
+	// costs no decode work.
+	if !s.admit(w, 1) {
+		return
+	}
+	handedOff := false
+	defer func() {
+		if !handedOff {
+			s.release(1)
+		}
+	}()
+	var wq Query
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&wq); err != nil {
+		s.nBadReqs.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	req, cancel, err := s.buildRequest(wq)
+	if err != nil {
+		s.nBadReqs.Add(1)
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	defer cancel()
+	// A disconnected client cancels its search: the request context is
+	// derived from the serving context (drain), but net/http signals the
+	// client going away through r.Context() — propagate that into the
+	// search so abandoned work frees its workers and admission token
+	// instead of running out its full deadline.
+	stopWatch := context.AfterFunc(r.Context(), cancel)
+	defer stopWatch()
+
+	deliver := func(resp asrs.QueryResponse) {
+		status := statusFor(resp.Err)
+		if status == http.StatusGatewayTimeout {
+			s.nTimeouts.Add(1)
+		}
+		writeJSON(w, status, ResponseWire(resp, time.Since(start)))
+	}
+	done := s.coal.Submit(req)
+	select {
+	case resp, ok := <-done:
+		if !ok { // coalescer closed between admit and submit
+			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		deliver(resp)
+	case <-req.Ctx.Done():
+		// The request's context fired while it sat in a window or behind
+		// a long batch: its own deadline passed, or the drain grace
+		// period expired and cancelled the serving context. Both select
+		// cases may be ready at once — prefer an answer that already
+		// arrived over discarding it as a timeout.
+		select {
+		case resp, ok := <-done:
+			if ok {
+				deliver(resp)
+				return
+			}
+		default:
+		}
+		// The search is still running; it stops cooperatively at its
+		// next superstep and the buffered done channel absorbs the late
+		// delivery. Peers in the same batch are unaffected. The
+		// admission token follows the orphaned search — MaxInFlight
+		// bounds *engine* work, not handler lifetimes, or a stream of
+		// short-deadline requests could stack unbounded concurrent
+		// batches behind freed tokens. statusFor distinguishes the two
+		// causes (504 deadline vs 503 drain), matching what the
+		// done-channel path would have reported.
+		handedOff = true
+		go func() {
+			<-done
+			s.release(1)
+		}()
+		cerr := req.Ctx.Err()
+		status := statusFor(cerr)
+		if status == http.StatusGatewayTimeout {
+			s.nTimeouts.Add(1)
+		}
+		writeError(w, status, "%v", cerr)
+	}
+}
+
+// handleBatch serves POST /v1/batch: an explicit client-built batch.
+// It bypasses the window (the client already batched) and goes straight
+// to the engine's grouped batch path; per-query deadlines still apply.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.nReceived.Add(1)
+	// One token before the decode keeps overload-path shedding cheap;
+	// the batch's true weight is acquired after its size is known.
+	if !s.admit(w, 1) {
+		return
+	}
+	took := 1
+	defer func() { s.release(took) }()
+	var wb Batch
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&wb); err != nil {
+		s.nBadReqs.Add(1)
+		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if len(wb.Queries) == 0 {
+		s.nBadReqs.Add(1)
+		writeError(w, http.StatusBadRequest, "batch requires at least one query")
+		return
+	}
+	if len(wb.Queries) > s.cfg.MaxInFlight {
+		s.nBadReqs.Add(1)
+		writeError(w, http.StatusBadRequest, "batch of %d exceeds the admission bound (%d)", len(wb.Queries), s.cfg.MaxInFlight)
+		return
+	}
+	if extra := len(wb.Queries) - 1; extra > 0 {
+		if !s.admit(w, extra) {
+			return
+		}
+		took += extra
+	}
+	// Register with the drain before searching: this path bypasses the
+	// coalescer, and Shutdown must wait for it like any other in-flight
+	// work instead of cancelling it the moment the (idle) coalescer
+	// closes. Re-checking draining under the read lock closes the race
+	// with a concurrent Shutdown flipping the flag after admit.
+	s.drainMu.RLock()
+	if s.draining.Load() {
+		s.drainMu.RUnlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.inflight.Add(1)
+	s.drainMu.RUnlock()
+	defer s.inflight.Done()
+
+	reqs := make([]asrs.QueryRequest, len(wb.Queries))
+	resps := make([]Response, len(wb.Queries))
+	run := make([]int, 0, len(wb.Queries))
+	cancels := make([]context.CancelFunc, 0, len(wb.Queries))
+	for i, wq := range wb.Queries {
+		req, cancel, err := s.buildRequest(wq)
+		if err != nil {
+			s.nBadReqs.Add(1)
+			resps[i] = Response{Error: err.Error(), Status: http.StatusBadRequest}
+			continue
+		}
+		defer cancel()
+		cancels = append(cancels, cancel)
+		reqs[i] = req
+		run = append(run, i)
+	}
+	if len(run) > 0 {
+		sub := make([]asrs.QueryRequest, len(run))
+		for k, i := range run {
+			sub[k] = reqs[i]
+		}
+		// Like handleQuery, a disconnected client cancels its queries —
+		// each per-query context individually, since those take
+		// precedence over the batch-level context inside the engine.
+		stopWatch := context.AfterFunc(r.Context(), func() {
+			for _, c := range cancels {
+				c()
+			}
+		})
+		defer stopWatch()
+		out := s.eng.QueryBatchCtx(s.base, sub)
+		for k, i := range run {
+			if errors.Is(out[k].Err, context.DeadlineExceeded) {
+				s.nTimeouts.Add(1)
+			}
+			resps[i] = ResponseWire(out[k], time.Since(start))
+			resps[i].Status = statusFor(out[k].Err)
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Responses: resps,
+		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 once the
+// drain begins (load balancers stop routing before the listener
+// closes).
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// Stats is the GET /stats document: server-level serving counters plus
+// the engine's and coalescer's own.
+type Stats struct {
+	// UptimeSeconds since the server was built.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Received counts HTTP calls seen (a /v1/batch call counts once
+	// regardless of how many queries it carries — Engine.Queries counts
+	// per query; including shed and malformed calls); Shed the 429s;
+	// Timeouts the 504s; BadRequests the 400s.
+	Received    int64 `json:"received"`
+	Shed        int64 `json:"shed"`
+	Timeouts    int64 `json:"timeouts"`
+	BadRequests int64 `json:"bad_requests"`
+	// InFlight is the number of currently admitted requests and
+	// MaxInFlight the admission bound.
+	InFlight    int  `json:"in_flight"`
+	MaxInFlight int  `json:"max_in_flight"`
+	Draining    bool `json:"draining"`
+	// WindowMS and MaxBatch echo the coalescing configuration.
+	WindowMS float64 `json:"window_ms"`
+	MaxBatch int     `json:"max_batch"`
+	// Composites lists the registered composite names.
+	Composites []string         `json:"composites"`
+	Coalescer  CoalescerStats   `json:"coalescer"`
+	Engine     asrs.EngineStats `json:"engine"`
+}
+
+// handleStats serves GET /stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(s.cfg.Composites))
+	for name := range s.cfg.Composites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, Stats{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Received:      s.nReceived.Load(),
+		Shed:          s.nShed.Load(),
+		Timeouts:      s.nTimeouts.Load(),
+		BadRequests:   s.nBadReqs.Load(),
+		InFlight:      len(s.sem),
+		MaxInFlight:   s.cfg.MaxInFlight,
+		Draining:      s.draining.Load(),
+		WindowMS:      float64(s.cfg.Window.Microseconds()) / 1e3,
+		MaxBatch:      s.cfg.MaxBatch,
+		Composites:    names,
+		Coalescer:     s.coal.Stats(),
+		Engine:        s.eng.Stats(),
+	})
+}

@@ -1,0 +1,414 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"asrs"
+	"asrs/internal/server"
+)
+
+// newTestServer builds a server over the shared corpus with the given
+// config overrides applied (Engine/Composites are filled in).
+func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server, *asrs.Engine) {
+	t.Helper()
+	ds, f, _ := corpus(t)
+	eng, err := asrs.NewEngine(ds, asrs.EngineOptions{IndexGranularity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Engine = eng
+	cfg.Composites = map[string]*asrs.Composite{"poi": f}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts, eng
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func getStats(t *testing.T, url string) server.Stats {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// wireFor converts an engine request from the shared corpus into its
+// wire form (targets are already materialized there).
+func wireFor(req asrs.QueryRequest) server.Query {
+	return server.Query{
+		Composite: "poi",
+		A:         req.A,
+		B:         req.B,
+		Target:    append([]float64(nil), req.Query.Target...),
+	}
+}
+
+// TestServerQueryEndToEnd: a wire query must come back 200 with the
+// same answer bits the engine gives directly, and /healthz and /stats
+// must reflect the traffic.
+func TestServerQueryEndToEnd(t *testing.T) {
+	_, ts, eng := newTestServer(t, server.Config{})
+	_, _, reqs := corpus(t)
+
+	want := eng.Query(reqs[0])
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/query", wireFor(reqs[0]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var wr server.Response
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Results) != 1 {
+		t.Fatalf("results = %d, want 1", len(wr.Results))
+	}
+	if math.Float64bits(wr.Results[0].Dist) != math.Float64bits(want.Results[0].Dist) {
+		t.Fatalf("served dist %v != engine dist %v", wr.Results[0].Dist, want.Results[0].Dist)
+	}
+	if got := server.RectLib(wr.Results[0].Region); got != want.Regions[0] {
+		t.Fatalf("served region %+v != engine region %+v", got, want.Regions[0])
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", hz.StatusCode)
+	}
+
+	stats := getStats(t, ts.URL)
+	if stats.Received != 1 || stats.Engine.Queries < 1 {
+		t.Fatalf("stats did not count the query: %+v", stats)
+	}
+	if len(stats.Composites) != 1 || stats.Composites[0] != "poi" {
+		t.Fatalf("composites = %v", stats.Composites)
+	}
+}
+
+// TestServerConcurrentClientsBitIdentical is the HTTP half of the
+// coalescer property test: N concurrent HTTP clients must get the same
+// answer bits as sequential engine queries, while the server actually
+// coalesces (batches > 0 with fewer batches than requests).
+func TestServerConcurrentClientsBitIdentical(t *testing.T) {
+	_, ts, eng := newTestServer(t, server.Config{Window: 5 * time.Millisecond, MaxBatch: 16})
+	_, _, reqs := corpus(t)
+
+	want := make([]float64, len(reqs))
+	for i, req := range reqs {
+		resp := eng.Query(req)
+		if resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+		want[i] = resp.Results[0].Dist
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(reqs))
+	got := make([]float64, len(reqs))
+	for i := range reqs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			raw, _ := json.Marshal(wireFor(reqs[i]))
+			resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(raw))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var wr server.Response
+			if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, wr.Error)
+				return
+			}
+			got[i] = wr.Results[0].Dist
+		}(i)
+	}
+	wg.Wait()
+	for i := range reqs {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("client %d: served %v != engine %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestServerBatchEndpoint: an explicit client batch must answer every
+// query, with per-query failures isolated in their slot and classed by
+// the per-response Status field.
+func TestServerBatchEndpoint(t *testing.T) {
+	_, ts, eng := newTestServer(t, server.Config{})
+	_, _, reqs := corpus(t)
+
+	batch := server.Batch{Queries: []server.Query{
+		wireFor(reqs[0]),
+		{Composite: "nope", A: 1, B: 1, Target: []float64{1}},
+		wireFor(reqs[1]),
+	}}
+	resp, body := postJSON(t, ts.URL+"/v1/batch", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var br server.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Responses) != 3 {
+		t.Fatalf("responses = %d, want 3", len(br.Responses))
+	}
+	if br.Responses[1].Error == "" || br.Responses[1].Status != http.StatusBadRequest {
+		t.Fatalf("unknown composite in slot 1: error %q status %d, want 400", br.Responses[1].Error, br.Responses[1].Status)
+	}
+	for slot, reqIdx := range map[int]int{0: 0, 2: 1} {
+		if br.Responses[slot].Error != "" {
+			t.Fatalf("slot %d failed: %s", slot, br.Responses[slot].Error)
+		}
+		if br.Responses[slot].Status != http.StatusOK {
+			t.Fatalf("slot %d status = %d, want 200", slot, br.Responses[slot].Status)
+		}
+		want := eng.Query(reqs[reqIdx])
+		if math.Float64bits(br.Responses[slot].Results[0].Dist) != math.Float64bits(want.Results[0].Dist) {
+			t.Fatalf("slot %d: %v != %v", slot, br.Responses[slot].Results[0].Dist, want.Results[0].Dist)
+		}
+	}
+}
+
+// TestServerQueryByExample: a region-based query with exclude_region
+// must answer with a region that is not the example itself.
+func TestServerQueryByExample(t *testing.T) {
+	_, ts, _ := newTestServer(t, server.Config{})
+	ds, _, _ := corpus(t)
+	bounds := ds.Bounds()
+	a, b := bounds.Width()/16, bounds.Height()/16
+	ex := server.Rect{
+		MinX: bounds.MinX + bounds.Width()*0.4,
+		MinY: bounds.MinY + bounds.Height()*0.4,
+	}
+	ex.MaxX, ex.MaxY = ex.MinX+a, ex.MinY+b
+
+	resp, body := postJSON(t, ts.URL+"/v1/query", server.Query{
+		Composite:     "poi",
+		Region:        &ex,
+		ExcludeRegion: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var wr server.Response
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	got := server.RectLib(wr.Results[0].Region)
+	if got.IntersectsOpen(server.RectLib(ex)) {
+		t.Fatalf("answer %+v overlaps the excluded example %+v", got, ex)
+	}
+	if math.Abs(got.Width()-a) > 1e-9 || math.Abs(got.Height()-b) > 1e-9 {
+		t.Fatalf("answer extent %gx%g, want %gx%g", got.Width(), got.Height(), a, b)
+	}
+}
+
+// TestServerDeadline504: a 1ms deadline on a real search must come back
+// 504 promptly, and a concurrent normal query must still answer with
+// the exact bits — a timed-out request never perturbs its peers.
+func TestServerDeadline504(t *testing.T) {
+	_, ts, eng := newTestServer(t, server.Config{Window: 2 * time.Millisecond})
+	ds, f, reqs := corpus(t)
+
+	want := eng.Query(reqs[0])
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+
+	// The doomed query covers a quarter of the city: plenty of
+	// supersteps for the deadline to land inside.
+	tgt := make([]float64, f.Dims())
+	for i := range tgt {
+		tgt[i] = 1e6
+	}
+	bounds := ds.Bounds()
+	doomed := server.Query{
+		Composite: "poi",
+		A:         bounds.Width() / 4,
+		B:         bounds.Height() / 4,
+		Target:    tgt,
+		TimeoutMS: 1,
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var doomedStatus, peerStatus int
+	var peer server.Response
+	go func() {
+		defer wg.Done()
+		resp, _ := postJSON(t, ts.URL+"/v1/query", doomed)
+		doomedStatus = resp.StatusCode
+	}()
+	go func() {
+		defer wg.Done()
+		resp, body := postJSON(t, ts.URL+"/v1/query", wireFor(reqs[0]))
+		peerStatus = resp.StatusCode
+		_ = json.Unmarshal(body, &peer)
+	}()
+	wg.Wait()
+	if doomedStatus != http.StatusGatewayTimeout {
+		t.Fatalf("doomed query status = %d, want 504", doomedStatus)
+	}
+	if peerStatus != http.StatusOK {
+		t.Fatalf("peer status = %d", peerStatus)
+	}
+	if math.Float64bits(peer.Results[0].Dist) != math.Float64bits(want.Results[0].Dist) {
+		t.Fatalf("peer answer perturbed: %v != %v", peer.Results[0].Dist, want.Results[0].Dist)
+	}
+}
+
+// TestServerBadRequests: malformed queries must 400 with a message and
+// never reach the engine.
+func TestServerBadRequests(t *testing.T) {
+	_, ts, eng := newTestServer(t, server.Config{})
+	_, f, _ := corpus(t)
+	tgt := make([]float64, f.Dims())
+	cases := []struct {
+		name string
+		q    server.Query
+	}{
+		{"unknown composite", server.Query{Composite: "nope", A: 1, B: 1, Target: tgt}},
+		{"no target or region", server.Query{Composite: "poi", A: 1, B: 1}},
+		{"both target and region", server.Query{Composite: "poi", A: 1, B: 1, Target: tgt, Region: &server.Rect{MaxX: 1, MaxY: 1}}},
+		{"bad norm", server.Query{Composite: "poi", A: 1, B: 1, Target: tgt, Norm: "l3"}},
+		{"wrong target dims", server.Query{Composite: "poi", A: 1, B: 1, Target: []float64{1}}},
+		{"zero extent", server.Query{Composite: "poi", Target: tgt}},
+		{"negative delta", server.Query{Composite: "poi", A: 1, B: 1, Target: tgt, Delta: -1}},
+		{"negative timeout", server.Query{Composite: "poi", A: 1, B: 1, Target: tgt, TimeoutMS: -5}},
+	}
+	for _, tc := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/query", tc.q)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, body %s", tc.name, resp.StatusCode, body)
+		}
+	}
+	if st := eng.Stats(); st.Queries != 0 {
+		t.Fatalf("bad requests reached the engine: %+v", st)
+	}
+}
+
+// TestServerSheds429: with a single admission slot held by a slow
+// query, the next request must shed with 429 and a Retry-After header.
+func TestServerSheds429(t *testing.T) {
+	s, ts, _ := newTestServer(t, server.Config{MaxInFlight: 1, Window: time.Minute, MaxBatch: 64})
+	_, _, reqs := corpus(t)
+
+	// Park one request in the (long) coalescing window to occupy the
+	// only slot; its response arrives when Shutdown flushes the window.
+	slowDone := make(chan int, 1)
+	go func() {
+		resp, _ := postJSON(t, ts.URL+"/v1/query", wireFor(reqs[0]))
+		slowDone <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := getStats(t, ts.URL)
+		if st.InFlight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first request never occupied the admission slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/query", wireFor(reqs[1]))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, body %s — want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	// Drain: the parked request must still be answered (graceful), not
+	// dropped.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if status := <-slowDone; status != http.StatusOK {
+		t.Fatalf("parked request finished %d, want 200", status)
+	}
+}
+
+// TestServerDrain: during and after Shutdown, /healthz reports 503 and
+// new queries are refused with 503.
+func TestServerDrain(t *testing.T) {
+	s, ts, _ := newTestServer(t, server.Config{})
+	_, _, reqs := corpus(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain = %d, want 503", hz.StatusCode)
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/query", wireFor(reqs[0]))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query after drain = %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,146 @@
+// Package server is the HTTP serving layer over asrs.Engine: a JSON API
+// (POST /v1/query, POST /v1/batch, GET /healthz, GET /stats) that
+// coalesces concurrent single queries into engine batch supersteps so
+// the cross-query amortization of DESIGN.md §6 — request dedup and
+// shared prepared query shapes — applies across independent clients,
+// with admission control (bounded in-flight queue, 429 load shedding)
+// and per-query deadlines (context cancellation checked cooperatively at
+// kernel superstep boundaries, surfaced as 504). See DESIGN.md §7.
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"asrs"
+)
+
+// Wire types: the one JSON schema shared by the daemon and
+// `asrsquery -json`, so CLI output and server responses have the same
+// field names and shapes (formatting and elapsed_ms aside).
+
+// Rect is the wire form of an axis-parallel rectangle.
+type Rect struct {
+	MinX float64 `json:"min_x"`
+	MinY float64 `json:"min_y"`
+	MaxX float64 `json:"max_x"`
+	MaxY float64 `json:"max_y"`
+}
+
+// Point is the wire form of a planar location.
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Query is one similarity-query request. The target representation
+// comes either from Target directly (the "virtual region" usage) or is
+// computed from an example Region; exactly one must be set.
+type Query struct {
+	// Composite names the serving composite aggregator (the daemon's
+	// registry key; GET /stats lists the registered names).
+	Composite string `json:"composite"`
+	// A, B are the answer region's width and height. When an example
+	// Region is given they default to its width and height.
+	A float64 `json:"a,omitempty"`
+	B float64 `json:"b,omitempty"`
+	// Target is the aggregate representation to match.
+	Target []float64 `json:"target,omitempty"`
+	// Region is the query-by-example alternative: the server computes
+	// Target from the objects inside it.
+	Region *Rect `json:"region,omitempty"`
+	// ExcludeRegion excludes the example Region from the answer set
+	// (without it, an example region is its own zero-distance answer).
+	ExcludeRegion bool `json:"exclude_region,omitempty"`
+	// Weights are the per-dimension distance weights (nil = unit).
+	Weights []float64 `json:"weights,omitempty"`
+	// Norm is "l1" (default) or "l2".
+	Norm string `json:"norm,omitempty"`
+	// TopK asks for the k best non-overlapping regions (0 or 1 = best).
+	TopK int `json:"top_k,omitempty"`
+	// Exclude lists rectangles no answer region may overlap.
+	Exclude []Rect `json:"exclude,omitempty"`
+	// Delta selects the (1+δ)-approximate search (0 = exact).
+	Delta float64 `json:"delta,omitempty"`
+	// TimeoutMS bounds this query individually; 0 selects the server's
+	// default, and values above the server's maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Result is one answer region.
+type Result struct {
+	Region Rect      `json:"region"`
+	Point  Point     `json:"point"`
+	Dist   float64   `json:"dist"`
+	Rep    []float64 `json:"rep"`
+}
+
+// Response is the answer to one Query.
+type Response struct {
+	Results []Result `json:"results,omitempty"`
+	// Error is the failure message ("" on success). On /v1/query the
+	// HTTP status carries the class (400 invalid, 504 deadline, 503
+	// drain/shed, 500 server fault); on /v1/batch the HTTP status is
+	// 200 for the envelope and each response's Status carries its own
+	// class instead, so batch clients can retry timeouts without
+	// string-matching error text.
+	Error string `json:"error,omitempty"`
+	// Status is the per-query HTTP-style status code, set on batch
+	// responses (0 on /v1/query, whose transport status says the same).
+	Status    int     `json:"status,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Batch is the POST /v1/batch request body.
+type Batch struct {
+	Queries []Query `json:"queries"`
+}
+
+// BatchResponse is the POST /v1/batch response body; Responses is
+// index-aligned with the request's Queries, and per-query failures land
+// in the corresponding Response.Error without failing the batch.
+type BatchResponse struct {
+	Responses []Response `json:"responses"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+// ParseNorm maps the wire norm name to the library constant.
+func ParseNorm(s string) (asrs.Norm, error) {
+	switch s {
+	case "", "l1", "L1":
+		return asrs.L1, nil
+	case "l2", "L2":
+		return asrs.L2, nil
+	}
+	return asrs.L1, fmt.Errorf("unknown norm %q (want l1 or l2)", s)
+}
+
+// RectWire converts a library rectangle to its wire form.
+func RectWire(r asrs.Rect) Rect {
+	return Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+// RectLib converts a wire rectangle to the library form.
+func RectLib(r Rect) asrs.Rect {
+	return asrs.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+}
+
+// ResponseWire converts an engine response to the wire schema.
+// asrsquery -json uses it too, so CLI and daemon emit one format.
+func ResponseWire(resp asrs.QueryResponse, elapsed time.Duration) Response {
+	out := Response{ElapsedMS: float64(elapsed.Microseconds()) / 1e3}
+	if resp.Err != nil {
+		out.Error = resp.Err.Error()
+		return out
+	}
+	out.Results = make([]Result, len(resp.Regions))
+	for i := range resp.Regions {
+		out.Results[i] = Result{
+			Region: RectWire(resp.Regions[i]),
+			Point:  Point{X: resp.Results[i].Point.X, Y: resp.Results[i].Point.Y},
+			Dist:   resp.Results[i].Dist,
+			Rep:    resp.Results[i].Rep,
+		}
+	}
+	return out
+}
