@@ -7,6 +7,7 @@
 //	asrsbench -exp fig8 [-scale 2] [-seed 7]
 //	asrsbench -exp all
 //	asrsbench -parallel-json BENCH_PR3.json [-n 100000] [-workers 1,2,4,8] [-batch 32] [-workload f1|f2q]
+//	asrsbench -parallel-json BENCH_PR6.json -workload scaling [-max-workers 8]
 //	asrsbench -exp fig10 -cpuprofile cpu.prof -memprofile mem.prof
 //
 // Each experiment prints the rows/series of the corresponding paper
@@ -40,9 +41,10 @@ func main() {
 		n        = flag.Int("n", 100000, "dataset cardinality for -parallel-json")
 		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel-json")
 		batch    = flag.Int("batch", 0, "kernel superstep batch size for -parallel-json (0 = kernel default)")
-		workload = flag.String("workload", "f1", "composite workload for -parallel-json: f1 (integer fD on tweet), f2q (real-valued fS+fA on the dyadic-quantized POI corpus), batch (multi-query batch of overlapping Singapore extents: PR-3 per-query path vs the pyramid-amortized batched path), or serve (closed-loop HTTP serving: coalescing window collector vs per-request dispatch at equal workers)")
-		queries  = flag.Int("queries", 24, "requests per batch for -workload batch; requests per client for -workload serve")
-		clients  = flag.Int("clients", 32, "concurrent closed-loop clients for -workload serve")
+		workload = flag.String("workload", "f1", "composite workload for -parallel-json: f1 (integer fD on tweet), f2q (real-valued fS+fA on the dyadic-quantized POI corpus), batch (multi-query batch of overlapping Singapore extents: PR-3 per-query path vs the pyramid-amortized batched path), serve (closed-loop HTTP serving: coalescing window collector vs per-request dispatch at equal workers), or scaling (strip-evaluator A/B at workers=1 plus the workers=1..max-workers curve on both the batched and serve workloads)")
+		queries  = flag.Int("queries", 24, "requests per batch for -workload batch/scaling; requests per client for -workload serve/scaling")
+		clients  = flag.Int("clients", 32, "concurrent closed-loop clients for -workload serve (-workload scaling defaults to 8)")
+		maxW     = flag.Int("max-workers", 0, "top of the workers=1..N sweep for -workload scaling (0 = max(NumCPU, 2))")
 		baseNs   = flag.Int64("baseline-ns", 0, "externally measured reference ns/op for the same workload, recorded in the report")
 		note     = flag.String("note", "", "free-form provenance recorded in the report")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -79,7 +81,7 @@ func main() {
 	}
 
 	if *parJSON != "" {
-		if err := runParallelBench(*parJSON, *n, *seed, *workers, *batch, *workload, *queries, *clients, *baseNs, *note); err != nil {
+		if err := runParallelBench(*parJSON, *n, *seed, *workers, *batch, *workload, *queries, *clients, *maxW, *baseNs, *note); err != nil {
 			fmt.Fprintln(os.Stderr, "asrsbench:", err)
 			os.Exit(1)
 		}
@@ -112,7 +114,7 @@ func main() {
 }
 
 // runParallelBench parses the worker sweep and writes the JSON report.
-func runParallelBench(path string, n int, seed int64, workerList string, batch int, workload string, queries, clients int, baseNs int64, note string) error {
+func runParallelBench(path string, n int, seed int64, workerList string, batch int, workload string, queries, clients, maxWorkers int, baseNs int64, note string) error {
 	var sweep []int
 	for _, tok := range strings.Split(workerList, ",") {
 		tok = strings.TrimSpace(tok)
@@ -126,6 +128,16 @@ func runParallelBench(path string, n int, seed int64, workerList string, batch i
 		sweep = append(sweep, w)
 	}
 	run := func(out *os.File) error {
+		if workload == "scaling" {
+			// -clients keeps its serve-bench default of 32, but the scaling
+			// sweep runs the closed loop once per worker count, so only an
+			// explicit non-default value is passed through.
+			sc := harness.ScalingBenchConfig{N: n, Queries: queries, Seed: seed, MaxWorkers: maxWorkers, BaselineNs: baseNs, Note: note}
+			if clients != 32 {
+				sc.Clients = clients
+			}
+			return harness.RunScalingBench(out, sc)
+		}
 		if workload == "serve" {
 			cfg := harness.ServeBenchConfig{N: n, Clients: clients, PerClient: queries, Seed: seed, Workers: sweep, BaselineNs: baseNs, Note: note}
 			return harness.RunServeBench(out, cfg)

@@ -38,10 +38,11 @@ func main() {
 		workers = flag.Int("workers", 0, "search worker pool size (<=0 = GOMAXPROCS); the answer is identical for any setting")
 		pyrPath = flag.String("pyramid", "", "aggregate-pyramid file: load the per-composite pyramid from this path instead of rebuilding the query's aggregation layer (the file is built and saved on first use); answers are identical either way")
 		jsonOut = flag.Bool("json", false, "emit the answer as JSON in the asrsd wire schema (one format for CLI and daemon)")
+		debug   = flag.Bool("debug", false, "print search work counters, including the mini-sweep strip-evaluator selection (flat prefix scan vs Fenwick walks; DESIGN.md §8)")
 	)
 	flag.Parse()
 
-	if err := run(*dsName, *n, *k, *algo, *grid, *delta, *seed, *workers, *pyrPath, *jsonOut); err != nil {
+	if err := run(*dsName, *n, *k, *algo, *grid, *delta, *seed, *workers, *pyrPath, *jsonOut, *debug); err != nil {
 		fmt.Fprintln(os.Stderr, "asrsquery:", err)
 		os.Exit(1)
 	}
@@ -78,7 +79,23 @@ func loadOrBuildPyramid(path string, ds *asrs.Dataset, f *asrs.Composite) (*asrs
 	return p, nil
 }
 
-func run(dsName string, n, k int, algo string, grid int, delta float64, seed int64, workers int, pyrPath string, jsonOut bool) error {
+// debugStats prints the per-search work counters: how the space was
+// processed, and which evaluator the strip cost model picked per dirty
+// strip of the mini-sweeps (the PR-6 flat-vs-Fenwick selection).
+func debugStats(stats asrs.SearchStats) {
+	infof("discretizations: %d (%d SAT-filled), splits: %d, bisections: %d\n",
+		stats.Discretizations, stats.SATFills, stats.Splits, stats.Bisections)
+	infof("cells: %d clean, %d dirty (%d pruned, %d refined, %d center probes)\n",
+		stats.CleanCells, stats.DirtyCells, stats.PrunedCells, stats.RefinedCells, stats.CenterProbes)
+	infof("mini-sweeps: %d over %d rects; strip evaluator: %d flat, %d fenwick\n",
+		stats.MiniSweeps, stats.MiniSweepRects, stats.FlatStrips, stats.FenwickStrips)
+	infof("heap: %d pushes (max %d), steals: %d\n", stats.HeapPushes, stats.MaxHeapSize, stats.Steals)
+}
+
+func run(dsName string, n, k int, algo string, grid int, delta float64, seed int64, workers int, pyrPath string, jsonOut, debug bool) error {
+	if jsonOut {
+		infoOut = os.Stderr
+	}
 	var (
 		ds  *asrs.Dataset
 		q   asrs.Query
@@ -96,15 +113,12 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 		a, b = scaledSize(ds, k)
 		q, err = dataset.F2(ds, a, b)
 	case "singapore":
-		return runSingapore(seed, workers, jsonOut)
+		return runSingapore(seed, workers, jsonOut, debug)
 	default:
 		return fmt.Errorf("unknown dataset %q", dsName)
 	}
 	if err != nil {
 		return err
-	}
-	if jsonOut {
-		infoOut = os.Stderr
 	}
 	infof("dataset=%s n=%d query=%.4gx%.4g algo=%s δ=%g\n", dsName, len(ds.Objects), a, b, algo, delta)
 
@@ -121,10 +135,11 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 	var (
 		region asrs.Rect
 		res    asrs.Result
+		dstats asrs.SearchStats
 	)
 	switch algo {
 	case "ds":
-		region, res, _, err = asrs.Search(ds, a, b, q, opt)
+		region, res, dstats, err = asrs.Search(ds, a, b, q, opt)
 	case "gids":
 		// The index is built sequentially on purpose: NewIndexParallel's
 		// shard merge reorders float summation with the worker count,
@@ -139,6 +154,7 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 		region, res, stats, err = asrs.SearchWithIndex(idx, ds, a, b, q, opt)
 		if err == nil {
 			infof("index: %dx%d, %d/%d cells searched\n", grid, grid, stats.CellsSearched, stats.Cells)
+			dstats = stats.DS
 		}
 	case "base":
 		region, res, err = asrs.SearchBaseline(ds, a, b, q)
@@ -147,6 +163,9 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 	}
 	if err != nil {
 		return err
+	}
+	if debug && algo != "base" {
+		debugStats(dstats)
 	}
 	if jsonOut {
 		return emitJSON(region, res, time.Since(start))
@@ -158,7 +177,7 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 	return nil
 }
 
-func runSingapore(seed int64, workers int, jsonOut bool) error {
+func runSingapore(seed int64, workers int, jsonOut, debug bool) error {
 	ds := dataset.SingaporePOI(seed)
 	f, err := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "category"})
 	if err != nil {
@@ -170,9 +189,12 @@ func runSingapore(seed int64, workers int, jsonOut bool) error {
 		return err
 	}
 	start := time.Now()
-	region, res, _, err := asrs.SearchExcluding(ds, orchard.Rect.Width(), orchard.Rect.Height(), q, orchard.Rect, asrs.Options{Workers: workers})
+	region, res, dstats, err := asrs.SearchExcluding(ds, orchard.Rect.Width(), orchard.Rect.Height(), q, orchard.Rect, asrs.Options{Workers: workers})
 	if err != nil {
 		return err
+	}
+	if debug {
+		debugStats(dstats)
 	}
 	if jsonOut {
 		return emitJSON(region, res, time.Since(start))

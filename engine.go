@@ -110,6 +110,11 @@ type Engine struct {
 	nShared    atomic.Int64
 	nErrors    atomic.Int64
 	nCancelled atomic.Int64
+
+	// lat is the executed-search latency histogram behind the Stats
+	// percentiles. One observation per search actually run: batched
+	// duplicates ride their canonical's search and are not re-counted.
+	lat latencyHist
 }
 
 // EngineStats is a point-in-time snapshot of an engine's serving
@@ -133,6 +138,15 @@ type EngineStats struct {
 	// Indexes and Pyramids count the per-composite caches currently held.
 	Indexes  int `json:"indexes"`
 	Pyramids int `json:"pyramids"`
+	// LatencyCount counts latency observations — one per executed
+	// search (batched duplicates ride their canonical's observation) —
+	// and the percentiles estimate the executed-search latency
+	// distribution from a log₂ histogram (±50% bucket resolution,
+	// linearly interpolated).
+	LatencyCount int64   `json:"latency_count"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
 }
 
 // Stats snapshots the engine's serving counters. Safe for concurrent
@@ -142,6 +156,7 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	ni, np := len(e.indexes), len(e.pyramids)
 	e.mu.Unlock()
+	lc, p50, p95, p99 := e.lat.summary()
 	return EngineStats{
 		Queries:        e.nQueries.Load(),
 		Batches:        e.nBatches.Load(),
@@ -151,6 +166,10 @@ func (e *Engine) Stats() EngineStats {
 		Cancelled:      e.nCancelled.Load(),
 		Indexes:        ni,
 		Pyramids:       np,
+		LatencyCount:   lc,
+		LatencyP50Ms:   p50,
+		LatencyP95Ms:   p95,
+		LatencyP99Ms:   p99,
 	}
 }
 
@@ -369,6 +388,8 @@ func (e *Engine) countResponse(resp *QueryResponse) {
 // query shape (QueryBatchInto's grouping pass builds one per
 // overlapping-extent group).
 func (e *Engine) queryIntoPrep(ctx context.Context, req QueryRequest, resp *QueryResponse, prep *dssearch.Prepared) {
+	start := time.Now()
+	defer func() { e.lat.observe(time.Since(start)) }()
 	resp.Regions = resp.Regions[:0]
 	resp.Results = resp.Results[:0]
 	resp.Err = nil

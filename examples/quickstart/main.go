@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -13,6 +14,8 @@ import (
 )
 
 func main() {
+	debug := flag.Bool("debug", false, "print search work counters, including the mini-sweep strip-evaluator selection")
+	flag.Parse()
 	// A schema with one categorical and one numeric attribute.
 	schema := asrs.MustSchema(
 		asrs.Attribute{Name: "category", Kind: asrs.Categorical,
@@ -69,4 +72,12 @@ func main() {
 	fmt.Printf("distance to target:  %.3f\n", res.Dist)
 	fmt.Printf("search effort:       %d discretizations, %d cells pruned\n",
 		stats.Discretizations, stats.PrunedCells)
+	if *debug {
+		// The safety-net mini-sweeps pick a strip evaluator per dirty
+		// strip — a flat prefix scan for dense strips, Fenwick tree walks
+		// for sparse ones. The choice is a measured-cost decision and
+		// never changes the answer (DESIGN.md §8).
+		fmt.Printf("mini-sweeps:         %d over %d rects; strips: %d flat, %d fenwick\n",
+			stats.MiniSweeps, stats.MiniSweepRects, stats.FlatStrips, stats.FenwickStrips)
+	}
 }

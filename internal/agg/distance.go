@@ -62,6 +62,73 @@ func Distance(norm Norm, u, v, w []float64) float64 {
 	}
 }
 
+// DistanceUnder reports whether Distance(norm, u, v, w) < bound, and
+// returns that distance when it is. The accumulation runs in exactly
+// Distance's term order, so a completed pass returns a bit-identical
+// value; the only shortcut is abandoning the sum once the running
+// accumulator alone already rules the bound out, which cannot change
+// the predicate because every remaining term is non-negative (under L2
+// terms are squared; under L1 a negative weight would break the
+// monotonicity, so encountering one falls back to the full Distance).
+// When ok is false the returned value is only a lower bound on the true
+// distance, not the distance itself. This is the candidate-evaluation
+// fast path of the sweep solvers: almost every enumerated region loses
+// to the incumbent best within a dimension or two.
+func DistanceUnder(norm Norm, u, v, w []float64, bound float64) (float64, bool) {
+	if len(u) != len(v) {
+		panic(fmt.Sprintf("agg: distance between vectors of different dims %d vs %d", len(u), len(v)))
+	}
+	if w != nil && len(w) != len(u) {
+		panic(fmt.Sprintf("agg: weight vector has dims %d, representations have %d", len(w), len(u)))
+	}
+	var acc float64
+	switch norm {
+	case L2:
+		// Squared terms are non-negative for any weight sign; comparing
+		// against bound² keeps the march in the squared domain. A
+		// non-positive or NaN bound simply never triggers the early exit
+		// (b2 ≥ 0 with the inherited comparison semantics), and the final
+		// predicate below stays authoritative.
+		b2 := bound * bound
+		if !(bound > 0) {
+			b2 = math.Inf(1)
+		}
+		for i := range u {
+			d := u[i] - v[i]
+			if w != nil {
+				d *= w[i]
+			}
+			acc += d * d
+			if acc >= b2 {
+				return math.Sqrt(acc), false
+			}
+		}
+		d := math.Sqrt(acc)
+		return d, d < bound
+	default: // L1
+		// The negative-weight check must run before the march, not inside
+		// it: once any later term can be negative, a partial sum reaching
+		// bound proves nothing about the final one.
+		for _, wi := range w {
+			if wi < 0 {
+				d := Distance(norm, u, v, w)
+				return d, d < bound
+			}
+		}
+		for i := range u {
+			d := math.Abs(u[i] - v[i])
+			if w != nil {
+				d *= w[i]
+			}
+			acc += d
+			if acc >= bound {
+				return acc, false
+			}
+		}
+		return acc, acc < bound
+	}
+}
+
 // LowerBound implements Equation 1: the smallest possible weighted distance
 // from the query representation q to any representation v with
 // lo[i] ≤ v[i] ≤ hi[i]. Under L2 the same per-dimension gap construction is

@@ -155,3 +155,54 @@ func randPosVec(rng *rand.Rand, n int) []float64 {
 	}
 	return v
 }
+
+// TestDistanceUnderMatchesDistance pins the fast path's contract on
+// random vectors: ok must equal Distance(...) < bound for every bound,
+// and when ok the returned value must be bit-identical to Distance
+// (same accumulation order, no shortcut taken on the winning path).
+func TestDistanceUnderMatchesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(12)
+		u := make([]float64, n)
+		v := make([]float64, n)
+		var w []float64
+		for i := range u {
+			u[i] = rng.NormFloat64() * 10
+			v[i] = rng.NormFloat64() * 10
+		}
+		switch trial % 3 {
+		case 1:
+			w = make([]float64, n)
+			for i := range w {
+				w[i] = rng.Float64() * 3
+			}
+		case 2:
+			// Negative weights break L1 monotonicity; DistanceUnder must
+			// detect them and still answer exactly.
+			w = make([]float64, n)
+			for i := range w {
+				w[i] = rng.NormFloat64()
+			}
+		}
+		for _, norm := range []agg.Norm{agg.L1, agg.L2} {
+			d := agg.Distance(norm, u, v, w)
+			bounds := []float64{
+				d, d * 0.5, d * 2, d + 1, d - 1, 0, -1,
+				math.Inf(1), math.Inf(-1), math.NaN(),
+			}
+			for _, bound := range bounds {
+				got, ok := agg.DistanceUnder(norm, u, v, w, bound)
+				if want := d < bound; ok != want {
+					t.Fatalf("%v DistanceUnder(bound=%v) ok=%v, want %v (d=%v)", norm, bound, ok, want, d)
+				}
+				if ok && math.Float64bits(got) != math.Float64bits(d) {
+					t.Fatalf("%v DistanceUnder(bound=%v) = %v, want bit-identical %v", norm, bound, got, d)
+				}
+				if !ok && !math.IsNaN(got) && got > d {
+					t.Fatalf("%v DistanceUnder(bound=%v) early value %v exceeds true distance %v", norm, bound, got, d)
+				}
+			}
+		}
+	}
+}

@@ -89,6 +89,13 @@ type Options struct {
 	// integer-exact composites the SAT serves; the switch exists for
 	// ablation and as the oracle for the SAT property tests.
 	DisableSAT bool
+	// DisableFlatStrip forces the mini-sweep's incremental path onto the
+	// legacy per-point Fenwick strip evaluator, bypassing the flat
+	// prefix-scan evaluator and its cost-model selection (DESIGN.md §8).
+	// Answers are bit-identical either way; the switch exists for
+	// ablation (BENCH_PR6's strip A/B) and as the oracle for the
+	// strip-evaluator property tests.
+	DisableFlatStrip bool
 	// Slabs, when non-nil, recycles the per-query table slabs (sorted
 	// coordinate arrays, contribution tables, SAT grids, discretization
 	// grids, sweep solvers, id arenas) across searches. Callers that set
@@ -152,6 +159,8 @@ type Stats struct {
 	PrunedCells     int // dirty cells pruned by Equation 1
 	MiniSweeps      int // safety-net sweeps run
 	MiniSweepRects  int // rectangles handed to safety-net sweeps
+	FlatStrips      int // mini-sweep strips resolved by the flat prefix scan
+	FenwickStrips   int // mini-sweep strips resolved by Fenwick tree walks
 	RefinedCells    int // dirty cells tightened by subset enumeration
 	RefinePruned    int // dirty cells pruned only after refinement
 	CenterProbes    int // dirty-cell centers evaluated as candidates
@@ -171,6 +180,8 @@ func (s *Stats) add(o Stats) {
 	s.PrunedCells += o.PrunedCells
 	s.MiniSweeps += o.MiniSweeps
 	s.MiniSweepRects += o.MiniSweepRects
+	s.FlatStrips += o.FlatStrips
+	s.FenwickStrips += o.FenwickStrips
 	s.RefinedCells += o.RefinedCells
 	s.RefinePruned += o.RefinePruned
 	s.CenterProbes += o.CenterProbes
@@ -380,6 +391,8 @@ func (s *Searcher) ensureScratch() {
 				} else {
 					w.sw.SetFixedPoint(nil, nil)
 				}
+				w.sw.SetStripMode(s.stripMode())
+				w.sw.SetStripCost(stripCostModel())
 			}
 			w.rep = reps[i*dims : i*dims : (i+1)*dims]
 			w.dirty = dirt[i*cells : i*cells : (i+1)*cells]
@@ -838,12 +851,25 @@ func (w *worker) miniSweep(dirty []cellInfo, ids []int32) {
 		if w.s.tab.allExact {
 			w.sw.SetFixedPoint(w.s.tab.chScale, w.s.tab.chInv)
 		}
+		w.sw.SetStripMode(w.s.stripMode())
+		w.sw.SetStripCost(stripCostModel())
 	} else {
 		w.sw.Rebind(w.swSub)
 	}
-	if r, ok := w.sw.SolveWithin(mbr); ok {
+	// The solver's counters accumulate across rebinds (pooled solvers
+	// serve many sweeps); fold only this sweep's strip-evaluator deltas
+	// into the worker stats.
+	before := w.sw.Stats
+	// The incumbent's distance caps candidate evaluation: improve()
+	// discards anything scoring above it (ties included — the cap is
+	// open at cur.Dist), so those candidates may abandon their distance
+	// march early. The returned result can then be the +Inf sentinel,
+	// which improve() rejects like any other loser.
+	if r, ok := w.sw.SolveWithinCapped(mbr, w.cur.Dist); ok && r.Rep != nil {
 		w.improve(r.Dist, r.Point, r.Rep)
 	}
+	w.stats.FlatStrips += w.sw.Stats.FlatStrips - before.FlatStrips
+	w.stats.FenwickStrips += w.sw.Stats.FenwickStrips - before.FenwickStrips
 }
 
 // PointRepresentation computes F(p) exactly over the master set,

@@ -1,0 +1,76 @@
+package dssearch_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/dataset"
+	"asrs/internal/dssearch"
+)
+
+// intQuery builds an integer-exact composite (distribution counts only)
+// so the searcher certifies every channel and enables the incremental
+// mini-sweep, where the strip-evaluator selection lives.
+func intQuery(t testing.TB, ds *attr.Dataset, rng *rand.Rand) asp.Query {
+	t.Helper()
+	f, err := agg.New(ds.Schema, agg.Spec{Kind: agg.Distribution, Attr: "cat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := make([]float64, f.Dims())
+	for i := range target {
+		target[i] = float64(rng.Intn(40))
+	}
+	return asp.Query{F: f, Target: target}
+}
+
+// TestDisableFlatStripBitIdentical: the strip-evaluator ablation switch
+// must change which evaluator runs — the disabled searcher resolves
+// strips only through Fenwick walks — while every answer (distance,
+// point, representation) stays bit-identical. This is the
+// workload-level half of the bit-identity acceptance criterion; the
+// solver-level property tests live in internal/sweep.
+func TestDisableFlatStripBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	sawFlat, sawFenwick := false, false
+	for trial := 0; trial < 8; trial++ {
+		ds := dataset.Random(200+rng.Intn(400), 60, rng.Int63())
+		rects, _ := asp.Reduce(ds, 7+rng.Float64()*4, 7+rng.Float64()*4, asp.AnchorTR)
+		q := intQuery(t, ds, rng)
+		for _, workers := range []int{1, 2} {
+			on, err := dssearch.NewSearcher(rects, q, dssearch.Options{NCol: 8, NRow: 8, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			off, err := dssearch.NewSearcher(rects, q, dssearch.Options{NCol: 8, NRow: 8, Workers: workers, DisableFlatStrip: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := on.Solve()
+			b := off.Solve()
+			if math.Float64bits(a.Dist) != math.Float64bits(b.Dist) || a.Point != b.Point {
+				t.Fatalf("trial %d w%d: flat %g@%v vs fenwick-only %g@%v",
+					trial, workers, a.Dist, a.Point, b.Dist, b.Point)
+			}
+			for d := range a.Rep {
+				if math.Float64bits(a.Rep[d]) != math.Float64bits(b.Rep[d]) {
+					t.Fatalf("trial %d w%d: rep[%d] %v vs %v", trial, workers, d, a.Rep[d], b.Rep[d])
+				}
+			}
+			if off.Stats.FlatStrips != 0 {
+				t.Fatalf("trial %d w%d: flat strips ran while disabled: %+v", trial, workers, off.Stats)
+			}
+			sawFlat = sawFlat || on.Stats.FlatStrips > 0
+			sawFenwick = sawFenwick || off.Stats.FenwickStrips > 0
+		}
+	}
+	// The fixture must actually exercise the selection, or the test
+	// proves nothing.
+	if !sawFlat || !sawFenwick {
+		t.Fatalf("fixture never exercised both evaluators: flat=%v fenwick=%v", sawFlat, sawFenwick)
+	}
+}

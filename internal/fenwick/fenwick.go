@@ -97,6 +97,101 @@ func (t *Tree1D[T]) PointInto(i int, out []T) {
 	}
 }
 
+// Diff1D is the flat counterpart of Tree1D: the same range-add /
+// point-query semantics over a plain difference array. A range add is
+// two writes (O(1) instead of O(log n)); point values are read by
+// marching a running prefix accumulator across positions in ascending
+// order (O(chans) per position stepped, a branch-light sequential pass
+// that the tree walk can never match on dense probe sets). It is the
+// substrate of the flat strip evaluator in internal/sweep: a whole
+// strip's point queries resolve in one linear merge over the sorted
+// deltas instead of one O(log n) tree walk each. The zero value is not
+// usable; Reset before use.
+type Diff1D[T Value] struct {
+	n, chans int
+	// data[p*chans+c] is the delta entering at position p: the point
+	// value at position j is Σ_{p<=j} data[p*chans+c]. Entry n absorbs
+	// the closing delta of ranges ending at n-1.
+	data []T
+}
+
+// Int64Diff1D carries scaled fixed-point channels.
+type Int64Diff1D = Diff1D[int64]
+
+// Reset re-dimensions the array to n positions × chans channels and
+// zeroes it, reusing the backing array when it fits.
+func (d *Diff1D[T]) Reset(n, chans int) {
+	if n < 1 || chans < 1 {
+		panic(fmt.Sprintf("fenwick: invalid dimensions %dx%d", n, chans))
+	}
+	d.n = n
+	d.chans = chans
+	need := (n + 1) * chans
+	if cap(d.data) >= need {
+		d.data = d.data[:need]
+		for i := range d.data {
+			d.data[i] = 0
+		}
+	} else {
+		d.data = make([]T, need)
+	}
+}
+
+// Len returns the number of positions.
+func (d *Diff1D[T]) Len() int { return d.n }
+
+// RangeAdd adds delta to channel ch of every position in [l, r]
+// (inclusive). Out-of-range ends are clamped; empty ranges are no-ops.
+// Clamping matches Tree1D.RangeAdd exactly, so the two structures stay
+// interchangeable under any input.
+func (d *Diff1D[T]) RangeAdd(l, r, ch int, delta T) {
+	if l < 0 {
+		l = 0
+	}
+	if r >= d.n {
+		r = d.n - 1
+	}
+	if l > r {
+		return
+	}
+	d.data[l*d.chans+ch] += delta
+	d.data[(r+1)*d.chans+ch] -= delta
+}
+
+// StepInto folds position pos's delta row into acc (length chans):
+// if acc held the point value at pos-1, it now holds the value at pos.
+func (d *Diff1D[T]) StepInto(pos int, acc []T) {
+	base := pos * d.chans
+	for c := range acc {
+		acc[c] += d.data[base+c]
+	}
+}
+
+// Advance marches acc from the point value at position `from` to the
+// value at position `to` (from == -1 means acc holds zeros, the value
+// "before position 0"). Equivalent to calling StepInto for each
+// position in (from, to]; from >= to is a no-op.
+func (d *Diff1D[T]) Advance(from, to int, acc []T) {
+	chans := d.chans
+	for p := from + 1; p <= to; p++ {
+		base := p * chans
+		for c := range acc {
+			acc[c] += d.data[base+c]
+		}
+	}
+}
+
+// PointInto writes position i's channel vector into out (length chans)
+// by a prefix march from zero — O(i·chans); probe-heavy callers should
+// march with Advance instead. Provided so Diff1D satisfies the same
+// query surface as Tree1D in tests and sparse fallbacks.
+func (d *Diff1D[T]) PointInto(i int, out []T) {
+	for c := range out {
+		out[c] = 0
+	}
+	d.Advance(-1, i, out)
+}
+
 // Tree2D is a 2D Fenwick tree over an sx×sy grid, each cell carrying
 // `chans` float64 channels. The zero value is not usable; construct with
 // New2D.

@@ -70,6 +70,7 @@ type BatchBenchReport struct {
 	Seed       int64           `json:"seed"`
 	GoMaxProcs int             `json:"gomaxprocs"`
 	NumCPU     int             `json:"num_cpu"`
+	Host       Host            `json:"host"`
 	BaselineNs int64           `json:"baseline_ns_per_query,omitempty"`
 	Note       string          `json:"note,omitempty"`
 	Dists      []float64       `json:"dists"` // per-query answers, identical in every run
@@ -159,6 +160,7 @@ func RunBatchBench(out io.Writer, cfg BatchBenchConfig) error {
 		Seed:       cfg.Seed,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Host:       CollectHost(),
 		BaselineNs: cfg.BaselineNs,
 		Note:       cfg.Note,
 	}

@@ -1,0 +1,27 @@
+package harness
+
+import "runtime"
+
+// Host records the machine a benchmark ran on, so every BENCH_PR*.json
+// is self-describing about its CPU budget: a scaling curve measured on
+// a 1-CPU container (GOMAXPROCS=1, oversubscribed worker counts) reads
+// very differently from the same curve on a 16-core box, and the
+// trajectory files outlive the machines that produced them.
+type Host struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+}
+
+// CollectHost snapshots the running process's host metadata.
+func CollectHost() Host {
+	return Host{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+	}
+}

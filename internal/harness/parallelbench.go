@@ -91,6 +91,7 @@ type ParallelBenchReport struct {
 	Batch      int                `json:"batch,omitempty"` // kernel superstep batch size; 0 = kernel default
 	GoMaxProcs int                `json:"gomaxprocs"`
 	NumCPU     int                `json:"num_cpu"`
+	Host       Host               `json:"host"`
 	BaselineNs int64              `json:"baseline_ns_per_op,omitempty"`
 	Note       string             `json:"note,omitempty"`
 	Runs       []ParallelBenchRun `json:"runs"`
@@ -133,6 +134,7 @@ func RunParallelBench(out io.Writer, cfg ParallelBenchConfig) error {
 		Batch:      cfg.Batch,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Host:       CollectHost(),
 		BaselineNs: cfg.BaselineNs,
 		Note:       cfg.Note,
 	}

@@ -116,6 +116,7 @@ type ServeBenchReport struct {
 	Seed       int64           `json:"seed"`
 	GoMaxProcs int             `json:"gomaxprocs"`
 	NumCPU     int             `json:"num_cpu"`
+	Host       Host            `json:"host"`
 	BaselineNs int64           `json:"baseline_ns_per_query,omitempty"`
 	Note       string          `json:"note,omitempty"`
 	Dists      []float64       `json:"dists"` // per-distinct-query answers, verified in every run
@@ -226,6 +227,7 @@ func RunServeBench(out io.Writer, cfg ServeBenchConfig) error {
 		Seed:       cfg.Seed,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Host:       CollectHost(),
 		BaselineNs: cfg.BaselineNs,
 		Note:       cfg.Note,
 		Dists:      dists,

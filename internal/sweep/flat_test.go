@@ -1,0 +1,319 @@
+package sweep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs/internal/agg"
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/geom"
+)
+
+// stripModes enumerates every evaluator the selection can pick, plus a
+// deliberately invalid cost model (must fall back to the default, not
+// change answers) and a skewed-but-valid one (must change only speed).
+var stripModeCases = []struct {
+	name string
+	prep func(s *Solver)
+}{
+	{"auto", func(s *Solver) { s.SetStripMode(StripAuto) }},
+	{"flat-only", func(s *Solver) { s.SetStripMode(StripFlatOnly) }},
+	{"fenwick-only", func(s *Solver) { s.SetStripMode(StripFenwickOnly) }},
+	{"auto-invalid-cost", func(s *Solver) {
+		s.SetStripMode(StripAuto)
+		s.SetStripCost(StripCost{TreeUpdate: -1})
+	}},
+	{"auto-skewed-cost", func(s *Solver) {
+		s.SetStripMode(StripAuto)
+		s.SetStripCost(StripCost{TreeUpdate: 0.01, TreeProbe: 0.01, FlatStep: 50, DiffUpdate: 0.01})
+	}},
+}
+
+// expectSame fails unless two results match bit for bit.
+func expectSame(t *testing.T, label string, want, got asp.Result, wok, gok bool) {
+	t.Helper()
+	if wok != gok {
+		t.Fatalf("%s: found %v vs %v", label, wok, gok)
+	}
+	if !wok {
+		return
+	}
+	if want.Dist != got.Dist || want.Point != got.Point {
+		t.Fatalf("%s: %g@%v vs %g@%v", label, want.Dist, want.Point, got.Dist, got.Point)
+	}
+	if len(want.Rep) != len(got.Rep) {
+		t.Fatalf("%s: rep len %d vs %d", label, len(want.Rep), len(got.Rep))
+	}
+	for d := range want.Rep {
+		if math.Float64bits(want.Rep[d]) != math.Float64bits(got.Rep[d]) {
+			t.Fatalf("%s: rep[%d] %v vs %v", label, d, want.Rep[d], got.Rep[d])
+		}
+	}
+}
+
+// TestFlatStripBitIdentical: every strip mode — flat merge pass, seeded
+// Fenwick, legacy per-point Fenwick, auto under default, invalid, and
+// adversarially skewed cost models — returns the classic rescan's
+// answer bit for bit on the integer-valued float64 instantiation. The
+// fixture snaps a third of the points to a coarse grid, so duplicate
+// edge positions (deduplicated into shared interval boundaries) and the
+// clamped first/last intervals (probes before/after all interior
+// deltas) are all exercised.
+func TestFlatStripBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		n := incrMinRects + rng.Intn(180)
+		rects, q := incrFixture(t, rng, n)
+		spaces := []geom.Rect{
+			asp.Space(rects),
+			{MinX: 10, MinY: 10, MaxX: 60, MaxY: 70},
+			{MinX: rng.Float64() * 50, MinY: rng.Float64() * 50, MaxX: 50 + rng.Float64()*50, MaxY: 50 + rng.Float64()*50},
+		}
+		classic, err := New(rects, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, space := range spaces {
+			want, wok := classic.SolveWithin(space)
+			for _, mc := range stripModeCases {
+				s, err := New(rects, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.SetIncremental(true)
+				mc.prep(s)
+				got, gok := s.SolveWithin(space)
+				expectSame(t, mc.name, want, got, wok, gok)
+				_ = si
+			}
+		}
+	}
+}
+
+// TestFlatStripFixedPoint: the int64 fixed-point instantiation rides
+// the same three evaluators; quarter- and half-grid real channels must
+// come back bit-identical to the classic float64 rescan in every mode.
+func TestFlatStripFixedPoint(t *testing.T) {
+	schema, err := attr.NewSchema(
+		attr.Attribute{Name: "rating", Kind: attr.Numeric},
+		attr.Attribute{Name: "visits", Kind: attr.Numeric},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := agg.New(schema,
+		agg.Spec{Kind: agg.Sum, Attr: "visits"},
+		agg.Spec{Kind: agg.Average, Attr: "rating"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := []float64{2, 2, 2, 4, 1}
+	inv := []float64{0.5, 0.5, 0.5, 0.25, 1}
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 10; trial++ {
+		n := incrMinRects + rng.Intn(120)
+		objs := make([]attr.Object, n)
+		rects := make([]asp.RectObject, n)
+		w := 4 + rng.Float64()*8
+		h := 3 + rng.Float64()*8
+		for i := range rects {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			if rng.Intn(4) == 0 {
+				x, y = float64(rng.Intn(20))*5, float64(rng.Intn(20))*5
+			}
+			objs[i] = attr.Object{
+				Loc: geom.Point{X: x, Y: y},
+				Values: []attr.Value{
+					{Num: float64(rng.Intn(41)) * 0.25},
+					{Num: float64(rng.Intn(999))*0.5 - 200},
+				},
+			}
+			rects[i] = asp.RectObject{Rect: geom.Rect{MinX: x - w, MinY: y - h, MaxX: x, MaxY: y}, Obj: &objs[i]}
+		}
+		q := asp.Query{F: f, Target: []float64{3000, 10}}
+		classic, err := New(rects, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		space := asp.Space(rects)
+		want, wok := classic.SolveWithin(space)
+		for _, mc := range stripModeCases {
+			s, err := New(rects, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetIncremental(true)
+			s.SetFixedPoint(scale, inv)
+			mc.prep(s)
+			got, gok := s.SolveWithin(space)
+			expectSame(t, mc.name, want, got, wok, gok)
+		}
+	}
+}
+
+// TestFlatStripDegenerateSpaces: zero-width strips in both axes — a
+// zero-height space falls through to the classic line scan, and spaces
+// narrower than any rectangle leave a single interval — must agree
+// with the classic rescan in every mode.
+func TestFlatStripDegenerateSpaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	rects, q := incrFixture(t, rng, incrMinRects+40)
+	spaces := []geom.Rect{
+		{MinX: 5, MinY: 50, MaxX: 95, MaxY: 50},     // zero height: classic line strip
+		{MinX: 50, MinY: 5, MaxX: 50.001, MaxY: 95}, // near-degenerate width
+		{MinX: 49, MinY: 49, MaxX: 51, MaxY: 51},    // tiny interior window
+	}
+	classic, err := New(rects, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si, space := range spaces {
+		want, wok := classic.SolveWithin(space)
+		for _, mc := range stripModeCases {
+			s, err := New(rects, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.SetIncremental(true)
+			mc.prep(s)
+			got, gok := s.SolveWithin(space)
+			expectSame(t, mc.name, want, got, wok, gok)
+			_ = si
+		}
+	}
+}
+
+// TestStripModeCounters: the mode pins the evaluator, and the Stats
+// counters must say so — FlatOnly touches no Fenwick strip and
+// FenwickOnly no flat strip; Auto accounts every dirty strip to exactly
+// one side.
+func TestStripModeCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	rects, q := incrFixture(t, rng, incrMinRects+150)
+	space := asp.Space(rects)
+	run := func(m StripMode) Stats {
+		s, err := New(rects, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetIncremental(true)
+		s.SetStripMode(m)
+		s.SolveWithin(space)
+		return s.Stats
+	}
+	flat := run(StripFlatOnly)
+	if flat.FlatStrips == 0 || flat.FenwickStrips != 0 {
+		t.Fatalf("flat-only: %+v", flat)
+	}
+	fen := run(StripFenwickOnly)
+	if fen.FenwickStrips == 0 || fen.FlatStrips != 0 {
+		t.Fatalf("fenwick-only: %+v", fen)
+	}
+	auto := run(StripAuto)
+	if auto.FlatStrips+auto.FenwickStrips == 0 {
+		t.Fatalf("auto accounted no strips: %+v", auto)
+	}
+	if auto.FlatStrips+auto.FenwickStrips != flat.FlatStrips {
+		t.Fatalf("auto strip accounting %d+%d != %d dirty strips",
+			auto.FlatStrips, auto.FenwickStrips, flat.FlatStrips)
+	}
+}
+
+// TestStripPoolModes: pool-built solvers (slab scratch, the production
+// path) agree with classic across modes after Rebind, and the pool's
+// pre-sized dif/run scratch survives reuse across solves.
+func TestStripPoolModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	rects, q := incrFixture(t, rng, incrMinRects+100)
+	rects2, _ := incrFixture(t, rng, incrMinRects+70)
+	classic, err := New(rects, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic2, err := New(rects2, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	space := asp.Space(rects)
+	space2 := asp.Space(rects2)
+	want, wok := classic.SolveWithin(space)
+	want2, wok2 := classic2.SolveWithin(space2)
+	for _, mc := range stripModeCases {
+		pool, err := NewPool(2, q, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := &pool[1]
+		s.SetIncremental(true)
+		mc.prep(s)
+		s.Rebind(rects)
+		got, gok := s.SolveWithin(space)
+		expectSame(t, "pool/"+mc.name, want, got, wok, gok)
+		// Rebind to a different set: scratch reuse must not leak state.
+		s.Rebind(rects2)
+		got2, gok2 := s.SolveWithin(space2)
+		expectSame(t, "pool-rebind/"+mc.name, want2, got2, wok2, gok2)
+	}
+}
+
+// TestSolveWithinCappedBitIdentical pins the capped evaluation
+// contract on both the classic scan and every incremental strip mode:
+// any cap at or above the space's optimum returns SolveWithin's result
+// bit for bit (the open cap keeps exact ties evaluable), a cap below it
+// returns the untouched +Inf sentinel with a nil Rep, and running a
+// capped solve must not leak the cap into a following uncapped solve.
+func TestSolveWithinCappedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 12; trial++ {
+		n := incrMinRects + rng.Intn(160)
+		rects, q := incrFixture(t, rng, n)
+		space := asp.Space(rects)
+		solvers := map[string]*Solver{}
+		for _, incremental := range []bool{false, true} {
+			for _, mc := range stripModeCases {
+				s, err := New(rects, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s.SetIncremental(incremental)
+				mc.prep(s)
+				name := mc.name
+				if !incremental {
+					name = "classic/" + mc.name
+				}
+				solvers[name] = s
+			}
+		}
+		ref := solvers["classic/auto"]
+		want, wok := ref.SolveWithin(space)
+		if !wok {
+			t.Fatalf("trial %d: reference solve found nothing", trial)
+		}
+		caps := []float64{
+			math.Inf(1), want.Dist * 2, want.Dist + 1,
+			want.Dist, // exact tie: must still be evaluated in full
+		}
+		for name, s := range solvers {
+			for _, c := range caps {
+				got, gok := s.SolveWithinCapped(space, c)
+				expectSame(t, name, want, got, wok, gok)
+			}
+			// A cap strictly below the optimum starves every candidate:
+			// the sentinel comes back untouched, found stays true.
+			below := math.Nextafter(want.Dist, math.Inf(-1))
+			got, gok := s.SolveWithinCapped(space, below)
+			if !gok {
+				t.Fatalf("%s: capped-below solve reported no candidates", name)
+			}
+			if got.Rep != nil || !math.IsInf(got.Dist, 1) {
+				t.Fatalf("%s: capped-below solve returned %g@%v, want untouched sentinel", name, got.Dist, got.Point)
+			}
+			// The cap must not persist past the call.
+			after, aok := s.SolveWithin(space)
+			expectSame(t, name+"/after-capped", want, after, wok, aok)
+		}
+	}
+}

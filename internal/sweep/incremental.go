@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"math"
 	"sort"
 
 	"asrs/internal/fenwick"
@@ -10,38 +11,115 @@ import (
 )
 
 // The incremental sweep replaces the classic per-strip rescan with a
-// Fenwick-backed delta walk. The candidate x-intervals of a space are
-// the gaps between consecutive distinct edge coordinates and are shared
-// by every strip; a rectangle covers a fixed inclusive interval span and
-// is active over a contiguous strip run. Walking strips bottom-up, the
-// channel totals of every interval live in a range-add/point-query
-// Fenwick tree updated only by the rectangles entering or leaving at the
-// strip boundary, and only the intervals those deltas touch are
-// re-evaluated: an untouched interval has the same covering set — hence
-// the same representation and distance — as when it was last evaluated,
-// at which point it already failed (or set) the strict `d < best`
-// improvement test. The answer (distance and point) is therefore
-// bit-identical to the classic scan's.
+// delta walk over the candidate x-intervals. The intervals of a space
+// are the gaps between consecutive distinct edge coordinates and are
+// shared by every strip; a rectangle covers a fixed inclusive interval
+// span and is active over a contiguous strip run. Walking strips
+// bottom-up, only the rectangles entering or leaving at the strip
+// boundary change any interval's covering set, and only the intervals
+// those deltas touch are re-evaluated: an untouched interval has the
+// same covering set — hence the same representation and distance — as
+// when it was last evaluated, at which point it already failed (or set)
+// the strict `d < best` improvement test. The answer (distance and
+// point) is therefore bit-identical to the classic scan's.
+//
+// Two evaluators resolve a strip's dirty intervals, selected by a cost
+// model (see stripPlan below); both carry the interval channel totals
+// as scaled int64, so their sums are exact integers and bit-identical
+// to each other under any selection:
+//
+//   - The flat strip evaluator (the dense-regime default): entering and
+//     leaving rectangles update a plain difference array
+//     (fenwick.Diff1D, two writes per contribution), and the strip's
+//     point queries are answered in ONE branch-light merge pass — a
+//     running prefix sum over the sorted deltas and a second sorted
+//     cursor over the dirty interval ranges, both advancing
+//     monotonically left to right. No pointer chasing, no per-probe
+//     tree walk: the pass is a linear scan over a flat array.
+//
+//   - The Fenwick evaluator (the sparse-update regime): a
+//     range-add/point-query fenwick.Tree1D answers O(log k) point
+//     queries, which wins when a strip touches a few narrow intervals
+//     far into a wide strip — there the flat pass would march across
+//     thousands of untouched deltas to seed its prefix. With the tree
+//     live, each merged dirty range is seeded by one tree walk and then
+//     marched with the difference array, so even this regime does one
+//     walk per range rather than one per interval.
 //
 // The mode is enabled by SetIncremental and must only be enabled for
 // composites whose channel contributions all sum exactly in float64 —
 // integers, or reals carrying a fixed-point certificate supplied via
 // SetFixedPoint (the caller's responsibility; DS-Search gates it on its
-// incremental layer's per-channel certificate) — because the Fenwick
-// tree sums contributions in a different order than the classic
-// accumulator walk. The tree carries scaled int64 channels: every
-// intermediate is exact by construction, and the power-of-two
-// conversion back at evaluation reproduces the classic scan's floats
-// bit for bit.
+// incremental layer's per-channel certificate) — because both
+// evaluators sum contributions in a different order than the classic
+// accumulator walk. Every intermediate is exact by construction, and
+// the power-of-two conversion back at evaluation reproduces the classic
+// scan's floats bit for bit.
 
 // incrMinRects gates the incremental path: below it the classic scan's
 // lower constant factor wins.
 const incrMinRects = 48
 
+// StripMode selects the strip evaluator of the incremental sweep. All
+// modes return bit-identical answers (the interval totals are exact
+// int64 sums either way); the mode is purely a performance choice.
+type StripMode int
+
+const (
+	// StripAuto picks per solve — and, when the Fenwick tree is live,
+	// per strip — using the installed StripCost model. The default.
+	StripAuto StripMode = iota
+	// StripFlatOnly always uses the flat merge pass (no tree is
+	// maintained at all).
+	StripFlatOnly
+	// StripFenwickOnly reproduces the legacy evaluator: every dirty
+	// interval is resolved by its own O(log k) tree walk. Kept as the
+	// ablation baseline (BENCH_PR6 strip A/B) and as a property-test
+	// oracle; it exercises none of the flat machinery.
+	StripFenwickOnly
+)
+
+// StripCost is the per-unit cost model behind the strip-evaluator
+// selection. The weights are relative (only ratios matter) and must
+// depend on nothing but the input shape — the selection then depends
+// only on deterministic quantities, keeping the answer trajectory
+// reproducible. internal/dssearch seeds the model from its profiled
+// constants (same discipline as its SAT-vs-difference-array fill
+// selector); standalone solvers get DefaultStripCost.
+type StripCost struct {
+	// TreeUpdate is one Fenwick RangeAdd, per contribution per log2(k)
+	// level (two tree traversals of cache-hostile strided adds).
+	TreeUpdate float64
+	// TreeProbe is one Fenwick PointInto seed, per channel per log2(k)
+	// level.
+	TreeProbe float64
+	// FlatStep is one step of the flat merge pass, per channel per
+	// interval marched (a sequential load-add the hardware prefetches).
+	FlatStep float64
+	// DiffUpdate is one difference-array write pair, per contribution.
+	DiffUpdate float64
+}
+
+// DefaultStripCost returns the package's built-in weights: tree
+// operations cost a few times their flat counterparts per touched
+// element, and the flat step is priced below one add-per-channel to
+// reflect its sequential access pattern.
+func DefaultStripCost() StripCost {
+	return StripCost{TreeUpdate: 2, TreeProbe: 1, FlatStep: 0.35, DiffUpdate: 2}
+}
+
+// valid reports whether every weight is positive and finite (a zero
+// model would make the selection degenerate).
+func (c StripCost) valid() bool {
+	ok := func(v float64) bool { return v > 0 && !math.IsInf(v, 1) }
+	return ok(c.TreeUpdate) && ok(c.TreeProbe) && ok(c.FlatStep) && ok(c.DiffUpdate)
+}
+
 // incrState is the reusable scratch of the incremental sweep.
 type incrState struct {
 	xs       []float64 // distinct interval boundaries, incl. space edges
 	bit      fenwick.Int64Tree1D
+	dif      fenwick.Int64Diff1D
 	li, ri   []int32 // per-rect inclusive interval span (li>ri: inactive)
 	sa, se   []int32 // per-rect active strip run [sa, se)
 	addStart []int32 // CSR: rect ids activating at each strip
@@ -50,17 +128,18 @@ type incrState struct {
 	remIds   []int32
 	fill     []int32
 	ranges   [][2]int32 // dirty interval ranges of the current strip
-	chI      []int64    // scaled channel scratch
+	chI      []int64    // scaled channel scratch (point value / tree seed)
+	run      []int64    // running prefix accumulator of the flat pass
 	ch       []float64  // channel scratch
 }
 
 // SetIncremental switches the solver between the classic per-strip
-// rescan and the Fenwick-backed incremental sweep for large inputs. Only
-// enable it for composites whose channel contributions sum exactly in
-// float64; results are bit-identical there (see the package note
-// above). Real-valued composites must additionally carry a fixed-point
-// certificate installed via SetFixedPoint. Solvers not built by NewPool
-// get an unbounded size cap.
+// rescan and the incremental delta sweep for large inputs. Only enable
+// it for composites whose channel contributions sum exactly in float64;
+// results are bit-identical there (see the package note above). Real-
+// valued composites must additionally carry a fixed-point certificate
+// installed via SetFixedPoint. Solvers not built by NewPool get an
+// unbounded size cap.
 func (s *Solver) SetIncremental(on bool) {
 	s.incremental = on
 	if s.incrCap == 0 {
@@ -76,6 +155,82 @@ func (s *Solver) SetIncremental(on bool) {
 // solver is in use; both must have length Channels() when non-nil.
 func (s *Solver) SetFixedPoint(scale, inv []float64) {
 	s.fpScale, s.fpInv = scale, inv
+}
+
+// SetStripMode selects the strip evaluator (see StripMode). Answers are
+// bit-identical in every mode.
+func (s *Solver) SetStripMode(m StripMode) { s.stripMode = m }
+
+// SetStripCost installs the cost model driving StripAuto's selection.
+// Invalid models (non-positive or infinite weights) fall back to
+// DefaultStripCost.
+func (s *Solver) SetStripCost(c StripCost) {
+	if !c.valid() {
+		c = DefaultStripCost()
+	}
+	s.stripCost = c
+}
+
+// stripPlan is the per-solve structural decision of StripAuto: whether
+// the Fenwick tree is worth maintaining at all. Every quantity it needs
+// — which rectangles enter and leave at each strip, and which interval
+// spans they dirty — is known exactly before the strip loop runs, so
+// the decision is made once from measured counts (delta count × probe
+// span versus the flat pass's march length), not guessed per strip.
+// Contribution counts per object are not known here; chans is the
+// proxy (a rect contributes to at most every channel once for the
+// composites this path serves).
+func (s *Solver) stripPlan(ns, k, chans int) (maintainTree bool) {
+	inc := &s.inc
+	switch s.stripMode {
+	case StripFlatOnly:
+		return false
+	case StripFenwickOnly:
+		return true
+	}
+	cost := s.stripCost
+	if !cost.valid() {
+		cost = DefaultStripCost()
+	}
+	logK := math.Log2(float64(k) + 1)
+	if logK < 1 {
+		logK = 1
+	}
+	cf := float64(chans)
+	var flatTotal, treeTotal float64
+	for si := 0; si < ns; si++ {
+		events := int(inc.remStart[si+1]-inc.remStart[si]) + int(inc.addStart[si+1]-inc.addStart[si])
+		if events == 0 && si != 0 {
+			continue
+		}
+		// Exact dirty geometry of this strip from the event spans.
+		lastDirty, dirty := int32(-1), 0
+		scan := func(ids []int32) {
+			for _, id := range ids {
+				if inc.ri[id] > lastDirty {
+					lastDirty = inc.ri[id]
+				}
+				dirty += int(inc.ri[id]-inc.li[id]) + 1
+			}
+		}
+		scan(inc.remIds[inc.remStart[si]:inc.remStart[si+1]])
+		scan(inc.addIds[inc.addStart[si]:inc.addStart[si+1]])
+		ranges := events // upper bound on merged dirty ranges
+		if si == 0 {
+			// The first strip evaluates every interval.
+			lastDirty, dirty, ranges = int32(k-1), k, 1
+		}
+		if dirty > k {
+			dirty = k
+		}
+		// Both evaluators pay the dirty-interval marching and the
+		// difference-array writes; they differ in tree maintenance +
+		// per-range seeds versus the march from position 0.
+		common := float64(dirty)*cf*cost.FlatStep + float64(events)*cf*cost.DiffUpdate
+		flatTotal += common + float64(lastDirty+1)*cf*cost.FlatStep
+		treeTotal += common + float64(events)*cf*logK*cost.TreeUpdate + float64(ranges)*cf*logK*cost.TreeProbe
+	}
+	return treeTotal < flatTotal
 }
 
 // solveWithinIncremental walks the strips of s.ys (deduplicated
@@ -162,26 +317,86 @@ func (s *Solver) solveWithinIncremental(space geom.Rect, best *asp.Result) (foun
 	}
 
 	chans := s.query.F.Channels()
-	inc.bit.Reset(k, chans)
+	maintainTree := s.stripPlan(ns, k, chans)
+	legacy := s.stripMode == StripFenwickOnly
+	if maintainTree {
+		inc.bit.Reset(k, chans)
+	}
+	if !legacy {
+		inc.dif.Reset(k, chans)
+	}
 	if cap(inc.ch) < chans {
 		inc.ch = make([]float64, chans)
 		inc.chI = make([]int64, chans)
+		inc.run = make([]int64, chans)
 	}
 	ch := inc.ch[:chans]
 	chI := inc.chI[:chans]
+	run := inc.run[:chans]
 	rep := s.rep
+	cost := s.stripCost
+	if !cost.valid() {
+		cost = DefaultStripCost()
+	}
+	logK := math.Log2(float64(k) + 1)
+	if logK < 1 {
+		logK = 1
+	}
 
+	// apply folds one entering/leaving rectangle into the difference
+	// array (two writes per contribution) and, when live, the Fenwick
+	// tree, recording the dirtied span. StripFenwickOnly skips the
+	// difference array entirely so the ablation baseline pays exactly
+	// the legacy evaluator's costs.
 	apply := func(id int32, sign int64) {
 		o := s.rects[id].Obj
 		s.cbuf = s.query.F.AppendContribs(o, s.cbuf[:0])
+		l, r := int(inc.li[id]), int(inc.ri[id])
 		for _, cb := range s.cbuf {
 			v := cb.V
 			if s.fpScale != nil {
 				v *= s.fpScale[cb.Ch] // exact power-of-two shift
 			}
-			inc.bit.RangeAdd(int(inc.li[id]), int(inc.ri[id]), cb.Ch, sign*int64(v))
+			d := sign * int64(v)
+			if !legacy {
+				inc.dif.RangeAdd(l, r, cb.Ch, d)
+			}
+			if maintainTree {
+				inc.bit.RangeAdd(l, r, cb.Ch, d)
+			}
 		}
 		inc.ranges = append(inc.ranges, [2]int32{inc.li[id], inc.ri[id]})
+	}
+
+	// evalAt scores the interval j of the strip at height y given its
+	// exact scaled channel totals. Identical arithmetic in every
+	// evaluator: the totals are int64 sums of the same deltas, so the
+	// floats below — and with them the answer — cannot depend on which
+	// structure produced them.
+	evalAt := func(j int32, y float64, tot []int64) {
+		s.Stats.Intervals++
+		if s.fpInv != nil {
+			// Exact: |scaled| stays within 2^53 under the certificate,
+			// and the inverse is a power of two.
+			for c := 0; c < chans; c++ {
+				ch[c] = float64(tot[c]) * s.fpInv[c]
+			}
+		} else {
+			for c := 0; c < chans; c++ {
+				ch[c] = float64(tot[c])
+			}
+		}
+		s.query.F.FinalizeExact(ch, rep)
+		bnd := best.Dist
+		if s.evalCap < bnd {
+			bnd = s.evalCap
+		}
+		if d, ok := s.query.DistanceUnder(rep, bnd); ok {
+			best.Dist = d
+			best.Point = geom.Point{X: (xs[j] + xs[j+1]) / 2, Y: y}
+			best.Rep = append(best.Rep[:0], rep...)
+		}
+		found = true
 	}
 
 	for si := 0; si < ns; si++ {
@@ -199,43 +414,74 @@ func (s *Solver) solveWithinIncremental(space geom.Rect, best *asp.Result) (foun
 		} else if len(inc.ranges) == 0 {
 			continue
 		}
-		// Merge the dirty ranges and evaluate their intervals ascending —
+		// Merge the dirty ranges so intervals are visited ascending —
 		// the same (strip, interval) visit order as the classic scan on
-		// the intervals that could have changed.
+		// the intervals that could have changed. The merge in place
+		// leaves the coalesced ranges in inc.ranges[:nm].
 		sort.Slice(inc.ranges, func(a, b int) bool { return inc.ranges[a][0] < inc.ranges[b][0] })
-		y := ym(si)
-		cur := inc.ranges[0]
-		for i := 1; i <= len(inc.ranges); i++ {
-			if i < len(inc.ranges) && inc.ranges[i][0] <= cur[1]+1 {
-				if inc.ranges[i][1] > cur[1] {
-					cur[1] = inc.ranges[i][1]
+		nm := 0
+		for i := 1; i < len(inc.ranges); i++ {
+			if inc.ranges[i][0] <= inc.ranges[nm][1]+1 {
+				if inc.ranges[i][1] > inc.ranges[nm][1] {
+					inc.ranges[nm][1] = inc.ranges[i][1]
 				}
 				continue
 			}
-			for j := cur[0]; j <= cur[1]; j++ {
-				s.Stats.Intervals++
-				inc.bit.PointInto(int(j), chI)
-				if s.fpInv != nil {
-					// Exact: |scaled| stays within 2^53 under the
-					// certificate, and the inverse is a power of two.
-					for c := 0; c < chans; c++ {
-						ch[c] = float64(chI[c]) * s.fpInv[c]
-					}
-				} else {
-					for c := 0; c < chans; c++ {
-						ch[c] = float64(chI[c])
-					}
-				}
-				s.query.F.FinalizeExact(ch, rep)
-				if d := s.query.Distance(rep); d < best.Dist {
-					best.Dist = d
-					best.Point = geom.Point{X: (xs[j] + xs[j+1]) / 2, Y: y}
-					best.Rep = append(best.Rep[:0], rep...)
-				}
-				found = true
+			nm++
+			inc.ranges[nm] = inc.ranges[i]
+		}
+		merged := inc.ranges[:nm+1]
+		y := ym(si)
+		lastDirty := merged[len(merged)-1][1]
+
+		// Read-path selection for this strip: marching the flat prefix
+		// from position 0 to lastDirty, versus one tree seed per merged
+		// range (the within-range marching is common to both). With no
+		// tree live the flat pass is the only evaluator.
+		useFlat := !maintainTree
+		if maintainTree && !legacy && s.stripMode == StripAuto {
+			useFlat = float64(lastDirty+1)*cost.FlatStep < float64(len(merged))*logK*cost.TreeProbe
+		}
+		switch {
+		case useFlat:
+			// The flat merge pass: one running prefix sum over the
+			// sorted deltas (cursor 1) and the merged dirty ranges
+			// (cursor 2), both advancing monotonically. Deltas of
+			// untouched gaps are folded in without evaluation.
+			s.Stats.FlatStrips++
+			for c := range run {
+				run[c] = 0
 			}
-			if i < len(inc.ranges) {
-				cur = inc.ranges[i]
+			pos := int32(-1)
+			for _, cur := range merged {
+				inc.dif.Advance(int(pos), int(cur[0]), run)
+				evalAt(cur[0], y, run)
+				for j := cur[0] + 1; j <= cur[1]; j++ {
+					inc.dif.StepInto(int(j), run)
+					evalAt(j, y, run)
+				}
+				pos = cur[1]
+			}
+		case legacy:
+			// Legacy evaluator: one tree walk per dirty interval.
+			s.Stats.FenwickStrips++
+			for _, cur := range merged {
+				for j := cur[0]; j <= cur[1]; j++ {
+					inc.bit.PointInto(int(j), chI)
+					evalAt(j, y, chI)
+				}
+			}
+		default:
+			// Sparse regime: seed each merged range with one tree walk,
+			// then march within the range on the difference array.
+			s.Stats.FenwickStrips++
+			for _, cur := range merged {
+				inc.bit.PointInto(int(cur[0]), chI)
+				evalAt(cur[0], y, chI)
+				for j := cur[0] + 1; j <= cur[1]; j++ {
+					inc.dif.StepInto(int(j), chI)
+					evalAt(j, y, chI)
+				}
 			}
 		}
 	}

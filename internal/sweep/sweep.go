@@ -22,6 +22,11 @@ import (
 type Stats struct {
 	Strips    int // horizontal strips examined
 	Intervals int // candidate x-intervals evaluated
+	// Strip-evaluator selection counters of the incremental sweep:
+	// dirty strips resolved by the flat merge pass vs. by Fenwick tree
+	// walks (seeded ranges or, in StripFenwickOnly, per-point).
+	FlatStrips    int
+	FenwickStrips int
 }
 
 // Solver runs the Base algorithm. The zero value is not usable; construct
@@ -54,6 +59,18 @@ type Solver struct {
 	fpScale, fpInv []float64
 	inc            incrState
 
+	// stripMode/stripCost drive the incremental sweep's strip-evaluator
+	// selection (flat merge pass vs. Fenwick walks; see StripMode). The
+	// zero values mean StripAuto with DefaultStripCost.
+	stripMode StripMode
+	stripCost StripCost
+
+	// evalCap bounds candidate distance evaluation (SolveWithinCapped):
+	// DistanceUnder marches against min(local best, evalCap), so
+	// candidates provably unable to matter to the caller exit after a
+	// dimension or two. +Inf (the constructors' value) disables it.
+	evalCap float64
+
 	Stats Stats
 }
 
@@ -64,9 +81,10 @@ func New(rects []asp.RectObject, q asp.Query) (*Solver, error) {
 		return nil, err
 	}
 	s := &Solver{
-		query: q,
-		acc:   agg.NewAccumulator(q.F),
-		rep:   make([]float64, q.F.Dims()),
+		query:   q,
+		acc:     agg.NewAccumulator(q.F),
+		rep:     make([]float64, q.F.Dims()),
+		evalCap: math.Inf(1),
 	}
 	s.Rebind(rects)
 	return s, nil
@@ -95,12 +113,13 @@ func NewPool(n int, q asp.Query, incrCap int) ([]Solver, error) {
 	ysf := make([]float64, n*presort)
 	for i := range solvers {
 		solvers[i] = Solver{
-			query:  q,
-			acc:    &accs[i],
-			rep:    reps[i*q.F.Dims() : (i+1)*q.F.Dims()],
-			byMinX: carveInt(presort),
-			byMaxX: carveInt(presort),
-			ys:     ysf[i*presort : i*presort : (i+1)*presort],
+			query:   q,
+			acc:     &accs[i],
+			rep:     reps[i*q.F.Dims() : (i+1)*q.F.Dims()],
+			byMinX:  carveInt(presort),
+			byMaxX:  carveInt(presort),
+			ys:      ysf[i*presort : i*presort : (i+1)*presort],
+			evalCap: math.Inf(1),
 		}
 	}
 	if incrCap > 0 {
@@ -116,7 +135,7 @@ func NewPool(n int, q asp.Query, incrCap int) ([]Solver, error) {
 			return out[:0]
 		}
 		fl := make([]float64, n*(2*m+2+chans))
-		i64 := make([]int64, n*chans)
+		i64 := make([]int64, n*2*chans)
 		rngs := make([][2]int32, n*64)
 		for i := range solvers {
 			inc := &solvers[i].inc
@@ -125,7 +144,8 @@ func NewPool(n int, q asp.Query, incrCap int) ([]Solver, error) {
 			fl = fl[2*m+2:]
 			inc.ch = fl[:chans:chans]
 			fl = fl[chans:]
-			inc.chI = i64[i*chans : (i+1)*chans : (i+1)*chans]
+			inc.chI = i64[2*i*chans : (2*i+1)*chans : (2*i+1)*chans]
+			inc.run = i64[(2*i+1)*chans : (2*i+2)*chans : (2*i+2)*chans]
 			inc.li = carve32(m)
 			inc.ri = carve32(m)
 			inc.sa = carve32(m)
@@ -136,6 +156,7 @@ func NewPool(n int, q asp.Query, incrCap int) ([]Solver, error) {
 			inc.remIds = carve32(m)
 			inc.fill = carve32(4*m + 6)
 			inc.bit.Reset(2*m+1, chans)
+			inc.dif.Reset(2*m+1, chans)
 		}
 	}
 	return solvers, nil
@@ -200,6 +221,26 @@ func (s *Solver) emptyResult(space geom.Rect) asp.Result {
 	rep := make([]float64, s.query.F.Dims())
 	s.query.F.FinalizeExact(make([]float64, s.query.F.Channels()), rep)
 	return asp.Result{Point: p, Dist: s.query.Distance(rep), Rep: rep}
+}
+
+// SolveWithinCapped is SolveWithin with a caller-side relevance cap:
+// candidates whose distance provably exceeds cap abandon the distance
+// march early and never become the local best. Every candidate with
+// distance ≤ cap — ties with the caller's incumbent included — is
+// evaluated bit-identically to SolveWithin, so a caller that discards
+// results worse than its incumbent (under any tie order on equal
+// distances) observes exactly SolveWithin's answers. When nothing
+// scores ≤ cap the returned result can be the untouched +Inf sentinel
+// even though candidates existed (ok stays true) — by the contract
+// above, the caller was going to discard those anyway.
+func (s *Solver) SolveWithinCapped(space geom.Rect, capDist float64) (asp.Result, bool) {
+	// nextafter keeps distance == capDist candidates below the march
+	// bound, so the caller's tie-breaking still sees them. +Inf maps to
+	// +Inf.
+	s.evalCap = math.Nextafter(capDist, math.Inf(1))
+	r, ok := s.SolveWithin(space)
+	s.evalCap = math.Inf(1)
+	return r, ok
 }
 
 // SolveWithin finds the minimum-distance point whose location lies in the
@@ -286,7 +327,11 @@ func (s *Solver) scanStrip(ym float64, space geom.Rect, acc *agg.Accumulator, re
 		}
 		s.Stats.Intervals++
 		acc.Representation(rep)
-		if d := s.query.Distance(rep); d < best.Dist {
+		bnd := best.Dist
+		if s.evalCap < bnd {
+			bnd = s.evalCap
+		}
+		if d, ok := s.query.DistanceUnder(rep, bnd); ok {
 			best.Dist = d
 			best.Point = geom.Point{X: xm, Y: ym}
 			best.Rep = append(best.Rep[:0], rep...)
