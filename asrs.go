@@ -55,8 +55,6 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
-	"os"
-	"path/filepath"
 
 	"asrs/internal/agg"
 	"asrs/internal/asp"
@@ -349,60 +347,111 @@ func ReadPyramid(r io.Reader, ds *Dataset, f *Composite) (*Pyramid, error) {
 	return persist.ReadPyramid(r, ds, f)
 }
 
-// LoadOrBuildPyramidFile binds the on-disk pyramid for (ds, f): when
-// the file exists it is read and verified (a mismatched or corrupt file
-// is an error, not a rebuild — silently recomputing would hide a stale
-// artifact), otherwise the pyramid is built and saved to path. built
-// reports which happened, so callers can log build latency versus a
-// warm load. Both CLI front ends (asrsquery -pyramid, asrsd -pyramid)
-// ride this helper.
-func LoadOrBuildPyramidFile(path string, ds *Dataset, f *Composite) (p *Pyramid, built bool, err error) {
-	file, err := os.Open(path)
-	if err == nil {
-		defer file.Close()
-		p, err := persist.ReadPyramid(file, ds, f)
-		if err != nil {
-			return nil, false, fmt.Errorf("asrs: loading pyramid %s: %w", path, err)
+// ErrPyramidCorrupt and ErrPyramidMismatch classify pyramid-file
+// failures (re-exported from internal/persist): corrupt means the
+// bytes are damaged — torn write, truncation, checksum failure — and
+// the artifact is rebuildable; mismatch means the file decodes but was
+// built for a different composite or dataset, a deployment error that
+// rebuilding would hide. LoadOrBuildPyramidFile quarantines and
+// rebuilds on the former and hard-fails on the latter.
+var (
+	ErrPyramidCorrupt  = persist.ErrCorrupt
+	ErrPyramidMismatch = persist.ErrMismatch
+)
+
+// PyramidLoad reports how LoadOrBuildPyramidFile obtained its pyramid.
+type PyramidLoad int
+
+const (
+	// PyramidLoaded: the on-disk file verified and loaded.
+	PyramidLoaded PyramidLoad = iota
+	// PyramidBuilt: no file existed; built fresh and saved.
+	PyramidBuilt
+	// PyramidRebuilt: the file was corrupt; it was quarantined
+	// (timestamped .corrupt-* sibling) and the pyramid rebuilt and
+	// re-saved.
+	PyramidRebuilt
+)
+
+func (s PyramidLoad) String() string {
+	switch s {
+	case PyramidLoaded:
+		return "loaded"
+	case PyramidBuilt:
+		return "built"
+	case PyramidRebuilt:
+		return "rebuilt"
+	}
+	return fmt.Sprintf("PyramidLoad(%d)", int(s))
+}
+
+// SavePyramidFile atomically persists a pyramid: temp file + fsync +
+// rename, plus a checksummed sidecar manifest. A crash at any instant
+// leaves either the old complete file or the new complete file at
+// path — never a torn one.
+func SavePyramidFile(path string, p *Pyramid) error { return persist.SavePyramid(path, p) }
+
+// LoadPyramidFile reads a pyramid saved by SavePyramidFile (or by
+// LoadOrBuildPyramidFile). Damaged files error with ErrPyramidCorrupt,
+// wrong-identity files with ErrPyramidMismatch; a missing file reports
+// fs.ErrNotExist.
+func LoadPyramidFile(path string, ds *Dataset, f *Composite) (*Pyramid, error) {
+	return persist.LoadPyramid(path, ds, f)
+}
+
+// LoadOrBuildPyramidFile binds the on-disk pyramid for (ds, f):
+//
+//   - the file exists and verifies → (pyramid, PyramidLoaded, nil);
+//   - no file → build, save atomically, (pyramid, PyramidBuilt, nil);
+//   - the file is corrupt (torn write, bit rot, truncation) → move it
+//     aside to a timestamped .corrupt-* sibling, rebuild, re-save,
+//     (pyramid, PyramidRebuilt, nil). The damaged bytes are preserved
+//     for postmortem and the process comes up healthy;
+//   - the file decodes but belongs to a different dataset/composite →
+//     (nil, 0, error wrapping ErrPyramidMismatch). That is a stale or
+//     misrouted artifact; rebuilding silently would hide the
+//     deployment error, so it stays fatal.
+//
+// status lets callers log build latency versus a warm load and alert
+// on rebuilds. Both CLI front ends (asrsquery -pyramid, asrsd
+// -pyramid) ride this helper.
+func LoadOrBuildPyramidFile(path string, ds *Dataset, f *Composite) (p *Pyramid, status PyramidLoad, err error) {
+	p, err = persist.LoadPyramid(path, ds, f)
+	switch {
+	case err == nil:
+		return p, PyramidLoaded, nil
+	case errors.Is(err, persist.ErrCorrupt):
+		qpath, qerr := persist.Quarantine(path)
+		if qerr != nil {
+			return nil, 0, fmt.Errorf("asrs: pyramid %s corrupt and unquarantinable: %w", path, qerr)
 		}
-		return p, false, nil
+		p, berr := buildAndSavePyramid(path, ds, f)
+		if berr != nil {
+			return nil, 0, fmt.Errorf("asrs: rebuilding after corrupt pyramid (quarantined at %s): %w", qpath, berr)
+		}
+		return p, PyramidRebuilt, nil
+	case errors.Is(err, fs.ErrNotExist):
+		p, berr := buildAndSavePyramid(path, ds, f)
+		if berr != nil {
+			return nil, 0, berr
+		}
+		return p, PyramidBuilt, nil
+	default:
+		// Mismatch, permissions, I/O: surface it. Overwriting an artifact
+		// we cannot even read would destroy the evidence.
+		return nil, 0, fmt.Errorf("asrs: loading pyramid %s: %w", path, err)
 	}
-	if !errors.Is(err, fs.ErrNotExist) {
-		// An unreadable existing file (permissions, I/O error) must not
-		// silently trigger a rebuild that overwrites the artifact.
-		return nil, false, fmt.Errorf("asrs: opening pyramid %s: %w", path, err)
-	}
-	p, err = dssearch.BuildPyramid(ds, f)
+}
+
+func buildAndSavePyramid(path string, ds *Dataset, f *Composite) (*Pyramid, error) {
+	p, err := dssearch.BuildPyramid(ds, f)
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
-	// Write-then-rename: the final path only ever holds a complete file,
-	// so a crash (or error) mid-save cannot leave a truncated pyramid
-	// that — by the corrupt-file contract above — would brick every
-	// later boot. Close before remove/rename (required on Windows), and
-	// surface the Close error: it can carry the real write-back failure
-	// on networked filesystems.
-	// CreateTemp, not a fixed ".tmp" name: two processes building the
-	// same missing pyramid concurrently must not interleave writes into
-	// one temp file and rename a corrupted blend into place.
-	out, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return nil, false, err
+	if err := persist.SavePyramid(path, p); err != nil {
+		return nil, fmt.Errorf("asrs: saving pyramid %s: %w", path, err)
 	}
-	tmp := out.Name()
-	if _, err := persist.WritePyramid(out, p); err != nil {
-		out.Close()
-		os.Remove(tmp)
-		return nil, false, fmt.Errorf("asrs: saving pyramid %s: %w", path, err)
-	}
-	if err := out.Close(); err != nil {
-		os.Remove(tmp)
-		return nil, false, fmt.Errorf("asrs: saving pyramid %s: %w", path, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return nil, false, fmt.Errorf("asrs: saving pyramid %s: %w", path, err)
-	}
-	return p, true, nil
+	return p, nil
 }
 
 // UnitWeights returns a weight vector of n ones.

@@ -119,13 +119,17 @@ func buildServing(dsName string, n int, seed int64) (*asrs.Dataset, map[string]*
 // loadOrBuildPyramid installs the on-disk pyramid for (ds, f) into the
 // engine, building and saving the file when it does not exist yet.
 func loadOrBuildPyramid(eng *asrs.Engine, path string, f *asrs.Composite) error {
-	p, built, err := asrs.LoadOrBuildPyramidFile(path, eng.Dataset(), f)
+	p, status, err := asrs.LoadOrBuildPyramidFile(path, eng.Dataset(), f)
 	if err != nil {
 		return err
 	}
-	if built {
+	switch status {
+	case asrs.PyramidBuilt:
 		log.Printf("pyramid: built and saved %s (%d objects, %d levels)", path, p.Objects(), p.Levels())
-	} else {
+	case asrs.PyramidRebuilt:
+		log.Printf("pyramid: WARNING: %s was corrupt; quarantined and rebuilt (%d objects, %d levels)",
+			path, p.Objects(), p.Levels())
+	default:
 		log.Printf("pyramid: loaded %s (%d objects, %d levels)", path, p.Objects(), p.Levels())
 	}
 	return eng.SetPyramid(p)

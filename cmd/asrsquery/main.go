@@ -67,13 +67,16 @@ func infof(format string, args ...any) { fmt.Fprintf(infoOut, format, args...) }
 // loadOrBuildPyramid binds the on-disk pyramid for (ds, f), building and
 // saving it when the file does not exist yet.
 func loadOrBuildPyramid(path string, ds *asrs.Dataset, f *asrs.Composite) (*asrs.Pyramid, error) {
-	p, built, err := asrs.LoadOrBuildPyramidFile(path, ds, f)
+	p, status, err := asrs.LoadOrBuildPyramidFile(path, ds, f)
 	if err != nil {
 		return nil, err
 	}
-	if built {
+	switch status {
+	case asrs.PyramidBuilt:
 		infof("pyramid:        built and saved to %s (%d objects, %d levels)\n", path, p.Objects(), p.Levels())
-	} else {
+	case asrs.PyramidRebuilt:
+		infof("pyramid:        WARNING: %s was corrupt; quarantined and rebuilt (%d objects, %d levels)\n", path, p.Objects(), p.Levels())
+	default:
 		infof("pyramid:        loaded from %s (%d objects, %d levels)\n", path, p.Objects(), p.Levels())
 	}
 	return p, nil

@@ -27,6 +27,7 @@ package dssearch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"sort"
@@ -404,8 +405,22 @@ func (s *Searcher) ensureScratch() {
 // Release hands the searcher's slab memory back to Options.Slabs for
 // reuse by later queries. The searcher must not be used afterwards.
 // A no-op when no slab cache was configured.
+//
+// A search that died in a kernel panic does NOT recycle: the panic may
+// have interrupted a worker mid-mutation (a sweep solver half way
+// through an incremental update, a grid buffer partially filled), and
+// per-worker scratch is rebound — not rebuilt — on reuse. Dropping the
+// slabs costs one rebuild on the composite's next query; recycling
+// poisoned scratch could silently perturb it. The shared caches the
+// tables merely alias (the engine pyramid, prepared shapes) are
+// read-only during search and stay valid.
 func (s *Searcher) Release() {
 	if s.tab == nil || s.opt.Slabs == nil {
+		return
+	}
+	var pe *kernel.PanicError
+	if errors.As(s.err, &pe) {
+		s.tab = nil
 		return
 	}
 	t := s.tab

@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -152,20 +153,44 @@ func ServeQueries(ds *asrs.Dataset, f *asrs.Composite, name string, k int, seed 
 
 // postQuery sends one wire query and decodes the response.
 func postQuery(client *http.Client, url string, wq server.Query) (int, server.Response, error) {
+	status, _, wr, err := postQueryHdr(client, url, wq)
+	return status, wr, err
+}
+
+func postQueryHdr(client *http.Client, url string, wq server.Query) (int, http.Header, server.Response, error) {
 	raw, err := json.Marshal(wq)
 	if err != nil {
-		return 0, server.Response{}, err
+		return 0, nil, server.Response{}, err
 	}
 	resp, err := client.Post(url+"/v1/query", "application/json", bytes.NewReader(raw))
 	if err != nil {
-		return 0, server.Response{}, err
+		return 0, nil, server.Response{}, err
 	}
 	defer resp.Body.Close()
 	var wr server.Response
 	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
-		return resp.StatusCode, server.Response{}, err
+		return resp.StatusCode, resp.Header, server.Response{}, err
 	}
-	return resp.StatusCode, wr, nil
+	return resp.StatusCode, resp.Header, wr, nil
+}
+
+// postQueryRetry is postQuery honoring the server's degradation
+// contract: a 429 backs off for the advertised Retry-After (the
+// server derives it from its service-time EWMA and guarantees it is
+// never zero) and retries, up to maxRetries shed responses. Other
+// statuses return immediately.
+func postQueryRetry(client *http.Client, url string, wq server.Query, maxRetries int) (int, server.Response, error) {
+	for attempt := 0; ; attempt++ {
+		status, hdr, wr, err := postQueryHdr(client, url, wq)
+		if err != nil || status != http.StatusTooManyRequests || attempt >= maxRetries {
+			return status, wr, err
+		}
+		secs, err := strconv.Atoi(hdr.Get("Retry-After"))
+		if err != nil || secs < 1 {
+			return status, wr, fmt.Errorf("harness: shed response carried Retry-After %q, want a positive integer", hdr.Get("Retry-After"))
+		}
+		time.Sleep(time.Duration(secs) * time.Second)
+	}
 }
 
 // RunServeBench benchmarks coalesced against uncoalesced serving and
@@ -359,7 +384,7 @@ func runServeMode(ds *asrs.Dataset, f *asrs.Composite, wire []server.Query, dist
 			defer wg.Done()
 			for k := 0; k < cfg.PerClient; k++ {
 				qi := traffic[c*cfg.PerClient+k]
-				status, wr, err := postQuery(client, ts.URL, wire[qi])
+				status, wr, err := postQueryRetry(client, ts.URL, wire[qi], 3)
 				if err != nil {
 					errCh <- err
 					return

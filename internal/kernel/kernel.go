@@ -57,9 +57,11 @@ package kernel
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync/atomic"
 
 	"asrs/internal/asp"
+	"asrs/internal/faultinject"
 	"asrs/internal/geom"
 )
 
@@ -219,7 +221,30 @@ func RunCtx(ctx context.Context, workers, batchSize int, seeds []Item, bound *Bo
 		start     chan bool // one token per worker per round; false = quit
 		done      chan struct{}
 		spawned   int
+		panicked  atomic.Pointer[PanicError]
 	)
+	// runItem processes one batch item behind the panic boundary: a
+	// processor panic is recovered HERE, on whichever goroutine ran the
+	// item, so the worker survives to finish its round, the barrier
+	// sees every done signal (no deadlock), and the pool tears down
+	// normally (no goroutine leak). The first panic is recorded and
+	// becomes the run's typed error at the barrier; the slot's local
+	// best falls back to the round's incumbent — a safe merge value —
+	// and any children the item emitted before dying are discarded
+	// below rather than searched, since the query is failing anyway.
+	runItem := func(w, i int) {
+		o := &outs[i]
+		defer func() {
+			if v := recover(); v != nil {
+				panicked.CompareAndSwap(nil, &PanicError{Value: v, Stack: debug.Stack()})
+				o.best = incumbent
+			}
+		}()
+		if f, ok := faultinject.Check("kernel.process.panic"); ok && f.Action == faultinject.ActPanic {
+			panic(f.PanicValue())
+		}
+		o.best = process(w, batch[i], incumbent, o.emit)
+	}
 	// runRound is the work-stealing loop of one worker: drain the front
 	// of the worker's own deque, then steal single items from the back of
 	// the other workers' deques until a full victim scan comes up empty.
@@ -231,8 +256,7 @@ func RunCtx(ctx context.Context, workers, batchSize int, seeds []Item, bound *Bo
 			if !ok {
 				break
 			}
-			o := &outs[i]
-			o.best = process(w, batch[i], incumbent, o.emit)
+			runItem(w, i)
 		}
 		for {
 			hit := false
@@ -243,8 +267,7 @@ func RunCtx(ctx context.Context, workers, batchSize int, seeds []Item, bound *Bo
 				}
 				if i, ok := deques[v].take(false); ok {
 					stolen.Add(1)
-					o := &outs[i]
-					o.best = process(w, batch[i], incumbent, o.emit)
+					runItem(w, i)
 					hit = true
 					break
 				}
@@ -303,8 +326,7 @@ func RunCtx(ctx context.Context, workers, batchSize int, seeds []Item, bound *Bo
 			// Inline fast path: no goroutines for sequential runs or
 			// single-item rounds (results are identical either way).
 			for i := 0; i < n; i++ {
-				o := &outs[i]
-				o.best = process(0, batch[i], incumbent, o.emit)
+				runItem(0, i)
 			}
 		} else {
 			if spawned == 0 {
@@ -342,6 +364,29 @@ func RunCtx(ctx context.Context, workers, batchSize int, seeds []Item, bound *Bo
 			}
 		}
 
+		// Slow-barrier failpoint: stalls the coordinator between the join
+		// and the merge, where a real straggler (page fault, scheduler
+		// preemption) would sit. Answers must be unaffected — only
+		// latency moves — which is exactly what the chaos suite asserts.
+		if f, ok := faultinject.Check("kernel.barrier.slow"); ok && f.Action == faultinject.ActSleep {
+			f.Sleep()
+		}
+		// A processor panic poisons the run: the query converts to a
+		// typed per-query error instead of killing the process. This
+		// round's outcomes are discarded — the local bests may reflect
+		// partially processed items — and its children are released, so
+		// the bound still holds the last fully merged incumbent.
+		if pe := panicked.Load(); pe != nil {
+			err = pe
+			if release != nil {
+				for i := 0; i < n; i++ {
+					for _, c := range outs[i].children {
+						release(c)
+					}
+				}
+			}
+			break
+		}
 		// Deterministic merge: candidates first (order-independent under
 		// the total order), then children in batch order so the heap
 		// trajectory is reproducible.

@@ -1,0 +1,29 @@
+package kernel
+
+import (
+	"fmt"
+)
+
+// PanicError is the typed error RunCtx returns when a processor panics
+// inside a superstep. The panic is caught at the per-item boundary on
+// whichever goroutine ran the item, so the worker pool survives, the
+// barrier completes normally (no deadlock, no goroutine leak), and the
+// failure converts into a per-query error the search packages surface
+// through Searcher.Err — extending the repo's "errors, never panics"
+// discipline from input validation to the concurrent hot loop. Peer
+// queries in the same engine batch run their own kernel instances and
+// are untouched; their answers stay bit-identical to a fault-free run.
+//
+// Only the FIRST panic of a run is recorded (concurrent items can
+// panic in the same round); the rest are swallowed after being
+// recovered, since one typed failure is all the caller can act on.
+type PanicError struct {
+	// Value is the recovered panic payload.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("kernel: panic during search: %v", e.Value)
+}

@@ -1,0 +1,196 @@
+package kernel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asrs/internal/asp"
+	"asrs/internal/faultinject"
+	"asrs/internal/geom"
+)
+
+// panicWorkload drives RunCtx over a deep synthetic tree whose process
+// func panics on the trigger-th processed item (counted atomically; -1
+// never panics). Returns the run error and the items actually
+// processed.
+func panicWorkload(t *testing.T, workers, batch, trigger int) (error, int) {
+	t.Helper()
+	bound := NewBound(0, asp.Result{Dist: 1e18})
+	seed := Item{Space: geom.Rect{MinX: 0, MaxX: 1, MinY: 0, MaxY: 1}, LB: 0}
+	var processed atomic.Int64
+	_, _, _, err := RunCtx(context.Background(), workers, batch, []Item{seed}, bound,
+		func(w int, it Item, inc asp.Result, emit func(Item)) asp.Result {
+			n := int(processed.Add(1))
+			if trigger >= 0 && n == trigger {
+				panic("boom: poisoned query")
+			}
+			lo, hi := it.Space.MinX, it.Space.MaxX
+			mid := (lo + hi) / 2
+			if hi-lo > 1e-3 {
+				emit(Item{Space: geom.Rect{MinX: lo, MaxX: mid, MinY: 0, MaxY: 1}, LB: it.LB})
+				emit(Item{Space: geom.Rect{MinX: mid, MaxX: hi, MinY: 0, MaxY: 1}, LB: it.LB})
+			}
+			cand := asp.Result{Dist: (mid - 0.3) * (mid - 0.3), Point: geom.Point{X: mid}}
+			if Better(inc, cand) {
+				cand = inc
+			}
+			return cand
+		}, nil)
+	return err, int(processed.Load())
+}
+
+// settleGoroutines waits (bounded) for the goroutine count to drop back
+// to at most base+slack; returns the last observed count.
+func settleGoroutines(base, slack int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > base+slack && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+// A processor panic must surface as a typed *PanicError — the process
+// survives, the barrier completes, and the worker pool tears down
+// without leaking goroutines. Run under -race with workers>1 in CI.
+func TestPanicConvertsToTypedError(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		base := runtime.NumGoroutine()
+		err, _ := panicWorkload(t, workers, 8, 5)
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %v, want *PanicError", workers, err)
+		}
+		if v, ok := pe.Value.(string); !ok || !strings.Contains(v, "boom") {
+			t.Fatalf("workers=%d: panic value %v lost", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+		if got := settleGoroutines(base, 2); got > base+2 {
+			t.Fatalf("workers=%d: goroutines %d -> %d (leak)", workers, base, got)
+		}
+	}
+}
+
+// A panic in one round must not lose the incumbent merged in earlier
+// rounds: the bound still holds the best fully merged result, so a
+// caller that wants a partial answer alongside the typed error has one.
+func TestPanicKeepsMergedIncumbent(t *testing.T) {
+	bound := NewBound(0, asp.Result{Dist: 1e18})
+	processed := 0
+	_, _, _, err := RunCtx(context.Background(), 1, 1, []Item{{LB: 0, Space: unitSpace()}}, bound,
+		func(w int, it Item, inc asp.Result, emit func(Item)) asp.Result {
+			processed++
+			if processed == 1 {
+				emit(Item{LB: 0.5, Space: unitSpace()})
+				return asp.Result{Dist: 1, Point: geom.Point{X: 0.25}}
+			}
+			panic("second round dies")
+		}, nil)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if best := bound.Best(); best.Dist != 1 {
+		t.Fatalf("merged incumbent lost: bound best = %+v", best)
+	}
+}
+
+// Every pooled child emitted before the panic — and every heap
+// leftover — must reach the release hook, so arena slices are not
+// stranded mid-crash.
+func TestPanicReleasesChildrenAndHeap(t *testing.T) {
+	bound := NewBound(0, asp.Result{Dist: 1e18})
+	released := 0
+	processed := 0
+	_, _, _, err := RunCtx(context.Background(), 1, 2, []Item{{LB: 0, Space: unitSpace()}}, bound,
+		func(w int, it Item, inc asp.Result, emit func(Item)) asp.Result {
+			processed++
+			switch processed {
+			case 1:
+				// Seed round: emit four children that form the next rounds.
+				for i := 0; i < 4; i++ {
+					emit(Item{LB: 0.1, Pooled: true, Space: unitSpace()})
+				}
+				return inc
+			case 2:
+				emit(Item{LB: 0.2, Pooled: true, Space: unitSpace()})
+				return inc
+			case 3:
+				panic("die mid-round")
+			}
+			return inc
+		}, func(it Item) { released++ })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	// Emitted pooled children: 4 (round 1) + 1 (round 2, discarded at the
+	// panic barrier). Two of round 1's children were processed (2 and 3);
+	// the other two are heap leftovers. Discarded = 1 + 2 = 3.
+	if released != 3 {
+		t.Fatalf("released = %d, want 3 (1 discarded child + 2 heap leftovers)", released)
+	}
+}
+
+// The kernel.process.panic failpoint must inject through the same
+// recovery path, yielding a typed error that names the injection.
+func TestInjectedPanicFailpoint(t *testing.T) {
+	defer faultinject.Deactivate()
+	faultinject.Activate(faultinject.NewPlan(3,
+		faultinject.Spec{Point: "kernel.process.panic", Action: faultinject.ActPanic, MaxEvery: 1}))
+	err, processed := panicWorkload(t, 2, 4, -1)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if v, _ := pe.Value.(string); !strings.Contains(v, "faultinject") {
+		t.Fatalf("panic value %q does not name the injection", v)
+	}
+	if processed != 0 {
+		// MaxEvery=1 fires on the very first item; nothing was processed
+		// to completion.
+		t.Fatalf("processed = %d, want 0", processed)
+	}
+}
+
+// The kernel.barrier.slow failpoint must not change answers — only
+// stall rounds.
+func TestSlowBarrierKeepsAnswer(t *testing.T) {
+	run := func() asp.Result {
+		bound := NewBound(0, asp.Result{Dist: 1e18})
+		seed := Item{Space: geom.Rect{MinX: 0, MaxX: 1, MinY: 0, MaxY: 1}, LB: 0}
+		Run(2, 4, []Item{seed}, bound, func(w int, it Item, inc asp.Result, emit func(Item)) asp.Result {
+			lo, hi := it.Space.MinX, it.Space.MaxX
+			mid := (lo + hi) / 2
+			if hi-lo > 1e-2 {
+				emit(Item{Space: geom.Rect{MinX: lo, MaxX: mid, MinY: 0, MaxY: 1}, LB: it.LB})
+				emit(Item{Space: geom.Rect{MinX: mid, MaxX: hi, MinY: 0, MaxY: 1}, LB: it.LB})
+			}
+			cand := asp.Result{Dist: (mid - 0.7) * (mid - 0.7), Point: geom.Point{X: mid}}
+			if Better(inc, cand) {
+				cand = inc
+			}
+			return cand
+		}, nil)
+		return bound.Best()
+	}
+	want := run()
+	faultinject.Activate(faultinject.NewPlan(5,
+		faultinject.Spec{Point: "kernel.barrier.slow", Action: faultinject.ActSleep, MaxEvery: 2, Delay: time.Millisecond}))
+	got := run()
+	faultinject.Deactivate()
+	if got.Dist != want.Dist || got.Point != want.Point {
+		t.Fatalf("slow barrier changed the answer: %+v vs %+v", got, want)
+	}
+}
+
+func unitSpace() geom.Rect { return geom.Rect{MinX: 0, MaxX: 1, MinY: 0, MaxY: 1} }

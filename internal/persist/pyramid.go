@@ -3,6 +3,7 @@ package persist
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash"
 	"hash/fnv"
@@ -40,6 +41,34 @@ import (
 var pyramidMagic = [8]byte{'A', 'S', 'R', 'S', 'P', 'Y', 'R', '1'}
 
 const pyramidVersion = 1
+
+// Error taxonomy for pyramid files. Every ReadPyramid/LoadPyramid
+// failure wraps exactly one of these, so callers can decide the
+// serviceable action with errors.Is instead of string matching:
+//
+//   - ErrCorrupt: the file's BYTES are bad — torn write, truncation,
+//     bit rot, checksum or structural-guard failure. The artifact is
+//     unusable and rebuildable; quarantine-and-rebuild (see
+//     asrs.LoadOrBuildPyramidFile) is the right response.
+//   - ErrMismatch: the file decodes but was built for a different
+//     composite or dataset. That is a deployment error (stale or
+//     misrouted artifact), not damage — rebuilding silently would hide
+//     it, so callers surface it instead of quarantining.
+var (
+	ErrCorrupt  = errors.New("pyramid file corrupt")
+	ErrMismatch = errors.New("pyramid does not match dataset/composite")
+)
+
+// corruptf builds an ErrCorrupt-tagged error; args may include a %w
+// cause of their own.
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("persist: "+format+": %w", append(args, ErrCorrupt)...)
+}
+
+// mismatchf builds an ErrMismatch-tagged error.
+func mismatchf(format string, args ...any) error {
+	return fmt.Errorf("persist: "+format+": %w", append(args, ErrMismatch)...)
+}
 
 // flag bits of the header flags word.
 const (
@@ -189,54 +218,54 @@ func ReadPyramid(r io.Reader, ds *attr.Dataset, f *agg.Composite) (*dssearch.Pyr
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("persist: reading pyramid magic: %w", err)
+		return nil, corruptf("reading pyramid magic: %w", err)
 	}
 	if magic != pyramidMagic {
-		return nil, fmt.Errorf("persist: not a pyramid file (magic %q)", magic[:])
+		return nil, corruptf("not a pyramid file (magic %q)", magic[:])
 	}
 	hr := &hashingReader{r: br, h: fnv.New64a()}
 	read := func(v any) error { return binary.Read(hr, binary.LittleEndian, v) }
 
 	var version uint32
 	if err := read(&version); err != nil {
-		return nil, fmt.Errorf("persist: reading pyramid version: %w", err)
+		return nil, corruptf("reading pyramid version: %w", err)
 	}
 	if version != pyramidVersion {
-		return nil, fmt.Errorf("persist: unsupported pyramid version %d (want %d)", version, pyramidVersion)
+		return nil, corruptf("unsupported pyramid version %d (want %d)", version, pyramidVersion)
 	}
 	var fpLen uint32
 	if err := read(&fpLen); err != nil {
-		return nil, fmt.Errorf("persist: reading fingerprint length: %w", err)
+		return nil, corruptf("reading fingerprint length: %w", err)
 	}
 	if fpLen > 1<<16 {
-		return nil, fmt.Errorf("persist: implausible fingerprint length %d", fpLen)
+		return nil, corruptf("implausible fingerprint length %d", fpLen)
 	}
 	fp := make([]byte, fpLen)
 	if _, err := io.ReadFull(hr, fp); err != nil {
-		return nil, fmt.Errorf("persist: reading fingerprint: %w", err)
+		return nil, corruptf("reading fingerprint: %w", err)
 	}
 	if got := f.Fingerprint(); got != string(fp) {
-		return nil, fmt.Errorf("persist: composite mismatch: pyramid built for %q, got %q", fp, got)
+		return nil, mismatchf("composite mismatch: pyramid built for %q, got %q", fp, got)
 	}
 
 	var n, chans, eff, mmSlots, flags, nLevels uint32
 	for _, p := range []*uint32{&n, &chans, &eff, &mmSlots, &flags, &nLevels} {
 		if err := read(p); err != nil {
-			return nil, fmt.Errorf("persist: reading pyramid header: %w", err)
+			return nil, corruptf("reading pyramid header: %w", err)
 		}
 	}
 	const maxN = 1 << 28
 	if n > maxN || chans > 1<<20 || eff > 1<<21 || mmSlots > 1<<16 || nLevels > 64 {
-		return nil, fmt.Errorf("persist: implausible pyramid header n=%d chans=%d eff=%d mm=%d levels=%d",
+		return nil, corruptf("implausible pyramid header n=%d chans=%d eff=%d mm=%d levels=%d",
 			n, chans, eff, mmSlots, nLevels)
 	}
 	// Early structural checks double as allocation guards: a corrupted
 	// length field must fail here, before it can size a giant slice.
 	if int(n) != len(ds.Objects) {
-		return nil, fmt.Errorf("persist: pyramid covers %d objects, dataset has %d", n, len(ds.Objects))
+		return nil, mismatchf("pyramid covers %d objects, dataset has %d", n, len(ds.Objects))
 	}
 	if int(chans) != f.Channels() || int(mmSlots) != f.MinMaxSlots() || eff < chans || eff > 2*chans {
-		return nil, fmt.Errorf("persist: pyramid channel layout mismatch (chans=%d eff=%d mm=%d)", chans, eff, mmSlots)
+		return nil, mismatchf("pyramid channel layout mismatch (chans=%d eff=%d mm=%d)", chans, eff, mmSlots)
 	}
 	s := &dssearch.PyramidSnapshot{
 		N: int(n), Chans: int(chans), Eff: int(eff), MMSlots: int(mmSlots),
@@ -254,17 +283,17 @@ func ReadPyramid(r io.Reader, ds *attr.Dataset, f *agg.Composite) (*dssearch.Pyr
 	s.YAscIds = make([]int32, n)
 	for _, v := range []any{s.ChOK, s.ChScale, s.ChInv, s.TwoOf, s.Order, s.XAscIds, s.YAscIds} {
 		if err := read(v); err != nil {
-			return nil, fmt.Errorf("persist: reading pyramid certificate/orders: %w", err)
+			return nil, corruptf("reading pyramid certificate/orders: %w", err)
 		}
 	}
 	readContribs := func(what string) ([]int32, []agg.Contrib, error) {
 		off := make([]int32, n+1)
 		if err := read(off); err != nil {
-			return nil, nil, fmt.Errorf("persist: reading %s offsets: %w", what, err)
+			return nil, nil, corruptf("reading %s offsets: %w", what, err)
 		}
 		total := int64(off[n])
 		if total < 0 || total > int64(n)*int64(eff)+1 {
-			return nil, nil, fmt.Errorf("persist: implausible %s count %d", what, total)
+			return nil, nil, corruptf("implausible %s count %d", what, total)
 		}
 		cs := make([]agg.Contrib, total)
 		for i := range cs {
@@ -286,11 +315,11 @@ func ReadPyramid(r io.Reader, ds *attr.Dataset, f *agg.Composite) (*dssearch.Pyr
 	if mmSlots > 0 {
 		s.MOff = make([]int32, n+1)
 		if err := read(s.MOff); err != nil {
-			return nil, fmt.Errorf("persist: reading min/max offsets: %w", err)
+			return nil, corruptf("reading min/max offsets: %w", err)
 		}
 		total := int64(s.MOff[n])
 		if total < 0 || total > int64(n)*int64(mmSlots)+1 {
-			return nil, fmt.Errorf("persist: implausible min/max count %d", total)
+			return nil, corruptf("implausible min/max count %d", total)
 		}
 		s.MMs = make([]agg.MMContrib, total)
 		for i := range s.MMs {
@@ -312,14 +341,14 @@ func ReadPyramid(r io.Reader, ds *attr.Dataset, f *agg.Composite) (*dssearch.Pyr
 	for li := 0; li < int(nLevels); li++ {
 		var g uint32
 		if err := read(&g); err != nil {
-			return nil, fmt.Errorf("persist: reading level %d granularity: %w", li, err)
+			return nil, corruptf("reading level %d granularity: %w", li, err)
 		}
 		// BuildPyramid never emits levels beyond 256 bins per side; the
 		// guard is deliberately far below the format's theoretical range
 		// so a corrupted granularity field fails here, before it can size
 		// a multi-gigabyte SAT slab (the checksum only runs at the end).
 		if g == 0 || g > 1024 {
-			return nil, fmt.Errorf("persist: implausible level %d granularity %d", li, g)
+			return nil, corruptf("implausible level %d granularity %d", li, g)
 		}
 		l := dssearch.PyramidLevelSnapshot{G: int(g)}
 		l.Sat = make([]int64, (g+1)*(g+1)*(eff+1))
@@ -332,7 +361,7 @@ func ReadPyramid(r io.Reader, ds *attr.Dataset, f *agg.Composite) (*dssearch.Pyr
 		for _, v := range []any{&l.BW, &l.BH, l.Sat, l.BinStart, l.BinIds,
 			l.XMaxUpTo, l.XMinFrom, l.YMaxUpTo, l.YMinFrom} {
 			if err := read(v); err != nil {
-				return nil, fmt.Errorf("persist: reading level %d: %w", li, err)
+				return nil, corruptf("reading level %d: %w", li, err)
 			}
 		}
 		s.Levels = append(s.Levels, l)
@@ -340,14 +369,14 @@ func ReadPyramid(r io.Reader, ds *attr.Dataset, f *agg.Composite) (*dssearch.Pyr
 	want := hr.h.Sum64()
 	var sum uint64
 	if err := binary.Read(br, binary.LittleEndian, &sum); err != nil {
-		return nil, fmt.Errorf("persist: reading pyramid checksum: %w", err)
+		return nil, corruptf("reading pyramid checksum: %w", err)
 	}
 	if sum != want {
-		return nil, fmt.Errorf("persist: pyramid checksum mismatch (file corrupt?)")
+		return nil, corruptf("pyramid checksum mismatch")
 	}
 	p, err := dssearch.PyramidFromSnapshot(ds, f, s)
 	if err != nil {
-		return nil, fmt.Errorf("persist: %w", err)
+		return nil, corruptf("rebuilding pyramid from snapshot: %w", err)
 	}
 	return p, nil
 }

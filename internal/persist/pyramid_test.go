@@ -15,7 +15,7 @@ import (
 
 // pyrFixture builds a dataset with integer, decimal (two-float) and
 // min/max channels plus its pyramid, covering every serialized section.
-func pyrFixture(t *testing.T, seed int64) (*attr.Dataset, *agg.Composite, *dssearch.Pyramid) {
+func pyrFixture(t testing.TB, seed int64) (*attr.Dataset, *agg.Composite, *dssearch.Pyramid) {
 	t.Helper()
 	schema, err := attr.NewSchema(
 		attr.Attribute{Name: "cat", Kind: attr.Categorical, Domain: []string{"x", "y"}},

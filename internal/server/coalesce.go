@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"asrs"
+	"asrs/internal/faultinject"
 )
 
 // Coalescer is the bounded-latency window collector that turns
@@ -36,9 +37,15 @@ type Coalescer struct {
 	// base is the coalescer's lifetime context: batch searches run under
 	// it (per-request deadlines ride QueryRequest.Ctx), so cancelling it
 	// aborts all in-flight engine work at the next superstep boundary.
-	base     context.Context
-	window   time.Duration
-	maxBatch int
+	base context.Context
+	// window (nanoseconds) and maxBatch are atomics: the degradation
+	// ladder (degrade.go) steps them down under sustained shedding and
+	// back up when calm returns, concurrently with Submits.
+	window   atomic.Int64
+	maxBatch atomic.Int64
+	// onService, when set, observes each dispatch's engine service time
+	// (the Retry-After EWMA feed). Set before serving; not synchronized.
+	onService func(time.Duration)
 
 	mu      sync.Mutex
 	pending []*waiter
@@ -55,6 +62,26 @@ type Coalescer struct {
 	nSingles   atomic.Int64 // uncoalesced dispatches (window=0 path)
 	nRejected  atomic.Int64 // submits refused because the coalescer closed
 	nDelivered atomic.Int64 // responses handed to waiters
+}
+
+// checkDispatchFaults probes the dispatch failpoints: a slow dispatch
+// stalls the whole batch (deadline-pressure simulation), a panicking
+// one exercises recoverDeliver's conversion to per-waiter errors.
+func (c *Coalescer) checkDispatchFaults() {
+	if f, ok := faultinject.Check("server.dispatch.slow"); ok && f.Action == faultinject.ActSleep {
+		f.Sleep()
+	}
+	if f, ok := faultinject.Check("server.dispatch.panic"); ok && f.Action == faultinject.ActPanic {
+		panic(f.PanicValue())
+	}
+}
+
+// observeService feeds one dispatch's engine service time to the
+// server's EWMA (nil-safe: benches build bare coalescers).
+func (c *Coalescer) observeService(d time.Duration) {
+	if c.onService != nil {
+		c.onService(d)
+	}
 }
 
 // waiter carries one request and its delivery channel (buffered, so a
@@ -74,7 +101,25 @@ func NewCoalescer(base context.Context, eng *asrs.Engine, window time.Duration, 
 	if maxBatch <= 0 {
 		maxBatch = DefaultMaxBatch
 	}
-	return &Coalescer{eng: eng, base: base, window: window, maxBatch: maxBatch}
+	c := &Coalescer{eng: eng, base: base}
+	c.window.Store(int64(window))
+	c.maxBatch.Store(int64(maxBatch))
+	return c
+}
+
+// SetLimits installs new coalescing limits; in-flight windows keep the
+// geometry they started with, later Submits see the new one.
+func (c *Coalescer) SetLimits(window time.Duration, maxBatch int) {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	c.window.Store(int64(window))
+	c.maxBatch.Store(int64(maxBatch))
+}
+
+// Limits reports the current coalescing limits.
+func (c *Coalescer) Limits() (time.Duration, int) {
+	return time.Duration(c.window.Load()), int(c.maxBatch.Load())
 }
 
 // Submit enqueues one request and returns the channel its response will
@@ -83,7 +128,8 @@ func NewCoalescer(base context.Context, eng *asrs.Engine, window time.Duration, 
 // The request's own Ctx still bounds its search individually.
 func (c *Coalescer) Submit(req asrs.QueryRequest) <-chan asrs.QueryResponse {
 	w := &waiter{req: req, done: make(chan asrs.QueryResponse, 1)}
-	if c.window <= 0 || c.maxBatch <= 1 {
+	window, maxBatch := c.Limits()
+	if window <= 0 || maxBatch <= 1 {
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
@@ -97,7 +143,10 @@ func (c *Coalescer) Submit(req asrs.QueryRequest) <-chan asrs.QueryResponse {
 		go func() {
 			defer c.wg.Done()
 			defer c.recoverDeliver([]*waiter{w})
+			c.checkDispatchFaults()
+			started := time.Now()
 			resp := c.eng.QueryCtx(c.base, w.req)
+			c.observeService(time.Since(started))
 			// Counter before delivery, matching dispatch: a stats reader
 			// triggered by the response must see it counted.
 			c.nDelivered.Add(1)
@@ -114,7 +163,7 @@ func (c *Coalescer) Submit(req asrs.QueryRequest) <-chan asrs.QueryResponse {
 		return w.done
 	}
 	c.pending = append(c.pending, w)
-	if len(c.pending) >= c.maxBatch {
+	if len(c.pending) >= maxBatch {
 		batch := c.takeLocked()
 		c.mu.Unlock()
 		c.nMaxFlush.Add(1)
@@ -127,7 +176,7 @@ func (c *Coalescer) Submit(req asrs.QueryRequest) <-chan asrs.QueryResponse {
 		// drained through the MaxBatch path (or a later window owns
 		// pending by the time the timer fires).
 		gen := c.gen
-		time.AfterFunc(c.window, func() { c.flushGen(gen) })
+		time.AfterFunc(window, func() { c.flushGen(gen) })
 	}
 	c.mu.Unlock()
 	return w.done
@@ -173,7 +222,7 @@ func (c *Coalescer) recoverDeliver(batch []*waiter) {
 		return
 	}
 	log.Printf("server: panic in coalescer dispatch: %v\n%s", v, debug.Stack())
-	err := fmt.Errorf("server: internal error: %v", v)
+	err := fmt.Errorf("%w: %v", errDispatchPanic, v)
 	for _, w := range batch {
 		select {
 		case w.done <- asrs.QueryResponse{Err: err}:
@@ -187,11 +236,14 @@ func (c *Coalescer) dispatch(batch []*waiter) {
 	go func() {
 		defer c.wg.Done()
 		defer c.recoverDeliver(batch)
+		c.checkDispatchFaults()
 		reqs := make([]asrs.QueryRequest, len(batch))
 		for i, w := range batch {
 			reqs[i] = w.req
 		}
+		started := time.Now()
 		resps := c.eng.QueryBatchCtx(c.base, reqs)
+		c.observeService(time.Since(started))
 		// Counters before delivery: a stats reader triggered by the last
 		// response (the bench does exactly that) must see this batch.
 		c.nBatches.Add(1)

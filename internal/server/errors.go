@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"asrs/internal/kernel"
+)
+
+// Wire-visible error taxonomy. Every failed response carries a stable
+// machine-readable code and a retryable bit, so clients decide
+// retry-vs-surface without string-matching error text:
+//
+//	code            status  retryable  meaning
+//	bad_request     400     no         the request itself is invalid
+//	overloaded      429     yes        shed by admission control; honor Retry-After
+//	draining        503     yes        server shutting down; try another replica
+//	canceled        503     yes        the serving context aborted the search mid-run
+//	deadline        504     yes        the per-query deadline expired
+//	internal_panic  500     no         a query panicked inside the engine (isolated)
+//	internal        500     no         any other server-side failure
+//
+// Retryable means "the same request may succeed later or elsewhere":
+// overload, drain and deadline are conditions of the moment; panics
+// and validation failures are properties of the request or the build
+// and retrying them wastes capacity.
+const (
+	CodeBadRequest    = "bad_request"
+	CodeOverloaded    = "overloaded"
+	CodeDraining      = "draining"
+	CodeCanceled      = "canceled"
+	CodeDeadline      = "deadline"
+	CodeInternalPanic = "internal_panic"
+	CodeInternal      = "internal"
+)
+
+// errDispatchPanic marks coalescer-dispatch panics (recoverDeliver)
+// so classify can brand them internal_panic like kernel panics.
+var errDispatchPanic = errors.New("server: panic in dispatch")
+
+// classify maps an engine response error to its HTTP status, wire
+// code, and retryable bit. Client input is validated before the engine
+// is reached (400 in the handlers), so an unrecognized engine error
+// here is a server-side failure.
+func classify(err error) (status int, code string, retryable bool) {
+	var pe *kernel.PanicError
+	switch {
+	case err == nil:
+		return http.StatusOK, "", false
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, CodeDeadline, true
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable, CodeCanceled, true
+	case errors.As(err, &pe), errors.Is(err, errDispatchPanic):
+		return http.StatusInternalServerError, CodeInternalPanic, false
+	default:
+		return http.StatusInternalServerError, CodeInternal, false
+	}
+}

@@ -1,0 +1,182 @@
+package server_test
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"asrs/internal/faultinject"
+	"asrs/internal/server"
+)
+
+func decodeResponse(t *testing.T, body []byte) server.Response {
+	t.Helper()
+	var wr server.Response
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatalf("decoding response %s: %v", body, err)
+	}
+	return wr
+}
+
+func decodeJSONBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDispatchPanicFailpointIsolated: a panic injected into coalescer
+// dispatch must come back as a typed 500 (code internal_panic, not
+// retryable) — and the NEXT query, with the fault disarmed, must
+// answer bit-identically. One poisoned batch, not a dead daemon.
+func TestDispatchPanicFailpointIsolated(t *testing.T) {
+	_, ts, eng := newTestServer(t, server.Config{Window: server.DefaultWindow})
+	_, _, reqs := corpus(t)
+	want := eng.Query(reqs[0])
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+
+	faultinject.Activate(faultinject.NewPlan(7,
+		faultinject.Spec{Point: "server.dispatch.panic", Action: faultinject.ActPanic, MaxEvery: 1}))
+	resp, body := postJSON(t, ts.URL+"/v1/query", wireFor(reqs[0]))
+	faultinject.Deactivate()
+
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, body %s, want 500", resp.StatusCode, body)
+	}
+	wr := decodeResponse(t, body)
+	if wr.Code != server.CodeInternalPanic || wr.Retryable {
+		t.Fatalf("code=%q retryable=%v, want internal_panic/terminal", wr.Code, wr.Retryable)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/query", wireFor(reqs[0]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-fault status = %d, body %s", resp.StatusCode, body)
+	}
+	wr = decodeResponse(t, body)
+	if math.Float64bits(wr.Results[0].Dist) != math.Float64bits(want.Results[0].Dist) {
+		t.Fatalf("post-fault answer %v, want %v", wr.Results[0].Dist, want.Results[0].Dist)
+	}
+}
+
+// TestKernelPanicSurfacesThrough: a panic injected inside the kernel's
+// concurrent hot loop must ride the whole ladder — recover() at the
+// item boundary, *kernel.PanicError through Searcher.Err and the
+// engine, classify() in the server — and arrive as a 500 with code
+// internal_panic. Recovery is per-query: disarm and the server
+// answers again.
+func TestKernelPanicSurfacesThrough(t *testing.T) {
+	_, ts, eng := newTestServer(t, server.Config{Window: server.DefaultWindow})
+	_, _, reqs := corpus(t)
+	want := eng.Query(reqs[1])
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+
+	faultinject.Activate(faultinject.NewPlan(9,
+		faultinject.Spec{Point: "kernel.process.panic", Action: faultinject.ActPanic, MaxEvery: 1}))
+	resp, body := postJSON(t, ts.URL+"/v1/query", wireFor(reqs[1]))
+	faultinject.Deactivate()
+
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, body %s, want 500", resp.StatusCode, body)
+	}
+	wr := decodeResponse(t, body)
+	if wr.Code != server.CodeInternalPanic || wr.Retryable {
+		t.Fatalf("code=%q retryable=%v, want internal_panic/terminal", wr.Code, wr.Retryable)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/query", wireFor(reqs[1]))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-fault status = %d, body %s", resp.StatusCode, body)
+	}
+	wr = decodeResponse(t, body)
+	if math.Float64bits(wr.Results[0].Dist) != math.Float64bits(want.Results[0].Dist) {
+		t.Fatalf("post-fault answer %v, want %v", wr.Results[0].Dist, want.Results[0].Dist)
+	}
+}
+
+// TestShedCarriesRetryAfterAndBrownout: under a slow dispatch and a
+// one-token admission bound, concurrent traffic sheds with 429s whose
+// Retry-After is a positive integer and whose body carries the
+// overloaded/retryable taxonomy; sustained shedding steps the brownout
+// ladder down, visible in /healthz and /stats.
+func TestShedCarriesRetryAfterAndBrownout(t *testing.T) {
+	_, ts, _ := newTestServer(t, server.Config{
+		Window:      server.DefaultWindow,
+		MaxBatch:    8,
+		MaxInFlight: 1,
+	})
+	_, _, reqs := corpus(t)
+
+	// Every dispatch stalls 300ms, so one admitted query holds the only
+	// token while the others arrive and shed.
+	faultinject.Activate(faultinject.NewPlan(3,
+		faultinject.Spec{Point: "server.dispatch.slow", Action: faultinject.ActSleep, MaxEvery: 1, Delay: 300 * time.Millisecond}))
+	defer faultinject.Deactivate()
+
+	var (
+		mu    sync.Mutex
+		sheds int
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/query", wireFor(reqs[i%len(reqs)]))
+			if resp.StatusCode != http.StatusTooManyRequests {
+				return
+			}
+			ra := resp.Header.Get("Retry-After")
+			secs, err := strconv.Atoi(ra)
+			if err != nil || secs < 1 {
+				t.Errorf("429 Retry-After = %q, want integer >= 1", ra)
+			}
+			wr := decodeResponse(t, body)
+			if wr.Code != server.CodeOverloaded || !wr.Retryable {
+				t.Errorf("shed code=%q retryable=%v, want overloaded/retryable", wr.Code, wr.Retryable)
+			}
+			mu.Lock()
+			sheds++
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+
+	if sheds < 8 {
+		t.Fatalf("only %d sheds; the overload scenario did not materialize", sheds)
+	}
+	st := getStats(t, ts.URL)
+	if !st.Degraded || st.DegradeLevel < 1 {
+		t.Fatalf("stats degraded=%v level=%d after %d sheds, want brownout", st.Degraded, st.DegradeLevel, sheds)
+	}
+	if st.EffectiveMaxBatch >= st.MaxBatch {
+		t.Fatalf("effective max batch %d not stepped below configured %d", st.EffectiveMaxBatch, st.MaxBatch)
+	}
+	if st.BrownoutEntries < 1 {
+		t.Fatalf("brownout entries = %d, want >= 1", st.BrownoutEntries)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hz struct {
+		Status string `json:"status"`
+		Level  int    `json:"degrade_level"`
+	}
+	decodeJSONBody(t, resp, &hz)
+	if hz.Status != "degraded" || hz.Level < 1 {
+		t.Fatalf("healthz = %+v, want degraded with level >= 1", hz)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded healthz status = %d, want 200 (still serving)", resp.StatusCode)
+	}
+}

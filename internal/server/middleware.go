@@ -16,7 +16,7 @@ func recoverMiddleware(next http.Handler) http.Handler {
 		defer func() {
 			if v := recover(); v != nil {
 				log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
-				writeError(w, http.StatusInternalServerError, "internal error")
+				writeError(w, http.StatusInternalServerError, CodeInternalPanic, false, "internal error")
 			}
 		}()
 		next.ServeHTTP(w, r)

@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -92,6 +94,12 @@ type Server struct {
 	drainMu  sync.RWMutex
 	inflight sync.WaitGroup
 
+	// ewma tracks batch service time (the Retry-After feed); ladder is
+	// the brownout state machine stepping the coalescer's limits under
+	// sustained shedding. See degrade.go.
+	ewma   serviceEWMA
+	ladder *ladder
+
 	nReceived atomic.Int64
 	nShed     atomic.Int64
 	nTimeouts atomic.Int64
@@ -134,6 +142,8 @@ func New(cfg Config) (*Server, error) {
 		cancel: cancel,
 		start:  time.Now(),
 	}
+	s.coal.onService = s.ewma.Observe
+	s.ladder = newLadder(cfg.Window, cfg.MaxBatch, s.coal.SetLimits)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -257,22 +267,11 @@ func (s *Server) buildRequest(wq Query) (asrs.QueryRequest, context.CancelFunc, 
 	return req, cancel, nil
 }
 
-// statusFor maps an engine response error to its HTTP status. Client
-// input was already validated in buildRequest (400 before the engine is
-// reached), so a non-context engine error here is a server-side failure
-// — an index or pyramid build error, not bad client traffic — and maps
-// to 500.
+// statusFor maps an engine response error to its HTTP status (the
+// status leg of the classify taxonomy in errors.go).
 func statusFor(err error) int {
-	switch {
-	case err == nil:
-		return http.StatusOK
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		return http.StatusServiceUnavailable // drain abort
-	default:
-		return http.StatusInternalServerError
-	}
+	status, _, _ := classify(err)
+	return status
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -282,8 +281,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, Response{Error: fmt.Sprintf(format, args...)})
+// writeError writes a failure response with its taxonomy code and
+// retryable bit (see errors.go).
+func writeError(w http.ResponseWriter, status int, code string, retryable bool, format string, args ...any) {
+	writeJSON(w, status, Response{Error: fmt.Sprintf(format, args...), Code: code, Retryable: retryable})
 }
 
 // admit acquires n admission tokens — one per query, so a client batch
@@ -293,7 +294,7 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // nReceived (at handler entry, so decode failures count too).
 func (s *Server) admit(w http.ResponseWriter, n int) bool {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, true, "server is draining")
 		return false
 	}
 	for got := 0; got < n; got++ {
@@ -302,14 +303,23 @@ func (s *Server) admit(w http.ResponseWriter, n int) bool {
 		default:
 			s.release(got)
 			s.nShed.Add(1)
-			// Retry-After: one coalescing window is the natural backoff
-			// quantum, rounded up to a whole second for the header.
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests, "server at capacity (%d in flight)", s.cfg.MaxInFlight)
+			s.ladder.note(true)
+			// Retry-After derives from the batch service-time EWMA with
+			// client-spreading jitter (degrade.go): shed clients come
+			// back roughly when the work they were shed behind clears,
+			// and never in lockstep. Never zero.
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+			writeError(w, http.StatusTooManyRequests, CodeOverloaded, true, "server at capacity (%d in flight)", s.cfg.MaxInFlight)
 			return false
 		}
 	}
+	s.ladder.note(false)
 	return true
+}
+
+// retryAfter derives the Retry-After seconds for a shed response.
+func (s *Server) retryAfter() int {
+	return retryAfterSeconds(s.ewma.Value(), rand.Float64())
 }
 
 func (s *Server) release(n int) {
@@ -338,13 +348,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&wq); err != nil {
 		s.nBadReqs.Add(1)
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, false, "invalid request body: %v", err)
 		return
 	}
 	req, cancel, err := s.buildRequest(wq)
 	if err != nil {
 		s.nBadReqs.Add(1)
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, false, "%v", err)
 		return
 	}
 	defer cancel()
@@ -367,7 +377,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	select {
 	case resp, ok := <-done:
 		if !ok { // coalescer closed between admit and submit
-			writeError(w, http.StatusServiceUnavailable, "server is draining")
+			writeError(w, http.StatusServiceUnavailable, CodeDraining, true, "server is draining")
 			return
 		}
 		deliver(resp)
@@ -400,11 +410,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.release(1)
 		}()
 		cerr := req.Ctx.Err()
-		status := statusFor(cerr)
+		status, code, retryable := classify(cerr)
 		if status == http.StatusGatewayTimeout {
 			s.nTimeouts.Add(1)
 		}
-		writeError(w, status, "%v", cerr)
+		writeError(w, status, code, retryable, "%v", cerr)
 	}
 }
 
@@ -425,17 +435,17 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(&wb); err != nil {
 		s.nBadReqs.Add(1)
-		writeError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, false, "invalid request body: %v", err)
 		return
 	}
 	if len(wb.Queries) == 0 {
 		s.nBadReqs.Add(1)
-		writeError(w, http.StatusBadRequest, "batch requires at least one query")
+		writeError(w, http.StatusBadRequest, CodeBadRequest, false, "batch requires at least one query")
 		return
 	}
 	if len(wb.Queries) > s.cfg.MaxInFlight {
 		s.nBadReqs.Add(1)
-		writeError(w, http.StatusBadRequest, "batch of %d exceeds the admission bound (%d)", len(wb.Queries), s.cfg.MaxInFlight)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, false, "batch of %d exceeds the admission bound (%d)", len(wb.Queries), s.cfg.MaxInFlight)
 		return
 	}
 	if extra := len(wb.Queries) - 1; extra > 0 {
@@ -452,7 +462,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.RLock()
 	if s.draining.Load() {
 		s.drainMu.RUnlock()
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, true, "server is draining")
 		return
 	}
 	s.inflight.Add(1)
@@ -467,7 +477,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		req, cancel, err := s.buildRequest(wq)
 		if err != nil {
 			s.nBadReqs.Add(1)
-			resps[i] = Response{Error: err.Error(), Status: http.StatusBadRequest}
+			resps[i] = Response{Error: err.Error(), Code: CodeBadRequest, Status: http.StatusBadRequest}
 			continue
 		}
 		defer cancel()
@@ -506,13 +516,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz serves GET /healthz: 200 while serving, 503 once the
 // drain begins (load balancers stop routing before the listener
-// closes).
+// closes). A server in brownout reports status "degraded" with its
+// ladder level — still 200, because it IS serving; degraded is
+// advisory (alerting, dashboards), not a routing signal.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	if level := s.ladder.Level(); level > 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "degraded", "degrade_level": level})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
 // Stats is the GET /stats document: server-level serving counters plus
@@ -533,9 +549,22 @@ type Stats struct {
 	InFlight    int  `json:"in_flight"`
 	MaxInFlight int  `json:"max_in_flight"`
 	Draining    bool `json:"draining"`
-	// WindowMS and MaxBatch echo the coalescing configuration.
-	WindowMS float64 `json:"window_ms"`
-	MaxBatch int     `json:"max_batch"`
+	// WindowMS and MaxBatch echo the configured coalescing limits;
+	// EffectiveWindowMS and EffectiveMaxBatch are the limits currently
+	// in force (lower than configured while the brownout ladder is
+	// stepped down).
+	WindowMS          float64 `json:"window_ms"`
+	MaxBatch          int     `json:"max_batch"`
+	EffectiveWindowMS float64 `json:"effective_window_ms"`
+	EffectiveMaxBatch int     `json:"effective_max_batch"`
+	// Degraded/DegradeLevel report the brownout ladder (degrade.go);
+	// BrownoutEntries counts healthy→brownout transitions and
+	// ServiceEWMAMS is the batch service-time average behind
+	// Retry-After.
+	Degraded        bool    `json:"degraded"`
+	DegradeLevel    int     `json:"degrade_level"`
+	BrownoutEntries int64   `json:"brownout_entries"`
+	ServiceEWMAMS   float64 `json:"service_ewma_ms"`
 	// Composites lists the registered composite names.
 	Composites []string         `json:"composites"`
 	Coalescer  CoalescerStats   `json:"coalescer"`
@@ -549,19 +578,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	effWindow, effBatch := s.coal.Limits()
+	level := s.ladder.Level()
 	writeJSON(w, http.StatusOK, Stats{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Received:      s.nReceived.Load(),
-		Shed:          s.nShed.Load(),
-		Timeouts:      s.nTimeouts.Load(),
-		BadRequests:   s.nBadReqs.Load(),
-		InFlight:      len(s.sem),
-		MaxInFlight:   s.cfg.MaxInFlight,
-		Draining:      s.draining.Load(),
-		WindowMS:      float64(s.cfg.Window.Microseconds()) / 1e3,
-		MaxBatch:      s.cfg.MaxBatch,
-		Composites:    names,
-		Coalescer:     s.coal.Stats(),
-		Engine:        s.eng.Stats(),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Received:          s.nReceived.Load(),
+		Shed:              s.nShed.Load(),
+		Timeouts:          s.nTimeouts.Load(),
+		BadRequests:       s.nBadReqs.Load(),
+		InFlight:          len(s.sem),
+		MaxInFlight:       s.cfg.MaxInFlight,
+		Draining:          s.draining.Load(),
+		WindowMS:          float64(s.cfg.Window.Microseconds()) / 1e3,
+		MaxBatch:          s.cfg.MaxBatch,
+		EffectiveWindowMS: float64(effWindow.Microseconds()) / 1e3,
+		EffectiveMaxBatch: effBatch,
+		Degraded:          level > 0,
+		DegradeLevel:      level,
+		BrownoutEntries:   s.ladder.Entries(),
+		ServiceEWMAMS:     float64(s.ewma.Value().Microseconds()) / 1e3,
+		Composites:        names,
+		Coalescer:         s.coal.Stats(),
+		Engine:            s.eng.Stats(),
 	})
 }

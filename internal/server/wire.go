@@ -85,6 +85,13 @@ type Response struct {
 	// class instead, so batch clients can retry timeouts without
 	// string-matching error text.
 	Error string `json:"error,omitempty"`
+	// Code is the stable machine-readable failure class (see the
+	// taxonomy in errors.go: bad_request, overloaded, draining,
+	// canceled, deadline, internal_panic, internal). Empty on success.
+	Code string `json:"code,omitempty"`
+	// Retryable reports whether the same request may succeed if
+	// retried later or on another replica. False on success.
+	Retryable bool `json:"retryable,omitempty"`
 	// Status is the per-query HTTP-style status code, set on batch
 	// responses (0 on /v1/query, whose transport status says the same).
 	Status    int     `json:"status,omitempty"`
@@ -131,6 +138,7 @@ func ResponseWire(resp asrs.QueryResponse, elapsed time.Duration) Response {
 	out := Response{ElapsedMS: float64(elapsed.Microseconds()) / 1e3}
 	if resp.Err != nil {
 		out.Error = resp.Err.Error()
+		_, out.Code, out.Retryable = classify(resp.Err)
 		return out
 	}
 	out.Results = make([]Result, len(resp.Regions))
