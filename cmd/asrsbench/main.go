@@ -41,7 +41,7 @@ func main() {
 		n        = flag.Int("n", 100000, "dataset cardinality for -parallel-json")
 		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel-json")
 		batch    = flag.Int("batch", 0, "kernel superstep batch size for -parallel-json (0 = kernel default)")
-		workload = flag.String("workload", "f1", "composite workload for -parallel-json: f1 (integer fD on tweet), f2q (real-valued fS+fA on the dyadic-quantized POI corpus), batch (multi-query batch of overlapping Singapore extents: PR-3 per-query path vs the pyramid-amortized batched path), serve (closed-loop HTTP serving: coalescing window collector vs per-request dispatch at equal workers), or scaling (strip-evaluator A/B at workers=1 plus the workers=1..max-workers curve on both the batched and serve workloads)")
+		workload = flag.String("workload", "f1", "composite workload for -parallel-json: f1 (integer fD on tweet), f2q (real-valued fS+fA on the dyadic-quantized POI corpus), batch (multi-query batch of overlapping Singapore extents: PR-3 per-query path vs the pyramid-amortized batched path), serve (closed-loop HTTP serving: coalescing window collector vs per-request dispatch at equal workers), scaling (strip-evaluator A/B at workers=1 plus the workers=1..max-workers curve on both the batched and serve workloads), or ingest (durable streaming ingest: WAL throughput per sync policy, staged-delta vs static query cost, boot-time recovery replay)")
 		queries  = flag.Int("queries", 24, "requests per batch for -workload batch/scaling; requests per client for -workload serve/scaling")
 		clients  = flag.Int("clients", 32, "concurrent closed-loop clients for -workload serve (-workload scaling defaults to 8)")
 		maxW     = flag.Int("max-workers", 0, "top of the workers=1..N sweep for -workload scaling (0 = max(NumCPU, 2))")
@@ -137,6 +137,10 @@ func runParallelBench(path string, n int, seed int64, workerList string, batch i
 				sc.Clients = clients
 			}
 			return harness.RunScalingBench(out, sc)
+		}
+		if workload == "ingest" {
+			cfg := harness.IngestBenchConfig{N: n, Batch: batch, Queries: queries, Seed: seed, BaselineNs: baseNs, Note: note}
+			return harness.RunIngestBench(out, cfg)
 		}
 		if workload == "serve" {
 			cfg := harness.ServeBenchConfig{N: n, Clients: clients, PerClient: queries, Seed: seed, Workers: sweep, BaselineNs: baseNs, Note: note}

@@ -11,6 +11,7 @@
 //	asrsd -dataset singapore -n 100000 -pyramid sg.pyr   # warm-load (build+save on first run)
 //	asrsd -dataset tweet -n 200000 -window 5ms -batch-max 64
 //	asrsd -window 0                                      # coalescing off (ablation)
+//	asrsd -dataset singapore -wal-dir /var/lib/asrs/wal  # durable streaming ingest
 //
 //	curl -s localhost:8080/healthz
 //	curl -s localhost:8080/stats
@@ -18,6 +19,8 @@
 //	  "composite": "category",
 //	  "region": {"min_x":103.827,"min_y":1.298,"max_x":103.843,"max_y":1.310},
 //	  "exclude_region": true}'
+//	curl -s -X POST localhost:8080/v1/insert -d '{
+//	  "objects": [{"x":103.84,"y":1.30,"values":{"category":"Food"}}]}'
 //
 // SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503, the
 // pending coalescing window is flushed so waiting clients get answers,
@@ -58,11 +61,14 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", server.DefaultMaxTimeout, "upper clamp on client-chosen timeout_ms")
 		grace      = flag.Duration("grace", 30*time.Second, "drain grace period after SIGTERM before in-flight searches are cancelled")
 		verbose    = flag.Bool("verbose", false, "log one line per request")
+		walDir     = flag.String("wal-dir", "", "streaming-ingest WAL directory: POST /v1/insert becomes durable and acknowledged inserts survive a crash (empty = memory-only ingest)")
+		walSync    = flag.String("wal-sync", "always", "WAL sync policy: always (fsync per insert), batch (fsync per insert batch), never (OS flushes)")
+		compactAt  = flag.Int("compact-at", 0, "staged inserts before background compaction folds the WAL into a snapshot (0 = default, negative = never)")
 	)
 	flag.Parse()
 
 	if err := run(*addr, *dsName, *n, *seed, *workers, *grid, *window, *batchMax, *queue,
-		*pyrPath, *timeout, *maxTimeout, *grace, *verbose); err != nil {
+		*pyrPath, *timeout, *maxTimeout, *grace, *verbose, *walDir, *walSync, *compactAt); err != nil {
 		fmt.Fprintln(os.Stderr, "asrsd:", err)
 		os.Exit(1)
 	}
@@ -148,19 +154,35 @@ func pyramidPath(base string, i int, name string) string {
 
 func run(addr, dsName string, n int, seed int64, workers, grid int,
 	window time.Duration, batchMax, queue int, pyrPath string,
-	timeout, maxTimeout, grace time.Duration, verbose bool) error {
+	timeout, maxTimeout, grace time.Duration, verbose bool,
+	walDir, walSync string, compactAt int) error {
 	ds, composites, names, err := buildServing(dsName, n, seed)
 	if err != nil {
 		return err
 	}
 	log.Printf("dataset: %s, %d objects, composites %v", dsName, len(ds.Objects), names)
 
+	syncPolicy, err := asrs.ParseSyncPolicy(walSync)
+	if err != nil {
+		return err
+	}
 	eng, err := asrs.NewEngine(ds, asrs.EngineOptions{
 		IndexGranularity: grid,
 		Search:           asrs.Options{Workers: workers},
+		Ingest: asrs.IngestOptions{
+			WALDir:    walDir,
+			Sync:      syncPolicy,
+			CompactAt: compactAt,
+		},
 	})
 	if err != nil {
 		return err
+	}
+	if walDir != "" {
+		// NewEngine already replayed snapshot + WAL; every previously
+		// acknowledged insert is staged for the first epoch view.
+		log.Printf("ingest: WAL %s (sync=%s), recovered %d ingested objects",
+			walDir, syncPolicy, len(eng.IngestedObjects()))
 	}
 	if pyrPath != "" {
 		for i, name := range names {
@@ -218,6 +240,18 @@ func run(addr, dsName string, n int, seed int64, workers, grid int,
 	// HTTP listener (close idle connections, wait out active handlers).
 	drainErr := srv.Shutdown(graceCtx)
 	if err := httpSrv.Shutdown(graceCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	// The engine closes after the serving layer has drained: no insert
+	// can be in flight. A final compaction folds the WAL into the ingest
+	// snapshot so the next boot replays (almost) nothing; skipping it on
+	// error is safe — recovery replays the WAL instead.
+	if walDir != "" {
+		if err := eng.Compact(); err != nil {
+			log.Printf("ingest: final compaction failed (recovery will replay the WAL): %v", err)
+		}
+	}
+	if err := eng.Close(); err != nil && drainErr == nil {
 		drainErr = err
 	}
 	if drainErr != nil {

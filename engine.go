@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"asrs/internal/dssearch"
+	"asrs/internal/wal"
 )
 
 // EngineOptions configures an Engine.
@@ -38,6 +39,10 @@ type EngineOptions struct {
 	// shape per (composite, a, b) group). Answers are bit-identical
 	// either way.
 	DisableBatchGrouping bool
+	// Ingest configures streaming ingest (Insert/InsertBatch) and its
+	// durability; see IngestOptions. The zero value serves a static
+	// dataset with memory-only inserts.
+	Ingest IngestOptions
 }
 
 // QueryRequest is one unit of Engine work.
@@ -89,18 +94,45 @@ func (r QueryResponse) Best() (Rect, Result) {
 
 // Engine is the serving-layer entry point: it owns a dataset plus lazily
 // built, cached per-composite grid indexes, and answers similarity
-// queries through safe concurrent Query/QueryBatch calls. The dataset
-// must not be mutated while the engine serves it; indexes are immutable
-// once built, so any number of goroutines may query in parallel, each
-// search fanning out over its own kernel worker pool (Options.Workers).
+// queries through safe concurrent Query/QueryBatch calls. The seed
+// dataset must not be mutated while the engine serves it; growth goes
+// through Insert/InsertBatch, which stage objects for the next epoch
+// view. Views, indexes and pyramids are immutable once built, so any
+// number of goroutines may query in parallel, each search fanning out
+// over its own kernel worker pool (Options.Workers).
 type Engine struct {
-	ds  *Dataset
+	ds  *Dataset // seed corpus (immutable)
 	opt EngineOptions
 
-	mu       sync.Mutex
-	indexes  map[*Composite]*indexEntry
-	slabs    map[*Composite]*dssearch.SlabCache
-	pyramids map[*Composite]*pyramidEntry
+	// view is the current epoch: an immutable combined dataset
+	// (seed ++ staged inserts) with its per-composite index and pyramid
+	// caches. Queries capture one view per request (or per batch) so
+	// every binding — dataset, index, pyramid, prepared shape — is
+	// coherent. viewMu serializes materialization of new epochs; lock
+	// order is viewMu → ingestMu → mu.
+	view   atomic.Pointer[engineView]
+	viewMu sync.Mutex
+
+	mu    sync.Mutex
+	slabs map[*Composite]*dssearch.SlabCache
+
+	// Streaming-ingest state (stream.go). staged grows append-only under
+	// ingestMu; stagedLen mirrors its length for lock-free staleness
+	// checks in currentView.
+	ingestMu     sync.Mutex
+	staged       []Object
+	wlog         *wal.Log
+	lastLSN      uint64 // last acknowledged WAL LSN
+	snapCount    int    // staged objects covered by the durable snapshot
+	snapLSN      uint64 // the snapshot's applied-LSN watermark
+	ingestClosed bool
+	stagedLen    atomic.Int64
+	compacting   atomic.Bool
+
+	nIngested    atomic.Int64
+	nCompactions atomic.Int64
+	nCompactErrs atomic.Int64
+	nFolds       atomic.Int64
 
 	// Serving counters (atomic; snapshot via Stats). Queries counts every
 	// answered request, single or batched.
@@ -135,9 +167,21 @@ type EngineStats struct {
 	// Cancelled counts responses whose Err was a context error
 	// (deadline exceeded or cancellation); also included in Errors.
 	Cancelled int64 `json:"cancelled"`
-	// Indexes and Pyramids count the per-composite caches currently held.
+	// Indexes and Pyramids count the per-composite caches of the current
+	// epoch view.
 	Indexes  int `json:"indexes"`
 	Pyramids int `json:"pyramids"`
+	// Ingested counts objects appended since the seed corpus (including
+	// objects recovered from the WAL at boot).
+	Ingested int64 `json:"ingested"`
+	// Compactions counts completed ingest compactions; CompactionErrors
+	// counts background compactions that failed (retried at the next
+	// trigger).
+	Compactions      int64 `json:"compactions"`
+	CompactionErrors int64 `json:"compaction_errors"`
+	// PyramidFolds counts epoch pyramids produced by the delta fold
+	// (BuildPyramidDelta fast path) rather than a full rebuild.
+	PyramidFolds int64 `json:"pyramid_folds"`
 	// LatencyCount counts latency observations — one per executed
 	// search (batched duplicates ride their canonical's observation) —
 	// and the percentiles estimate the executed-search latency
@@ -153,23 +197,28 @@ type EngineStats struct {
 // use; counters are read individually, so a snapshot taken mid-batch may
 // be internally skewed by in-flight requests.
 func (e *Engine) Stats() EngineStats {
+	v := e.view.Load()
 	e.mu.Lock()
-	ni, np := len(e.indexes), len(e.pyramids)
+	ni, np := len(v.indexes), len(v.pyramids)
 	e.mu.Unlock()
 	lc, p50, p95, p99 := e.lat.summary()
 	return EngineStats{
-		Queries:        e.nQueries.Load(),
-		Batches:        e.nBatches.Load(),
-		DedupHits:      e.nDedup.Load(),
-		PreparedShared: e.nShared.Load(),
-		Errors:         e.nErrors.Load(),
-		Cancelled:      e.nCancelled.Load(),
-		Indexes:        ni,
-		Pyramids:       np,
-		LatencyCount:   lc,
-		LatencyP50Ms:   p50,
-		LatencyP95Ms:   p95,
-		LatencyP99Ms:   p99,
+		Queries:          e.nQueries.Load(),
+		Batches:          e.nBatches.Load(),
+		DedupHits:        e.nDedup.Load(),
+		PreparedShared:   e.nShared.Load(),
+		Errors:           e.nErrors.Load(),
+		Cancelled:        e.nCancelled.Load(),
+		Indexes:          ni,
+		Pyramids:         np,
+		Ingested:         e.nIngested.Load(),
+		Compactions:      e.nCompactions.Load(),
+		CompactionErrors: e.nCompactErrs.Load(),
+		PyramidFolds:     e.nFolds.Load(),
+		LatencyCount:     lc,
+		LatencyP50Ms:     p50,
+		LatencyP95Ms:     p95,
+		LatencyP99Ms:     p99,
 	}
 }
 
@@ -182,14 +231,36 @@ type indexEntry struct {
 }
 
 // pyramidEntry builds (or adopts) its pyramid exactly once, even under
-// concurrent demand for the same composite.
+// concurrent demand for the same composite. done flips after the build
+// completes so epoch materialization can harvest finished pyramids as
+// delta-fold bases without risking a wait inside once.
 type pyramidEntry struct {
 	once sync.Once
 	p    *Pyramid
 	err  error
+	base *Pyramid // previous epoch's pyramid (fold base), nil for a fresh build
+	done atomic.Bool
+}
+
+// engineView is one immutable epoch of the engine's logical dataset:
+// the seed corpus plus the first deltaLen ingested objects, with the
+// per-composite caches bound to exactly that dataset. The maps are
+// guarded by Engine.mu; entries build under their own once. basePyrs
+// holds completed pyramids inherited from the previous epoch, consumed
+// (and released) by the first delta fold per composite.
+type engineView struct {
+	ds       *Dataset
+	deltaLen int
+	indexes  map[*Composite]*indexEntry
+	pyramids map[*Composite]*pyramidEntry
+	basePyrs map[*Composite]*Pyramid
 }
 
 // NewEngine validates the dataset and returns an engine serving it.
+// When EngineOptions.Ingest.WALDir is set, it also recovers durable
+// ingest state: the ingest snapshot is loaded, the WAL replayed (torn
+// tails repaired, gaps refused), and every previously acknowledged
+// insert is staged for the first epoch view.
 func NewEngine(ds *Dataset, opt EngineOptions) (*Engine, error) {
 	if ds == nil {
 		return nil, fmt.Errorf("asrs: engine requires a dataset")
@@ -200,17 +271,92 @@ func NewEngine(ds *Dataset, opt EngineOptions) (*Engine, error) {
 	if opt.IndexGranularity < 0 {
 		return nil, fmt.Errorf("asrs: negative index granularity %d", opt.IndexGranularity)
 	}
-	return &Engine{
+	e := &Engine{
+		ds:    ds,
+		opt:   opt,
+		slabs: make(map[*Composite]*dssearch.SlabCache),
+	}
+	// Epoch zero IS the seed dataset (same pointer), so pyramids built
+	// or loaded for the seed — SetPyramid after a LoadPyramidFile —
+	// match it by identity even when recovery staged objects: those fold
+	// in at first query, with the seed pyramid as the merge base.
+	e.view.Store(&engineView{
 		ds:       ds,
-		opt:      opt,
 		indexes:  make(map[*Composite]*indexEntry),
-		slabs:    make(map[*Composite]*dssearch.SlabCache),
 		pyramids: make(map[*Composite]*pyramidEntry),
-	}, nil
+		basePyrs: make(map[*Composite]*Pyramid),
+	})
+	if opt.Ingest.WALDir != "" {
+		if err := e.initIngest(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
 }
 
-// Dataset returns the served dataset (treat as read-only).
+// Dataset returns the seed dataset (treat as read-only). Objects
+// ingested since boot are NOT included; see IngestedObjects.
 func (e *Engine) Dataset() *Dataset { return e.ds }
+
+// CurrentDataset returns the current logical dataset — the seed corpus
+// plus every object ingested so far — as the immutable epoch snapshot
+// queries answer against (treat as read-only). Callers compiling
+// query-by-example targets should use it rather than Dataset, so the
+// example region's representation reflects ingested objects too.
+func (e *Engine) CurrentDataset() *Dataset { return e.currentView().ds }
+
+// currentView returns the epoch view covering every insert staged so
+// far, materializing a new epoch if inserts arrived since the last one.
+func (e *Engine) currentView() *engineView {
+	v := e.view.Load()
+	if int(e.stagedLen.Load()) == v.deltaLen {
+		return v
+	}
+	return e.materializeView()
+}
+
+// materializeView builds the next epoch: a combined dataset (seed ++
+// staged), fresh cache maps, and the previous epoch's completed
+// pyramids as delta-fold bases. Serialized by viewMu; concurrent
+// queries keep the old view until the swap.
+func (e *Engine) materializeView() *engineView {
+	e.viewMu.Lock()
+	defer e.viewMu.Unlock()
+	v := e.view.Load()
+	e.ingestMu.Lock()
+	n := len(e.staged)
+	staged := e.staged[:n:n]
+	e.ingestMu.Unlock()
+	if n == v.deltaLen {
+		return v
+	}
+	objs := make([]Object, 0, len(e.ds.Objects)+n)
+	objs = append(objs, e.ds.Objects...)
+	objs = append(objs, staged...)
+	nv := &engineView{
+		ds:       &Dataset{Schema: e.ds.Schema, Objects: objs},
+		deltaLen: n,
+		indexes:  make(map[*Composite]*indexEntry),
+		pyramids: make(map[*Composite]*pyramidEntry),
+	}
+	// Harvest fold bases: completed pyramids of the previous epoch win
+	// (largest prefix), else whatever base it inherited and never used.
+	// An in-flight build is simply not harvested — the new epoch
+	// rebuilds from scratch for that composite, answers unchanged.
+	e.mu.Lock()
+	nv.basePyrs = make(map[*Composite]*Pyramid, len(v.pyramids)+len(v.basePyrs))
+	for f, p := range v.basePyrs {
+		nv.basePyrs[f] = p
+	}
+	for f, ent := range v.pyramids {
+		if ent.done.Load() && ent.err == nil && ent.p != nil {
+			nv.basePyrs[f] = ent.p
+		}
+	}
+	e.mu.Unlock()
+	e.view.Store(nv)
+	return nv
+}
 
 // SearchOptions returns the engine's default search options. Callers
 // that pin per-request Options (which replace the defaults wholesale)
@@ -230,15 +376,21 @@ func (e *Engine) SearchOptions() Options { return e.opt.Search }
 // shape, compiled once at startup — or the cache rebuilds per call and
 // grows without bound.
 func (e *Engine) Index(f *Composite) (*Index, error) {
+	return e.indexFor(e.currentView(), f)
+}
+
+// indexFor returns the view's cached grid index for the composite,
+// building it over the view's (combined) dataset on first use.
+func (e *Engine) indexFor(v *engineView, f *Composite) (*Index, error) {
 	g := e.opt.IndexGranularity
 	if g == 0 {
 		return nil, nil
 	}
 	e.mu.Lock()
-	ent, ok := e.indexes[f]
+	ent, ok := v.indexes[f]
 	if !ok {
 		ent = &indexEntry{}
-		e.indexes[f] = ent
+		v.indexes[f] = ent
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {
@@ -247,7 +399,7 @@ func (e *Engine) Index(f *Composite) (*Index, error) {
 		// make engine answers depend on Options.Workers through last-ulp
 		// differences in cell bounds. The build runs once per composite,
 		// so determinism wins over build latency here.
-		ent.idx, ent.err = NewIndex(e.ds, f, g, g)
+		ent.idx, ent.err = NewIndex(v.ds, f, g, g)
 	})
 	return ent.idx, ent.err
 }
@@ -258,18 +410,41 @@ func (e *Engine) Index(f *Composite) (*Index, error) {
 // Like Index, the cache is keyed by composite identity — treat
 // composites as long-lived singletons.
 func (e *Engine) Pyramid(f *Composite) (*Pyramid, error) {
+	return e.pyramidFor(e.currentView(), f)
+}
+
+// pyramidFor returns the view's cached pyramid for the composite. When
+// the view inherited the previous epoch's pyramid for this composite,
+// the build is a delta fold (BuildPyramidDelta): only the inserted tail
+// is sorted and merged into the base's master order, bit-identical to a
+// from-scratch rebuild (which the fold falls back to when its exactness
+// gates refuse). The base is released as soon as the build lands.
+func (e *Engine) pyramidFor(v *engineView, f *Composite) (*Pyramid, error) {
 	if e.opt.DisablePyramid {
 		return nil, nil
 	}
 	e.mu.Lock()
-	ent, ok := e.pyramids[f]
+	ent, ok := v.pyramids[f]
 	if !ok {
-		ent = &pyramidEntry{}
-		e.pyramids[f] = ent
+		ent = &pyramidEntry{base: v.basePyrs[f]}
+		v.pyramids[f] = ent
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() {
-		ent.p, ent.err = dssearch.BuildPyramid(e.ds, f)
+		if ent.base != nil {
+			p, stats, err := dssearch.BuildPyramidDelta(ent.base, v.ds)
+			ent.p, ent.err = p, err
+			if err == nil && stats.Folded {
+				e.nFolds.Add(1)
+			}
+			ent.base = nil
+			e.mu.Lock()
+			delete(v.basePyrs, f)
+			e.mu.Unlock()
+		} else {
+			ent.p, ent.err = dssearch.BuildPyramid(v.ds, f)
+		}
+		ent.done.Store(true)
 	})
 	return ent.p, ent.err
 }
@@ -277,20 +452,25 @@ func (e *Engine) Pyramid(f *Composite) (*Pyramid, error) {
 // SetPyramid installs a prebuilt pyramid (typically loaded from disk
 // via ReadPyramid) into the engine's cache, so queries bind it instead
 // of triggering a fresh build. The pyramid must have been built for the
-// engine's dataset and the composite it reports.
+// current epoch's dataset and the composite it reports. At boot — even
+// after WAL recovery staged objects — the current epoch is the seed
+// corpus itself, so a pyramid persisted for the seed installs cleanly
+// and later epochs fold the recovered inserts into it.
 func (e *Engine) SetPyramid(p *Pyramid) error {
 	if p == nil {
 		return fmt.Errorf("asrs: nil pyramid")
 	}
+	v := e.view.Load()
 	// The cache key is the pyramid's own composite, so only dataset
 	// identity needs verifying here.
-	if !p.Matches(e.ds, p.Composite()) {
+	if !p.Matches(v.ds, p.Composite()) {
 		return fmt.Errorf("asrs: pyramid was built for a different dataset")
 	}
 	ent := &pyramidEntry{p: p}
 	ent.once.Do(func() {}) // mark built
+	ent.done.Store(true)
 	e.mu.Lock()
-	e.pyramids[p.Composite()] = ent
+	v.pyramids[p.Composite()] = ent
 	e.mu.Unlock()
 	return nil
 }
@@ -304,10 +484,11 @@ func (e *Engine) Warm(f *Composite) error {
 	if f == nil {
 		return fmt.Errorf("asrs: warm requires a composite")
 	}
-	if _, err := e.Index(f); err != nil {
+	v := e.currentView()
+	if _, err := e.indexFor(v, f); err != nil {
 		return err
 	}
-	if _, err := e.Pyramid(f); err != nil {
+	if _, err := e.pyramidFor(v, f); err != nil {
 		return err
 	}
 	return nil
@@ -318,13 +499,14 @@ func (e *Engine) Warm(f *Composite) error {
 // (sorted coordinate arrays, contribution tables, int64 SAT grids, the
 // min/max companion trees, the fixed-point quantization-certificate
 // vectors, id arenas) are recycled across queries instead of
-// reallocated. The cache key is the composite, which also keys the
-// certificate: the certificate depends only on the contribution values
-// the composite derives from the served (immutable) dataset, so every
-// query through one cache re-derives identical scales into the retained
-// slabs — reuse is safe across concurrent queries on the same
-// composite.
-func (e *Engine) options(req QueryRequest) Options {
+// reallocated. The cache is engine-level (it survives epoch changes —
+// a recycled tables value retains only capacities, every content is
+// rebuilt per query) and keyed by the composite: queries on the same
+// composite re-derive their scales into the retained slabs, so reuse is
+// safe across concurrent queries and across epochs. The pyramid binding
+// comes from the captured view, keeping the dataset and the aggregation
+// layer of one query coherent.
+func (e *Engine) options(v *engineView, req QueryRequest) Options {
 	opt := e.opt.Search
 	if req.Options != nil {
 		opt = *req.Options
@@ -343,7 +525,7 @@ func (e *Engine) options(req QueryRequest) Options {
 		// Bind the persistent per-composite pyramid: every query then
 		// aliases the dataset-level aggregation layer instead of
 		// rebuilding it (a build failure just means unassisted queries).
-		if p, err := e.Pyramid(req.Query.F); err == nil && p != nil {
+		if p, err := e.pyramidFor(v, req.Query.F); err == nil && p != nil {
 			opt.Pyramid = p
 		}
 	}
@@ -365,7 +547,7 @@ func (e *Engine) Query(req QueryRequest) QueryResponse {
 // complete are bit-identical to an unbounded Query.
 func (e *Engine) QueryCtx(ctx context.Context, req QueryRequest) QueryResponse {
 	var resp QueryResponse
-	e.queryIntoPrep(ctx, req, &resp, nil)
+	e.queryIntoPrep(ctx, e.currentView(), req, &resp, nil)
 	e.nQueries.Add(1)
 	e.countResponse(&resp)
 	return resp
@@ -382,12 +564,12 @@ func (e *Engine) countResponse(resp *QueryResponse) {
 	}
 }
 
-// queryIntoPrep answers one request into resp, reusing resp's Regions
-// and Results slice capacity (the per-response buffer reuse
-// QueryBatchInto relies on), with an optional group-shared prepared
-// query shape (QueryBatchInto's grouping pass builds one per
-// overlapping-extent group).
-func (e *Engine) queryIntoPrep(ctx context.Context, req QueryRequest, resp *QueryResponse, prep *dssearch.Prepared) {
+// queryIntoPrep answers one request into resp against the captured
+// epoch view v, reusing resp's Regions and Results slice capacity (the
+// per-response buffer reuse QueryBatchInto relies on), with an optional
+// group-shared prepared query shape (QueryBatchInto's grouping pass
+// builds one per overlapping-extent group).
+func (e *Engine) queryIntoPrep(ctx context.Context, v *engineView, req QueryRequest, resp *QueryResponse, prep *dssearch.Prepared) {
 	start := time.Now()
 	defer func() { e.lat.observe(time.Since(start)) }()
 	resp.Regions = resp.Regions[:0]
@@ -405,7 +587,7 @@ func (e *Engine) queryIntoPrep(ctx context.Context, req QueryRequest, resp *Quer
 			return
 		}
 	}
-	opt := e.options(req)
+	opt := e.options(v, req)
 	if opt.Ctx == nil && ctx != nil {
 		opt.Ctx = ctx
 	}
@@ -417,13 +599,13 @@ func (e *Engine) queryIntoPrep(ctx context.Context, req QueryRequest, resp *Quer
 		if k < 1 {
 			k = 1
 		}
-		regions, results, err := SearchTopK(e.ds, req.A, req.B, req.Query, k, req.Exclude, opt)
+		regions, results, err := SearchTopK(v.ds, req.A, req.B, req.Query, k, req.Exclude, opt)
 		resp.Regions = append(resp.Regions, regions...)
 		resp.Results = append(resp.Results, results...)
 		resp.Err = err
 		return
 	}
-	idx, err := e.Index(req.Query.F)
+	idx, err := e.indexFor(v, req.Query.F)
 	if err != nil {
 		resp.Err = err
 		return
@@ -433,9 +615,9 @@ func (e *Engine) queryIntoPrep(ctx context.Context, req QueryRequest, resp *Quer
 		res    Result
 	)
 	if idx != nil {
-		region, res, _, err = SearchWithIndex(idx, e.ds, req.A, req.B, req.Query, opt)
+		region, res, _, err = SearchWithIndex(idx, v.ds, req.A, req.B, req.Query, opt)
 	} else {
-		region, res, _, err = Search(e.ds, req.A, req.B, req.Query, opt)
+		region, res, _, err = Search(v.ds, req.A, req.B, req.Query, opt)
 	}
 	if err != nil {
 		resp.Err = err
@@ -503,13 +685,17 @@ func (e *Engine) QueryBatchIntoCtx(ctx context.Context, dst []QueryResponse, req
 	}
 	e.nBatches.Add(1)
 	e.nQueries.Add(int64(len(reqs)))
+	// One view for the whole batch: every member — deduplicated, shared
+	// prepared shape or not — answers against the same epoch, so a batch
+	// racing concurrent inserts is internally coherent.
+	v := e.currentView()
 	var (
 		preps  []*dssearch.Prepared
 		dupOf  []int
 		hasDup []bool
 	)
 	if !e.opt.DisableBatchGrouping && len(reqs) > 1 {
-		preps, dupOf = e.groupBatch(reqs)
+		preps, dupOf = e.groupBatch(v, reqs)
 		for i, c := range dupOf {
 			if c >= 0 {
 				if hasDup == nil {
@@ -625,7 +811,7 @@ func (e *Engine) QueryBatchIntoCtx(ctx context.Context, dst []QueryResponse, req
 		if hasDup != nil && hasDup[i] {
 			req.Ctx = groupCtx[i] // nil → the batch context
 		}
-		e.queryIntoPrep(ctx, req, &out[i], prepFor(i))
+		e.queryIntoPrep(ctx, v, req, &out[i], prepFor(i))
 	}
 	finish := func() []QueryResponse {
 		if dupOf != nil {
@@ -741,7 +927,7 @@ func (e *Engine) QueryBatchIntoCtx(ctx context.Context, dst []QueryResponse, req
 // exclude-the-example, the serving layer's flagship form) dedups
 // constantly — but not in Prepared sharing, which only the plain
 // single-region path binds.
-func (e *Engine) groupBatch(reqs []QueryRequest) ([]*dssearch.Prepared, []int) {
+func (e *Engine) groupBatch(v *engineView, reqs []QueryRequest) ([]*dssearch.Prepared, []int) {
 	preps := make([]*dssearch.Prepared, len(reqs))
 	dupOf := make([]int, len(reqs))
 	type gkey struct {
@@ -775,7 +961,7 @@ func (e *Engine) groupBatch(reqs []QueryRequest) ([]*dssearch.Prepared, []int) {
 		if len(idxs) < 2 {
 			continue
 		}
-		p, err := e.Pyramid(gk.f)
+		p, err := e.pyramidFor(v, gk.f)
 		if err != nil || p == nil {
 			continue
 		}

@@ -1,14 +1,18 @@
 // Stream monitor: continuous similar-region search over an arriving
 // geo-stream — the paper's motivating setting (§1: "increasingly massive
 // volumes of geo-tagged data are becoming available"). Tweets arrive in
-// batches; after each batch the monitor snapshots the dynamic index and
-// re-runs the weekend-hotspot query (Composite Aggregator 1), printing
-// how the best region and its weekend concentration evolve.
+// batches through Engine.InsertBatch; each batch advances the engine's
+// epoch view, and the weekend-hotspot query (Composite Aggregator 1) is
+// re-run against the delta-folded pyramid — O(delta) ingest instead of
+// a restart. After every tick the answer is checked bit-for-bit against
+// a from-scratch engine over the same prefix: the standing invariant
+// that the fold-in path is exact, not approximate.
 package main
 
 import (
 	"fmt"
 	"log"
+	"math"
 	"time"
 
 	"asrs"
@@ -20,12 +24,16 @@ func main() {
 		total     = 120000
 		batchSize = 30000
 	)
-	full := dataset.Tweet(total, 42)
+	// Seed 43 draws a stream with no exactly co-located tweets: the delta
+	// fold's unique-anchor gate certifies every tick, so the monitor
+	// showcases the O(delta) path. (A corpus with location ties would be
+	// just as correct — ties fall back to a bit-identical full rebuild.)
+	full := dataset.Tweet(total, 43)
 	bounds := dataset.USBounds()
 	a, b := 10*bounds.Width()/1000, 10*bounds.Height()/1000
 
 	// The composite aggregator is fixed up front; the target is re-tuned
-	// per snapshot since "maximum weekend tweets a region can hold" grows
+	// per tick since "maximum weekend tweets a region can hold" grows
 	// with the stream.
 	probe, err := dataset.F1(full, a, b)
 	if err != nil {
@@ -33,36 +41,65 @@ func main() {
 	}
 	f := probe.F
 
-	dyn, err := asrs.NewDynamicIndex(f, bounds, 128, 128)
+	// Seed the engine with the first batch; the rest arrives as inserts.
+	seed := &asrs.Dataset{Schema: full.Schema, Objects: full.Objects[:batchSize]}
+	eng, err := asrs.NewEngine(seed, asrs.EngineOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("monitoring weekend hotspots over a %d-tweet stream (batches of %d)\n\n", total, batchSize)
-	seen := &asrs.Dataset{Schema: full.Schema}
-	for start := 0; start < total; start += batchSize {
-		batch := full.Objects[start : start+batchSize]
-		ingest := time.Now()
-		dyn.InsertAll(batch)
-		ingestTime := time.Since(ingest)
-		seen.Objects = full.Objects[:start+batchSize]
+	for seen := batchSize; seen <= total; seen += batchSize {
+		var ingestTime time.Duration
+		if seen > batchSize {
+			ingest := time.Now()
+			if err := eng.InsertBatch(full.Objects[seen-batchSize : seen]); err != nil {
+				log.Fatal(err)
+			}
+			ingestTime = time.Since(ingest)
+		}
+		prefix := &asrs.Dataset{Schema: full.Schema, Objects: full.Objects[:seen]}
 
-		q, err := dataset.F1(seen, a, b)
+		q, err := dataset.F1(prefix, a, b)
 		if err != nil {
 			log.Fatal(err)
 		}
-		q.F = f // share the index's composite (same structure, re-tuned target)
-		snap := dyn.Snapshot()
+		q.F = f // share the engine's composite (same structure, re-tuned target)
+		req := asrs.QueryRequest{Query: q, A: a, B: b}
 		solve := time.Now()
-		region, res, stats, err := asrs.SearchWithIndex(snap, seen, a, b, q, asrs.Options{})
+		resp := eng.Query(req)
+		if resp.Err != nil {
+			log.Fatal(resp.Err)
+		}
+		solveTime := time.Since(solve)
+		res := resp.Results[0]
+
+		// Rebuild-match assertion: a fresh engine over the same prefix
+		// must produce the identical answer — delta fold-in is exact.
+		rebuilt, err := asrs.NewEngine(prefix, asrs.EngineOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}
+		ref := rebuilt.Query(req)
+		if ref.Err != nil {
+			log.Fatal(ref.Err)
+		}
+		if math.Float64bits(res.Dist) != math.Float64bits(ref.Results[0].Dist) ||
+			resp.Regions[0] != ref.Regions[0] {
+			log.Fatalf("after %d tweets: streamed answer %v @ %v diverges from rebuild %v @ %v",
+				seen, res.Dist, resp.Regions[0], ref.Results[0].Dist, ref.Regions[0])
+		}
+
 		weekend := res.Rep[5] + res.Rep[6]
 		weekday := res.Rep[0] + res.Rep[1] + res.Rep[2] + res.Rep[3] + res.Rep[4]
-		fmt.Printf("after %6d tweets: hotspot %v\n", start+batchSize, region)
-		fmt.Printf("    weekend=%4.0f weekday=%4.0f  (ingest %v, solve %v, %d/%d cells searched)\n",
-			weekend, weekday, ingestTime.Round(time.Millisecond), time.Since(solve).Round(time.Millisecond),
-			stats.CellsSearched, stats.Cells)
+		fmt.Printf("after %6d tweets: hotspot %v\n", seen, resp.Regions[0])
+		fmt.Printf("    weekend=%4.0f weekday=%4.0f  (ingest %v, solve %v, matches rebuild)\n",
+			weekend, weekday, ingestTime.Round(time.Millisecond), solveTime.Round(time.Millisecond))
+	}
+	if st := eng.Stats(); st.PyramidFolds == 0 {
+		log.Fatal("expected at least one delta pyramid fold")
+	} else {
+		fmt.Printf("\n%d inserts ingested, %d delta folds, every tick bit-identical to a rebuild\n",
+			st.Ingested, st.PyramidFolds)
 	}
 }

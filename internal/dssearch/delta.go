@@ -1,0 +1,153 @@
+package dssearch
+
+import (
+	"fmt"
+	"sort"
+
+	"asrs/internal/asp"
+	"asrs/internal/attr"
+	"asrs/internal/geom"
+)
+
+// Delta fold: building the pyramid for a grown dataset from an existing
+// base pyramid without re-sorting the whole master (DESIGN.md §10).
+//
+// The expensive step of BuildPyramid is the O(n log n) master sort;
+// every other pass is linear. buildTables skips both its sort and the
+// post-sort re-flatten when the incoming master is already in anchor
+// order — so the fold constructs the merged master directly in sorted
+// order (the base pyramid's order array gives the seed objects' sorted
+// anchor sequence; the delta is sorted on its own, O(d log d)) and runs
+// the identical build passes over it.
+//
+// Bit-identity with a from-scratch BuildPyramid(combined, f) demands
+// that the merged master order EQUAL the rebuild's, not merely sort
+// under the same comparator: PointRepresentation re-accumulates a
+// region's raw float values in master order, so even with every sum
+// certificate exact, a different permutation of anchor-tied objects
+// reaches the answer's representation in its last ulp. The fold
+// therefore gates on the sorted order being UNIQUE — every adjacent
+// anchor pair strictly increasing, which also proves the base's own
+// master was sorted — plus sortExact on the merged core (when a channel
+// fails both certificates the rebuild would have left the master in
+// dataset order, which is not the merged order). Either gate failing
+// falls back to the classic build, replicating the rebuild computation
+// byte for byte; answers never depend on the fast path being taken.
+// (The certificate's |v| accumulation is order-sensitive in its last
+// ulp, so at the exact 2^52 boundary the merged order could certify
+// where the dataset order would not; both sides of that boundary are
+// exact over the sums actually taken, and the property tests pin the
+// fold against the rebuild oracle across seeds.)
+type DeltaStats struct {
+	Folded   bool // fast path taken (vs full rebuild fallback)
+	Appended int  // objects beyond the base pyramid
+}
+
+// BuildPyramidDelta builds the pyramid for combined — a dataset that
+// extends the base pyramid's dataset with appended objects — reusing
+// the base's master order to skip the full sort. The first base.n
+// objects of combined must sit at the same locations as the base
+// dataset's (values may differ; every contribution is recomputed from
+// combined). Answers through the returned pyramid are bit-identical to
+// BuildPyramid(combined, f): the merged fast path is gated on full
+// exact certification and otherwise falls back to the classic build.
+func BuildPyramidDelta(base *Pyramid, combined *attr.Dataset) (*Pyramid, *DeltaStats, error) {
+	if base == nil {
+		return nil, nil, fmt.Errorf("dssearch: delta build requires a base pyramid")
+	}
+	if combined == nil {
+		return nil, nil, fmt.Errorf("dssearch: delta build requires a dataset")
+	}
+	if err := combined.Validate(); err != nil {
+		return nil, nil, err
+	}
+	n := len(combined.Objects)
+	if n < base.n {
+		return nil, nil, fmt.Errorf("dssearch: delta build: combined dataset has %d objects, base pyramid covers %d", n, base.n)
+	}
+	if combined.Schema != base.ds.Schema {
+		return nil, nil, fmt.Errorf("dssearch: delta build: combined dataset has a different schema")
+	}
+	for i := 0; i < base.n; i++ {
+		if combined.Objects[i].Loc != base.ds.Objects[i].Loc {
+			return nil, nil, fmt.Errorf("dssearch: delta build: object %d moved (%v != %v); combined must extend the base dataset",
+				i, combined.Objects[i].Loc, base.ds.Objects[i].Loc)
+		}
+	}
+	stats := &DeltaStats{Appended: n - base.n}
+
+	// Sort the appended tail by anchor, ties by dataset index — a total
+	// order, so the fold is deterministic regardless of callers.
+	deltaIds := make([]int32, 0, n-base.n)
+	for i := base.n; i < n; i++ {
+		deltaIds = append(deltaIds, int32(i))
+	}
+	sort.Slice(deltaIds, func(a, b int) bool {
+		oa, ob := &combined.Objects[deltaIds[a]], &combined.Objects[deltaIds[b]]
+		if oa.Loc.X != ob.Loc.X {
+			return oa.Loc.X < ob.Loc.X
+		}
+		if oa.Loc.Y != ob.Loc.Y {
+			return oa.Loc.Y < ob.Loc.Y
+		}
+		return deltaIds[a] < deltaIds[b]
+	})
+
+	// Merge the base's sorted anchor sequence with the sorted delta into
+	// the synthetic master (the same degenerate location-anchored rects
+	// as BuildPyramid), seed-first on full anchor ties. If the base was
+	// itself never sorted (its channels failed certification), the merge
+	// output is not sorted either — buildTables detects that and sorts,
+	// so nothing is ever wrong, only slower.
+	synth := make([]asp.RectObject, 0, n)
+	rect := func(idx int32) asp.RectObject {
+		o := &combined.Objects[idx]
+		return asp.RectObject{
+			Rect: geom.Rect{MinX: o.Loc.X, MinY: o.Loc.Y, MaxX: o.Loc.X, MaxY: o.Loc.Y},
+			Obj:  o,
+		}
+	}
+	bi, di := 0, 0
+	for bi < base.n && di < len(deltaIds) {
+		sb := &base.ds.Objects[base.order[bi]]
+		sd := &combined.Objects[deltaIds[di]]
+		if sb.Loc.X < sd.Loc.X || (sb.Loc.X == sd.Loc.X && sb.Loc.Y <= sd.Loc.Y) {
+			synth = append(synth, rect(base.order[bi]))
+			bi++
+		} else {
+			synth = append(synth, rect(deltaIds[di]))
+			di++
+		}
+	}
+	for ; bi < base.n; bi++ {
+		synth = append(synth, rect(base.order[bi]))
+	}
+	for ; di < len(deltaIds); di++ {
+		synth = append(synth, rect(deltaIds[di]))
+	}
+
+	// Unique-order gate: any anchor tie (or an unsorted base) means the
+	// rebuild's unstable sort could place the tied objects differently,
+	// and that permutation reaches Rep through float re-accumulation.
+	for i := 1; i < n; i++ {
+		a, b := &synth[i-1].Rect, &synth[i].Rect
+		if a.MinX > b.MinX || (a.MinX == b.MinX && a.MinY >= b.MinY) {
+			return rebuildFallback(base, combined, stats)
+		}
+	}
+
+	core := &tables{}
+	master := buildTables(core, synth, base.f, true)
+	if !core.sortExact {
+		return rebuildFallback(base, combined, stats)
+	}
+	stats.Folded = true
+	return finishPyramid(combined, base.f, core, master), stats, nil
+}
+
+// rebuildFallback is the gate-refused path: the classic build over the
+// combined dataset, byte-for-byte the rebuild computation.
+func rebuildFallback(base *Pyramid, combined *attr.Dataset, stats *DeltaStats) (*Pyramid, *DeltaStats, error) {
+	p, err := BuildPyramid(combined, base.f)
+	return p, stats, err
+}

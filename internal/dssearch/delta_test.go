@@ -1,0 +1,159 @@
+package dssearch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs/internal/attr"
+	"asrs/internal/geom"
+)
+
+// uniqueLocs re-draws every object location from the continuous square,
+// making anchor ties (practically) impossible — the precondition for
+// the delta fold's unique-order gate to admit the fast path.
+func uniqueLocs(rng *rand.Rand, ds *attr.Dataset) {
+	for i := range ds.Objects {
+		ds.Objects[i].Loc = geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+}
+
+// TestDeltaFoldBitIdentical is the delta-pyramid property test: for
+// every composite kind the pyramid tests cover (integer-exact, dyadic,
+// decimal two-float, min/max) plus a certification-failing composite,
+// over several seeds and split points, a pyramid produced by folding
+// the appended tail into the prefix pyramid answers bit-identically —
+// region, distance, point and representation — to a from-scratch
+// rebuild over the combined dataset AND to the unassisted oracle, at
+// multiple worker counts and through the shared Prepared shape. The
+// fold must actually take the fast path where it claims to (unique
+// anchors, certifying composite) and must refuse it for uncertified
+// composites and for datasets with anchor ties.
+func TestDeltaFoldBitIdentical(t *testing.T) {
+	old := satMinIds
+	satMinIds = 64
+	defer func() { satMinIds = old }()
+
+	for _, seed := range []int64{7, 1801, 90210} {
+		rng := rand.New(rand.NewSource(seed))
+		kinds := []struct {
+			name     string
+			num      func() float64
+			withMM   bool
+			snap     bool // keep the lattice-snapped (tied) locations
+			wantFold int  // 1 = must fold, 0 = must not, -1 = either
+		}{
+			{"integer", func() float64 { return float64(rng.Intn(11) - 5) }, false, false, 1},
+			{"dyadic", func() float64 { return float64(rng.Intn(41)) * 0.25 }, false, false, 1},
+			{"decimal", func() float64 { return 0.1 * float64(1+rng.Intn(99)) }, false, false, 1},
+			{"minmax", func() float64 { return float64(rng.Intn(2001)) * 0.5 }, true, false, 1},
+			// Denormal tails on both signs defeat the two-float
+			// fallback too: the fold must refuse and take the classic
+			// rebuild (which for such composites never sorts at all).
+			{"uncertified", func() float64 {
+				switch rng.Intn(10) {
+				case 0:
+					return 5e-324
+				case 5:
+					return -5e-324
+				default:
+					return rng.NormFloat64()
+				}
+			}, false, false, 0},
+			// Lattice-snapped locations carry anchor ties, whose
+			// permutation reaches Rep: the unique-order gate decides
+			// (ties are near-certain but not guaranteed, so only the
+			// answers are pinned, not the path).
+			{"decimal_ties", func() float64 { return 0.1 * float64(1+rng.Intn(99)) }, false, true, -1},
+		}
+		for _, kind := range kinds {
+			n := 150 + rng.Intn(200)
+			ds, f := pyramidDataset(t, rng, n, kind.num, kind.withMM)
+			if !kind.snap {
+				uniqueLocs(rng, ds)
+			}
+			for _, k := range []int{n, n - 1, n / 2, n / 4} {
+				prefix := &attr.Dataset{Schema: ds.Schema, Objects: ds.Objects[:k]}
+				base, err := BuildPyramid(prefix, f)
+				if err != nil {
+					t.Fatalf("%s/%d k=%d: base: %v", kind.name, seed, k, err)
+				}
+				folded, stats, err := BuildPyramidDelta(base, ds)
+				if err != nil {
+					t.Fatalf("%s/%d k=%d: delta: %v", kind.name, seed, k, err)
+				}
+				if kind.wantFold >= 0 && stats.Folded != (kind.wantFold == 1) {
+					t.Fatalf("%s/%d k=%d: Folded=%v, want %v", kind.name, seed, k, stats.Folded, kind.wantFold == 1)
+				}
+				rebuilt, err := BuildPyramid(ds, f)
+				if err != nil {
+					t.Fatalf("%s/%d k=%d: rebuild: %v", kind.name, seed, k, err)
+				}
+
+				target := make([]float64, f.Dims())
+				for i := range target {
+					target[i] = float64(2 + i)
+				}
+				for _, ab := range [][2]float64{{9, 8}, {0.37, 0.91}, {400, 400}} {
+					a, b := ab[0], ab[1]
+					_, oracle := solvePyr(t, ds, f, a, b, target, nil, nil, 1)
+					wantRegion, want := solvePyr(t, ds, f, a, b, target, rebuilt, nil, 1)
+					if math.Float64bits(want.Dist) != math.Float64bits(oracle.Dist) {
+						t.Fatalf("%s/%d k=%d a=%g b=%g: rebuild disagrees with oracle: %v != %v",
+							kind.name, seed, k, a, b, want.Dist, oracle.Dist)
+					}
+					prep, prepOK := folded.Prepare(a, b)
+					for _, workers := range []int{1, 3} {
+						gotRegion, got := solvePyr(t, ds, f, a, b, target, folded, nil, workers)
+						if gotRegion != wantRegion || got.Dist != want.Dist || got.Point != want.Point {
+							t.Fatalf("%s/%d k=%d a=%g b=%g workers=%d: folded %v@%v (region %v), rebuild %v@%v (region %v)",
+								kind.name, seed, k, a, b, workers, got.Dist, got.Point, gotRegion,
+								want.Dist, want.Point, wantRegion)
+						}
+						for i := range want.Rep {
+							if math.Float64bits(got.Rep[i]) != math.Float64bits(want.Rep[i]) {
+								t.Fatalf("%s/%d k=%d a=%g b=%g workers=%d: rep[%d] %v != %v",
+									kind.name, seed, k, a, b, workers, i, got.Rep[i], want.Rep[i])
+							}
+						}
+						if prepOK {
+							gotRegion, got = solvePyr(t, ds, f, a, b, target, folded, prep, workers)
+							if gotRegion != wantRegion || got.Dist != want.Dist {
+								t.Fatalf("%s/%d k=%d a=%g b=%g workers=%d: prepared folded %v, want %v",
+									kind.name, seed, k, a, b, workers, got.Dist, want.Dist)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaFoldRejectsMismatch pins the precondition checks: a moved
+// prefix object, a shrunken dataset, and a foreign schema are refused.
+func TestDeltaFoldRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ds, f := pyramidDataset(t, rng, 120, func() float64 { return float64(rng.Intn(7)) }, false)
+	prefix := &attr.Dataset{Schema: ds.Schema, Objects: ds.Objects[:80]}
+	base, err := BuildPyramid(prefix, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shrunk := &attr.Dataset{Schema: ds.Schema, Objects: ds.Objects[:40]}
+	if _, _, err := BuildPyramidDelta(base, shrunk); err == nil {
+		t.Fatal("shrunken dataset accepted")
+	}
+
+	moved := &attr.Dataset{Schema: ds.Schema, Objects: append([]attr.Object(nil), ds.Objects...)}
+	moved.Objects[3].Loc.X += 0.5
+	if _, _, err := BuildPyramidDelta(base, moved); err == nil {
+		t.Fatal("moved prefix object accepted")
+	}
+
+	other, _ := pyramidDataset(t, rng, 120, func() float64 { return 1 }, false)
+	if _, _, err := BuildPyramidDelta(base, other); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}

@@ -85,6 +85,17 @@ func BuildPyramid(ds *attr.Dataset, f *agg.Composite) (*Pyramid, error) {
 	}
 	core := &tables{}
 	master := buildTables(core, synth, f, true)
+	return finishPyramid(ds, f, core, master), nil
+}
+
+// finishPyramid assembles a Pyramid from a frozen aggregation core and
+// its master array: recovers the sort permutation, derives the
+// accuracy-walk id orders, and raises the SAT hierarchy. Shared by
+// BuildPyramid and BuildPyramidDelta — everything downstream of
+// buildTables is a pure function of (core, master), regardless of how
+// the master order was produced.
+func finishPyramid(ds *attr.Dataset, f *agg.Composite, core *tables, master []asp.RectObject) *Pyramid {
+	n := len(ds.Objects)
 
 	// Recover the sort permutation via object identity.
 	idxOf := make(map[*attr.Object]int32, n)
@@ -135,7 +146,7 @@ func BuildPyramid(ds *attr.Dataset, f *agg.Composite) (*Pyramid, error) {
 			}
 		}
 	}
-	return p, nil
+	return p
 }
 
 // sortedIdsByValue returns the indices of vs in ascending value order

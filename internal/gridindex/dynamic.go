@@ -21,8 +21,17 @@ import (
 //
 // The spatial extent is fixed at construction (streams need a declared
 // region of interest); objects outside are clamped to the border cells,
-// which keeps every bound conservative. Dynamic is not safe for
-// concurrent mutation; synchronize externally or shard by producer.
+// which keeps every bound conservative.
+//
+// Concurrency contract: Dynamic is single-writer. Insert/InsertAll must
+// be externally serialized against every other method (an RWMutex with
+// the writer holding Lock is the canonical arrangement). Between
+// writes, the read-only methods — RegionChannelsBuf with caller-owned
+// buffers, Objects, Bounds, Snapshot — may run concurrently with each
+// other: they only read the Fenwick tree and cell tables.
+// RegionChannels is the exception: it borrows the index's internal
+// scratch buffer, so two overlapping RegionChannels calls race on it;
+// concurrent readers must use RegionChannelsBuf instead.
 type Dynamic struct {
 	f       *agg.Composite
 	bounds  geom.Rect
@@ -133,9 +142,18 @@ func (d *Dynamic) Bounds() geom.Rect { return d.bounds }
 
 // RegionChannels answers the Lemma 8 region query on the live contents:
 // channel totals of objects in cells [l, r) × [b, t). O(log sx · log sy ·
-// chans).
+// chans). It uses the index's internal scratch buffer — not safe for
+// overlapping calls; concurrent readers use RegionChannelsBuf.
 func (d *Dynamic) RegionChannels(l, r, b, t int, out []float64) {
 	d.tree.RegionIntoBuf(l, r, b, t, out, d.tmp)
+}
+
+// RegionChannelsBuf is RegionChannels with caller-supplied scratch
+// (len(tmp) >= Channels of the composite): it touches no index state
+// beyond reads, so any number of readers may call it concurrently
+// between writes.
+func (d *Dynamic) RegionChannelsBuf(l, r, b, t int, out, tmp []float64) {
+	d.tree.RegionIntoBuf(l, r, b, t, out, tmp)
 }
 
 // Snapshot materializes the current contents as an immutable static Index

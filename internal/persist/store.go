@@ -50,15 +50,21 @@ type pyramidManifest struct {
 // ManifestPath returns the sidecar manifest path for a pyramid file.
 func ManifestPath(path string) string { return path + ".manifest" }
 
-// faultWriter interposes the persist.save.write failpoint on every
-// write: ActError fails outright, ActShortWrite lets a prefix through
-// and then fails — the torn-write simulation.
+// faultWriter interposes a write-path failpoint on every write:
+// ActError fails outright, ActShortWrite lets a prefix through and then
+// fails — the torn-write simulation. The point name defaults to
+// persist.save.write; the ingest-snapshot path sets compact.save.
 type faultWriter struct {
-	w io.Writer
+	w     io.Writer
+	point string
 }
 
 func (fw *faultWriter) Write(p []byte) (int, error) {
-	if f, ok := faultinject.Check("persist.save.write"); ok {
+	point := fw.point
+	if point == "" {
+		point = "persist.save.write"
+	}
+	if f, ok := faultinject.Check(point); ok {
 		switch f.Action {
 		case faultinject.ActShortWrite:
 			n := f.Bytes
@@ -294,14 +300,31 @@ func QuarantinePath(path string, ts int64) string {
 	return fmt.Sprintf("%s.corrupt-%d", path, ts)
 }
 
+// quarantineNow is the quarantine clock, injectable so tests can force
+// timestamp collisions deterministically.
+var quarantineNow = time.Now
+
 // Quarantine moves a corrupt pyramid file (and its manifest, if any)
 // aside with a timestamped .corrupt-* suffix, returning the new path
 // of the data file. The evidence is preserved for postmortem; the
 // original path is freed for a rebuild. Missing files are not errors —
 // quarantining an already-moved file is idempotent.
+//
+// Two corruptions can land inside one clock tick (repeated rebuilds of
+// a path on a failing disk, or a coarse clock), and os.Rename silently
+// REPLACES an existing destination — which would destroy the earlier
+// evidence. Colliding timestamps therefore get a monotonic ".N" suffix:
+// the first free of <path>.corrupt-<ts>, <path>.corrupt-<ts>.1, … wins.
 func Quarantine(path string) (string, error) {
-	ts := time.Now().UnixNano()
-	qpath := QuarantinePath(path, ts)
+	ts := quarantineNow().UnixNano()
+	base := QuarantinePath(path, ts)
+	qpath := base
+	for n := 1; ; n++ {
+		if _, err := os.Lstat(qpath); os.IsNotExist(err) {
+			break
+		}
+		qpath = fmt.Sprintf("%s.%d", base, n)
+	}
 	if err := os.Rename(path, qpath); err != nil {
 		if os.IsNotExist(err) {
 			return "", nil

@@ -147,6 +147,7 @@ func New(cfg Config) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux = mux
@@ -216,7 +217,9 @@ func (s *Server) buildRequest(wq Query) (asrs.QueryRequest, context.CancelFunc, 
 		if b == 0 {
 			b = rq.Height()
 		}
-		q, err = asrs.QueryFromRegion(s.eng.Dataset(), f, wq.Weights, rq)
+		// The current logical dataset (seed + ingested), so an example
+		// region's representation includes objects inserted into it.
+		q, err = asrs.QueryFromRegion(s.eng.CurrentDataset(), f, wq.Weights, rq)
 		if err != nil {
 			return asrs.QueryRequest{}, nil, err
 		}
@@ -512,6 +515,124 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		Responses: resps,
 		ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3,
 	})
+}
+
+// handleInsert serves POST /v1/insert: appends a batch of objects to
+// the served corpus as one atomic, durable unit (one WAL record; the
+// 200 means the batch is staged and — under the daemon's sync policy —
+// on stable storage). Inserted objects are visible to queries issued
+// after the response.
+//
+// Admission is brownout-aware and stricter than the query path: inserts
+// are deferrable background work nobody is waiting on, so a server
+// whose degradation ladder has stepped down AT ALL sheds them outright
+// (429 + Retry-After) — the remaining capacity serves queries first.
+// Healthy servers admit inserts through the same in-flight semaphore as
+// queries.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.nReceived.Add(1)
+	if level := s.ladder.Level(); level > 0 {
+		s.nShed.Add(1)
+		s.ladder.note(true)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		writeError(w, http.StatusTooManyRequests, CodeOverloaded, true,
+			"server degraded (brownout level %d); inserts are shed first", level)
+		return
+	}
+	if !s.admit(w, 1) {
+		return
+	}
+	defer s.release(1)
+	var wi Insert
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(&wi); err != nil {
+		s.nBadReqs.Add(1)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, false, "invalid request body: %v", err)
+		return
+	}
+	if len(wi.Objects) == 0 {
+		s.nBadReqs.Add(1)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, false, "insert requires at least one object")
+		return
+	}
+	objs, err := s.decodeInsertObjects(wi.Objects)
+	if err != nil {
+		s.nBadReqs.Add(1)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, false, "%v", err)
+		return
+	}
+	// Register with the drain before touching the engine: Shutdown closes
+	// the engine's WAL after the drain, and an insert that already passed
+	// admission must land (and ack) before that happens or after the
+	// closed engine refuses it — never concurrently with the close.
+	s.drainMu.RLock()
+	if s.draining.Load() {
+		s.drainMu.RUnlock()
+		writeError(w, http.StatusServiceUnavailable, CodeDraining, true, "server is draining")
+		return
+	}
+	s.inflight.Add(1)
+	s.drainMu.RUnlock()
+	defer s.inflight.Done()
+
+	if err := s.eng.InsertBatch(objs); err != nil {
+		if errors.Is(err, asrs.ErrEngineClosed) {
+			writeError(w, http.StatusServiceUnavailable, CodeDraining, true, "server is draining")
+			return
+		}
+		// The append did not acknowledge, so nothing was staged: the
+		// client may retry (e.g. after a transient disk error) without
+		// risking duplication on this server.
+		writeError(w, http.StatusInternalServerError, CodeInternal, false, "insert failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, InsertResponse{
+		Ingested:      len(objs),
+		TotalIngested: s.eng.Stats().Ingested,
+		ElapsedMS:     float64(time.Since(start).Microseconds()) / 1e3,
+	})
+}
+
+// decodeInsertObjects converts wire objects to library objects against
+// the serving schema: every attribute must be present, categorical
+// values arrive as domain labels, numeric values as numbers.
+func (s *Server) decodeInsertObjects(in []InsertObject) ([]asrs.Object, error) {
+	schema := s.eng.Dataset().Schema
+	n := schema.Len()
+	out := make([]asrs.Object, len(in))
+	for i, wo := range in {
+		if len(wo.Values) != n {
+			return nil, fmt.Errorf("object %d has %d values, schema has %d attributes", i, len(wo.Values), n)
+		}
+		vals := make([]asrs.Value, n)
+		for j := 0; j < n; j++ {
+			a := schema.At(j)
+			raw, ok := wo.Values[a.Name]
+			if !ok {
+				return nil, fmt.Errorf("object %d is missing attribute %q", i, a.Name)
+			}
+			if a.Kind == asrs.Categorical {
+				label, ok := raw.(string)
+				if !ok {
+					return nil, fmt.Errorf("object %d attribute %q wants a domain label string, got %T", i, a.Name, raw)
+				}
+				idx := schema.ValueIndex(a.Name, label)
+				if idx < 0 {
+					return nil, fmt.Errorf("object %d attribute %q: label %q is not in the domain", i, a.Name, label)
+				}
+				vals[j].Cat = idx
+			} else {
+				num, ok := raw.(float64)
+				if !ok {
+					return nil, fmt.Errorf("object %d attribute %q wants a number, got %T", i, a.Name, raw)
+				}
+				vals[j].Num = num
+			}
+		}
+		out[i] = asrs.Object{Loc: asrs.Point{X: wo.X, Y: wo.Y}, Values: vals}
+	}
+	return out, nil
 }
 
 // handleHealthz serves GET /healthz: 200 while serving, 503 once the

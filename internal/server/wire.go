@@ -103,6 +103,33 @@ type Batch struct {
 	Queries []Query `json:"queries"`
 }
 
+// InsertObject is one object of a POST /v1/insert request. Values is
+// keyed by attribute name; categorical attributes take their domain
+// label as a string, numeric attributes a number. Every attribute of
+// the serving schema must be present.
+type InsertObject struct {
+	X      float64        `json:"x"`
+	Y      float64        `json:"y"`
+	Values map[string]any `json:"values"`
+}
+
+// Insert is the POST /v1/insert request body. The whole batch is one
+// atomic durable unit: either every object is acknowledged (and
+// survives a crash, per the WAL sync policy) or none is.
+type Insert struct {
+	Objects []InsertObject `json:"objects"`
+}
+
+// InsertResponse acknowledges a POST /v1/insert. Ingested counts the
+// objects of THIS request; TotalIngested every object ingested since
+// the seed corpus (including recovered ones). Failures use the standard
+// error Response shape instead.
+type InsertResponse struct {
+	Ingested      int     `json:"ingested"`
+	TotalIngested int64   `json:"total_ingested"`
+	ElapsedMS     float64 `json:"elapsed_ms"`
+}
+
 // BatchResponse is the POST /v1/batch response body; Responses is
 // index-aligned with the request's Queries, and per-query failures land
 // in the corresponding Response.Error without failing the batch.

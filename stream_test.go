@@ -1,0 +1,450 @@
+package asrs_test
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"asrs"
+)
+
+// streamFixture splits the batch fixture's corpus into a seed prefix and
+// an insert tail, keeping the full-corpus requests (their targets were
+// compiled against the combined corpus, so both the ingesting engine and
+// the rebuilt-from-scratch oracle engine answer the same question).
+func streamFixture(t *testing.T, nQueries int, seed int64, tail int) (*asrs.Dataset, *asrs.Dataset, []asrs.Object, []asrs.QueryRequest) {
+	t.Helper()
+	full, _, reqs := batchFixture(t, nQueries, seed)
+	n := len(full.Objects)
+	if tail >= n {
+		t.Fatalf("tail %d >= corpus %d", tail, n)
+	}
+	seedDS := &asrs.Dataset{Schema: full.Schema, Objects: full.Objects[:n-tail]}
+	return full, seedDS, full.Objects[n-tail:], reqs
+}
+
+func objectsEqual(t *testing.T, tag string, a, b []asrs.Object) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d objects != %d", tag, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Loc != b[i].Loc || len(a[i].Values) != len(b[i].Values) {
+			t.Fatalf("%s: object %d differs: %+v vs %+v", tag, i, a[i], b[i])
+		}
+		for j := range a[i].Values {
+			av, bv := a[i].Values[j], b[i].Values[j]
+			if av.Cat != bv.Cat || math.Float64bits(av.Num) != math.Float64bits(bv.Num) {
+				t.Fatalf("%s: object %d value %d differs: %+v vs %+v", tag, i, j, av, bv)
+			}
+		}
+	}
+}
+
+// TestInsertBitIdenticalToRebuild is the streaming-ingest acceptance
+// property: an engine that grew from a seed corpus through
+// Insert/InsertBatch answers every request bit-identically to an engine
+// built over the combined corpus from scratch — at every worker count,
+// batch-grouping setting and batch parallelism, through single queries
+// and batches alike. The ingesting engine's pyramid is produced by the
+// delta fold (the corpus has unique anchors), which the test asserts
+// actually happened.
+func TestInsertBitIdenticalToRebuild(t *testing.T) {
+	full, seedDS, inserts, reqs := streamFixture(t, 12, 71, 180)
+	configs := []struct {
+		tag string
+		opt asrs.EngineOptions
+	}{
+		{"w1", asrs.EngineOptions{BatchParallelism: 1, Search: asrs.Options{Workers: 1}}},
+		{"w2-grouped", asrs.EngineOptions{BatchParallelism: 2, Search: asrs.Options{Workers: 2}}},
+		{"w2-ungrouped", asrs.EngineOptions{BatchParallelism: 2, DisableBatchGrouping: true, Search: asrs.Options{Workers: 2}}},
+		{"indexed", asrs.EngineOptions{IndexGranularity: 24, BatchParallelism: 1, Search: asrs.Options{Workers: 1}}},
+	}
+	for _, cfg := range configs {
+		oracle, err := asrs.NewEngine(full, cfg.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		grown, err := asrs.NewEngine(seedDS, cfg.opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Query once against the seed epoch so the later epoch has a
+		// completed pyramid to fold (the interesting path), then grow:
+		// a few single inserts, the rest in one batch.
+		_ = grown.Query(reqs[0])
+		for i := 0; i < 3; i++ {
+			if err := grown.Insert(inserts[i]); err != nil {
+				t.Fatalf("%s: insert %d: %v", cfg.tag, i, err)
+			}
+		}
+		if err := grown.InsertBatch(inserts[3:]); err != nil {
+			t.Fatalf("%s: insert batch: %v", cfg.tag, err)
+		}
+
+		want := oracle.QueryBatch(reqs)
+		got := grown.QueryBatch(reqs)
+		for i := range want {
+			if want[i].Err != nil || got[i].Err != nil {
+				t.Fatalf("%s: request %d errored: oracle %v, grown %v", cfg.tag, i, want[i].Err, got[i].Err)
+			}
+			respEqual(t, cfg.tag+"/batch", i, got[i], want[i])
+		}
+		for i := range reqs {
+			respEqual(t, cfg.tag+"/single", i, grown.Query(reqs[i]), oracle.Query(reqs[i]))
+		}
+		st := grown.Stats()
+		if st.Ingested != int64(len(inserts)) {
+			t.Fatalf("%s: Stats.Ingested = %d, want %d", cfg.tag, st.Ingested, len(inserts))
+		}
+		if st.PyramidFolds == 0 {
+			t.Fatalf("%s: pyramid was never delta-folded (unique-anchor corpus should fold)", cfg.tag)
+		}
+	}
+}
+
+// TestInsertVisibleMidStream: each insert becomes visible to the next
+// query, and every intermediate epoch answers exactly like a fresh
+// engine over the same prefix.
+func TestInsertVisibleMidStream(t *testing.T) {
+	full, seedDS, inserts, reqs := streamFixture(t, 4, 99, 60)
+	grown, err := asrs.NewEngine(seedDS, asrs.EngineOptions{Search: asrs.Options{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step <= len(inserts); step += 20 {
+		prefix := &asrs.Dataset{Schema: full.Schema, Objects: full.Objects[:len(seedDS.Objects)+step]}
+		oracle, err := asrs.NewEngine(prefix, asrs.EngineOptions{Search: asrs.Options{Workers: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reqs {
+			respEqual(t, "mid-stream", i, grown.Query(reqs[i]), oracle.Query(reqs[i]))
+		}
+		if step < len(inserts) {
+			end := step + 20
+			if end > len(inserts) {
+				end = len(inserts)
+			}
+			if err := grown.InsertBatch(inserts[step:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+// TestInsertValidationAndClose: schema-violating inserts are refused
+// without staging anything, empty batches are no-ops, and a closed
+// engine rejects inserts while still answering queries.
+func TestInsertValidationAndClose(t *testing.T) {
+	_, seedDS, inserts, reqs := streamFixture(t, 2, 5, 10)
+	eng, err := asrs.NewEngine(seedDS, asrs.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := inserts[0]
+	bad.Values = nil // wrong arity
+	if err := eng.Insert(bad); err == nil {
+		t.Fatal("schema-violating insert accepted")
+	}
+	bad = inserts[0]
+	bad.Values = []asrs.Value{{Cat: 1 << 20}} // outside the categorical domain
+	if err := eng.Insert(bad); err == nil {
+		t.Fatal("out-of-domain insert accepted")
+	}
+	if err := eng.InsertBatch(nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	if got := len(eng.IngestedObjects()); got != 0 {
+		t.Fatalf("%d objects staged by refused/empty inserts", got)
+	}
+	if err := eng.Insert(inserts[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := eng.Insert(inserts[1]); !errors.Is(err, asrs.ErrEngineClosed) {
+		t.Fatalf("insert after close: %v, want ErrEngineClosed", err)
+	}
+	if resp := eng.Query(reqs[0]); resp.Err != nil {
+		t.Fatalf("query after close: %v", resp.Err)
+	}
+}
+
+// TestIngestDurableRecovery: acknowledged inserts survive an abrupt stop
+// (the engine is abandoned, never closed) and a reopened engine answers
+// bit-identically to a fresh engine over the combined corpus — through
+// a WAL-only restart, a compacted restart, and a snapshot+tail restart.
+func TestIngestDurableRecovery(t *testing.T) {
+	full, seedDS, inserts, reqs := streamFixture(t, 6, 123, 90)
+	dir := t.TempDir()
+	ing := asrs.IngestOptions{WALDir: dir, Sync: asrs.SyncAlways, CompactAt: -1}
+	opt := asrs.EngineOptions{Ingest: ing, Search: asrs.Options{Workers: 1}}
+
+	eng, err := asrs.NewEngine(seedDS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.InsertBatch(inserts[:30]); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range inserts[30:40] {
+		if err := eng.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon without Close: a crash. The WAL must carry everything.
+	eng = nil
+
+	re1, err := asrs.NewEngine(seedDS, opt)
+	if err != nil {
+		t.Fatalf("recovery 1: %v", err)
+	}
+	objectsEqual(t, "recovery-1", re1.IngestedObjects(), inserts[:40])
+
+	// Compact, insert a tail that stays WAL-only, crash again: recovery
+	// must stitch snapshot + replayed tail.
+	if err := re1.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := re1.InsertBatch(inserts[40:70]); err != nil {
+		t.Fatal(err)
+	}
+	if st := re1.Stats(); st.Compactions != 1 {
+		t.Fatalf("Stats.Compactions = %d, want 1", st.Compactions)
+	}
+	re1 = nil
+
+	re2, err := asrs.NewEngine(seedDS, opt)
+	if err != nil {
+		t.Fatalf("recovery 2: %v", err)
+	}
+	objectsEqual(t, "recovery-2", re2.IngestedObjects(), inserts[:70])
+
+	combined := &asrs.Dataset{Schema: full.Schema, Objects: full.Objects[:len(seedDS.Objects)+70]}
+	oracle, err := asrs.NewEngine(combined, asrs.EngineOptions{Search: asrs.Options{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		respEqual(t, "post-recovery", i, re2.Query(reqs[i]), oracle.Query(reqs[i]))
+	}
+	if err := re2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reopen with a foreign seed schema must refuse the snapshot/WAL
+	// rather than serve garbage.
+	foreign := asrs.MustSchema(
+		asrs.Attribute{Name: "kind", Kind: asrs.Categorical, Domain: []string{"x", "y"}},
+		asrs.Attribute{Name: "score", Kind: asrs.Numeric},
+	)
+	other := &asrs.Dataset{Schema: foreign, Objects: []asrs.Object{
+		{Loc: asrs.Point{X: 1, Y: 2}, Values: []asrs.Value{{Cat: 0}, {Num: 3}}},
+	}}
+	if _, err := asrs.NewEngine(other, opt); err == nil {
+		t.Fatal("recovery accepted a different schema's snapshot")
+	}
+}
+
+// TestIngestRecoveredSnapshotAfterWALGap: truncating the WAL past the
+// snapshot watermark (dropping acknowledged records) must refuse to
+// boot instead of silently serving a hole.
+func TestIngestRecoveredSnapshotAfterWALGap(t *testing.T) {
+	_, seedDS, inserts, _ := streamFixture(t, 2, 7, 30)
+	dir := t.TempDir()
+	opt := asrs.EngineOptions{Ingest: asrs.IngestOptions{WALDir: dir, CompactAt: -1}}
+	eng, err := asrs.NewEngine(seedDS, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.InsertBatch(inserts[:10]); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.InsertBatch(inserts[10:20]); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the forbidden state: wipe the WAL but keep the snapshot,
+	// then re-create a log whose LSNs restart below the watermark.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range segs {
+		if err := os.Remove(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := asrs.NewEngine(seedDS, opt); err == nil {
+		t.Fatal("boot accepted a WAL reset underneath the snapshot watermark")
+	}
+}
+
+// TestDeltaFoldRacesCompaction pins the delta fold-in against the
+// compaction swap-in under the race detector: one goroutine drives
+// insert→query pairs so nearly every query materializes a fresh epoch
+// and folds the tail into the previous pyramid, while another loops
+// Compact (snapshot rename + WAL truncation). Stats must show BOTH
+// paths actually ran — folds and compactions — and the settled engine
+// answers bit-identically to a rebuild.
+func TestDeltaFoldRacesCompaction(t *testing.T) {
+	full, seedDS, inserts, reqs := streamFixture(t, 4, 57, 120)
+	eng, err := asrs.NewEngine(seedDS, asrs.EngineOptions{
+		Ingest: asrs.IngestOptions{WALDir: t.TempDir(), Sync: asrs.SyncNever, CompactAt: -1},
+		Search: asrs.Options{Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Establish the base pyramid so the first post-insert epoch folds.
+	if resp := eng.Query(reqs[0]); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	done := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < len(inserts); i += 4 {
+			end := i + 4
+			if end > len(inserts) {
+				end = len(inserts)
+			}
+			if err := eng.InsertBatch(inserts[i:end]); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			if resp := eng.Query(reqs[i%len(reqs)]); resp.Err != nil {
+				t.Errorf("query: %v", resp.Err)
+				return
+			}
+		}
+	}()
+	go func() {
+		// Compact continuously until the inserter finishes: a fixed
+		// iteration count could drain before anything is staged (a no-op
+		// Compact is uncounted), leaving the race unexercised.
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := eng.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// The staged tail is non-empty unless a concurrent Compact already
+	// covered it, so after this call Compactions >= 1 either way.
+	if err := eng.Compact(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := eng.Stats()
+	if st.PyramidFolds == 0 || st.Compactions == 0 {
+		t.Fatalf("degenerate race schedule: %d folds, %d compactions — the two paths never overlapped",
+			st.PyramidFolds, st.Compactions)
+	}
+	combined := &asrs.Dataset{Schema: full.Schema, Objects: append(append([]asrs.Object(nil), seedDS.Objects...), inserts...)}
+	oracle, err := asrs.NewEngine(combined, asrs.EngineOptions{Search: asrs.Options{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		respEqual(t, "fold-vs-compact", i, eng.Query(reqs[i]), oracle.Query(reqs[i]))
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentInsertQueryCompact hammers inserts, queries, batches and
+// compactions concurrently (run with -race), then checks the settled
+// engine answers bit-identically to a fresh engine over exactly the
+// objects it acknowledged.
+func TestConcurrentInsertQueryCompact(t *testing.T) {
+	full, seedDS, inserts, reqs := streamFixture(t, 4, 31, 120)
+	dir := t.TempDir()
+	eng, err := asrs.NewEngine(seedDS, asrs.EngineOptions{
+		Ingest:           asrs.IngestOptions{WALDir: dir, Sync: asrs.SyncNever, CompactAt: 25},
+		BatchParallelism: 2,
+		Search:           asrs.Options{Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < len(inserts); i += 8 {
+			end := i + 8
+			if end > len(inserts) {
+				end = len(inserts)
+			}
+			if err := eng.InsertBatch(inserts[i:end]); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			if resp := eng.Query(reqs[i%len(reqs)]); resp.Err != nil {
+				t.Errorf("query: %v", resp.Err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			eng.QueryBatch(reqs)
+			if err := eng.Compact(); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	got := eng.IngestedObjects()
+	objectsEqual(t, "settled", got, inserts)
+	combined := &asrs.Dataset{Schema: full.Schema, Objects: append(append([]asrs.Object(nil), seedDS.Objects...), got...)}
+	oracle, err := asrs.NewEngine(combined, asrs.EngineOptions{Search: asrs.Options{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		respEqual(t, "settled", i, eng.Query(reqs[i]), oracle.Query(reqs[i]))
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = full
+}
