@@ -241,6 +241,31 @@ func SearchTopK(ds *Dataset, a, b float64, q Query, k int, exclude []Rect, opt O
 	return dssearch.SolveASRSTopK(ds, a, b, q, k, exclude, opt)
 }
 
+// Typed windowed-search errors, surfaced by SearchWithin and the shard
+// router: an extent too small to hold an a×b region, and an extent whose
+// every feasible region is excluded.
+var (
+	ErrExtentTooSmall   = dssearch.ErrExtentTooSmall
+	ErrNoFeasibleRegion = dssearch.ErrNoFeasibleRegion
+)
+
+// SearchWithin is Search restricted to answer regions contained in the
+// closed extent `within`, additionally avoiding the exclude rectangles.
+// The search trajectory depends only on the extent and the objects
+// whose anchor rectangles can reach it — never on the rest of the
+// corpus — which is what lets the shard router answer extent-contained
+// queries from a single shard bit-identically to a merged-corpus run
+// (DESIGN.md §11).
+func SearchWithin(ds *Dataset, a, b float64, q Query, within Rect, exclude []Rect, opt Options) (Rect, Result, SearchStats, error) {
+	return dssearch.SolveASRSWithin(ds, a, b, q, within, exclude, opt)
+}
+
+// SearchTopKWithin is SearchTopK restricted to regions contained in the
+// extent; rounds stop early once no feasible region remains.
+func SearchTopKWithin(ds *Dataset, a, b float64, q Query, k int, exclude []Rect, within Rect, opt Options) ([]Rect, []Result, error) {
+	return dssearch.SolveASRSTopKWithin(ds, a, b, q, k, exclude, within, opt)
+}
+
 // SearchBaseline solves the ASRS problem with the O(n²) sweep-line
 // baseline ("Base" in the paper's experiments). Intended for validation
 // and benchmarking.

@@ -41,9 +41,10 @@ func main() {
 		n        = flag.Int("n", 100000, "dataset cardinality for -parallel-json")
 		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel-json")
 		batch    = flag.Int("batch", 0, "kernel superstep batch size for -parallel-json (0 = kernel default)")
-		workload = flag.String("workload", "f1", "composite workload for -parallel-json: f1 (integer fD on tweet), f2q (real-valued fS+fA on the dyadic-quantized POI corpus), batch (multi-query batch of overlapping Singapore extents: PR-3 per-query path vs the pyramid-amortized batched path), serve (closed-loop HTTP serving: coalescing window collector vs per-request dispatch at equal workers), scaling (strip-evaluator A/B at workers=1 plus the workers=1..max-workers curve on both the batched and serve workloads), or ingest (durable streaming ingest: WAL throughput per sync policy, staged-delta vs static query cost, boot-time recovery replay)")
-		queries  = flag.Int("queries", 24, "requests per batch for -workload batch/scaling; requests per client for -workload serve/scaling")
-		clients  = flag.Int("clients", 32, "concurrent closed-loop clients for -workload serve (-workload scaling defaults to 8)")
+		workload = flag.String("workload", "f1", "composite workload for -parallel-json: f1 (integer fD on tweet), f2q (real-valued fS+fA on the dyadic-quantized POI corpus), batch (multi-query batch of overlapping Singapore extents: PR-3 per-query path vs the pyramid-amortized batched path), serve (closed-loop HTTP serving: coalescing window collector vs per-request dispatch at equal workers), scaling (strip-evaluator A/B at workers=1 plus the workers=1..max-workers curve on both the batched and serve workloads), ingest (durable streaming ingest: WAL throughput per sync policy, staged-delta vs static query cost, boot-time recovery replay), or shard (multi-shard routing: contained vs straddling extent mixes routed vs single-engine, plus the breaker trip/recovery timeline under injected shard panics)")
+		queries  = flag.Int("queries", 24, "requests per batch for -workload batch/scaling; requests per client for -workload serve/scaling; extents per mode for -workload shard")
+		clients  = flag.Int("clients", 32, "concurrent closed-loop clients for -workload serve (-workload scaling defaults to 8, -workload shard to 8)")
+		shards   = flag.Int("shards", 4, "shard count for -workload shard")
 		maxW     = flag.Int("max-workers", 0, "top of the workers=1..N sweep for -workload scaling (0 = max(NumCPU, 2))")
 		baseNs   = flag.Int64("baseline-ns", 0, "externally measured reference ns/op for the same workload, recorded in the report")
 		note     = flag.String("note", "", "free-form provenance recorded in the report")
@@ -81,7 +82,7 @@ func main() {
 	}
 
 	if *parJSON != "" {
-		if err := runParallelBench(*parJSON, *n, *seed, *workers, *batch, *workload, *queries, *clients, *maxW, *baseNs, *note); err != nil {
+		if err := runParallelBench(*parJSON, *n, *seed, *workers, *batch, *workload, *queries, *clients, *shards, *maxW, *baseNs, *note); err != nil {
 			fmt.Fprintln(os.Stderr, "asrsbench:", err)
 			os.Exit(1)
 		}
@@ -114,7 +115,7 @@ func main() {
 }
 
 // runParallelBench parses the worker sweep and writes the JSON report.
-func runParallelBench(path string, n int, seed int64, workerList string, batch int, workload string, queries, clients, maxWorkers int, baseNs int64, note string) error {
+func runParallelBench(path string, n int, seed int64, workerList string, batch int, workload string, queries, clients, shards, maxWorkers int, baseNs int64, note string) error {
 	var sweep []int
 	for _, tok := range strings.Split(workerList, ",") {
 		tok = strings.TrimSpace(tok)
@@ -137,6 +138,15 @@ func runParallelBench(path string, n int, seed int64, workerList string, batch i
 				sc.Clients = clients
 			}
 			return harness.RunScalingBench(out, sc)
+		}
+		if workload == "shard" {
+			// -clients keeps its serve-bench default of 32; the shard bench
+			// defaults to 8, so only an explicit non-default value passes.
+			cfg := harness.ShardBenchConfig{N: n, Shards: shards, Queries: queries, Seed: seed, BaselineNs: baseNs, Note: note}
+			if clients != 32 {
+				cfg.Clients = clients
+			}
+			return harness.RunShardBench(out, cfg)
 		}
 		if workload == "ingest" {
 			cfg := harness.IngestBenchConfig{N: n, Batch: batch, Queries: queries, Seed: seed, BaselineNs: baseNs, Note: note}

@@ -12,8 +12,11 @@
 //	asrsd -dataset tweet -n 200000 -window 5ms -batch-max 64
 //	asrsd -window 0                                      # coalescing off (ablation)
 //	asrsd -dataset singapore -wal-dir /var/lib/asrs/wal  # durable streaming ingest
+//	asrsd -dataset singapore -shards 4                   # multi-shard serving (scatter–gather router)
+//	asrsd -shards 4 -partial best_effort -shard-lazy     # partial answers; shards load on first traffic
 //
-//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/healthz                       # liveness (always 200 while serving HTTP)
+//	curl -s localhost:8080/readyz                        # routing signal (503 while warming/draining)
 //	curl -s localhost:8080/stats
 //	curl -s -X POST localhost:8080/v1/query -d '{
 //	  "composite": "category",
@@ -22,7 +25,14 @@
 //	curl -s -X POST localhost:8080/v1/insert -d '{
 //	  "objects": [{"x":103.84,"y":1.30,"values":{"category":"Food"}}]}'
 //
-// SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503, the
+// Multi-shard mode (-shards N or -shard-cuts) splits the corpus into
+// x-slab shards, each its own engine/pyramid/WAL fault domain behind a
+// circuit breaker; extent queries route to one shard when possible and
+// scatter–gather otherwise. The listener opens before the shards warm —
+// /readyz reports 503 "warming" until they have — and a corrupt shard
+// pyramid is quarantined and rebuilt without blocking siblings.
+//
+// SIGTERM/SIGINT starts a graceful drain: /readyz flips to 503, the
 // pending coalescing window is flushed so waiting clients get answers,
 // and in-flight searches get a grace period before cooperative
 // cancellation.
@@ -37,12 +47,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"asrs"
 	"asrs/internal/dataset"
 	"asrs/internal/server"
+	"asrs/internal/shard"
 )
 
 func main() {
@@ -61,17 +74,63 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", server.DefaultMaxTimeout, "upper clamp on client-chosen timeout_ms")
 		grace      = flag.Duration("grace", 30*time.Second, "drain grace period after SIGTERM before in-flight searches are cancelled")
 		verbose    = flag.Bool("verbose", false, "log one line per request")
-		walDir     = flag.String("wal-dir", "", "streaming-ingest WAL directory: POST /v1/insert becomes durable and acknowledged inserts survive a crash (empty = memory-only ingest)")
+		walDir     = flag.String("wal-dir", "", "streaming-ingest WAL directory: POST /v1/insert becomes durable and acknowledged inserts survive a crash (empty = memory-only ingest); in shard mode each shard gets <wal-dir>/<shard-name>")
 		walSync    = flag.String("wal-sync", "always", "WAL sync policy: always (fsync per insert), batch (fsync per insert batch), never (OS flushes)")
 		compactAt  = flag.Int("compact-at", 0, "staged inserts before background compaction folds the WAL into a snapshot (0 = default, negative = never)")
+		shards     = flag.Int("shards", 0, "split the corpus into this many equal-population x-slab shards behind the scatter–gather router (0 = single-engine mode)")
+		shardCuts  = flag.String("shard-cuts", "", "explicit comma-separated interior shard cut x-coordinates, strictly ascending (overrides -shards; k cuts make k+1 shards)")
+		partial    = flag.String("partial", "", "default partial-result policy for routed queries: strict (fail when a needed shard is down) or best_effort (answer from survivors, report skips); shard mode only")
+		shardLazy  = flag.Bool("shard-lazy", false, "defer shard engine loads to first traffic instead of warming all shards in the background at boot")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *dsName, *n, *seed, *workers, *grid, *window, *batchMax, *queue,
-		*pyrPath, *timeout, *maxTimeout, *grace, *verbose, *walDir, *walSync, *compactAt); err != nil {
+	if err := run(runConfig{
+		addr: *addr, dsName: *dsName, n: *n, seed: *seed, workers: *workers,
+		grid: *grid, window: *window, batchMax: *batchMax, queue: *queue,
+		pyrPath: *pyrPath, timeout: *timeout, maxTimeout: *maxTimeout,
+		grace: *grace, verbose: *verbose, walDir: *walDir, walSync: *walSync,
+		compactAt: *compactAt, shards: *shards, shardCuts: *shardCuts,
+		partial: *partial, shardLazy: *shardLazy,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "asrsd:", err)
 		os.Exit(1)
 	}
+}
+
+// runConfig carries the parsed flags.
+type runConfig struct {
+	addr, dsName        string
+	n                   int
+	seed                int64
+	workers, grid       int
+	window              time.Duration
+	batchMax, queue     int
+	pyrPath             string
+	timeout, maxTimeout time.Duration
+	grace               time.Duration
+	verbose             bool
+	walDir, walSync     string
+	compactAt           int
+	shards              int
+	shardCuts, partial  string
+	shardLazy           bool
+}
+
+// parseCuts parses the -shard-cuts list.
+func parseCuts(s string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	cuts := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		c, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -shard-cuts entry %q: %w", p, err)
+		}
+		cuts = append(cuts, c)
+	}
+	return cuts, nil
 }
 
 // buildServing constructs the dataset and its composite registry. The
@@ -152,76 +211,126 @@ func pyramidPath(base string, i int, name string) string {
 	return base + "." + name
 }
 
-func run(addr, dsName string, n int, seed int64, workers, grid int,
-	window time.Duration, batchMax, queue int, pyrPath string,
-	timeout, maxTimeout, grace time.Duration, verbose bool,
-	walDir, walSync string, compactAt int) error {
-	ds, composites, names, err := buildServing(dsName, n, seed)
+func run(rc runConfig) error {
+	ds, composites, names, err := buildServing(rc.dsName, rc.n, rc.seed)
 	if err != nil {
 		return err
 	}
-	log.Printf("dataset: %s, %d objects, composites %v", dsName, len(ds.Objects), names)
+	log.Printf("dataset: %s, %d objects, composites %v", rc.dsName, len(ds.Objects), names)
 
-	syncPolicy, err := asrs.ParseSyncPolicy(walSync)
+	syncPolicy, err := asrs.ParseSyncPolicy(rc.walSync)
 	if err != nil {
 		return err
 	}
-	eng, err := asrs.NewEngine(ds, asrs.EngineOptions{
-		IndexGranularity: grid,
-		Search:           asrs.Options{Workers: workers},
+	engOpts := asrs.EngineOptions{
+		IndexGranularity: rc.grid,
+		Search:           asrs.Options{Workers: rc.workers},
 		Ingest: asrs.IngestOptions{
-			WALDir:    walDir,
+			WALDir:    rc.walDir,
 			Sync:      syncPolicy,
-			CompactAt: compactAt,
+			CompactAt: rc.compactAt,
 		},
-	})
+	}
+	cuts, err := parseCuts(rc.shardCuts)
 	if err != nil {
 		return err
 	}
-	if walDir != "" {
-		// NewEngine already replayed snapshot + WAL; every previously
-		// acknowledged insert is staged for the first epoch view.
-		log.Printf("ingest: WAL %s (sync=%s), recovered %d ingested objects",
-			walDir, syncPolicy, len(eng.IngestedObjects()))
+	sharded := rc.shards > 0 || len(cuts) > 0
+
+	scfg := server.Config{
+		Composites:  composites,
+		Window:      rc.window,
+		MaxBatch:    rc.batchMax,
+		MaxInFlight: rc.queue,
+		Timeout:     rc.timeout,
+		MaxTimeout:  rc.maxTimeout,
 	}
-	if pyrPath != "" {
-		for i, name := range names {
-			if err := loadOrBuildPyramid(eng, pyramidPath(pyrPath, i, name), composites[name]); err != nil {
-				return err
+	var eng *asrs.Engine   // engine mode
+	var cat *shard.Catalog // shard mode
+	if sharded {
+		// Per-shard engines own their fault domains: WALs under
+		// <wal-dir>/<shard-name>, pyramids at <pyramid>.<shard-name>.
+		engOpts.Ingest.WALDir = ""
+		cat, err = shard.New(ds, shard.Config{
+			Shards:      rc.shards,
+			Cuts:        cuts,
+			Engine:      engOpts,
+			Composites:  composites,
+			Names:       names,
+			PyramidBase: rc.pyrPath,
+			WALRoot:     rc.walDir,
+			Lazy:        true, // warmed in the background after listen
+			Logf:        log.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		scfg.Router = shard.NewRouter(cat, shard.RouterOptions{})
+		scfg.DefaultPartial = rc.partial
+		// Open the listener before the shards warm: /readyz says
+		// "warming" until the background loads finish, so load balancers
+		// hold traffic without the process looking dead.
+		scfg.StartUnready = !rc.shardLazy
+		log.Printf("shards: %d slabs (cuts %v), warm=%v, partial=%q",
+			len(cat.Shards()), cat.Cuts(), !rc.shardLazy, rc.partial)
+	} else {
+		if rc.partial != "" {
+			return fmt.Errorf("-partial requires shard mode (-shards or -shard-cuts)")
+		}
+		eng, err = asrs.NewEngine(ds, engOpts)
+		if err != nil {
+			return err
+		}
+		if rc.walDir != "" {
+			// NewEngine already replayed snapshot + WAL; every previously
+			// acknowledged insert is staged for the first epoch view.
+			log.Printf("ingest: WAL %s (sync=%s), recovered %d ingested objects",
+				rc.walDir, syncPolicy, len(eng.IngestedObjects()))
+		}
+		if rc.pyrPath != "" {
+			for i, name := range names {
+				if err := loadOrBuildPyramid(eng, pyramidPath(rc.pyrPath, i, name), composites[name]); err != nil {
+					return err
+				}
 			}
 		}
-	}
-	for _, name := range names {
-		start := time.Now()
-		if err := eng.Warm(composites[name]); err != nil {
-			return fmt.Errorf("warming %s: %w", name, err)
+		for _, name := range names {
+			start := time.Now()
+			if err := eng.Warm(composites[name]); err != nil {
+				return fmt.Errorf("warming %s: %w", name, err)
+			}
+			log.Printf("warm: %s ready in %v (index %dx%d + pyramid)", name, time.Since(start).Round(time.Millisecond), rc.grid, rc.grid)
 		}
-		log.Printf("warm: %s ready in %v (index %dx%d + pyramid)", name, time.Since(start).Round(time.Millisecond), grid, grid)
+		scfg.Engine = eng
 	}
 
-	srv, err := server.New(server.Config{
-		Engine:      eng,
-		Composites:  composites,
-		Window:      window,
-		MaxBatch:    batchMax,
-		MaxInFlight: queue,
-		Timeout:     timeout,
-		MaxTimeout:  maxTimeout,
-	})
+	srv, err := server.New(scfg)
 	if err != nil {
 		return err
 	}
+	if sharded && !rc.shardLazy {
+		go func() {
+			start := time.Now()
+			if werr := cat.WarmAll(); werr != nil {
+				// Keep serving: the failed shard's breaker isolates it and
+				// the next request retries the load; siblings are warm.
+				log.Printf("shards: WARNING: warm failed (serving continues, breaker isolates it): %v", werr)
+			}
+			log.Printf("shards: warmed in %v", time.Since(start).Round(time.Millisecond))
+			srv.SetReady(true)
+		}()
+	}
 	handler := srv.Handler()
-	if verbose {
+	if rc.verbose {
 		handler = server.LogMiddleware(handler)
 	}
-	httpSrv := &http.Server{Addr: addr, Handler: handler}
+	httpSrv := &http.Server{Addr: rc.addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s (window=%v batch-max=%d queue=%d)", addr, window, batchMax, queue)
+		log.Printf("listening on %s (window=%v batch-max=%d queue=%d)", rc.addr, rc.window, rc.batchMax, rc.queue)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
@@ -232,8 +341,8 @@ func run(addr, dsName string, n int, seed int64, workers, grid int,
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("draining (grace %v)…", grace)
-	graceCtx, cancel := context.WithTimeout(context.Background(), grace)
+	log.Printf("draining (grace %v)…", rc.grace)
+	graceCtx, cancel := context.WithTimeout(context.Background(), rc.grace)
 	defer cancel()
 	// Drain order: the serving layer first (flush the pending window,
 	// answer waiting clients, refuse new queries with 503), then the
@@ -242,17 +351,33 @@ func run(addr, dsName string, n int, seed int64, workers, grid int,
 	if err := httpSrv.Shutdown(graceCtx); err != nil && drainErr == nil {
 		drainErr = err
 	}
-	// The engine closes after the serving layer has drained: no insert
-	// can be in flight. A final compaction folds the WAL into the ingest
+	// Engines close after the serving layer has drained: no insert can
+	// be in flight. A final compaction folds each WAL into its ingest
 	// snapshot so the next boot replays (almost) nothing; skipping it on
 	// error is safe — recovery replays the WAL instead.
-	if walDir != "" {
-		if err := eng.Compact(); err != nil {
-			log.Printf("ingest: final compaction failed (recovery will replay the WAL): %v", err)
+	if eng != nil {
+		if rc.walDir != "" {
+			if err := eng.Compact(); err != nil {
+				log.Printf("ingest: final compaction failed (recovery will replay the WAL): %v", err)
+			}
+		}
+		if err := eng.Close(); err != nil && drainErr == nil {
+			drainErr = err
 		}
 	}
-	if err := eng.Close(); err != nil && drainErr == nil {
-		drainErr = err
+	if cat != nil {
+		if rc.walDir != "" {
+			for _, sh := range cat.Shards() {
+				if e := sh.Loaded(); e != nil {
+					if err := e.Compact(); err != nil {
+						log.Printf("ingest: %s final compaction failed (recovery will replay the WAL): %v", sh.Name(), err)
+					}
+				}
+			}
+		}
+		if err := cat.Close(); err != nil && drainErr == nil {
+			drainErr = err
+		}
 	}
 	if drainErr != nil {
 		return drainErr

@@ -58,6 +58,12 @@ type QueryRequest struct {
 	// Exclude lists rectangles no answer region may overlap (beyond a
 	// shared boundary) — typically the example query region.
 	Exclude []Rect
+	// Within, when non-nil, restricts answer regions to those contained
+	// in the closed extent (the shard router's routing primitive; also a
+	// first-class query feature). Windowed requests bypass the grid
+	// index — the window itself already narrows the search — and surface
+	// ErrExtentTooSmall / ErrNoFeasibleRegion as typed request errors.
+	Within *Rect
 	// Options overrides the engine's default search options for this
 	// request when non-nil.
 	Options *Options
@@ -594,6 +600,27 @@ func (e *Engine) queryIntoPrep(ctx context.Context, v *engineView, req QueryRequ
 	if prep != nil {
 		opt.Prepared = prep
 	}
+	if req.Within != nil {
+		// Windowed requests bypass the grid index: the index enumerates
+		// whole-corpus cells and knows nothing about extents, while the
+		// windowed front door already restricts the search space to the
+		// extent's anchor window.
+		if req.TopK > 1 {
+			regions, results, err := SearchTopKWithin(v.ds, req.A, req.B, req.Query, req.TopK, req.Exclude, *req.Within, opt)
+			resp.Regions = append(resp.Regions, regions...)
+			resp.Results = append(resp.Results, results...)
+			resp.Err = err
+			return
+		}
+		region, res, _, err := SearchWithin(v.ds, req.A, req.B, req.Query, *req.Within, req.Exclude, opt)
+		if err != nil {
+			resp.Err = err
+			return
+		}
+		resp.Regions = append(resp.Regions, region)
+		resp.Results = append(resp.Results, res)
+		return
+	}
 	if req.TopK > 1 || len(req.Exclude) > 0 {
 		k := req.TopK
 		if k < 1 {
@@ -1005,6 +1032,16 @@ func dedupKey(kb *strings.Builder, req *QueryRequest) {
 		fmt.Fprintf(kb, "%x,%x,%x,%x;",
 			math.Float64bits(r.MinX), math.Float64bits(r.MinY),
 			math.Float64bits(r.MaxX), math.Float64bits(r.MaxY))
+	}
+	// The Within extent changes the answer: a windowed request must
+	// never dedup against an unwindowed one (or a differently-windowed
+	// one). nil is marked distinctly, like the vectors above.
+	if req.Within == nil {
+		kb.WriteString("|w:nil")
+	} else {
+		fmt.Fprintf(kb, "|w:%x,%x,%x,%x",
+			math.Float64bits(req.Within.MinX), math.Float64bits(req.Within.MinY),
+			math.Float64bits(req.Within.MaxX), math.Float64bits(req.Within.MaxY))
 	}
 }
 

@@ -1,0 +1,342 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asrs"
+	"asrs/internal/agg"
+	"asrs/internal/dataset"
+	"asrs/internal/faultinject"
+	"asrs/internal/shard"
+)
+
+// shardFixture builds the multi-shard chaos corpus: a seeded corpus,
+// its composite/query, and a routed workload mixing extents contained
+// in single slabs with straddling ones.
+func shardFixture(t *testing.T) (*asrs.Dataset, *asrs.Composite, []shard.Request, []float64) {
+	t.Helper()
+	ds := dataset.Random(60, 100, 77)
+	f := agg.MustNew(ds.Schema,
+		agg.Spec{Kind: agg.Distribution, Attr: "cat"},
+		agg.Spec{Kind: agg.Sum, Attr: "val"},
+	)
+	q := asrs.Query{F: f, Target: []float64{1, 2, 1, 5}}
+	extents := []asrs.Rect{
+		{MinX: 2, MinY: 2, MaxX: 98, MaxY: 98},   // straddles every cut
+		{MinX: 1, MinY: 1, MaxX: 30, MaxY: 99},   // left slab-ish
+		{MinX: 55, MinY: 5, MaxX: 99, MaxY: 95},  // right
+		{MinX: 20, MinY: 10, MaxX: 80, MaxY: 90}, // middle straddler
+	}
+	reqs := make([]shard.Request, 0, len(extents))
+	want := make([]float64, 0, len(extents))
+	for i := range extents {
+		e := extents[i]
+		_, res, _, err := asrs.SearchWithin(ds, 7, 7, q, e, nil, asrs.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, shard.Request{Query: q, A: 7, B: 7, Extent: &e})
+		want = append(want, res.Dist)
+	}
+	return ds, f, reqs, want
+}
+
+func newChaosRouter(t *testing.T, ds *asrs.Dataset, f *asrs.Composite, breaker shard.BreakerConfig) *shard.Router {
+	t.Helper()
+	cat, err := shard.New(ds, shard.Config{
+		Shards:     3,
+		Composites: map[string]*asrs.Composite{"q": f},
+		Names:      []string{"q"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	return shard.NewRouter(cat, shard.RouterOptions{Breaker: breaker})
+}
+
+// routedTypedErr is the routed fault taxonomy: shard unavailability
+// (typed, retryable), infeasibility, or a context error. Anything else
+// escaping a routed query is a contract violation.
+func routedTypedErr(err error) bool {
+	var ue *shard.UnavailableError
+	return errors.As(err, &ue) ||
+		errors.Is(err, asrs.ErrNoFeasibleRegion) ||
+		errors.Is(err, asrs.ErrExtentTooSmall) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// TestShardChaosSeeds replays the routed workload under 16 seeded
+// shard fault schedules — injected sub-search panics, slow shards, and
+// engine load failures — under both partial policies. Contract: the
+// process never dies; every failure is typed; any query that saw no
+// fault fire and lost no shard answers bit-identically to the
+// merged-corpus oracle; a best-effort answer's coverage names the
+// skipped shards.
+func TestShardChaosSeeds(t *testing.T) {
+	ds, f, reqs, want := shardFixture(t)
+	t.Cleanup(faultinject.Deactivate)
+
+	compared, faulted := 0, 0
+	for seed := int64(1); seed <= 16; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		rt := newChaosRouter(t, ds, f, shard.BreakerConfig{
+			FailureThreshold: 2,
+			BaseBackoff:      5 * time.Millisecond,
+			MaxBackoff:       40 * time.Millisecond,
+			Seed:             seed,
+		})
+		plan := faultinject.NewPlan(seed,
+			faultinject.Spec{Point: "shard.search.panic", Action: faultinject.ActPanic,
+				MaxEvery: 1 << (2 + seed%5)},
+			faultinject.Spec{Point: "shard.search.slow", Action: faultinject.ActSleep,
+				MaxEvery: 16, Delay: 100 * time.Microsecond},
+			faultinject.Spec{Point: "shard.load.fail", Action: faultinject.ActError,
+				MaxEvery: 4},
+		)
+		faultinject.Activate(plan)
+		for pass := 0; pass < 3; pass++ {
+			for i, req := range reqs {
+				if rng.Intn(2) == 0 {
+					req.Policy = shard.BestEffort
+				} else {
+					req.Policy = shard.Strict
+				}
+				before := plan.Fired()
+				resp := rt.Query(context.Background(), req)
+				after := plan.Fired()
+				if resp.Err != nil {
+					faulted++
+					if !routedTypedErr(resp.Err) {
+						t.Fatalf("seed %d query %d: untyped error %v", seed, i, resp.Err)
+					}
+					var ue *shard.UnavailableError
+					if errors.As(resp.Err, &ue) && !ue.Temporary() {
+						t.Fatalf("seed %d query %d: UnavailableError not retryable", seed, i)
+					}
+					continue
+				}
+				if !resp.Coverage.Complete() {
+					// A best-effort partial answer: the coverage must say
+					// which shards were lost and why.
+					if req.Policy != shard.BestEffort {
+						t.Fatalf("seed %d query %d: strict answer with skips %v", seed, i, resp.Coverage.Skipped)
+					}
+					for _, s := range resp.Coverage.Skipped {
+						if s.Shard == "" || s.Reason == "" {
+							t.Fatalf("seed %d query %d: anonymous skip %+v", seed, i, s)
+						}
+					}
+					continue
+				}
+				if after == before {
+					compared++
+					if math.Float64bits(resp.Results[0].Dist) != math.Float64bits(want[i]) {
+						t.Fatalf("seed %d query %d: fault-free routed answer %v, oracle %v",
+							seed, i, resp.Results[0].Dist, want[i])
+					}
+				}
+			}
+		}
+		faultinject.Deactivate()
+	}
+	if compared == 0 || faulted == 0 {
+		t.Fatalf("degenerate shard chaos run: %d compared, %d faulted", compared, faulted)
+	}
+	t.Logf("shard chaos: %d fault-free routed queries bit-identical, %d faulted typed", compared, faulted)
+}
+
+// TestShardTrippedSiblingIsolation pins the isolation contract
+// deterministically: with one shard's breaker held open, queries
+// contained in the sibling slabs answer bit-identically to the merged
+// oracle, a strict straddler fails typed, and a best-effort straddler
+// answers with coverage naming exactly the tripped shard.
+func TestShardTrippedSiblingIsolation(t *testing.T) {
+	ds, f, _, _ := shardFixture(t)
+	q := asrs.Query{F: f, Target: []float64{1, 2, 1, 5}}
+	rt := newChaosRouter(t, ds, f, shard.BreakerConfig{
+		FailureThreshold: 1, BaseBackoff: time.Hour, MaxBackoff: time.Hour,
+	})
+	cat := rt.Catalog()
+	tripped := cat.Shards()[1]
+	tripped.Breaker().Failure()
+	if st := tripped.Breaker().Status(); st.State != "open" {
+		t.Fatalf("setup: breaker %+v", st)
+	}
+
+	// Sibling slabs keep answering with full bits.
+	for _, sh := range []*shard.Shard{cat.Shards()[0], cat.Shards()[2]} {
+		lo, hi := sh.Slab()
+		lo, hi = math.Max(lo, 0), math.Min(hi, 100)
+		e := asrs.Rect{MinX: lo + 0.25, MinY: 1, MaxX: hi - 0.25, MaxY: 99}
+		if e.Width() < 7 {
+			continue
+		}
+		_, ores, _, err := asrs.SearchWithin(ds, 7, 7, q, e, nil, asrs.Options{})
+		wantErr := err
+		resp := rt.Query(context.Background(), shard.Request{Query: q, A: 7, B: 7, Extent: &e})
+		if wantErr != nil {
+			if !errors.Is(resp.Err, wantErr) {
+				t.Fatalf("shard %s: err %v vs oracle %v", sh.Name(), resp.Err, wantErr)
+			}
+			continue
+		}
+		if resp.Err != nil {
+			t.Fatalf("healthy sibling %s failed: %v", sh.Name(), resp.Err)
+		}
+		if math.Float64bits(resp.Results[0].Dist) != math.Float64bits(ores.Dist) {
+			t.Fatalf("tripped shard perturbed sibling %s: %v vs %v", sh.Name(), resp.Results[0].Dist, ores.Dist)
+		}
+	}
+
+	// Straddling strict: typed retryable failure naming the tripped shard.
+	e := asrs.Rect{MinX: 2, MinY: 2, MaxX: 98, MaxY: 98}
+	resp := rt.Query(context.Background(), shard.Request{Query: q, A: 7, B: 7, Extent: &e, Policy: shard.Strict})
+	var ue *shard.UnavailableError
+	if !errors.As(resp.Err, &ue) {
+		t.Fatalf("strict straddler over tripped shard: %v", resp.Err)
+	}
+	if len(ue.Skipped) != 1 || ue.Skipped[0].Shard != tripped.Name() || ue.Skipped[0].Reason != "breaker_open" {
+		t.Fatalf("strict skip list %+v, want exactly %s/breaker_open", ue.Skipped, tripped.Name())
+	}
+
+	// Straddling best-effort: an answer, with coverage naming exactly
+	// the tripped shard.
+	resp = rt.Query(context.Background(), shard.Request{Query: q, A: 7, B: 7, Extent: &e, Policy: shard.BestEffort})
+	if resp.Err != nil {
+		t.Fatalf("best-effort straddler failed outright: %v", resp.Err)
+	}
+	if len(resp.Coverage.Skipped) != 1 || resp.Coverage.Skipped[0].Shard != tripped.Name() {
+		t.Fatalf("best-effort coverage skipped %+v, want exactly [%s]", resp.Coverage.Skipped, tripped.Name())
+	}
+	for _, name := range []string{"shard-0", "shard-2"} {
+		found := false
+		for _, s := range resp.Coverage.Searched {
+			if s == name {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("best-effort coverage %v missing surviving shard %s", resp.Coverage.Searched, name)
+		}
+	}
+}
+
+// TestShardCorruptPyramidQuarantine: corrupting one shard's pyramid
+// file on disk must not block siblings — the sick shard quarantines the
+// damaged bytes, rebuilds shard-locally (with the operational log
+// line), and every shard keeps answering bit-identically.
+func TestShardCorruptPyramidQuarantine(t *testing.T) {
+	ds := dataset.Random(50, 100, 99)
+	f := agg.MustNew(ds.Schema,
+		agg.Spec{Kind: agg.Distribution, Attr: "cat"},
+		agg.Spec{Kind: agg.Sum, Attr: "val"},
+	)
+	q := asrs.Query{F: f, Target: []float64{1, 2, 1, 5}}
+	base := filepath.Join(t.TempDir(), "pyr")
+	cfg := shard.Config{
+		Shards:      2,
+		Composites:  map[string]*asrs.Composite{"q": f},
+		Names:       []string{"q"},
+		PyramidBase: base,
+	}
+	cat, err := shard.New(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.WarmAll(); err != nil {
+		t.Fatal(err)
+	}
+	cut := cat.Cuts()[0]
+	e0 := asrs.Rect{MinX: 0, MinY: 0, MaxX: cut, MaxY: 100}
+	e1 := asrs.Rect{MinX: cut, MinY: 0, MaxX: 100, MaxY: 100}
+	rt := shard.NewRouter(cat, shard.RouterOptions{})
+	var want [2]float64
+	for i, e := range []asrs.Rect{e0, e1} {
+		ext := e
+		resp := rt.Query(context.Background(), shard.Request{Query: q, A: 7, B: 7, Extent: &ext})
+		if resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+		want[i] = resp.Results[0].Dist
+	}
+	if err := cat.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit-rot shard-0's pyramid mid-file.
+	p0 := shard.PyramidPath(base, "shard-0", 0, "q")
+	raw, err := os.ReadFile(p0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(raw) / 2; i < len(raw)/2+8 && i < len(raw); i++ {
+		raw[i] ^= 0xFF
+	}
+	if err := os.WriteFile(p0, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	var logs []string
+	cfg.Logf = func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		logs = append(logs, fmt.Sprintf(format, args...))
+	}
+	cat2, err := shard.New(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cat2.Close()
+	rt2 := shard.NewRouter(cat2, shard.RouterOptions{})
+
+	// The healthy sibling loads and answers first — the corrupt shard
+	// must not be in its path at all.
+	ext := e1
+	resp := rt2.Query(context.Background(), shard.Request{Query: q, A: 7, B: 7, Extent: &ext})
+	if resp.Err != nil {
+		t.Fatalf("healthy sibling blocked by corrupt shard-0 pyramid: %v", resp.Err)
+	}
+	if math.Float64bits(resp.Results[0].Dist) != math.Float64bits(want[1]) {
+		t.Fatalf("sibling answer drifted: %v vs %v", resp.Results[0].Dist, want[1])
+	}
+	mu.Lock()
+	quarantined := strings.Contains(strings.Join(logs, "\n"), "quarantined and rebuilt")
+	mu.Unlock()
+	if quarantined {
+		t.Fatal("quarantine fired before the corrupt shard was ever touched")
+	}
+
+	// The corrupt shard quarantines, rebuilds, and answers identically.
+	ext = e0
+	resp = rt2.Query(context.Background(), shard.Request{Query: q, A: 7, B: 7, Extent: &ext})
+	if resp.Err != nil {
+		t.Fatalf("corrupt shard did not recover: %v", resp.Err)
+	}
+	if math.Float64bits(resp.Results[0].Dist) != math.Float64bits(want[0]) {
+		t.Fatalf("post-quarantine answer drifted: %v vs %v", resp.Results[0].Dist, want[0])
+	}
+	mu.Lock()
+	joined := strings.Join(logs, "\n")
+	mu.Unlock()
+	if !strings.Contains(joined, "shard-0") || !strings.Contains(joined, "quarantined and rebuilt") {
+		t.Fatalf("missing quarantine log line; got logs:\n%s", joined)
+	}
+	// The damaged bytes survive for postmortem.
+	m, err := filepath.Glob(p0 + ".corrupt-*")
+	if err != nil || len(m) == 0 {
+		t.Fatalf("no quarantined artifact beside %s (err %v)", p0, err)
+	}
+}

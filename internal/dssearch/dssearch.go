@@ -120,6 +120,15 @@ type Options struct {
 	Prepared *Prepared
 	// Anchor picks the reduction anchor (default: top-right corner).
 	Anchor asp.Anchor
+	// SharedCap, when non-nil, attaches a cross-search shared pruning
+	// cap to every bound this search creates: merge barriers publish the
+	// running best distance into it, and the threshold folds sibling
+	// publications back in with open (strictly-worse-only) semantics, so
+	// cooperating sub-searches of one scatter–gather fan-out prune each
+	// other without ever suppressing a candidate at the global optimum
+	// (DESIGN.md §11). The cap only tightens pruning; the gathered
+	// minimum across the fan-out is unaffected.
+	SharedCap *kernel.ExtCap
 }
 
 // DefaultNCol and DefaultNRow are the paper's best-performing grid
@@ -693,6 +702,7 @@ func (s *Searcher) SolveWithinIDs(space geom.Rect, seedLB float64, ids []int32) 
 		ctx = context.Background()
 	}
 	bound := kernel.NewBound(s.opt.Delta, s.best)
+	bound.SetExternal(s.opt.SharedCap)
 	seed := kernel.Item{Space: space, Clip: space, LB: seedLB, Ids: ids}
 	pushes, maxHeap, steals, err := kernel.RunCtx(ctx, len(s.workers), s.opt.BatchSize, []kernel.Item{seed}, bound,
 		func(wid int, it kernel.Item, incumbent asp.Result, emit func(kernel.Item)) asp.Result {

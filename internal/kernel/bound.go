@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"math"
 	"sync/atomic"
 
 	"asrs/internal/asp"
@@ -36,6 +37,7 @@ func Better(a, b asp.Result) bool {
 type Bound struct {
 	delta float64
 	cur   atomic.Pointer[asp.Result]
+	ext   *ExtCap
 }
 
 // NewBound returns a bound seeded with the given incumbent. delta > 0
@@ -54,12 +56,82 @@ func (b *Bound) Best() asp.Result { return *b.cur.Load() }
 // Threshold returns the current pruning cutoff: spaces whose lower bound
 // reaches it cannot improve the answer (or cannot improve it by more than
 // the (1+δ) guarantee allows).
+//
+// When an external cap is attached (SetExternal), a sibling search's
+// published best folds in with OPEN semantics: the cutoff contributed by
+// the cap is nextafter(cap', +Inf) (cap' = cap/(1+δ) under the
+// approximate variant), so through the driver's closed `LB >= thresh`
+// comparisons a foreign cap only prunes spaces whose lower bound is
+// STRICTLY worse than a distance some sibling already achieved. A space
+// containing a candidate at distance ≤ the global optimum therefore can
+// never be pruned by a foreign cap — only by this search's own bound —
+// which keeps the gathered minimum across sibling searches exact (see
+// DESIGN.md §11).
 func (b *Bound) Threshold() float64 {
 	d := b.cur.Load().Dist
 	if b.delta > 0 {
-		return d / (1 + b.delta)
+		d /= 1 + b.delta
+	}
+	if b.ext != nil {
+		c := b.ext.Load()
+		if b.delta > 0 {
+			c /= 1 + b.delta
+		}
+		if c = math.Nextafter(c, math.Inf(1)); c < d {
+			d = c
+		}
 	}
 	return d
+}
+
+// SetExternal attaches a cross-search shared cap. Call before the search
+// starts; the driver publishes into it at merge barriers and Threshold
+// folds it in with open semantics. A nil cap detaches.
+func (b *Bound) SetExternal(c *ExtCap) { b.ext = c }
+
+// PublishExternal offers the current best distance to the attached
+// external cap (no-op without one). The driver calls this at merge
+// barriers so sibling searches prune against this search's progress.
+func (b *Bound) PublishExternal() {
+	if b.ext != nil {
+		b.ext.Publish(b.cur.Load().Dist)
+	}
+}
+
+// ExtCap is a monotone-decreasing shared distance cap: the best answer
+// distance achieved so far across a set of cooperating searches (the
+// cross-shard scatter–gather bound). It starts at +Inf and Publish
+// CAS-mins achieved distances into it. Distinct searches attach the same
+// cap via Bound.SetExternal; each search's own bound stays authoritative
+// for its answer — the cap only tightens pruning.
+type ExtCap struct {
+	bits atomic.Uint64
+}
+
+// NewExtCap returns a cap initialized to +Inf.
+func NewExtCap() *ExtCap {
+	c := &ExtCap{}
+	c.bits.Store(math.Float64bits(math.Inf(1)))
+	return c
+}
+
+// Load returns the current cap value.
+func (c *ExtCap) Load() float64 {
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Publish lowers the cap to d if d is smaller. NaN is never installed
+// (an undefined distance must not suppress sibling work).
+func (c *ExtCap) Publish(d float64) {
+	for {
+		cur := c.bits.Load()
+		if !(d < math.Float64frombits(cur)) {
+			return
+		}
+		if c.bits.CompareAndSwap(cur, math.Float64bits(d)) {
+			return
+		}
+	}
 }
 
 // Offer installs r as the new best if it beats the current one under

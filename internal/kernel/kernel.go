@@ -393,6 +393,10 @@ func RunCtx(ctx context.Context, workers, batchSize int, seeds []Item, bound *Bo
 		for i := 0; i < n; i++ {
 			bound.Offer(outs[i].best)
 		}
+		// Share this round's progress with any sibling searches attached
+		// to the same external cap (cross-shard scatter–gather), then
+		// fold their progress into this round's merged threshold.
+		bound.PublishExternal()
 		merged := bound.Threshold()
 		for i := 0; i < n; i++ {
 			for _, c := range outs[i].children {

@@ -188,21 +188,7 @@ func SaveIngestSnapshot(path string, schema *attr.Schema, objs []attr.Object, ap
 		}
 	}()
 
-	fp := []byte(SchemaFingerprint(schema))
-	body := make([]byte, 0, 24+len(fp)+4+len(objs)*32)
-	body = binary.LittleEndian.AppendUint32(body, snapVersion)
-	body = binary.LittleEndian.AppendUint64(body, appliedLSN)
-	body = binary.LittleEndian.AppendUint32(body, uint32(len(fp)))
-	body = append(body, fp...)
-	body = AppendObjects(body, schema, objs)
-
-	h := fnv.New64a()
-	h.Write(body)
-	out := make([]byte, 0, len(snapMagic)+len(body)+8)
-	out = append(out, snapMagic[:]...)
-	out = append(out, body...)
-	out = binary.LittleEndian.AppendUint64(out, h.Sum64())
-
+	out := EncodeIngestSnapshot(schema, objs, appliedLSN)
 	if _, err = (&faultWriter{w: tmp, point: "compact.save"}).Write(out); err != nil {
 		return fmt.Errorf("persist: writing snapshot: %w", err)
 	}
@@ -236,6 +222,37 @@ func LoadIngestSnapshot(path string, schema *attr.Schema) ([]attr.Object, uint64
 			return nil, 0, nil
 		}
 		return nil, 0, fmt.Errorf("persist: reading snapshot: %w", err)
+	}
+	return DecodeIngestSnapshot(schema, raw)
+}
+
+// EncodeIngestSnapshot serializes the ingest snapshot (magic, header,
+// object payload, trailing checksum) per the format above.
+func EncodeIngestSnapshot(schema *attr.Schema, objs []attr.Object, appliedLSN uint64) []byte {
+	fp := []byte(SchemaFingerprint(schema))
+	body := make([]byte, 0, 24+len(fp)+4+len(objs)*32)
+	body = binary.LittleEndian.AppendUint32(body, snapVersion)
+	body = binary.LittleEndian.AppendUint64(body, appliedLSN)
+	body = binary.LittleEndian.AppendUint32(body, uint32(len(fp)))
+	body = append(body, fp...)
+	body = AppendObjects(body, schema, objs)
+
+	h := fnv.New64a()
+	h.Write(body)
+	out := make([]byte, 0, len(snapMagic)+len(body)+8)
+	out = append(out, snapMagic[:]...)
+	out = append(out, body...)
+	out = binary.LittleEndian.AppendUint64(out, h.Sum64())
+	return out
+}
+
+// DecodeIngestSnapshot decodes EncodeIngestSnapshot bytes against the
+// schema they were written under. Damage wraps ErrCorrupt, a
+// structurally different schema wraps ErrMismatch; decoding never
+// panics however the bytes are mangled (FuzzReadSnapshot's contract).
+func DecodeIngestSnapshot(schema *attr.Schema, raw []byte) ([]attr.Object, uint64, error) {
+	if schema == nil {
+		return nil, 0, fmt.Errorf("persist: DecodeIngestSnapshot requires a schema")
 	}
 	if len(raw) < len(snapMagic)+8 {
 		return nil, 0, corruptf("snapshot truncated (%d bytes)", len(raw))

@@ -5,34 +5,41 @@ import (
 	"errors"
 	"net/http"
 
+	"asrs"
 	"asrs/internal/kernel"
+	"asrs/internal/shard"
 )
 
 // Wire-visible error taxonomy. Every failed response carries a stable
 // machine-readable code and a retryable bit, so clients decide
 // retry-vs-surface without string-matching error text:
 //
-//	code            status  retryable  meaning
-//	bad_request     400     no         the request itself is invalid
-//	overloaded      429     yes        shed by admission control; honor Retry-After
-//	draining        503     yes        server shutting down; try another replica
-//	canceled        503     yes        the serving context aborted the search mid-run
-//	deadline        504     yes        the per-query deadline expired
-//	internal_panic  500     no         a query panicked inside the engine (isolated)
-//	internal        500     no         any other server-side failure
+//	code               status  retryable  meaning
+//	bad_request        400     no         the request itself is invalid
+//	no_feasible_region 404     no         every candidate region is excluded or out of extent
+//	overloaded         429     yes        shed by admission control; honor Retry-After
+//	draining           503     yes        server shutting down; try another replica
+//	canceled           503     yes        the serving context aborted the search mid-run
+//	shard_unavailable  503     yes        a shard the query needed is tripped/failed; retry
+//	deadline           504     yes        the per-query deadline expired
+//	internal_panic     500     no         a query panicked inside the engine (isolated)
+//	internal           500     no         any other server-side failure
 //
 // Retryable means "the same request may succeed later or elsewhere":
-// overload, drain and deadline are conditions of the moment; panics
-// and validation failures are properties of the request or the build
-// and retrying them wastes capacity.
+// overload, drain, deadline and shard unavailability are conditions of
+// the moment (breakers reclose, probes readmit); panics and validation
+// failures are properties of the request or the build and retrying them
+// wastes capacity.
 const (
-	CodeBadRequest    = "bad_request"
-	CodeOverloaded    = "overloaded"
-	CodeDraining      = "draining"
-	CodeCanceled      = "canceled"
-	CodeDeadline      = "deadline"
-	CodeInternalPanic = "internal_panic"
-	CodeInternal      = "internal"
+	CodeBadRequest       = "bad_request"
+	CodeNoFeasible       = "no_feasible_region"
+	CodeOverloaded       = "overloaded"
+	CodeDraining         = "draining"
+	CodeCanceled         = "canceled"
+	CodeShardUnavailable = "shard_unavailable"
+	CodeDeadline         = "deadline"
+	CodeInternalPanic    = "internal_panic"
+	CodeInternal         = "internal"
 )
 
 // errDispatchPanic marks coalescer-dispatch panics (recoverDeliver)
@@ -45,9 +52,16 @@ var errDispatchPanic = errors.New("server: panic in dispatch")
 // here is a server-side failure.
 func classify(err error) (status int, code string, retryable bool) {
 	var pe *kernel.PanicError
+	var ue *shard.UnavailableError
 	switch {
 	case err == nil:
 		return http.StatusOK, "", false
+	case errors.Is(err, asrs.ErrExtentTooSmall):
+		return http.StatusBadRequest, CodeBadRequest, false
+	case errors.Is(err, asrs.ErrNoFeasibleRegion):
+		return http.StatusNotFound, CodeNoFeasible, false
+	case errors.As(err, &ue):
+		return http.StatusServiceUnavailable, CodeShardUnavailable, true
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, CodeDeadline, true
 	case errors.Is(err, context.Canceled):

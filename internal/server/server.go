@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"asrs"
+	"asrs/internal/shard"
 )
 
 // Defaults for Config zero values.
@@ -39,8 +40,20 @@ const (
 
 // Config configures a Server.
 type Config struct {
-	// Engine serves the queries (required).
+	// Engine serves the queries (single-engine mode; exactly one of
+	// Engine and Router must be set).
 	Engine *asrs.Engine
+	// Router serves the queries from a shard catalog (multi-shard mode):
+	// extent-routed scatter–gather with per-shard fault isolation.
+	// Queries bypass the coalescer — the router fans out internally.
+	Router *shard.Router
+	// StartUnready makes /readyz report 503 until SetReady(true) is
+	// called — the boot sequence for daemons that open their listener
+	// before warming shards. /healthz is liveness and stays 200.
+	StartUnready bool
+	// DefaultPartial is the partial-result policy for routed queries that
+	// do not send their own ("strict" when empty). Router mode only.
+	DefaultPartial string
 	// Composites is the serving registry: wire `composite` names to the
 	// long-lived singletons the engine's caches are keyed by (required,
 	// at least one entry).
@@ -69,10 +82,12 @@ type Config struct {
 // control and the drain lifecycle. Create with New, mount via Handler,
 // stop with Shutdown.
 type Server struct {
-	cfg  Config
-	eng  *asrs.Engine
-	coal *Coalescer
-	mux  *http.ServeMux
+	cfg    Config
+	eng    *asrs.Engine  // nil in router mode
+	router *shard.Router // nil in engine mode
+	coal   *Coalescer    // nil in router mode
+	mux    *http.ServeMux
+	ready  atomic.Bool
 
 	// sem is the admission semaphore: one token per admitted request,
 	// covering its whole life (window wait + search). Acquisition is
@@ -109,8 +124,16 @@ type Server struct {
 
 // New validates the config and builds a ready-to-serve Server.
 func New(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, fmt.Errorf("server: config requires an engine")
+	if (cfg.Engine == nil) == (cfg.Router == nil) {
+		return nil, fmt.Errorf("server: config requires exactly one of an engine or a shard router")
+	}
+	switch cfg.DefaultPartial {
+	case "", string(shard.Strict), string(shard.BestEffort):
+	default:
+		return nil, fmt.Errorf("server: unknown default partial policy %q", cfg.DefaultPartial)
+	}
+	if cfg.DefaultPartial != "" && cfg.Router == nil {
+		return nil, fmt.Errorf("server: default partial policy requires router mode")
 	}
 	if len(cfg.Composites) == 0 {
 		return nil, fmt.Errorf("server: config requires at least one registered composite")
@@ -136,23 +159,37 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:    cfg,
 		eng:    cfg.Engine,
-		coal:   NewCoalescer(base, cfg.Engine, cfg.Window, cfg.MaxBatch),
+		router: cfg.Router,
 		sem:    make(chan struct{}, cfg.MaxInFlight),
 		base:   base,
 		cancel: cancel,
 		start:  time.Now(),
 	}
-	s.coal.onService = s.ewma.Observe
-	s.ladder = newLadder(cfg.Window, cfg.MaxBatch, s.coal.SetLimits)
+	s.ready.Store(!cfg.StartUnready)
+	if cfg.Engine != nil {
+		s.coal = NewCoalescer(base, cfg.Engine, cfg.Window, cfg.MaxBatch)
+		s.coal.onService = s.ewma.Observe
+		s.ladder = newLadder(cfg.Window, cfg.MaxBatch, s.coal.SetLimits)
+	} else {
+		// Router mode has no coalescer to throttle; the ladder still runs
+		// so insert shedding and the degraded /healthz signal work.
+		s.ladder = newLadder(cfg.Window, cfg.MaxBatch, func(time.Duration, int) {})
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux = mux
 	return s, nil
 }
+
+// SetReady flips the /readyz gate. Daemons that open their listener
+// before warming (shard mode) start with StartUnready and call
+// SetReady(true) once eager shards are loaded and WAL recovery is done.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 
 // Handler returns the server's HTTP handler with the standard
 // middleware (panic recovery) applied.
@@ -171,8 +208,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() {
-		s.coal.Close()
-		s.inflight.Wait() // /v1/batch work runs outside the coalescer
+		if s.coal != nil {
+			s.coal.Close()
+		}
+		s.inflight.Wait() // batch and routed work runs outside the coalescer
 		close(done)
 	}()
 	var err error
@@ -219,7 +258,7 @@ func (s *Server) buildRequest(wq Query) (asrs.QueryRequest, context.CancelFunc, 
 		}
 		// The current logical dataset (seed + ingested), so an example
 		// region's representation includes objects inserted into it.
-		q, err = asrs.QueryFromRegion(s.eng.CurrentDataset(), f, wq.Weights, rq)
+		q, err = asrs.QueryFromRegion(s.currentDataset(), f, wq.Weights, rq)
 		if err != nil {
 			return asrs.QueryRequest{}, nil, err
 		}
@@ -245,13 +284,29 @@ func (s *Server) buildRequest(wq Query) (asrs.QueryRequest, context.CancelFunc, 
 		return asrs.QueryRequest{}, nil, fmt.Errorf("delta must be non-negative, got %g", wq.Delta)
 	}
 	req := asrs.QueryRequest{Query: q, A: a, B: b, TopK: wq.TopK, Exclude: exclude}
+	if wq.Extent != nil {
+		ext := RectLib(*wq.Extent)
+		if !ext.IsValid() {
+			return asrs.QueryRequest{}, nil, fmt.Errorf("invalid extent: min must not exceed max")
+		}
+		req.Within = &ext
+	}
+	switch wq.Partial {
+	case "":
+	case string(shard.Strict), string(shard.BestEffort):
+		if s.router == nil {
+			return asrs.QueryRequest{}, nil, fmt.Errorf("partial is only valid on a sharded server")
+		}
+	default:
+		return asrs.QueryRequest{}, nil, fmt.Errorf("unknown partial policy %q (want strict or best_effort)", wq.Partial)
+	}
 	if wq.Delta > 0 {
 		// Pinning per-request options opts this query out of batch
 		// grouping (a δ-approximate answer must never be shared with an
 		// exact request); the search still coalesces into the superstep.
 		// Start from the engine's defaults so only δ changes — the
 		// operator's worker bound and grid settings must survive the pin.
-		opt := s.eng.SearchOptions()
+		opt := s.searchOptions()
 		opt.Delta = wq.Delta
 		req.Options = &opt
 	}
@@ -268,6 +323,75 @@ func (s *Server) buildRequest(wq Query) (asrs.QueryRequest, context.CancelFunc, 
 	ctx, cancel := context.WithTimeout(s.base, timeout)
 	req.Ctx = ctx
 	return req, cancel, nil
+}
+
+// currentDataset is the live logical corpus in either serving mode.
+func (s *Server) currentDataset() *asrs.Dataset {
+	if s.router != nil {
+		return s.router.Catalog().CurrentDataset()
+	}
+	return s.eng.CurrentDataset()
+}
+
+// searchOptions is the serving default search options in either mode.
+func (s *Server) searchOptions() asrs.Options {
+	if s.router != nil {
+		return s.router.Catalog().SearchOptions()
+	}
+	return s.eng.SearchOptions()
+}
+
+// schema is the serving schema in either mode.
+func (s *Server) schema() *asrs.Schema {
+	if s.router != nil {
+		return s.router.Catalog().Seed().Schema
+	}
+	return s.eng.Dataset().Schema
+}
+
+// routedRequest lifts a compiled engine request into the router's form.
+func (s *Server) routedRequest(wq Query, req asrs.QueryRequest) shard.Request {
+	partial := wq.Partial
+	if partial == "" {
+		partial = s.cfg.DefaultPartial
+	}
+	return shard.Request{
+		Query:   req.Query,
+		A:       req.A,
+		B:       req.B,
+		TopK:    req.TopK,
+		Exclude: req.Exclude,
+		Extent:  req.Within,
+		Policy:  shard.PartialPolicy(partial),
+		Options: req.Options,
+	}
+}
+
+// routedResponseWire converts a router response to the wire schema,
+// returning the HTTP status alongside. Coverage always rides along —
+// partial best_effort answers are only trustworthy with their skip list.
+func routedResponseWire(resp shard.Response, elapsed time.Duration) (Response, int) {
+	out := Response{ElapsedMS: float64(elapsed.Microseconds()) / 1e3}
+	cov := Coverage{Shards: resp.Coverage.Shards, Searched: resp.Coverage.Searched}
+	for _, sk := range resp.Coverage.Skipped {
+		cov.Skipped = append(cov.Skipped, SkippedShard{Shard: sk.Shard, Reason: sk.Reason})
+	}
+	out.Coverage = &cov
+	if resp.Err != nil {
+		status, code, retryable := classify(resp.Err)
+		out.Error, out.Code, out.Retryable = resp.Err.Error(), code, retryable
+		return out, status
+	}
+	out.Results = make([]Result, len(resp.Regions))
+	for i := range resp.Regions {
+		out.Results[i] = Result{
+			Region: RectWire(resp.Regions[i]),
+			Point:  Point{X: resp.Results[i].Point.X, Y: resp.Results[i].Point.Y},
+			Dist:   resp.Results[i].Dist,
+			Rep:    resp.Results[i].Rep,
+		}
+	}
+	return out, http.StatusOK
 }
 
 // statusFor maps an engine response error to its HTTP status (the
@@ -290,6 +414,16 @@ func writeError(w http.ResponseWriter, status int, code string, retryable bool, 
 	writeJSON(w, status, Response{Error: fmt.Sprintf(format, args...), Code: code, Retryable: retryable})
 }
 
+// writeDraining writes the draining 503. It carries the same jittered
+// Retry-After as overload shedding: drain is equally transient (the
+// replacement process or another replica comes up on the order of the
+// service time), and the jitter keeps shed clients from returning in
+// lockstep.
+func (s *Server) writeDraining(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+	writeError(w, http.StatusServiceUnavailable, CodeDraining, true, "server is draining")
+}
+
 // admit acquires n admission tokens — one per query, so a client batch
 // weighs what it costs and cannot sidestep MaxInFlight by bundling —
 // or sheds. ok=false means the 429 (or 503 during drain) has already
@@ -297,7 +431,7 @@ func writeError(w http.ResponseWriter, status int, code string, retryable bool, 
 // nReceived (at handler entry, so decode failures count too).
 func (s *Server) admit(w http.ResponseWriter, n int) bool {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, CodeDraining, true, "server is draining")
+		s.writeDraining(w)
 		return false
 	}
 	for got := 0; got < n; got++ {
@@ -369,6 +503,29 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	stopWatch := context.AfterFunc(r.Context(), cancel)
 	defer stopWatch()
 
+	if s.router != nil {
+		// Routed queries bypass the coalescer (the router fans out
+		// internally) but register with the drain like batch work, so
+		// Shutdown waits for them before closing shard engines.
+		s.drainMu.RLock()
+		if s.draining.Load() {
+			s.drainMu.RUnlock()
+			s.writeDraining(w)
+			return
+		}
+		s.inflight.Add(1)
+		s.drainMu.RUnlock()
+		defer s.inflight.Done()
+		resp := s.router.Query(req.Ctx, s.routedRequest(wq, req))
+		s.ewma.Observe(time.Since(start))
+		wresp, status := routedResponseWire(resp, time.Since(start))
+		if status == http.StatusGatewayTimeout {
+			s.nTimeouts.Add(1)
+		}
+		writeJSON(w, status, wresp)
+		return
+	}
+
 	deliver := func(resp asrs.QueryResponse) {
 		status := statusFor(resp.Err)
 		if status == http.StatusGatewayTimeout {
@@ -380,7 +537,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	select {
 	case resp, ok := <-done:
 		if !ok { // coalescer closed between admit and submit
-			writeError(w, http.StatusServiceUnavailable, CodeDraining, true, "server is draining")
+			s.writeDraining(w)
 			return
 		}
 		deliver(resp)
@@ -465,7 +622,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.RLock()
 	if s.draining.Load() {
 		s.drainMu.RUnlock()
-		writeError(w, http.StatusServiceUnavailable, CodeDraining, true, "server is draining")
+		s.writeDraining(w)
 		return
 	}
 	s.inflight.Add(1)
@@ -502,13 +659,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			}
 		})
 		defer stopWatch()
-		out := s.eng.QueryBatchCtx(s.base, sub)
-		for k, i := range run {
-			if errors.Is(out[k].Err, context.DeadlineExceeded) {
-				s.nTimeouts.Add(1)
+		if s.router != nil {
+			// Routed batches run query-by-query: the router's parallelism
+			// is across shards, not across queries, and sequential rounds
+			// keep per-shard deadline budgets meaningful.
+			for k, i := range run {
+				resp := s.router.Query(sub[k].Ctx, s.routedRequest(wb.Queries[i], sub[k]))
+				wresp, status := routedResponseWire(resp, time.Since(start))
+				if status == http.StatusGatewayTimeout {
+					s.nTimeouts.Add(1)
+				}
+				wresp.Status = status
+				resps[i] = wresp
 			}
-			resps[i] = ResponseWire(out[k], time.Since(start))
-			resps[i].Status = statusFor(out[k].Err)
+			s.ewma.Observe(time.Since(start))
+		} else {
+			out := s.eng.QueryBatchCtx(s.base, sub)
+			for k, i := range run {
+				if errors.Is(out[k].Err, context.DeadlineExceeded) {
+					s.nTimeouts.Add(1)
+				}
+				resps[i] = ResponseWire(out[k], time.Since(start))
+				resps[i].Status = statusFor(out[k].Err)
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{
@@ -569,16 +742,20 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.RLock()
 	if s.draining.Load() {
 		s.drainMu.RUnlock()
-		writeError(w, http.StatusServiceUnavailable, CodeDraining, true, "server is draining")
+		s.writeDraining(w)
 		return
 	}
 	s.inflight.Add(1)
 	s.drainMu.RUnlock()
 	defer s.inflight.Done()
 
-	if err := s.eng.InsertBatch(objs); err != nil {
+	insert := s.insertBatch
+	if s.router != nil {
+		insert = s.router.Insert
+	}
+	if err := insert(objs); err != nil {
 		if errors.Is(err, asrs.ErrEngineClosed) {
-			writeError(w, http.StatusServiceUnavailable, CodeDraining, true, "server is draining")
+			s.writeDraining(w)
 			return
 		}
 		// The append did not acknowledge, so nothing was staged: the
@@ -589,16 +766,33 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, InsertResponse{
 		Ingested:      len(objs),
-		TotalIngested: s.eng.Stats().Ingested,
+		TotalIngested: s.totalIngested(),
 		ElapsedMS:     float64(time.Since(start).Microseconds()) / 1e3,
 	})
+}
+
+func (s *Server) insertBatch(objs []asrs.Object) error { return s.eng.InsertBatch(objs) }
+
+// totalIngested counts every object ingested since the seed corpus —
+// summed across shards in router mode.
+func (s *Server) totalIngested() int64 {
+	if s.router == nil {
+		return s.eng.Stats().Ingested
+	}
+	var total int64
+	for _, sh := range s.router.Catalog().Shards() {
+		if eng := sh.Loaded(); eng != nil {
+			total += eng.Stats().Ingested
+		}
+	}
+	return total
 }
 
 // decodeInsertObjects converts wire objects to library objects against
 // the serving schema: every attribute must be present, categorical
 // values arrive as domain labels, numeric values as numbers.
 func (s *Server) decodeInsertObjects(in []InsertObject) ([]asrs.Object, error) {
-	schema := s.eng.Dataset().Schema
+	schema := s.schema()
 	n := schema.Len()
 	out := make([]asrs.Object, len(in))
 	for i, wo := range in {
@@ -635,14 +829,15 @@ func (s *Server) decodeInsertObjects(in []InsertObject) ([]asrs.Object, error) {
 	return out, nil
 }
 
-// handleHealthz serves GET /healthz: 200 while serving, 503 once the
-// drain begins (load balancers stop routing before the listener
-// closes). A server in brownout reports status "degraded" with its
-// ladder level — still 200, because it IS serving; degraded is
-// advisory (alerting, dashboards), not a routing signal.
+// handleHealthz serves GET /healthz: pure liveness. It answers 200 as
+// long as the process serves HTTP — including while draining or warming
+// — so orchestrators never kill a process that is merely finishing or
+// starting work. The payload carries the advisory state ("ok",
+// "degraded" with the brownout level, "draining"); routing decisions
+// belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		writeJSON(w, http.StatusOK, map[string]any{"status": "draining"})
 		return
 	}
 	if level := s.ladder.Level(); level > 0 {
@@ -650,6 +845,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReadyz serves GET /readyz: the routing signal. 503 while
+// draining (load balancers stop sending work before the listener
+// closes) and while warming (eagerly-loaded shards and WAL recovery
+// haven't finished — see SetReady); 200 once the server should receive
+// traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "warming"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
 
 // Stats is the GET /stats document: server-level serving counters plus
@@ -690,6 +902,9 @@ type Stats struct {
 	Composites []string         `json:"composites"`
 	Coalescer  CoalescerStats   `json:"coalescer"`
 	Engine     asrs.EngineStats `json:"engine"`
+	// Shards is the per-shard breakdown (slab bounds, load state,
+	// breaker state, engine counters) on a sharded server; nil otherwise.
+	Shards *shard.RouterStats `json:"shards,omitempty"`
 }
 
 // handleStats serves GET /stats.
@@ -699,7 +914,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	effWindow, effBatch := s.coal.Limits()
+	effWindow, effBatch := s.cfg.Window, s.cfg.MaxBatch
+	var cstats CoalescerStats
+	var estats asrs.EngineStats
+	if s.coal != nil {
+		effWindow, effBatch = s.coal.Limits()
+		cstats = s.coal.Stats()
+	}
+	if s.eng != nil {
+		estats = s.eng.Stats()
+	}
+	var rstats *shard.RouterStats
+	if s.router != nil {
+		rs := s.router.Stats()
+		rstats = &rs
+	}
 	level := s.ladder.Level()
 	writeJSON(w, http.StatusOK, Stats{
 		UptimeSeconds:     time.Since(s.start).Seconds(),
@@ -719,7 +948,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		BrownoutEntries:   s.ladder.Entries(),
 		ServiceEWMAMS:     float64(s.ewma.Value().Microseconds()) / 1e3,
 		Composites:        names,
-		Coalescer:         s.coal.Stats(),
-		Engine:            s.eng.Stats(),
+		Coalescer:         cstats,
+		Engine:            estats,
+		Shards:            rstats,
 	})
 }

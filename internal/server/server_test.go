@@ -388,8 +388,10 @@ func TestServerSheds429(t *testing.T) {
 	}
 }
 
-// TestServerDrain: during and after Shutdown, /healthz reports 503 and
-// new queries are refused with 503.
+// TestServerDrain: after Shutdown, /readyz reports 503 (the routing
+// signal), /healthz stays 200 (pure liveness — the process still serves
+// HTTP), and new queries are refused with a 503 that carries a jittered
+// Retry-After.
 func TestServerDrain(t *testing.T) {
 	s, ts, _ := newTestServer(t, server.Config{})
 	_, _, reqs := corpus(t)
@@ -399,16 +401,38 @@ func TestServerDrain(t *testing.T) {
 	if err := s.Shutdown(ctx); err != nil {
 		t.Fatal(err)
 	}
+	rz, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rz.Body.Close()
+	if rz.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain = %d, want 503", rz.StatusCode)
+	}
 	hz, err := http.Get(ts.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
-	hz.Body.Close()
-	if hz.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz after drain = %d, want 503", hz.StatusCode)
+	var live map[string]any
+	if err := json.NewDecoder(hz.Body).Decode(&live); err != nil {
+		t.Fatal(err)
 	}
-	resp, _ := postJSON(t, ts.URL+"/v1/query", wireFor(reqs[0]))
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK || live["status"] != "draining" {
+		t.Fatalf("healthz after drain = %d %v, want 200 draining (liveness)", hz.StatusCode, live)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/query", wireFor(reqs[0]))
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("query after drain = %d, want 503", resp.StatusCode)
+	}
+	var wr server.Response
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Code != "draining" || !wr.Retryable {
+		t.Fatalf("drain refusal code %q retryable %v, want draining/true", wr.Code, wr.Retryable)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("draining 503 Retry-After = %q, want >= 1", ra)
 	}
 }

@@ -1,0 +1,272 @@
+package server_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"asrs"
+	"asrs/internal/dataset"
+	"asrs/internal/faultinject"
+	"asrs/internal/server"
+	"asrs/internal/shard"
+)
+
+// shardCorpus is the small routed-serving fixture: a random corpus, its
+// composite, and the routed query's target.
+func shardCorpus(t *testing.T) (*asrs.Dataset, *asrs.Composite) {
+	t.Helper()
+	ds := dataset.Random(60, 100, 77)
+	f, err := asrs.NewComposite(ds.Schema,
+		asrs.AggSpec{Kind: asrs.Distribution, Attr: "cat"},
+		asrs.AggSpec{Kind: asrs.Sum, Attr: "val"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, f
+}
+
+// newShardServer builds a 3-shard router-mode server over shardCorpus.
+func newShardServer(t *testing.T, cfg server.Config, breaker shard.BreakerConfig) (*server.Server, *httptest.Server, *shard.Router, *asrs.Dataset, *asrs.Composite) {
+	t.Helper()
+	ds, f := shardCorpus(t)
+	cat, err := shard.New(ds, shard.Config{
+		Shards:     3,
+		Composites: map[string]*asrs.Composite{"q": f},
+		Names:      []string{"q"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cat.Close() })
+	rt := shard.NewRouter(cat, shard.RouterOptions{Breaker: breaker})
+	cfg.Router = rt
+	cfg.Composites = map[string]*asrs.Composite{"q": f}
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s, ts, rt, ds, f
+}
+
+// TestServerRouterEndToEnd: a router-mode server must answer extent
+// queries — contained in one slab and straddling cuts — with the same
+// distance bits as a merged-corpus windowed search, report full shard
+// coverage, expose the per-shard /stats breakdown, and route inserts.
+func TestServerRouterEndToEnd(t *testing.T) {
+	_, ts, _, ds, f := newShardServer(t, server.Config{}, shard.BreakerConfig{})
+	q := asrs.Query{F: f, Target: []float64{1, 2, 1, 5}}
+	extents := []asrs.Rect{
+		{MinX: 2, MinY: 2, MaxX: 98, MaxY: 98}, // straddles every cut
+		{MinX: 1, MinY: 1, MaxX: 30, MaxY: 99}, // contained left
+		{MinX: 20, MinY: 10, MaxX: 80, MaxY: 90},
+	}
+	for _, e := range extents {
+		_, want, _, err := asrs.SearchWithin(ds, 7, 7, q, e, nil, asrs.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		we := server.RectWire(e)
+		resp, body := postJSON(t, ts.URL+"/v1/query", server.Query{
+			Composite: "q", A: 7, B: 7,
+			Target: append([]float64(nil), q.Target...),
+			Extent: &we,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("extent %+v: status = %d, body %s", e, resp.StatusCode, body)
+		}
+		var wr server.Response
+		if err := json.Unmarshal(body, &wr); err != nil {
+			t.Fatal(err)
+		}
+		if len(wr.Results) != 1 {
+			t.Fatalf("extent %+v: results = %d, want 1", e, len(wr.Results))
+		}
+		if math.Float64bits(wr.Results[0].Dist) != math.Float64bits(want.Dist) {
+			t.Fatalf("extent %+v: routed dist %v != merged dist %v", e, wr.Results[0].Dist, want.Dist)
+		}
+		if wr.Coverage == nil || wr.Coverage.Shards != 3 || len(wr.Coverage.Skipped) != 0 {
+			t.Fatalf("extent %+v: coverage = %+v, want 3 shards, no skips", e, wr.Coverage)
+		}
+	}
+
+	// The per-shard stats breakdown rides on /stats in router mode.
+	st := getStats(t, ts.URL)
+	if st.Shards == nil || len(st.Shards.Shards) != 3 {
+		t.Fatalf("stats.shards = %+v, want 3 shards", st.Shards)
+	}
+
+	// Inserts route by x through the shard engines' ingest path.
+	resp, body := postJSON(t, ts.URL+"/v1/insert", server.Insert{Objects: []server.InsertObject{
+		{X: 5, Y: 5, Values: map[string]any{"cat": "a", "val": 3.5}},
+		{X: 95, Y: 95, Values: map[string]any{"cat": "b", "val": -1.0}},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status = %d, body %s", resp.StatusCode, body)
+	}
+	var ir server.InsertResponse
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Ingested != 2 || ir.TotalIngested != 2 {
+		t.Fatalf("insert ack = %+v, want 2/2", ir)
+	}
+
+	// partial is a sharded-server knob with a closed vocabulary.
+	resp, _ = postJSON(t, ts.URL+"/v1/query", server.Query{
+		Composite: "q", A: 7, B: 7, Target: append([]float64(nil), q.Target...),
+		Partial: "bogus",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus partial = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerEngineExtent: a single-engine server serves the same extent
+// wire field through the windowed search path, and rejects the
+// shard-only partial knob.
+func TestServerEngineExtent(t *testing.T) {
+	ds, f := shardCorpus(t)
+	eng, err := asrs.NewEngine(ds, asrs.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := server.New(server.Config{Engine: eng, Composites: map[string]*asrs.Composite{"q": f}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	q := asrs.Query{F: f, Target: []float64{1, 2, 1, 5}}
+	e := asrs.Rect{MinX: 10, MinY: 10, MaxX: 90, MaxY: 90}
+	_, want, _, err := asrs.SearchWithin(ds, 7, 7, q, e, nil, asrs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	we := server.RectWire(e)
+	resp, body := postJSON(t, ts.URL+"/v1/query", server.Query{
+		Composite: "q", A: 7, B: 7,
+		Target: append([]float64(nil), q.Target...),
+		Extent: &we,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, body %s", resp.StatusCode, body)
+	}
+	var wr server.Response
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if len(wr.Results) != 1 || math.Float64bits(wr.Results[0].Dist) != math.Float64bits(want.Dist) {
+		t.Fatalf("windowed dist %+v != oracle %v", wr.Results, want.Dist)
+	}
+	if wr.Coverage != nil {
+		t.Fatalf("engine-mode response has coverage %+v", wr.Coverage)
+	}
+
+	resp, _ = postJSON(t, ts.URL+"/v1/query", server.Query{
+		Composite: "q", A: 7, B: 7, Target: append([]float64(nil), q.Target...),
+		Partial: "strict",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partial on engine server = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestServerShardUnavailable: when every shard is lost (panic faults
+// trip threshold-1 breakers with an hour of backoff), a strict routed
+// query answers 503 with the typed shard_unavailable code, retryable,
+// and coverage naming each skipped shard; best_effort with zero
+// survivors is equally a 503.
+func TestServerShardUnavailable(t *testing.T) {
+	_, ts, _, _, _ := newShardServer(t, server.Config{}, shard.BreakerConfig{
+		FailureThreshold: 1,
+		BaseBackoff:      time.Hour,
+		MaxBackoff:       time.Hour,
+	})
+	t.Cleanup(faultinject.Deactivate)
+	faultinject.Activate(faultinject.NewPlan(1,
+		faultinject.Spec{Point: "shard.search.panic", Action: faultinject.ActPanic, MaxEvery: 1},
+	))
+
+	q := []float64{1, 2, 1, 5}
+	straddler := server.Rect{MinX: 2, MinY: 2, MaxX: 98, MaxY: 98}
+	for _, partial := range []string{"strict", "best_effort"} {
+		resp, body := postJSON(t, ts.URL+"/v1/query", server.Query{
+			Composite: "q", A: 7, B: 7,
+			Target:  append([]float64(nil), q...),
+			Extent:  &straddler,
+			Partial: partial,
+		})
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s: status = %d, body %s", partial, resp.StatusCode, body)
+		}
+		var wr server.Response
+		if err := json.Unmarshal(body, &wr); err != nil {
+			t.Fatal(err)
+		}
+		if wr.Code != "shard_unavailable" || !wr.Retryable {
+			t.Fatalf("%s: code %q retryable %v, want shard_unavailable/true", partial, wr.Code, wr.Retryable)
+		}
+		if wr.Coverage == nil || len(wr.Coverage.Skipped) == 0 {
+			t.Fatalf("%s: coverage %+v, want named skips", partial, wr.Coverage)
+		}
+	}
+
+	// The per-shard breaker state is visible in /stats.
+	st := getStats(t, ts.URL)
+	if st.Shards == nil {
+		t.Fatal("stats.shards missing in router mode")
+	}
+	open := 0
+	for _, si := range st.Shards.Shards {
+		if si.Breaker.State == "open" {
+			open++
+		}
+	}
+	if open == 0 {
+		t.Fatalf("no open breakers after total loss: %+v", st.Shards.Shards)
+	}
+}
+
+// TestServerReadyz: a StartUnready server reports warming on /readyz
+// (while /healthz stays live) until SetReady flips the gate.
+func TestServerReadyz(t *testing.T) {
+	s, ts, _, _, _ := newShardServer(t, server.Config{StartUnready: true}, shard.BreakerConfig{})
+
+	check := func(path string, wantStatus int, wantState string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var pl map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&pl); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != wantStatus || pl["status"] != wantState {
+			t.Fatalf("%s = %d %v, want %d %q", path, resp.StatusCode, pl, wantStatus, wantState)
+		}
+	}
+	check("/readyz", http.StatusServiceUnavailable, "warming")
+	check("/healthz", http.StatusOK, "ok")
+	s.SetReady(true)
+	check("/readyz", http.StatusOK, "ready")
+}

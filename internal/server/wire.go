@@ -62,6 +62,16 @@ type Query struct {
 	Exclude []Rect `json:"exclude,omitempty"`
 	// Delta selects the (1+δ)-approximate search (0 = exact).
 	Delta float64 `json:"delta,omitempty"`
+	// Extent restricts answers to regions contained in the closed
+	// rectangle. On a sharded server this is the routing key (extents
+	// inside one shard's slab answer from that shard alone); on a
+	// single-engine server it runs the windowed search directly.
+	Extent *Rect `json:"extent,omitempty"`
+	// Partial is the shard partial-result policy: "strict" (default —
+	// fail with shard_unavailable if any needed shard is down) or
+	// "best_effort" (answer from survivors, report skips in coverage).
+	// Only valid on a sharded server.
+	Partial string `json:"partial,omitempty"`
 	// TimeoutMS bounds this query individually; 0 selects the server's
 	// default, and values above the server's maximum are clamped.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
@@ -94,8 +104,26 @@ type Response struct {
 	Retryable bool `json:"retryable,omitempty"`
 	// Status is the per-query HTTP-style status code, set on batch
 	// responses (0 on /v1/query, whose transport status says the same).
-	Status    int     `json:"status,omitempty"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Status int `json:"status,omitempty"`
+	// Coverage reports, on a sharded server, which shards produced this
+	// answer and which were skipped (best_effort answers may be partial;
+	// a complete answer has an empty skip list). Nil on single-engine
+	// servers.
+	Coverage  *Coverage `json:"coverage,omitempty"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// Coverage is the wire form of a routed answer's shard coverage.
+type Coverage struct {
+	Shards   int            `json:"shards"`
+	Searched []string       `json:"searched,omitempty"`
+	Skipped  []SkippedShard `json:"skipped,omitempty"`
+}
+
+// SkippedShard names one shard a routed answer had to skip, and why.
+type SkippedShard struct {
+	Shard  string `json:"shard"`
+	Reason string `json:"reason"`
 }
 
 // Batch is the POST /v1/batch request body.

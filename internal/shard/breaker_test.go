@@ -1,0 +1,117 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-stepped clock for breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time { return c.t }
+
+func newTestBreaker(threshold int) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: threshold,
+		BaseBackoff:      100 * time.Millisecond,
+		MaxBackoff:       time.Second,
+		Seed:             42,
+		Now:              clk.now,
+	})
+	return b, clk
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b, _ := newTestBreaker(3)
+	for i := 0; i < 2; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker still closed after threshold failures")
+	}
+	if st := b.Status(); st.State != "open" || st.Trips != 1 {
+		t.Fatalf("status %+v, want open with 1 trip", st)
+	}
+}
+
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	b, _ := newTestBreaker(3)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if !b.Allow() {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(1)
+	b.Failure()
+	if b.Allow() {
+		t.Fatal("breaker closed right after trip")
+	}
+	// Jitter keeps the open interval within [backoff/2, backoff]; one
+	// full backoff later the probe must be admitted.
+	clk.t = clk.t.Add(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no half-open probe after the backoff elapsed")
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted while half-open")
+	}
+	b.Success()
+	if st := b.Status(); st.State != "closed" {
+		t.Fatalf("probe success left state %q", st.State)
+	}
+	if !b.Allow() {
+		t.Fatal("breaker not serving after successful probe")
+	}
+}
+
+func TestBreakerReTripDoublesBackoff(t *testing.T) {
+	b, clk := newTestBreaker(1)
+	b.Failure()
+	clk.t = clk.t.Add(100 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe")
+	}
+	b.Failure() // failed probe: re-trip with doubled backoff
+	if st := b.Status(); st.State != "open" || st.Trips != 2 {
+		t.Fatalf("status %+v, want re-tripped", st)
+	}
+	// Half the doubled backoff is the jitter floor; before it no probe.
+	clk.t = clk.t.Add(99 * time.Millisecond)
+	if b.Allow() {
+		t.Fatal("probe admitted before the doubled backoff's jitter floor")
+	}
+	clk.t = clk.t.Add(101 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe after the full doubled backoff")
+	}
+	b.Success()
+	// Recovery resets the ladder to the base backoff.
+	b.Failure()
+	if st := b.Status(); st.State != "open" || st.RetryInMS > 100 {
+		t.Fatalf("backoff ladder not reset after recovery: %+v", st)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	b := NewBreaker(BreakerConfig{Disable: true})
+	for i := 0; i < 10; i++ {
+		b.Failure()
+	}
+	if !b.Allow() {
+		t.Fatal("disabled breaker rejected a request")
+	}
+	if st := b.Status(); st.State != "disabled" {
+		t.Fatalf("status %+v", st)
+	}
+}

@@ -272,7 +272,7 @@ func (s *Solver) SolveWithin(space geom.Rect) (asp.Result, bool) {
 	found := false
 
 	if s.incremental && len(s.rects) >= incrMinRects && len(s.rects) <= s.incrCap &&
-		len(ys) >= 2 && space.MinY != space.MaxY {
+		len(ys) >= 2 && space.MinY != space.MaxY && space.MinX != space.MaxX {
 		found = s.solveWithinIncremental(space, &best)
 		return best, found
 	}
@@ -337,6 +337,20 @@ func (s *Solver) scanStrip(ym float64, space geom.Rect, acc *agg.Accumulator, re
 			best.Rep = append(best.Rep[:0], rep...)
 		}
 		found = true
+	}
+	if space.MinX == space.MaxX {
+		// Degenerate zero-width space: a single candidate column. The
+		// interval walk below cannot reach it (its early-out fires
+		// before the covering set assembles), so assemble the open
+		// covering set at the column directly and evaluate once.
+		for _, i := range ins {
+			r := s.rects[i].Rect
+			if r.MinX < space.MinX && space.MinX < r.MaxX && active(i) {
+				acc.Add(s.rects[i].Obj)
+			}
+		}
+		evaluate(space.MaxX)
+		return found
 	}
 	for ii < len(ins) || oi < len(outs) {
 		var x float64
