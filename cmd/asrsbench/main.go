@@ -41,7 +41,7 @@ func main() {
 		n        = flag.Int("n", 100000, "dataset cardinality for -parallel-json")
 		workers  = flag.String("workers", "1,2,4,8", "comma-separated worker counts for -parallel-json")
 		batch    = flag.Int("batch", 0, "kernel superstep batch size for -parallel-json (0 = kernel default)")
-		workload = flag.String("workload", "f1", "composite workload for -parallel-json: f1 (integer fD on tweet), f2q (real-valued fS+fA on the dyadic-quantized POI corpus), batch (multi-query batch of overlapping Singapore extents: PR-3 per-query path vs the pyramid-amortized batched path), serve (closed-loop HTTP serving: coalescing window collector vs per-request dispatch at equal workers), scaling (strip-evaluator A/B at workers=1 plus the workers=1..max-workers curve on both the batched and serve workloads), ingest (durable streaming ingest: WAL throughput per sync policy, staged-delta vs static query cost, boot-time recovery replay), or shard (multi-shard routing: contained vs straddling extent mixes routed vs single-engine, plus the breaker trip/recovery timeline under injected shard panics)")
+		workload = flag.String("workload", "f1", "composite workload for -parallel-json: f1 (integer fD on tweet), f2q (real-valued fS+fA on the dyadic-quantized POI corpus), batch (multi-query batch of overlapping Singapore extents: PR-3 per-query path vs the pyramid-amortized batched path), serve (closed-loop HTTP serving: coalescing window collector vs per-request dispatch at equal workers), scaling (strip-evaluator A/B at workers=1 plus the workers=1..max-workers curve on both the batched and serve workloads), ingest (durable streaming ingest: WAL throughput per sync policy, staged-delta vs static query cost, boot-time recovery replay), query (declarative frontend: parse+plan cost vs hand-wired structs, and streaming time-to-first-result vs one-shot top-k), or shard (multi-shard routing: contained vs straddling extent mixes routed vs single-engine, plus the breaker trip/recovery timeline under injected shard panics)")
 		queries  = flag.Int("queries", 24, "requests per batch for -workload batch/scaling; requests per client for -workload serve/scaling; extents per mode for -workload shard")
 		clients  = flag.Int("clients", 32, "concurrent closed-loop clients for -workload serve (-workload scaling defaults to 8, -workload shard to 8)")
 		shards   = flag.Int("shards", 4, "shard count for -workload shard")
@@ -147,6 +147,15 @@ func runParallelBench(path string, n int, seed int64, workerList string, batch i
 				cfg.Clients = clients
 			}
 			return harness.RunShardBench(out, cfg)
+		}
+		if workload == "query" {
+			// -queries keeps its batch default of 24; the frontend bench's
+			// top-k depth defaults to 8, so only explicit values pass.
+			cfg := harness.QueryBenchConfig{N: n, Seed: seed, BaselineNs: baseNs, Note: note}
+			if queries != 24 {
+				cfg.K = queries
+			}
+			return harness.RunQueryBench(out, cfg)
 		}
 		if workload == "ingest" {
 			cfg := harness.IngestBenchConfig{N: n, Batch: batch, Queries: queries, Seed: seed, BaselineNs: baseNs, Note: note}

@@ -24,6 +24,14 @@
 //	  "exclude_region": true}'
 //	curl -s -X POST localhost:8080/v1/insert -d '{
 //	  "objects": [{"x":103.84,"y":1.30,"values":{"category":"Food"}}]}'
+//	curl -s -X POST localhost:8080/v1/search -d '{
+//	  "q": "find top 2 similar to region(103.827,1.298,103.843,1.310) under @category excluding example"}'
+//
+// /v1/search is the query-language front door (README "Query language",
+// DESIGN.md §12): expressions compile to the same engine requests as
+// /v1/query — bit-identical answers — and results stream back as
+// NDJSON, one row per answer as each greedy round finishes. Prefix the
+// query with "explain" to get the compiled plan instead of results.
 //
 // Multi-shard mode (-shards N or -shard-cuts) splits the corpus into
 // x-slab shards, each its own engine/pyramid/WAL fault domain behind a

@@ -12,9 +12,12 @@
 //	asrsquery -dataset tweet -workers 8                 # explicit search worker pool
 //	asrsquery -dataset tweet -pyramid tweet.pyr         # bind the aggregate pyramid (built+saved on first use)
 //	asrsquery -dataset singapore -json                  # machine-readable output (the asrsd wire schema)
+//	asrsquery -dataset singapore -q 'find top 3 similar to region(103.827,1.298,103.843,1.310) under @category excluding example'
+//	asrsquery -dataset tweet -q 'explain find size 2 x 2 similar to target(0,0,0,0,0,1,1) under dist(day)'
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,7 +26,8 @@ import (
 
 	"asrs"
 	"asrs/internal/dataset"
-	"asrs/internal/server"
+	"asrs/internal/query"
+	"asrs/internal/wire"
 )
 
 func main() {
@@ -38,10 +42,18 @@ func main() {
 		workers = flag.Int("workers", 0, "search worker pool size (<=0 = GOMAXPROCS); the answer is identical for any setting")
 		pyrPath = flag.String("pyramid", "", "aggregate-pyramid file: load the per-composite pyramid from this path instead of rebuilding the query's aggregation layer (the file is built and saved on first use); answers are identical either way")
 		jsonOut = flag.Bool("json", false, "emit the answer as JSON in the asrsd wire schema (one format for CLI and daemon)")
+		qText   = flag.String("q", "", "run a query-language expression over the chosen dataset instead of the canned query (see README \"Query language\"; 'explain …' prints the plan report). Results stream as they are found; with -json each row is one NDJSON line, the same rows POST /v1/search would send")
 		debug   = flag.Bool("debug", false, "print search work counters, including the mini-sweep strip-evaluator selection (flat prefix scan vs Fenwick walks; DESIGN.md §8)")
 	)
 	flag.Parse()
 
+	if *qText != "" {
+		if err := runExpr(*dsName, *n, *seed, *workers, *qText, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "asrsquery:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*dsName, *n, *k, *algo, *grid, *delta, *seed, *workers, *pyrPath, *jsonOut, *debug); err != nil {
 		fmt.Fprintln(os.Stderr, "asrsquery:", err)
 		os.Exit(1)
@@ -55,7 +67,7 @@ func emitJSON(region asrs.Rect, res asrs.Result, elapsed time.Duration) error {
 	resp := asrs.QueryResponse{Regions: []asrs.Rect{region}, Results: []asrs.Result{res}}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(server.ResponseWire(resp, elapsed))
+	return enc.Encode(wire.ResponseWire(resp, elapsed))
 }
 
 // infof prints an informational line: to stdout normally, to stderr in
@@ -177,6 +189,87 @@ func run(dsName string, n, k int, algo string, grid int, delta float64, seed int
 	fmt.Printf("distance:       %.4f\n", res.Dist)
 	fmt.Printf("representation: %.4g\n", res.Rep)
 	fmt.Printf("elapsed:        %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runExpr serves a query-language expression from the CLI: the same
+// parse → plan → lazy-stream pipeline as POST /v1/search, over a local
+// engine. Rows print as each greedy round finishes.
+func runExpr(dsName string, n int, seed int64, workers int, src string, jsonOut bool) error {
+	if jsonOut {
+		infoOut = os.Stderr
+	}
+	var (
+		ds    *asrs.Dataset
+		named map[string]*asrs.Composite
+	)
+	switch dsName {
+	case "tweet":
+		ds = dataset.Tweet(n, seed)
+	case "poisyn":
+		ds = dataset.POISyn(n, seed)
+	case "singapore":
+		ds = dataset.SingaporePOI(seed)
+		f, err := asrs.NewComposite(ds.Schema, asrs.AggSpec{Kind: asrs.Distribution, Attr: "category"})
+		if err != nil {
+			return err
+		}
+		named = map[string]*asrs.Composite{"category": f}
+	default:
+		return fmt.Errorf("unknown dataset %q", dsName)
+	}
+
+	p := query.NewPlanner(ds.Schema, named)
+	pl, err := p.ParseAndPlan(src)
+	if err != nil {
+		return err
+	}
+	eng, err := asrs.NewEngine(ds, asrs.EngineOptions{Search: asrs.Options{Workers: workers}})
+	if err != nil {
+		return err
+	}
+	if pl.Explain {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(pl.Report(eng.CurrentDataset(), false))
+	}
+
+	infof("dataset=%s n=%d canonical=%q\n", dsName, len(ds.Objects), pl.Canonical)
+	start := time.Now()
+	st, err := query.Exec(context.Background(), pl, query.EngineBinding{E: eng})
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(os.Stdout)
+	count := 0
+	for {
+		row, ok := st.Next()
+		if !ok {
+			break
+		}
+		count++
+		if jsonOut {
+			enc.Encode(wire.SearchRow{
+				Rank: row.Rank,
+				Result: &wire.Result{
+					Region: wire.RectWire(row.Region),
+					Point:  wire.Point{X: row.Result.Point.X, Y: row.Result.Point.Y},
+					Dist:   row.Result.Dist,
+					Rep:    row.Result.Rep,
+				},
+			})
+			continue
+		}
+		fmt.Printf("#%d region %v  dist %.4f\n", row.Rank, row.Region, row.Result.Dist)
+	}
+	if err := st.Err(); err != nil {
+		return err
+	}
+	if jsonOut {
+		return enc.Encode(wire.SearchRow{Done: true, Count: count,
+			ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3})
+	}
+	infof("%d rows in %v\n", count, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -1,0 +1,263 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"asrs"
+	"asrs/internal/agg"
+	"asrs/internal/dataset"
+	"asrs/internal/query"
+)
+
+// QueryBenchConfig drives the query-language frontend benchmark behind
+// BENCH_PR10.json: what the declarative layer costs over hand-wired
+// structs (parse+plan nanoseconds, amortized and cold), and what lazy
+// streaming buys (time-to-first-result vs one-shot materialization of
+// the full top-k). Every compiled plan is checked bit-identical to the
+// hand-wired request's answer before anything is timed, so the bench
+// doubles as an acceptance check for the frontend (DESIGN.md §12).
+type QueryBenchConfig struct {
+	N     int // corpus cardinality (default 20000)
+	K     int // top-k depth for the streaming comparison (default 8)
+	Iters int // parse+plan timing iterations (default 2000)
+	Seed  int64
+	// BaselineNs optionally records an externally measured reference
+	// ns/op for provenance.
+	BaselineNs int64
+	Note       string
+}
+
+func (c QueryBenchConfig) normalized() QueryBenchConfig {
+	if c.N <= 0 {
+		c.N = 20000
+	}
+	if c.K <= 0 {
+		c.K = 8
+	}
+	if c.Iters <= 0 {
+		c.Iters = 2000
+	}
+	return c
+}
+
+// QueryBenchReport is the persisted result document.
+type QueryBenchReport struct {
+	Benchmark  string `json:"benchmark"`
+	Dataset    string `json:"dataset"`
+	N          int    `json:"n"`
+	K          int    `json:"k"`
+	Iters      int    `json:"iters"`
+	Seed       int64  `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Host       Host   `json:"host"`
+
+	// Query is the benchmarked query text.
+	Query string `json:"query"`
+
+	// ParsePlanColdNs compiles with a fresh planner each iteration: the
+	// composite is type-checked and built every time (a first-contact
+	// client, or one query shape per process).
+	ParsePlanColdNs int64 `json:"parse_plan_cold_ns"`
+	// ParsePlanWarmNs reuses one planner: the interner returns the
+	// composite singleton and only parsing + request shaping remain (a
+	// serving daemon compiling repeated query shapes).
+	ParsePlanWarmNs int64 `json:"parse_plan_warm_ns"`
+	// HandWiredNs builds the equivalent asrs.QueryRequest from a
+	// prebuilt composite — the struct client being displaced.
+	HandWiredNs int64 `json:"hand_wired_ns"`
+	// WarmOverheadNs is ParsePlanWarmNs - HandWiredNs: the steady-state
+	// per-query cost of the text frontend.
+	WarmOverheadNs int64 `json:"warm_overhead_ns"`
+
+	// ExecOneShotNs runs the hand-wired top-k request to completion.
+	ExecOneShotNs int64 `json:"exec_one_shot_ns"`
+	// ExecStreamTotalNs drains the compiled plan's lazy stream (k greedy
+	// rounds; the full-set cost of the streaming strategy).
+	ExecStreamTotalNs int64 `json:"exec_stream_total_ns"`
+	// StreamFirstRowNs is time-to-first-result: Exec plus one Next.
+	StreamFirstRowNs int64 `json:"stream_first_row_ns"`
+	// FirstRowSpeedup is ExecOneShotNs / StreamFirstRowNs: how much
+	// sooner the first answer is on the wire under streaming.
+	FirstRowSpeedup float64 `json:"first_row_speedup"`
+
+	// BitIdentical records the pre-timing acceptance check: every stream
+	// row equal (Float64bits) to the one-shot answer.
+	BitIdentical bool `json:"bit_identical"`
+
+	BaselineNs int64  `json:"baseline_ns,omitempty"`
+	Note       string `json:"note,omitempty"`
+}
+
+// RunQueryBench measures the query frontend and writes the JSON report.
+func RunQueryBench(out io.Writer, cfg QueryBenchConfig) error {
+	cfg = cfg.normalized()
+	ds := dataset.Random(cfg.N, 100, cfg.Seed)
+	f := agg.MustNew(ds.Schema,
+		agg.Spec{Kind: agg.Distribution, Attr: "cat"},
+		agg.Spec{Kind: agg.Sum, Attr: "val"},
+	)
+	src := fmt.Sprintf("find top %d size 8 x 8 similar to target(1,2,1,5) under dist(cat) + sum(val)", cfg.K)
+	target := []float64{1, 2, 1, 5}
+
+	eng, err := asrs.NewEngine(ds, asrs.EngineOptions{})
+	if err != nil {
+		return err
+	}
+	handWired := func() (asrs.QueryRequest, error) {
+		q, err := asrs.QueryFromTarget(f, target, nil)
+		if err != nil {
+			return asrs.QueryRequest{}, err
+		}
+		return asrs.QueryRequest{Query: q, A: 8, B: 8, TopK: cfg.K}, nil
+	}
+
+	// --- acceptance: the compiled plan's stream must reproduce the
+	// hand-wired one-shot answer bit for bit before anything is timed.
+	planner := query.NewPlanner(ds.Schema, nil)
+	pl, err := planner.ParseAndPlan(src)
+	if err != nil {
+		return err
+	}
+	ref, err := handWired()
+	if err != nil {
+		return err
+	}
+	want := eng.QueryCtx(context.Background(), ref)
+	if want.Err != nil {
+		return want.Err
+	}
+	st, err := query.Exec(context.Background(), pl, query.EngineBinding{E: eng})
+	if err != nil {
+		return err
+	}
+	regions, results, err := st.Collect()
+	if err != nil {
+		return err
+	}
+	if len(regions) != len(want.Regions) {
+		return fmt.Errorf("harness: stream emitted %d regions, one-shot answered %d", len(regions), len(want.Regions))
+	}
+	for i := range regions {
+		if !rectBitsEqual(regions[i], want.Regions[i]) ||
+			math.Float64bits(results[i].Dist) != math.Float64bits(want.Results[i].Dist) {
+			return fmt.Errorf("harness: stream row %d differs from one-shot answer", i)
+		}
+	}
+
+	report := QueryBenchReport{
+		Benchmark:    "query-frontend/random",
+		Dataset:      "random",
+		N:            cfg.N,
+		K:            cfg.K,
+		Iters:        cfg.Iters,
+		Seed:         cfg.Seed,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+		Host:         CollectHost(),
+		Query:        src,
+		BitIdentical: true,
+		BaselineNs:   cfg.BaselineNs,
+		Note:         cfg.Note,
+	}
+
+	// --- parse+plan cost.
+	report.ParsePlanColdNs = timeOp(cfg.Iters, func() error {
+		p := query.NewPlanner(ds.Schema, nil)
+		_, err := p.ParseAndPlan(src)
+		return err
+	})
+	report.ParsePlanWarmNs = timeOp(cfg.Iters, func() error {
+		_, err := planner.ParseAndPlan(src)
+		return err
+	})
+	report.HandWiredNs = timeOp(cfg.Iters, func() error {
+		_, err := handWired()
+		return err
+	})
+	report.WarmOverheadNs = report.ParsePlanWarmNs - report.HandWiredNs
+
+	// --- execution: one-shot vs lazy stream, warmed engine, best of a
+	// few repeats so a stray scheduling hiccup can't skew the headline.
+	const repeats = 5
+	report.ExecOneShotNs = bestOf(repeats, func() (int64, error) {
+		req, _ := handWired()
+		start := time.Now()
+		resp := eng.QueryCtx(context.Background(), req)
+		if resp.Err != nil {
+			return 0, resp.Err
+		}
+		return time.Since(start).Nanoseconds(), nil
+	})
+	report.ExecStreamTotalNs = bestOf(repeats, func() (int64, error) {
+		start := time.Now()
+		st, err := query.Exec(context.Background(), pl, query.EngineBinding{E: eng})
+		if err != nil {
+			return 0, err
+		}
+		if _, _, err := st.Collect(); err != nil {
+			return 0, err
+		}
+		return time.Since(start).Nanoseconds(), nil
+	})
+	report.StreamFirstRowNs = bestOf(repeats, func() (int64, error) {
+		start := time.Now()
+		st, err := query.Exec(context.Background(), pl, query.EngineBinding{E: eng})
+		if err != nil {
+			return 0, err
+		}
+		if _, ok := st.Next(); !ok {
+			return 0, fmt.Errorf("harness: stream produced no first row: %v", st.Err())
+		}
+		return time.Since(start).Nanoseconds(), nil
+	})
+	if report.StreamFirstRowNs > 0 {
+		report.FirstRowSpeedup = float64(report.ExecOneShotNs) / float64(report.StreamFirstRowNs)
+	}
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}
+
+// timeOp returns mean ns/op over iters calls (panics bubble as errors
+// are rare here: any op error aborts the mean with a huge sentinel so
+// the report is visibly wrong rather than silently flattering).
+func timeOp(iters int, op func() error) int64 {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := op(); err != nil {
+			return math.MaxInt64
+		}
+	}
+	return time.Since(start).Nanoseconds() / int64(iters)
+}
+
+// bestOf returns the fastest of n timed runs.
+func bestOf(n int, run func() (int64, error)) int64 {
+	best := int64(math.MaxInt64)
+	for i := 0; i < n; i++ {
+		ns, err := run()
+		if err != nil {
+			return math.MaxInt64
+		}
+		if ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// rectBitsEqual compares rectangles by Float64bits.
+func rectBitsEqual(a, b asrs.Rect) bool {
+	return math.Float64bits(a.MinX) == math.Float64bits(b.MinX) &&
+		math.Float64bits(a.MinY) == math.Float64bits(b.MinY) &&
+		math.Float64bits(a.MaxX) == math.Float64bits(b.MaxX) &&
+		math.Float64bits(a.MaxY) == math.Float64bits(b.MaxY)
+}

@@ -1,0 +1,85 @@
+package query
+
+import (
+	"context"
+
+	"asrs"
+	"asrs/internal/shard"
+	"asrs/internal/wire"
+)
+
+// Binding is the executor's view of a serving backend. The frontend
+// sits above both the single engine and the shard router unchanged:
+// each round of the lazy executor is one Binding.Query call, and the
+// binding decides how it runs (engine dispatch or scatter–gather).
+type Binding interface {
+	// Query answers one engine-shaped request. Coverage is nil on
+	// unsharded backends.
+	Query(ctx context.Context, req asrs.QueryRequest) (asrs.QueryResponse, *wire.Coverage)
+	// Dataset is the current epoch's logical corpus — the snapshot
+	// region targets and post-filters are represented against.
+	Dataset() *asrs.Dataset
+	// SearchOptions are the backend's serving defaults (the base for
+	// δ pinning and MaxRS execution).
+	SearchOptions() asrs.Options
+	// Routed reports whether answers come from a shard router (EXPLAIN
+	// surfaces it).
+	Routed() bool
+}
+
+// EngineBinding serves plans from a single asrs.Engine.
+type EngineBinding struct {
+	E *asrs.Engine
+}
+
+// Query implements Binding.
+func (b EngineBinding) Query(ctx context.Context, req asrs.QueryRequest) (asrs.QueryResponse, *wire.Coverage) {
+	return b.E.QueryCtx(ctx, req), nil
+}
+
+// Dataset implements Binding.
+func (b EngineBinding) Dataset() *asrs.Dataset { return b.E.CurrentDataset() }
+
+// SearchOptions implements Binding.
+func (b EngineBinding) SearchOptions() asrs.Options { return b.E.SearchOptions() }
+
+// Routed implements Binding.
+func (b EngineBinding) Routed() bool { return false }
+
+// RouterBinding serves plans from the PR-9 shard router: each round
+// scatter–gathers per the request's extent under the binding's partial
+// policy.
+type RouterBinding struct {
+	R *shard.Router
+	// Policy is the partial-result policy for every round (zero value =
+	// the router's Strict default).
+	Policy shard.PartialPolicy
+}
+
+// Query implements Binding.
+func (b RouterBinding) Query(ctx context.Context, req asrs.QueryRequest) (asrs.QueryResponse, *wire.Coverage) {
+	resp := b.R.Query(ctx, shard.Request{
+		Query:   req.Query,
+		A:       req.A,
+		B:       req.B,
+		TopK:    req.TopK,
+		Exclude: req.Exclude,
+		Extent:  req.Within,
+		Policy:  b.Policy,
+		Options: req.Options,
+	})
+	cov := &wire.Coverage{Shards: resp.Coverage.Shards, Searched: resp.Coverage.Searched}
+	for _, sk := range resp.Coverage.Skipped {
+		cov.Skipped = append(cov.Skipped, wire.SkippedShard{Shard: sk.Shard, Reason: sk.Reason})
+	}
+	return asrs.QueryResponse{Regions: resp.Regions, Results: resp.Results, Err: resp.Err}, cov
+}
+
+// Dataset implements Binding.
+func (b RouterBinding) Dataset() *asrs.Dataset { return b.R.Catalog().CurrentDataset() }
+
+// SearchOptions implements Binding.
+func (b RouterBinding) SearchOptions() asrs.Options { return b.R.Catalog().SearchOptions() }
+
+// Routed implements Binding.
+func (b RouterBinding) Routed() bool { return true }

@@ -1,0 +1,307 @@
+package query_test
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"asrs"
+	"asrs/internal/agg"
+	"asrs/internal/dataset"
+	"asrs/internal/query"
+	"asrs/internal/shard"
+)
+
+func corpus(t *testing.T, n int, seed int64) (*asrs.Dataset, *asrs.Composite) {
+	t.Helper()
+	ds := dataset.Random(n, 100, seed)
+	f := agg.MustNew(ds.Schema,
+		agg.Spec{Kind: agg.Distribution, Attr: "cat"},
+		agg.Spec{Kind: agg.Sum, Attr: "val"},
+	)
+	return ds, f
+}
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+func sameRect(a, b asrs.Rect) bool {
+	return sameBits(a.MinX, b.MinX) && sameBits(a.MinY, b.MinY) &&
+		sameBits(a.MaxX, b.MaxX) && sameBits(a.MaxY, b.MaxY)
+}
+
+func sameRep(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sameBits(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// biCase pairs a query text with the hand-wired struct request it must
+// compile to. The hand side builds its OWN composite and target — the
+// test proves a client migrating from structs to text sees identical
+// bits, not that the planner agrees with itself.
+type biCase struct {
+	name string
+	src  string
+	req  func(t *testing.T, ds *asrs.Dataset, f *asrs.Composite) asrs.QueryRequest
+}
+
+func mustTarget(t *testing.T, f *asrs.Composite, target, weights []float64) asrs.Query {
+	t.Helper()
+	q, err := asrs.QueryFromTarget(f, target, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+var biCases = []biCase{
+	{
+		name: "top3-target",
+		src:  `find top 3 size 6 x 6 similar to target(1,2,1,5) under dist(cat) + sum(val)`,
+		req: func(t *testing.T, ds *asrs.Dataset, f *asrs.Composite) asrs.QueryRequest {
+			q := mustTarget(t, f, []float64{1, 2, 1, 5}, nil)
+			return asrs.QueryRequest{Query: q, A: 6, B: 6, TopK: 3}
+		},
+	},
+	{
+		name: "single-best",
+		src:  `find size 7 x 5 similar to target(0,1,2,3) under dist(cat) + sum(val)`,
+		req: func(t *testing.T, ds *asrs.Dataset, f *asrs.Composite) asrs.QueryRequest {
+			q := mustTarget(t, f, []float64{0, 1, 2, 3}, nil)
+			return asrs.QueryRequest{Query: q, A: 7, B: 5}
+		},
+	},
+	{
+		name: "excludes",
+		src:  `find top 2 size 6 x 6 similar to target(1,2,1,5) under dist(cat) + sum(val) excluding region(40,40,70,70) excluding region(10,10,30,30)`,
+		req: func(t *testing.T, ds *asrs.Dataset, f *asrs.Composite) asrs.QueryRequest {
+			q := mustTarget(t, f, []float64{1, 2, 1, 5}, nil)
+			return asrs.QueryRequest{Query: q, A: 6, B: 6, TopK: 2,
+				Exclude: []asrs.Rect{
+					{MinX: 10, MinY: 10, MaxX: 30, MaxY: 30},
+					{MinX: 40, MinY: 40, MaxX: 70, MaxY: 70},
+				}}
+		},
+	},
+	{
+		name: "within",
+		src:  `find top 2 size 6 x 6 similar to target(1,2,1,5) under dist(cat) + sum(val) within region(5,5,95,95)`,
+		req: func(t *testing.T, ds *asrs.Dataset, f *asrs.Composite) asrs.QueryRequest {
+			q := mustTarget(t, f, []float64{1, 2, 1, 5}, nil)
+			w := asrs.Rect{MinX: 5, MinY: 5, MaxX: 95, MaxY: 95}
+			return asrs.QueryRequest{Query: q, A: 6, B: 6, TopK: 2, Within: &w}
+		},
+	},
+	{
+		name: "l2-weights",
+		src:  `find top 2 size 5 x 7 similar to target(1,2,1,5) under dist(cat) + 2*sum(val) norm l2`,
+		req: func(t *testing.T, ds *asrs.Dataset, f *asrs.Composite) asrs.QueryRequest {
+			q := mustTarget(t, f, []float64{1, 2, 1, 5}, []float64{1, 1, 1, 2})
+			q.Norm = asrs.L2
+			return asrs.QueryRequest{Query: q, A: 5, B: 7, TopK: 2}
+		},
+	},
+	{
+		name: "example-region",
+		src:  `find top 2 similar to region(20,20,28,26) under dist(cat) + sum(val) excluding example`,
+		req: func(t *testing.T, ds *asrs.Dataset, f *asrs.Composite) asrs.QueryRequest {
+			r := asrs.Rect{MinX: 20, MinY: 20, MaxX: 28, MaxY: 26}
+			q := mustTarget(t, f, asrs.Represent(ds, f, r), nil)
+			return asrs.QueryRequest{Query: q, A: 8, B: 6, TopK: 2,
+				Exclude: []asrs.Rect{r}}
+		},
+	},
+}
+
+// checkStreamMatches drains the plan's lazy stream over b and compares
+// every region, point, distance and representation bit-for-bit against
+// the hand-wired one-shot answer.
+func checkStreamMatches(t *testing.T, pl *query.Plan, b query.Binding,
+	wantRegions []asrs.Rect, wantResults []asrs.Result) {
+	t.Helper()
+	st, err := query.Exec(context.Background(), pl, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions, results, err := st.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regions) != len(wantRegions) {
+		t.Fatalf("stream emitted %d regions, hand-wired answered %d", len(regions), len(wantRegions))
+	}
+	for i := range regions {
+		if !sameRect(regions[i], wantRegions[i]) {
+			t.Errorf("region %d: stream %+v != hand-wired %+v", i, regions[i], wantRegions[i])
+		}
+		if !sameBits(results[i].Dist, wantResults[i].Dist) {
+			t.Errorf("dist %d: stream %v != hand-wired %v", i, results[i].Dist, wantResults[i].Dist)
+		}
+		if !sameBits(results[i].Point.X, wantResults[i].Point.X) || !sameBits(results[i].Point.Y, wantResults[i].Point.Y) {
+			t.Errorf("point %d: stream %+v != hand-wired %+v", i, results[i].Point, wantResults[i].Point)
+		}
+		if !sameRep(results[i].Rep, wantResults[i].Rep) {
+			t.Errorf("rep %d: stream %v != hand-wired %v", i, results[i].Rep, wantResults[i].Rep)
+		}
+	}
+}
+
+// TestBitIdentityEngine: the core frontend contract. For every query
+// shape, the compiled request must equal the hand-wired struct request
+// bit-for-bit, and the lazy stream over an Engine must reproduce the
+// hand-wired one-shot answer exactly — at multiple worker counts.
+func TestBitIdentityEngine(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 3; trial++ {
+		ds, f := corpus(t, 60, rng.Int63())
+		p := query.NewPlanner(ds.Schema, nil)
+		for _, workers := range []int{1, 2} {
+			eng, err := asrs.NewEngine(ds, asrs.EngineOptions{Search: asrs.Options{Workers: workers}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tc := range biCases {
+				t.Run(tc.name, func(t *testing.T) {
+					pl, err := p.ParseAndPlan(tc.src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := tc.req(t, ds, f)
+
+					// Request-level identity: the compiled skeleton is the
+					// hand-wired struct, bit for bit.
+					got, err := pl.Request(ds)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameRep(got.Query.Target, want.Query.Target) {
+						t.Fatalf("target: compiled %v != hand-wired %v", got.Query.Target, want.Query.Target)
+					}
+					if !sameRep(got.Query.W, want.Query.W) {
+						t.Fatalf("weights: compiled %v != hand-wired %v", got.Query.W, want.Query.W)
+					}
+					if got.Query.Norm != want.Query.Norm || !sameBits(got.A, want.A) || !sameBits(got.B, want.B) || got.TopK != want.TopK {
+						t.Fatalf("skeleton: compiled %+v != hand-wired %+v", got, want)
+					}
+					if len(got.Exclude) != len(want.Exclude) {
+						t.Fatalf("excludes: compiled %d != hand-wired %d", len(got.Exclude), len(want.Exclude))
+					}
+					for i := range got.Exclude {
+						if !sameRect(got.Exclude[i], want.Exclude[i]) {
+							t.Fatalf("exclude %d: compiled %+v != hand-wired %+v", i, got.Exclude[i], want.Exclude[i])
+						}
+					}
+					if (got.Within == nil) != (want.Within == nil) {
+						t.Fatalf("within: compiled %v != hand-wired %v", got.Within, want.Within)
+					}
+					if got.Within != nil && !sameRect(*got.Within, *want.Within) {
+						t.Fatalf("within: compiled %+v != hand-wired %+v", *got.Within, *want.Within)
+					}
+
+					// Result-level identity: lazy rounds == one-shot.
+					resp := eng.QueryCtx(context.Background(), want)
+					if resp.Err != nil {
+						t.Fatal(resp.Err)
+					}
+					checkStreamMatches(t, pl, query.EngineBinding{E: eng}, resp.Regions, resp.Results)
+				})
+			}
+		}
+	}
+}
+
+// TestBitIdentityRouter: the same contract over the multi-shard router.
+// The stream's greedy rounds scatter–gather per round, and must still
+// reproduce the hand-wired one-shot routed answer bit-for-bit, at
+// several shard and worker counts.
+func TestBitIdentityRouter(t *testing.T) {
+	ds, f := corpus(t, 60, 91)
+	p := query.NewPlanner(ds.Schema, nil)
+	for _, ns := range []int{2, 3} {
+		for _, workers := range []int{1, 2} {
+			cat, err := shard.New(ds, shard.Config{
+				Shards:     ns,
+				Engine:     asrs.EngineOptions{Search: asrs.Options{Workers: workers}},
+				Composites: map[string]*asrs.Composite{"q": f},
+				Names:      []string{"q"},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt := shard.NewRouter(cat, shard.RouterOptions{Breaker: shard.BreakerConfig{Disable: true}})
+			for _, tc := range biCases {
+				t.Run(tc.name, func(t *testing.T) {
+					pl, err := p.ParseAndPlan(tc.src)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := tc.req(t, ds, f)
+					resp := rt.Query(context.Background(), shard.Request{
+						Query:   want.Query,
+						A:       want.A,
+						B:       want.B,
+						TopK:    want.TopK,
+						Exclude: want.Exclude,
+						Extent:  want.Within,
+					})
+					if resp.Err != nil {
+						t.Fatal(resp.Err)
+					}
+					checkStreamMatches(t, pl, query.RouterBinding{R: rt}, resp.Regions, resp.Results)
+				})
+			}
+			cat.Close()
+		}
+	}
+}
+
+// TestBitIdentityMultiClause: a two-clause conjunction (concatenated
+// channels) against the hand-wired combined composite and concatenated
+// target, including a represented example part.
+func TestBitIdentityMultiClause(t *testing.T) {
+	ds := dataset.Random(50, 100, 7)
+	comb := agg.MustNew(ds.Schema,
+		agg.Spec{Kind: agg.Distribution, Attr: "cat"},
+		agg.Spec{Kind: agg.Sum, Attr: "val"},
+	)
+	fD := agg.MustNew(ds.Schema, agg.Spec{Kind: agg.Distribution, Attr: "cat"})
+	eng, err := asrs.NewEngine(ds, asrs.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := query.NewPlanner(ds.Schema, nil)
+	// Clauses sort canonically: dist(cat) < sum(val), so the combined
+	// layout is [dist(cat) | sum(val)] regardless of source order.
+	pl, err := p.ParseAndPlan(`find top 2 size 6 x 6 similar to target(4.5) under sum(val) and similar to region(30,30,40,40) under dist(cat)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := asrs.Rect{MinX: 30, MinY: 30, MaxX: 40, MaxY: 40}
+	target := append(asrs.Represent(ds, fD, r), 4.5)
+	q, err := asrs.QueryFromTarget(comb, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := asrs.QueryRequest{Query: q, A: 6, B: 6, TopK: 2}
+	got, err := pl.Request(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRep(got.Query.Target, want.Query.Target) {
+		t.Fatalf("target: compiled %v != hand-wired %v", got.Query.Target, want.Query.Target)
+	}
+	resp := eng.QueryCtx(context.Background(), want)
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	checkStreamMatches(t, pl, query.EngineBinding{E: eng}, resp.Regions, resp.Results)
+}

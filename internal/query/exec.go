@@ -1,0 +1,250 @@
+package query
+
+import (
+	"context"
+	"errors"
+
+	"asrs"
+	"asrs/internal/wire"
+)
+
+// Row is one streamed answer.
+type Row struct {
+	// Rank is the 1-based position in the greedy answer sequence.
+	Rank   int
+	Region asrs.Rect
+	// Result carries the answer point, distance and representation. For
+	// maximize plans Dist is the maximized objective (the enclosed
+	// weight) and Rep is nil.
+	Result asrs.Result
+}
+
+// Stream is a lazy result iterator: each Next issues at most the
+// backend work needed for ONE more answer (one greedy round per
+// candidate), so the first result is on the wire before later rounds
+// have run at all. The greedy round sequence — single-best search with
+// the accumulated exclusion set, each round's region appended whether
+// or not a filter accepts it — is exactly the loop inside the engine's
+// one-shot top-k (dssearch.SolveASRSTopK) and the router's
+// scatter-round gather, which is why an unfiltered stream's rows are
+// Float64bits-identical to the one-shot answer.
+//
+// A Stream is single-goroutine; it holds no locks and no background
+// work. Abandoning it mid-iteration leaks nothing.
+type Stream struct {
+	ctx context.Context
+	pl  *Plan
+	b   Binding
+	ds  *asrs.Dataset
+
+	base    asrs.QueryRequest // single-round skeleton (TopK forced to 0)
+	excl    []asrs.Rect
+	filters []boundFilter
+	reps    [][]float64 // accepted representations (diversity chain)
+
+	emitted int
+	rounds  int
+	done    bool
+	err     error
+	cov     *wire.Coverage
+}
+
+// boundFilter is a dissimilarity filter with its target representation
+// resolved against the stream's dataset snapshot.
+type boundFilter struct {
+	f      Filter
+	target []float64
+}
+
+// Exec binds a plan to a backend and returns the lazy stream. The
+// dataset snapshot (region targets, filter representations) is taken
+// once here, so every round and every filter evaluation sees one
+// coherent epoch.
+func Exec(ctx context.Context, pl *Plan, b Binding) (*Stream, error) {
+	if pl.Explain {
+		return nil, planErrf("explain plans report, they do not execute")
+	}
+	s := &Stream{ctx: ctx, pl: pl, b: b, ds: b.Dataset()}
+	if pl.Max != nil {
+		return s, nil
+	}
+	req, err := pl.Request(s.ds)
+	if err != nil {
+		return nil, err
+	}
+	pl.ApplyOptions(&req, b.SearchOptions())
+	req.TopK = 0
+	s.base = req
+	s.excl = req.Exclude
+	for _, f := range pl.Filters {
+		bf := boundFilter{f: f}
+		if f.place.lit != nil {
+			bf.target = f.place.lit
+		} else {
+			bf.target = asrs.Represent(s.ds, f.place.comp, *f.place.region)
+		}
+		s.filters = append(s.filters, bf)
+	}
+	return s, nil
+}
+
+// Next returns the next accepted answer. ok=false means the stream
+// ended: all k answers emitted, the greedy sequence ran dry, the scan
+// cap was hit, or an error occurred (check Err).
+func (s *Stream) Next() (Row, bool) {
+	if s.done || s.err != nil {
+		return Row{}, false
+	}
+	if s.pl.Max != nil {
+		return s.maxrs()
+	}
+	k := s.pl.K()
+	budget := s.pl.rounds()
+	for s.emitted < k && s.rounds < budget {
+		req := s.base
+		req.Exclude = append([]asrs.Rect(nil), s.excl...)
+		req.Ctx = s.ctx
+		s.rounds++
+		resp, cov := s.b.Query(s.ctx, req)
+		s.mergeCoverage(cov)
+		if resp.Err != nil {
+			if errors.Is(resp.Err, asrs.ErrNoFeasibleRegion) && s.emitted > 0 {
+				// The window ran out of non-overlapping candidates: the
+				// one-shot greedy loop breaks here too, returning the
+				// answers so far.
+				s.done = true
+				return Row{}, false
+			}
+			s.err = resp.Err
+			return Row{}, false
+		}
+		region, res := resp.Best()
+		// The region joins the exclusion set whether or not a filter
+		// accepts it — the greedy sequence is defined over candidates,
+		// and re-finding a rejected region would loop forever.
+		s.excl = append(s.excl, region)
+		if !s.accept(region, res) {
+			continue
+		}
+		s.emitted++
+		if s.pl.DiverseBy > 0 {
+			s.reps = append(s.reps, res.Rep)
+		}
+		return Row{Rank: s.emitted, Region: region, Result: res}, true
+	}
+	s.done = true
+	return Row{}, false
+}
+
+// accept applies the plan's post-filters to one candidate.
+func (s *Stream) accept(region asrs.Rect, res asrs.Result) bool {
+	for i := range s.filters {
+		bf := &s.filters[i]
+		rep := asrs.Represent(s.ds, bf.f.Comp, region)
+		d := asrs.Distance(s.pl.Norm, rep, bf.target, bf.f.Weights)
+		if !(d >= bf.f.By) {
+			return false
+		}
+	}
+	if s.pl.DiverseBy > 0 {
+		for _, prior := range s.reps {
+			d := asrs.Distance(s.pl.Norm, res.Rep, prior, s.pl.Weights)
+			if !(d >= s.pl.DiverseBy) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// maxrs runs the MaxRS aggregate form: one eager solve, one row.
+func (s *Stream) maxrs() (Row, bool) {
+	s.done = true
+	mp := s.pl.Max
+	pts := make([]asrs.MaxRSPoint, 0, len(s.ds.Objects))
+	for i := range s.ds.Objects {
+		o := &s.ds.Objects[i]
+		w := 1.0
+		if mp.AttrIdx >= 0 {
+			w = o.Values[mp.AttrIdx].Num
+		}
+		pts = append(pts, asrs.MaxRSPoint{Loc: o.Loc, Weight: w})
+	}
+	opt := s.b.SearchOptions()
+	opt.Ctx = s.ctx
+	res, _, err := asrs.MaxRS(pts, mp.A, mp.B, opt)
+	if err != nil {
+		s.err = err
+		return Row{}, false
+	}
+	s.emitted = 1
+	return Row{Rank: 1, Region: res.Region, Result: asrs.Result{Point: res.Corner, Dist: res.Weight}}, true
+}
+
+// Err returns the stream's terminal error, if any.
+func (s *Stream) Err() error { return s.err }
+
+// Emitted returns how many rows the stream has produced.
+func (s *Stream) Emitted() int { return s.emitted }
+
+// Rounds returns how many backend rounds the stream has spent.
+func (s *Stream) Rounds() int { return s.rounds }
+
+// Coverage returns the merged shard coverage across all rounds (nil on
+// unsharded backends).
+func (s *Stream) Coverage() *wire.Coverage { return s.cov }
+
+// mergeCoverage unions one round's coverage into the stream's.
+func (s *Stream) mergeCoverage(cov *wire.Coverage) {
+	if cov == nil {
+		return
+	}
+	if s.cov == nil {
+		s.cov = &wire.Coverage{Shards: cov.Shards}
+	}
+	if cov.Shards > s.cov.Shards {
+		s.cov.Shards = cov.Shards
+	}
+	for _, name := range cov.Searched {
+		if !containsStr(s.cov.Searched, name) {
+			s.cov.Searched = append(s.cov.Searched, name)
+		}
+	}
+	for _, sk := range cov.Skipped {
+		dup := false
+		for _, have := range s.cov.Skipped {
+			if have.Shard == sk.Shard && have.Reason == sk.Reason {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			s.cov.Skipped = append(s.cov.Skipped, sk)
+		}
+	}
+}
+
+func containsStr(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Collect drains the stream into slices (the eager convenience used by
+// tests and the CLI; servers iterate Next directly to stream).
+func (s *Stream) Collect() ([]asrs.Rect, []asrs.Result, error) {
+	var regions []asrs.Rect
+	var results []asrs.Result
+	for {
+		row, ok := s.Next()
+		if !ok {
+			break
+		}
+		regions = append(regions, row.Region)
+		results = append(results, row.Result)
+	}
+	return regions, results, s.Err()
+}

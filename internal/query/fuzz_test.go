@@ -1,0 +1,47 @@
+package query
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseQuery: Parse must never panic — every input either yields an
+// AST whose canonical rendering is a parseable fixed point, or a typed
+// *ParseError.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		`find similar to region(0,0,1,1) under count()`,
+		`find top 3 size 6 x 6 similar to target(1,2,1,5) under dist(cat) + 2*sum(val) norm l2`,
+		`find similar to region(103.827,1.298,103.843,1.310) under @category excluding example`,
+		`find similar to region(0,0,2,1) under count() and dissimilar to target(1) under sum(v) by 3 diverse by 0.5`,
+		`find similar to region(0,0,1,1) under sum(v where a = 'x') excluding region(1,1,2,2) within region(0,0,9,9)`,
+		`find similar to region(0,0,1,1) under avg(v where w in [1,2]) delta 0.25 scan 12 timeout 100`,
+		`maximize sum(rating) size 3 x 2`,
+		`explain maximize count() size 1 x 1`,
+		`find similar to target(1e300,-2.5e-10) under dist(a)`,
+		"find similar to region(0,0,1,1) under sum(v where a = \"q\\\"uo\\\\te\")",
+		`FIND TOP 2 SIMILAR TO REGION(1,2,3,4) UNDER COUNT()`,
+		``, `find`, `)(`, `@@`, `"`, `1 2 3`, `find find find`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ast, err := Parse(src)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse(%q): error %v is not a *ParseError", src, err)
+			}
+			return
+		}
+		canon := ast.Canonical()
+		ast2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical of %q does not re-parse: %q: %v", src, canon, err)
+		}
+		if canon2 := ast2.Canonical(); canon2 != canon {
+			t.Fatalf("canonical not a fixed point for %q:\n  first:  %q\n  second: %q", src, canon, canon2)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package query_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asrs"
+	"asrs/internal/agg"
+	"asrs/internal/dataset"
+	"asrs/internal/query"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestExplainGolden pins the EXPLAIN report's JSON across the workload
+// zoo: every planner rule a reader might depend on — canonicalization,
+// channel layout, weight expansion, size derivation, strategy choice,
+// route label, and the certificate probe's fill prediction — is visible
+// in these files. Regenerate with -update and review the diff.
+func TestExplainGolden(t *testing.T) {
+	tweet := dataset.Tweet(400, 7)
+	poi := dataset.POISyn(300, 11)
+	sg := dataset.SingaporePOI(3)
+	random := dataset.Random(60, 100, 91)
+	sgCat := agg.MustNew(sg.Schema, agg.Spec{Kind: agg.Distribution, Attr: "category"})
+	orchard := dataset.SingaporeDistricts()[0]
+
+	cases := []struct {
+		name   string
+		ds     *asrs.Dataset
+		named  map[string]*asrs.Composite
+		src    string
+		routed bool
+	}{
+		{
+			name: "tweet_topk_example",
+			ds:   tweet,
+			src:  `explain find top 3 similar to region(20,20,30,28) under dist(day) excluding example`,
+		},
+		{
+			name: "poisyn_numeric_l2_delta",
+			ds:   poi,
+			src:  `explain find size 2 x 2 similar to target(4.5,120) under sum(rating) + avg(visits) norm l2 delta 0.1`,
+		},
+		{
+			name:   "singapore_named_routed",
+			ds:     sg,
+			named:  map[string]*asrs.Composite{"category": sgCat},
+			src:    `explain find top 2 similar to region(` + rectArgs(orchard.Rect) + `) under @category excluding example`,
+			routed: true,
+		},
+		{
+			name: "random_filters_weights",
+			ds:   random,
+			src:  `explain find top 4 size 6 x 6 similar to target(1,2,1,5) under dist(cat) + 2*sum(val) and dissimilar to target(-2) under sum(val) by 1 diverse by 0.5 within region(5,5,95,95)`,
+		},
+		{
+			name: "random_where_clauses",
+			ds:   random,
+			src:  `explain find size 8 x 4 similar to target(3,7) under sum(val where cat = 'a') + count(where val in [0,5]) excluding region(10,10,20,20)`,
+		},
+		{
+			name: "random_maxrs",
+			ds:   random,
+			src:  `explain maximize sum(val) size 5 x 5`,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := query.NewPlanner(tc.ds.Schema, tc.named)
+			pl, err := p.ParseAndPlan(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pl.Explain {
+				t.Fatal("explain flag not set on plan")
+			}
+			rep := pl.Report(tc.ds, tc.routed)
+			got, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run go test -run TestExplainGolden -update ./internal/query/): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("EXPLAIN drifted from golden %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+func rectArgs(r asrs.Rect) string {
+	b, _ := json.Marshal([]float64{r.MinX, r.MinY, r.MaxX, r.MaxY})
+	s := string(b)
+	return s[1 : len(s)-1]
+}

@@ -1,0 +1,140 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseError is the typed parse failure: a byte offset into the query
+// text plus a message. FuzzParseQuery holds Parse to "typed error or
+// success, never a panic".
+type ParseError struct {
+	Pos int
+	Msg string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("query: parse error at offset %d: %s", e.Pos, e.Msg)
+}
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // single-rune punctuation: ( ) , * + = [ ] @ -
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes a query string. Keywords are plain identifiers
+// (matched case-insensitively by the parser); numbers are unsigned
+// literals with optional fraction and exponent (signs are separate
+// punctuation tokens, folded in by the parser's number rule).
+type lexer struct {
+	src  string
+	off  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.off++
+		case c >= '0' && c <= '9':
+			if err := l.number(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(rune(c)):
+			l.ident()
+		case c == '\'' || c == '"':
+			if err := l.str(c); err != nil {
+				return nil, err
+			}
+		case strings.IndexByte("(),*+=[]@-", c) >= 0:
+			l.toks = append(l.toks, token{tokPunct, string(c), l.off})
+			l.off++
+		default:
+			return nil, &ParseError{l.off, fmt.Sprintf("unexpected character %q", c)}
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(src)})
+	return l.toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) ident() {
+	start := l.off
+	for l.off < len(l.src) && isIdentRune(rune(l.src[l.off])) {
+		l.off++
+	}
+	l.toks = append(l.toks, token{tokIdent, l.src[start:l.off], start})
+}
+
+func (l *lexer) number() error {
+	start := l.off
+	digits := func() {
+		for l.off < len(l.src) && l.src[l.off] >= '0' && l.src[l.off] <= '9' {
+			l.off++
+		}
+	}
+	digits()
+	if l.off < len(l.src) && l.src[l.off] == '.' {
+		l.off++
+		digits()
+	}
+	if l.off < len(l.src) && (l.src[l.off] == 'e' || l.src[l.off] == 'E') {
+		mark := l.off
+		l.off++
+		if l.off < len(l.src) && (l.src[l.off] == '+' || l.src[l.off] == '-') {
+			l.off++
+		}
+		if l.off >= len(l.src) || l.src[l.off] < '0' || l.src[l.off] > '9' {
+			// Not an exponent after all (e.g. "3 x 2" lexed as "3", then
+			// ident "x"): rewind and let the ident rule take it.
+			l.off = mark
+		} else {
+			digits()
+		}
+	}
+	l.toks = append(l.toks, token{tokNumber, l.src[start:l.off], start})
+	return nil
+}
+
+func (l *lexer) str(quote byte) error {
+	start := l.off
+	l.off++ // opening quote
+	var b strings.Builder
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		if c == quote {
+			l.off++
+			l.toks = append(l.toks, token{tokString, b.String(), start})
+			return nil
+		}
+		if c == '\\' && l.off+1 < len(l.src) {
+			l.off++
+			c = l.src[l.off]
+		}
+		b.WriteByte(c)
+		l.off++
+	}
+	return &ParseError{start, "unterminated string literal"}
+}

@@ -1,0 +1,158 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *AST {
+	t.Helper()
+	ast, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return ast
+}
+
+func TestParseFind(t *testing.T) {
+	ast := mustParse(t, `find top 3 similar to region(103.827,1.298,103.843,1.310) under @category excluding example`)
+	if ast.TopK != 3 {
+		t.Fatalf("TopK = %d, want 3", ast.TopK)
+	}
+	if len(ast.Similar) != 1 || ast.Similar[0].Place.Region == nil {
+		t.Fatalf("similar clause not parsed: %+v", ast.Similar)
+	}
+	if got := ast.Similar[0].Expr.Terms[0].Atom; got.Fn != "@" || got.Attr != "category" {
+		t.Fatalf("atom = %+v, want @category", got)
+	}
+	if !ast.ExcludeExample {
+		t.Fatal("ExcludeExample not set")
+	}
+}
+
+func TestParseExpression(t *testing.T) {
+	ast := mustParse(t, `find size 2 x 1 similar to target(1,2,3) under dist(category) + 2.5*sum(rating where cuisine = 'thai') + count()`)
+	terms := ast.Similar[0].Expr.Terms
+	if len(terms) != 3 {
+		t.Fatalf("got %d terms, want 3", len(terms))
+	}
+	if terms[1].Coef != 2.5 || terms[1].Atom.Fn != "sum" || terms[1].Atom.Where == nil || terms[1].Atom.Where.Eq != "thai" {
+		t.Fatalf("term 2 = %+v", terms[1])
+	}
+	if ast.A != 2 || ast.B != 1 {
+		t.Fatalf("size = %g x %g", ast.A, ast.B)
+	}
+}
+
+func TestParseClauses(t *testing.T) {
+	ast := mustParse(t, `find similar to region(0,0,2,1) under count() and dissimilar to region(5,5,7,6) under sum(val) by 3 diverse by 0.5 excluding region(1,1,2,2) within region(0,0,10,10) norm l2 delta 0.1 scan 12 timeout 2500`)
+	if len(ast.Dissimilar) != 1 || ast.Dissimilar[0].By != 3 {
+		t.Fatalf("dissimilar = %+v", ast.Dissimilar)
+	}
+	if ast.DiverseBy != 0.5 || len(ast.Exclude) != 1 || ast.Within == nil ||
+		ast.Norm != "l2" || ast.Delta != 0.1 || ast.Scan != 12 || ast.TimeoutMS != 2500 {
+		t.Fatalf("clause fields wrong: %+v", ast)
+	}
+}
+
+func TestParseMaximize(t *testing.T) {
+	ast := mustParse(t, `maximize sum(rating) size 3 x 2`)
+	if ast.Maximize == nil || ast.Maximize.Fn != "sum" || ast.Maximize.Attr != "rating" {
+		t.Fatalf("maximize = %+v", ast.Maximize)
+	}
+	if ast.Maximize.A != 3 || ast.Maximize.B != 2 {
+		t.Fatalf("size = %g x %g", ast.Maximize.A, ast.Maximize.B)
+	}
+	ast = mustParse(t, `explain maximize count() size 1 x 1`)
+	if !ast.Explain || ast.Maximize.Fn != "count" {
+		t.Fatalf("explain maximize = %+v", ast)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`find`,
+		`found similar to region(0,0,1,1) under count()`,
+		`find similar region(0,0,1,1) under count()`,
+		`find similar to region(0,0,1,1)`,
+		`find similar to region(0,0,1) under count()`,
+		`find similar to region(0,0,1,1) under`,
+		`find similar to region(0,0,1,1) under sum()`,
+		`find similar to region(0,0,1,1) under count() top`,
+		`find similar to region(0,0,1,1) under count() top 3 top 4`,
+		`find similar to region(0,0,1,1) under count() norm l3`,
+		`find similar to region(0,0,1,1) under count() trailing garbage`,
+		`find similar to region(0,0,1,1) under 2*`,
+		`find similar to region(0,0,1,1) under sum(v where x in [1)`,
+		`find similar to target() under count()`,
+		`maximize avg(x) size 1 x 1`,
+		`maximize count() size 1`,
+		`find similar to region(0,0,1,1) under count() where`,
+		`find similar to region(0,0,1,1) under sum(v where a = )`,
+		"find similar to region(0,0,1,1) under sum(v where a = 'unterminated",
+	}
+	for _, src := range cases {
+		_, err := Parse(src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q): error %v is not a *ParseError", src, err)
+		}
+	}
+}
+
+// TestCanonicalFixedPoint: rendering an AST canonically and re-parsing
+// must reproduce the identical canonical text.
+func TestCanonicalFixedPoint(t *testing.T) {
+	cases := []string{
+		`find top 3 similar to region(103.827,1.298,103.843,1.310) under @category excluding example`,
+		`FIND Similar TO region(0,0,2,1) UNDER Count() AND dissimilar to target(1,0) under sum(val) by 3`,
+		`find size 2 x 1 similar to target(1,2,3) under count() + dist(category) + 2.5*sum(rating)`,
+		`find similar to region(0,0,2,1) under count() excluding region(5,5,6,6) excluding region(1,1,2,2) within region(0,0,9,9) norm l2 delta 0.25 scan 12 timeout 100`,
+		`maximize sum(rating) size 3 x 2`,
+		`explain find similar to region(0,0,1,1) under avg(v where w in [1,2])`,
+		`find similar to region(0,0,1,1) under sum(v where a = "it's")`,
+	}
+	for _, src := range cases {
+		ast := mustParse(t, src)
+		canon := ast.Canonical()
+		ast2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("re-parse of canonical %q: %v", canon, err)
+		}
+		if canon2 := ast2.Canonical(); canon2 != canon {
+			t.Errorf("canonical not a fixed point:\n  first:  %q\n  second: %q", canon, canon2)
+		}
+	}
+}
+
+// TestCanonicalOrderIndependence: clause and term order must not change
+// the canonical rendering.
+func TestCanonicalOrderIndependence(t *testing.T) {
+	a := mustParse(t, `find size 2 x 1 similar to target(1) under sum(b) and similar to target(2) under sum(a) excluding region(3,3,4,4) excluding region(1,1,2,2)`)
+	b := mustParse(t, `find similar to target(2) under sum(a) excluding region(1,1,2,2) size 2 x 1 similar to target(1) under sum(b) excluding region(3,3,4,4)`)
+	if ca, cb := a.Canonical(), b.Canonical(); ca != cb {
+		t.Errorf("canonical differs:\n  a: %q\n  b: %q", ca, cb)
+	}
+	x := mustParse(t, `find size 1 x 1 similar to target(1,2) under 2*sum(b) + dist(c)`)
+	y := mustParse(t, `find size 1 x 1 similar to target(1,2) under dist(c) + 2*sum(b)`)
+	if cx, cy := x.Canonical(), y.Canonical(); cx != cy {
+		t.Errorf("term order changed canonical:\n  x: %q\n  y: %q", cx, cy)
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse(`find similar to region(0,0,1,1) under bogus(x)`)
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if pe.Pos != strings.Index(`find similar to region(0,0,1,1) under bogus(x)`, "bogus") {
+		t.Errorf("Pos = %d, want offset of %q", pe.Pos, "bogus")
+	}
+}

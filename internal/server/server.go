@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"asrs"
+	"asrs/internal/query"
 	"asrs/internal/shard"
 )
 
@@ -88,6 +89,12 @@ type Server struct {
 	coal   *Coalescer    // nil in router mode
 	mux    *http.ServeMux
 	ready  atomic.Bool
+
+	// planner compiles /v1/search query text against the serving schema,
+	// with the registered composites resolvable as @name references. Its
+	// interner means textually identical expressions share one composite
+	// singleton — and through it the engine's dedup/prepared groups.
+	planner *query.Planner
 
 	// sem is the admission semaphore: one token per admitted request,
 	// covering its whole life (window wait + search). Acquisition is
@@ -175,8 +182,10 @@ func New(cfg Config) (*Server, error) {
 		// so insert shedding and the degraded /healthz signal work.
 		s.ladder = newLadder(cfg.Window, cfg.MaxBatch, func(time.Duration, int) {})
 	}
+	s.planner = query.NewPlanner(s.schema(), cfg.Composites)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)

@@ -1,209 +1,68 @@
 // Package server is the HTTP serving layer over asrs.Engine: a JSON API
-// (POST /v1/query, POST /v1/batch, GET /healthz, GET /stats) that
-// coalesces concurrent single queries into engine batch supersteps so
-// the cross-query amortization of DESIGN.md §6 — request dedup and
-// shared prepared query shapes — applies across independent clients,
-// with admission control (bounded in-flight queue, 429 load shedding)
-// and per-query deadlines (context cancellation checked cooperatively at
-// kernel superstep boundaries, surfaced as 504). See DESIGN.md §7.
+// (POST /v1/query, POST /v1/batch, POST /v1/search, GET /healthz,
+// GET /stats) that coalesces concurrent single queries into engine batch
+// supersteps so the cross-query amortization of DESIGN.md §6 — request
+// dedup and shared prepared query shapes — applies across independent
+// clients, with admission control (bounded in-flight queue, 429 load
+// shedding) and per-query deadlines (context cancellation checked
+// cooperatively at kernel superstep boundaries, surfaced as 504). See
+// DESIGN.md §7.
 package server
 
 import (
-	"fmt"
 	"time"
 
 	"asrs"
+	"asrs/internal/wire"
 )
 
-// Wire types: the one JSON schema shared by the daemon and
-// `asrsquery -json`, so CLI output and server responses have the same
-// field names and shapes (formatting and elapsed_ms aside).
+// The wire schema lives in internal/wire — one package shared by the
+// daemon, `asrsquery -json`, and the query-language frontend — and is
+// aliased here so the serving code and its tests keep their historical
+// names.
 
-// Rect is the wire form of an axis-parallel rectangle.
-type Rect struct {
-	MinX float64 `json:"min_x"`
-	MinY float64 `json:"min_y"`
-	MaxX float64 `json:"max_x"`
-	MaxY float64 `json:"max_y"`
-}
-
-// Point is the wire form of a planar location.
-type Point struct {
-	X float64 `json:"x"`
-	Y float64 `json:"y"`
-}
-
-// Query is one similarity-query request. The target representation
-// comes either from Target directly (the "virtual region" usage) or is
-// computed from an example Region; exactly one must be set.
-type Query struct {
-	// Composite names the serving composite aggregator (the daemon's
-	// registry key; GET /stats lists the registered names).
-	Composite string `json:"composite"`
-	// A, B are the answer region's width and height. When an example
-	// Region is given they default to its width and height.
-	A float64 `json:"a,omitempty"`
-	B float64 `json:"b,omitempty"`
-	// Target is the aggregate representation to match.
-	Target []float64 `json:"target,omitempty"`
-	// Region is the query-by-example alternative: the server computes
-	// Target from the objects inside it.
-	Region *Rect `json:"region,omitempty"`
-	// ExcludeRegion excludes the example Region from the answer set
-	// (without it, an example region is its own zero-distance answer).
-	ExcludeRegion bool `json:"exclude_region,omitempty"`
-	// Weights are the per-dimension distance weights (nil = unit).
-	Weights []float64 `json:"weights,omitempty"`
-	// Norm is "l1" (default) or "l2".
-	Norm string `json:"norm,omitempty"`
-	// TopK asks for the k best non-overlapping regions (0 or 1 = best).
-	TopK int `json:"top_k,omitempty"`
-	// Exclude lists rectangles no answer region may overlap.
-	Exclude []Rect `json:"exclude,omitempty"`
-	// Delta selects the (1+δ)-approximate search (0 = exact).
-	Delta float64 `json:"delta,omitempty"`
-	// Extent restricts answers to regions contained in the closed
-	// rectangle. On a sharded server this is the routing key (extents
-	// inside one shard's slab answer from that shard alone); on a
-	// single-engine server it runs the windowed search directly.
-	Extent *Rect `json:"extent,omitempty"`
-	// Partial is the shard partial-result policy: "strict" (default —
-	// fail with shard_unavailable if any needed shard is down) or
-	// "best_effort" (answer from survivors, report skips in coverage).
-	// Only valid on a sharded server.
-	Partial string `json:"partial,omitempty"`
-	// TimeoutMS bounds this query individually; 0 selects the server's
-	// default, and values above the server's maximum are clamped.
-	TimeoutMS int64 `json:"timeout_ms,omitempty"`
-}
-
-// Result is one answer region.
-type Result struct {
-	Region Rect      `json:"region"`
-	Point  Point     `json:"point"`
-	Dist   float64   `json:"dist"`
-	Rep    []float64 `json:"rep"`
-}
-
-// Response is the answer to one Query.
-type Response struct {
-	Results []Result `json:"results,omitempty"`
-	// Error is the failure message ("" on success). On /v1/query the
-	// HTTP status carries the class (400 invalid, 504 deadline, 503
-	// drain/shed, 500 server fault); on /v1/batch the HTTP status is
-	// 200 for the envelope and each response's Status carries its own
-	// class instead, so batch clients can retry timeouts without
-	// string-matching error text.
-	Error string `json:"error,omitempty"`
-	// Code is the stable machine-readable failure class (see the
-	// taxonomy in errors.go: bad_request, overloaded, draining,
-	// canceled, deadline, internal_panic, internal). Empty on success.
-	Code string `json:"code,omitempty"`
-	// Retryable reports whether the same request may succeed if
-	// retried later or on another replica. False on success.
-	Retryable bool `json:"retryable,omitempty"`
-	// Status is the per-query HTTP-style status code, set on batch
-	// responses (0 on /v1/query, whose transport status says the same).
-	Status int `json:"status,omitempty"`
-	// Coverage reports, on a sharded server, which shards produced this
-	// answer and which were skipped (best_effort answers may be partial;
-	// a complete answer has an empty skip list). Nil on single-engine
-	// servers.
-	Coverage  *Coverage `json:"coverage,omitempty"`
-	ElapsedMS float64   `json:"elapsed_ms"`
-}
-
-// Coverage is the wire form of a routed answer's shard coverage.
-type Coverage struct {
-	Shards   int            `json:"shards"`
-	Searched []string       `json:"searched,omitempty"`
-	Skipped  []SkippedShard `json:"skipped,omitempty"`
-}
-
-// SkippedShard names one shard a routed answer had to skip, and why.
-type SkippedShard struct {
-	Shard  string `json:"shard"`
-	Reason string `json:"reason"`
-}
-
-// Batch is the POST /v1/batch request body.
-type Batch struct {
-	Queries []Query `json:"queries"`
-}
-
-// InsertObject is one object of a POST /v1/insert request. Values is
-// keyed by attribute name; categorical attributes take their domain
-// label as a string, numeric attributes a number. Every attribute of
-// the serving schema must be present.
-type InsertObject struct {
-	X      float64        `json:"x"`
-	Y      float64        `json:"y"`
-	Values map[string]any `json:"values"`
-}
-
-// Insert is the POST /v1/insert request body. The whole batch is one
-// atomic durable unit: either every object is acknowledged (and
-// survives a crash, per the WAL sync policy) or none is.
-type Insert struct {
-	Objects []InsertObject `json:"objects"`
-}
-
-// InsertResponse acknowledges a POST /v1/insert. Ingested counts the
-// objects of THIS request; TotalIngested every object ingested since
-// the seed corpus (including recovered ones). Failures use the standard
-// error Response shape instead.
-type InsertResponse struct {
-	Ingested      int     `json:"ingested"`
-	TotalIngested int64   `json:"total_ingested"`
-	ElapsedMS     float64 `json:"elapsed_ms"`
-}
-
-// BatchResponse is the POST /v1/batch response body; Responses is
-// index-aligned with the request's Queries, and per-query failures land
-// in the corresponding Response.Error without failing the batch.
-type BatchResponse struct {
-	Responses []Response `json:"responses"`
-	ElapsedMS float64    `json:"elapsed_ms"`
-}
+type (
+	// Rect is the wire form of an axis-parallel rectangle.
+	Rect = wire.Rect
+	// Point is the wire form of a planar location.
+	Point = wire.Point
+	// Query is one similarity-query request.
+	Query = wire.Query
+	// Result is one answer region.
+	Result = wire.Result
+	// Response is the answer to one Query.
+	Response = wire.Response
+	// Coverage is the wire form of a routed answer's shard coverage.
+	Coverage = wire.Coverage
+	// SkippedShard names one shard a routed answer had to skip, and why.
+	SkippedShard = wire.SkippedShard
+	// Batch is the POST /v1/batch request body.
+	Batch = wire.Batch
+	// BatchResponse is the POST /v1/batch response body.
+	BatchResponse = wire.BatchResponse
+	// InsertObject is one object of a POST /v1/insert request.
+	InsertObject = wire.InsertObject
+	// Insert is the POST /v1/insert request body.
+	Insert = wire.Insert
+	// InsertResponse acknowledges a POST /v1/insert.
+	InsertResponse = wire.InsertResponse
+	// Search is the POST /v1/search request body (query language).
+	Search = wire.Search
+	// SearchRow is one NDJSON line of a streamed search response.
+	SearchRow = wire.SearchRow
+)
 
 // ParseNorm maps the wire norm name to the library constant.
-func ParseNorm(s string) (asrs.Norm, error) {
-	switch s {
-	case "", "l1", "L1":
-		return asrs.L1, nil
-	case "l2", "L2":
-		return asrs.L2, nil
-	}
-	return asrs.L1, fmt.Errorf("unknown norm %q (want l1 or l2)", s)
-}
+func ParseNorm(s string) (asrs.Norm, error) { return wire.ParseNorm(s) }
 
 // RectWire converts a library rectangle to its wire form.
-func RectWire(r asrs.Rect) Rect {
-	return Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
-}
+func RectWire(r asrs.Rect) Rect { return wire.RectWire(r) }
 
 // RectLib converts a wire rectangle to the library form.
-func RectLib(r Rect) asrs.Rect {
-	return asrs.Rect{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
-}
+func RectLib(r Rect) asrs.Rect { return wire.RectLib(r) }
 
 // ResponseWire converts an engine response to the wire schema.
 // asrsquery -json uses it too, so CLI and daemon emit one format.
 func ResponseWire(resp asrs.QueryResponse, elapsed time.Duration) Response {
-	out := Response{ElapsedMS: float64(elapsed.Microseconds()) / 1e3}
-	if resp.Err != nil {
-		out.Error = resp.Err.Error()
-		_, out.Code, out.Retryable = classify(resp.Err)
-		return out
-	}
-	out.Results = make([]Result, len(resp.Regions))
-	for i := range resp.Regions {
-		out.Results[i] = Result{
-			Region: RectWire(resp.Regions[i]),
-			Point:  Point{X: resp.Results[i].Point.X, Y: resp.Results[i].Point.Y},
-			Dist:   resp.Results[i].Dist,
-			Rep:    resp.Results[i].Rep,
-		}
-	}
-	return out
+	return wire.ResponseWire(resp, elapsed)
 }
